@@ -1,0 +1,104 @@
+//! Distance kernels shared by every index in this crate.
+
+use serde::{Deserialize, Serialize};
+
+/// The metric an index ranks by. DeepJoin's retrieval uses Euclidean
+/// distance (paper §3.3) even though training scores with cosine (§4.2) —
+/// the paper argues embedding length carries joinability signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Euclidean (L2) distance; smaller is closer.
+    L2,
+    /// Negative inner product (so smaller is closer, like a distance).
+    InnerProduct,
+    /// Cosine distance `1 − cos`; smaller is closer.
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between `a` and `b` under this metric.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_sq(a, b).sqrt(),
+            Metric::InnerProduct => -dot(a, b),
+            Metric::Cosine => 1.0 - cosine(a, b),
+        }
+    }
+
+    /// A monotone surrogate that is cheaper to compute (squared L2; the
+    /// others are already cheap). Rankings are identical to `distance`.
+    #[inline]
+    pub fn surrogate(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_sq(a, b),
+            other => other.distance(a, b),
+        }
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity (0 when either vector is zero).
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_pythagoras() {
+        assert!((Metric::L2.distance(&[0., 0.], &[3., 4.]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn surrogate_preserves_ranking() {
+        let q = [1.0f32, 2.0];
+        let a = [1.5f32, 2.0];
+        let b = [9.0f32, -3.0];
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            let close = (m.distance(&q, &a) < m.distance(&q, &b))
+                == (m.surrogate(&q, &a) < m.surrogate(&q, &b));
+            assert!(close, "{m:?} surrogate changed order");
+        }
+    }
+
+    #[test]
+    fn inner_product_is_negated() {
+        assert_eq!(Metric::InnerProduct.distance(&[1., 0.], &[2., 0.]), -2.0);
+    }
+
+    #[test]
+    fn cosine_distance_range() {
+        let d_same = Metric::Cosine.distance(&[1., 1.], &[2., 2.]);
+        let d_orth = Metric::Cosine.distance(&[1., 0.], &[0., 1.]);
+        assert!(d_same.abs() < 1e-6);
+        assert!((d_orth - 1.0).abs() < 1e-6);
+    }
+}

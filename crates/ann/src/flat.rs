@@ -1,0 +1,114 @@
+//! Exact brute-force index: the correctness oracle and small-scale fallback.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Metric;
+use crate::index::{finalize_hits, Neighbor, VectorIndex};
+
+/// Linear-scan exact kNN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Empty index of dimension `dim`.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        Self {
+            dim,
+            metric,
+            data: Vec::new(),
+        }
+    }
+
+    /// Stored vector by id.
+    pub fn vector(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn add(&mut self, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(vector);
+        id
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        // Rank by the cheap surrogate, then convert to true distances.
+        let mut hits: Vec<Neighbor> = self
+            .data
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, v)| Neighbor {
+                id: i as u32,
+                distance: self.metric.surrogate(query, v),
+            })
+            .collect();
+        hits = finalize_hits(hits, k);
+        if self.metric == Metric::L2 {
+            for h in &mut hits {
+                h.distance = h.distance.sqrt();
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_neighbors() {
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        idx.add_batch(&[0., 0., 1., 0., 0., 1., 5., 5.]);
+        let hits = idx.search(&[0.1, 0.0], 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+        assert!((hits[0].distance - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_larger_than_len() {
+        let mut idx = FlatIndex::new(1, Metric::L2);
+        idx.add(&[1.0]);
+        assert_eq!(idx.search(&[0.0], 10).len(), 1);
+    }
+
+    #[test]
+    fn inner_product_ranks_by_dot() {
+        let mut idx = FlatIndex::new(2, Metric::InnerProduct);
+        idx.add_batch(&[1., 0., 0., 1., 2., 2.]);
+        let hits = idx.search(&[1., 1.], 3);
+        assert_eq!(hits[0].id, 2);
+    }
+
+    #[test]
+    fn ids_are_insertion_order() {
+        let mut idx = FlatIndex::new(1, Metric::L2);
+        assert_eq!(idx.add(&[1.0]), 0);
+        assert_eq!(idx.add(&[2.0]), 1);
+        assert_eq!(idx.vector(1), &[2.0]);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+}

@@ -1,0 +1,599 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, TPAMI'20)
+//! — the ANNS backend DeepJoin's retrieval rides on (paper §3.3).
+//!
+//! Implements the paper's algorithms:
+//! * Alg. 1 `INSERT` — exponential level sampling (`mL = 1/ln(M)`), greedy
+//!   descent through upper layers, `efConstruction`-wide search on the
+//!   insertion layers, bidirectional linking with degree-bounded shrinking;
+//! * Alg. 2 `SEARCH-LAYER` — best-first expansion with a bounded result set;
+//! * Alg. 4 `SELECT-NEIGHBORS-HEURISTIC` — diversity-aware neighbor
+//!   selection (with fill-from-discarded), which is what keeps the graph
+//!   navigable on clustered data;
+//! * Alg. 5 `K-NN-SEARCH` — descent + `efSearch`-wide bottom-layer search.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Metric;
+use crate::index::{finalize_hits, Neighbor, VectorIndex};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max out-degree on layers above 0 (`M`).
+    pub m: usize,
+    /// Max out-degree on layer 0 (`Mmax0`, conventionally `2M`).
+    pub m0: usize,
+    /// Beam width during construction (`efConstruction`).
+    pub ef_construction: usize,
+    /// Beam width during search (`efSearch`); raised to `k` when smaller.
+    pub ef_search: usize,
+    /// Metric to rank by.
+    pub metric: Metric,
+    /// Seed for level sampling.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            m0: 32,
+            ef_construction: 200,
+            ef_search: 96,
+            metric: Metric::L2,
+            seed: 0x45_7D,
+        }
+    }
+}
+
+/// Candidate ordered as a *min*-heap entry by distance (ties by id for
+/// determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinCand {
+    dist: f32,
+    id: u32,
+}
+
+impl Eq for MinCand {}
+
+impl Ord for MinCand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for MinCand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Candidate ordered as a *max*-heap entry by distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MaxCand {
+    dist: f32,
+    id: u32,
+}
+
+impl Eq for MaxCand {}
+
+impl Ord for MaxCand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for MaxCand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Adjacency of one node: `neighbors[l]` is the out-list on layer `l`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Node {
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// The HNSW index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    dim: usize,
+    vectors: Vec<f32>,
+    nodes: Vec<Node>,
+    entry: Option<u32>,
+    max_level: usize,
+    level_mult: f64,
+    rng_state: u64,
+}
+
+impl HnswIndex {
+    /// Empty index.
+    pub fn new(dim: usize, config: HnswConfig) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(config.m >= 2, "M must be at least 2");
+        Self {
+            level_mult: 1.0 / (config.m as f64).ln(),
+            config,
+            dim,
+            vectors: Vec::new(),
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng_state: config.seed,
+        }
+    }
+
+    /// Config accessor.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Decompose into raw parts for persistence (see [`crate::io`]):
+    /// `(config, dim, vectors, per-node adjacency, entry, max_level,
+    /// rng_state)`.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(
+        &self,
+    ) -> (
+        &HnswConfig,
+        usize,
+        &[f32],
+        Vec<&Vec<Vec<u32>>>,
+        Option<u32>,
+        usize,
+        u64,
+    ) {
+        (
+            &self.config,
+            self.dim,
+            &self.vectors,
+            self.nodes.iter().map(|n| &n.neighbors).collect(),
+            self.entry,
+            self.max_level,
+            self.rng_state,
+        )
+    }
+
+    /// Rebuild an index from raw parts produced by [`Self::raw_parts`] (via
+    /// the [`crate::io`] codec). The caller is responsible for structural
+    /// consistency; out-of-range neighbor ids would panic at search time.
+    pub fn from_raw_parts(
+        config: HnswConfig,
+        dim: usize,
+        vectors: Vec<f32>,
+        nodes: Vec<Vec<Vec<u32>>>,
+        entry: Option<u32>,
+        max_level: usize,
+        rng_state: u64,
+    ) -> Self {
+        Self {
+            level_mult: 1.0 / (config.m as f64).ln(),
+            config,
+            dim,
+            vectors,
+            nodes: nodes
+                .into_iter()
+                .map(|neighbors| Node { neighbors })
+                .collect(),
+            entry,
+            max_level,
+            rng_state,
+        }
+    }
+
+    /// Stored vector by id.
+    #[inline]
+    pub fn vector(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.vectors[i..i + self.dim]
+    }
+
+    #[inline]
+    fn dist(&self, a: &[f32], id: u32) -> f32 {
+        self.config.metric.surrogate(a, self.vector(id))
+    }
+
+    /// Draw the level for a new node: `floor(−ln(U) · mL)`.
+    fn sample_level(&mut self) -> usize {
+        // xorshift on the stored state keeps `add` deterministic without
+        // holding a full RNG in the struct (serde-friendly).
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        let u = ((x >> 11) as f64 / (1u64 << 53) as f64).max(f64::MIN_POSITIVE);
+        ((-u.ln()) * self.level_mult).floor() as usize
+    }
+
+    /// Algorithm 2: best-first search on one layer, returning up to `ef`
+    /// closest candidates (unsorted heap order).
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry_points: &[MinCand],
+        ef: usize,
+        level: usize,
+        visited: &mut [bool],
+    ) -> Vec<MinCand> {
+        let mut candidates: BinaryHeap<MinCand> = BinaryHeap::new();
+        let mut results: BinaryHeap<MaxCand> = BinaryHeap::new();
+        for &ep in entry_points {
+            if !visited[ep.id as usize] {
+                visited[ep.id as usize] = true;
+                candidates.push(ep);
+                results.push(MaxCand {
+                    dist: ep.dist,
+                    id: ep.id,
+                });
+            }
+        }
+        while let Some(cur) = candidates.pop() {
+            let worst = results.peek().map(|w| w.dist).unwrap_or(f32::INFINITY);
+            if cur.dist > worst && results.len() >= ef {
+                break;
+            }
+            let node = &self.nodes[cur.id as usize];
+            if level < node.neighbors.len() {
+                for &nb in &node.neighbors[level] {
+                    let nb_us = nb as usize;
+                    if visited[nb_us] {
+                        continue;
+                    }
+                    visited[nb_us] = true;
+                    let d = self.dist(query, nb);
+                    let worst = results.peek().map(|w| w.dist).unwrap_or(f32::INFINITY);
+                    if results.len() < ef || d < worst {
+                        candidates.push(MinCand { dist: d, id: nb });
+                        results.push(MaxCand { dist: d, id: nb });
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|c| MinCand {
+                dist: c.dist,
+                id: c.id,
+            })
+            .collect()
+    }
+
+    /// Algorithm 4: diversity-aware neighbor selection. Candidates must be
+    /// presented with their distance to the anchor.
+    fn select_neighbors(&self, mut candidates: Vec<MinCand>, m: usize) -> Vec<u32> {
+        candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then_with(|| a.id.cmp(&b.id)));
+        let mut selected: Vec<MinCand> = Vec::with_capacity(m);
+        let mut discarded: Vec<MinCand> = Vec::new();
+        for c in candidates {
+            if selected.len() >= m {
+                break;
+            }
+            // Keep c only if it is closer to the anchor than to every
+            // already-selected neighbor (diversity criterion).
+            let dominated = selected.iter().any(|s| {
+                self.config
+                    .metric
+                    .surrogate(self.vector(c.id), self.vector(s.id))
+                    < c.dist
+            });
+            if dominated {
+                discarded.push(c);
+            } else {
+                selected.push(c);
+            }
+        }
+        // keepPrunedConnections: fill remaining slots from the discarded
+        // queue (closest first).
+        for c in discarded {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push(c);
+        }
+        selected.into_iter().map(|c| c.id).collect()
+    }
+
+    /// Shrink `node`'s out-list at `level` to the degree bound using the
+    /// selection heuristic.
+    fn shrink_neighbors(&mut self, node: u32, level: usize) {
+        let bound = if level == 0 {
+            self.config.m0
+        } else {
+            self.config.m
+        };
+        let list = &self.nodes[node as usize].neighbors[level];
+        if list.len() <= bound {
+            return;
+        }
+        let anchor = self.vector(node).to_vec();
+        let cands: Vec<MinCand> = list
+            .iter()
+            .map(|&id| MinCand {
+                dist: self.config.metric.surrogate(&anchor, self.vector(id)),
+                id,
+            })
+            .collect();
+        let new_list = self.select_neighbors(cands, bound);
+        self.nodes[node as usize].neighbors[level] = new_list;
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> Metric {
+        self.config.metric
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Algorithm 1: insert a vector.
+    fn add(&mut self, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let id = self.nodes.len() as u32;
+        self.vectors.extend_from_slice(vector);
+        let level = self.sample_level();
+        self.nodes.push(Node {
+            neighbors: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+
+        let mut visited = vec![false; self.nodes.len()];
+        let mut ep_dist = self.dist(vector, ep);
+
+        // Greedy descent through layers above the insertion level.
+        let mut l = self.max_level;
+        while l > level {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let node = &self.nodes[ep as usize];
+                if l < node.neighbors.len() {
+                    for &nb in &node.neighbors[l] {
+                        let d = self.dist(vector, nb);
+                        if d < ep_dist {
+                            ep = nb;
+                            ep_dist = d;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+
+        // Insertion layers: efConstruction search + heuristic linking.
+        let top = level.min(self.max_level);
+        let mut entry_points = vec![MinCand {
+            dist: ep_dist,
+            id: ep,
+        }];
+        for lev in (0..=top).rev() {
+            visited.iter_mut().for_each(|v| *v = false);
+            let found = self.search_layer(
+                vector,
+                &entry_points,
+                self.config.ef_construction,
+                lev,
+                &mut visited,
+            );
+            let neighbors = self.select_neighbors(found.clone(), self.config.m);
+            for &nb in &neighbors {
+                self.nodes[id as usize].neighbors[lev].push(nb);
+                self.nodes[nb as usize].neighbors[lev].push(id);
+                self.shrink_neighbors(nb, lev);
+            }
+            entry_points = found;
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Algorithm 5: k-NN search.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        let mut ep_dist = self.dist(query, ep);
+        // Greedy descent to layer 1.
+        for l in (1..=self.max_level).rev() {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let node = &self.nodes[ep as usize];
+                if l < node.neighbors.len() {
+                    for &nb in &node.neighbors[l] {
+                        let d = self.dist(query, nb);
+                        if d < ep_dist {
+                            ep = nb;
+                            ep_dist = d;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let ef = self.config.ef_search.max(k);
+        let mut visited = vec![false; self.nodes.len()];
+        let found = self.search_layer(
+            query,
+            &[MinCand {
+                dist: ep_dist,
+                id: ep,
+            }],
+            ef,
+            0,
+            &mut visited,
+        );
+        let mut hits: Vec<Neighbor> = found
+            .into_iter()
+            .map(|c| Neighbor {
+                id: c.id,
+                distance: c.dist,
+            })
+            .collect();
+        hits = finalize_hits(hits, k);
+        if self.config.metric == Metric::L2 {
+            for h in &mut hits {
+                h.distance = h.distance.sqrt();
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// Clustered data (harder for graph navigability than uniform).
+    fn clustered_data(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let c = &centers[i % clusters];
+            for d in 0..dim {
+                data.push(c[d] + rng.gen_range(-0.3f32..0.3));
+            }
+        }
+        data
+    }
+
+    fn recall_at_k(data: &[f32], dim: usize, queries: &[f32], k: usize) -> f64 {
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(data);
+        let mut hnsw = HnswIndex::new(dim, HnswConfig::default());
+        hnsw.add_batch(data);
+
+        let nq = queries.len() / dim;
+        let mut hit = 0usize;
+        for q in queries.chunks_exact(dim) {
+            let truth: std::collections::HashSet<u32> =
+                flat.search(q, k).into_iter().map(|h| h.id).collect();
+            let approx = hnsw.search(q, k);
+            hit += approx.iter().filter(|h| truth.contains(&h.id)).count();
+        }
+        hit as f64 / (nq * k) as f64
+    }
+
+    #[test]
+    fn high_recall_on_uniform_data() {
+        let data = random_data(2000, 8, 1);
+        let queries = random_data(20, 8, 2);
+        let r = recall_at_k(&data, 8, &queries, 10);
+        assert!(r >= 0.95, "recall {r}");
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        let data = clustered_data(2000, 8, 16, 3);
+        let queries = clustered_data(20, 8, 16, 4);
+        let r = recall_at_k(&data, 8, &queries, 10);
+        assert!(r >= 0.9, "recall {r}");
+    }
+
+    #[test]
+    fn exact_match_is_found_first() {
+        let data = random_data(500, 4, 5);
+        let mut idx = HnswIndex::new(4, HnswConfig::default());
+        idx.add_batch(&data);
+        let target = &data[17 * 4..18 * 4];
+        let hits = idx.search(target, 1);
+        assert_eq!(hits[0].id, 17);
+        assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn degree_bounds_hold() {
+        let data = random_data(1500, 6, 6);
+        let cfg = HnswConfig::default();
+        let mut idx = HnswIndex::new(6, cfg);
+        idx.add_batch(&data);
+        for node in &idx.nodes {
+            for (l, nbs) in node.neighbors.iter().enumerate() {
+                let bound = if l == 0 { cfg.m0 } else { cfg.m };
+                assert!(nbs.len() <= bound, "layer {l} degree {}", nbs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut idx = HnswIndex::new(3, HnswConfig::default());
+        assert!(idx.search(&[0., 0., 0.], 5).is_empty());
+        idx.add(&[1., 2., 3.]);
+        let hits = idx.search(&[1., 2., 3.], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn deterministic_build_and_search() {
+        let data = random_data(800, 5, 9);
+        let build = || {
+            let mut idx = HnswIndex::new(5, HnswConfig::default());
+            idx.add_batch(&data);
+            idx.search(&data[0..5], 10)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn level_distribution_is_geometricish() {
+        let mut idx = HnswIndex::new(2, HnswConfig::default());
+        let mut counts = [0usize; 8];
+        for _ in 0..20_000 {
+            let l = idx.sample_level().min(7);
+            counts[l] += 1;
+        }
+        assert!(counts[0] > counts[1], "level 0 most common: {counts:?}");
+        assert!(counts[1] > counts[2]);
+        // Expected fraction at level 0 is 1 − 1/M ≈ 0.94 for M=16.
+        let frac0 = counts[0] as f64 / 20_000.0;
+        assert!((frac0 - 0.94).abs() < 0.05, "frac0 {frac0}");
+    }
+}

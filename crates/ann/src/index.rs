@@ -1,0 +1,75 @@
+//! The common index interface every ANNS backend implements, so DeepJoin can
+//! swap Flat / HNSW / IVFPQ per §3.3.
+
+use crate::distance::Metric;
+
+/// One search hit: internal id + distance (smaller = closer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Id assigned at insertion order (0-based).
+    pub id: u32,
+    /// Distance under the index metric.
+    pub distance: f32,
+}
+
+/// A k-nearest-neighbor index over fixed-dimension `f32` vectors.
+pub trait VectorIndex {
+    /// Dimensionality of indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// The metric the index ranks by.
+    fn metric(&self) -> Metric;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// True when nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert one vector, returning its id (= current `len`).
+    fn add(&mut self, vector: &[f32]) -> u32;
+
+    /// Insert many vectors (row-major, `n x dim`).
+    fn add_batch(&mut self, vectors: &[f32]) {
+        assert_eq!(vectors.len() % self.dim(), 0, "row-major shape mismatch");
+        for row in vectors.chunks_exact(self.dim()) {
+            self.add(row);
+        }
+    }
+
+    /// The `k` (approximate) nearest neighbors of `query`, sorted by
+    /// ascending distance with ascending-id tie-break.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+}
+
+/// Sort hits ascending by distance, break ties by id, truncate to k.
+pub fn finalize_hits(mut hits: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_sorts_and_truncates() {
+        let hits = vec![
+            Neighbor { id: 2, distance: 0.5 },
+            Neighbor { id: 1, distance: 0.1 },
+            Neighbor { id: 0, distance: 0.5 },
+        ];
+        let out = finalize_hits(hits, 2);
+        assert_eq!(out[0].id, 1);
+        assert_eq!(out[1].id, 0, "tie broken by id");
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Binary persistence for the flat and HNSW indexes.
+//!
+//! The approved dependency set has `serde` but no wire format crate, so the
+//! on-disk format is a small hand-rolled binary codec built on [`bytes`]:
+//! little-endian, length-prefixed, with a magic header and version byte.
+//! Indexes are large and numeric, so a dense custom codec is also the
+//! *right* tool here — no intermediate tree, one pass in, one pass out.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::distance::Metric;
+use crate::flat::FlatIndex;
+use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::index::VectorIndex;
+
+/// Errors while decoding a serialized index.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// An enum discriminant had no defined meaning.
+    BadDiscriminant(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadDiscriminant(d) => write!(f, "bad discriminant {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC_FLAT: &[u8; 4] = b"DJF1";
+const MAGIC_HNSW: &[u8; 4] = b"DJH1";
+const VERSION: u8 = 1;
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::L2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    }
+}
+
+fn metric_from(tag: u8) -> Result<Metric, DecodeError> {
+    match tag {
+        0 => Ok(Metric::L2),
+        1 => Ok(Metric::InnerProduct),
+        2 => Ok(Metric::Cosine),
+        other => Err(DecodeError::BadDiscriminant(other)),
+    }
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_f32s(out: &mut BytesMut, xs: &[f32]) {
+    out.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        out.put_f32_le(x);
+    }
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
+    need(buf, 8)?;
+    let n = buf.get_u64_le() as usize;
+    need(buf, n * 4)?;
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Serialize a [`FlatIndex`].
+pub fn encode_flat(index: &FlatIndex) -> Bytes {
+    let mut out = BytesMut::with_capacity(32 + index.len() * index.dim() * 4);
+    out.put_slice(MAGIC_FLAT);
+    out.put_u8(VERSION);
+    out.put_u8(metric_tag(index.metric()));
+    out.put_u64_le(index.dim() as u64);
+    out.put_u64_le(index.len() as u64);
+    for id in 0..index.len() as u32 {
+        for &x in index.vector(id) {
+            out.put_f32_le(x);
+        }
+    }
+    out.freeze()
+}
+
+/// Deserialize a [`FlatIndex`].
+pub fn decode_flat(mut buf: Bytes) -> Result<FlatIndex, DecodeError> {
+    need(&buf, 4 + 1 + 1 + 16)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC_FLAT {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let metric = metric_from(buf.get_u8())?;
+    let dim = buf.get_u64_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    need(&buf, n * dim * 4)?;
+    let mut index = FlatIndex::new(dim, metric);
+    let mut row = vec![0f32; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = buf.get_f32_le();
+        }
+        index.add(&row);
+    }
+    Ok(index)
+}
+
+/// Serialize an [`HnswIndex`] including its graph structure.
+pub fn encode_hnsw(index: &HnswIndex) -> Bytes {
+    let (config, dim, vectors, nodes, entry, max_level, rng_state) = index.raw_parts();
+    let mut out = BytesMut::with_capacity(64 + vectors.len() * 4);
+    out.put_slice(MAGIC_HNSW);
+    out.put_u8(VERSION);
+    // Config.
+    out.put_u64_le(config.m as u64);
+    out.put_u64_le(config.m0 as u64);
+    out.put_u64_le(config.ef_construction as u64);
+    out.put_u64_le(config.ef_search as u64);
+    out.put_u8(metric_tag(config.metric));
+    out.put_u64_le(config.seed);
+    // State.
+    out.put_u64_le(dim as u64);
+    out.put_u64_le(max_level as u64);
+    out.put_u64_le(rng_state);
+    match entry {
+        Some(e) => {
+            out.put_u8(1);
+            out.put_u32_le(e);
+        }
+        None => out.put_u8(0),
+    }
+    put_f32s(&mut out, vectors);
+    out.put_u64_le(nodes.len() as u64);
+    for levels in nodes {
+        out.put_u32_le(levels.len() as u32);
+        for nbrs in levels {
+            out.put_u32_le(nbrs.len() as u32);
+            for &n in nbrs {
+                out.put_u32_le(n);
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Deserialize an [`HnswIndex`].
+pub fn decode_hnsw(mut buf: Bytes) -> Result<HnswIndex, DecodeError> {
+    need(&buf, 4 + 1)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC_HNSW {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    need(&buf, 8 * 4 + 1 + 8)?;
+    let m = buf.get_u64_le() as usize;
+    let m0 = buf.get_u64_le() as usize;
+    let ef_construction = buf.get_u64_le() as usize;
+    let ef_search = buf.get_u64_le() as usize;
+    let metric = metric_from(buf.get_u8())?;
+    let seed = buf.get_u64_le();
+    need(&buf, 8 * 3 + 1)?;
+    let dim = buf.get_u64_le() as usize;
+    let max_level = buf.get_u64_le() as usize;
+    let rng_state = buf.get_u64_le();
+    let entry = match buf.get_u8() {
+        0 => None,
+        1 => {
+            need(&buf, 4)?;
+            Some(buf.get_u32_le())
+        }
+        other => return Err(DecodeError::BadDiscriminant(other)),
+    };
+    let vectors = get_f32s(&mut buf)?;
+    need(&buf, 8)?;
+    let num_nodes = buf.get_u64_le() as usize;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        need(&buf, 4)?;
+        let levels = buf.get_u32_le() as usize;
+        let mut node = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            need(&buf, 4)?;
+            let deg = buf.get_u32_le() as usize;
+            need(&buf, deg * 4)?;
+            node.push((0..deg).map(|_| buf.get_u32_le()).collect::<Vec<u32>>());
+        }
+        nodes.push(node);
+    }
+    let config = HnswConfig {
+        m,
+        m0,
+        ef_construction,
+        ef_search,
+        metric,
+        seed,
+    };
+    Ok(HnswIndex::from_raw_parts(
+        config, dim, vectors, nodes, entry, max_level, rng_state,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_search() {
+        let mut idx = FlatIndex::new(8, Metric::L2);
+        idx.add_batch(&random_data(200, 8));
+        let bytes = encode_flat(&idx);
+        let back = decode_flat(bytes).unwrap();
+        assert_eq!(back.len(), idx.len());
+        let q = random_data(1, 8);
+        assert_eq!(idx.search(&q, 10), back.search(&q, 10));
+    }
+
+    #[test]
+    fn hnsw_roundtrip_preserves_search_and_growth() {
+        let mut idx = HnswIndex::new(6, HnswConfig::default());
+        idx.add_batch(&random_data(500, 6));
+        let bytes = encode_hnsw(&idx);
+        let mut back = decode_hnsw(bytes).unwrap();
+        let q = random_data(1, 6);
+        assert_eq!(idx.search(&q, 10), back.search(&q, 10));
+        // The decoded index keeps working for inserts (rng state restored).
+        let mut orig = idx.clone();
+        let v = random_data(1, 6);
+        assert_eq!(orig.add(&v), back.add(&v));
+        assert_eq!(orig.search(&q, 10), back.search(&q, 10));
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        idx.add_batch(&random_data(10, 4));
+        let bytes = encode_flat(&idx);
+
+        // Wrong magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert_eq!(decode_flat(Bytes::from(bad)).unwrap_err(), DecodeError::BadMagic);
+
+        // Wrong version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 99;
+        assert_eq!(
+            decode_flat(Bytes::from(bad)).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+
+        // Truncation.
+        let bad = bytes.slice(0..bytes.len() - 3);
+        assert_eq!(decode_flat(bad).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn hnsw_magic_mismatch_is_rejected() {
+        let mut idx = FlatIndex::new(4, Metric::L2);
+        idx.add(&[0.0; 4]);
+        let bytes = encode_flat(&idx);
+        assert_eq!(decode_hnsw(bytes).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn empty_hnsw_roundtrips() {
+        let idx = HnswIndex::new(3, HnswConfig::default());
+        let back = decode_hnsw(encode_hnsw(&idx)).unwrap();
+        assert_eq!(back.len(), 0);
+        assert!(back.search(&[0.0; 3], 5).is_empty());
+    }
+}

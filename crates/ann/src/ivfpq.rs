@@ -1,0 +1,265 @@
+//! IVFPQ: an inverted file over a k-means coarse quantizer with product-
+//! quantized residual-free codes — the billion-scale option §3.3 mentions
+//! (the common Faiss recipe).
+//!
+//! Build: train the coarse quantizer, then train PQ codebooks on the
+//! **residuals** `v − centroid(v)` (as Faiss does — residual encoding is
+//! what gives PQ resolution *inside* a list). Each vector is assigned to its
+//! nearest coarse centroid and its residual's PQ code is stored in that
+//! centroid's inverted list. Search probes the `nprobe` nearest lists; for
+//! each probed list an ADC table is built from the query's residual against
+//! that list's centroid.
+
+use crate::distance::Metric;
+use crate::index::{finalize_hits, Neighbor, VectorIndex};
+use crate::kmeans::{Kmeans, KmeansConfig};
+use crate::pq::{PqConfig, ProductQuantizer};
+
+/// IVFPQ parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IvfPqConfig {
+    /// Number of coarse centroids (inverted lists).
+    pub nlist: usize,
+    /// Lists probed per query.
+    pub nprobe: usize,
+    /// PQ settings.
+    pub pq: PqConfig,
+    /// Seed for the coarse quantizer.
+    pub seed: u64,
+}
+
+impl Default for IvfPqConfig {
+    fn default() -> Self {
+        Self {
+            nlist: 64,
+            nprobe: 8,
+            pq: PqConfig::default(),
+            seed: 0x1F,
+        }
+    }
+}
+
+/// The index. Unlike [`crate::hnsw::HnswIndex`], IVFPQ requires a training
+/// pass before vectors can be added.
+pub struct IvfPqIndex {
+    dim: usize,
+    config: IvfPqConfig,
+    coarse: Option<Kmeans>,
+    pq: Option<ProductQuantizer>,
+    /// Inverted lists: per coarse centroid, (id, code) entries.
+    lists: Vec<Vec<(u32, Vec<u8>)>>,
+    len: usize,
+}
+
+impl IvfPqIndex {
+    /// Untrained index.
+    pub fn new(dim: usize, config: IvfPqConfig) -> Self {
+        Self {
+            dim,
+            config,
+            coarse: None,
+            pq: None,
+            lists: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Train the coarse quantizer and PQ codebooks on row-major `data`.
+    pub fn train(&mut self, data: &[f32]) {
+        assert!(!data.is_empty(), "empty training set");
+        assert_eq!(data.len() % self.dim, 0, "bad shape");
+        let coarse = Kmeans::train(
+            data,
+            self.dim,
+            KmeansConfig {
+                k: self.config.nlist,
+                max_iters: 25,
+                seed: self.config.seed,
+            },
+        );
+        // Train PQ on residuals v − centroid(v).
+        let mut residuals = Vec::with_capacity(data.len());
+        for v in data.chunks_exact(self.dim) {
+            let c = coarse.centroid(coarse.assign(v));
+            residuals.extend(v.iter().zip(c).map(|(a, b)| a - b));
+        }
+        self.lists = vec![Vec::new(); coarse.k()];
+        self.coarse = Some(coarse);
+        self.pq = Some(ProductQuantizer::train(&residuals, self.dim, self.config.pq));
+    }
+
+    /// True once `train` has run.
+    pub fn is_trained(&self) -> bool {
+        self.coarse.is_some()
+    }
+}
+
+impl VectorIndex for IvfPqIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::L2
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn add(&mut self, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let coarse = self.coarse.as_ref().expect("train() before add()");
+        let pq = self.pq.as_ref().expect("train() before add()");
+        let id = self.len as u32;
+        let list = coarse.assign(vector);
+        let residual: Vec<f32> = vector
+            .iter()
+            .zip(coarse.centroid(list))
+            .map(|(a, b)| a - b)
+            .collect();
+        let code = pq.encode(&residual);
+        self.lists[list].push((id, code));
+        self.len += 1;
+        id
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let (Some(coarse), Some(pq)) = (self.coarse.as_ref(), self.pq.as_ref()) else {
+            return Vec::new();
+        };
+        let probes = coarse.assign_n(query, self.config.nprobe.min(coarse.k()));
+        let mut hits = Vec::new();
+        for p in probes {
+            let q_residual: Vec<f32> = query
+                .iter()
+                .zip(coarse.centroid(p))
+                .map(|(a, b)| a - b)
+                .collect();
+            let table = pq.adc_table(&q_residual);
+            for (id, code) in &self.lists[p] {
+                hits.push(Neighbor {
+                    id: *id,
+                    distance: pq.adc_distance(&table, code),
+                });
+            }
+        }
+        let mut out = finalize_hits(hits, k);
+        for h in &mut out {
+            h.distance = h.distance.sqrt();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            for d in 0..dim {
+                data.push(centers[i % clusters][d] + rng.gen_range(-0.2f32..0.2));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn reasonable_recall_on_clustered_data() {
+        let dim = 8;
+        let data = clustered(3000, dim, 24, 1);
+        let mut idx = IvfPqIndex::new(
+            dim,
+            IvfPqConfig {
+                nlist: 24,
+                nprobe: 6,
+                pq: PqConfig {
+                    m: 4,
+                    ks: 64,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        idx.train(&data);
+        idx.add_batch(&data);
+
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+
+        let queries = clustered(20, dim, 24, 2);
+        let mut hit = 0usize;
+        for q in queries.chunks_exact(dim) {
+            let truth: std::collections::HashSet<u32> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            hit += idx.search(q, 10).iter().filter(|h| truth.contains(&h.id)).count();
+        }
+        let recall = hit as f64 / 200.0;
+        assert!(recall > 0.5, "IVFPQ recall {recall}");
+    }
+
+    #[test]
+    fn untrained_search_is_empty_and_add_panics() {
+        let idx = IvfPqIndex::new(4, IvfPqConfig::default());
+        assert!(idx.search(&[0.0; 4], 3).is_empty());
+        assert!(!idx.is_trained());
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_before_train_panics() {
+        let mut idx = IvfPqIndex::new(4, IvfPqConfig::default());
+        idx.add(&[0.0; 4]);
+    }
+
+    #[test]
+    fn probing_more_lists_improves_recall() {
+        let dim = 8;
+        let data = clustered(2000, dim, 32, 3);
+        let build = |nprobe| {
+            let mut idx = IvfPqIndex::new(
+                dim,
+                IvfPqConfig {
+                    nlist: 32,
+                    nprobe,
+                    pq: PqConfig {
+                        m: 4,
+                        ks: 32,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            idx.train(&data);
+            idx.add_batch(&data);
+            idx
+        };
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+        let queries = clustered(20, dim, 32, 4);
+
+        let recall = |idx: &IvfPqIndex| {
+            let mut hit = 0usize;
+            for q in queries.chunks_exact(dim) {
+                let truth: std::collections::HashSet<u32> =
+                    flat.search(q, 10).into_iter().map(|h| h.id).collect();
+                hit += idx.search(q, 10).iter().filter(|h| truth.contains(&h.id)).count();
+            }
+            hit as f64 / 200.0
+        };
+        let r1 = recall(&build(1));
+        let r16 = recall(&build(16));
+        assert!(r16 >= r1, "nprobe 16 ({r16}) should not lose to 1 ({r1})");
+        assert!(r16 > 0.6, "r16 {r16}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Lloyd's k-means with k-means++ seeding — the quantizer trainer behind
+//! product quantization and the IVF coarse quantizer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distance::l2_sq;
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansConfig {
+    /// Number of centroids.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            max_iters: 25,
+            seed: 0x4EA5,
+        }
+    }
+}
+
+/// Trained centroids (row-major `k x dim`).
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// Dimensionality.
+    pub dim: usize,
+    /// Row-major centroid matrix.
+    pub centroids: Vec<f32>,
+}
+
+impl Kmeans {
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.centroids.len() / self.dim
+    }
+
+    /// Centroid `c` as a slice.
+    #[inline]
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid to `v`.
+    pub fn assign(&self, v: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k() {
+            let d = l2_sq(v, self.centroid(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Indices of the `n` nearest centroids (ascending distance).
+    pub fn assign_n(&self, v: &[f32], n: usize) -> Vec<usize> {
+        let mut ds: Vec<(usize, f32)> = (0..self.k())
+            .map(|c| (c, l2_sq(v, self.centroid(c))))
+            .collect();
+        ds.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        ds.truncate(n);
+        ds.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Train on row-major `data` (`n x dim`). If there are fewer points than
+    /// requested centroids, `k` is reduced to the number of points.
+    pub fn train(data: &[f32], dim: usize, config: KmeansConfig) -> Self {
+        assert!(dim > 0 && data.len() % dim == 0, "bad shape");
+        let n = data.len() / dim;
+        assert!(n > 0, "no training points");
+        let k = config.k.min(n);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // --- k-means++ seeding ---
+        let point = |i: usize| &data[i * dim..(i + 1) * dim];
+        let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+        let first = rng.gen_range(0..n);
+        centroids.extend_from_slice(point(first));
+        let mut dist2: Vec<f32> = (0..n).map(|i| l2_sq(point(i), point(first))).collect();
+        while centroids.len() / dim < k {
+            let total: f64 = dist2.iter().map(|&d| d as f64).sum();
+            let chosen = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut idx = n - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    target -= d as f64;
+                    if target <= 0.0 {
+                        idx = i;
+                        break;
+                    }
+                }
+                idx
+            };
+            centroids.extend_from_slice(point(chosen));
+            let c = centroids.len() / dim - 1;
+            let new_c = centroids[c * dim..(c + 1) * dim].to_vec();
+            for i in 0..n {
+                let d = l2_sq(point(i), &new_c);
+                if d < dist2[i] {
+                    dist2[i] = d;
+                }
+            }
+        }
+
+        let mut km = Self { dim, centroids };
+
+        // --- Lloyd iterations ---
+        let mut assignment = vec![0usize; n];
+        for _ in 0..config.max_iters {
+            let mut changed = false;
+            for i in 0..n {
+                let a = km.assign(point(i));
+                if a != assignment[i] {
+                    assignment[i] = a;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = vec![0f64; k * dim];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let a = assignment[i];
+                counts[a] += 1;
+                for (s, &v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(point(i)) {
+                    *s += v as f64;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at a random point.
+                    let p = point(rng.gen_range(0..n)).to_vec();
+                    km.centroids[c * dim..(c + 1) * dim].copy_from_slice(&p);
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for (dst, &s) in km.centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *dst = (s * inv) as f32;
+                }
+            }
+        }
+        km
+    }
+
+    /// Mean squared distance of points to their assigned centroid.
+    pub fn inertia(&self, data: &[f32]) -> f64 {
+        let n = data.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0f64;
+        for v in data.chunks_exact(self.dim) {
+            let c = self.assign(v);
+            total += l2_sq(v, self.centroid(c)) as f64;
+        }
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = Vec::new();
+        for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)] {
+            for _ in 0..50 {
+                data.push(cx + rng.gen_range(-0.5..0.5));
+                data.push(cy + rng.gen_range(-0.5..0.5));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_blob_centers() {
+        let data = blobs();
+        let km = Kmeans::train(&data, 2, KmeansConfig { k: 3, ..Default::default() });
+        assert_eq!(km.k(), 3);
+        // Each true center should be within 1.0 of some centroid.
+        for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)] {
+            let close = (0..3).any(|c| l2_sq(km.centroid(c), &[cx, cy]) < 1.0);
+            assert!(close, "no centroid near ({cx},{cy}): {:?}", km.centroids);
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_centroids() {
+        let data = blobs();
+        let km1 = Kmeans::train(&data, 2, KmeansConfig { k: 1, ..Default::default() });
+        let km3 = Kmeans::train(&data, 2, KmeansConfig { k: 3, ..Default::default() });
+        assert!(km3.inertia(&data) < km1.inertia(&data) * 0.2);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let data = vec![0.0f32, 0.0, 1.0, 1.0];
+        let km = Kmeans::train(&data, 2, KmeansConfig { k: 10, ..Default::default() });
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn assign_n_is_sorted() {
+        let data = blobs();
+        let km = Kmeans::train(&data, 2, KmeansConfig { k: 3, ..Default::default() });
+        let order = km.assign_n(&[0.0, 0.0], 3);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], km.assign(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = blobs();
+        let a = Kmeans::train(&data, 2, KmeansConfig { k: 3, seed: 5, ..Default::default() });
+        let b = Kmeans::train(&data, 2, KmeansConfig { k: 3, seed: 5, ..Default::default() });
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

@@ -1,0 +1,27 @@
+//! # deepjoin-ann
+//!
+//! Approximate nearest-neighbor search substrate (the Faiss stand-in,
+//! DESIGN.md §1): a from-scratch HNSW graph index (Malkov & Yashunin),
+//! IVFPQ (k-means coarse quantizer + product quantization with ADC), and an
+//! exact flat index that serves as the correctness oracle. All three
+//! implement [`VectorIndex`], so DeepJoin and the benchmarks can swap
+//! backends, as §3.3 of the paper describes.
+
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod io;
+pub mod flat;
+pub mod hnsw;
+pub mod index;
+pub mod ivfpq;
+pub mod kmeans;
+pub mod pq;
+
+pub use distance::Metric;
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use index::{Neighbor, VectorIndex};
+pub use ivfpq::{IvfPqConfig, IvfPqIndex};
+pub use kmeans::{Kmeans, KmeansConfig};
+pub use pq::{PqConfig, ProductQuantizer};

@@ -1,0 +1,242 @@
+//! Product quantization (Jégou et al., TPAMI'11).
+//!
+//! Splits a `dim`-dimensional vector into `m` sub-vectors and quantizes each
+//! with its own k-means codebook of `ks` centroids, giving an `m`-byte code.
+//! Queries are answered with asymmetric distance computation (ADC): one
+//! `m × ks` lookup table of squared sub-distances per query, then each
+//! database code costs `m` table lookups.
+
+use crate::distance::l2_sq;
+use crate::kmeans::{Kmeans, KmeansConfig};
+
+/// PQ hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PqConfig {
+    /// Number of sub-quantizers (must divide `dim`).
+    pub m: usize,
+    /// Centroids per sub-quantizer (max 256 so codes fit in `u8`).
+    pub ks: usize,
+    /// k-means iterations for codebook training.
+    pub train_iters: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PqConfig {
+    fn default() -> Self {
+        Self {
+            m: 8,
+            ks: 256,
+            train_iters: 20,
+            seed: 0x90,
+        }
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    /// Full vector dimensionality.
+    pub dim: usize,
+    /// Sub-vector width (`dim / m`).
+    pub sub_dim: usize,
+    config: PqConfig,
+    /// One codebook per sub-quantizer.
+    codebooks: Vec<Kmeans>,
+}
+
+impl ProductQuantizer {
+    /// Train codebooks on row-major `data` (`n x dim`).
+    pub fn train(data: &[f32], dim: usize, config: PqConfig) -> Self {
+        assert!(dim % config.m == 0, "m must divide dim");
+        assert!(config.ks <= 256, "ks must fit in u8");
+        let n = data.len() / dim;
+        assert!(n > 0, "no training data");
+        let sub_dim = dim / config.m;
+
+        let mut codebooks = Vec::with_capacity(config.m);
+        let mut sub = vec![0f32; n * sub_dim];
+        for s in 0..config.m {
+            for i in 0..n {
+                let src = &data[i * dim + s * sub_dim..i * dim + (s + 1) * sub_dim];
+                sub[i * sub_dim..(i + 1) * sub_dim].copy_from_slice(src);
+            }
+            codebooks.push(Kmeans::train(
+                &sub,
+                sub_dim,
+                KmeansConfig {
+                    k: config.ks,
+                    max_iters: config.train_iters,
+                    seed: config.seed ^ (s as u64 + 1),
+                },
+            ));
+        }
+        Self {
+            dim,
+            sub_dim,
+            config,
+            codebooks,
+        }
+    }
+
+    /// Number of sub-quantizers.
+    pub fn m(&self) -> usize {
+        self.config.m
+    }
+
+    /// Encode a vector to its `m`-byte code.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim);
+        (0..self.config.m)
+            .map(|s| {
+                let sv = &v[s * self.sub_dim..(s + 1) * self.sub_dim];
+                self.codebooks[s].assign(sv) as u8
+            })
+            .collect()
+    }
+
+    /// Reconstruct (decode) a code to its centroid approximation.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.config.m);
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, &c) in code.iter().enumerate() {
+            out.extend_from_slice(self.codebooks[s].centroid(c as usize));
+        }
+        out
+    }
+
+    /// Build the ADC lookup table for `query`: `m x ks` squared distances
+    /// from each query sub-vector to each centroid.
+    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim);
+        let ks = self.codebooks[0].k();
+        let mut table = vec![0f32; self.config.m * ks];
+        for s in 0..self.config.m {
+            let qv = &query[s * self.sub_dim..(s + 1) * self.sub_dim];
+            let cb = &self.codebooks[s];
+            for c in 0..cb.k() {
+                table[s * ks + c] = l2_sq(qv, cb.centroid(c));
+            }
+        }
+        table
+    }
+
+    /// Approximate squared distance of a database code to the query whose
+    /// ADC table is `table`.
+    #[inline]
+    pub fn adc_distance(&self, table: &[f32], code: &[u8]) -> f32 {
+        let ks = self.codebooks[0].k();
+        code.iter()
+            .enumerate()
+            .map(|(s, &c)| table[s * ks + c as usize])
+            .sum()
+    }
+
+    /// Mean squared reconstruction error over `data`.
+    pub fn reconstruction_error(&self, data: &[f32]) -> f64 {
+        let n = data.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0f64;
+        for v in data.chunks_exact(self.dim) {
+            let r = self.decode(&self.encode(v));
+            total += l2_sq(v, &r) as f64;
+        }
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_close() {
+        let d = data(500, 8, 1);
+        let pq = ProductQuantizer::train(
+            &d,
+            8,
+            PqConfig {
+                m: 4,
+                ks: 64,
+                ..Default::default()
+            },
+        );
+        let err = pq.reconstruction_error(&d);
+        // Random uniform data has E||v||² = dim/3 ≈ 2.67; PQ must do far better.
+        assert!(err < 0.5, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn more_subquantizers_reduce_error() {
+        let d = data(500, 8, 2);
+        let cfg = |m| PqConfig {
+            m,
+            ks: 16,
+            ..Default::default()
+        };
+        let e2 = ProductQuantizer::train(&d, 8, cfg(2)).reconstruction_error(&d);
+        let e8 = ProductQuantizer::train(&d, 8, cfg(8)).reconstruction_error(&d);
+        assert!(e8 < e2, "m=8 ({e8}) should beat m=2 ({e2})");
+    }
+
+    #[test]
+    fn adc_equals_decoded_distance() {
+        let d = data(300, 8, 3);
+        let pq = ProductQuantizer::train(
+            &d,
+            8,
+            PqConfig {
+                m: 4,
+                ks: 32,
+                ..Default::default()
+            },
+        );
+        let q = &d[0..8];
+        let table = pq.adc_table(q);
+        for v in d.chunks_exact(8).take(20) {
+            let code = pq.encode(v);
+            let adc = pq.adc_distance(&table, &code);
+            let exact = l2_sq(q, &pq.decode(&code));
+            assert!((adc - exact).abs() < 1e-4, "adc {adc} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn code_length_is_m() {
+        let d = data(100, 8, 4);
+        let pq = ProductQuantizer::train(
+            &d,
+            8,
+            PqConfig {
+                m: 4,
+                ks: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pq.encode(&d[0..8]).len(), 4);
+        assert_eq!(pq.m(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn m_must_divide_dim() {
+        let d = data(10, 8, 5);
+        let _ = ProductQuantizer::train(
+            &d,
+            8,
+            PqConfig {
+                m: 3,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the embedding path: contextualization,
+//! static embeddings, the neural encoder (both variants), and the
+//! fine-tuning step cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use deepjoin::text::{Textizer, TransformOption};
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig};
+use deepjoin_nn::matrix::Matrix;
+use deepjoin_nn::mnr::MnrLoss;
+
+fn bench_encode_paths(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 300, 7));
+    let (repo, _) = corpus.to_repository();
+    let column = repo.columns()[0].clone();
+    let textizer = Textizer::new(TransformOption::TitleColnameStatCol, 48);
+    let text = textizer.transform(&column);
+
+    let mut group = c.benchmark_group("encode");
+    group.bench_function("textize_column", |b| {
+        b.iter(|| std::hint::black_box(textizer.transform(&column)))
+    });
+
+    let ngram = NgramEmbedder::new(NgramConfig::default());
+    group.bench_function("ngram_embed_cell", |b| {
+        b.iter(|| std::hint::black_box(ngram.embed_cell("fort kelso 123")))
+    });
+
+    let vocab = deepjoin_lake::Vocabulary::build([text.as_str()].into_iter(), 1);
+    let tokens = vocab.encode(&text);
+    let distil = ColumnEncoder::new(EncoderConfig::distil_lite(8_192, 64, 1));
+    let mp = ColumnEncoder::new(EncoderConfig::mp_lite(8_192, 64, 1));
+    group.bench_function("encoder_distil_lite", |b| {
+        b.iter(|| std::hint::black_box(distil.encode(&tokens)))
+    });
+    group.bench_function("encoder_mp_lite", |b| {
+        b.iter(|| std::hint::black_box(mp.encode(&tokens)))
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut encoder = ColumnEncoder::new(EncoderConfig::mp_lite(8_192, 64, 2));
+    let seqs: Vec<Vec<u32>> = (0..32)
+        .map(|i| (0..100).map(|j| (i * 37 + j * 13) % 8_000).collect())
+        .collect();
+    let loss = MnrLoss::default();
+
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function("mnr_batch32_fwd_bwd", |b| {
+        b.iter(|| {
+            encoder.zero_grad();
+            let x = encoder.encode_batch(&seqs);
+            let y = x.clone();
+            let (_, dx, _dy) = loss.forward(&x, &y);
+            encoder.backward(&dx);
+            std::hint::black_box(());
+        })
+    });
+    group.bench_function("mnr_loss_only_batch32", |b| {
+        let x = Matrix::xavier(32, 64, 5);
+        let y = Matrix::xavier(32, 64, 6);
+        b.iter(|| std::hint::black_box(loss.forward(&x, &y)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_encode_paths, bench_training_step
+}
+criterion_main!(benches);

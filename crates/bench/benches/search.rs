@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the search paths (complements the
+//! table-level experiment binaries): per-query latency of every index on a
+//! fixed small lake, plus the scaling of HNSW vs the exact scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use deepjoin_ann::{FlatIndex, HnswConfig, HnswIndex, Metric, VectorIndex};
+use deepjoin_embed::cell_space::CellSpace;
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_josie::JosieIndex;
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lshensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
+
+const K: usize = 10;
+
+fn bench_join_search(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 2_000, 77));
+    let (repo, _) = corpus.to_repository();
+    let queries: Vec<_> = corpus
+        .sample_queries(16, 5)
+        .into_iter()
+        .map(|(q, _)| q)
+        .collect();
+
+    let josie = JosieIndex::build(&repo);
+    let lsh = LshEnsembleIndex::build(
+        &repo,
+        LshEnsembleConfig {
+            num_perm: 32,
+            ..Default::default()
+        },
+    );
+    let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
+        dim: 64,
+        ..NgramConfig::default()
+    }));
+    let embedded: Vec<_> = repo.columns().iter().map(|c| space.embed_column(c)).collect();
+    let pexeso = PexesoIndex::build(&embedded, PexesoConfig::default());
+
+    let mut group = c.benchmark_group("search_per_query");
+    let mut qi = 0usize;
+    group.bench_function("josie_topk", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            std::hint::black_box(josie.search(&queries[qi], K))
+        })
+    });
+    group.bench_function("lsh_ensemble_topk", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            std::hint::black_box(lsh.search(&queries[qi], K))
+        })
+    });
+    group.bench_function("pexeso_topk_tau09", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            let qv = space.embed_column(&queries[qi]);
+            std::hint::black_box(pexeso.search(&qv, 0.9, K))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ann_backends(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let dim = 64;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("ann_knn");
+    for &n in &[2_000usize, 8_000, 20_000] {
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let query: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+        group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(flat.search(&query, K)))
+        });
+
+        let mut hnsw = HnswIndex::new(dim, HnswConfig::default());
+        hnsw.add_batch(&data);
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(hnsw.search(&query, K)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_join_search, bench_ann_backends
+}
+criterion_main!(benches);

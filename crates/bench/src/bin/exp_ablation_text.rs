@@ -1,0 +1,68 @@
+//! Tables 9 & 10: ablation of the column-to-text transformation — one
+//! DeepJoin-MPLite model per Table 1 option, both profiles.
+//!
+//! Usage:
+//!   cargo run --release -p deepjoin-bench --bin exp_ablation_text -- equi
+//!   cargo run --release -p deepjoin-bench --bin exp_ablation_text -- semantic
+
+use deepjoin::model::Variant;
+use deepjoin::text::TransformOption;
+use deepjoin_bench::eval::{eval_equi, eval_semantic, SemanticEval, KS};
+use deepjoin_bench::methods::deepjoin_method;
+use deepjoin_bench::table::print_accuracy_table;
+use deepjoin_bench::{Bench, JoinKind, Scale};
+use deepjoin_lake::corpus::CorpusProfile;
+
+const TAU: f64 = 0.9;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let join = args.get(1).map(String::as_str).unwrap_or("equi").to_string();
+    let scale = Scale::from_env();
+    let kind = match join.as_str() {
+        "semantic" => JoinKind::Semantic(TAU),
+        _ => JoinKind::Equi,
+    };
+    let table_no = if kind == JoinKind::Equi { 9 } else { 10 };
+    println!(
+        "Table {table_no} reproduction — column-to-text ablation, {} joins ({})",
+        join,
+        scale.label()
+    );
+
+    for profile in [CorpusProfile::Webtable, CorpusProfile::Wikitable] {
+        eprintln!("[{profile:?}] setting up…");
+        let bench = Bench::new(profile, scale, 0xAB7A);
+        let sem = match kind {
+            JoinKind::Semantic(_) => Some(SemanticEval::build(&bench)),
+            JoinKind::Equi => None,
+        };
+
+        let shuffle = if kind == JoinKind::Equi { 0.2 } else { 0.3 };
+        let methods: Vec<_> = TransformOption::ALL
+            .iter()
+            .map(|&opt| {
+                eprintln!("  training with {}…", opt.name());
+                deepjoin_method(
+                    bench.train_deepjoin(Variant::MpLite, kind, opt, shuffle),
+                    opt.name(),
+                )
+            })
+            .collect();
+
+        let rows = match (&kind, &sem) {
+            (JoinKind::Equi, _) => eval_equi(&bench, &methods, &KS),
+            (JoinKind::Semantic(tau), Some(sem)) => {
+                eval_semantic(&bench, sem, &methods, *tau, &KS)
+            }
+            _ => unreachable!(),
+        };
+        print_accuracy_table(
+            &format!("Column-to-text options, {} joins, {profile:?} (paper Table {table_no})", join),
+            &KS,
+            &rows,
+            &[],
+        );
+    }
+    println!("\nPaper: title-colname-stat-col best; adding context hurts; plain col worst.");
+}

@@ -1,0 +1,122 @@
+//! Tables 3-6: accuracy of equi-joins (Table 3) and semantic joins at
+//! τ = 0.9 / 0.8 / 0.7 (Tables 4 / 5 / 6), on both corpus profiles.
+//!
+//! Usage:
+//!   cargo run --release -p deepjoin-bench --bin exp_accuracy -- equi
+//!   cargo run --release -p deepjoin-bench --bin exp_accuracy -- semantic 0.9
+//!
+//! Scale via `DJ_SCALE=smoke|small|full`.
+
+use deepjoin_bench::eval::{eval_equi, eval_semantic, SemanticEval, KS};
+use deepjoin_bench::table::print_accuracy_table;
+use deepjoin_bench::{Bench, MethodSet, Scale};
+use deepjoin_lake::corpus::CorpusProfile;
+
+/// Paper Table 3 reference rows (Webtable, precision@k then NDCG@k).
+const PAPER_T3_WEB: &[(&str, &[f64], &[f64])] = &[
+    ("LSH Ensemble", &[0.634, 0.647, 0.656, 0.676, 0.688], &[0.715, 0.714, 0.701, 0.702, 0.698]),
+    ("fastText", &[0.680, 0.726, 0.752, 0.754, 0.773], &[0.731, 0.721, 0.743, 0.748, 0.764]),
+    ("BERT", &[0.652, 0.695, 0.712, 0.722, 0.729], &[0.698, 0.713, 0.708, 0.707, 0.708]),
+    ("MPNet", &[0.610, 0.629, 0.644, 0.649, 0.654], &[0.674, 0.677, 0.678, 0.680, 0.677]),
+    ("TaBERT", &[0.622, 0.637, 0.645, 0.656, 0.671], &[0.694, 0.685, 0.690, 0.693, 0.691]),
+    ("MLP", &[0.683, 0.719, 0.755, 0.758, 0.778], &[0.737, 0.735, 0.748, 0.755, 0.769]),
+    ("DeepJoin-DistilLite", &[0.702, 0.741, 0.775, 0.793, 0.805], &[0.744, 0.752, 0.758, 0.761, 0.788]),
+    ("DeepJoin-MPLite", &[0.732, 0.775, 0.791, 0.812, 0.832], &[0.768, 0.786, 0.799, 0.803, 0.822]),
+];
+
+/// Paper Table 3 reference rows (Wikitable).
+const PAPER_T3_WIKI: &[(&str, &[f64], &[f64])] = &[
+    ("LSH Ensemble", &[0.480, 0.450, 0.466, 0.470, 0.474], &[0.714, 0.688, 0.681, 0.674, 0.672]),
+    ("fastText", &[0.574, 0.551, 0.581, 0.605, 0.621], &[0.799, 0.794, 0.791, 0.793, 0.791]),
+    ("BERT", &[0.436, 0.460, 0.497, 0.520, 0.541], &[0.719, 0.721, 0.731, 0.736, 0.740]),
+    ("MPNet", &[0.442, 0.464, 0.504, 0.524, 0.543], &[0.711, 0.721, 0.729, 0.735, 0.736]),
+    ("TaBERT", &[0.431, 0.445, 0.488, 0.520, 0.539], &[0.701, 0.708, 0.732, 0.725, 0.737]),
+    ("MLP", &[0.578, 0.576, 0.585, 0.610, 0.619], &[0.801, 0.802, 0.800, 0.804, 0.802]),
+    ("DeepJoin-DistilLite", &[0.588, 0.593, 0.612, 0.635, 0.655], &[0.813, 0.822, 0.825, 0.823, 0.827]),
+    ("DeepJoin-MPLite", &[0.614, 0.622, 0.641, 0.666, 0.678], &[0.821, 0.824, 0.830, 0.833, 0.833]),
+];
+
+/// Paper Table 4 (semantic τ=0.9, Webtable / Wikitable).
+const PAPER_T4_WEB: &[(&str, &[f64], &[f64])] = &[
+    ("LSH Ensemble", &[0.696, 0.670, 0.613, 0.554, 0.508], &[0.578, 0.599, 0.615, 0.618, 0.626]),
+    ("fastText", &[0.842, 0.917, 0.945, 0.957, 0.964], &[0.575, 0.588, 0.631, 0.647, 0.647]),
+    ("DeepJoin-DistilLite", &[0.861, 0.926, 0.951, 0.961, 0.966], &[0.610, 0.622, 0.641, 0.676, 0.671]),
+    ("DeepJoin-MPLite", &[0.874, 0.934, 0.954, 0.963, 0.970], &[0.640, 0.657, 0.664, 0.685, 0.680]),
+];
+const PAPER_T4_WIKI: &[(&str, &[f64], &[f64])] = &[
+    ("LSH Ensemble", &[0.578, 0.611, 0.581, 0.570, 0.567], &[0.633, 0.655, 0.660, 0.669, 0.678]),
+    ("fastText", &[0.543, 0.610, 0.645, 0.669, 0.721], &[0.353, 0.353, 0.358, 0.370, 0.371]),
+    ("DeepJoin-DistilLite", &[0.788, 0.835, 0.876, 0.880, 0.913], &[0.803, 0.807, 0.810, 0.826, 0.831]),
+    ("DeepJoin-MPLite", &[0.813, 0.881, 0.889, 0.889, 0.936], &[0.814, 0.820, 0.833, 0.842, 0.852]),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let join = args.get(1).map(String::as_str).unwrap_or("equi").to_string();
+    let tau: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let scale = Scale::from_env();
+
+    match join.as_str() {
+        "equi" => run_equi(scale),
+        "semantic" => run_semantic(scale, tau),
+        other => {
+            eprintln!("unknown join type '{other}' (use 'equi' or 'semantic <tau>')");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_equi(scale: Scale) {
+    println!("Table 3 reproduction — accuracy of equi-joins ({})", scale.label());
+    for profile in [CorpusProfile::Webtable, CorpusProfile::Wikitable] {
+        eprintln!("[{profile:?}] setting up…");
+        let bench = Bench::new(profile, scale, 0x7AB3);
+        let methods = MethodSet::equi_lineup(&bench);
+        eprintln!("[{profile:?}] evaluating…");
+        let rows = eval_equi(&bench, &methods.methods, &KS);
+        let paper = match profile {
+            CorpusProfile::Webtable => PAPER_T3_WEB,
+            CorpusProfile::Wikitable => PAPER_T3_WIKI,
+        };
+        print_accuracy_table(
+            &format!("Equi-joins, {profile:?} (paper Table 3)"),
+            &KS,
+            &rows,
+            paper,
+        );
+    }
+}
+
+fn run_semantic(scale: Scale, tau: f64) {
+    let table_no = match tau {
+        t if (t - 0.9).abs() < 1e-9 => 4,
+        t if (t - 0.8).abs() < 1e-9 => 5,
+        _ => 6,
+    };
+    println!(
+        "Table {table_no} reproduction — accuracy of semantic joins, tau={tau} ({})",
+        scale.label()
+    );
+    for profile in [CorpusProfile::Webtable, CorpusProfile::Wikitable] {
+        eprintln!("[{profile:?}] setting up…");
+        let bench = Bench::new(profile, scale, 0x7AB4);
+        let sem = SemanticEval::build(&bench);
+        let methods = MethodSet::semantic_lineup(&bench, tau, 0.3);
+        eprintln!("[{profile:?}] evaluating…");
+        let rows = eval_semantic(&bench, &sem, &methods.methods, tau, &KS);
+        let paper: &[(&str, &[f64], &[f64])] = if table_no == 4 {
+            match profile {
+                CorpusProfile::Webtable => PAPER_T4_WEB,
+                CorpusProfile::Wikitable => PAPER_T4_WIKI,
+            }
+        } else {
+            &[]
+        };
+        print_accuracy_table(
+            &format!("Semantic joins tau={tau}, {profile:?} (paper Table {table_no})"),
+            &KS,
+            &rows,
+            paper,
+        );
+    }
+}

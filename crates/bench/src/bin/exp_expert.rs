@@ -1,0 +1,116 @@
+//! Table 7: semantic-join accuracy judged by "experts" — here, the
+//! generator's ground-truth oracle (DESIGN.md §1) — with the pooled
+//! precision/recall/F1 protocol of Clarke & Willett.
+//!
+//! Methods: LSH Ensemble, fastText, PEXESO, DeepJoin-MPLite. The pool per
+//! query is the union of every method's retrieved top-k.
+//!
+//! Usage: `cargo run --release -p deepjoin-bench --bin exp_expert`
+
+use deepjoin::model::Variant;
+use deepjoin::text::TransformOption;
+use deepjoin_bench::eval::SemanticEval;
+use deepjoin_bench::methods::{deepjoin_method, fasttext_method, lsh_method, SearchFn};
+use deepjoin_bench::{Bench, JoinKind, Scale};
+use deepjoin_lake::corpus::CorpusProfile;
+use deepjoin_lake::Oracle;
+use deepjoin_metrics::{mean, PooledEval};
+
+const TAU: f64 = 0.9;
+const K: usize = 20;
+
+/// Paper Table 7 reference (precision, recall, F1).
+const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
+    // (method, webtable PRF, wikitable PRF)
+    ("LSH Ensemble", [0.181, 0.228, 0.202], [0.652, 0.385, 0.484]),
+    ("fastText", [0.138, 0.277, 0.183], [0.467, 0.380, 0.419]),
+    ("PEXESO", [0.212, 0.506, 0.300], [0.683, 0.492, 0.572]),
+    ("DeepJoin-MPLite", [0.350, 0.693, 0.465], [0.842, 0.568, 0.677]),
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 7 reproduction — expert-labeled semantic joins ({})", scale.label());
+    println!("(expert = ground-truth oracle over the generator's entity provenance)");
+
+    for (pi, profile) in [CorpusProfile::Webtable, CorpusProfile::Wikitable]
+        .into_iter()
+        .enumerate()
+    {
+        eprintln!("[{profile:?}] setting up…");
+        let bench = Bench::new(profile, scale, 0xE1DE);
+        let sem = SemanticEval::build(&bench);
+
+        // Methods. PEXESO is wrapped over the shared index.
+        let mut methods: Vec<SearchFn> = Vec::new();
+        methods.push(lsh_method(&bench));
+        methods.push(fasttext_method(&bench));
+        {
+            let pexeso = deepjoin_pexeso::PexesoIndex::build(
+                &sem.embedded.columns,
+                deepjoin_pexeso::PexesoConfig::default(),
+            );
+            let space = bench.space;
+            methods.push(SearchFn {
+                name: "PEXESO".into(),
+                search: Box::new(move |q, k| {
+                    let qv = space.embed_column(q);
+                    pexeso.search(&qv, TAU, k).into_iter().map(|s| s.id).collect()
+                }),
+            });
+        }
+        eprintln!("  training DeepJoin (MPLite, semantic)…");
+        methods.push(deepjoin_method(
+            bench.train_deepjoin(
+                Variant::MpLite,
+                JoinKind::Semantic(TAU),
+                TransformOption::TitleColnameStatCol,
+                0.3,
+            ),
+            "DeepJoin-MPLite",
+        ));
+
+        // Pooled evaluation per query, averaged.
+        let oracle = Oracle::default();
+        let mut prf: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+            vec![(Vec::new(), Vec::new(), Vec::new()); methods.len()];
+        for (q, qprov) in &bench.queries {
+            let retrieved: Vec<Vec<deepjoin_lake::ColumnId>> =
+                methods.iter().map(|m| (m.search)(q, K)).collect();
+            let mut pool = PooledEval::new();
+            for r in &retrieved {
+                let ids: Vec<u32> = r.iter().map(|id| id.0).collect();
+                pool.add_retrieved(&ids);
+            }
+            let judge = |id: u32| oracle.is_joinable(qprov, &bench.provenance[id as usize]);
+            for (mi, r) in retrieved.iter().enumerate() {
+                let ids: Vec<u32> = r.iter().map(|id| id.0).collect();
+                let res = pool.score(&ids, judge);
+                prf[mi].0.push(res.precision);
+                prf[mi].1.push(res.recall);
+                prf[mi].2.push(res.f1);
+            }
+        }
+
+        println!(
+            "\n=== Expert-labeled semantic joins, {profile:?} (paper Table 7, k={K}) ==="
+        );
+        println!("{:<22} {:>10} {:>10} {:>10}", "Method", "Precision", "Recall", "F1");
+        for (mi, m) in methods.iter().enumerate() {
+            println!(
+                "{:<22} {:>10.3} {:>10.3} {:>10.3}",
+                m.name,
+                mean(&prf[mi].0),
+                mean(&prf[mi].1),
+                mean(&prf[mi].2)
+            );
+            if let Some((_, web, wiki)) = PAPER.iter().find(|(n, _, _)| *n == m.name) {
+                let p = if pi == 0 { web } else { wiki };
+                println!(
+                    "{:<22} {:>10.3} {:>10.3} {:>10.3}",
+                    "  (paper)", p[0], p[1], p[2]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Table 13: query processing time versus repository size |𝒳|.
+//!
+//! Methods: LSH Ensemble, JOSIE, fastText, DeepJoin (CPU), DeepJoin
+//! ("GPU" = multi-threaded encoder stand-in, DESIGN.md §1) for equi-joins;
+//! PEXESO and DeepJoin for semantic joins. Sizes are prefixes of the full
+//! test repository; sweep sizes scale with `DJ_SCALE`.
+//!
+//! Usage: `cargo run --release -p deepjoin-bench --bin exp_scalability`
+
+use deepjoin::batch::encode_queries_parallel;
+use deepjoin::baselines::{EmbeddingRetriever, FastTextEmbedder};
+use deepjoin::model::Variant;
+use deepjoin::text::TransformOption;
+use deepjoin_bench::table::print_timing_table;
+use deepjoin_bench::timing::{time_batch_per_query, time_per_query};
+use deepjoin_bench::{Bench, JoinKind, Scale};
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_josie::JosieIndex;
+use deepjoin_lake::column::Column;
+use deepjoin_lake::corpus::CorpusProfile;
+use deepjoin_lake::repository::Repository;
+use deepjoin_lshensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
+
+const K: usize = 10;
+const TAU: f64 = 0.9;
+const THREADS: usize = 8;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = (1..=5)
+        .map(|i| scale.test_cols * i / 5)
+        .collect();
+    println!(
+        "Table 13 reproduction — processing time per query vs |X|, k={K} ({})",
+        scale.label()
+    );
+
+    let bench = Bench::new(CorpusProfile::Webtable, scale, 0x5CA1E);
+    let queries: Vec<Column> = bench.queries.iter().map(|(q, _)| q.clone()).collect();
+
+    eprintln!("training DeepJoin (MPLite, equi)…");
+    let mut dj_equi = bench.train_deepjoin(
+        Variant::MpLite,
+        JoinKind::Equi,
+        TransformOption::TitleColnameStatCol,
+        0.2,
+    );
+    eprintln!("training DeepJoin (MPLite, semantic)…");
+    let mut dj_sem = bench.train_deepjoin(
+        Variant::MpLite,
+        JoinKind::Semantic(TAU),
+        TransformOption::TitleColnameStatCol,
+        0.3,
+    );
+
+    let header: Vec<String> = sizes.iter().map(|s| format!("{s}")).collect();
+    let mut equi_rows: Vec<(String, Vec<f64>)> = vec![
+        ("LSH Ensemble".into(), Vec::new()),
+        ("JOSIE".into(), Vec::new()),
+        ("fastText".into(), Vec::new()),
+        ("DeepJoin (CPU)".into(), Vec::new()),
+        ("DeepJoin (GPU*)".into(), Vec::new()),
+    ];
+    let mut sem_rows: Vec<(String, Vec<f64>)> = vec![
+        ("PEXESO".into(), Vec::new()),
+        ("DeepJoin (CPU)".into(), Vec::new()),
+        ("DeepJoin (GPU*)".into(), Vec::new()),
+    ];
+    let mut encode_ms_cpu = 0.0;
+    let mut encode_ms_gpu = 0.0;
+
+    for &size in &sizes {
+        eprintln!("[|X| = {size}] building indexes…");
+        let sub = Repository::from_columns(
+            bench.repo.columns().iter().take(size).cloned(),
+        );
+
+        // --- Equi methods ---
+        let lsh = LshEnsembleIndex::build(
+            &sub,
+            LshEnsembleConfig {
+                num_perm: 32,
+                ..Default::default()
+            },
+        );
+        equi_rows[0].1.push(time_per_query(&queries, |q| {
+            std::hint::black_box(lsh.search(q, K));
+        }));
+
+        let josie = JosieIndex::build(&sub);
+        equi_rows[1].1.push(time_per_query(&queries, |q| {
+            std::hint::black_box(josie.search(q, K));
+        }));
+
+        let ft = EmbeddingRetriever::build(
+            FastTextEmbedder {
+                ngram: NgramEmbedder::new(NgramConfig {
+                    dim: bench.scale.dim,
+                    ..NgramConfig::default()
+                }),
+                textizer: deepjoin::text::Textizer::new(
+                    TransformOption::TitleColnameStatCol,
+                    48,
+                ),
+            },
+            &sub,
+            Default::default(),
+        );
+        equi_rows[2].1.push(time_per_query(&queries, |q| {
+            std::hint::black_box(ft.search(q, K));
+        }));
+
+        dj_equi.index_repository(&sub);
+        encode_ms_cpu = time_per_query(&queries, |q| {
+            std::hint::black_box(dj_equi.embed_column(q));
+        });
+        equi_rows[3].1.push(time_per_query(&queries, |q| {
+            std::hint::black_box(dj_equi.search(q, K));
+        }));
+        // GPU stand-in: amortized parallel batch encoding + per-query ANNS.
+        let embs = encode_queries_parallel(&dj_equi, &queries, THREADS);
+        encode_ms_gpu = time_batch_per_query(queries.len(), || {
+            std::hint::black_box(encode_queries_parallel(&dj_equi, &queries, THREADS));
+        });
+        let anns_ms = time_per_query(&queries, |_| {}) // negligible loop cost
+            + {
+                let start = std::time::Instant::now();
+                for e in &embs {
+                    std::hint::black_box(dj_equi.search_embedded(e, K));
+                }
+                start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+            };
+        equi_rows[4].1.push(encode_ms_gpu + anns_ms);
+
+        // --- Semantic methods ---
+        let embedded: Vec<_> = sub
+            .columns()
+            .iter()
+            .map(|c| bench.space.embed_column(c))
+            .collect();
+        let pexeso = PexesoIndex::build(&embedded, PexesoConfig::default());
+        sem_rows[0].1.push(time_per_query(&queries, |q| {
+            let qv = bench.space.embed_column(q);
+            std::hint::black_box(pexeso.search(&qv, TAU, K));
+        }));
+
+        dj_sem.index_repository(&sub);
+        sem_rows[1].1.push(time_per_query(&queries, |q| {
+            std::hint::black_box(dj_sem.search(q, K));
+        }));
+        let embs = encode_queries_parallel(&dj_sem, &queries, THREADS);
+        let gpu_enc = time_batch_per_query(queries.len(), || {
+            std::hint::black_box(encode_queries_parallel(&dj_sem, &queries, THREADS));
+        });
+        let anns = {
+            let start = std::time::Instant::now();
+            for e in &embs {
+                std::hint::black_box(dj_sem.search_embedded(e, K));
+            }
+            start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+        };
+        sem_rows[2].1.push(gpu_enc + anns);
+    }
+
+    println!(
+        "\nDeepJoin query encoding: {:.2} ms (CPU single-thread), {:.2} ms (parallel x{THREADS}, GPU stand-in)",
+        encode_ms_cpu, encode_ms_gpu
+    );
+    print_timing_table("Webtable, equi-joins — total ms/query", &header, &equi_rows);
+    print_timing_table("Webtable, semantic joins — total ms/query", &header, &sem_rows);
+
+    println!("\nPaper (Table 13, 1M-5M cols): JOSIE 506→1103 ms, LSH Ensemble 508→785 ms,");
+    println!("fastText ~10 ms, DeepJoin CPU ~68-74 ms (flat in |X|), DeepJoin GPU ~8-11 ms;");
+    println!("PEXESO 2566→4590 ms. Expected shape: exact methods grow ~linearly with |X|,");
+    println!("embedding methods are dominated by constant encoding and grow only slightly.");
+}

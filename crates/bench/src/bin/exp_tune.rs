@@ -1,0 +1,93 @@
+//! Internal calibration harness (not a paper table): trains one DeepJoin
+//! configuration and reports semantic-join accuracy + Table 7-style oracle
+//! F1 against PEXESO and fastText, so hyperparameters can be swept quickly.
+//!
+//! Usage: `DJ_EPOCHS=12 DJ_LR=0.005 cargo run --release -p deepjoin-bench --bin exp_tune`
+
+use deepjoin::model::Variant;
+use deepjoin::text::TransformOption;
+use deepjoin_bench::eval::{eval_semantic, SemanticEval};
+use deepjoin_bench::methods::{deepjoin_method, fasttext_method, SearchFn};
+use deepjoin_bench::{Bench, JoinKind, Scale};
+use deepjoin_lake::corpus::CorpusProfile;
+use deepjoin_lake::Oracle;
+use deepjoin_metrics::{mean, PooledEval};
+
+const TAU: f64 = 0.9;
+const K: usize = 20;
+
+fn env_f64(k: &str, d: f64) -> f64 {
+    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+}
+fn env_usize(k: &str, d: usize) -> usize {
+    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    scale.epochs = env_usize("DJ_EPOCHS", scale.epochs);
+    scale.max_pairs = env_usize("DJ_MAX_PAIRS", scale.max_pairs);
+    let lr = env_f64("DJ_LR", 5e-3) as f32;
+    let shuffle = env_f64("DJ_SHUFFLE", 0.3);
+
+    let bench = Bench::new(CorpusProfile::Webtable, scale, 0xE1DE);
+    let sem = SemanticEval::build(&bench);
+
+    // DeepJoin with overridden optimizer settings.
+    let mut cfg = bench.deepjoin_config(Variant::MpLite, TransformOption::TitleColnameStatCol, shuffle);
+    cfg.fine_tune.epochs = scale.epochs;
+    cfg.fine_tune.adam.lr = lr;
+    let (mut model, report) =
+        deepjoin::model::DeepJoin::train(&bench.train_repo, JoinKind::Semantic(TAU).to_join_type(), cfg);
+    eprintln!(
+        "positives={} pairs={} losses={:?}",
+        report.num_positives, report.num_pairs, report.epoch_losses
+    );
+    model.index_repository(&bench.repo);
+    let dj = deepjoin_method(model, "DeepJoin-MPLite");
+    let ft = fasttext_method(&bench);
+
+    // PEXESO method.
+    let pexeso = deepjoin_pexeso::PexesoIndex::build(
+        &sem.embedded.columns,
+        deepjoin_pexeso::PexesoConfig::default(),
+    );
+    let space = bench.space;
+    let px = SearchFn {
+        name: "PEXESO".into(),
+        search: Box::new(move |q, k| {
+            let qv = space.embed_column(q);
+            pexeso.search(&qv, TAU, k).into_iter().map(|s| s.id).collect()
+        }),
+    };
+
+    let methods = vec![ft, px, dj];
+
+    // Semantic accuracy (PEXESO-labeled).
+    let rows = eval_semantic(&bench, &sem, &methods, TAU, &[10, 50]);
+    for r in &rows {
+        println!("{:<18} P@10={:.3} P@50={:.3} N@10={:.3} N@50={:.3}",
+            r.name, r.precision[0], r.precision[1], r.ndcg[0], r.ndcg[1]);
+    }
+
+    // Oracle F1 (Table 7 protocol).
+    let oracle = Oracle::default();
+    let mut f1s = vec![Vec::new(); methods.len()];
+    for (q, qprov) in &bench.queries {
+        let retrieved: Vec<Vec<deepjoin_lake::ColumnId>> =
+            methods.iter().map(|m| (m.search)(q, K)).collect();
+        let mut pool = PooledEval::new();
+        for r in &retrieved {
+            let ids: Vec<u32> = r.iter().map(|id| id.0).collect();
+            pool.add_retrieved(&ids);
+        }
+        let judge = |id: u32| oracle.is_joinable(qprov, &bench.provenance[id as usize]);
+        for (mi, r) in retrieved.iter().enumerate() {
+            let ids: Vec<u32> = r.iter().map(|id| id.0).collect();
+            f1s[mi].push(pool.score(&ids, judge).f1);
+        }
+    }
+    for (m, f1) in methods.iter().zip(&f1s) {
+        println!("{:<18} oracle-F1={:.3}", m.name, mean(f1));
+    }
+}

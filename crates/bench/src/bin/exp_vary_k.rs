@@ -1,0 +1,126 @@
+//! Table 14: query processing time versus k (both profiles, both join
+//! types), on the full-size test repository.
+//!
+//! Usage: `cargo run --release -p deepjoin-bench --bin exp_vary_k`
+
+use deepjoin::baselines::{EmbeddingRetriever, FastTextEmbedder};
+use deepjoin::model::Variant;
+use deepjoin::text::TransformOption;
+use deepjoin_bench::table::print_timing_table;
+use deepjoin_bench::timing::time_per_query;
+use deepjoin_bench::{Bench, JoinKind, Scale};
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_josie::JosieIndex;
+use deepjoin_lake::column::Column;
+use deepjoin_lake::corpus::CorpusProfile;
+use deepjoin_lshensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
+
+const KS: [usize; 5] = [10, 20, 30, 40, 50];
+const TAU: f64 = 0.9;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Table 14 reproduction — processing time per query vs k ({})",
+        scale.label()
+    );
+    let header: Vec<String> = KS.iter().map(|k| format!("k={k}")).collect();
+
+    for profile in [CorpusProfile::Webtable, CorpusProfile::Wikitable] {
+        eprintln!("[{profile:?}] setting up…");
+        let bench = Bench::new(profile, scale, 0xFA57);
+        let queries: Vec<Column> = bench.queries.iter().map(|(q, _)| q.clone()).collect();
+
+        eprintln!("  building equi indexes…");
+        let lsh = LshEnsembleIndex::build(
+            &bench.repo,
+            LshEnsembleConfig {
+                num_perm: 32,
+                ..Default::default()
+            },
+        );
+        let josie = JosieIndex::build(&bench.repo);
+        let ft = EmbeddingRetriever::build(
+            FastTextEmbedder {
+                ngram: NgramEmbedder::new(NgramConfig {
+                    dim: bench.scale.dim,
+                    ..NgramConfig::default()
+                }),
+                textizer: deepjoin::text::Textizer::new(TransformOption::TitleColnameStatCol, 48),
+            },
+            &bench.repo,
+            Default::default(),
+        );
+        eprintln!("  training DeepJoin (equi)…");
+        let dj = bench.train_deepjoin(
+            Variant::MpLite,
+            JoinKind::Equi,
+            TransformOption::TitleColnameStatCol,
+            0.2,
+        );
+
+        let mut rows: Vec<(String, Vec<f64>)> = vec![
+            ("LSH Ensemble".into(), Vec::new()),
+            ("JOSIE".into(), Vec::new()),
+            ("fastText".into(), Vec::new()),
+            ("DeepJoin (CPU)".into(), Vec::new()),
+        ];
+        for &k in &KS {
+            rows[0].1.push(time_per_query(&queries, |q| {
+                std::hint::black_box(lsh.search(q, k));
+            }));
+            rows[1].1.push(time_per_query(&queries, |q| {
+                std::hint::black_box(josie.search(q, k));
+            }));
+            rows[2].1.push(time_per_query(&queries, |q| {
+                std::hint::black_box(ft.search(q, k));
+            }));
+            rows[3].1.push(time_per_query(&queries, |q| {
+                std::hint::black_box(dj.search(q, k));
+            }));
+        }
+        print_timing_table(
+            &format!("{profile:?}, equi-joins — total ms/query"),
+            &header,
+            &rows,
+        );
+
+        eprintln!("  building semantic indexes…");
+        let embedded: Vec<_> = bench
+            .repo
+            .columns()
+            .iter()
+            .map(|c| bench.space.embed_column(c))
+            .collect();
+        let pexeso = PexesoIndex::build(&embedded, PexesoConfig::default());
+        eprintln!("  training DeepJoin (semantic)…");
+        let dj_sem = bench.train_deepjoin(
+            Variant::MpLite,
+            JoinKind::Semantic(TAU),
+            TransformOption::TitleColnameStatCol,
+            0.3,
+        );
+        let mut rows: Vec<(String, Vec<f64>)> = vec![
+            ("PEXESO".into(), Vec::new()),
+            ("DeepJoin (CPU)".into(), Vec::new()),
+        ];
+        for &k in &KS {
+            rows[0].1.push(time_per_query(&queries, |q| {
+                let qv = bench.space.embed_column(q);
+                std::hint::black_box(pexeso.search(&qv, TAU, k));
+            }));
+            rows[1].1.push(time_per_query(&queries, |q| {
+                std::hint::black_box(dj_sem.search(q, k));
+            }));
+        }
+        print_timing_table(
+            &format!("{profile:?}, semantic joins — total ms/query"),
+            &header,
+            &rows,
+        );
+    }
+
+    println!("\nPaper (Table 14): DeepJoin's time is nearly flat in k (encoding dominates);");
+    println!("exact methods' time grows mildly; the speedup over them widens with k.");
+}

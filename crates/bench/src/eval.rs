@@ -1,0 +1,194 @@
+//! Accuracy evaluation: precision@k and NDCG@k against the exact answer
+//! (paper §5.1, "Metrics").
+
+use deepjoin_embed::cell_space::{CellSpace, ColumnVectors, EmbeddedRepository};
+use deepjoin_josie::JosieIndex;
+use deepjoin_lake::column::ColumnId;
+use deepjoin_metrics::{mean, ndcg_at_k, precision_at_k};
+use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
+
+use crate::methods::SearchFn;
+use crate::setup::Bench;
+
+/// The k values the paper sweeps.
+pub const KS: [usize; 5] = [10, 20, 30, 40, 50];
+
+/// Type alias for the k sweep.
+pub type Ks = [usize; 5];
+
+/// One method's accuracy row: precision@k and NDCG@k for each k in [`KS`].
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Method name.
+    pub name: String,
+    /// precision@k per k.
+    pub precision: Vec<f64>,
+    /// NDCG@k per k.
+    pub ndcg: Vec<f64>,
+}
+
+/// Evaluate `methods` on equi-joins: exact answers come from JOSIE, NDCG
+/// gains are true equi-joinability values.
+pub fn eval_equi(bench: &Bench, methods: &[SearchFn], ks: &[usize]) -> Vec<AccuracyRow> {
+    let max_k = ks.iter().copied().max().unwrap_or(10);
+    eprintln!("  building JOSIE (exact reference)…");
+    let josie = JosieIndex::build(&bench.repo);
+
+    // Per query: exact top-k ids and their joinability scores.
+    let exact: Vec<(Vec<ColumnId>, Vec<f64>)> = bench
+        .queries
+        .iter()
+        .map(|(q, _)| {
+            let hits = josie.search(q, max_k);
+            (
+                hits.iter().map(|s| s.id).collect(),
+                hits.iter().map(|s| s.score).collect(),
+            )
+        })
+        .collect();
+
+    methods
+        .iter()
+        .map(|m| {
+            let mut precision = vec![Vec::new(); ks.len()];
+            let mut ndcg = vec![Vec::new(); ks.len()];
+            for ((q, _), (exact_ids, exact_scores)) in bench.queries.iter().zip(&exact) {
+                let got = (m.search)(q, max_k);
+                let got_scores: Vec<f64> = got
+                    .iter()
+                    .map(|&id| deepjoin_lake::equi_joinability(q, bench.repo.column(id)))
+                    .collect();
+                for (ki, &k) in ks.iter().enumerate() {
+                    precision[ki].push(precision_at_k(&got, exact_ids, k));
+                    ndcg[ki].push(ndcg_at_k(&got_scores, exact_scores, k));
+                }
+            }
+            AccuracyRow {
+                name: m.name.clone(),
+                precision: precision.iter().map(|v| mean(v)).collect(),
+                ndcg: ndcg.iter().map(|v| mean(v)).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Pre-embedded semantic evaluation state (PEXESO is the exact reference,
+/// Definition 2.3 the gain function).
+pub struct SemanticEval {
+    /// Embedded repository (for joinability gains).
+    pub embedded: EmbeddedRepository,
+    /// PEXESO index over it.
+    pub pexeso: PexesoIndex,
+    /// Embedded queries, parallel to `bench.queries`.
+    pub query_vecs: Vec<ColumnVectors>,
+}
+
+impl SemanticEval {
+    /// Embed the repository and queries and build PEXESO.
+    pub fn build(bench: &Bench) -> Self {
+        eprintln!("  embedding repository into 𝒱 + building PEXESO…");
+        let embedded = EmbeddedRepository::build(&bench.space, &bench.repo);
+        let pexeso = PexesoIndex::build(&embedded.columns, PexesoConfig::default());
+        let query_vecs = bench
+            .queries
+            .iter()
+            .map(|(q, _)| bench.space.embed_column(q))
+            .collect();
+        Self {
+            embedded,
+            pexeso,
+            query_vecs,
+        }
+    }
+}
+
+/// Evaluate `methods` on semantic joins at threshold `tau`.
+pub fn eval_semantic(
+    bench: &Bench,
+    sem: &SemanticEval,
+    methods: &[SearchFn],
+    tau: f64,
+    ks: &[usize],
+) -> Vec<AccuracyRow> {
+    let max_k = ks.iter().copied().max().unwrap_or(10);
+
+    let exact: Vec<(Vec<ColumnId>, Vec<f64>)> = sem
+        .query_vecs
+        .iter()
+        .map(|qv| {
+            let hits = sem.pexeso.search(qv, tau, max_k);
+            (
+                hits.iter().map(|s| s.id).collect(),
+                hits.iter().map(|s| s.score).collect(),
+            )
+        })
+        .collect();
+
+    methods
+        .iter()
+        .map(|m| {
+            let mut precision = vec![Vec::new(); ks.len()];
+            let mut ndcg = vec![Vec::new(); ks.len()];
+            for (((q, _), qv), (exact_ids, exact_scores)) in
+                bench.queries.iter().zip(&sem.query_vecs).zip(&exact)
+            {
+                let got = (m.search)(q, max_k);
+                let got_scores: Vec<f64> = got
+                    .iter()
+                    .map(|&id| {
+                        CellSpace::semantic_joinability(
+                            qv,
+                            &sem.embedded.columns[id.index()],
+                            tau,
+                        )
+                    })
+                    .collect();
+                for (ki, &k) in ks.iter().enumerate() {
+                    precision[ki].push(precision_at_k(&got, exact_ids, k));
+                    ndcg[ki].push(ndcg_at_k(&got_scores, exact_scores, k));
+                }
+            }
+            AccuracyRow {
+                name: m.name.clone(),
+                precision: precision.iter().map(|v| mean(v)).collect(),
+                ndcg: ndcg.iter().map(|v| mean(v)).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::fasttext_method;
+    use crate::scale::Scale;
+    use deepjoin_lake::corpus::CorpusProfile;
+
+    #[test]
+    fn equi_eval_produces_rows() {
+        let bench = Bench::new(CorpusProfile::Webtable, Scale::smoke(), 9);
+        let methods = vec![fasttext_method(&bench)];
+        let rows = eval_equi(&bench, &methods, &[5, 10]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].precision.len(), 2);
+        for (&p, &n) in rows[0].precision.iter().zip(&rows[0].ndcg) {
+            assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&n));
+        }
+    }
+
+    #[test]
+    fn exact_method_scores_perfectly_on_equi() {
+        // JOSIE evaluated against itself must give precision 1 and NDCG 1.
+        let bench = Bench::new(CorpusProfile::Webtable, Scale::smoke(), 10);
+        let josie = deepjoin_josie::JosieIndex::build(&bench.repo);
+        let m = SearchFn {
+            name: "JOSIE".into(),
+            search: Box::new(move |q, k| josie.search(q, k).into_iter().map(|s| s.id).collect()),
+        };
+        let rows = eval_equi(&bench, &[m], &[10]);
+        assert!(rows[0].ndcg[0] > 0.999, "ndcg {}", rows[0].ndcg[0]);
+        // Precision can dip below 1 only through ties; allow slack for that.
+        assert!(rows[0].precision[0] > 0.8, "prec {}", rows[0].precision[0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # deepjoin-bench
+//!
+//! The experiment harness reproducing every table of the DeepJoin
+//! evaluation (paper §5). Each `exp_*` binary regenerates one table; this
+//! library holds the shared machinery: corpus setup, method construction,
+//! accuracy evaluation and table printing. `EXPERIMENTS.md` records
+//! paper-vs-measured for every run.
+//!
+//! Scales are reduced relative to the paper (DESIGN.md §7) and controlled by
+//! the `DJ_SCALE` environment variable: `smoke` (seconds, CI), `small`
+//! (default, minutes), `full` (tens of minutes).
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod methods;
+pub mod scale;
+pub mod setup;
+pub mod table;
+pub mod timing;
+
+pub use eval::{eval_equi, eval_semantic, AccuracyRow, Ks};
+pub use methods::{MethodSet, SearchFn};
+pub use scale::Scale;
+pub use setup::{Bench, JoinKind};

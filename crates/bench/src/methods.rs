@@ -1,0 +1,327 @@
+//! Uniform construction of every compared method (§5.1 "Methods").
+
+use deepjoin::baselines::{
+    ColumnEmbedder, EmbeddingRetriever, FastTextEmbedder, MlpEmbedder, SgnsAvgEmbedder,
+};
+use deepjoin::model::{DeepJoin, Variant};
+use deepjoin::text::{TransformOption, Textizer};
+use deepjoin::train::JoinType;
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_embed::sgns::{train_sgns, SgnsConfig};
+use deepjoin_lake::column::{Column, ColumnId};
+use deepjoin_lake::tokenizer::Vocabulary;
+use deepjoin_lshensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use deepjoin_nn::mlp::{MlpConfig, MlpRegressor};
+
+use crate::setup::{Bench, JoinKind};
+
+/// A method under test: name + top-k search function returning column ids.
+pub struct SearchFn {
+    /// Display name (matches the paper's tables).
+    pub name: String,
+    /// `(query, k) -> top-k column ids` in rank order.
+    pub search: Box<dyn Fn(&Column, usize) -> Vec<ColumnId>>,
+}
+
+impl SearchFn {
+    fn new<F: Fn(&Column, usize) -> Vec<ColumnId> + 'static>(name: &str, f: F) -> Self {
+        Self {
+            name: name.to_string(),
+            search: Box::new(f),
+        }
+    }
+}
+
+/// The set of methods compared in an accuracy experiment.
+pub struct MethodSet {
+    /// Methods in table order.
+    pub methods: Vec<SearchFn>,
+}
+
+/// The contextualizer all embedding baselines share (the paper gives every
+/// embedding method the same scheme as DeepJoin).
+fn baseline_textizer(bench: &Bench) -> Textizer {
+    let freq = deepjoin::text::CellFrequencies::build(&bench.train_repo);
+    Textizer::new(TransformOption::TitleColnameStatCol, 48).with_frequencies(freq)
+}
+
+fn ngram(bench: &Bench) -> NgramEmbedder {
+    NgramEmbedder::new(NgramConfig {
+        dim: bench.scale.dim,
+        ..NgramConfig::default()
+    })
+}
+
+/// Build the `fastText` baseline retriever.
+pub fn fasttext_method(bench: &Bench) -> SearchFn {
+    let retr = EmbeddingRetriever::build(
+        FastTextEmbedder {
+            ngram: ngram(bench),
+            textizer: baseline_textizer(bench),
+        },
+        &bench.repo,
+        Default::default(),
+    );
+    SearchFn::new("fastText", move |q, k| {
+        retr.search(q, k).into_iter().map(|s| s.id).collect()
+    })
+}
+
+/// Build an un-fine-tuned SGNS-average baseline. `label` selects the
+/// pre-training recipe: "BERT" (window 4), "MPNet" (window 6, more epochs),
+/// "TaBERT" (pre-trained on table context only — the QA-flavoured objective
+/// that misaligns with join discovery).
+pub fn sgns_avg_method(bench: &Bench, label: &str) -> SearchFn {
+    let textizer = baseline_textizer(bench);
+    let (texts, cfg): (Vec<String>, SgnsConfig) = match label {
+        "TaBERT" => (
+            bench
+                .train_repo
+                .columns()
+                .iter()
+                .map(|c| format!("{} {}", c.meta.table_title, c.meta.table_context))
+                .collect(),
+            SgnsConfig {
+                dim: bench.scale.dim,
+                window: 4,
+                epochs: bench.scale.sgns_epochs,
+                ..SgnsConfig::default()
+            },
+        ),
+        "MPNet" => (
+            bench
+                .train_repo
+                .columns()
+                .iter()
+                .map(|c| textizer.transform(c))
+                .collect(),
+            SgnsConfig {
+                dim: bench.scale.dim,
+                window: 6,
+                epochs: bench.scale.sgns_epochs + 1,
+                seed: 0x3315,
+                ..SgnsConfig::default()
+            },
+        ),
+        _ => (
+            bench
+                .train_repo
+                .columns()
+                .iter()
+                .map(|c| textizer.transform(c))
+                .collect(),
+            SgnsConfig {
+                dim: bench.scale.dim,
+                window: 4,
+                epochs: bench.scale.sgns_epochs,
+                ..SgnsConfig::default()
+            },
+        ),
+    };
+    let vocab = Vocabulary::build(texts.iter().map(String::as_str), 1);
+    let sentences: Vec<Vec<_>> = texts.iter().map(|t| vocab.encode(t)).collect();
+    let embeddings = train_sgns(&vocab, &sentences, cfg);
+    let retr = EmbeddingRetriever::build(
+        SgnsAvgEmbedder {
+            embeddings,
+            vocab,
+            textizer,
+            label: label.to_string(),
+        },
+        &bench.repo,
+        Default::default(),
+    );
+    let name = label.to_string();
+    SearchFn::new(&name, move |q, k| {
+        retr.search(q, k).into_iter().map(|s| s.id).collect()
+    })
+}
+
+/// Build the MLP regression baseline: trained on self-join positives (with
+/// their joinability) plus random negatives, over fastText features.
+pub fn mlp_method(bench: &Bench, kind: JoinKind) -> SearchFn {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let features = FastTextEmbedder {
+        ngram: ngram(bench),
+        textizer: baseline_textizer(bench),
+    };
+    // Labeled pairs from the training repository self-join.
+    let data_cfg = deepjoin::train::TrainDataConfig {
+        max_pairs: bench.scale.max_pairs,
+        ..Default::default()
+    };
+    let positives = deepjoin::train::self_join_positives(
+        &bench.train_repo,
+        match kind {
+            JoinKind::Equi => JoinType::Equi,
+            JoinKind::Semantic(tau) => JoinType::Semantic { tau },
+        },
+        &bench.space,
+        &data_cfg,
+    );
+    let mut rng = StdRng::seed_from_u64(0x31A9);
+    let n_train = bench.train_repo.len() as u32;
+    let mut examples = Vec::new();
+    for &(x, y, jn) in positives.iter().take(bench.scale.max_pairs / 2) {
+        let fx = features.embed(bench.train_repo.column(x));
+        let fy = features.embed(bench.train_repo.column(y));
+        examples.push((fx, fy, jn as f32));
+    }
+    // Random pairs as (mostly zero-joinability) negatives.
+    let negatives = examples.len();
+    for _ in 0..negatives {
+        let a = ColumnId(rng.gen_range(0..n_train));
+        let b = ColumnId(rng.gen_range(0..n_train));
+        let jn = deepjoin_lake::equi_joinability(
+            bench.train_repo.column(a),
+            bench.train_repo.column(b),
+        );
+        examples.push((
+            features.embed(bench.train_repo.column(a)),
+            features.embed(bench.train_repo.column(b)),
+            jn as f32,
+        ));
+    }
+    let mut mlp = MlpRegressor::new(MlpConfig {
+        in_dim: bench.scale.dim,
+        hidden: bench.scale.dim,
+        out_dim: bench.scale.dim,
+        epochs: 5,
+        ..MlpConfig::default()
+    });
+    if !examples.is_empty() {
+        mlp.train(&examples);
+    }
+    let retr = EmbeddingRetriever::build(
+        MlpEmbedder {
+            features,
+            mlp: std::cell::RefCell::new(mlp),
+            out_dim: bench.scale.dim,
+        },
+        &bench.repo,
+        Default::default(),
+    );
+    SearchFn::new("MLP", move |q, k| {
+        retr.search(q, k).into_iter().map(|s| s.id).collect()
+    })
+}
+
+/// Build the LSH Ensemble baseline.
+///
+/// `num_perm` is reduced from the library default (128) to 32: at the
+/// paper's 1M-column scale the top-k is decided by containment gaps smaller
+/// than the 128-perm estimator noise, which is what makes LSH Ensemble
+/// mediocre there. At our reduced repository sizes the same noise-to-gap
+/// ratio needs a smaller sketch (calibrated substitution, DESIGN.md §1).
+pub fn lsh_method(bench: &Bench) -> SearchFn {
+    let idx = LshEnsembleIndex::build(
+        &bench.repo,
+        LshEnsembleConfig {
+            num_perm: 32,
+            ..Default::default()
+        },
+    );
+    SearchFn::new("LSH Ensemble", move |q, k| {
+        idx.search(q, k).into_iter().map(|s| s.id).collect()
+    })
+}
+
+/// Wrap a trained DeepJoin model as a method.
+pub fn deepjoin_method(model: DeepJoin, name: &str) -> SearchFn {
+    SearchFn::new(name, move |q, k| {
+        model.search(q, k).into_iter().map(|s| s.id).collect()
+    })
+}
+
+impl MethodSet {
+    /// The full equi-join line-up of Table 3.
+    pub fn equi_lineup(bench: &Bench) -> Self {
+        eprintln!("  building LSH Ensemble…");
+        let lsh = lsh_method(bench);
+        eprintln!("  building fastText…");
+        let ft = fasttext_method(bench);
+        eprintln!("  building BERT (no fine-tuning)…");
+        let bert = sgns_avg_method(bench, "BERT");
+        eprintln!("  building MPNet (no fine-tuning)…");
+        let mpnet = sgns_avg_method(bench, "MPNet");
+        eprintln!("  building TaBERT-like…");
+        let tabert = sgns_avg_method(bench, "TaBERT");
+        eprintln!("  building MLP…");
+        let mlp = mlp_method(bench, JoinKind::Equi);
+        eprintln!("  training DeepJoin (DistilLite)…");
+        let dj_d = deepjoin_method(
+            bench.train_deepjoin(
+                Variant::DistilLite,
+                JoinKind::Equi,
+                TransformOption::TitleColnameStatCol,
+                0.2,
+            ),
+            "DeepJoin-DistilLite",
+        );
+        eprintln!("  training DeepJoin (MPLite)…");
+        let dj_m = deepjoin_method(
+            bench.train_deepjoin(
+                Variant::MpLite,
+                JoinKind::Equi,
+                TransformOption::TitleColnameStatCol,
+                0.2,
+            ),
+            "DeepJoin-MPLite",
+        );
+        Self {
+            methods: vec![lsh, ft, bert, mpnet, tabert, mlp, dj_d, dj_m],
+        }
+    }
+
+    /// The semantic-join line-up of Tables 4-6 (LSH Ensemble, fastText, the
+    /// two DeepJoin variants).
+    pub fn semantic_lineup(bench: &Bench, tau: f64, shuffle_rate: f64) -> Self {
+        eprintln!("  building LSH Ensemble…");
+        let lsh = lsh_method(bench);
+        eprintln!("  building fastText…");
+        let ft = fasttext_method(bench);
+        eprintln!("  training DeepJoin (DistilLite)…");
+        let dj_d = deepjoin_method(
+            bench.train_deepjoin(
+                Variant::DistilLite,
+                JoinKind::Semantic(tau),
+                TransformOption::TitleColnameStatCol,
+                shuffle_rate,
+            ),
+            "DeepJoin-DistilLite",
+        );
+        eprintln!("  training DeepJoin (MPLite)…");
+        let dj_m = deepjoin_method(
+            bench.train_deepjoin(
+                Variant::MpLite,
+                JoinKind::Semantic(tau),
+                TransformOption::TitleColnameStatCol,
+                shuffle_rate,
+            ),
+            "DeepJoin-MPLite",
+        );
+        Self {
+            methods: vec![lsh, ft, dj_d, dj_m],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use deepjoin_lake::corpus::CorpusProfile;
+
+    #[test]
+    fn baseline_methods_return_k_results() {
+        let bench = Bench::new(CorpusProfile::Webtable, Scale::smoke(), 5);
+        for m in [lsh_method(&bench), fasttext_method(&bench)] {
+            let (q, _) = &bench.queries[0];
+            let ids = (m.search)(q, 5);
+            assert!(ids.len() <= 5);
+            assert!(!ids.is_empty(), "{} returned nothing", m.name);
+        }
+    }
+}

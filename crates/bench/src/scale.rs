@@ -1,0 +1,105 @@
+//! Experiment scales (DESIGN.md §7).
+
+/// How large to run an experiment. The paper's scales (30K training
+/// columns, 1M-5M test columns) are reduced; the *ratios* (train ≪ test,
+/// 50 queries) are kept so generalization is still exercised.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Columns in the training repository (paper: 30K).
+    pub train_cols: usize,
+    /// Columns in the test repository 𝒳 (paper: 1M).
+    pub test_cols: usize,
+    /// Number of queries (paper: 50).
+    pub queries: usize,
+    /// Embedding dimensionality (paper: 768).
+    pub dim: usize,
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// SGNS pre-training epochs.
+    pub sgns_epochs: usize,
+    /// Cap on training pairs after the self-join.
+    pub max_pairs: usize,
+}
+
+impl Scale {
+    /// Seconds-scale smoke runs (CI).
+    pub fn smoke() -> Self {
+        Self {
+            train_cols: 700,
+            test_cols: 1_500,
+            queries: 12,
+            dim: 32,
+            epochs: 6,
+            sgns_epochs: 1,
+            max_pairs: 6_000,
+        }
+    }
+
+    /// Minutes-scale default.
+    pub fn small() -> Self {
+        Self {
+            train_cols: 2_000,
+            test_cols: 8_000,
+            queries: 30,
+            dim: 64,
+            epochs: 6,
+            sgns_epochs: 2,
+            max_pairs: 12_000,
+        }
+    }
+
+    /// The largest configuration exercised here.
+    pub fn full() -> Self {
+        Self {
+            train_cols: 3_000,
+            test_cols: 20_000,
+            queries: 50,
+            dim: 64,
+            epochs: 8,
+            sgns_epochs: 2,
+            max_pairs: 20_000,
+        }
+    }
+
+    /// Resolve from the `DJ_SCALE` environment variable
+    /// (`smoke`/`small`/`full`; default `small`).
+    pub fn from_env() -> Self {
+        match std::env::var("DJ_SCALE").as_deref() {
+            Ok("smoke") => Self::smoke(),
+            Ok("full") => Self::full(),
+            _ => Self::small(),
+        }
+    }
+
+    /// A short label for experiment output.
+    pub fn label(&self) -> String {
+        format!(
+            "train={} test={} queries={} dim={}",
+            self.train_cols, self.test_cols, self.queries, self.dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let (s, m, f) = (Scale::smoke(), Scale::small(), Scale::full());
+        assert!(s.test_cols < m.test_cols && m.test_cols < f.test_cols);
+        assert!(s.train_cols <= m.train_cols && m.train_cols <= f.train_cols);
+    }
+
+    #[test]
+    fn env_fallback_is_small() {
+        std::env::remove_var("DJ_SCALE");
+        assert_eq!(Scale::from_env().test_cols, Scale::small().test_cols);
+    }
+
+    #[test]
+    fn label_mentions_sizes() {
+        let l = Scale::smoke().label();
+        assert!(l.contains("train=700"));
+    }
+}

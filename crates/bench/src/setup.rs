@@ -1,0 +1,181 @@
+//! Corpus and model setup shared by all experiments.
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::text::TransformOption;
+use deepjoin::train::{FineTuneConfig, JoinType, TrainDataConfig};
+use deepjoin_embed::cell_space::CellSpace;
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_embed::sgns::SgnsConfig;
+use deepjoin_lake::column::Column;
+use deepjoin_lake::corpus::{ColumnProvenance, Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::repository::Repository;
+use deepjoin_nn::adam::AdamConfig;
+
+use crate::scale::Scale;
+
+/// Join type + its parameters, as the experiments name them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinKind {
+    /// Equi-joins (Tables 3, 9, 11, …).
+    Equi,
+    /// Semantic joins at threshold τ (Tables 4-6, 10, 12, …).
+    Semantic(f64),
+}
+
+impl JoinKind {
+    /// Convert to the core crate's join type.
+    pub fn to_join_type(self) -> JoinType {
+        match self {
+            JoinKind::Equi => JoinType::Equi,
+            JoinKind::Semantic(tau) => JoinType::Semantic { tau },
+        }
+    }
+
+    /// Human label.
+    pub fn label(self) -> String {
+        match self {
+            JoinKind::Equi => "equi".to_string(),
+            JoinKind::Semantic(tau) => format!("semantic(tau={tau})"),
+        }
+    }
+}
+
+/// One experiment environment: corpus, repositories and queries.
+pub struct Bench {
+    /// Profile used.
+    pub profile: CorpusProfile,
+    /// The generated corpus (training + test pool).
+    pub corpus: Corpus,
+    /// Test repository 𝒳.
+    pub repo: Repository,
+    /// Ground-truth provenance parallel to `repo`.
+    pub provenance: Vec<ColumnProvenance>,
+    /// Training repository (disjoint generation seed from queries).
+    pub train_repo: Repository,
+    /// Query columns with provenance (sampled outside 𝒳).
+    pub queries: Vec<(Column, ColumnProvenance)>,
+    /// The cell-embedding space 𝒱 (shared by PEXESO and labeling).
+    pub space: CellSpace,
+    /// Scale used.
+    pub scale: Scale,
+}
+
+impl Bench {
+    /// Build the environment for `profile` at `scale`.
+    ///
+    /// The training repository is a separately generated lake over the same
+    /// domain catalog scale (fresh tables, same generator), mirroring the
+    /// paper's train/test split of a corpus.
+    pub fn new(profile: CorpusProfile, scale: Scale, seed: u64) -> Self {
+        let corpus = Corpus::generate(CorpusConfig::new(profile, scale.test_cols, seed));
+        let (repo, provenance) = corpus.to_repository();
+
+        // Training columns: fresh draws from the same corpus generator
+        // (same catalog), not contained in the repository.
+        let train_cols = corpus.sample_queries(scale.train_cols, seed ^ 0x7EA1);
+        let train_repo =
+            Repository::from_columns(train_cols.into_iter().map(|(c, _)| c));
+
+        let queries = corpus.sample_queries(scale.queries, seed ^ 0x0BEE);
+        let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
+            dim: scale.dim,
+            ..NgramConfig::default()
+        }));
+        Self {
+            profile,
+            corpus,
+            repo,
+            provenance,
+            train_repo,
+            queries,
+            space,
+            scale,
+        }
+    }
+
+    /// The DeepJoin configuration used across experiments at this scale.
+    pub fn deepjoin_config(
+        &self,
+        variant: Variant,
+        transform: TransformOption,
+        shuffle_rate: f64,
+    ) -> DeepJoinConfig {
+        let scale = &self.scale;
+        DeepJoinConfig {
+            variant,
+            dim: scale.dim,
+            transform,
+            max_cells: 48,
+            max_tokens: 160,
+            oov_buckets: 4096,
+            sgns: SgnsConfig {
+                dim: scale.dim,
+                epochs: scale.sgns_epochs,
+                ..SgnsConfig::default()
+            },
+            data: TrainDataConfig {
+                threshold: 0.7,
+                shuffle_rate,
+                max_pairs: scale.max_pairs,
+                seed: 0x7247,
+            },
+            fine_tune: FineTuneConfig {
+                epochs: scale.epochs,
+                batch_size: 32,
+                mnr_scale: 20.0,
+                adam: AdamConfig {
+                    lr: 5e-3,
+                    warmup_steps: 50,
+                    ..AdamConfig::default()
+                },
+                seed: 0xF17E,
+            },
+            hnsw: Default::default(),
+            seed: 0xDEE9,
+        }
+    }
+
+    /// Train a DeepJoin model for this bench.
+    pub fn train_deepjoin(
+        &self,
+        variant: Variant,
+        kind: JoinKind,
+        transform: TransformOption,
+        shuffle_rate: f64,
+    ) -> DeepJoin {
+        let cfg = self.deepjoin_config(variant, transform, shuffle_rate);
+        let (mut model, report) = DeepJoin::train(&self.train_repo, kind.to_join_type(), cfg);
+        eprintln!(
+            "  [train {} {}] positives={} pairs={} vocab={} final_loss={:.3}",
+            variant.name(),
+            kind.label(),
+            report.num_positives,
+            report.num_pairs,
+            report.vocab_size,
+            report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        );
+        model.index_repository(&self.repo);
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_smoke() {
+        let b = Bench::new(CorpusProfile::Webtable, Scale::smoke(), 1);
+        let s = Scale::smoke();
+        assert!(b.repo.len() > s.test_cols * 9 / 10);
+        assert_eq!(b.queries.len(), s.queries);
+        assert!(b.train_repo.len() >= s.train_cols * 9 / 10);
+        assert_eq!(b.repo.len(), b.provenance.len());
+    }
+
+    #[test]
+    fn join_kind_labels() {
+        assert_eq!(JoinKind::Equi.label(), "equi");
+        assert!(JoinKind::Semantic(0.9).label().contains("0.9"));
+    }
+}

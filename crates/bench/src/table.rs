@@ -1,0 +1,96 @@
+//! Plain-text table printing for experiment output, in the paper's layout.
+
+use crate::eval::AccuracyRow;
+
+/// Print one accuracy table (precision@k | NDCG@k blocks) with an optional
+/// per-method paper reference line underneath each row.
+pub fn print_accuracy_table(
+    title: &str,
+    ks: &[usize],
+    rows: &[AccuracyRow],
+    paper: &[(&str, &[f64], &[f64])],
+) {
+    println!("\n=== {title} ===");
+    print!("{:<22}", "Method");
+    for k in ks {
+        print!(" P@{k:<5}");
+    }
+    print!(" |");
+    for k in ks {
+        print!(" N@{k:<5}");
+    }
+    println!();
+    println!("{}", "-".repeat(24 + ks.len() * 16));
+    for row in rows {
+        print!("{:<22}", row.name);
+        for p in &row.precision {
+            print!(" {p:<7.3}");
+        }
+        print!(" |");
+        for n in &row.ndcg {
+            print!(" {n:<7.3}");
+        }
+        println!();
+        if let Some((_, pp, pn)) = paper.iter().find(|(name, _, _)| *name == row.name) {
+            print!("{:<22}", "  (paper)");
+            for p in pp.iter() {
+                print!(" {p:<7.3}");
+            }
+            print!(" |");
+            for n in pn.iter() {
+                print!(" {n:<7.3}");
+            }
+            println!();
+        }
+    }
+}
+
+/// Print a timing table: method name + a column of mean milliseconds per
+/// sweep point.
+pub fn print_timing_table(title: &str, header: &[String], rows: &[(String, Vec<f64>)]) {
+    println!("\n=== {title} ===");
+    print!("{:<22}", "Method");
+    for h in header {
+        print!(" {h:>10}");
+    }
+    println!();
+    println!("{}", "-".repeat(24 + header.len() * 11));
+    for (name, vals) in rows {
+        print!("{name:<22}");
+        for v in vals {
+            print!(" {v:>10.2}");
+        }
+        println!();
+    }
+}
+
+/// Format a mean-of-slice for inline reporting.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2} ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_print_without_panic() {
+        let rows = vec![AccuracyRow {
+            name: "fastText".into(),
+            precision: vec![0.5, 0.6],
+            ndcg: vec![0.7, 0.8],
+        }];
+        print_accuracy_table(
+            "demo",
+            &[10, 20],
+            &rows,
+            &[("fastText", &[0.68, 0.726][..], &[0.731, 0.721][..])],
+        );
+        print_timing_table(
+            "timing",
+            &["1K".to_string(), "2K".to_string()],
+            &[("JOSIE".to_string(), vec![5.0, 9.0])],
+        );
+        assert_eq!(fmt_ms(1.234), "1.23 ms");
+    }
+}

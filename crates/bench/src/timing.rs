@@ -1,0 +1,48 @@
+//! Timing helpers for the efficiency experiments (Tables 13-15).
+
+use std::time::Instant;
+
+use deepjoin_lake::column::Column;
+
+/// Mean wall-clock milliseconds per query for `f`.
+pub fn time_per_query<F: FnMut(&Column)>(queries: &[Column], mut f: F) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let start = Instant::now();
+    for q in queries {
+        f(q);
+    }
+    start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+}
+
+/// Mean milliseconds of a whole-batch operation, divided per query (used
+/// for the parallel "GPU stand-in" encoder, which amortizes across a batch).
+pub fn time_batch_per_query<F: FnOnce()>(num_queries: usize, f: F) -> f64 {
+    if num_queries == 0 {
+        return 0.0;
+    }
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3 / num_queries as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_return_positive_means() {
+        let queries = vec![Column::from_cells(["a", "b", "c", "d", "e"]); 3];
+        let t = time_per_query(&queries, |q| {
+            std::hint::black_box(q.distinct_len());
+        });
+        assert!(t >= 0.0);
+        let t2 = time_batch_per_query(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t2 >= 0.0);
+        assert_eq!(time_per_query(&[], |_| {}), 0.0);
+        assert_eq!(time_batch_per_query(0, || {}), 0.0);
+    }
+}

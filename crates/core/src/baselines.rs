@@ -1,0 +1,228 @@
+//! The embedding baselines of the evaluation (§5.1, "Methods").
+//!
+//! All of them follow DeepJoin's retrieval scheme (same contextualization,
+//! same ANNS) but replace the fine-tuned column embedding:
+//!
+//! * **fastText** — average of char-n-gram word embeddings (no training);
+//! * **BERT / MPNet (no fine-tuning)** — average of SGNS-pre-trained token
+//!   embeddings; the two differ in pre-training hyperparameters (window,
+//!   epochs), mirroring "different PLM, same recipe";
+//! * **TaBERT-like** — token embeddings pre-trained on table *context*
+//!   text only (a question-answering-flavoured objective), which misaligns
+//!   with join discovery exactly as the paper observes for TaBERT;
+//! * **MLP** — a 3-layer perceptron regression on fastText column
+//!   embeddings whose last hidden layer becomes the retrieval embedding.
+
+use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
+use deepjoin_ann::index::VectorIndex;
+use deepjoin_embed::ngram::NgramEmbedder;
+use deepjoin_embed::sgns::TokenEmbeddings;
+use deepjoin_embed::vector::{add_assign, normalize, scale};
+use deepjoin_lake::column::{Column, ColumnId};
+use deepjoin_lake::joinability::ScoredColumn;
+use deepjoin_lake::repository::Repository;
+use deepjoin_lake::tokenizer::Vocabulary;
+use deepjoin_nn::mlp::MlpRegressor;
+
+use crate::text::Textizer;
+
+/// Anything that maps a column to a fixed-length embedding.
+pub trait ColumnEmbedder {
+    /// Embed one column.
+    fn embed(&self, column: &Column) -> Vec<f32>;
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Display name for experiment tables.
+    fn name(&self) -> &str;
+}
+
+/// fastText baseline: average the n-gram word embeddings of the
+/// contextualized text.
+pub struct FastTextEmbedder {
+    /// The underlying n-gram embedder.
+    pub ngram: NgramEmbedder,
+    /// Contextualizer shared with the model under comparison.
+    pub textizer: Textizer,
+}
+
+impl ColumnEmbedder for FastTextEmbedder {
+    fn embed(&self, column: &Column) -> Vec<f32> {
+        let text = self.textizer.transform(column);
+        let words: Vec<&str> = text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .collect();
+        let mut acc = vec![0f32; self.ngram.dim()];
+        if words.is_empty() {
+            return acc;
+        }
+        for w in &words {
+            add_assign(&mut acc, &self.ngram.embed(w));
+        }
+        scale(&mut acc, 1.0 / words.len() as f32);
+        normalize(&mut acc);
+        acc
+    }
+
+    fn dim(&self) -> usize {
+        self.ngram.dim()
+    }
+
+    fn name(&self) -> &str {
+        "fastText"
+    }
+}
+
+/// Un-fine-tuned PLM baseline: mean-pooled SGNS token embeddings.
+pub struct SgnsAvgEmbedder {
+    /// Pre-trained token embeddings.
+    pub embeddings: TokenEmbeddings,
+    /// Vocabulary matching the embeddings.
+    pub vocab: Vocabulary,
+    /// Contextualizer.
+    pub textizer: Textizer,
+    /// Display name ("BERT", "MPNet", or "TaBERT").
+    pub label: String,
+}
+
+impl ColumnEmbedder for SgnsAvgEmbedder {
+    fn embed(&self, column: &Column) -> Vec<f32> {
+        let text = self.textizer.transform(column);
+        let tokens = self.vocab.encode(&text);
+        self.embeddings.mean_pool(&tokens)
+    }
+
+    fn dim(&self) -> usize {
+        self.embeddings.dim
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// MLP baseline: fastText column embedding passed through the trained
+/// regression tower.
+pub struct MlpEmbedder {
+    /// The fastText feature extractor.
+    pub features: FastTextEmbedder,
+    /// The trained tower (interior mutability needed by the forward cache).
+    pub mlp: std::cell::RefCell<MlpRegressor>,
+    /// Output dimensionality.
+    pub out_dim: usize,
+}
+
+impl ColumnEmbedder for MlpEmbedder {
+    fn embed(&self, column: &Column) -> Vec<f32> {
+        let f = self.features.embed(column);
+        self.mlp.borrow_mut().embed(&f)
+    }
+
+    fn dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn name(&self) -> &str {
+        "MLP"
+    }
+}
+
+/// A retrieval stack around any [`ColumnEmbedder`]: embeddings + HNSW, the
+/// same scheme DeepJoin uses (§5.1 gives every embedding method the same
+/// ANNS).
+pub struct EmbeddingRetriever<E: ColumnEmbedder> {
+    /// The embedder.
+    pub embedder: E,
+    index: HnswIndex,
+}
+
+impl<E: ColumnEmbedder> EmbeddingRetriever<E> {
+    /// Embed and index every repository column.
+    pub fn build(embedder: E, repo: &Repository, hnsw: HnswConfig) -> Self {
+        let mut index = HnswIndex::new(embedder.dim(), hnsw);
+        for col in repo.columns() {
+            let v = embedder.embed(col);
+            index.add(&v);
+        }
+        Self { embedder, index }
+    }
+
+    /// Top-k retrieval (ids are repository column ids; score = −distance).
+    pub fn search(&self, query: &Column, k: usize) -> Vec<ScoredColumn> {
+        let v = self.embedder.embed(query);
+        self.index
+            .search(&v, k)
+            .into_iter()
+            .map(|n| ScoredColumn {
+                id: ColumnId(n.id),
+                score: -n.distance as f64,
+            })
+            .collect()
+    }
+
+    /// Number of indexed columns.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::TransformOption;
+    use deepjoin_embed::ngram::NgramConfig;
+
+    fn textizer() -> Textizer {
+        Textizer::new(TransformOption::Col, usize::MAX)
+    }
+
+    fn fasttext() -> FastTextEmbedder {
+        FastTextEmbedder {
+            ngram: NgramEmbedder::new(NgramConfig {
+                dim: 16,
+                ..NgramConfig::default()
+            }),
+            textizer: textizer(),
+        }
+    }
+
+    #[test]
+    fn fasttext_similar_columns_are_close() {
+        let e = fasttext();
+        let a = e.embed(&Column::from_cells(["paris", "tokyo", "lima"]));
+        let b = e.embed(&Column::from_cells(["paris", "tokyo", "cairo"]));
+        let c = e.embed(&Column::from_cells(["zx1", "qy2", "wz3"]));
+        let cos = deepjoin_embed::vector::cosine;
+        assert!(cos(&a, &b) > cos(&a, &c));
+        assert_eq!(e.dim(), 16);
+        assert_eq!(e.name(), "fastText");
+    }
+
+    #[test]
+    fn retriever_finds_identical_column() {
+        let repo = Repository::from_columns(vec![
+            Column::from_cells(["paris", "tokyo", "lima", "oslo", "cairo"]),
+            Column::from_cells(["aa", "bb", "cc", "dd", "ee"]),
+            Column::from_cells(["one", "two", "three", "four", "five"]),
+        ]);
+        let r = EmbeddingRetriever::build(fasttext(), &repo, HnswConfig::default());
+        assert_eq!(r.len(), 3);
+        let hits = r.search(
+            &Column::from_cells(["paris", "tokyo", "lima", "oslo", "cairo"]),
+            1,
+        );
+        assert_eq!(hits[0].id.0, 0);
+    }
+
+    #[test]
+    fn empty_column_embeds_to_zero() {
+        let e = fasttext();
+        let v = e.embed(&Column::from_cells(Vec::<String>::new()));
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Batched / parallel column encoding — the GPU stand-in.
+//!
+//! The paper's efficiency tables report DeepJoin with a CPU and with an
+//! A100. The architectural point is that query encoding dominates and is
+//! embarrassingly parallel; we reproduce the two regimes as a single-thread
+//! path ("CPU") and a multi-thread path ("GPU stand-in"), labeled as such in
+//! the experiment output (DESIGN.md §1).
+
+use deepjoin_lake::column::Column;
+use deepjoin_lake::repository::Repository;
+
+use crate::model::DeepJoin;
+
+/// Encode every column of `repo`, single-threaded. Returns row-major
+/// embeddings in repository order.
+pub fn encode_repository(model: &DeepJoin, repo: &Repository) -> Vec<f32> {
+    let mut out = Vec::with_capacity(repo.len() * model.config().dim);
+    for col in repo.columns() {
+        out.extend_from_slice(&model.embed_column(col));
+    }
+    out
+}
+
+/// Encode every column with `threads` worker threads (the GPU stand-in).
+pub fn encode_repository_parallel(model: &DeepJoin, repo: &Repository, threads: usize) -> Vec<f32> {
+    let threads = threads.max(1);
+    if threads == 1 || repo.len() < 2 {
+        return encode_repository(model, repo);
+    }
+    let dim = model.config().dim;
+    let columns = repo.columns();
+    let chunk = columns.len().div_ceil(threads);
+    let mut out = vec![0f32; columns.len() * dim];
+
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [f32] = &mut out;
+        for (t, cols) in columns.chunks(chunk).enumerate() {
+            let (head, tail) = remaining.split_at_mut(cols.len() * dim);
+            remaining = tail;
+            let model_ref = &*model;
+            scope.spawn(move || {
+                for (i, col) in cols.iter().enumerate() {
+                    let v = model_ref.embed_column(col);
+                    head[i * dim..(i + 1) * dim].copy_from_slice(&v);
+                }
+            });
+            let _ = t;
+        }
+    });
+    out
+}
+
+/// Encode a batch of query columns in parallel (used by the efficiency
+/// benches to measure the GPU-stand-in query path).
+pub fn encode_queries_parallel(model: &DeepJoin, queries: &[Column], threads: usize) -> Vec<Vec<f32>> {
+    let threads = threads.max(1);
+    if threads == 1 || queries.len() < 2 {
+        return queries.iter().map(|q| model.embed_column(q)).collect();
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut out: Vec<Vec<f32>> = vec![Vec::new(); queries.len()];
+    std::thread::scope(|scope| {
+        let mut rem: &mut [Vec<f32>] = &mut out;
+        for qs in queries.chunks(chunk) {
+            let (head, tail) = rem.split_at_mut(qs.len());
+            rem = tail;
+            let model_ref = &*model;
+            scope.spawn(move || {
+                for (i, q) in qs.iter().enumerate() {
+                    head[i] = model_ref.embed_column(q);
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeepJoinConfig, Variant};
+    use crate::train::JoinType;
+    use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+
+    fn trained_model_and_repo() -> (DeepJoin, Repository) {
+        let mut cfg = CorpusConfig::new(CorpusProfile::Webtable, 150, 31);
+        cfg.num_domains = 7;
+        cfg.entities_per_domain = 150;
+        let corpus = Corpus::generate(cfg);
+        let (repo, _) = corpus.to_repository();
+        let dj_cfg = DeepJoinConfig {
+            variant: Variant::DistilLite,
+            dim: 16,
+            sgns: deepjoin_embed::SgnsConfig {
+                dim: 16,
+                epochs: 1,
+                ..Default::default()
+            },
+            fine_tune: crate::train::FineTuneConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..DeepJoinConfig::default()
+        };
+        let (model, _) = DeepJoin::train(&repo, JoinType::Equi, dj_cfg);
+        (model, repo)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (model, repo) = trained_model_and_repo();
+        let seq = encode_repository(&model, &repo);
+        let par = encode_repository_parallel(&model, &repo, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_queries_match() {
+        let (model, repo) = trained_model_and_repo();
+        let queries: Vec<Column> = repo.columns().iter().take(7).cloned().collect();
+        let seq = encode_queries_parallel(&model, &queries, 1);
+        let par = encode_queries_parallel(&model, &queries, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_count_edge_cases() {
+        let (model, repo) = trained_model_and_repo();
+        let zero = encode_repository_parallel(&model, &repo, 0);
+        assert_eq!(zero.len(), repo.len() * 16);
+        let many = encode_repository_parallel(&model, &repo, 999);
+        assert_eq!(many, zero);
+    }
+}

@@ -1,0 +1,322 @@
+//! `dj` — a small command-line front end for the DeepJoin library.
+//!
+//! ```text
+//! dj generate <out.lake>  [--tables N] [--profile webtable|wikitable] [--seed S]
+//! dj train    <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E]
+//! dj search   <in.lake> <in.model> [--k K] [--query-index I]
+//! dj info     <in.model>
+//! ```
+//!
+//! Lakes are serialized corpora (the synthetic-generator output); models are
+//! the binary format of `deepjoin::persist`. The CLI exists so the library
+//! can be exercised end-to-end without writing Rust.
+
+use std::process::ExitCode;
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::persist::{load_model, save_model};
+use deepjoin::train::{FineTuneConfig, JoinType};
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::joinability::equi_joinability;
+use deepjoin_lake::repository::Repository;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "search" => cmd_search(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "train-csv" => cmd_train_csv(&args[1..]),
+        "search-csv" => cmd_search_csv(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+    );
+    ExitCode::from(2)
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Lake files: the corpus serialized with the same hand-rolled codec style.
+/// For simplicity the lake file stores the *generator inputs* (config) and
+/// regenerates deterministically on load — corpora are pure functions of
+/// their config.
+mod lakefile {
+    use super::*;
+    pub fn save(path: &str, config: &CorpusConfig) -> CliResult {
+        let line = format!(
+            "DJLAKE1 {:?} {} {} {} {} {} {} {} {} {} {}\n",
+            config.profile,
+            config.num_tables,
+            config.num_domains,
+            config.entities_per_domain,
+            config.zipf_exponent,
+            config.focus_rate,
+            config.focus_width,
+            config.windows_per_domain,
+            config.noise_rate,
+            config.strong_noise_rate,
+            config.seed,
+        );
+        std::fs::write(path, line)?;
+        Ok(())
+    }
+
+    pub fn load(path: &str) -> Result<Corpus, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        let parts: Vec<&str> = text.split_whitespace().collect();
+        if parts.len() != 12 || parts[0] != "DJLAKE1" {
+            return Err("not a dj lake file".into());
+        }
+        let profile = match parts[1] {
+            "Webtable" => CorpusProfile::Webtable,
+            "Wikitable" => CorpusProfile::Wikitable,
+            other => return Err(format!("unknown profile {other}").into()),
+        };
+        let config = CorpusConfig {
+            profile,
+            num_tables: parts[2].parse()?,
+            num_domains: parts[3].parse()?,
+            entities_per_domain: parts[4].parse()?,
+            zipf_exponent: parts[5].parse()?,
+            focus_rate: parts[6].parse()?,
+            focus_width: parts[7].parse()?,
+            windows_per_domain: parts[8].parse()?,
+            noise_rate: parts[9].parse()?,
+            strong_noise_rate: parts[10].parse()?,
+            seed: parts[11].parse()?,
+        };
+        Ok(Corpus::generate(config))
+    }
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let out = args.first().ok_or("missing <out.lake>")?;
+    let tables: usize = flag(args, "--tables").map_or(Ok(2_000), |v| v.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(42), |v| v.parse())?;
+    let profile = match flag(args, "--profile").as_deref() {
+        Some("wikitable") => CorpusProfile::Wikitable,
+        _ => CorpusProfile::Webtable,
+    };
+    let config = CorpusConfig::new(profile, tables, seed);
+    lakefile::save(out, &config)?;
+    let corpus = Corpus::generate(config);
+    let (repo, _) = corpus.to_repository();
+    println!(
+        "wrote {out}: {profile:?}, {tables} tables -> {} searchable columns",
+        repo.len()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let lake = args.first().ok_or("missing <in.lake>")?;
+    let out = args.get(1).ok_or("missing <out.model>")?;
+    let corpus = lakefile::load(lake)?;
+    let (repo, _) = corpus.to_repository();
+
+    let join = match flag(args, "--join").as_deref() {
+        Some("semantic") => {
+            let tau: f64 = flag(args, "--tau").map_or(Ok(0.9), |v| v.parse())?;
+            JoinType::Semantic { tau }
+        }
+        _ => JoinType::Equi,
+    };
+    let variant = match flag(args, "--variant").as_deref() {
+        Some("distil") => Variant::DistilLite,
+        _ => Variant::MpLite,
+    };
+    let epochs: usize = flag(args, "--epochs").map_or(Ok(6), |v| v.parse())?;
+
+    // Train on a fresh sample from the lake; index the repository.
+    let train_cols = corpus.sample_queries((repo.len() / 3).clamp(200, 3_000), 0x7EA1);
+    let train_repo = Repository::from_columns(train_cols.into_iter().map(|(c, _)| c));
+    let config = DeepJoinConfig {
+        variant,
+        fine_tune: FineTuneConfig {
+            epochs,
+            adam: deepjoin_nn::AdamConfig {
+                lr: 5e-3,
+                warmup_steps: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..DeepJoinConfig::default()
+    };
+    eprintln!("training {} on {} columns…", variant.name(), train_repo.len());
+    let (mut model, report) = DeepJoin::train(&train_repo, join, config);
+    eprintln!(
+        "  {} positives, {} pairs, vocab {}, final loss {:.3}",
+        report.num_positives,
+        report.num_pairs,
+        report.vocab_size,
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    );
+    eprintln!("indexing {} columns…", repo.len());
+    model.index_repository(&repo);
+    std::fs::write(out, save_model(&model, true))?;
+    println!("wrote {out} ({} bytes)", std::fs::metadata(out)?.len());
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> CliResult {
+    let lake = args.first().ok_or("missing <in.lake>")?;
+    let model_path = args.get(1).ok_or("missing <in.model>")?;
+    let k: usize = flag(args, "--k").map_or(Ok(10), |v| v.parse())?;
+    let qi: usize = flag(args, "--query-index").map_or(Ok(0), |v| v.parse())?;
+
+    let corpus = lakefile::load(lake)?;
+    let (repo, _) = corpus.to_repository();
+    let model = load_model(bytes::Bytes::from(std::fs::read(model_path)?))?;
+    if model.indexed_len() == 0 {
+        return Err("model was saved without an index".into());
+    }
+    let (query, _) = corpus
+        .sample_queries(qi + 1, 0x0BEE)
+        .pop()
+        .ok_or("no query")?;
+    println!(
+        "query: '{}' from '{}' ({} cells)",
+        query.meta.column_name,
+        query.meta.table_title,
+        query.len()
+    );
+    for (rank, hit) in model.search(&query, k).iter().enumerate() {
+        let col = repo.column(hit.id);
+        println!(
+            "#{rank:<3} {:<10} '{}' in '{}' (equi jn {:.2})",
+            hit.id.to_string(),
+            col.meta.column_name,
+            col.meta.table_title,
+            equi_joinability(&query, col)
+        );
+    }
+    Ok(())
+}
+
+/// Flatten a CSV directory into a repository (every column, so the lake is
+/// searchable on any attribute).
+fn csv_repository(dir: &str) -> Result<Repository, Box<dyn std::error::Error>> {
+    let tables = deepjoin_lake::csv::load_csv_dir(std::path::Path::new(dir))?;
+    if tables.is_empty() {
+        return Err(format!("no CSV tables found in {dir}").into());
+    }
+    Ok(Repository::from_tables(
+        &tables,
+        deepjoin_lake::ExtractionRule::All,
+    ))
+}
+
+fn cmd_train_csv(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("missing <csv-dir>")?;
+    let out = args.get(1).ok_or("missing <out.model>")?;
+    let repo = csv_repository(dir)?;
+    let join = match flag(args, "--join").as_deref() {
+        Some("semantic") => JoinType::Semantic { tau: 0.9 },
+        _ => JoinType::Equi,
+    };
+    let epochs: usize = flag(args, "--epochs").map_or(Ok(6), |v| v.parse())?;
+    let config = DeepJoinConfig {
+        fine_tune: FineTuneConfig {
+            epochs,
+            adam: deepjoin_nn::AdamConfig {
+                lr: 5e-3,
+                warmup_steps: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..DeepJoinConfig::default()
+    };
+    eprintln!("training on {} columns from {dir}…", repo.len());
+    let (mut model, report) = DeepJoin::train(&repo, join, config);
+    eprintln!(
+        "  {} positives, vocab {}",
+        report.num_positives, report.vocab_size
+    );
+    model.index_repository(&repo);
+    std::fs::write(out, save_model(&model, true))?;
+    println!("wrote {out} ({} bytes)", std::fs::metadata(out)?.len());
+    Ok(())
+}
+
+fn cmd_search_csv(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("missing <csv-dir>")?;
+    let model_path = args.get(1).ok_or("missing <in.model>")?;
+    let query_file = flag(args, "--query").ok_or("missing --query <file.csv>")?;
+    let k: usize = flag(args, "--k").map_or(Ok(10), |v| v.parse())?;
+
+    let repo = csv_repository(dir)?;
+    let model = load_model(bytes::Bytes::from(std::fs::read(model_path)?))?;
+    if model.indexed_len() != repo.len() {
+        return Err(format!(
+            "model indexes {} columns but {dir} has {} — retrain with train-csv",
+            model.indexed_len(),
+            repo.len()
+        )
+        .into());
+    }
+    let qtable = deepjoin_lake::csv::load_csv_file(std::path::Path::new(&query_file))?
+        .ok_or("query CSV is empty")?;
+    let col_idx = match flag(args, "--column") {
+        Some(name) => qtable
+            .headers
+            .iter()
+            .position(|h| h == &name)
+            .ok_or_else(|| format!("no column '{name}' in {query_file}"))?,
+        None => 0,
+    };
+    let query = qtable.extract_column(col_idx, None);
+    println!(
+        "query: '{}' from {query_file} ({} cells)",
+        query.meta.column_name,
+        query.len()
+    );
+    for (rank, hit) in model.search(&query, k).iter().enumerate() {
+        let col = repo.column(hit.id);
+        println!(
+            "#{rank:<3} '{}' in '{}' (equi jn {:.2})",
+            col.meta.column_name,
+            col.meta.table_title,
+            equi_joinability(&query, col)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let model_path = args.first().ok_or("missing <in.model>")?;
+    let model = load_model(bytes::Bytes::from(std::fs::read(model_path)?))?;
+    let cfg = model.config();
+    println!("variant       : {:?}", cfg.variant);
+    println!("dim           : {}", cfg.dim);
+    println!("transform     : {}", cfg.transform.name());
+    println!("max cells     : {}", cfg.max_cells);
+    println!("max tokens    : {}", cfg.max_tokens);
+    println!("oov buckets   : {}", cfg.oov_buckets);
+    println!("vocab size    : {}", model.vocabulary().len());
+    println!("indexed cols  : {}", model.indexed_len());
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # deepjoin
+//!
+//! The paper's primary contribution: joinable table discovery as
+//! embedding-based retrieval with a fine-tuned column encoder and ANNS.
+//!
+//! Pipeline (paper Figure 1):
+//!
+//! 1. [`text`] — contextualize a column into a text sequence (all seven
+//!    Table 1 options, with frequency-guided truncation);
+//! 2. [`train`] — self-join labeling (equi via containment join, semantic
+//!    via PEXESO), cell-shuffle augmentation, in-batch negatives, and the
+//!    multiple-negatives-ranking fine-tuning loop;
+//! 3. [`model`] — the [`model::DeepJoin`] model: train → embed → HNSW index
+//!    → top-k search under Euclidean distance;
+//! 4. [`baselines`] — the embedding baselines of §5.1 (fastText, un-fine-
+//!    tuned PLM averages, TaBERT-like, MLP) behind a common retriever;
+//! 5. [`batch`] — single-thread vs multi-thread encoding (the CPU/GPU
+//!    regimes of the efficiency study).
+//!
+//! ```
+//! use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+//! use deepjoin::train::JoinType;
+//! use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+//!
+//! let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 200, 7));
+//! let (repo, _) = corpus.to_repository();
+//! let cfg = DeepJoinConfig { dim: 16,
+//!     sgns: deepjoin_embed::SgnsConfig { dim: 16, epochs: 1, ..Default::default() },
+//!     fine_tune: deepjoin::train::FineTuneConfig { epochs: 1, ..Default::default() },
+//!     ..DeepJoinConfig::default() };
+//! let (mut model, report) = DeepJoin::train(&repo, JoinType::Equi, cfg);
+//! assert!(report.num_positives > 0);
+//! model.index_repository(&repo);
+//! let hits = model.search(&repo.columns()[0].clone(), 5);
+//! assert_eq!(hits.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod batch;
+pub mod model;
+pub mod persist;
+pub mod rerank;
+pub mod text;
+pub mod train;
+
+pub use model::{DeepJoin, DeepJoinConfig, TrainReport, Variant};
+pub use persist::{load_model, save_model};
+pub use rerank::{RerankConfig, RerankingSearcher};
+pub use text::{CellFrequencies, Textizer, TransformOption};
+pub use train::{FineTuneConfig, JoinType, TrainDataConfig};

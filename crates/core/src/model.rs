@@ -1,0 +1,371 @@
+//! The DeepJoin model: train → embed → index → search (paper §3, Figure 1).
+
+use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
+use deepjoin_ann::index::{Neighbor, VectorIndex};
+use deepjoin_embed::cell_space::CellSpace;
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_embed::sgns::{train_sgns, SgnsConfig};
+use deepjoin_lake::column::{Column, ColumnId};
+use deepjoin_lake::joinability::ScoredColumn;
+use deepjoin_lake::repository::Repository;
+use deepjoin_lake::tokenizer::Vocabulary;
+use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig};
+
+use crate::text::{CellFrequencies, Textizer, TransformOption};
+use crate::train::{
+    fine_tune, prepare_training_pairs, self_join_positives, tokenize_pairs, FineTuneConfig,
+    JoinType, TrainDataConfig,
+};
+
+/// Which PLM stand-in variant to use (DESIGN.md §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Mean-pooling encoder — mirrors DeepJoin-DistilBERT.
+    DistilLite,
+    /// Position-aware attention-pooling encoder — mirrors DeepJoin-MPNet.
+    MpLite,
+}
+
+impl Variant {
+    /// Display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::DistilLite => "DeepJoin-DistilLite",
+            Variant::MpLite => "DeepJoin-MPLite",
+        }
+    }
+}
+
+/// End-to-end model configuration.
+#[derive(Debug, Clone)]
+pub struct DeepJoinConfig {
+    /// Encoder variant.
+    pub variant: Variant,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Contextualization option (Table 1); `TitleColnameStatCol` is best.
+    pub transform: TransformOption,
+    /// Cell budget for the contextualized sequence (§3.2 truncation).
+    pub max_cells: usize,
+    /// Encoder token budget.
+    pub max_tokens: usize,
+    /// Hash buckets reserved for out-of-vocabulary tokens (the fastText
+    /// hashing trick), so unseen cell values keep an identity signal.
+    pub oov_buckets: u32,
+    /// SGNS pre-training settings.
+    pub sgns: SgnsConfig,
+    /// Training-data preparation settings.
+    pub data: TrainDataConfig,
+    /// Fine-tuning settings.
+    pub fine_tune: FineTuneConfig,
+    /// ANNS settings.
+    pub hnsw: HnswConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DeepJoinConfig {
+    fn default() -> Self {
+        Self {
+            variant: Variant::MpLite,
+            dim: 64,
+            transform: TransformOption::TitleColnameStatCol,
+            max_cells: 48,
+            max_tokens: 256,
+            oov_buckets: 4096,
+            sgns: SgnsConfig::default(),
+            data: TrainDataConfig::default(),
+            fine_tune: FineTuneConfig::default(),
+            hnsw: HnswConfig::default(),
+            seed: 0xDEE9,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Number of self-join positives before augmentation.
+    pub num_positives: usize,
+    /// Number of pairs after augmentation.
+    pub num_pairs: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// MNR loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The trained DeepJoin model.
+pub struct DeepJoin {
+    pub(crate) config: DeepJoinConfig,
+    pub(crate) vocab: Vocabulary,
+    pub(crate) textizer: Textizer,
+    pub(crate) encoder: ColumnEncoder,
+    pub(crate) index: Option<HnswIndex>,
+}
+
+impl DeepJoin {
+    /// Train a model on `train_repo` for the given join type.
+    ///
+    /// `space` is the cell-embedding space used by the PEXESO labeler for
+    /// semantic joins; it is ignored for equi-joins.
+    pub fn train(
+        train_repo: &Repository,
+        join_type: JoinType,
+        config: DeepJoinConfig,
+    ) -> (Self, TrainReport) {
+        let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
+            dim: config.dim,
+            ..NgramConfig::default()
+        }));
+
+        // 1. Contextualize the training columns and build the vocabulary.
+        let freq = CellFrequencies::build(train_repo);
+        let textizer = Textizer::new(config.transform, config.max_cells).with_frequencies(freq);
+        let texts: Vec<String> = train_repo
+            .columns()
+            .iter()
+            .map(|c| textizer.transform(c))
+            .collect();
+        // Hybrid tokenization (surface + subtokens) mirrors PLM subword
+        // behaviour: surface tokens carry exact-match identity, subtokens
+        // carry format-invariant content. See `tokenize_hybrid`.
+        let vocab = Vocabulary::build_hybrid(texts.iter().map(String::as_str), 1);
+
+        // 2. Pre-train token embeddings with SGNS (the PLM's pre-training
+        //    stand-in).
+        let sentences: Vec<Vec<_>> = texts
+            .iter()
+            .map(|t| {
+                deepjoin_lake::tokenizer::tokenize_hybrid(t)
+                    .iter()
+                    .map(|tok| vocab.id(tok))
+                    .collect()
+            })
+            .collect();
+        let sgns_cfg = SgnsConfig {
+            dim: config.dim,
+            ..config.sgns
+        };
+        let pretrained = train_sgns(&vocab, &sentences, sgns_cfg);
+
+        // 3. Build the encoder and load the pre-trained embeddings. The
+        //    table has `vocab + oov_buckets` rows; bucket rows keep their
+        //    random init and are trained only if touched during fine-tuning.
+        let table_rows = vocab.len() + config.oov_buckets as usize;
+        let enc_cfg = match config.variant {
+            Variant::DistilLite => EncoderConfig {
+                max_len: config.max_tokens,
+                ..EncoderConfig::distil_lite(table_rows, config.dim, config.seed)
+            },
+            Variant::MpLite => EncoderConfig {
+                max_len: config.max_tokens,
+                ..EncoderConfig::mp_lite(table_rows, config.dim, config.seed)
+            },
+        };
+        let mut encoder = ColumnEncoder::new(enc_cfg);
+        encoder.load_pretrained_embeddings(&pretrained.table);
+
+        // 4. Self-join labeling + augmentation + fine-tuning.
+        let positives = self_join_positives(train_repo, join_type, &space, &config.data);
+        let pairs = prepare_training_pairs(train_repo, &positives, &config.data);
+        let tokenized = tokenize_pairs(&pairs, &textizer, &vocab, config.oov_buckets);
+        let epoch_losses = if tokenized.len() >= 2 {
+            fine_tune(&mut encoder, &tokenized, &config.fine_tune)
+        } else {
+            Vec::new()
+        };
+
+        let report = TrainReport {
+            num_positives: positives.len(),
+            num_pairs: pairs.len(),
+            vocab_size: vocab.len(),
+            epoch_losses,
+        };
+        (
+            Self {
+                config,
+                vocab,
+                textizer,
+                encoder,
+                index: None,
+            },
+            report,
+        )
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DeepJoinConfig {
+        &self.config
+    }
+
+    /// Contextualize + tokenize + encode one column (the "query encoding"
+    /// stage of the efficiency analysis, §3.4).
+    pub fn embed_column(&self, column: &Column) -> Vec<f32> {
+        let text = self.textizer.transform(column);
+        let tokens = self
+            .vocab
+            .encode_hybrid_bucketed(&text, self.config.oov_buckets);
+        let mut v = self.encoder.encode(&tokens);
+        deepjoin_embed::vector::normalize(&mut v);
+        v
+    }
+
+    /// Offline: embed and index every column of the repository (§3.3).
+    pub fn index_repository(&mut self, repo: &Repository) {
+        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw);
+        for col in repo.columns() {
+            let v = self.embed_column(col);
+            index.add(&v);
+        }
+        self.index = Some(index);
+    }
+
+    /// Index pre-computed embeddings (used when the embedding pass was
+    /// batched / parallelized externally).
+    pub fn index_embeddings(&mut self, embeddings: &[f32]) {
+        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw);
+        index.add_batch(embeddings);
+        self.index = Some(index);
+    }
+
+    /// Online top-k search: encode the query column and run ANNS under
+    /// Euclidean distance (§3.3). Returned ids are repository column ids
+    /// (insertion order), scores are negated distances (higher = closer).
+    pub fn search(&self, query: &Column, k: usize) -> Vec<ScoredColumn> {
+        let v = self.embed_column(query);
+        self.search_embedded(&v, k)
+    }
+
+    /// ANNS part only (for timing decomposition in the benchmarks).
+    pub fn search_embedded(&self, query_embedding: &[f32], k: usize) -> Vec<ScoredColumn> {
+        let index = self.index.as_ref().expect("index_repository() first");
+        index
+            .search(query_embedding, k)
+            .into_iter()
+            .map(|Neighbor { id, distance }| ScoredColumn {
+                id: ColumnId(id),
+                score: -distance as f64,
+            })
+            .collect()
+    }
+
+    /// Number of indexed columns (0 before `index_repository`).
+    pub fn indexed_len(&self) -> usize {
+        self.index.as_ref().map(|i| i.len()).unwrap_or(0)
+    }
+
+    /// Vocabulary accessor (shared with baselines in the benchmarks).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Textizer accessor.
+    pub fn textizer(&self) -> &Textizer {
+        &self.textizer
+    }
+
+    /// Encoder accessor (for the batch/parallel encoding path).
+    pub fn encoder(&self) -> &ColumnEncoder {
+        &self.encoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+    use deepjoin_metrics::precision_at_k;
+
+    fn small_setup() -> (Repository, Repository, Vec<(Column, deepjoin_lake::ColumnProvenance)>) {
+        let mut cfg = CorpusConfig::new(CorpusProfile::Webtable, 400, 11);
+        cfg.num_domains = 7;
+        cfg.entities_per_domain = 250;
+        let corpus = Corpus::generate(cfg);
+        let (repo, _) = corpus.to_repository();
+        let train = crate::train::sample_training_repository(&repo, 300, 3);
+        let queries = corpus.sample_queries(8, 21);
+        (train, repo, queries)
+    }
+
+    fn quick_config(variant: Variant) -> DeepJoinConfig {
+        DeepJoinConfig {
+            variant,
+            dim: 32,
+            sgns: SgnsConfig {
+                dim: 32,
+                epochs: 1,
+                ..SgnsConfig::default()
+            },
+            fine_tune: FineTuneConfig {
+                epochs: 5,
+                adam: deepjoin_nn::adam::AdamConfig {
+                    lr: 5e-3,
+                    warmup_steps: 20,
+                    ..Default::default()
+                },
+                ..FineTuneConfig::default()
+            },
+            data: TrainDataConfig {
+                max_pairs: 2_000,
+                ..TrainDataConfig::default()
+            },
+            ..DeepJoinConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_equi_beats_random() {
+        let (train, repo, queries) = small_setup();
+        let (mut model, report) = DeepJoin::train(&train, JoinType::Equi, quick_config(Variant::MpLite));
+        assert!(report.num_positives > 0, "lake must contain positives");
+        assert!(!report.epoch_losses.is_empty());
+        model.index_repository(&repo);
+        assert_eq!(model.indexed_len(), repo.len());
+
+        let k = 10;
+        let mut precs = Vec::new();
+        for (q, _) in &queries {
+            let exact: Vec<u32> = deepjoin_lake::joinability::brute_force_topk(&repo, q, k)
+                .iter()
+                .map(|s| s.id.0)
+                .collect();
+            let got: Vec<u32> = model.search(q, k).iter().map(|s| s.id.0).collect();
+            assert_eq!(got.len(), k);
+            precs.push(precision_at_k(&got, &exact, k));
+        }
+        let mean = deepjoin_metrics::mean(&precs);
+        // Random retrieval over ~380 columns would land near k/|X| ≈ 0.03.
+        assert!(mean > 0.2, "precision@10 {mean} too low");
+    }
+
+    #[test]
+    fn both_variants_train() {
+        let (train, _repo, _q) = small_setup();
+        for v in [Variant::DistilLite, Variant::MpLite] {
+            let (model, report) = DeepJoin::train(&train, JoinType::Equi, quick_config(v));
+            assert!(report.vocab_size > 10);
+            let c = Column::from_cells(["alpha", "beta", "gamma", "delta", "eps"]);
+            let e = model.embed_column(&c);
+            assert_eq!(e.len(), 32);
+            assert!(e.iter().any(|&x| x != 0.0));
+        }
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let (train, _, _) = small_setup();
+        let (model, _) = DeepJoin::train(&train, JoinType::Equi, quick_config(Variant::DistilLite));
+        let c = Column::from_cells(["one", "two", "three", "four", "five"]);
+        assert_eq!(model.embed_column(&c), model.embed_column(&c));
+    }
+
+    #[test]
+    #[should_panic]
+    fn search_before_index_panics() {
+        let (train, _, _) = small_setup();
+        let (model, _) = DeepJoin::train(&train, JoinType::Equi, quick_config(Variant::DistilLite));
+        let c = Column::from_cells(["x", "y", "z", "w", "v"]);
+        let _ = model.search(&c, 5);
+    }
+}

@@ -1,0 +1,338 @@
+//! Binary persistence for trained DeepJoin models.
+//!
+//! A saved model carries everything inference and indexing need — the
+//! contextualizer (option, cell budget, cell frequencies), the vocabulary,
+//! the encoder configuration and parameters, and (optionally) the built
+//! HNSW index — in a little-endian, length-prefixed format with a magic
+//! header (same codec style as `deepjoin_ann::io`).
+//!
+//! Training-only settings (optimizer, labeling thresholds, SGNS) are *not*
+//! persisted: a loaded model can embed, index and search, but continuing
+//! training requires the original `DeepJoinConfig`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use deepjoin_ann::io::{decode_hnsw, encode_hnsw, DecodeError};
+use deepjoin_lake::tokenizer::Vocabulary;
+use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, Pooling};
+
+use crate::model::{DeepJoin, DeepJoinConfig, Variant};
+use crate::text::{CellFrequencies, Textizer, TransformOption};
+
+const MAGIC: &[u8; 4] = b"DJM1";
+const VERSION: u8 = 1;
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    need(buf, n)?;
+    let mut raw = vec![0u8; n];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| DecodeError::BadDiscriminant(0xFF))
+}
+
+fn put_f32s(out: &mut BytesMut, xs: &[f32]) {
+    out.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        out.put_f32_le(x);
+    }
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
+    need(buf, 8)?;
+    let n = buf.get_u64_le() as usize;
+    need(buf, n * 4)?;
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+fn transform_tag(t: TransformOption) -> u8 {
+    TransformOption::ALL.iter().position(|&o| o == t).unwrap() as u8
+}
+
+fn transform_from(tag: u8) -> Result<TransformOption, DecodeError> {
+    TransformOption::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(DecodeError::BadDiscriminant(tag))
+}
+
+/// Serialize a trained model. Set `include_index` to persist the built HNSW
+/// index alongside the encoder (larger file, instant reload of search).
+pub fn save_model(model: &DeepJoin, include_index: bool) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION);
+
+    // --- model-level config (inference-relevant subset) ---
+    let cfg = &model.config;
+    out.put_u8(match cfg.variant {
+        Variant::DistilLite => 0,
+        Variant::MpLite => 1,
+    });
+    out.put_u64_le(cfg.dim as u64);
+    out.put_u8(transform_tag(cfg.transform));
+    out.put_u64_le(cfg.max_cells as u64);
+    out.put_u64_le(cfg.max_tokens as u64);
+    out.put_u32_le(cfg.oov_buckets);
+
+    // --- textizer frequencies ---
+    match model.textizer.frequencies() {
+        Some(freq) => {
+            out.put_u8(1);
+            out.put_u64_le(freq.len() as u64);
+            // Deterministic order for byte-stable files.
+            let mut pairs: Vec<(&str, u32)> = freq.iter().collect();
+            pairs.sort_unstable();
+            for (cell, count) in pairs {
+                put_str(&mut out, cell);
+                out.put_u32_le(count);
+            }
+        }
+        None => out.put_u8(0),
+    }
+
+    // --- vocabulary ---
+    out.put_u64_le(model.vocab.len() as u64);
+    // Skip <unk> (id 0) — it is implicit in a fresh Vocabulary.
+    for id in 1..model.vocab.len() as u32 {
+        put_str(&mut out, model.vocab.token(id));
+        out.put_u64_le(model.vocab.count(id));
+    }
+
+    // --- encoder ---
+    let ec = &model.encoder.config;
+    out.put_u64_le(ec.vocab_size as u64);
+    out.put_u64_le(ec.out_dim as u64);
+    out.put_u64_le(ec.attn_hidden as u64);
+    out.put_u8(match ec.pooling {
+        Pooling::Mean => 0,
+        Pooling::Attention => 1,
+    });
+    out.put_u8(ec.use_positions as u8);
+    out.put_u8(ec.residual as u8);
+    out.put_u64_le(ec.seed);
+    let (emb, pos, aw, ab, av, h1w, h1b, h2w, h2b) = model.encoder.raw_params();
+    for t in [emb, pos, aw, ab, av, h1w, h1b, h2w, h2b] {
+        put_f32s(&mut out, t);
+    }
+
+    // --- index ---
+    match (&model.index, include_index) {
+        (Some(index), true) => {
+            out.put_u8(1);
+            let encoded = encode_hnsw(index);
+            out.put_u64_le(encoded.len() as u64);
+            out.put_slice(&encoded);
+        }
+        _ => out.put_u8(0),
+    }
+
+    out.freeze()
+}
+
+/// Deserialize a model saved by [`save_model`].
+pub fn load_model(mut buf: Bytes) -> Result<DeepJoin, DecodeError> {
+    need(&buf, 5)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+
+    need(&buf, 1 + 8 + 1 + 8 + 8 + 4)?;
+    let variant = match buf.get_u8() {
+        0 => Variant::DistilLite,
+        1 => Variant::MpLite,
+        other => return Err(DecodeError::BadDiscriminant(other)),
+    };
+    let dim = buf.get_u64_le() as usize;
+    let transform = transform_from(buf.get_u8())?;
+    let max_cells = buf.get_u64_le() as usize;
+    let max_tokens = buf.get_u64_le() as usize;
+    let oov_buckets = buf.get_u32_le();
+
+    // Textizer.
+    need(&buf, 1)?;
+    let mut textizer = Textizer::new(transform, max_cells);
+    if buf.get_u8() == 1 {
+        need(&buf, 8)?;
+        let n = buf.get_u64_le() as usize;
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cell = get_str(&mut buf)?;
+            need(&buf, 4)?;
+            pairs.push((cell, buf.get_u32_le()));
+        }
+        textizer = textizer.with_frequencies(CellFrequencies::from_pairs(pairs));
+    }
+
+    // Vocabulary: rebuild with exact ids by feeding tokens in id order.
+    need(&buf, 8)?;
+    let vocab_len = buf.get_u64_le() as usize;
+    let mut lists: Vec<(String, u64)> = Vec::with_capacity(vocab_len.saturating_sub(1));
+    for _ in 1..vocab_len {
+        let tok = get_str(&mut buf)?;
+        need(&buf, 8)?;
+        lists.push((tok, buf.get_u64_le()));
+    }
+    let vocab = Vocabulary::from_id_order(lists);
+
+    // Encoder.
+    need(&buf, 8 * 3 + 3 + 8)?;
+    let vocab_size = buf.get_u64_le() as usize;
+    let out_dim = buf.get_u64_le() as usize;
+    let attn_hidden = buf.get_u64_le() as usize;
+    let pooling = match buf.get_u8() {
+        0 => Pooling::Mean,
+        1 => Pooling::Attention,
+        other => return Err(DecodeError::BadDiscriminant(other)),
+    };
+    let use_positions = buf.get_u8() != 0;
+    let residual = buf.get_u8() != 0;
+    let seed = buf.get_u64_le();
+    let ec = EncoderConfig {
+        vocab_size,
+        dim,
+        out_dim,
+        attn_hidden,
+        max_len: max_tokens,
+        pooling,
+        use_positions,
+        residual,
+        seed,
+    };
+    let mut params: Vec<Vec<f32>> = Vec::with_capacity(9);
+    for _ in 0..9 {
+        params.push(get_f32s(&mut buf)?);
+    }
+    let encoder = ColumnEncoder::from_raw_params(
+        ec,
+        params.try_into().expect("exactly nine tensors"),
+    );
+
+    // Index.
+    need(&buf, 1)?;
+    let index = if buf.get_u8() == 1 {
+        need(&buf, 8)?;
+        let n = buf.get_u64_le() as usize;
+        need(&buf, n)?;
+        let encoded = buf.split_to(n);
+        Some(decode_hnsw(encoded)?)
+    } else {
+        None
+    };
+
+    let config = DeepJoinConfig {
+        variant,
+        dim,
+        transform,
+        max_cells,
+        max_tokens,
+        oov_buckets,
+        ..DeepJoinConfig::default()
+    };
+    Ok(DeepJoin {
+        config,
+        vocab,
+        textizer,
+        encoder,
+        index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{FineTuneConfig, JoinType, TrainDataConfig};
+    use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+
+    fn trained() -> (DeepJoin, deepjoin_lake::Repository, Corpus) {
+        let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 400, 3));
+        let (repo, _) = corpus.to_repository();
+        let cfg = DeepJoinConfig {
+            variant: Variant::MpLite,
+            dim: 24,
+            sgns: deepjoin_embed::SgnsConfig {
+                dim: 24,
+                epochs: 1,
+                ..Default::default()
+            },
+            fine_tune: FineTuneConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            data: TrainDataConfig {
+                max_pairs: 1_000,
+                ..Default::default()
+            },
+            ..DeepJoinConfig::default()
+        };
+        let (mut model, _) = DeepJoin::train(&repo, JoinType::Equi, cfg);
+        model.index_repository(&repo);
+        (model, repo, corpus)
+    }
+
+    #[test]
+    fn roundtrip_preserves_embeddings_and_search() {
+        let (model, _repo, corpus) = trained();
+        let bytes = save_model(&model, true);
+        let loaded = load_model(bytes).unwrap();
+
+        let (q, _) = corpus.sample_queries(1, 8).pop().unwrap();
+        assert_eq!(model.embed_column(&q), loaded.embed_column(&q));
+        let a: Vec<u32> = model.search(&q, 10).iter().map(|s| s.id.0).collect();
+        let b: Vec<u32> = loaded.search(&q, 10).iter().map(|s| s.id.0).collect();
+        assert_eq!(a, b);
+        assert_eq!(loaded.indexed_len(), model.indexed_len());
+    }
+
+    #[test]
+    fn roundtrip_without_index_can_reindex() {
+        let (model, repo, corpus) = trained();
+        let bytes = save_model(&model, false);
+        let mut loaded = load_model(bytes).unwrap();
+        assert_eq!(loaded.indexed_len(), 0);
+        loaded.index_repository(&repo);
+        let (q, _) = corpus.sample_queries(1, 9).pop().unwrap();
+        let a: Vec<u32> = model.search(&q, 5).iter().map(|s| s.id.0).collect();
+        let b: Vec<u32> = loaded.search(&q, 5).iter().map(|s| s.id.0).collect();
+        assert_eq!(a, b, "re-indexing reproduces the same graph (same seed)");
+    }
+
+    #[test]
+    fn corrupted_model_is_rejected() {
+        let (model, _, _) = trained();
+        let bytes = save_model(&model, false);
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        match load_model(Bytes::from(bad)) {
+            Err(e) => assert_eq!(e, DecodeError::BadMagic),
+            Ok(_) => panic!("corrupted magic must be rejected"),
+        }
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(load_model(truncated).is_err());
+    }
+
+    #[test]
+    fn saved_files_are_byte_stable() {
+        let (model, _, _) = trained();
+        assert_eq!(save_model(&model, true), save_model(&model, true));
+    }
+}

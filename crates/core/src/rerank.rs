@@ -1,0 +1,194 @@
+//! Two-stage retrieval — the "more advanced paradigm" the paper's
+//! introduction points to as future work (candidate generation by ANNS,
+//! re-ranking by a more sophisticated scorer).
+//!
+//! Stage 1 retrieves `k · expansion` candidates with the embedding index;
+//! stage 2 re-scores them with the *exact* joinability of the target join
+//! type and returns the top-k. Cost: the ANNS search plus `O(k·expansion)`
+//! exact verifications — still independent of |𝒳|, but recovering exact
+//! ordering among the candidates.
+
+use deepjoin_embed::cell_space::{CellSpace, ColumnVectors};
+use deepjoin_lake::column::Column;
+use deepjoin_lake::joinability::{equi_joinability, rank_and_truncate, ScoredColumn};
+use deepjoin_lake::repository::Repository;
+
+use crate::model::DeepJoin;
+use crate::train::JoinType;
+
+/// Configuration of the re-ranking stage.
+#[derive(Debug, Clone, Copy)]
+pub struct RerankConfig {
+    /// Candidate multiplier: stage 1 fetches `k * expansion` columns.
+    pub expansion: usize,
+    /// Join type whose exact joinability re-scores the candidates.
+    pub join_type: JoinType,
+}
+
+impl Default for RerankConfig {
+    fn default() -> Self {
+        Self {
+            expansion: 4,
+            join_type: JoinType::Equi,
+        }
+    }
+}
+
+/// A two-stage searcher: DeepJoin embeddings for recall, exact joinability
+/// for precision.
+pub struct RerankingSearcher<'m> {
+    model: &'m DeepJoin,
+    repo: &'m Repository,
+    config: RerankConfig,
+    /// Pre-embedded repository columns for semantic re-scoring (built only
+    /// for semantic join types).
+    semantic: Option<(CellSpace, Vec<ColumnVectors>)>,
+}
+
+impl<'m> RerankingSearcher<'m> {
+    /// Wrap a trained + indexed model. For semantic re-ranking the
+    /// repository is embedded into 𝒱 once, up front.
+    pub fn new(model: &'m DeepJoin, repo: &'m Repository, config: RerankConfig) -> Self {
+        assert!(config.expansion >= 1, "expansion must be >= 1");
+        assert!(model.indexed_len() > 0, "index_repository() first");
+        let semantic = match config.join_type {
+            JoinType::Equi => None,
+            JoinType::Semantic { .. } => {
+                let space = CellSpace::new(deepjoin_embed::ngram::NgramEmbedder::new(
+                    deepjoin_embed::ngram::NgramConfig {
+                        dim: model.config().dim,
+                        ..Default::default()
+                    },
+                ));
+                let vecs = repo.columns().iter().map(|c| space.embed_column(c)).collect();
+                Some((space, vecs))
+            }
+        };
+        Self {
+            model,
+            repo,
+            config,
+            semantic,
+        }
+    }
+
+    /// Top-k search with exact re-ranking.
+    pub fn search(&self, query: &Column, k: usize) -> Vec<ScoredColumn> {
+        let candidates = self.model.search(query, k * self.config.expansion);
+        let rescored: Vec<ScoredColumn> = match (&self.config.join_type, &self.semantic) {
+            (JoinType::Equi, _) => candidates
+                .into_iter()
+                .map(|c| ScoredColumn {
+                    id: c.id,
+                    score: equi_joinability(query, self.repo.column(c.id)),
+                })
+                .collect(),
+            (JoinType::Semantic { tau }, Some((space, vecs))) => {
+                let qv = space.embed_column(query);
+                candidates
+                    .into_iter()
+                    .map(|c| ScoredColumn {
+                        id: c.id,
+                        score: CellSpace::semantic_joinability(&qv, &vecs[c.id.index()], *tau),
+                    })
+                    .collect()
+            }
+            _ => unreachable!("semantic state built in new()"),
+        };
+        rank_and_truncate(rescored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeepJoinConfig, Variant};
+    use crate::train::{FineTuneConfig, TrainDataConfig};
+    use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+    use deepjoin_lake::joinability::brute_force_topk;
+    use deepjoin_metrics::{mean, precision_at_k};
+
+    fn setup() -> (Corpus, Repository, DeepJoin) {
+        let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 600, 19));
+        let (repo, _) = corpus.to_repository();
+        let cfg = DeepJoinConfig {
+            variant: Variant::MpLite,
+            dim: 32,
+            sgns: deepjoin_embed::SgnsConfig {
+                dim: 32,
+                epochs: 1,
+                ..Default::default()
+            },
+            fine_tune: FineTuneConfig {
+                epochs: 4,
+                adam: deepjoin_nn::AdamConfig {
+                    lr: 5e-3,
+                    warmup_steps: 20,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            data: TrainDataConfig {
+                max_pairs: 4000,
+                ..Default::default()
+            },
+            ..DeepJoinConfig::default()
+        };
+        let (mut model, _) = DeepJoin::train(&repo, JoinType::Equi, cfg);
+        model.index_repository(&repo);
+        (corpus, repo, model)
+    }
+
+    #[test]
+    fn reranking_improves_or_matches_plain_search() {
+        let (corpus, repo, model) = setup();
+        let searcher = RerankingSearcher::new(&model, &repo, RerankConfig::default());
+        let queries = corpus.sample_queries(6, 9);
+        let k = 10;
+        let mut plain = Vec::new();
+        let mut reranked = Vec::new();
+        for (q, _) in &queries {
+            let exact: Vec<u32> = brute_force_topk(&repo, q, k).iter().map(|s| s.id.0).collect();
+            let p: Vec<u32> = model.search(q, k).iter().map(|s| s.id.0).collect();
+            let r: Vec<u32> = searcher.search(q, k).iter().map(|s| s.id.0).collect();
+            plain.push(precision_at_k(&p, &exact, k));
+            reranked.push(precision_at_k(&r, &exact, k));
+        }
+        assert!(
+            mean(&reranked) >= mean(&plain) - 1e-9,
+            "rerank {:.3} vs plain {:.3}",
+            mean(&reranked),
+            mean(&plain)
+        );
+    }
+
+    #[test]
+    fn rerank_scores_are_exact_joinability() {
+        let (corpus, repo, model) = setup();
+        let searcher = RerankingSearcher::new(&model, &repo, RerankConfig::default());
+        let (q, _) = corpus.sample_queries(1, 4).pop().unwrap();
+        for hit in searcher.search(&q, 5) {
+            let jn = equi_joinability(&q, repo.column(hit.id));
+            assert!((hit.score - jn).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn semantic_rerank_runs() {
+        let (corpus, repo, model) = setup();
+        let searcher = RerankingSearcher::new(
+            &model,
+            &repo,
+            RerankConfig {
+                expansion: 3,
+                join_type: JoinType::Semantic { tau: 0.9 },
+            },
+        );
+        let (q, _) = corpus.sample_queries(1, 6).pop().unwrap();
+        let hits = searcher.search(&q, 5);
+        assert_eq!(hits.len(), 5);
+        for h in &hits {
+            assert!((0.0..=1.0).contains(&h.score));
+        }
+    }
+}

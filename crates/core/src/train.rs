@@ -1,0 +1,448 @@
+//! Training-data preparation (paper §4.1) and the fine-tuning loop (§4.2).
+//!
+//! * **Positives** — a self-join on the training repository returns column
+//!   pairs with `jn(X, Y) ≥ t` (t = 0.7 in §5.1): an inverted-index
+//!   containment join for equi-joins, or PEXESO for semantic joins.
+//! * **Augmentation** — cell shuffle: with shuffle rate `r`, `r·|P|` extra
+//!   positives `(X′, Y)` are added with `X′` a random permutation of `X`, so
+//!   `r/(1+r)` of all positives come from shuffling.
+//! * **Negatives** — in-batch negatives (every `(Xᵢ, Yⱼ), j≠i` in a batch),
+//!   realized inside the multiple-negatives-ranking loss.
+//! * **Optimizer** — AdamW with linear warmup and weight decay (§5.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use deepjoin_embed::cell_space::CellSpace;
+use deepjoin_lake::column::{Column, ColumnId};
+use deepjoin_lake::fxhash::FxHashMap;
+use deepjoin_lake::repository::Repository;
+use deepjoin_lake::tokenizer::{TokenId, Vocabulary};
+use deepjoin_nn::adam::AdamConfig;
+use deepjoin_nn::encoder::{ColumnEncoder, EncoderOptimizer};
+use deepjoin_nn::matrix::Matrix;
+use deepjoin_nn::mnr::MnrLoss;
+use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
+
+use crate::text::Textizer;
+
+/// Which join type the model is trained for. The framework is identical —
+/// only the labeler differs (the paper's "two birds with one stone").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinType {
+    /// Equi-joins: Definition 2.1, labeled by a containment self-join.
+    Equi,
+    /// Semantic joins: Definition 2.3 with vector-matching threshold τ,
+    /// labeled by PEXESO.
+    Semantic {
+        /// Vector-matching threshold τ of Definition 2.2.
+        tau: f64,
+    },
+}
+
+/// Training-data preparation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainDataConfig {
+    /// Joinability threshold for positives (`t` in §4.1; 0.7 in §5.1).
+    pub threshold: f64,
+    /// Shuffle rate `r` (§4.1); 0 disables augmentation.
+    pub shuffle_rate: f64,
+    /// Cap on the number of (pre-augmentation) positive pairs.
+    pub max_pairs: usize,
+    /// Seed for sampling and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainDataConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.7,
+            shuffle_rate: 0.2,
+            max_pairs: 20_000,
+            seed: 0x7247,
+        }
+    }
+}
+
+/// A positive training pair (X may be a shuffled copy).
+#[derive(Debug, Clone)]
+pub struct TrainingPair {
+    /// Left column (the "query" side of the loss).
+    pub x: Column,
+    /// Right column.
+    pub y: Column,
+}
+
+/// Self-join positives: all ordered pairs `(X, Y)`, `X ≠ Y`, with
+/// `jn(X, Y) ≥ threshold` under the given join type.
+pub fn self_join_positives(
+    repo: &Repository,
+    join_type: JoinType,
+    space: &CellSpace,
+    config: &TrainDataConfig,
+) -> Vec<(ColumnId, ColumnId, f64)> {
+    match join_type {
+        JoinType::Equi => equi_self_join(repo, config.threshold),
+        JoinType::Semantic { tau } => semantic_self_join(repo, space, tau, config.threshold),
+    }
+}
+
+/// Containment self-join via an inverted index: for each column, accumulate
+/// overlap counts against all columns sharing a cell, then threshold.
+fn equi_self_join(repo: &Repository, threshold: f64) -> Vec<(ColumnId, ColumnId, f64)> {
+    // Inverted index: cell -> column ids.
+    let mut inverted: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+    for (id, col) in repo.iter() {
+        for cell in col.distinct() {
+            inverted.entry(cell.as_str()).or_default().push(id.0);
+        }
+    }
+    let mut out = Vec::new();
+    let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+    for (id, col) in repo.iter() {
+        counts.clear();
+        for cell in col.distinct() {
+            if let Some(posting) = inverted.get(cell.as_str()) {
+                for &other in posting {
+                    if other != id.0 {
+                        *counts.entry(other).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let denom = col.distinct_len() as f64;
+        if denom == 0.0 {
+            continue;
+        }
+        for (&other, &overlap) in &counts {
+            let jn = overlap as f64 / denom;
+            if jn >= threshold {
+                out.push((id, ColumnId(other), jn));
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    out
+}
+
+/// Semantic self-join: PEXESO thresholded queries, one per column.
+fn semantic_self_join(
+    repo: &Repository,
+    space: &CellSpace,
+    tau: f64,
+    threshold: f64,
+) -> Vec<(ColumnId, ColumnId, f64)> {
+    let embedded: Vec<_> = repo.columns().iter().map(|c| space.embed_column(c)).collect();
+    let index = PexesoIndex::build(&embedded, PexesoConfig::default());
+    let mut out = Vec::new();
+    for (id, _col) in repo.iter() {
+        let q = &embedded[id.index()];
+        for hit in index.query_threshold(q, tau, threshold) {
+            if hit.id != id {
+                out.push((id, hit.id, hit.score));
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    out
+}
+
+/// Materialize positive pairs with cell-shuffle augmentation (§4.1).
+pub fn prepare_training_pairs(
+    repo: &Repository,
+    positives: &[(ColumnId, ColumnId, f64)],
+    config: &TrainDataConfig,
+) -> Vec<TrainingPair> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut base: Vec<(ColumnId, ColumnId)> =
+        positives.iter().map(|&(x, y, _)| (x, y)).collect();
+    if base.len() > config.max_pairs {
+        base.shuffle(&mut rng);
+        base.truncate(config.max_pairs);
+    }
+    let mut pairs: Vec<TrainingPair> = base
+        .iter()
+        .map(|&(x, y)| TrainingPair {
+            x: repo.column(x).clone(),
+            y: repo.column(y).clone(),
+        })
+        .collect();
+
+    // Shuffle augmentation: add r·|P| pairs (X′, Y).
+    let num_aug = (config.shuffle_rate * base.len() as f64).round() as usize;
+    for _ in 0..num_aug {
+        let &(x, y) = base.choose(&mut rng).expect("non-empty positives");
+        let xc = repo.column(x);
+        let mut perm: Vec<usize> = (0..xc.len()).collect();
+        perm.shuffle(&mut rng);
+        pairs.push(TrainingPair {
+            x: xc.permuted(&perm),
+            y: repo.column(y).clone(),
+        });
+    }
+    pairs
+}
+
+/// Fine-tuning hyperparameters (§5.1, scaled to the small encoder).
+#[derive(Debug, Clone, Copy)]
+pub struct FineTuneConfig {
+    /// Epochs over the pair set.
+    pub epochs: usize,
+    /// Mini-batch size (32 in the paper).
+    pub batch_size: usize,
+    /// Cosine-score scale in the MNR loss.
+    pub mnr_scale: f32,
+    /// Optimizer settings.
+    pub adam: AdamConfig,
+    /// Seed for batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 3,
+            batch_size: 32,
+            mnr_scale: 20.0,
+            adam: AdamConfig::default(),
+            seed: 0xF17E,
+        }
+    }
+}
+
+/// Fine-tune `encoder` on tokenized pairs with the MNR loss and in-batch
+/// negatives. Returns the mean loss per epoch.
+pub fn fine_tune(
+    encoder: &mut ColumnEncoder,
+    pairs: &[(Vec<TokenId>, Vec<TokenId>)],
+    config: &FineTuneConfig,
+) -> Vec<f32> {
+    assert!(!pairs.is_empty(), "no training pairs");
+    let loss_fn = MnrLoss::new(config.mnr_scale);
+    let mut opt = EncoderOptimizer::new(encoder, config.adam);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            // Batches of one have no in-batch negatives; skip them.
+            if chunk.len() < 2 {
+                continue;
+            }
+            let xs: Vec<Vec<TokenId>> = chunk.iter().map(|&i| pairs[i].0.clone()).collect();
+            let ys: Vec<Vec<TokenId>> = chunk.iter().map(|&i| pairs[i].1.clone()).collect();
+
+            encoder.zero_grad();
+            let out_x = encoder.encode_batch(&xs);
+            let out_y = encoder.encode_batch(&ys); // cache now holds ys
+            let (loss, dx, dy) = loss_fn.forward(&out_x, &out_y);
+            encoder.backward(&dy); // consumes the ys cache
+            let re_x: Matrix = encoder.encode_batch(&xs); // restore xs cache
+            debug_assert_eq!(re_x.data.len(), out_x.data.len());
+            encoder.backward(&dx);
+            opt.step(encoder);
+
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    epoch_losses
+}
+
+/// Tokenize training pairs through the textizer + vocabulary, with
+/// hash-bucket fallback for out-of-vocabulary tokens (see
+/// [`Vocabulary::encode_bucketed`]).
+pub fn tokenize_pairs(
+    pairs: &[TrainingPair],
+    textizer: &Textizer,
+    vocab: &Vocabulary,
+    oov_buckets: u32,
+) -> Vec<(Vec<TokenId>, Vec<TokenId>)> {
+    pairs
+        .iter()
+        .map(|p| {
+            (
+                vocab.encode_hybrid_bucketed(&textizer.transform(&p.x), oov_buckets),
+                vocab.encode_hybrid_bucketed(&textizer.transform(&p.y), oov_buckets),
+            )
+        })
+        .collect()
+}
+
+/// Sample a random subset of `repo` as the training repository (§4.1: the
+/// self-join may run on a sample when 𝒳 is large).
+pub fn sample_training_repository(repo: &Repository, n: usize, seed: u64) -> Repository {
+    let mut ids: Vec<ColumnId> = repo.ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(n);
+    Repository::from_columns(ids.into_iter().map(|id| repo.column(id).clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+    use deepjoin_nn::encoder::{EncoderConfig, Pooling};
+
+    fn col(cells: &[&str]) -> Column {
+        Column::from_cells(cells.iter().copied())
+    }
+
+    fn repo() -> Repository {
+        Repository::from_columns(vec![
+            col(&["a", "b", "c", "d", "e"]),          // 0
+            col(&["a", "b", "c", "d", "x"]),          // 1: jn(0,1)=0.8 both ways
+            col(&["p", "q", "r", "s", "t"]),          // 2
+            col(&["a", "b", "c", "d", "e", "f", "g"]),// 3: jn(0,3)=1.0, jn(3,0)=5/7
+        ])
+    }
+
+    #[test]
+    fn equi_self_join_finds_expected_pairs() {
+        let pos = equi_self_join(&repo(), 0.7);
+        let has = |x: u32, y: u32| pos.iter().any(|&(a, b, _)| a.0 == x && b.0 == y);
+        assert!(has(0, 1));
+        assert!(has(1, 0));
+        assert!(has(0, 3)); // jn(0->3) = 1.0
+        assert!(has(3, 0)); // 5/7 ≈ 0.714
+        assert!(!has(0, 2));
+        // Scores are correct.
+        let s01 = pos.iter().find(|&&(a, b, _)| a.0 == 0 && b.0 == 1).unwrap().2;
+        assert!((s01 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equi_self_join_matches_brute_force() {
+        use deepjoin_lake::joinability::equi_joinability;
+        let r = repo();
+        let pos = equi_self_join(&r, 0.7);
+        for (x, y, s) in &pos {
+            let jn = equi_joinability(r.column(*x), r.column(*y));
+            assert!((jn - s).abs() < 1e-12);
+            assert!(jn >= 0.7);
+        }
+        // Completeness: every qualifying brute-force pair is present.
+        for (xi, x) in r.iter() {
+            for (yi, y) in r.iter() {
+                if xi == yi {
+                    continue;
+                }
+                if equi_joinability(x, y) >= 0.7 {
+                    assert!(pos.iter().any(|&(a, b, _)| a == xi && b == yi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_self_join_catches_noisy_pairs() {
+        let r = Repository::from_columns(vec![
+            col(&["paris", "tokyo", "lima", "oslo", "cairo"]),
+            col(&["pariss", "tokio", "lima", "oslo", "cairo"]), // noisy twin
+            col(&["zz-1", "zz-2", "zz-3", "zz-4", "zz-5"]),
+        ]);
+        let space = CellSpace::new(NgramEmbedder::new(NgramConfig::default()));
+        let pos = semantic_self_join(&r, &space, 0.9, 0.7);
+        assert!(pos.iter().any(|&(a, b, _)| a.0 == 0 && b.0 == 1));
+        assert!(!pos.iter().any(|&(a, b, _)| a.0 == 0 && b.0 == 2));
+    }
+
+    #[test]
+    fn augmentation_rate_is_respected() {
+        let r = repo();
+        let pos = equi_self_join(&r, 0.7);
+        let cfg = TrainDataConfig {
+            shuffle_rate: 0.5,
+            ..Default::default()
+        };
+        let pairs = prepare_training_pairs(&r, &pos, &cfg);
+        let expected_aug = (0.5 * pos.len() as f64).round() as usize;
+        assert_eq!(pairs.len(), pos.len() + expected_aug);
+        // Shuffled copies keep the multiset of cells.
+        for p in &pairs {
+            let mut orig_found = false;
+            for (_, c) in r.iter() {
+                let mut a = c.cells.clone();
+                let mut b = p.x.cells.clone();
+                a.sort();
+                b.sort();
+                if a == b {
+                    orig_found = true;
+                    break;
+                }
+            }
+            assert!(orig_found, "augmented X must be a permutation of a repo column");
+        }
+    }
+
+    #[test]
+    fn max_pairs_caps() {
+        let r = repo();
+        let pos = equi_self_join(&r, 0.7);
+        let cfg = TrainDataConfig {
+            max_pairs: 2,
+            shuffle_rate: 0.0,
+            ..Default::default()
+        };
+        let pairs = prepare_training_pairs(&r, &pos, &cfg);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn fine_tune_reduces_loss() {
+        // Two clusters of token sequences; pairs within clusters.
+        let mut pairs = Vec::new();
+        for i in 0..40u32 {
+            let base = if i % 2 == 0 { 1u32 } else { 10 };
+            let x: Vec<TokenId> = (0..6).map(|j| base + (i + j) % 5).collect();
+            let y: Vec<TokenId> = (0..6).map(|j| base + (i + j + 1) % 5).collect();
+            pairs.push((x, y));
+        }
+        let mut encoder = ColumnEncoder::new(EncoderConfig {
+            vocab_size: 20,
+            dim: 12,
+            out_dim: 8,
+            attn_hidden: 6,
+            max_len: 10,
+            pooling: Pooling::Attention,
+            use_positions: true,
+            residual: false,
+            seed: 3,
+        });
+        let losses = fine_tune(
+            &mut encoder,
+            &pairs,
+            &FineTuneConfig {
+                epochs: 6,
+                batch_size: 8,
+                adam: AdamConfig {
+                    lr: 5e-3,
+                    warmup_steps: 5,
+                    ..AdamConfig::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert!(losses.len() == 6);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss should drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn sample_training_repository_sizes() {
+        let r = repo();
+        let s = sample_training_repository(&r, 2, 1);
+        assert_eq!(s.len(), 2);
+        let all = sample_training_repository(&r, 100, 1);
+        assert_eq!(all.len(), r.len());
+    }
+}

@@ -1,0 +1,243 @@
+//! The metric space 𝒱 of Definition 2.2 and semantic joinability (Def 2.3).
+//!
+//! Cells are embedded with the n-gram embedder ([`crate::ngram`]) to unit
+//! vectors; two cells *match* when their Euclidean distance is at most τ.
+//! This module provides the reference (brute force) semantic-joinability
+//! evaluator used to label training data and to verify PEXESO.
+//!
+//! Following the equi-join convention (Definition 2.1 deduplicates cells),
+//! we evaluate semantic joinability over each column's **distinct** cell
+//! values: `jn(Q,X) = |{q ∈ D(Q) : ∃x ∈ D(X), d(q,x) ≤ τ}| / |D(Q)|`.
+//! This keeps the two join types directly comparable and makes repeated
+//! values cost nothing extra.
+
+use deepjoin_lake::column::Column;
+use deepjoin_lake::joinability::{rank_and_truncate, ScoredColumn};
+use deepjoin_lake::repository::Repository;
+
+use crate::ngram::NgramEmbedder;
+use crate::vector::l2_sq;
+
+/// A column embedded into 𝒱: one unit vector per distinct cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVectors {
+    /// Dimensionality of the space.
+    pub dim: usize,
+    /// Row-major matrix: `len x dim` vectors.
+    pub data: Vec<f32>,
+}
+
+impl ColumnVectors {
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.data.len() / self.dim
+        }
+    }
+
+    /// True when there are no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th vector.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterate vectors.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+/// The cell-embedding space shared by semantic-join components.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpace {
+    embedder: NgramEmbedder,
+}
+
+impl CellSpace {
+    /// Build a space around an embedder.
+    pub fn new(embedder: NgramEmbedder) -> Self {
+        Self { embedder }
+    }
+
+    /// Dimensionality of 𝒱.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// The underlying embedder.
+    pub fn embedder(&self) -> &NgramEmbedder {
+        &self.embedder
+    }
+
+    /// Embed one cell value.
+    pub fn embed_cell(&self, cell: &str) -> Vec<f32> {
+        self.embedder.embed_cell(cell)
+    }
+
+    /// Embed a column's distinct cells (first-occurrence order).
+    pub fn embed_column(&self, column: &Column) -> ColumnVectors {
+        let distinct = column.distinct_in_order();
+        let dim = self.dim();
+        let mut data = Vec::with_capacity(distinct.len() * dim);
+        for cell in distinct {
+            data.extend_from_slice(&self.embedder.embed_cell(cell));
+        }
+        ColumnVectors { dim, data }
+    }
+
+    /// `M_τ^d(v1, v2)` — vector matching under Euclidean distance
+    /// (Definition 2.2).
+    #[inline]
+    pub fn matches(v1: &[f32], v2: &[f32], tau: f64) -> bool {
+        (l2_sq(v1, v2) as f64) <= tau * tau
+    }
+
+    /// Semantic joinability from `q` to `x` (Definition 2.3), brute force:
+    /// O(|q| · |x| · dim).
+    pub fn semantic_joinability(q: &ColumnVectors, x: &ColumnVectors, tau: f64) -> f64 {
+        if q.is_empty() {
+            return 0.0;
+        }
+        let tau_sq = (tau * tau) as f32;
+        let mut matched = 0usize;
+        for qv in q.iter() {
+            if x.iter().any(|xv| l2_sq(qv, xv) <= tau_sq) {
+                matched += 1;
+            }
+        }
+        matched as f64 / q.len() as f64
+    }
+}
+
+/// Pre-embedded repository for repeated brute-force evaluation.
+#[derive(Debug, Clone)]
+pub struct EmbeddedRepository {
+    /// One vector set per repository column, in id order.
+    pub columns: Vec<ColumnVectors>,
+}
+
+impl EmbeddedRepository {
+    /// Embed every column of `repo` under `space`.
+    pub fn build(space: &CellSpace, repo: &Repository) -> Self {
+        let columns = repo.columns().iter().map(|c| space.embed_column(c)).collect();
+        Self { columns }
+    }
+
+    /// Exact top-k semantic-joinable columns by brute force.
+    pub fn brute_force_topk(
+        &self,
+        query: &ColumnVectors,
+        tau: f64,
+        k: usize,
+    ) -> Vec<ScoredColumn> {
+        let scored = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, x)| ScoredColumn {
+                id: deepjoin_lake::column::ColumnId(i as u32),
+                score: CellSpace::semantic_joinability(query, x, tau),
+            })
+            .collect();
+        rank_and_truncate(scored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::NgramConfig;
+
+    fn space() -> CellSpace {
+        CellSpace::new(NgramEmbedder::new(NgramConfig::default()))
+    }
+
+    fn col(cells: &[&str]) -> Column {
+        Column::from_cells(cells.iter().copied())
+    }
+
+    #[test]
+    fn identical_columns_fully_joinable() {
+        let s = space();
+        let q = s.embed_column(&col(&["paris", "tokyo", "lima"]));
+        assert_eq!(CellSpace::semantic_joinability(&q, &q, 0.1), 1.0);
+    }
+
+    #[test]
+    fn misspellings_match_at_loose_tau_only() {
+        let s = space();
+        let q = s.embed_column(&col(&["montevideo"]));
+        let x = s.embed_column(&col(&["montevdeo"]));
+        let jn_loose = CellSpace::semantic_joinability(&q, &x, 0.9);
+        let jn_tight = CellSpace::semantic_joinability(&q, &x, 0.05);
+        assert_eq!(jn_loose, 1.0);
+        assert_eq!(jn_tight, 0.0);
+    }
+
+    #[test]
+    fn unrelated_columns_do_not_match() {
+        let s = space();
+        let q = s.embed_column(&col(&["quarterly revenue"]));
+        let x = s.embed_column(&col(&["zx-00412"]));
+        assert_eq!(CellSpace::semantic_joinability(&q, &x, 0.9), 0.0);
+    }
+
+    #[test]
+    fn joinability_monotone_in_tau() {
+        let s = space();
+        let q = s.embed_column(&col(&["alpha one", "beta two", "gamma three"]));
+        let x = s.embed_column(&col(&["alpha one", "beta twoo", "delta nine"]));
+        let mut prev = 0.0;
+        for tau in [0.1, 0.3, 0.5, 0.7, 0.9, 1.2] {
+            let jn = CellSpace::semantic_joinability(&q, &x, tau);
+            assert!(jn >= prev, "jn must grow with tau");
+            prev = jn;
+        }
+    }
+
+    #[test]
+    fn distinct_cells_drive_the_score() {
+        let s = space();
+        // Duplicates in the query shouldn't change jn (we use distinct cells).
+        let q1 = s.embed_column(&col(&["paris", "paris", "tokyo"]));
+        let q2 = s.embed_column(&col(&["paris", "tokyo"]));
+        let x = s.embed_column(&col(&["paris"]));
+        assert_eq!(
+            CellSpace::semantic_joinability(&q1, &x, 0.2),
+            CellSpace::semantic_joinability(&q2, &x, 0.2)
+        );
+    }
+
+    #[test]
+    fn brute_force_topk_ranks_by_joinability() {
+        let s = space();
+        let repo = Repository::from_columns(vec![
+            col(&["paris", "tokyo", "lima", "oslo", "cairo"]),
+            col(&["paris", "tokyo", "rome", "bonn", "kiev"]),
+            col(&["zz-1", "zz-2", "zz-3", "zz-4", "zz-5"]),
+        ]);
+        let er = EmbeddedRepository::build(&s, &repo);
+        let q = s.embed_column(&col(&["paris", "tokyo", "lima", "oslo", "cairo"]));
+        let top = er.brute_force_topk(&q, 0.3, 2);
+        assert_eq!(top[0].id.0, 0);
+        assert_eq!(top[0].score, 1.0);
+        assert_eq!(top[1].id.0, 1);
+        assert!(top[1].score < 1.0 && top[1].score >= 0.4);
+    }
+
+    #[test]
+    fn column_vectors_accessors() {
+        let s = space();
+        let cv = s.embed_column(&col(&["a1", "b2"]));
+        assert_eq!(cv.len(), 2);
+        assert_eq!(cv.vector(0).len(), s.dim());
+        assert_eq!(cv.iter().count(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! # deepjoin-embed
+//!
+//! Static embedding substrate for the DeepJoin reproduction:
+//!
+//! * [`ngram`] — character-n-gram hashing embeddings, the deterministic
+//!   stand-in for fastText (used for the semantic-join vector space 𝒱, the
+//!   `fastText` baseline, and the MLP baseline's features);
+//! * [`sgns`] — from-scratch skip-gram-negative-sampling pre-training of
+//!   token embeddings over the lake's own text (the stand-in for the PLMs'
+//!   pre-training, and the un-fine-tuned `BERT`/`MPNet` baselines);
+//! * [`cell_space`] — the metric space of Definition 2.2 plus the reference
+//!   brute-force semantic-joinability evaluator of Definition 2.3;
+//! * [`vector`] — small dense-vector helpers.
+
+#![warn(missing_docs)]
+
+pub mod cell_space;
+pub mod ngram;
+pub mod sgns;
+pub mod vector;
+
+pub use cell_space::{CellSpace, ColumnVectors, EmbeddedRepository};
+pub use ngram::{NgramConfig, NgramEmbedder};
+pub use sgns::{train_sgns, SgnsConfig, TokenEmbeddings};

@@ -1,0 +1,224 @@
+//! Character-n-gram hashing embeddings — the fastText stand-in.
+//!
+//! fastText represents a word as the average of embeddings of its character
+//! n-grams (plus the word itself), which is what makes it robust to
+//! misspellings. We reproduce exactly that construction, but derive each
+//! n-gram's embedding *deterministically from its hash* instead of from a
+//! trained table: component `i` of bucket `b` is a pseudo-random value in
+//! `[-1, 1]` computed by hashing `(b, i)`. Averaging many n-grams gives
+//! nearby strings nearby vectors (shared n-grams dominate), which is the
+//! only property the paper needs from fastText (DESIGN.md §1).
+//!
+//! The embedding is L2-normalized, so Euclidean distance and cosine
+//! similarity are monotonically related (`d² = 2 − 2·cos`).
+
+use serde::{Deserialize, Serialize};
+
+use deepjoin_lake::fxhash::hash_u64;
+
+/// Configuration of the n-gram embedder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NgramConfig {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Minimum n-gram length.
+    pub min_n: usize,
+    /// Maximum n-gram length (inclusive).
+    pub max_n: usize,
+    /// Number of hash buckets n-grams are mapped into.
+    pub buckets: u64,
+    /// Seed mixed into every hash, so two embedders with different seeds
+    /// define different (incompatible) spaces.
+    pub seed: u64,
+}
+
+impl Default for NgramConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            min_n: 2,
+            max_n: 4,
+            buckets: 1 << 20,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The embedder. Stateless apart from its config; embedding is a pure
+/// function of the input string.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NgramEmbedder {
+    config: NgramConfig,
+}
+
+impl NgramEmbedder {
+    /// Create an embedder.
+    pub fn new(config: NgramConfig) -> Self {
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(
+            config.min_n >= 1 && config.min_n <= config.max_n,
+            "need 1 <= min_n <= max_n"
+        );
+        Self { config }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Config accessor.
+    pub fn config(&self) -> &NgramConfig {
+        &self.config
+    }
+
+    /// Embed a string to a unit-length vector. Empty strings map to zero.
+    ///
+    /// Boundary markers `<`/`>` are added (as in fastText) so prefixes and
+    /// suffixes hash differently from inner substrings.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut acc = vec![0f32; self.config.dim];
+        if text.is_empty() {
+            return acc;
+        }
+        let mut count = 0usize;
+        // fastText treats the word with boundary markers.
+        let bounded: Vec<char> = std::iter::once('<')
+            .chain(text.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        for n in self.config.min_n..=self.config.max_n {
+            if bounded.len() < n {
+                break;
+            }
+            for window in bounded.windows(n) {
+                let mut s = String::with_capacity(n * 2);
+                s.extend(window.iter());
+                let bucket =
+                    (deepjoin_lake::fxhash::hash_bytes(s.as_bytes()) ^ self.config.seed)
+                        % self.config.buckets;
+                self.add_bucket(&mut acc, bucket);
+                count += 1;
+            }
+        }
+        if count > 0 {
+            crate::vector::scale(&mut acc, 1.0 / count as f32);
+            crate::vector::normalize(&mut acc);
+        }
+        acc
+    }
+
+    /// Embed a multi-word cell: average of per-word embeddings, normalized.
+    /// This matches how fastText-based pipelines embed short phrases.
+    pub fn embed_cell(&self, cell: &str) -> Vec<f32> {
+        let words: Vec<&str> = cell.split_whitespace().collect();
+        if words.len() <= 1 {
+            return self.embed(cell);
+        }
+        let mut acc = vec![0f32; self.config.dim];
+        for w in &words {
+            let v = self.embed(w);
+            crate::vector::add_assign(&mut acc, &v);
+        }
+        crate::vector::scale(&mut acc, 1.0 / words.len() as f32);
+        crate::vector::normalize(&mut acc);
+        acc
+    }
+
+    /// Add bucket `b`'s pseudo-random unit-scale pattern into `acc`.
+    #[inline]
+    fn add_bucket(&self, acc: &mut [f32], bucket: u64) {
+        // Derive dim pseudo-random components by counter-mode hashing; two
+        // rounds of fx-mixing per component are enough for our purposes.
+        for (i, a) in acc.iter_mut().enumerate() {
+            let h = hash_u64(bucket.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64));
+            // Map the top 24 bits to [-1, 1).
+            let unit = ((h >> 40) as f32) / ((1u64 << 23) as f32) - 1.0;
+            *a += unit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{cosine, l2, norm};
+
+    fn embedder() -> NgramEmbedder {
+        NgramEmbedder::new(NgramConfig::default())
+    }
+
+    #[test]
+    fn embeddings_are_unit_length() {
+        let e = embedder();
+        for s in ["paris", "tokyo", "a", "new york city"] {
+            let v = e.embed(s);
+            assert!((norm(&v) - 1.0).abs() < 1e-5, "norm of '{s}'");
+        }
+    }
+
+    #[test]
+    fn empty_string_is_zero() {
+        let e = embedder();
+        // "<>" is a 2-char sequence; min_n=3 yields no n-grams... except
+        // windows of len >= 3 don't exist, so the vector must be zero.
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = embedder();
+        assert_eq!(e.embed("granada"), e.embed("granada"));
+    }
+
+    #[test]
+    fn misspelling_is_near_original() {
+        let e = embedder();
+        let a = e.embed("montevideo");
+        let b = e.embed("montevdeo"); // deletion
+        let c = e.embed("quarterly report");
+        assert!(
+            cosine(&a, &b) > 0.5,
+            "misspelling should stay close: {}",
+            cosine(&a, &b)
+        );
+        assert!(
+            cosine(&a, &c) < 0.3,
+            "unrelated strings should be far: {}",
+            cosine(&a, &c)
+        );
+        // And in Euclidean terms (both unit): near pair << far pair.
+        assert!(l2(&a, &b) < l2(&a, &c));
+    }
+
+    #[test]
+    fn cell_embedding_shares_words() {
+        let e = embedder();
+        let a = e.embed_cell("alice bennett 12");
+        let b = e.embed_cell("alice chen 300");
+        let c = e.embed_cell("swift widget 950");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn different_seeds_give_different_spaces() {
+        let e1 = NgramEmbedder::new(NgramConfig {
+            seed: 1,
+            ..NgramConfig::default()
+        });
+        let e2 = NgramEmbedder::new(NgramConfig {
+            seed: 2,
+            ..NgramConfig::default()
+        });
+        assert_ne!(e1.embed("paris"), e2.embed("paris"));
+    }
+
+    #[test]
+    fn identical_strings_match_under_any_threshold() {
+        let e = embedder();
+        let a = e.embed_cell("fort kelso 123");
+        let b = e.embed_cell("fort kelso 123");
+        assert!(l2(&a, &b) < 1e-6);
+    }
+}

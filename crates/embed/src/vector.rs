@@ -1,0 +1,145 @@
+//! Small dense-vector helpers shared by the embedding code.
+//!
+//! These are deliberately plain `&[f32]` functions (no vector newtype): the
+//! perf guide favours slices for flexibility, and every consumer (`ann`,
+//! `nn`, `pexeso`) stores its own contiguous buffers.
+
+/// Dot product. Panics if lengths differ (debug) — callers guarantee equal
+/// dimensionality.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Iterator zip keeps this free of bounds checks and autovectorizable.
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    l2_sq(a, b).sqrt()
+}
+
+/// Euclidean norm of `a`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Normalize `a` to unit length in place. Zero vectors are left unchanged.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for x in a {
+            *x *= inv;
+        }
+    }
+}
+
+/// Cosine similarity; 0 when either vector is zero.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// `acc += x` element-wise.
+#[inline]
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (a, v) in acc.iter_mut().zip(x) {
+        *a += v;
+    }
+}
+
+/// `acc += s * x` element-wise.
+#[inline]
+pub fn add_scaled(acc: &mut [f32], x: &[f32], s: f32) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (a, v) in acc.iter_mut().zip(x) {
+        *a += s * v;
+    }
+}
+
+/// `a *= s` element-wise.
+#[inline]
+pub fn scale(a: &mut [f32], s: f32) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn l2_matches_manual() {
+        assert!((l2(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn accumulators() {
+        let mut acc = vec![1.0, 1.0];
+        add_assign(&mut acc, &[1.0, 2.0]);
+        assert_eq!(acc, vec![2.0, 3.0]);
+        add_scaled(&mut acc, &[1.0, 1.0], 0.5);
+        assert_eq!(acc, vec![2.5, 3.5]);
+        scale(&mut acc, 2.0);
+        assert_eq!(acc, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn cosine_euclidean_relation_on_unit_vectors() {
+        // For unit vectors: d² = 2 - 2·cos.
+        let mut a = vec![0.6, 0.8, 0.0];
+        let mut b = vec![0.0, 0.6, 0.8];
+        normalize(&mut a);
+        normalize(&mut b);
+        let d2 = l2_sq(&a, &b);
+        let c = cosine(&a, &b);
+        assert!((d2 - (2.0 - 2.0 * c)).abs() < 1e-5);
+    }
+}

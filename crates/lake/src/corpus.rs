@@ -1,0 +1,696 @@
+//! Synthetic data-lake generator (Webtable / Wikitable stand-ins).
+//!
+//! The generator replaces the WDC Web Table Corpus and the Wikipedia tables
+//! used in the paper (see DESIGN.md §1 for the substitution rationale). It
+//! produces tables whose key columns sample entities from ground-truth
+//! *domains* (see [`crate::dictionary`]) with:
+//!
+//! * **Zipfian skew** — head entities recur across tables, mirroring the
+//!   skewed token frequencies of real lakes;
+//! * **focus windows** — each domain has narrow entity windows that groups of
+//!   tables share, so the lake contains genuinely joinable column families
+//!   (the self-join of §4.1 finds its positives there);
+//! * **heavy-tailed column sizes** — lognormal lengths with min 5, average
+//!   ≈ 20, and a long tail, matching Table 2;
+//! * **cell noise** — a fraction of cells are misspelled / reformatted, which
+//!   breaks equi-matching but not semantic matching;
+//! * **metadata** — table titles, column names and context sentences built
+//!   from the domain vocabulary, feeding the contextualization options.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::column::{Column, ColumnMeta};
+use crate::dictionary::{DomainCatalog, EntityKind, CONTEXT_WORDS};
+use crate::noise::perturb;
+use crate::repository::{ExtractionRule, Repository, MIN_CELLS};
+use crate::table::Table;
+use crate::zipf::Zipf;
+
+/// Which real corpus the generated lake imitates. The two profiles differ in
+/// the statistics the paper reports in Table 2 and in the extraction rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorpusProfile {
+    /// WDC web tables: key column designated by metadata, avg |X| ≈ 20.8,
+    /// max ≈ 6031, noisier values.
+    Webtable,
+    /// Wikipedia tables: most-distinct column extracted, avg |X| ≈ 18.6,
+    /// max ≈ 3454, cleaner values but denser join structure.
+    Wikitable,
+}
+
+impl CorpusProfile {
+    /// The column-extraction rule §5.1 pairs with this corpus.
+    pub fn extraction_rule(self) -> ExtractionRule {
+        match self {
+            CorpusProfile::Webtable => ExtractionRule::KeyColumn,
+            CorpusProfile::Wikitable => ExtractionRule::MostDistinct,
+        }
+    }
+
+    fn size_log_mean(self) -> f64 {
+        match self {
+            CorpusProfile::Webtable => 2.25,
+            CorpusProfile::Wikitable => 2.15,
+        }
+    }
+
+    fn size_log_std(self) -> f64 {
+        match self {
+            CorpusProfile::Webtable => 0.95,
+            CorpusProfile::Wikitable => 0.85,
+        }
+    }
+
+    fn max_cells(self) -> usize {
+        match self {
+            CorpusProfile::Webtable => 6031,
+            CorpusProfile::Wikitable => 3454,
+        }
+    }
+
+    fn default_noise_rate(self) -> f64 {
+        match self {
+            CorpusProfile::Webtable => 0.12,
+            CorpusProfile::Wikitable => 0.06,
+        }
+    }
+}
+
+/// Configuration of the synthetic lake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Which corpus to imitate.
+    pub profile: CorpusProfile,
+    /// Number of tables to generate. Each table yields one searchable column
+    /// under the profile's extraction rule, so this roughly equals |𝒳|.
+    pub num_tables: usize,
+    /// Number of ground-truth domains.
+    pub num_domains: usize,
+    /// Entities per domain universe.
+    pub entities_per_domain: usize,
+    /// Zipf exponent for entity sampling (higher = more head-heavy).
+    pub zipf_exponent: f64,
+    /// Probability that a column samples from a narrow focus window rather
+    /// than the whole domain. Focused columns form joinable families.
+    pub focus_rate: f64,
+    /// Width of a focus window, as a fraction of the domain universe.
+    pub focus_width: f64,
+    /// Number of focus windows per domain. Family size ≈
+    /// `num_tables · focus_rate / (num_domains · windows_per_domain)`;
+    /// the default targets ≈ 40 columns per family so top-k (k ≤ 50)
+    /// ground truth is meaningful, mirroring the dense join structure of
+    /// the paper's corpora (190K+ positives from 30K columns).
+    pub windows_per_domain: usize,
+    /// Fraction of cells perturbed with noise (misspellings / reformatting).
+    pub noise_rate: f64,
+    /// Of the noisy cells, the fraction receiving a *strong* variant
+    /// (stacked edits, word reorder/drop) that typically falls outside the
+    /// τ-matching radius while remaining the same entity to the oracle.
+    pub strong_noise_rate: f64,
+    /// Master seed; every derived RNG is seeded from this.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A config with profile-appropriate defaults at the given scale.
+    pub fn new(profile: CorpusProfile, num_tables: usize, seed: u64) -> Self {
+        let num_domains = (num_tables / 120).clamp(7, 350);
+        let focus_rate = 0.7;
+        let windows_per_domain =
+            ((num_tables as f64 * focus_rate) / (num_domains as f64 * 40.0)).round() as usize;
+        Self {
+            profile,
+            num_tables,
+            num_domains,
+            entities_per_domain: 600,
+            zipf_exponent: 0.9,
+            focus_rate,
+            focus_width: 0.03,
+            windows_per_domain: windows_per_domain.max(1),
+            noise_rate: profile.default_noise_rate(),
+            strong_noise_rate: 0.3,
+            seed,
+        }
+    }
+
+    /// Override the noise rate (used by ablations).
+    pub fn with_noise_rate(mut self, rate: f64) -> Self {
+        self.noise_rate = rate;
+        self
+    }
+}
+
+/// Per-column rendering format. Real lakes render the same entity in
+/// different surface formats per table; formats are what make a *fixed*
+/// vector-matching threshold misjudge joinability (paper Table 7): token-
+/// level methods see through most of them, cell-level distance does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellFormat {
+    /// The canonical entity string.
+    Canonical,
+    /// Each word capitalized ("Fort Kelso 123").
+    TitleCase,
+    /// Spaces replaced by underscores ("fort_kelso_123").
+    Underscore,
+    /// First word reduced to an initial ("f kelso 123").
+    Initialed,
+    /// Word order reversed ("123 kelso fort").
+    Reversed,
+}
+
+impl CellFormat {
+    /// Apply the format to a canonical entity string.
+    pub fn apply(self, s: &str) -> String {
+        match self {
+            CellFormat::Canonical => s.to_string(),
+            CellFormat::TitleCase => s
+                .split(' ')
+                .map(|w| {
+                    let mut it = w.chars();
+                    match it.next() {
+                        Some(f) => f.to_uppercase().chain(it).collect::<String>(),
+                        None => String::new(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+            CellFormat::Underscore => s.replace(' ', "_"),
+            CellFormat::Initialed => {
+                let mut words: Vec<String> = s.split(' ').map(|w| w.to_string()).collect();
+                if words.len() >= 2 {
+                    if let Some(f) = words[0].chars().next() {
+                        words[0] = f.to_string();
+                    }
+                }
+                words.join(" ")
+            }
+            CellFormat::Reversed => {
+                let mut words: Vec<&str> = s.split(' ').collect();
+                words.reverse();
+                words.join(" ")
+            }
+        }
+    }
+
+    /// Draw a table-level format: canonical 55%, the rest split.
+    pub fn sample(rng: &mut StdRng) -> Self {
+        match rng.gen_range(0..20) {
+            0..=10 => CellFormat::Canonical,
+            11..=13 => CellFormat::TitleCase,
+            14..=16 => CellFormat::Underscore,
+            17..=18 => CellFormat::Initialed,
+            _ => CellFormat::Reversed,
+        }
+    }
+}
+
+/// Ground-truth provenance of one column: which domain it samples and which
+/// entity each cell denotes (pre-noise).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnProvenance {
+    /// Domain the column draws from.
+    pub domain: u32,
+    /// Entity id (index into the domain's entity list) per cell, parallel to
+    /// the column's `cells`.
+    pub entities: Vec<u32>,
+}
+
+impl ColumnProvenance {
+    /// Distinct entity ids in this column.
+    pub fn distinct_entities(&self) -> crate::fxhash::FxHashSet<u32> {
+        self.entities.iter().copied().collect()
+    }
+}
+
+/// A generated lake: tables plus the provenance of every key column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The configuration it was generated with.
+    pub config: CorpusConfig,
+    /// Ground-truth domains.
+    pub catalog: DomainCatalog,
+    /// Generated tables.
+    pub tables: Vec<Table>,
+    /// Provenance of each table's *extracted* column (the key column for
+    /// Webtable, the most-distinct column for Wikitable — the generator makes
+    /// these coincide), parallel to `tables`.
+    pub provenance: Vec<ColumnProvenance>,
+}
+
+/// Draw a standard normal via Box–Muller (keeps us off `rand_distr`).
+fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a column length: `MIN_CELLS + lognormal`, clipped at the profile max.
+fn sample_len(profile: CorpusProfile, rng: &mut StdRng) -> usize {
+    let z = sample_normal(rng);
+    let raw = (profile.size_log_mean() + profile.size_log_std() * z).exp();
+    (MIN_CELLS + raw as usize).min(profile.max_cells())
+}
+
+/// Generator state shared across table construction.
+struct Generator<'a> {
+    config: &'a CorpusConfig,
+    catalog: &'a DomainCatalog,
+    /// Per-domain whole-universe Zipf samplers.
+    domain_zipf: Vec<Zipf>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(config: &'a CorpusConfig, catalog: &'a DomainCatalog) -> Self {
+        let domain_zipf = catalog
+            .domains
+            .iter()
+            .map(|d| Zipf::new(d.len(), config.zipf_exponent))
+            .collect();
+        Self {
+            config,
+            catalog,
+            domain_zipf,
+        }
+    }
+
+    /// Sample the entity ids for a column of `len` cells from `domain`.
+    fn sample_entities(&self, domain: u32, len: usize, rng: &mut StdRng) -> Vec<u32> {
+        let universe = self.catalog.domain(domain).len();
+        let focused = rng.gen_bool(self.config.focus_rate);
+        if focused {
+            // Pick a window; windows are positional so distinct tables
+            // choosing the same window share entities.
+            let width = ((universe as f64 * self.config.focus_width) as usize)
+                .clamp(MIN_CELLS * 2, universe);
+            let num_windows = self.config.windows_per_domain.max(1);
+            let w = rng.gen_range(0..num_windows);
+            let stride = if num_windows == 1 {
+                0
+            } else {
+                (universe - width) / (num_windows - 1)
+            };
+            let start = w * stride;
+            let window_zipf =
+                Zipf::new(width.min(universe - start), self.config.zipf_exponent * 0.5);
+            (0..len)
+                .map(|_| (start + window_zipf.sample(rng)) as u32)
+                .collect()
+        } else {
+            let z = &self.domain_zipf[domain as usize];
+            (0..len).map(|_| z.sample(rng) as u32).collect()
+        }
+    }
+
+    /// Materialize cell strings for entity ids: render in the column's
+    /// format, then apply cell-level noise.
+    fn materialize(
+        &self,
+        domain: u32,
+        entities: &[u32],
+        format: CellFormat,
+        rng: &mut StdRng,
+    ) -> Vec<String> {
+        let d = self.catalog.domain(domain);
+        entities
+            .iter()
+            .map(|&e| {
+                let rendered = format.apply(&d.entities[e as usize]);
+                if rng.gen_bool(self.config.noise_rate) {
+                    if rng.gen_bool(self.config.strong_noise_rate) {
+                        crate::noise::perturb_strong(&rendered, rng)
+                    } else {
+                        perturb(&rendered, rng)
+                    }
+                } else {
+                    rendered
+                }
+            })
+            .collect()
+    }
+
+    /// Build one table around `domain`, returning it with the key column's
+    /// provenance.
+    fn make_table(&self, domain: u32, rng: &mut StdRng) -> (Table, ColumnProvenance) {
+        let d = self.catalog.domain(domain);
+        let len = sample_len(self.config.profile, rng);
+        let mut entities = self.sample_entities(domain, len, rng);
+        // Invariant: the key column has strictly more distinct values than
+        // any companion column (companions are capped at 2 distinct below),
+        // so the Wikitable most-distinct extraction rule selects it. Zipf
+        // sampling can collapse short columns; patch in distinct entities.
+        ensure_min_distinct(&mut entities, 3, d.len() as u32);
+        let format = CellFormat::sample(rng);
+        let key_cells = self.materialize(domain, &entities, format, rng);
+
+        // Companion columns: a numeric group column and, half the time, a
+        // small secondary column from another domain. Both are capped at 2
+        // distinct values so the Wikitable most-distinct rule picks the key
+        // column (which is guaranteed >= 3 distinct above).
+        let mut headers = vec![key_column_name(d.kind, rng)];
+        let mut columns = vec![key_cells];
+
+        let group: Vec<String> = (0..len)
+            .map(|i| if i < len / 2 { "1".to_string() } else { "2".to_string() })
+            .collect();
+        headers.push("group".to_string());
+        columns.push(group);
+
+        if rng.gen_bool(0.5) && self.catalog.len() > 1 {
+            let other = loop {
+                let o = rng.gen_range(0..self.catalog.len() as u32);
+                if o != domain {
+                    break o;
+                }
+            };
+            let od = self.catalog.domain(other);
+            // Reuse at most two entities so the distinct count stays low.
+            let pool: Vec<u32> = (0..2).map(|_| rng.gen_range(0..od.len() as u32)).collect();
+            let cells: Vec<String> = (0..len)
+                .map(|_| od.entities[*pool.choose(rng).unwrap() as usize].clone())
+                .collect();
+            headers.push(od.kind.label().to_string());
+            columns.push(cells);
+        }
+
+        let ctx1 = CONTEXT_WORDS[rng.gen_range(0..CONTEXT_WORDS.len())];
+        let ctx2 = CONTEXT_WORDS[rng.gen_range(0..CONTEXT_WORDS.len())];
+        let title = format!("{} {}", d.name, ctx1);
+        let context = format!("a {ctx2} of {} entries about {}", len, d.name);
+
+        let table = Table {
+            title,
+            context,
+            headers,
+            columns,
+            key_column: 0,
+        };
+        let prov = ColumnProvenance { domain, entities };
+        (table, prov)
+    }
+}
+
+/// Overwrite leading samples so `entities` contains at least `min_distinct`
+/// distinct ids (bounded by the universe size).
+fn ensure_min_distinct(entities: &mut [u32], min_distinct: usize, universe: u32) {
+    let want = min_distinct.min(entities.len()).min(universe as usize);
+    let mut seen: crate::fxhash::FxHashSet<u32> = entities.iter().copied().collect();
+    if seen.len() >= want {
+        return;
+    }
+    let base = entities.first().copied().unwrap_or(0);
+    let mut slot = 0usize;
+    let mut candidate = 0u32;
+    while seen.len() < want && slot < entities.len() {
+        // Find a fresh id near the column's existing range.
+        while seen.contains(&((base + candidate) % universe)) {
+            candidate += 1;
+        }
+        let fresh = (base + candidate) % universe;
+        entities[slot] = fresh;
+        seen = entities.iter().copied().collect();
+        slot += 1;
+    }
+}
+
+/// Column-name vocabulary per kind (with some variety so names carry signal
+/// without being unique identifiers).
+fn key_column_name(kind: EntityKind, rng: &mut StdRng) -> String {
+    let options: &[&str] = match kind {
+        EntityKind::Place => &["location", "place", "city", "region"],
+        EntityKind::Person => &["name", "person", "member", "author"],
+        EntityKind::Company => &["company", "organization", "vendor", "firm"],
+        EntityKind::Product => &["product", "item", "model", "sku"],
+        EntityKind::Code => &["code", "id", "reference", "key"],
+        EntityKind::Date => &["date", "day", "issued", "updated"],
+        EntityKind::Email => &["email", "contact", "address", "mailbox"],
+    };
+    options[rng.gen_range(0..options.len())].to_string()
+}
+
+impl Corpus {
+    /// Generate a lake from `config`.
+    pub fn generate(config: CorpusConfig) -> Self {
+        let catalog = DomainCatalog::generate(
+            config.num_domains,
+            config.entities_per_domain,
+            config.seed ^ 0xD0_4A1,
+        );
+        let generator = Generator::new(&config, &catalog);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let domain_pick = Zipf::new(catalog.len(), 0.5); // mild domain popularity skew
+
+        let mut tables = Vec::with_capacity(config.num_tables);
+        let mut provenance = Vec::with_capacity(config.num_tables);
+        for _ in 0..config.num_tables {
+            let domain = domain_pick.sample(&mut rng) as u32;
+            let (t, p) = generator.make_table(domain, &mut rng);
+            tables.push(t);
+            provenance.push(p);
+        }
+        Self {
+            config,
+            catalog,
+            tables,
+            provenance,
+        }
+    }
+
+    /// Flatten to a searchable repository under the profile's extraction
+    /// rule. Returns the repository and the provenance parallel to its
+    /// columns.
+    ///
+    /// The generator guarantees the extracted column is the key column, so
+    /// the stored provenance applies under both profile rules; this is
+    /// asserted in debug builds.
+    pub fn to_repository(&self) -> (Repository, Vec<ColumnProvenance>) {
+        let rule = self.config.profile.extraction_rule();
+        let mut repo = Repository::new();
+        let mut prov = Vec::with_capacity(self.tables.len());
+        for (tid, (t, p)) in self.tables.iter().zip(&self.provenance).enumerate() {
+            let idx = match rule {
+                ExtractionRule::KeyColumn => t.key_column,
+                ExtractionRule::MostDistinct => t.most_distinct_column().unwrap_or(t.key_column),
+                ExtractionRule::All => t.key_column,
+            };
+            debug_assert_eq!(
+                idx, t.key_column,
+                "generator invariant: extracted column is the key column"
+            );
+            let col = t.extract_column(t.key_column, Some(tid as u32));
+            if col.len() >= MIN_CELLS {
+                repo.push(col);
+                prov.push(p.clone());
+            }
+        }
+        (repo, prov)
+    }
+
+    /// Sample `n` query columns *outside* the repository (fresh draws from
+    /// the same catalog — the paper samples queries from the corpus excluding
+    /// 𝒳 to avoid data leak, §5.1).
+    pub fn sample_queries(&self, n: usize, seed: u64) -> Vec<(Column, ColumnProvenance)> {
+        let generator = Generator::new(&self.config, &self.catalog);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51EE_D5);
+        let domain_pick = Zipf::new(self.catalog.len(), 0.5);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let domain = domain_pick.sample(&mut rng) as u32;
+            let (t, p) = generator.make_table(domain, &mut rng);
+            let col = t.extract_column(t.key_column, None);
+            if col.len() >= MIN_CELLS {
+                out.push((col, p));
+            }
+        }
+        out
+    }
+
+    /// Sample query columns whose length falls in `range` (used by the
+    /// column-size experiments, Tables 8 and 15).
+    pub fn sample_queries_sized(
+        &self,
+        n: usize,
+        range: std::ops::RangeInclusive<usize>,
+        seed: u64,
+    ) -> Vec<(Column, ColumnProvenance)> {
+        let generator = Generator::new(&self.config, &self.catalog);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517E_D);
+        let domain_pick = Zipf::new(self.catalog.len(), 0.5);
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 20_000 {
+            attempts += 1;
+            let domain = domain_pick.sample(&mut rng) as u32;
+            // Force the length into range by sampling it directly.
+            let len = rng.gen_range(range.clone());
+            if len < MIN_CELLS {
+                continue;
+            }
+            let entities = generator.sample_entities(domain, len, &mut rng);
+            let format = CellFormat::sample(&mut rng);
+            let cells = generator.materialize(domain, &entities, format, &mut rng);
+            let d = self.catalog.domain(domain);
+            let meta = ColumnMeta {
+                table_title: format!("{} listing", d.name),
+                column_name: key_column_name(d.kind, &mut rng),
+                table_context: format!("a listing of {}", d.name),
+                table_id: None,
+            };
+            out.push((Column::new(cells, meta), ColumnProvenance { domain, entities }));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus(profile: CorpusProfile) -> Corpus {
+        let mut cfg = CorpusConfig::new(profile, 300, 17);
+        cfg.num_domains = 7;
+        cfg.entities_per_domain = 300;
+        Corpus::generate(cfg)
+    }
+
+    #[test]
+    fn generates_requested_table_count() {
+        let c = small_corpus(CorpusProfile::Webtable);
+        assert_eq!(c.tables.len(), 300);
+        assert_eq!(c.provenance.len(), 300);
+    }
+
+    #[test]
+    fn repository_matches_provenance() {
+        let c = small_corpus(CorpusProfile::Webtable);
+        let (repo, prov) = c.to_repository();
+        assert_eq!(repo.len(), prov.len());
+        assert!(repo.len() > 250, "most tables should survive the length filter");
+        for (id, col) in repo.iter() {
+            let p = &prov[id.index()];
+            assert_eq!(col.len(), p.entities.len(), "cells and provenance parallel");
+        }
+    }
+
+    #[test]
+    fn wikitable_extraction_picks_key_column() {
+        let c = small_corpus(CorpusProfile::Wikitable);
+        for t in &c.tables {
+            assert_eq!(t.most_distinct_column(), Some(t.key_column));
+        }
+    }
+
+    #[test]
+    fn sizes_look_like_table2() {
+        let c = small_corpus(CorpusProfile::Webtable);
+        let (repo, _) = c.to_repository();
+        let lens: Vec<usize> = repo.columns().iter().map(|c| c.len()).collect();
+        let min = *lens.iter().min().unwrap();
+        let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(min >= MIN_CELLS);
+        assert!(avg > 10.0 && avg < 45.0, "avg len {avg}");
+    }
+
+    #[test]
+    fn lake_contains_joinable_families() {
+        // The self-join of §4.1 needs pairs with jn >= 0.7 to exist.
+        let c = small_corpus(CorpusProfile::Webtable);
+        let (repo, prov) = c.to_repository();
+        let mut found = 0usize;
+        for i in 0..repo.len().min(150) {
+            let qi = crate::column::ColumnId(i as u32);
+            for j in 0..repo.len() {
+                if i == j {
+                    continue;
+                }
+                let xj = crate::column::ColumnId(j as u32);
+                if prov[i].domain != prov[j].domain {
+                    continue;
+                }
+                let jn = crate::joinability::equi_joinability(repo.column(qi), repo.column(xj));
+                if jn >= 0.7 {
+                    found += 1;
+                }
+            }
+        }
+        assert!(found >= 20, "expected joinable families, found {found} pairs");
+    }
+
+    #[test]
+    fn queries_are_fresh_but_joinable() {
+        let c = small_corpus(CorpusProfile::Webtable);
+        let (repo, prov) = c.to_repository();
+        let queries = c.sample_queries(10, 5);
+        assert_eq!(queries.len(), 10);
+        // At least one query should have a same-domain target with positive
+        // ground-truth overlap.
+        let any_overlap = queries.iter().any(|(_, qp)| {
+            let qset = qp.distinct_entities();
+            prov.iter().any(|tp| {
+                tp.domain == qp.domain
+                    && tp.distinct_entities().intersection(&qset).next().is_some()
+            })
+        });
+        assert!(any_overlap);
+        let _ = repo;
+    }
+
+    #[test]
+    fn sized_queries_respect_range() {
+        let c = small_corpus(CorpusProfile::Webtable);
+        let qs = c.sample_queries_sized(8, 5..=10, 3);
+        assert_eq!(qs.len(), 8);
+        for (col, _) in &qs {
+            assert!(col.len() >= 5 && col.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = small_corpus(CorpusProfile::Webtable);
+        let b = small_corpus(CorpusProfile::Webtable);
+        assert_eq!(a.tables[0].columns, b.tables[0].columns);
+        assert_eq!(a.provenance[0], b.provenance[0]);
+    }
+
+    #[test]
+    fn noise_rate_zero_means_formatted_canonical_cells() {
+        let mut cfg = CorpusConfig::new(CorpusProfile::Webtable, 50, 23).with_noise_rate(0.0);
+        cfg.num_domains = 7;
+        cfg.entities_per_domain = 200;
+        let c = Corpus::generate(cfg);
+        let (repo, prov) = c.to_repository();
+        for (id, col) in repo.iter() {
+            let p = &prov[id.index()];
+            let d = c.catalog.domain(p.domain);
+            for (cell, &e) in col.cells.iter().zip(&p.entities) {
+                // With zero noise every cell is the canonical entity under
+                // one of the column formats.
+                let canonical = &d.entities[e as usize];
+                let matches_some_format = [
+                    CellFormat::Canonical,
+                    CellFormat::TitleCase,
+                    CellFormat::Underscore,
+                    CellFormat::Initialed,
+                    CellFormat::Reversed,
+                ]
+                .iter()
+                .any(|f| &f.apply(canonical) == cell);
+                assert!(matches_some_format, "{cell} vs {canonical}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_formats_apply_as_documented() {
+        assert_eq!(CellFormat::Canonical.apply("fort kelso 12"), "fort kelso 12");
+        assert_eq!(CellFormat::TitleCase.apply("fort kelso 12"), "Fort Kelso 12");
+        assert_eq!(CellFormat::Underscore.apply("fort kelso 12"), "fort_kelso_12");
+        assert_eq!(CellFormat::Initialed.apply("fort kelso 12"), "f kelso 12");
+        assert_eq!(CellFormat::Reversed.apply("fort kelso 12"), "12 kelso fort");
+        // Single-word entities are stable under Initialed.
+        assert_eq!(CellFormat::Initialed.apply("zx-100"), "zx-100");
+    }
+}

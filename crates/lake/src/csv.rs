@@ -1,0 +1,184 @@
+//! Loading real tables from CSV files — the adoption path for actual data
+//! lakes (the synthetic generator covers evaluation; this covers use).
+//!
+//! A deliberately small RFC-4180-ish parser: comma-separated, `"`-quoted
+//! fields with `""` escapes, `\n` / `\r\n` row terminators, quoted fields
+//! may contain newlines. No external dependency.
+
+use std::path::Path;
+
+use crate::table::Table;
+
+/// Parse CSV text into rows of fields.
+///
+/// Handles quoted fields (`"a, b"`), escaped quotes (`""` inside quotes),
+/// and newlines inside quoted fields. Empty trailing lines are dropped.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => in_quotes = true,
+            ',' => row.push(std::mem::take(&mut field)),
+            '\r' => {} // swallowed; the \n closes the row
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    // Final row without trailing newline.
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    // Drop fully-empty rows (e.g. trailing blank lines).
+    rows.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    rows
+}
+
+/// Build a [`Table`] from CSV text. The first row is the header; the table
+/// title defaults to `title` (usually the file stem) and `context` may be
+/// empty. Ragged rows are padded with empty strings.
+pub fn table_from_csv(text: &str, title: &str, context: &str) -> Option<Table> {
+    let mut rows = parse_csv(text);
+    if rows.is_empty() {
+        return None;
+    }
+    let headers: Vec<String> = rows.remove(0);
+    if headers.is_empty() {
+        return None;
+    }
+    let ncols = headers.len();
+    let mut columns: Vec<Vec<String>> = vec![Vec::with_capacity(rows.len()); ncols];
+    for row in rows {
+        for (ci, col) in columns.iter_mut().enumerate() {
+            col.push(row.get(ci).cloned().unwrap_or_default());
+        }
+    }
+    Some(Table {
+        title: title.to_string(),
+        context: context.to_string(),
+        headers,
+        columns,
+        key_column: 0,
+    })
+}
+
+/// Load one CSV file into a [`Table`] (title = file stem).
+pub fn load_csv_file(path: &Path) -> std::io::Result<Option<Table>> {
+    let text = std::fs::read_to_string(path)?;
+    let title = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().replace(['_', '-'], " "))
+        .unwrap_or_default();
+    Ok(table_from_csv(&text, &title, ""))
+}
+
+/// Load every `.csv` file in a directory (non-recursive, sorted by file
+/// name for determinism). Unparseable/empty files are skipped.
+pub fn load_csv_dir(dir: &Path) -> std::io::Result<Vec<Table>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e.eq_ignore_ascii_case("csv")))
+        .collect();
+    paths.sort();
+    let mut tables = Vec::with_capacity(paths.len());
+    for p in paths {
+        if let Some(t) = load_csv_file(&p)? {
+            tables.push(t);
+        }
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::{ExtractionRule, Repository};
+
+    #[test]
+    fn parses_plain_csv() {
+        let rows = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["a", "b", "c"]);
+        assert_eq!(rows[2], vec!["4", "5", "6"]);
+    }
+
+    #[test]
+    fn parses_quotes_and_escapes() {
+        let rows = parse_csv("name,quote\n\"Smith, John\",\"he said \"\"hi\"\"\"\n");
+        assert_eq!(rows[1], vec!["Smith, John", "he said \"hi\""]);
+    }
+
+    #[test]
+    fn parses_newline_inside_quotes() {
+        let rows = parse_csv("a,b\n\"line1\nline2\",x\n");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let rows = parse_csv("a,b\r\n1,2\r\n3,4");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn table_from_csv_builds_columns() {
+        let t = table_from_csv("city,country\nparis,fr\ntokyo,jp\n", "capitals", "demo").unwrap();
+        assert_eq!(t.headers, vec!["city", "country"]);
+        assert_eq!(t.columns[0], vec!["paris", "tokyo"]);
+        assert_eq!(t.title, "capitals");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let t = table_from_csv("a,b,c\n1,2\n", "t", "").unwrap();
+        assert_eq!(t.columns[2], vec![""]);
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(table_from_csv("", "t", "").is_none());
+    }
+
+    #[test]
+    fn dir_loading_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("djcsv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b_cities.csv"), "city\nparis\ntokyo\nlima\noslo\ncairo\n")
+            .unwrap();
+        std::fs::write(dir.join("a_people.csv"), "name\nalice\nbob\ncarol\ndan\neve\n").unwrap();
+        std::fs::write(dir.join("ignore.txt"), "not a csv").unwrap();
+
+        let tables = load_csv_dir(&dir).unwrap();
+        assert_eq!(tables.len(), 2);
+        // Sorted by file name: a_people first; underscores become spaces.
+        assert_eq!(tables[0].title, "a people");
+        let repo = Repository::from_tables(&tables, ExtractionRule::All);
+        assert_eq!(repo.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

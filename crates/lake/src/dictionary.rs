@@ -1,0 +1,374 @@
+//! Domain catalogs: the "ground truth" vocabulary behind the synthetic lake.
+//!
+//! A *domain* is a universe of entities (countries, person names, product
+//! codes, …). Every generated column samples entities from exactly one
+//! domain; two columns are genuinely joinable only when they share a domain
+//! and overlapping entities. The catalog is the substitute for the real-world
+//! structure of the WDC/Wikipedia corpora (see DESIGN.md §1).
+//!
+//! Entity strings are composed from shared word lists, so *different* domains
+//! still share surface words (e.g. first names appear in many person
+//! domains). That makes the embedding task non-trivial: the encoder must
+//! learn that joinability depends on whole-cell identity/ similarity, not on
+//! bag-of-words overlap alone.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What kind of values a domain contains. Determines the string pattern of
+/// its entities and the metadata vocabulary of tables built on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// Geographic names, often multi-word ("port victoria east").
+    Place,
+    /// Person names: "first last".
+    Person,
+    /// Organizations: "word word inc".
+    Company,
+    /// Product names: "adjective noun NNN".
+    Product,
+    /// Opaque identifiers: "AB-1234-XY".
+    Code,
+    /// ISO-ish dates.
+    Date,
+    /// Email-like strings (first.last@word.tld).
+    Email,
+}
+
+impl EntityKind {
+    /// All kinds, in the order the catalog cycles through them.
+    pub const ALL: [EntityKind; 7] = [
+        EntityKind::Place,
+        EntityKind::Person,
+        EntityKind::Company,
+        EntityKind::Product,
+        EntityKind::Code,
+        EntityKind::Date,
+        EntityKind::Email,
+    ];
+
+    /// A human-readable label used in table titles and column names.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::Place => "location",
+            EntityKind::Person => "person",
+            EntityKind::Company => "company",
+            EntityKind::Product => "product",
+            EntityKind::Code => "code",
+            EntityKind::Date => "date",
+            EntityKind::Email => "email",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared word lists.
+// ---------------------------------------------------------------------------
+
+pub(crate) const PLACE_STEMS: &[&str] = &[
+    "aurora", "belmont", "caldera", "delphi", "everton", "fairview", "granada", "halston",
+    "iverness", "juniper", "kelso", "lorient", "madrona", "norwood", "ostia", "pinehurst",
+    "quarry", "ravenna", "solace", "tiverton", "umbria", "valmont", "westlake", "xenia",
+    "yarrow", "zephyr", "arden", "brookfield", "clearwater", "dunmore",
+];
+
+pub(crate) const PLACE_AFFIXES: &[&str] = &[
+    "north", "south", "east", "west", "upper", "lower", "new", "old", "port", "lake",
+    "mount", "fort", "saint", "grand", "little",
+];
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "alice", "bruno", "carla", "dmitri", "elena", "farid", "greta", "hiro", "ines", "jonas",
+    "keiko", "luca", "mara", "nadia", "omar", "priya", "quentin", "rosa", "sami", "tara",
+    "ulrich", "vera", "wei", "ximena", "yusuf", "zoe", "amara", "boris", "chloe", "diego",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "alvarez", "bennett", "chen", "dubois", "eriksen", "fontaine", "garcia", "hansen",
+    "ivanov", "jensen", "kumar", "larsen", "moreau", "nakamura", "okafor", "petrov",
+    "quinn", "rossi", "suzuki", "tanaka", "ueda", "vargas", "weber", "xu", "yamada",
+    "zhang", "almeida", "becker", "costa", "dias",
+];
+
+pub(crate) const COMPANY_STEMS: &[&str] = &[
+    "acme", "borealis", "cinder", "dynamo", "ember", "fulcrum", "gantry", "helix",
+    "ion", "junction", "keystone", "lattice", "meridian", "nimbus", "orbital", "paragon",
+    "quasar", "ridgeline", "summit", "tundra", "umbra", "vertex", "wavelength", "xylem",
+    "yield", "zenith",
+];
+
+pub(crate) const COMPANY_SUFFIXES: &[&str] =
+    &["inc", "ltd", "corp", "group", "labs", "systems", "partners", "holdings"];
+
+pub(crate) const PRODUCT_ADJECTIVES: &[&str] = &[
+    "swift", "quiet", "bold", "prime", "ultra", "nano", "mega", "turbo", "eco", "smart",
+    "rapid", "solid", "clear", "deep", "bright", "fresh", "pure", "agile", "sharp", "cool",
+];
+
+pub(crate) const PRODUCT_NOUNS: &[&str] = &[
+    "widget", "gadget", "sensor", "module", "panel", "drive", "router", "beacon", "valve",
+    "turbine", "coupler", "filter", "lens", "battery", "antenna", "bracket", "hinge",
+    "gasket", "rotor", "spindle",
+];
+
+
+/// Words used to build table titles / context sentences around a domain.
+pub(crate) const CONTEXT_WORDS: &[&str] = &[
+    "report", "annual", "survey", "directory", "listing", "inventory", "summary",
+    "statistics", "records", "registry", "catalog", "overview", "archive", "dataset",
+    "index", "digest", "bulletin", "census", "ledger", "roster",
+];
+
+// ---------------------------------------------------------------------------
+// Domains.
+// ---------------------------------------------------------------------------
+
+/// A universe of entity strings with a kind and a name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Domain {
+    /// Dense id in the catalog.
+    pub id: u32,
+    /// Human-readable name used in titles ("ravenna locations").
+    pub name: String,
+    /// Kind of entities.
+    pub kind: EntityKind,
+    /// Canonical entity strings. Index into this vec is the *entity id*
+    /// recorded by the ground-truth oracle.
+    pub entities: Vec<String>,
+}
+
+impl Domain {
+    /// Number of entities in the universe.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the domain has no entities (never produced by the catalog).
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+}
+
+/// Pick a small per-domain subset of a word list. Real domains are
+/// internally homogeneous — a "locations of X" table reuses few stems — so
+/// entities *within* a domain look alike. That homogeneity is what makes a
+/// fixed vector-matching threshold confuse distinct entities (the τ false
+/// positives behind Table 7).
+fn pick_pool<'w>(words: &[&'w str], n: usize, rng: &mut StdRng) -> Vec<&'w str> {
+    let mut idx: Vec<usize> = (0..words.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(n.min(words.len()));
+    idx.into_iter().map(|i| words[i]).collect()
+}
+
+/// Generate one entity string of `kind` from the domain's restricted word
+/// pools. `tag` deterministically differentiates domains of the same kind
+/// (so their universes are disjoint).
+fn make_entity(kind: EntityKind, tag: u32, pool: &[&str], pool2: &[&str], rng: &mut StdRng) -> String {
+    match kind {
+        EntityKind::Place => {
+            let stem = pool.choose(rng).unwrap();
+            let affix = pool2.choose(rng).unwrap();
+            // The numeric district key makes universes across domains disjoint.
+            let district = rng.gen_range(0..500) + tag * 500;
+            match rng.gen_range(0..3) {
+                0 => format!("{affix} {stem} {district}"),
+                1 => format!("{stem} {affix} {district}"),
+                _ => format!("{stem} {district}"),
+            }
+        }
+        EntityKind::Person => {
+            let first = pool2.choose(rng).unwrap();
+            let last = pool.choose(rng).unwrap();
+            let n = rng.gen_range(0..400) + tag * 400;
+            format!("{first} {last} {n}")
+        }
+        EntityKind::Company => {
+            let stem = pool.choose(rng).unwrap();
+            let suffix = pool2.choose(rng).unwrap();
+            let n = rng.gen_range(0..300) + tag * 300;
+            format!("{stem} {n} {suffix}")
+        }
+        EntityKind::Product => {
+            let adj = pool2.choose(rng).unwrap();
+            let noun = pool.choose(rng).unwrap();
+            let n = rng.gen_range(0..1000) + tag * 1000;
+            format!("{adj} {noun} {n}")
+        }
+        EntityKind::Code => {
+            let prefix = pool.choose(rng).unwrap();
+            let n = rng.gen_range(0..10_000) + tag * 10_000;
+            format!("{prefix}-{n:05}")
+        }
+        EntityKind::Date => {
+            // Each tag owns a band of years so domains stay disjoint.
+            let year = 1200 + tag * 40 + rng.gen_range(0..40);
+            let month = rng.gen_range(1..=12);
+            let day = rng.gen_range(1..=28);
+            format!("{year:04}-{month:02}-{day:02}")
+        }
+        EntityKind::Email => {
+            let first = pool2.choose(rng).unwrap();
+            let last = pool.choose(rng).unwrap();
+            let host = pool.first().unwrap_or(&"mail");
+            let n = rng.gen_range(0..200) + tag * 200;
+            format!("{first}.{last}{n}@{host}.com")
+        }
+    }
+}
+
+/// Code prefixes (two-letter) used by Code domains.
+const CODE_PREFIXES: &[&str] = &[
+    "ax", "bq", "cz", "dk", "el", "fn", "gm", "hp", "ir", "js", "kt", "lu", "mv", "nw", "ox",
+    "py", "qz", "ra", "sb", "tc",
+];
+
+/// The full set of domains available to a corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainCatalog {
+    /// Domains in id order.
+    pub domains: Vec<Domain>,
+}
+
+impl DomainCatalog {
+    /// Generate `num_domains` domains of roughly `entities_per_domain`
+    /// entities each, deterministically from `seed`.
+    pub fn generate(num_domains: usize, entities_per_domain: usize, seed: u64) -> Self {
+        assert!(num_domains > 0, "need at least one domain");
+        assert!(entities_per_domain > 0, "need at least one entity");
+        let mut domains = Vec::with_capacity(num_domains);
+        // Count domains per kind to assign disjoint tags within a kind.
+        let mut kind_counters = [0u32; EntityKind::ALL.len()];
+        for d in 0..num_domains {
+            let kind_idx = d % EntityKind::ALL.len();
+            let kind = EntityKind::ALL[kind_idx];
+            let tag = kind_counters[kind_idx];
+            kind_counters[kind_idx] += 1;
+
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(d as u64 + 1)));
+            // Restricted per-domain word pools: domains are internally
+            // homogeneous (few stems), so entities within a domain look
+            // alike — see `pick_pool`.
+            let (pool, pool2): (Vec<&str>, Vec<&str>) = match kind {
+                EntityKind::Place => (
+                    pick_pool(PLACE_STEMS, 3, &mut rng),
+                    pick_pool(PLACE_AFFIXES, 4, &mut rng),
+                ),
+                EntityKind::Person => (
+                    pick_pool(LAST_NAMES, 4, &mut rng),
+                    pick_pool(FIRST_NAMES, 8, &mut rng),
+                ),
+                EntityKind::Company => (
+                    pick_pool(COMPANY_STEMS, 3, &mut rng),
+                    pick_pool(COMPANY_SUFFIXES, 3, &mut rng),
+                ),
+                EntityKind::Product => (
+                    pick_pool(PRODUCT_NOUNS, 3, &mut rng),
+                    pick_pool(PRODUCT_ADJECTIVES, 5, &mut rng),
+                ),
+                EntityKind::Code => (pick_pool(CODE_PREFIXES, 2, &mut rng), Vec::new()),
+                EntityKind::Date => (Vec::new(), Vec::new()),
+                EntityKind::Email => (
+                    pick_pool(LAST_NAMES, 4, &mut rng),
+                    pick_pool(FIRST_NAMES, 8, &mut rng),
+                ),
+            };
+            let mut seen = crate::fxhash::FxHashSet::default();
+            let mut entities = Vec::with_capacity(entities_per_domain);
+            // Rejection-sample distinct entity strings.
+            let mut attempts = 0usize;
+            while entities.len() < entities_per_domain && attempts < entities_per_domain * 50 {
+                attempts += 1;
+                let e = make_entity(kind, tag, &pool, &pool2, &mut rng);
+                if seen.insert(e.clone()) {
+                    entities.push(e);
+                }
+            }
+            let name_stem = match kind {
+                EntityKind::Place => PLACE_STEMS[d % PLACE_STEMS.len()],
+                EntityKind::Person => LAST_NAMES[d % LAST_NAMES.len()],
+                EntityKind::Company => COMPANY_STEMS[d % COMPANY_STEMS.len()],
+                EntityKind::Product => PRODUCT_NOUNS[d % PRODUCT_NOUNS.len()],
+                EntityKind::Code => "registry",
+                EntityKind::Date => "calendar",
+                EntityKind::Email => "contact",
+            };
+            domains.push(Domain {
+                id: d as u32,
+                name: format!("{name_stem} {}", kind.label()),
+                kind,
+                entities,
+            });
+        }
+        Self { domains }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Domain by id.
+    pub fn domain(&self, id: u32) -> &Domain {
+        &self.domains[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::FxHashSet;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cat = DomainCatalog::generate(10, 200, 7);
+        assert_eq!(cat.len(), 10);
+        for d in &cat.domains {
+            assert!(d.len() >= 150, "domain {} too small: {}", d.id, d.len());
+            // entities are distinct
+            let set: FxHashSet<&String> = d.entities.iter().collect();
+            assert_eq!(set.len(), d.entities.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = DomainCatalog::generate(5, 100, 42);
+        let b = DomainCatalog::generate(5, 100, 42);
+        for (da, db) in a.domains.iter().zip(&b.domains) {
+            assert_eq!(da.entities, db.entities);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DomainCatalog::generate(3, 100, 1);
+        let b = DomainCatalog::generate(3, 100, 2);
+        assert_ne!(a.domains[0].entities, b.domains[0].entities);
+    }
+
+    #[test]
+    fn same_kind_domains_are_disjoint() {
+        // Domains 0 and 7 are both Place (7 kinds cycle).
+        let cat = DomainCatalog::generate(14, 300, 9);
+        let d0: FxHashSet<&String> = cat.domain(0).entities.iter().collect();
+        let d7: FxHashSet<&String> = cat.domain(7).entities.iter().collect();
+        assert_eq!(cat.domain(0).kind, cat.domain(7).kind);
+        assert!(d0.is_disjoint(&d7), "same-kind domains must not share entities");
+    }
+
+    #[test]
+    fn kinds_cycle() {
+        let cat = DomainCatalog::generate(8, 10, 3);
+        assert_eq!(cat.domain(0).kind, EntityKind::Place);
+        assert_eq!(cat.domain(1).kind, EntityKind::Person);
+        assert_eq!(cat.domain(7).kind, EntityKind::Place);
+    }
+}

@@ -1,0 +1,167 @@
+//! A small, fast, non-cryptographic hasher (the rustc `FxHash` algorithm).
+//!
+//! The data-lake code hashes millions of short strings and integer ids in hot
+//! loops (token universes, inverted indexes, MinHash shingling). The standard
+//! library's SipHash 1-3 is DoS-resistant but slow for such keys; following
+//! the Rust Performance Book's guidance we provide a local FxHash
+//! implementation instead of pulling in an extra dependency.
+//!
+//! HashDoS resistance is irrelevant here: every key is produced by our own
+//! generator or derived from trusted corpus data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Hasher state. One `u64` that is rotated, xored and multiplied per word.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Mix the length in first so zero-padding of the tail cannot make
+        // e.g. "" and "\0" collide.
+        self.add_to_hash(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // Unwrap is fine: chunks_exact guarantees 8 bytes.
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// splitmix64 finalizer: full avalanche, so *all* output bits (including the
+/// low bits used for `% buckets`) depend on all input bits. Raw Fx output
+/// must not be bucketed by modulo — its multiply never propagates high-bit
+/// differences downward.
+#[inline]
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a byte slice in one call (used for shingling and bucketing). The
+/// result is finalized and safe to reduce with `%`.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    finalize(h.finish())
+}
+
+/// Hash a `u64` in one call. Finalized; safe to reduce with `%`.
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    finalize(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_eq!(hash_u64(42), hash_u64(42));
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn handles_unaligned_tails() {
+        // Lengths around the 8-byte chunk boundary must all hash distinctly.
+        let inputs: Vec<Vec<u8>> = (0..20).map(|n| vec![7u8; n]).collect();
+        let hashes: Vec<u64> = inputs.iter().map(|b| hash_bytes(b)).collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "lengths {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        // Sequential integers should not collapse into few buckets.
+        let mut buckets = [0usize; 16];
+        for i in 0..10_000u64 {
+            buckets[(hash_u64(i) % 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 300, "bucket too empty: {b}");
+        }
+    }
+}

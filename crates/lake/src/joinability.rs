@@ -1,0 +1,178 @@
+//! Equi-joinability (Definition 2.1) and exact brute-force top-k search.
+//!
+//! `jn(Q, X) = |Q ∩ X| / |Q|` over *distinct* cell values. The measure is
+//! asymmetric (normalized by the query side) and lies in `[0, 1]`.
+//!
+//! The brute-force searcher here is the reference implementation used to
+//! label training data on small samples, to define the "exact" answer in
+//! precision@k / NDCG@k (JOSIE computes the same answer faster), and as the
+//! test oracle for every approximate method.
+
+use crate::column::{Column, ColumnId};
+use crate::repository::Repository;
+
+/// Equi-joinability from `q` to `x` (Definition 2.1). Returns 0 for an empty
+/// query (nothing to match).
+pub fn equi_joinability(q: &Column, x: &Column) -> f64 {
+    let qd = q.distinct();
+    if qd.is_empty() {
+        return 0.0;
+    }
+    // Iterate over the smaller set for the intersection count.
+    let xd = x.distinct();
+    let inter = if qd.len() <= xd.len() {
+        qd.iter().filter(|c| xd.contains(c.as_str())).count()
+    } else {
+        xd.iter().filter(|c| qd.contains(c.as_str())).count()
+    };
+    inter as f64 / qd.len() as f64
+}
+
+/// Raw overlap `|Q ∩ X|` over distinct values — the similarity JOSIE ranks by.
+pub fn overlap(q: &Column, x: &Column) -> usize {
+    let qd = q.distinct();
+    let xd = x.distinct();
+    if qd.len() <= xd.len() {
+        qd.iter().filter(|c| xd.contains(c.as_str())).count()
+    } else {
+        xd.iter().filter(|c| qd.contains(c.as_str())).count()
+    }
+}
+
+/// A scored search result. Ordered by descending score, then ascending id
+/// (deterministic tie-break shared by every searcher in this repo).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredColumn {
+    /// The target column.
+    pub id: ColumnId,
+    /// The joinability (or overlap, metric-dependent) score.
+    pub score: f64,
+}
+
+/// Sort results by descending score with ascending-id tie-break and truncate
+/// to `k`. Shared by all searchers so ties resolve identically everywhere.
+pub fn rank_and_truncate(mut results: Vec<ScoredColumn>, k: usize) -> Vec<ScoredColumn> {
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    results.truncate(k);
+    results
+}
+
+/// Exact top-k equi-joinable columns by brute force: O(|𝒳| · (|Q| + |X̄|)).
+pub fn brute_force_topk(repo: &Repository, query: &Column, k: usize) -> Vec<ScoredColumn> {
+    let scored = repo
+        .iter()
+        .map(|(id, x)| ScoredColumn {
+            id,
+            score: equi_joinability(query, x),
+        })
+        .collect();
+    rank_and_truncate(scored, k)
+}
+
+/// All columns with `jn(query, X) >= threshold`, by brute force (used by the
+/// training-data self-join reference and tests).
+pub fn brute_force_threshold(
+    repo: &Repository,
+    query: &Column,
+    threshold: f64,
+) -> Vec<ScoredColumn> {
+    let mut out: Vec<ScoredColumn> = repo
+        .iter()
+        .filter_map(|(id, x)| {
+            let score = equi_joinability(query, x);
+            (score >= threshold).then_some(ScoredColumn { id, score })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(cells: &[&str]) -> Column {
+        Column::from_cells(cells.iter().copied())
+    }
+
+    #[test]
+    fn joinability_basic() {
+        let q = col(&["a", "b", "c", "d"]);
+        let x = col(&["b", "d", "e"]);
+        assert!((equi_joinability(&q, &x) - 0.5).abs() < 1e-12);
+        // Asymmetric: normalized by the other side now.
+        assert!((equi_joinability(&x, &q) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joinability_ignores_duplicates() {
+        let q = col(&["a", "a", "b"]);
+        let x = col(&["a", "c", "a", "a"]);
+        assert!((equi_joinability(&q, &x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joinability_bounds() {
+        let q = col(&["a", "b"]);
+        assert_eq!(equi_joinability(&q, &q), 1.0);
+        assert_eq!(equi_joinability(&q, &col(&["z"])), 0.0);
+        assert_eq!(equi_joinability(&col(&[]), &q), 0.0);
+    }
+
+    #[test]
+    fn overlap_counts_distinct_matches() {
+        let q = col(&["a", "b", "c"]);
+        let x = col(&["c", "a", "a"]);
+        assert_eq!(overlap(&q, &x), 2);
+    }
+
+    #[test]
+    fn brute_force_ranks_correctly() {
+        let repo = Repository::from_columns(vec![
+            col(&["a", "b", "c", "d", "e"]),      // jn = 3/5 with query below? compute
+            col(&["a", "b", "x", "y", "z"]),
+            col(&["p", "q", "r", "s", "t"]),
+        ]);
+        let q = col(&["a", "b", "c", "d", "e"]);
+        let top = brute_force_topk(&repo, &q, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].id, ColumnId(0));
+        assert_eq!(top[0].score, 1.0);
+        assert_eq!(top[1].id, ColumnId(1));
+        assert!((top[1].score - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_break_is_by_id() {
+        let repo = Repository::from_columns(vec![
+            col(&["a", "b", "c", "d", "e"]),
+            col(&["a", "b", "c", "d", "e"]),
+        ]);
+        let q = col(&["a", "b", "c", "d", "e"]);
+        let top = brute_force_topk(&repo, &q, 2);
+        assert_eq!(top[0].id, ColumnId(0));
+        assert_eq!(top[1].id, ColumnId(1));
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let repo = Repository::from_columns(vec![
+            col(&["a", "b", "c", "d", "e"]),
+            col(&["a", "b", "x", "y", "z"]),
+        ]);
+        let q = col(&["a", "b", "c", "d", "e"]);
+        let hits = brute_force_threshold(&repo, &q, 0.7);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, ColumnId(0));
+    }
+}

@@ -1,0 +1,45 @@
+//! # deepjoin-lake
+//!
+//! Data-lake substrate for the DeepJoin reproduction: the column/table data
+//! model, the repository abstraction (𝒳 in the paper), equi-joinability
+//! (Definition 2.1) with exact reference searchers, a word tokenizer, and a
+//! synthetic corpus generator with a ground-truth oracle that stands in for
+//! the WDC Webtable and Wikipedia table corpora (see `DESIGN.md`).
+//!
+//! ```
+//! use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+//! use deepjoin_lake::joinability::brute_force_topk;
+//!
+//! let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 200, 42));
+//! let (repo, _prov) = corpus.to_repository();
+//! let queries = corpus.sample_queries(1, 7);
+//! let top = brute_force_topk(&repo, &queries[0].0, 10);
+//! assert_eq!(top.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod corpus;
+pub mod csv;
+pub mod dictionary;
+pub mod fxhash;
+pub mod joinability;
+pub mod multiset;
+pub mod noise;
+pub mod oracle;
+pub mod repository;
+pub mod stats;
+pub mod table;
+pub mod tokenizer;
+pub mod zipf;
+
+pub use column::{Column, ColumnId, ColumnMeta};
+pub use corpus::{ColumnProvenance, Corpus, CorpusConfig, CorpusProfile};
+pub use joinability::{equi_joinability, overlap, ScoredColumn};
+pub use multiset::{join_result_count, multiset_joinability};
+pub use oracle::Oracle;
+pub use repository::{ExtractionRule, Repository};
+pub use stats::RepoStats;
+pub use table::Table;
+pub use tokenizer::{tokenize, TokenId, Vocabulary, UNK};

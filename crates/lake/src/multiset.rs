@@ -1,0 +1,120 @@
+//! Multiset joinability — the extension §2.1 sketches for one-to-many,
+//! many-to-one and many-to-many joins.
+//!
+//! When columns are modeled as multisets, the natural measure is the number
+//! of *join results* `Σ_v count_Q(v) · count_X(v)` (each pair of matching
+//! rows joins), normalized by `|Q| · |X|` so the value stays in `[0, 1]`.
+
+use crate::column::Column;
+use crate::fxhash::FxHashMap;
+use crate::joinability::{rank_and_truncate, ScoredColumn};
+use crate::repository::Repository;
+
+/// Multiset value counts of a column.
+fn counts(col: &Column) -> FxHashMap<&str, u32> {
+    let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+    for c in &col.cells {
+        *m.entry(c.as_str()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Number of equi-join result rows between `q` and `x` under multiset
+/// semantics: `Σ_v count_q(v) · count_x(v)`.
+pub fn join_result_count(q: &Column, x: &Column) -> u64 {
+    let qc = counts(q);
+    let xc = counts(x);
+    // Iterate the smaller map.
+    let (small, large) = if qc.len() <= xc.len() { (&qc, &xc) } else { (&xc, &qc) };
+    small
+        .iter()
+        .filter_map(|(v, &c1)| large.get(v).map(|&c2| c1 as u64 * c2 as u64))
+        .sum()
+}
+
+/// Multiset joinability: join-result count normalized by `|Q| · |X|`
+/// (the normalization §2.1 proposes for the multiset case). Symmetric,
+/// in `[0, 1]`, and 1 iff both columns are constant with the same value.
+pub fn multiset_joinability(q: &Column, x: &Column) -> f64 {
+    if q.is_empty() || x.is_empty() {
+        return 0.0;
+    }
+    join_result_count(q, x) as f64 / (q.len() as f64 * x.len() as f64)
+}
+
+/// Exact top-k under multiset joinability (reference implementation; the
+/// measure is a drop-in replacement for `jn` in Problem 1).
+pub fn brute_force_topk_multiset(repo: &Repository, query: &Column, k: usize) -> Vec<ScoredColumn> {
+    let scored = repo
+        .iter()
+        .map(|(id, x)| ScoredColumn {
+            id,
+            score: multiset_joinability(query, x),
+        })
+        .collect();
+    rank_and_truncate(scored, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(cells: &[&str]) -> Column {
+        Column::from_cells(cells.iter().copied())
+    }
+
+    #[test]
+    fn join_count_multiplies_multiplicities() {
+        // "a" appears 2× in q and 3× in x -> 6 join rows; "b" 1×1 -> 1.
+        let q = col(&["a", "a", "b"]);
+        let x = col(&["a", "a", "a", "b", "z"]);
+        assert_eq!(join_result_count(&q, &x), 7);
+    }
+
+    #[test]
+    fn multiset_jn_is_symmetric_and_bounded() {
+        let q = col(&["a", "a", "b"]);
+        let x = col(&["a", "b", "c", "c"]);
+        let jn = multiset_joinability(&q, &x);
+        assert!((0.0..=1.0).contains(&jn));
+        assert_eq!(jn, multiset_joinability(&x, &q));
+    }
+
+    #[test]
+    fn constant_equal_columns_score_one() {
+        let q = col(&["a", "a", "a"]);
+        let x = col(&["a", "a"]);
+        assert_eq!(multiset_joinability(&q, &x), 1.0);
+    }
+
+    #[test]
+    fn disjoint_and_empty_score_zero() {
+        let q = col(&["a"]);
+        assert_eq!(multiset_joinability(&q, &col(&["b"])), 0.0);
+        assert_eq!(multiset_joinability(&q, &col(&[])), 0.0);
+        assert_eq!(multiset_joinability(&col(&[]), &q), 0.0);
+    }
+
+    #[test]
+    fn topk_ranks_by_result_density() {
+        let repo = Repository::from_columns(vec![
+            col(&["a", "a", "a", "a", "a"]), // dense matches with q
+            col(&["a", "b", "c", "d", "e"]), // sparse
+            col(&["z", "z", "z", "z", "z"]), // none
+        ]);
+        let q = col(&["a", "a", "a"]);
+        let top = brute_force_topk_multiset(&repo, &q, 3);
+        assert_eq!(top[0].id.0, 0);
+        assert_eq!(top[0].score, 1.0);
+        assert_eq!(top[1].id.0, 1);
+        assert_eq!(top[2].score, 0.0);
+    }
+
+    #[test]
+    fn one_to_many_beats_one_to_one_in_result_count() {
+        let q = col(&["k1", "k2"]);
+        let one_to_one = col(&["k1", "k2"]);
+        let one_to_many = col(&["k1", "k1", "k1", "k2", "k2"]);
+        assert!(join_result_count(&q, &one_to_many) > join_result_count(&q, &one_to_one));
+    }
+}

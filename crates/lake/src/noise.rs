@@ -1,0 +1,214 @@
+//! Cell-level noise: misspellings and format variants.
+//!
+//! Semantic joins exist because real lakes contain the *same* entity written
+//! differently ("American Indian & Alaska Native" vs "Mainland Indigenous",
+//! misspellings, case and punctuation variants — paper §1). The generator
+//! perturbs a fraction of cells with these transforms; a char-n-gram
+//! embedding keeps perturbed strings near their originals, while exact string
+//! equality (equi-join) no longer matches them.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Kinds of perturbation the noiser can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// Swap two adjacent characters ("paris" → "pairs").
+    Transpose,
+    /// Drop one character ("tokyo" → "tkyo").
+    Deletion,
+    /// Duplicate one character ("lima" → "liima").
+    Duplication,
+    /// Uppercase the first letter of each word ("new york" → "New York").
+    TitleCase,
+    /// Replace inner spaces with underscores ("new york" → "new_york").
+    Underscore,
+    /// Append a short qualifier token (" city", " jr", " v2").
+    Suffix,
+}
+
+const ALL_KINDS: [NoiseKind; 6] = [
+    NoiseKind::Transpose,
+    NoiseKind::Deletion,
+    NoiseKind::Duplication,
+    NoiseKind::TitleCase,
+    NoiseKind::Underscore,
+    NoiseKind::Suffix,
+];
+
+const SUFFIXES: [&str; 4] = [" city", " jr", " v2", " est"];
+
+/// Apply one random perturbation to `s`. Always returns a string different
+/// from the input when the input has at least two characters; single-char and
+/// empty inputs may come back unchanged.
+pub fn perturb(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_string();
+    }
+    // Try kinds until one changes the string; bounded to stay total.
+    for _ in 0..8 {
+        let kind = ALL_KINDS[rng.gen_range(0..ALL_KINDS.len())];
+        let out = apply(&chars, s, kind, rng);
+        if out != s {
+            return out;
+        }
+    }
+    // Fallback that always changes the string.
+    format!("{s}{}", SUFFIXES[rng.gen_range(0..SUFFIXES.len())])
+}
+
+fn apply(chars: &[char], original: &str, kind: NoiseKind, rng: &mut StdRng) -> String {
+    match kind {
+        NoiseKind::Transpose => {
+            let i = rng.gen_range(0..chars.len() - 1);
+            let mut c = chars.to_vec();
+            c.swap(i, i + 1);
+            c.into_iter().collect()
+        }
+        NoiseKind::Deletion => {
+            let i = rng.gen_range(0..chars.len());
+            let mut c = chars.to_vec();
+            c.remove(i);
+            c.into_iter().collect()
+        }
+        NoiseKind::Duplication => {
+            let i = rng.gen_range(0..chars.len());
+            let mut c = chars.to_vec();
+            c.insert(i, c[i]);
+            c.into_iter().collect()
+        }
+        NoiseKind::TitleCase => original
+            .split(' ')
+            .map(|w| {
+                let mut it = w.chars();
+                match it.next() {
+                    Some(f) => f.to_uppercase().chain(it).collect::<String>(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        NoiseKind::Underscore => original.replace(' ', "_"),
+        NoiseKind::Suffix => format!("{original}{}", SUFFIXES[rng.gen_range(0..SUFFIXES.len())]),
+    }
+}
+
+/// Apply a *strong* perturbation: several stacked edits plus, for
+/// multi-word cells, word reordering or word dropping.
+///
+/// Strong variants land *outside* the vector-matching radius of typical τ
+/// settings while remaining recognizably the same entity to a human (or to
+/// a model that uses table metadata). They create the gap between
+/// threshold-based semantic matching (PEXESO) and learned joinability that
+/// Table 7 of the paper demonstrates.
+pub fn perturb_strong(s: &str, rng: &mut StdRng) -> String {
+    let words: Vec<&str> = s.split(' ').collect();
+    let mut out = if words.len() >= 2 {
+        match rng.gen_range(0..3) {
+            // Reorder words.
+            0 => {
+                let mut w = words.clone();
+                let i = rng.gen_range(0..w.len() - 1);
+                w.swap(i, i + 1);
+                w.join(" ")
+            }
+            // Drop one word (never the only one).
+            1 => {
+                let drop = rng.gen_range(0..words.len());
+                words
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != drop)
+                    .map(|(_, w)| *w)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+            // Initialize the first word ("fort kelso" -> "f kelso").
+            _ => {
+                let mut w: Vec<String> = words.iter().map(|x| x.to_string()).collect();
+                if let Some(first) = w[0].chars().next() {
+                    w[0] = first.to_string();
+                }
+                w.join(" ")
+            }
+        }
+    } else {
+        s.to_string()
+    };
+    // Stack a couple of character-level edits on top.
+    for _ in 0..2 {
+        out = perturb(&out, rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perturb_changes_string() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for s in ["paris", "new york", "ab", "swift widget 12"] {
+            for _ in 0..20 {
+                let p = perturb(s, &mut rng);
+                assert_ne!(p, s, "perturbation left '{s}' unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_keeps_most_characters() {
+        // A single edit keeps the string recognizably close (length within 6).
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let p = perturb("montevideo", &mut rng);
+            assert!((p.chars().count() as i64 - 10).abs() <= 6, "{p}");
+        }
+    }
+
+    #[test]
+    fn short_inputs_are_safe() {
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(perturb("", &mut rng), "");
+        assert_eq!(perturb("x", &mut rng), "x");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            assert_eq!(perturb("granada 17", &mut a), perturb("granada 17", &mut b));
+        }
+    }
+
+    #[test]
+    fn strong_perturb_changes_more() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let p = perturb_strong("fort kelso 123", &mut rng);
+            assert_ne!(p, "fort kelso 123");
+        }
+        // Single-word inputs still get stacked edits.
+        let p = perturb_strong("montevideo", &mut rng);
+        assert_ne!(p, "montevideo");
+    }
+
+    #[test]
+    fn title_case_variant() {
+        let chars: Vec<char> = "new york".chars().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = apply(&chars, "new york", NoiseKind::TitleCase, &mut rng);
+        assert_eq!(out, "New York");
+    }
+
+    #[test]
+    fn underscore_variant() {
+        let chars: Vec<char> = "a b c".chars().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(apply(&chars, "a b c", NoiseKind::Underscore, &mut rng), "a_b_c");
+    }
+}

@@ -1,0 +1,179 @@
+//! The column repository 𝒳: the searchable flattening of a data lake.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::{Column, ColumnId};
+use crate::table::Table;
+
+/// Which column(s) to extract from each table when flattening a lake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtractionRule {
+    /// Take the key column designated in table metadata (Webtable rule, §5.1).
+    KeyColumn,
+    /// Take the column with the most distinct values (Wikitable rule, §5.1).
+    MostDistinct,
+    /// Take every column (useful for small lakes and tests).
+    All,
+}
+
+/// A repository of target columns, indexed by [`ColumnId`].
+///
+/// Columns that are too short (< `min_cells`; the paper removes columns with
+/// fewer than 5 cells) are dropped at construction time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Repository {
+    columns: Vec<Column>,
+}
+
+/// Minimum cell count for a column to enter the repository (paper §5.1).
+pub const MIN_CELLS: usize = 5;
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a repository directly from columns, dropping those shorter than
+    /// [`MIN_CELLS`].
+    pub fn from_columns<I: IntoIterator<Item = Column>>(columns: I) -> Self {
+        let columns = columns
+            .into_iter()
+            .filter(|c| c.len() >= MIN_CELLS)
+            .collect();
+        Self { columns }
+    }
+
+    /// Flatten a lake of tables into a repository according to `rule`.
+    pub fn from_tables(tables: &[Table], rule: ExtractionRule) -> Self {
+        let mut columns = Vec::with_capacity(tables.len());
+        for (tid, t) in tables.iter().enumerate() {
+            let tid = Some(tid as u32);
+            match rule {
+                ExtractionRule::KeyColumn => {
+                    if t.key_column < t.num_columns() {
+                        columns.push(t.extract_column(t.key_column, tid));
+                    }
+                }
+                ExtractionRule::MostDistinct => {
+                    if let Some(i) = t.most_distinct_column() {
+                        columns.push(t.extract_column(i, tid));
+                    }
+                }
+                ExtractionRule::All => {
+                    for i in 0..t.num_columns() {
+                        columns.push(t.extract_column(i, tid));
+                    }
+                }
+            }
+        }
+        Self::from_columns(columns)
+    }
+
+    /// Append a column (no length filter — caller decides). Returns its id.
+    pub fn push(&mut self, column: Column) -> ColumnId {
+        let id = ColumnId(self.columns.len() as u32);
+        self.columns.push(column);
+        id
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the repository has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Access a column by id. Panics on out-of-range ids (ids are only minted
+    /// by this repository, so out-of-range indicates a logic error).
+    #[inline]
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.columns[id.index()]
+    }
+
+    /// Access a column by id, returning `None` when out of range.
+    #[inline]
+    pub fn get(&self, id: ColumnId) -> Option<&Column> {
+        self.columns.get(id.index())
+    }
+
+    /// Iterate `(id, column)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColumnId, &Column)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ColumnId(i as u32), c))
+    }
+
+    /// All ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        (0..self.columns.len() as u32).map(ColumnId)
+    }
+
+    /// Slice view of all columns (id order).
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn col_n(n: usize) -> Column {
+        Column::from_cells((0..n).map(|i| format!("v{i}")))
+    }
+
+    #[test]
+    fn short_columns_are_dropped() {
+        let repo = Repository::from_columns(vec![col_n(4), col_n(5), col_n(10)]);
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.column(ColumnId(0)).len(), 5);
+    }
+
+    #[test]
+    fn extraction_rules() {
+        let t = Table {
+            title: "t".into(),
+            context: "c".into(),
+            headers: vec!["a".into(), "b".into()],
+            columns: vec![
+                vec!["x".into(); 6],                                  // 1 distinct
+                (0..6).map(|i| format!("y{i}")).collect::<Vec<_>>(),  // 6 distinct
+            ],
+            key_column: 0,
+        };
+        let tables = vec![t];
+        let key = Repository::from_tables(&tables, ExtractionRule::KeyColumn);
+        assert_eq!(key.len(), 1);
+        assert_eq!(key.column(ColumnId(0)).meta.column_name, "a");
+
+        let distinct = Repository::from_tables(&tables, ExtractionRule::MostDistinct);
+        assert_eq!(distinct.column(ColumnId(0)).meta.column_name, "b");
+
+        let all = Repository::from_tables(&tables, ExtractionRule::All);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn ids_and_iter_agree() {
+        let repo = Repository::from_columns(vec![col_n(5), col_n(6)]);
+        let ids: Vec<_> = repo.ids().collect();
+        let iter_ids: Vec<_> = repo.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, iter_ids);
+        assert_eq!(ids, vec![ColumnId(0), ColumnId(1)]);
+    }
+
+    #[test]
+    fn get_handles_out_of_range() {
+        let repo = Repository::from_columns(vec![col_n(5)]);
+        assert!(repo.get(ColumnId(0)).is_some());
+        assert!(repo.get(ColumnId(1)).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Dataset statistics (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::repository::Repository;
+
+/// Statistics of a column repository, matching the columns of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepoStats {
+    /// |𝒳| — number of columns.
+    pub num_columns: usize,
+    /// max |X| — largest column (cells, duplicates included).
+    pub max_len: usize,
+    /// min |X| — smallest column.
+    pub min_len: usize,
+    /// avg |X| — mean column length.
+    pub avg_len: f64,
+    /// Mean number of *distinct* values per column.
+    pub avg_distinct: f64,
+}
+
+impl RepoStats {
+    /// Compute statistics for `repo`. Empty repositories yield zeroed stats.
+    pub fn compute(repo: &Repository) -> Self {
+        if repo.is_empty() {
+            return Self {
+                num_columns: 0,
+                max_len: 0,
+                min_len: 0,
+                avg_len: 0.0,
+                avg_distinct: 0.0,
+            };
+        }
+        let mut max_len = 0usize;
+        let mut min_len = usize::MAX;
+        let mut total = 0usize;
+        let mut total_distinct = 0usize;
+        for c in repo.columns() {
+            max_len = max_len.max(c.len());
+            min_len = min_len.min(c.len());
+            total += c.len();
+            total_distinct += c.distinct_len();
+        }
+        let n = repo.len() as f64;
+        Self {
+            num_columns: repo.len(),
+            max_len,
+            min_len,
+            avg_len: total as f64 / n,
+            avg_distinct: total_distinct as f64 / n,
+        }
+    }
+}
+
+impl std::fmt::Display for RepoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|X|={} max|X|={} min|X|={} avg|X|={:.2} avg distinct={:.2}",
+            self.num_columns, self.max_len, self.min_len, self.avg_len, self.avg_distinct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn computes_basic_stats() {
+        let repo = Repository::from_columns(vec![
+            Column::from_cells((0..5).map(|i| format!("a{i}"))),
+            Column::from_cells((0..15).map(|i| format!("b{}", i % 5))),
+        ]);
+        let s = RepoStats::compute(&repo);
+        assert_eq!(s.num_columns, 2);
+        assert_eq!(s.max_len, 15);
+        assert_eq!(s.min_len, 5);
+        assert!((s.avg_len - 10.0).abs() < 1e-12);
+        assert!((s.avg_distinct - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_repo() {
+        let s = RepoStats::compute(&Repository::new());
+        assert_eq!(s.num_columns, 0);
+        assert_eq!(s.min_len, 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let repo = Repository::from_columns(vec![Column::from_cells(
+            (0..5).map(|i| i.to_string()),
+        )]);
+        let s = RepoStats::compute(&repo).to_string();
+        assert!(s.contains("|X|=1"));
+    }
+}

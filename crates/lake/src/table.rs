@@ -1,0 +1,125 @@
+//! Tables as found in the lake, before column extraction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::{Column, ColumnMeta};
+
+/// A relational table with metadata, as crawled from the (synthetic) lake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. the page or file title).
+    pub title: String,
+    /// A short free-text description accompanying the table.
+    pub context: String,
+    /// Column headers, parallel to `columns`.
+    pub headers: Vec<String>,
+    /// Column bodies, parallel to `headers`. Stored column-major because
+    /// joinable table discovery never needs row-wise access.
+    pub columns: Vec<Vec<String>>,
+    /// Which column the corpus metadata designates as the key column
+    /// (the Webtable profile extracts this one).
+    pub key_column: usize,
+}
+
+impl Table {
+    /// Number of rows (length of the longest column; generators keep columns
+    /// equal-length, but ragged tables are tolerated).
+    pub fn num_rows(&self) -> usize {
+        self.columns.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Extract column `idx` with full metadata attached.
+    ///
+    /// `table_id` is recorded in the metadata so experiments can map results
+    /// back to source tables.
+    pub fn extract_column(&self, idx: usize, table_id: Option<u32>) -> Column {
+        let meta = ColumnMeta {
+            table_title: self.title.clone(),
+            column_name: self.headers.get(idx).cloned().unwrap_or_default(),
+            table_context: self.context.clone(),
+            table_id,
+        };
+        Column::new(self.columns[idx].clone(), meta)
+    }
+
+    /// Index of the column with the largest number of distinct values
+    /// (the Wikitable extraction rule from §5.1). Ties break to the lower
+    /// index. Returns `None` for tables without columns.
+    pub fn most_distinct_column(&self) -> Option<usize> {
+        (0..self.columns.len()).max_by_key(|&i| {
+            let distinct: crate::fxhash::FxHashSet<&str> =
+                self.columns[i].iter().map(String::as_str).collect();
+            // max_by_key keeps the *last* max; invert index to prefer the first.
+            (distinct.len(), usize::MAX - i)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table {
+            title: "World capitals".into(),
+            context: "Capitals and populations".into(),
+            headers: vec!["country".into(), "capital".into(), "flag".into()],
+            columns: vec![
+                vec!["fr".into(), "jp".into(), "fr".into()],
+                vec!["paris".into(), "tokyo".into(), "paris".into()],
+                vec!["🇫🇷".into(), "🇯🇵".into(), "🇫🇷".into()],
+            ],
+            key_column: 0,
+        }
+    }
+
+    #[test]
+    fn dims() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 3);
+    }
+
+    #[test]
+    fn extract_carries_metadata() {
+        let t = sample_table();
+        let c = t.extract_column(1, Some(9));
+        assert_eq!(c.cells, vec!["paris", "tokyo", "paris"]);
+        assert_eq!(c.meta.table_title, "World capitals");
+        assert_eq!(c.meta.column_name, "capital");
+        assert_eq!(c.meta.table_context, "Capitals and populations");
+        assert_eq!(c.meta.table_id, Some(9));
+    }
+
+    #[test]
+    fn most_distinct_prefers_first_on_tie() {
+        let t = sample_table();
+        // Columns 0,1,2 all have 2 distinct values -> index 0 wins.
+        assert_eq!(t.most_distinct_column(), Some(0));
+    }
+
+    #[test]
+    fn most_distinct_detects_larger() {
+        let mut t = sample_table();
+        t.columns[2] = vec!["a".into(), "b".into(), "c".into()];
+        assert_eq!(t.most_distinct_column(), Some(2));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table {
+            title: String::new(),
+            context: String::new(),
+            headers: vec![],
+            columns: vec![],
+            key_column: 0,
+        };
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.most_distinct_column(), None);
+    }
+}

@@ -1,0 +1,372 @@
+//! LSH Ensemble (Zhu et al., PVLDB'16): approximate containment search.
+//!
+//! The containment (equi-joinability) `t = |Q∩X|/|Q|` is converted to a
+//! Jaccard condition — the conversion depends on the *target* set size `|X|`,
+//! so the repository is partitioned by set size (equi-depth) and each
+//! partition uses its own conversion against the partition's upper size
+//! bound `u`:
+//!
+//! `J ≥ t·|Q| / (|Q| + u − t·|Q|)`
+//!
+//! Each partition indexes MinHash signatures under several `(b, r)` bandings
+//! (all divisors of the signature length); at query time the banding whose
+//! S-curve threshold sits just below the required Jaccard is probed. This
+//! mirrors the dynamic parameterization of the original (which optimizes
+//! `(b, r)` per partition from precomputed tables); the selection rule here
+//! is the standard `(1/b)^(1/r)` fixpoint approximation.
+//!
+//! The paper targets the thresholded problem; DeepJoin's evaluation adapts
+//! it to top-k by relaxing the threshold until `k` candidates surface and
+//! ranking candidates by sketch-estimated containment. False positives from
+//! the containment→Jaccard conversion are expected — reproducing that
+//! weakness (Table 3's mediocre precision) is part of the reproduction.
+
+use deepjoin_lake::column::{Column, ColumnId};
+use deepjoin_lake::fxhash::FxHashMap;
+use deepjoin_lake::joinability::{rank_and_truncate, ScoredColumn};
+use deepjoin_lake::repository::Repository;
+
+use crate::minhash::{MinHasher, MinHashSketch};
+
+/// Ensemble parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LshEnsembleConfig {
+    /// Signature length (number of MinHash permutations).
+    pub num_perm: usize,
+    /// Number of size partitions.
+    pub num_partitions: usize,
+    /// Seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for LshEnsembleConfig {
+    fn default() -> Self {
+        Self {
+            num_perm: 128,
+            num_partitions: 8,
+            seed: 0x15,
+        }
+    }
+}
+
+/// One size partition: sketches plus per-banding bucket tables.
+struct Partition {
+    /// Upper bound on distinct-set size in this partition.
+    upper: usize,
+    /// Members: (column id, distinct size, sketch index).
+    members: Vec<(u32, usize)>,
+    /// Sketches parallel to `members`.
+    sketches: Vec<MinHashSketch>,
+    /// For each banding `(b, r)`: bucket -> member indices.
+    bandings: Vec<Banding>,
+}
+
+struct Banding {
+    b: usize,
+    r: usize,
+    buckets: FxHashMap<u64, Vec<u32>>, // band-local key -> member indices
+}
+
+/// The LSH Ensemble index.
+pub struct LshEnsembleIndex {
+    /// The configuration the index was built with.
+    pub config: LshEnsembleConfig,
+    hasher: MinHasher,
+    partitions: Vec<Partition>,
+    len: usize,
+}
+
+/// Bandings tried per partition: all `(b, r)` with `b·r = num_perm` and
+/// `r ∈ {1, 2, 4, 8, 16, 32}` (bounded so at least 4 bands exist).
+fn banding_shapes(num_perm: usize) -> Vec<(usize, usize)> {
+    [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .filter(|&&r| num_perm % r == 0 && num_perm / r >= 4)
+        .map(|&r| (num_perm / r, r))
+        .collect()
+}
+
+impl LshEnsembleIndex {
+    /// Build the ensemble over `repo`.
+    pub fn build(repo: &Repository, config: LshEnsembleConfig) -> Self {
+        let hasher = MinHasher::new(config.num_perm, config.seed);
+
+        // Sketch every column and sort by distinct size for equi-depth
+        // partitioning.
+        let mut entries: Vec<(u32, usize, MinHashSketch)> = repo
+            .iter()
+            .map(|(id, col)| {
+                let sketch = hasher.sketch(col.distinct().iter().map(String::as_str));
+                (id.0, col.distinct_len(), sketch)
+            })
+            .collect();
+        entries.sort_by_key(|&(id, size, _)| (size, id));
+
+        let n = entries.len();
+        let num_parts = config.num_partitions.max(1).min(n.max(1));
+        let per_part = n.div_ceil(num_parts.max(1)).max(1);
+
+        let shapes = banding_shapes(config.num_perm);
+        let mut partitions = Vec::with_capacity(num_parts);
+        for chunk in entries.chunks(per_part) {
+            let upper = chunk.last().map(|&(_, s, _)| s).unwrap_or(0);
+            let members: Vec<(u32, usize)> = chunk.iter().map(|&(id, s, _)| (id, s)).collect();
+            let sketches: Vec<MinHashSketch> =
+                chunk.iter().map(|(_, _, sk)| sk.clone()).collect();
+            let bandings = shapes
+                .iter()
+                .map(|&(b, r)| {
+                    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                    for (mi, sk) in sketches.iter().enumerate() {
+                        for band in 0..b {
+                            // Mix the band index into the key so bands don't
+                            // collide across positions.
+                            let key = sk.band_key(band, r) ^ (band as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                            buckets.entry(key).or_default().push(mi as u32);
+                        }
+                    }
+                    Banding { b, r, buckets }
+                })
+                .collect();
+            partitions.push(Partition {
+                upper,
+                members,
+                sketches,
+                bandings,
+            });
+        }
+        Self {
+            config,
+            hasher,
+            partitions,
+            len: n,
+        }
+    }
+
+    /// Number of indexed columns.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Thresholded containment query: all columns whose *estimated*
+    /// containment `|Q∩X|/|Q|` is at least `t` (plus LSH false positives /
+    /// minus false negatives — this is an approximate method).
+    pub fn query_threshold(&self, query: &Column, t: f64) -> Vec<ScoredColumn> {
+        let q_size = query.distinct_len();
+        if q_size == 0 {
+            return Vec::new();
+        }
+        let q_sketch = self
+            .hasher
+            .sketch(query.distinct().iter().map(String::as_str));
+
+        let mut out = Vec::new();
+        for part in &self.partitions {
+            if part.members.is_empty() {
+                continue;
+            }
+            // Containment -> Jaccard threshold against the partition's upper
+            // size bound.
+            let u = part.upper as f64;
+            let q = q_size as f64;
+            let j_star = (t * q) / (q + u - t * q).max(1e-9);
+            let banding = pick_banding(&part.bandings, j_star);
+
+            // Probe buckets, dedup member indices.
+            let mut seen: Vec<bool> = vec![false; part.members.len()];
+            for band in 0..banding.b {
+                let key = q_sketch.band_key(band, banding.r)
+                    ^ (band as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                if let Some(members) = banding.buckets.get(&key) {
+                    for &mi in members {
+                        seen[mi as usize] = true;
+                    }
+                }
+            }
+            for (mi, &hit) in seen.iter().enumerate() {
+                if !hit {
+                    continue;
+                }
+                let (col, x_size) = part.members[mi];
+                let j = q_sketch.jaccard(&part.sketches[mi]);
+                // Estimated containment from estimated Jaccard:
+                // c = J (|Q| + |X|) / (|Q| (1 + J)).
+                let c = (j * (q + x_size as f64)) / (q * (1.0 + j));
+                let c = c.clamp(0.0, 1.0);
+                if c >= t {
+                    out.push(ScoredColumn {
+                        id: ColumnId(col),
+                        score: c,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    /// Top-k adaptation (§2.2 of the DeepJoin paper): LSH Ensemble answers
+    /// *thresholded* queries, so top-k is emulated by issuing queries at
+    /// decreasing thresholds and stacking the result tiers — candidates
+    /// surfacing at a higher threshold rank above those that only appear at
+    /// a lower one; within a tier the set is unordered (id order here). The
+    /// returned score is the tier threshold.
+    ///
+    /// This is deliberately *not* re-ranked by sketch-estimated containment:
+    /// a thresholded LSH index returns sets, and the coarse tiering plus the
+    /// containment→Jaccard conversion's false positives are exactly the
+    /// weaknesses the paper reports for this method (Table 3).
+    pub fn search(&self, query: &Column, k: usize) -> Vec<ScoredColumn> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<ScoredColumn> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
+        let mut t = 0.9;
+        while out.len() < k && t > 0.05 {
+            let tier = self.query_threshold(query, t);
+            let mut fresh: Vec<ScoredColumn> = tier
+                .into_iter()
+                .filter(|h| !seen.contains(&h.id.0))
+                .map(|h| ScoredColumn {
+                    id: h.id,
+                    score: t,
+                })
+                .collect();
+            fresh.sort_by_key(|h| h.id);
+            for h in fresh {
+                seen.push(h.id.0);
+                out.push(h);
+            }
+            t -= 0.10;
+        }
+        rank_and_truncate(out, k)
+    }
+}
+
+/// Pick the banding whose S-curve fixpoint `(1/b)^(1/r)` is closest to (and
+/// preferably below) the required Jaccard threshold.
+fn pick_banding(bandings: &[Banding], j_star: f64) -> &Banding {
+    let mut best: Option<(&Banding, f64)> = None;
+    for banding in bandings {
+        let fix = (1.0 / banding.b as f64).powf(1.0 / banding.r as f64);
+        // Prefer fixpoints below j_star (high recall); penalize overshoot.
+        let gap = if fix <= j_star {
+            j_star - fix
+        } else {
+            (fix - j_star) * 4.0
+        };
+        match best {
+            Some((_, g)) if g <= gap => {}
+            _ => best = Some((banding, gap)),
+        }
+    }
+    best.expect("at least one banding").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col_range(lo: u32, hi: u32) -> Column {
+        Column::from_cells((lo..hi).map(|i| format!("v{i}")))
+    }
+
+    fn repo() -> Repository {
+        Repository::from_columns(vec![
+            col_range(0, 50),    // 0: full overlap with query below
+            col_range(0, 25),    // 1: contains half of query's values
+            col_range(25, 75),   // 2: half overlap
+            col_range(100, 150), // 3: disjoint
+            col_range(0, 500),   // 4: superset (big)
+        ])
+    }
+
+    #[test]
+    fn finds_high_containment_targets() {
+        let idx = LshEnsembleIndex::build(&repo(), LshEnsembleConfig::default());
+        let q = col_range(0, 50);
+        let top = idx.search(&q, 2);
+        assert_eq!(top.len(), 2);
+        let ids: Vec<u32> = top.iter().map(|s| s.id.0).collect();
+        // Exact answers are columns 0 and 4 (containment 1.0 each).
+        assert!(ids.contains(&0), "ids {ids:?}");
+        assert!(ids.contains(&4), "ids {ids:?}");
+        assert!(top[0].score > 0.8);
+    }
+
+    #[test]
+    fn disjoint_columns_rank_last_or_absent() {
+        let idx = LshEnsembleIndex::build(&repo(), LshEnsembleConfig::default());
+        let q = col_range(0, 50);
+        let top = idx.search(&q, 5);
+        if let Some(pos) = top.iter().position(|s| s.id.0 == 3) {
+            // If the disjoint column appears at all it must rank last with a
+            // near-zero estimate.
+            assert_eq!(pos, top.len() - 1);
+            assert!(top[pos].score < 0.3, "score {}", top[pos].score);
+        }
+    }
+
+    #[test]
+    fn threshold_query_scores_are_containment_estimates() {
+        let idx = LshEnsembleIndex::build(&repo(), LshEnsembleConfig::default());
+        let q = col_range(0, 50);
+        let hits = idx.query_threshold(&q, 0.8);
+        for h in &hits {
+            assert!(h.score >= 0.8 && h.score <= 1.0);
+        }
+        assert!(hits.iter().any(|h| h.id.0 == 0));
+    }
+
+    #[test]
+    fn empty_query_and_k_zero() {
+        let idx = LshEnsembleIndex::build(&repo(), LshEnsembleConfig::default());
+        assert!(idx.search(&Column::from_cells(Vec::<String>::new()), 3).is_empty());
+        assert!(idx.search(&col_range(0, 10), 0).is_empty());
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn partitioning_is_equi_depth() {
+        let repo = Repository::from_columns(
+            (0..40).map(|i| col_range(i * 10, i * 10 + 5 + i)), // growing sizes
+        );
+        let idx = LshEnsembleIndex::build(
+            &repo,
+            LshEnsembleConfig {
+                num_partitions: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(idx.partitions.len(), 4);
+        for w in idx.partitions.windows(2) {
+            assert!(w[0].upper <= w[1].upper, "partitions ordered by size");
+        }
+        let sizes: Vec<usize> = idx.partitions.iter().map(|p| p.members.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 40);
+        assert!(sizes.iter().all(|&s| s == 10), "equi-depth: {sizes:?}");
+    }
+
+    #[test]
+    fn banding_shapes_cover_expected_rows() {
+        let shapes = banding_shapes(128);
+        assert!(shapes.contains(&(128, 1)));
+        assert!(shapes.contains(&(32, 4)));
+        assert!(shapes.contains(&(4, 32)));
+        for (b, r) in shapes {
+            assert_eq!(b * r, 128);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # deepjoin-lshensemble
+//!
+//! LSH Ensemble (Zhu et al., PVLDB'16) — the approximate equi-join baseline
+//! of the DeepJoin evaluation: MinHash sketches ([`minhash`]) plus an
+//! equi-depth size-partitioned LSH with per-partition containment→Jaccard
+//! conversion ([`ensemble`]).
+
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod minhash;
+
+pub use ensemble::{LshEnsembleConfig, LshEnsembleIndex};
+pub use minhash::{MinHashSketch, MinHasher};

@@ -1,0 +1,145 @@
+//! MinHash signatures (Broder 1997).
+//!
+//! A column's distinct cell set is sketched with `n` independent
+//! permutations approximated by universal hashing: `hᵢ(x) = (aᵢ·h(x) + bᵢ)
+//! mod p`, keeping the minimum per permutation. The fraction of agreeing
+//! components is an unbiased estimator of Jaccard similarity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use deepjoin_lake::fxhash::hash_bytes;
+
+/// Mersenne prime 2^61 − 1 used as the universal-hash modulus.
+const P: u64 = (1 << 61) - 1;
+
+/// A family of `n` seeded hash functions shared by all sketches.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    a: Vec<u64>,
+    b: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Create a family of `n` functions from `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "need at least one permutation");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..n).map(|_| rng.gen_range(1..P)).collect();
+        let b = (0..n).map(|_| rng.gen_range(0..P)).collect();
+        Self { a, b }
+    }
+
+    /// Number of permutations.
+    pub fn num_perm(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Sketch an iterator of set elements.
+    pub fn sketch<'x, I: IntoIterator<Item = &'x str>>(&self, items: I) -> MinHashSketch {
+        let mut mins = vec![u64::MAX; self.num_perm()];
+        for item in items {
+            let h = hash_bytes(item.as_bytes()) % P;
+            for i in 0..self.a.len() {
+                // (a*h + b) mod p via u128 to avoid overflow.
+                let v = ((self.a[i] as u128 * h as u128 + self.b[i] as u128) % P as u128) as u64;
+                if v < mins[i] {
+                    mins[i] = v;
+                }
+            }
+        }
+        MinHashSketch { mins }
+    }
+}
+
+/// A MinHash signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHashSketch {
+    /// Per-permutation minima.
+    pub mins: Vec<u64>,
+}
+
+impl MinHashSketch {
+    /// Estimated Jaccard similarity with `other`.
+    pub fn jaccard(&self, other: &MinHashSketch) -> f64 {
+        assert_eq!(self.mins.len(), other.mins.len(), "incompatible sketches");
+        let agree = self
+            .mins
+            .iter()
+            .zip(&other.mins)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.mins.len() as f64
+    }
+
+    /// Band `b` of `r` rows hashed to a bucket key (for LSH banding).
+    pub fn band_key(&self, band: usize, r: usize) -> u64 {
+        let start = band * r;
+        let slice = &self.mins[start..start + r];
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for &v in slice {
+            acc ^= v;
+            acc = acc.wrapping_mul(0x1000_0000_01b3);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: std::ops::Range<u32>) -> Vec<String> {
+        n.map(|i| format!("item{i}")).collect()
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let mh = MinHasher::new(128, 1);
+        let items = set(0..50);
+        let a = mh.sketch(items.iter().map(String::as_str));
+        let b = mh.sketch(items.iter().map(String::as_str));
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let mh = MinHasher::new(128, 2);
+        let a = mh.sketch(set(0..50).iter().map(String::as_str));
+        let b = mh.sketch(set(100..150).iter().map(String::as_str));
+        assert!(a.jaccard(&b) < 0.1);
+    }
+
+    #[test]
+    fn estimator_is_roughly_unbiased() {
+        // |A∩B| = 50, |A∪B| = 150 -> J = 1/3.
+        let mh = MinHasher::new(256, 3);
+        let a_items = set(0..100);
+        let b_items = set(50..150);
+        let a = mh.sketch(a_items.iter().map(String::as_str));
+        let b = mh.sketch(b_items.iter().map(String::as_str));
+        let j = a.jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.12, "estimate {j}");
+    }
+
+    #[test]
+    fn band_keys_agree_iff_rows_agree() {
+        let mh = MinHasher::new(16, 4);
+        let items = set(0..30);
+        let a = mh.sketch(items.iter().map(String::as_str));
+        let b = a.clone();
+        for band in 0..4 {
+            assert_eq!(a.band_key(band, 4), b.band_key(band, 4));
+        }
+        let c = mh.sketch(set(1000..1030).iter().map(String::as_str));
+        let all_equal = (0..4).all(|band| a.band_key(band, 4) == c.band_key(band, 4));
+        assert!(!all_equal);
+    }
+
+    #[test]
+    fn empty_set_sketches_to_max() {
+        let mh = MinHasher::new(8, 5);
+        let s = mh.sketch(std::iter::empty());
+        assert!(s.mins.iter().all(|&m| m == u64::MAX));
+    }
+}

@@ -1,0 +1,213 @@
+//! # deepjoin-metrics
+//!
+//! Retrieval-quality metrics used throughout the evaluation (paper §5.1):
+//!
+//! * **precision@k** — overlap between a model's top-k and the exact top-k;
+//! * **NDCG@k** — `DCG_model / DCG_exact` with `DCG = Σ jn(Q, Xᵢ) / log₂(i+1)`;
+//! * **pooled precision / recall / F1** — for expert-labeled evaluation
+//!   (Table 7): the judged pool is the union of all compared methods'
+//!   retrieved results, following Clarke & Willett (1997).
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+
+/// precision@k: `|model_topk ∩ exact_topk| / k`.
+///
+/// `k` defaults to the exact list's length when the model returned fewer
+/// results (both lists are truncated to `k`).
+pub fn precision_at_k<T: Eq + std::hash::Hash + Copy>(model: &[T], exact: &[T], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let exact_set: HashSet<T> = exact.iter().take(k).copied().collect();
+    if exact_set.is_empty() {
+        return 0.0;
+    }
+    let hit = model
+        .iter()
+        .take(k)
+        .filter(|id| exact_set.contains(id))
+        .count();
+    hit as f64 / k as f64
+}
+
+/// Discounted cumulative gain of a ranked list of relevance scores.
+pub fn dcg(scores: &[f64]) -> f64 {
+    scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| s / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// NDCG@k as the paper defines it: `DCG_model / DCG_exact`, where both lists
+/// carry *true joinability* scores of the retrieved columns, truncated to k.
+/// Returns 1.0 when the exact DCG is zero (nothing joinable to find).
+pub fn ndcg_at_k(model_scores: &[f64], exact_scores: &[f64], k: usize) -> f64 {
+    let m: Vec<f64> = model_scores.iter().take(k).copied().collect();
+    let e: Vec<f64> = exact_scores.iter().take(k).copied().collect();
+    let denom = dcg(&e);
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    (dcg(&m) / denom).min(1.0)
+}
+
+/// Precision / recall / F1 against binary relevance judgments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// (# retrieved ∧ relevant) / (# retrieved).
+    pub precision: f64,
+    /// (# retrieved ∧ relevant) / (# relevant in the pool).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Build from counts.
+    pub fn from_counts(retrieved: usize, relevant_retrieved: usize, relevant_total: usize) -> Self {
+        let precision = if retrieved == 0 {
+            0.0
+        } else {
+            relevant_retrieved as f64 / retrieved as f64
+        };
+        let recall = if relevant_total == 0 {
+            0.0
+        } else {
+            relevant_retrieved as f64 / relevant_total as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Pooled evaluation for one query (Table 7 protocol): the judged pool is
+/// the union of all methods' retrieved lists; recall is measured against the
+/// relevant items *inside the pool*.
+#[derive(Debug, Clone, Default)]
+pub struct PooledEval<T: Eq + std::hash::Hash + Copy> {
+    pool: HashSet<T>,
+}
+
+impl<T: Eq + std::hash::Hash + Copy> PooledEval<T> {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self {
+            pool: HashSet::new(),
+        }
+    }
+
+    /// Add one method's retrieved list to the pool.
+    pub fn add_retrieved(&mut self, retrieved: &[T]) {
+        self.pool.extend(retrieved.iter().copied());
+    }
+
+    /// Pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Score one method's retrieved list, judging relevance with `judge`
+    /// (the expert stand-in).
+    pub fn score<F: Fn(T) -> bool>(&self, retrieved: &[T], judge: F) -> Prf {
+        let relevant_total = self.pool.iter().filter(|&&x| judge(x)).count();
+        let dedup: HashSet<T> = retrieved.iter().copied().collect();
+        let relevant_retrieved = dedup.iter().filter(|&&x| judge(x)).count();
+        Prf::from_counts(dedup.len(), relevant_retrieved, relevant_total)
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[1, 2, 3], 3), 1.0);
+        assert_eq!(precision_at_k(&[1, 9, 8], &[1, 2, 3], 3), 1.0 / 3.0);
+        assert_eq!(precision_at_k(&[9, 8, 7], &[1, 2, 3], 3), 0.0);
+        // Order within top-k does not matter for precision.
+        assert_eq!(precision_at_k(&[3, 1, 2], &[1, 2, 3], 3), 1.0);
+    }
+
+    #[test]
+    fn precision_truncates_to_k() {
+        assert_eq!(precision_at_k(&[1, 2, 9, 9], &[1, 2, 3, 4], 2), 1.0);
+        assert_eq!(precision_at_k::<u32>(&[], &[1, 2], 2), 0.0);
+        assert_eq!(precision_at_k(&[1], &[1], 0), 0.0);
+    }
+
+    #[test]
+    fn dcg_discounts_by_rank() {
+        let d = dcg(&[1.0, 1.0]);
+        assert!((d - (1.0 + 1.0 / 3f64.log2())).abs() < 1e-12);
+        assert_eq!(dcg(&[]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_degraded() {
+        let exact = [1.0, 0.8, 0.5];
+        assert_eq!(ndcg_at_k(&exact, &exact, 3), 1.0);
+        let worse = [0.5, 0.5, 0.2];
+        let n = ndcg_at_k(&worse, &exact, 3);
+        assert!(n > 0.0 && n < 1.0);
+        // Zero exact gain -> defined as 1.
+        assert_eq!(ndcg_at_k(&[0.0], &[0.0], 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_clamps_at_one() {
+        // Model can't legitimately beat exact, but protect against float dust.
+        assert!(ndcg_at_k(&[1.0 + 1e-15], &[1.0], 1) <= 1.0);
+    }
+
+    #[test]
+    fn prf_counts() {
+        let p = Prf::from_counts(10, 5, 20);
+        assert!((p.precision - 0.5).abs() < 1e-12);
+        assert!((p.recall - 0.25).abs() < 1e-12);
+        assert!((p.f1 - (2.0 * 0.5 * 0.25 / 0.75)).abs() < 1e-12);
+        let zero = Prf::from_counts(0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn pooled_eval_protocol() {
+        let mut pool = PooledEval::new();
+        pool.add_retrieved(&[1u32, 2, 3]); // method A
+        pool.add_retrieved(&[3u32, 4, 5]); // method B
+        assert_eq!(pool.pool_size(), 5);
+        // Relevant items: even ids {2, 4}.
+        let judge = |x: u32| x % 2 == 0;
+        let a = pool.score(&[1, 2, 3], judge);
+        assert!((a.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((a.recall - 0.5).abs() < 1e-12);
+        let b = pool.score(&[3, 4, 5], judge);
+        assert!((b.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,730 @@
+//! The trainable column encoder — the PLM stand-in.
+//!
+//! Two variants mirror the paper's two PLMs (DESIGN.md §1):
+//!
+//! * **DistilLite** (for DistilBERT): mean-pooled token embeddings → MLP
+//!   head. Light and fast, order-insensitive at the pooling stage.
+//! * **MPLite** (for MPNet): learned positional embeddings added to token
+//!   embeddings, attention pooling (a small additive-attention scorer), then
+//!   the MLP head. Position-aware and able to focus on informative tokens —
+//!   the properties the paper credits MPNet's pre-training with.
+//!
+//! Token embeddings are typically initialized from the SGNS pre-training in
+//! `deepjoin-embed` ("pre-trained"), then the whole encoder is fine-tuned
+//! with the multiple-negatives-ranking loss ([`crate::mnr`]).
+//!
+//! Gradient handling: the dense parameters (positions, attention, head) are
+//! exposed through the [`Module`] visitor for AdamW; the embedding table is
+//! updated *sparsely* (only rows touched in a batch) via
+//! [`EncoderOptimizer`], the standard lazy-Adam treatment for large
+//! embedding tables.
+
+use serde::{Deserialize, Serialize};
+
+use deepjoin_lake::fxhash::FxHashMap;
+use deepjoin_lake::tokenizer::TokenId;
+
+use crate::adam::{Adam, AdamConfig};
+use crate::layers::{Linear, Module};
+use crate::matrix::Matrix;
+
+/// Pooling strategy over token vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pooling {
+    /// Arithmetic mean of token vectors (DistilLite).
+    Mean,
+    /// Additive attention: softmax-weighted mean (MPLite).
+    Attention,
+}
+
+/// Encoder hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Vocabulary size (rows of the embedding table).
+    pub vocab_size: usize,
+    /// Token-embedding dimensionality.
+    pub dim: usize,
+    /// Output embedding dimensionality.
+    pub out_dim: usize,
+    /// Hidden width of the attention scorer.
+    pub attn_hidden: usize,
+    /// Maximum input length in tokens (hard truncation; the paper's 512-token
+    /// budget scaled down).
+    pub max_len: usize,
+    /// Pooling strategy.
+    pub pooling: Pooling,
+    /// Whether to add learned positional embeddings (MPLite).
+    pub use_positions: bool,
+    /// Residual connection around the projection head (`out = head(pooled)
+    /// + pooled`; requires `out_dim == dim`). Keeps the fine-tuned output a
+    /// *refinement* of the pre-trained pooled representation, as transformer
+    /// fine-tuning does, instead of replacing it.
+    pub residual: bool,
+    /// Init seed for all parameter tensors.
+    pub seed: u64,
+}
+
+impl EncoderConfig {
+    /// The DistilLite variant (paper: DeepJoin-DistilBERT).
+    pub fn distil_lite(vocab_size: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            vocab_size,
+            dim,
+            out_dim: dim,
+            attn_hidden: dim / 2,
+            max_len: 160,
+            pooling: Pooling::Mean,
+            use_positions: false,
+            residual: true,
+            seed,
+        }
+    }
+
+    /// The MPLite variant (paper: DeepJoin-MPNet).
+    pub fn mp_lite(vocab_size: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            vocab_size,
+            dim,
+            out_dim: dim,
+            attn_hidden: dim / 2,
+            max_len: 160,
+            pooling: Pooling::Attention,
+            use_positions: true,
+            residual: true,
+            seed,
+        }
+    }
+}
+
+/// Cached per-sequence state from the last `encode_batch` call.
+struct SeqCache {
+    tokens: Vec<TokenId>,
+    /// Token vectors after embedding (+ positions), `len x dim`.
+    t: Matrix,
+    /// Attention internals (empty for mean pooling).
+    alpha: Vec<f32>,
+    u: Matrix,
+}
+
+/// The column encoder.
+pub struct ColumnEncoder {
+    /// Configuration.
+    pub config: EncoderConfig,
+    /// Token-embedding table, `vocab x dim` (sparsely updated).
+    pub embedding: Matrix,
+    /// Learned positional embeddings, `max_len x dim`.
+    positions: Matrix,
+    g_positions: Matrix,
+    /// Attention scorer: `u = tanh(W t + b)`, `score = v·u`.
+    attn_w: Matrix, // dim x attn_hidden
+    attn_b: Vec<f32>,
+    attn_v: Vec<f32>,
+    g_attn_w: Matrix,
+    g_attn_b: Vec<f32>,
+    g_attn_v: Vec<f32>,
+    /// Projection head: Linear → tanh → Linear.
+    h1: Linear,
+    h2: Linear,
+    /// Cached tanh output between h1 and h2 (for backward).
+    head_mid: Option<Matrix>,
+    /// Sparse gradients for the embedding table: row -> grad.
+    pub embedding_grads: FxHashMap<TokenId, Vec<f32>>,
+    cache: Vec<SeqCache>,
+}
+
+impl ColumnEncoder {
+    /// Create an encoder with Xavier-initialized parameters.
+    pub fn new(config: EncoderConfig) -> Self {
+        assert!(
+            !config.residual || config.out_dim == config.dim,
+            "residual head requires out_dim == dim"
+        );
+        Self {
+            embedding: Matrix::uniform(
+                config.vocab_size,
+                config.dim,
+                (3.0 / config.dim as f32).sqrt(),
+                config.seed ^ 0xE3,
+            ),
+            positions: Matrix::xavier(config.max_len, config.dim, config.seed ^ 0xB0),
+            g_positions: Matrix::zeros(config.max_len, config.dim),
+            attn_w: Matrix::xavier(config.dim, config.attn_hidden, config.seed ^ 0xA7),
+            attn_b: vec![0.0; config.attn_hidden],
+            attn_v: Matrix::xavier(config.attn_hidden, 1, config.seed ^ 0xA8).data,
+            g_attn_w: Matrix::zeros(config.dim, config.attn_hidden),
+            g_attn_b: vec![0.0; config.attn_hidden],
+            g_attn_v: vec![0.0; config.attn_hidden],
+            h1: Linear::new(config.dim, config.dim, config.seed ^ 0xA1),
+            h2: Linear::new(config.dim, config.out_dim, config.seed ^ 0xA2),
+            head_mid: None,
+            embedding_grads: FxHashMap::default(),
+            cache: Vec::new(),
+            config,
+        }
+    }
+
+    /// Overwrite the leading rows of the embedding table with pre-trained
+    /// vectors. The table may cover fewer rows than `vocab_size` (e.g. when
+    /// the tail rows are OOV hash buckets that keep their random init), but
+    /// must be row-aligned to `dim` and no larger than the table.
+    pub fn load_pretrained_embeddings(&mut self, table: &[f32]) {
+        assert!(
+            table.len() % self.config.dim == 0
+                && table.len() <= self.config.vocab_size * self.config.dim,
+            "pretrained table shape mismatch"
+        );
+        self.embedding.data[..table.len()].copy_from_slice(table);
+    }
+
+    /// Encode one sequence without caching (inference path). `&self` so it
+    /// can run concurrently from several threads.
+    pub fn encode(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let t = self.embed_tokens(tokens);
+        let pooled = match self.config.pooling {
+            Pooling::Mean => mean_pool(&t),
+            Pooling::Attention => {
+                let (pooled, _, _) = self.attention_pool(&t);
+                pooled
+            }
+        };
+        self.head_infer(&pooled)
+    }
+
+    /// Encode a batch with caching for a following [`Self::backward`] call.
+    /// Returns the `N x out_dim` output matrix.
+    pub fn encode_batch(&mut self, seqs: &[Vec<TokenId>]) -> Matrix {
+        self.cache.clear();
+        let dim = self.config.dim;
+        let mut pooled = Matrix::zeros(seqs.len(), dim);
+        for (n, seq) in seqs.iter().enumerate() {
+            let tokens: Vec<TokenId> =
+                seq.iter().copied().take(self.config.max_len).collect();
+            let t = self.embed_tokens(&tokens);
+            let (p, alpha, u) = match self.config.pooling {
+                Pooling::Mean => (mean_pool(&t), Vec::new(), Matrix::zeros(0, 0)),
+                Pooling::Attention => self.attention_pool(&t),
+            };
+            pooled.row_mut(n).copy_from_slice(&p);
+            self.cache.push(SeqCache {
+                tokens,
+                t,
+                alpha,
+                u,
+            });
+        }
+        // Head: Linear → tanh → Linear (+ optional residual), caching the
+        // tanh output.
+        let mut mid = self.h1.forward(&pooled);
+        for v in &mut mid.data {
+            *v = v.tanh();
+        }
+        self.head_mid = Some(mid.clone());
+        let mut out = self.h2.forward(&mid);
+        if self.config.residual {
+            out.add_assign(&pooled);
+        }
+        out
+    }
+
+    /// Backpropagate `dL/d(output)` from the last `encode_batch`, routing
+    /// gradients into the head, attention, positions and (sparsely) the
+    /// embedding table.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        assert_eq!(grad_out.rows, self.cache.len(), "stale cache");
+        // Head backward: h2 → tanh → h1.
+        let mut d_mid = self.h2.backward(grad_out);
+        let mid = self.head_mid.as_ref().expect("backward before forward");
+        for (g, &y) in d_mid.data.iter_mut().zip(&mid.data) {
+            *g *= 1.0 - y * y;
+        }
+        let mut d_pooled = self.h1.backward(&d_mid);
+        if self.config.residual {
+            d_pooled.add_assign(grad_out);
+        }
+        let dim = self.config.dim;
+        let hid = self.config.attn_hidden;
+
+        // Take the cache to appease the borrow checker, then put it back.
+        let caches = std::mem::take(&mut self.cache);
+        for (n, c) in caches.iter().enumerate() {
+            let dp = d_pooled.row(n);
+            let len = c.tokens.len();
+            if len == 0 {
+                continue;
+            }
+            // dT: gradient wrt per-token vectors.
+            let mut dt = Matrix::zeros(len, dim);
+            match self.config.pooling {
+                Pooling::Mean => {
+                    let inv = 1.0 / len as f32;
+                    for i in 0..len {
+                        for (g, &d) in dt.row_mut(i).iter_mut().zip(dp) {
+                            *g = d * inv;
+                        }
+                    }
+                }
+                Pooling::Attention => {
+                    // pooled = Σ αᵢ tᵢ ; scoreᵢ = v·uᵢ ; uᵢ = tanh(W tᵢ + b)
+                    let alpha = &c.alpha;
+                    // dαᵢ = dp · tᵢ, dtᵢ += αᵢ dp
+                    let mut d_alpha = vec![0f32; len];
+                    for i in 0..len {
+                        let trow = c.t.row(i);
+                        d_alpha[i] = dp.iter().zip(trow).map(|(a, b)| a * b).sum();
+                        for (g, &d) in dt.row_mut(i).iter_mut().zip(dp) {
+                            *g += alpha[i] * d;
+                        }
+                    }
+                    // softmax backward: dsᵢ = αᵢ (dαᵢ − Σⱼ αⱼ dαⱼ)
+                    let dot: f32 = alpha.iter().zip(&d_alpha).map(|(a, b)| a * b).sum();
+                    for i in 0..len {
+                        let ds = alpha[i] * (d_alpha[i] - dot);
+                        // score = v·u  →  dv += ds·u ; du = ds·v
+                        let urow = c.u.row(i);
+                        for h in 0..hid {
+                            self.g_attn_v[h] += ds * urow[h];
+                        }
+                        // u = tanh(z) → dz = du (1−u²)
+                        let trow = c.t.row(i);
+                        for h in 0..hid {
+                            let dz = ds * self.attn_v[h] * (1.0 - urow[h] * urow[h]);
+                            self.g_attn_b[h] += dz;
+                            // dW[:,h] += dz · t ; dt += dz · W[:,h]
+                            for d in 0..dim {
+                                self.g_attn_w.data[d * hid + h] += dz * trow[d];
+                                dt.data[i * dim + d] += dz * self.attn_w.data[d * hid + h];
+                            }
+                        }
+                    }
+                }
+            }
+            // Route dT into embeddings (sparse) and positions (dense).
+            for (i, &tok) in c.tokens.iter().enumerate() {
+                let drow = dt.row(i);
+                let acc = self
+                    .embedding_grads
+                    .entry(tok)
+                    .or_insert_with(|| vec![0.0; dim]);
+                for (a, &d) in acc.iter_mut().zip(drow) {
+                    *a += d;
+                }
+                if self.config.use_positions {
+                    for (g, &d) in self.g_positions.row_mut(i).iter_mut().zip(drow) {
+                        *g += d;
+                    }
+                }
+            }
+        }
+        self.cache = caches;
+    }
+
+    /// Borrow every parameter tensor for persistence, in a fixed order:
+    /// `(embedding, positions, attn_w, attn_b, attn_v, h1_w, h1_b, h2_w,
+    /// h2_b)`.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_params(
+        &self,
+    ) -> (
+        &[f32],
+        &[f32],
+        &[f32],
+        &[f32],
+        &[f32],
+        &[f32],
+        &[f32],
+        &[f32],
+        &[f32],
+    ) {
+        (
+            &self.embedding.data,
+            &self.positions.data,
+            &self.attn_w.data,
+            &self.attn_b,
+            &self.attn_v,
+            &self.h1.w.data,
+            &self.h1.b,
+            &self.h2.w.data,
+            &self.h2.b,
+        )
+    }
+
+    /// Rebuild an encoder from a config and the parameter tensors produced
+    /// by [`Self::raw_params`]. Panics if any tensor has the wrong length
+    /// for the config.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_params(config: EncoderConfig, params: [Vec<f32>; 9]) -> Self {
+        let [embedding, positions, attn_w, attn_b, attn_v, h1_w, h1_b, h2_w, h2_b] = params;
+        let mut enc = Self::new(config);
+        assert_eq!(embedding.len(), enc.embedding.data.len(), "embedding shape");
+        assert_eq!(positions.len(), enc.positions.data.len(), "positions shape");
+        assert_eq!(attn_w.len(), enc.attn_w.data.len(), "attn_w shape");
+        assert_eq!(attn_b.len(), enc.attn_b.len(), "attn_b shape");
+        assert_eq!(attn_v.len(), enc.attn_v.len(), "attn_v shape");
+        assert_eq!(h1_w.len(), enc.h1.w.data.len(), "h1_w shape");
+        assert_eq!(h1_b.len(), enc.h1.b.len(), "h1_b shape");
+        assert_eq!(h2_w.len(), enc.h2.w.data.len(), "h2_w shape");
+        assert_eq!(h2_b.len(), enc.h2.b.len(), "h2_b shape");
+        enc.embedding.data = embedding;
+        enc.positions.data = positions;
+        enc.attn_w.data = attn_w;
+        enc.attn_b = attn_b;
+        enc.attn_v = attn_v;
+        enc.h1.w.data = h1_w;
+        enc.h1.b = h1_b;
+        enc.h2.w.data = h2_w;
+        enc.h2.b = h2_b;
+        enc
+    }
+
+    /// Clear every accumulated gradient (dense and sparse).
+    pub fn zero_grad(&mut self) {
+        self.h1.zero_grad();
+        self.h2.zero_grad();
+        self.g_positions.zero();
+        self.g_attn_w.zero();
+        self.g_attn_b.iter_mut().for_each(|g| *g = 0.0);
+        self.g_attn_v.iter_mut().for_each(|g| *g = 0.0);
+        self.embedding_grads.clear();
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Token vectors with optional positional addition, `len x dim`.
+    fn embed_tokens(&self, tokens: &[TokenId]) -> Matrix {
+        let dim = self.config.dim;
+        let len = tokens.len().min(self.config.max_len);
+        let mut t = Matrix::zeros(len.max(1), dim);
+        if tokens.is_empty() {
+            // An empty sequence embeds as the zero token-vector row so the
+            // pipeline stays total; callers rarely hit this (columns have
+            // ≥ 5 cells).
+            return t;
+        }
+        for (i, &tok) in tokens.iter().take(len).enumerate() {
+            let row = self.embedding.row(tok as usize % self.config.vocab_size);
+            let dst = t.row_mut(i);
+            dst.copy_from_slice(row);
+            if self.config.use_positions {
+                for (d, &p) in dst.iter_mut().zip(self.positions.row(i)) {
+                    *d += p;
+                }
+            }
+        }
+        t
+    }
+
+    /// Attention pooling forward. Returns `(pooled, alpha, u)`.
+    fn attention_pool(&self, t: &Matrix) -> (Vec<f32>, Vec<f32>, Matrix) {
+        let len = t.rows;
+        let dim = self.config.dim;
+        // u = tanh(t @ W + b): len x attn_hidden
+        let mut u = t.matmul(&self.attn_w);
+        for r in 0..len {
+            let row = u.row_mut(r);
+            for (x, b) in row.iter_mut().zip(&self.attn_b) {
+                *x = (*x + b).tanh();
+            }
+        }
+        // scores and softmax
+        let mut scores = vec![0f32; len];
+        for i in 0..len {
+            scores[i] = u.row(i).iter().zip(&self.attn_v).map(|(a, b)| a * b).sum();
+        }
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut alpha: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+        let z: f32 = alpha.iter().sum();
+        if z > 0.0 {
+            alpha.iter_mut().for_each(|a| *a /= z);
+        }
+        // pooled = Σ αᵢ tᵢ
+        let mut pooled = vec![0f32; dim];
+        for i in 0..len {
+            let trow = t.row(i);
+            for (p, &v) in pooled.iter_mut().zip(trow) {
+                *p += alpha[i] * v;
+            }
+        }
+        (pooled, alpha, u)
+    }
+
+    /// Pure-inference head application (no caching, `&self`).
+    fn head_infer(&self, pooled: &[f32]) -> Vec<f32> {
+        let mut mid = linear_infer(&self.h1, pooled);
+        mid.iter_mut().for_each(|x| *x = x.tanh());
+        let mut out = linear_infer(&self.h2, &mid);
+        if self.config.residual {
+            for (o, &p) in out.iter_mut().zip(pooled) {
+                *o += p;
+            }
+        }
+        out
+    }
+}
+
+/// Mean of a matrix's rows (zero vector for an all-zero/empty matrix).
+fn mean_pool(t: &Matrix) -> Vec<f32> {
+    let mut out = vec![0f32; t.cols];
+    if t.rows == 0 {
+        return out;
+    }
+    for r in 0..t.rows {
+        for (o, &v) in out.iter_mut().zip(t.row(r)) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / t.rows as f32;
+    out.iter_mut().for_each(|x| *x *= inv);
+    out
+}
+
+/// Apply a [`Linear`] layer to one row without touching its cache.
+fn linear_infer(lin: &Linear, x: &[f32]) -> Vec<f32> {
+    let mut out = lin.b.clone();
+    for (r, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let wrow = lin.w.row(r);
+        for (o, &w) in out.iter_mut().zip(wrow) {
+            *o += xv * w;
+        }
+    }
+    out
+}
+
+/// Optimizer for the encoder: AdamW over dense params + lazy Adam over the
+/// sparse embedding rows.
+pub struct EncoderOptimizer {
+    adam: Adam,
+    config: AdamConfig,
+    emb_m: Vec<f32>,
+    emb_v: Vec<f32>,
+    emb_t: Vec<u32>,
+}
+
+/// Adapter exposing the encoder's dense parameters as a [`Module`] for the
+/// shared AdamW implementation.
+struct DenseParams<'a>(&'a mut ColumnEncoder);
+
+impl Module for DenseParams<'_> {
+    fn forward(&mut self, _x: &Matrix) -> Matrix {
+        unreachable!("optimizer adapter")
+    }
+    fn backward(&mut self, _g: &Matrix) -> Matrix {
+        unreachable!("optimizer adapter")
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        let e = &mut *self.0;
+        e.h1.visit_params(f);
+        e.h2.visit_params(f);
+        if e.config.use_positions {
+            f(&mut e.positions.data, &mut e.g_positions.data);
+        }
+        if e.config.pooling == Pooling::Attention {
+            f(&mut e.attn_w.data, &mut e.g_attn_w.data);
+            f(&mut e.attn_b, &mut e.g_attn_b);
+            f(&mut e.attn_v, &mut e.g_attn_v);
+        }
+    }
+    fn zero_grad(&mut self) {}
+}
+
+impl EncoderOptimizer {
+    /// New optimizer for `encoder` with the given hyperparameters.
+    pub fn new(encoder: &ColumnEncoder, config: AdamConfig) -> Self {
+        let n = encoder.embedding.data.len();
+        Self {
+            adam: Adam::new(config),
+            config,
+            emb_m: vec![0.0; n],
+            emb_v: vec![0.0; n],
+            emb_t: vec![0; encoder.config.vocab_size],
+        }
+    }
+
+    /// Apply one optimization step from the encoder's accumulated gradients,
+    /// then clear them.
+    pub fn step(&mut self, encoder: &mut ColumnEncoder) {
+        // Dense parameters via shared AdamW.
+        self.adam.step(&mut DenseParams(encoder));
+
+        // Sparse (lazy) Adam on touched embedding rows.
+        let dim = encoder.config.dim;
+        let lr = self.adam.current_lr();
+        let AdamConfig {
+            beta1, beta2, eps, ..
+        } = self.config;
+        for (&tok, grad) in &encoder.embedding_grads {
+            let row = tok as usize % encoder.config.vocab_size;
+            self.emb_t[row] += 1;
+            let t = self.emb_t[row] as i32;
+            let bc1 = 1.0 - beta1.powi(t);
+            let bc2 = 1.0 - beta2.powi(t);
+            let base = row * dim;
+            let prow = &mut encoder.embedding.data[base..base + dim];
+            for i in 0..dim {
+                let g = grad[i];
+                let m = &mut self.emb_m[base + i];
+                let v = &mut self.emb_v[base + i];
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
+                prow[i] -= lr * (*m / bc1) / ((*v / bc2).sqrt() + eps);
+            }
+        }
+        encoder.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(pooling: Pooling, use_positions: bool) -> ColumnEncoder {
+        ColumnEncoder::new(EncoderConfig {
+            vocab_size: 20,
+            dim: 8,
+            out_dim: 6,
+            attn_hidden: 4,
+            max_len: 10,
+            pooling,
+            use_positions,
+            residual: false,
+            seed: 0xBEEF,
+        })
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let mut e = tiny(Pooling::Attention, true);
+        let seqs = vec![vec![1, 2, 3], vec![4, 5], vec![]];
+        let out = e.encode_batch(&seqs);
+        assert_eq!(out.rows, 3);
+        assert_eq!(out.cols, 6);
+    }
+
+    #[test]
+    fn inference_matches_batch_forward() {
+        for (pool, pos) in [(Pooling::Mean, false), (Pooling::Attention, true)] {
+            let mut e = tiny(pool, pos);
+            let seq = vec![3u32, 7, 1, 2];
+            let batch = e.encode_batch(&[seq.clone()]);
+            let single = e.encode(&seq);
+            for (a, b) in batch.row(0).iter().zip(&single) {
+                assert!((a - b).abs() < 1e-5, "batch {a} vs single {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_respects_max_len() {
+        let mut e = tiny(Pooling::Mean, false);
+        let long: Vec<TokenId> = (0..50).map(|i| i % 20).collect();
+        let truncated: Vec<TokenId> = long.iter().copied().take(10).collect();
+        let a = e.encode_batch(&[long]);
+        let b = e.encode_batch(&[truncated]);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn mean_pool_is_order_insensitive_but_attention_with_positions_is_not() {
+        let mut mean = tiny(Pooling::Mean, false);
+        let fwd = mean.encode_batch(&[vec![1, 2, 3]]);
+        let rev = mean.encode_batch(&[vec![3, 2, 1]]);
+        for (a, b) in fwd.data.iter().zip(&rev.data) {
+            assert!((a - b).abs() < 1e-6);
+        }
+
+        let mut mp = tiny(Pooling::Attention, true);
+        let fwd = mp.encode_batch(&[vec![1, 2, 3]]);
+        let rev = mp.encode_batch(&[vec![3, 2, 1]]);
+        let diff: f32 = fwd.data.iter().zip(&rev.data).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "position-aware encoder must be order-sensitive");
+    }
+
+    /// Full-encoder gradient check via finite differences on the scalar loss
+    /// `L = Σ c·out` for both variants.
+    #[test]
+    fn encoder_gradients_match_finite_differences() {
+        for (pool, pos) in [(Pooling::Mean, false), (Pooling::Attention, true)] {
+            let mut e = tiny(pool, pos);
+            let seqs = vec![vec![1u32, 2, 3, 2], vec![5, 6]];
+            let out = e.encode_batch(&seqs);
+            let coeff = Matrix::xavier(out.rows, out.cols, 99);
+
+            e.zero_grad();
+            let _ = e.encode_batch(&seqs);
+            e.backward(&coeff);
+
+            // Check the embedding gradient for a touched token.
+            let tok = 2u32;
+            let analytic = e.embedding_grads.get(&tok).cloned().expect("token touched");
+            let eps = 1e-2f32;
+            for i in 0..e.config.dim {
+                let idx = tok as usize * e.config.dim + i;
+                e.embedding.data[idx] += eps;
+                let lp: f32 = e
+                    .encode_batch(&seqs)
+                    .data
+                    .iter()
+                    .zip(&coeff.data)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                e.embedding.data[idx] -= 2.0 * eps;
+                let lm: f32 = e
+                    .encode_batch(&seqs)
+                    .data
+                    .iter()
+                    .zip(&coeff.data)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                e.embedding.data[idx] += eps;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let denom = numeric.abs().max(analytic[i].abs()).max(1e-2);
+                assert!(
+                    (numeric - analytic[i]).abs() / denom < 0.05,
+                    "{pool:?} emb grad {i}: numeric={numeric} analytic={}",
+                    analytic[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_moves_touched_embeddings_only() {
+        let mut e = tiny(Pooling::Attention, true);
+        let before = e.embedding.data.clone();
+        let seqs = vec![vec![1u32, 2]];
+        let out = e.encode_batch(&seqs);
+        let grad = Matrix::from_vec(out.rows, out.cols, vec![1.0; out.data.len()]);
+        e.backward(&grad);
+        let mut opt = EncoderOptimizer::new(
+            &e,
+            AdamConfig {
+                warmup_steps: 0,
+                ..AdamConfig::default()
+            },
+        );
+        opt.step(&mut e);
+        let dim = e.config.dim;
+        // Rows 1 and 2 moved…
+        for tok in [1usize, 2] {
+            let moved = (0..dim)
+                .any(|i| (e.embedding.data[tok * dim + i] - before[tok * dim + i]).abs() > 1e-9);
+            assert!(moved, "row {tok} should move");
+        }
+        // …row 9 (untouched) did not.
+        let untouched = (0..dim)
+            .all(|i| (e.embedding.data[9 * dim + i] - before[9 * dim + i]).abs() < 1e-12);
+        assert!(untouched);
+        // Gradients were cleared by step().
+        assert!(e.embedding_grads.is_empty());
+    }
+
+    #[test]
+    fn pretrained_embeddings_are_loaded() {
+        let mut e = tiny(Pooling::Mean, false);
+        let table = vec![0.5f32; 20 * 8];
+        e.load_pretrained_embeddings(&table);
+        assert_eq!(e.embedding.data[0], 0.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Finite-difference gradient checking used by the crate's tests.
+//!
+//! Every hand-written backward pass in this crate is verified against
+//! central differences: `dL/dx ≈ (L(x+ε) − L(x−ε)) / 2ε` with the scalar
+//! loss `L = Σ cᵢⱼ·yᵢⱼ` for a fixed random coefficient matrix `c` (so the
+//! upstream gradient in backward is exactly `c`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layers::Module;
+use crate::matrix::Matrix;
+
+/// Relative tolerance for gradient agreement.
+pub const GRAD_TOL: f32 = 2e-2;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+fn loss(module: &mut dyn Module, x: &Matrix, coeff: &Matrix) -> f64 {
+    let y = module.forward(x);
+    assert_eq!(y.data.len(), coeff.data.len(), "coeff shape must match output");
+    y.data
+        .iter()
+        .zip(&coeff.data)
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum()
+}
+
+/// Check the *input* gradient of `module` at a random input of shape
+/// `batch x in_dim`. Panics with a diagnostic on mismatch.
+pub fn check_module_input_grad<M: Module>(mut module: M, batch: usize, in_dim: usize, seed: u64) {
+    let x = random_matrix(batch, in_dim, seed);
+    // Discover the output shape first.
+    let y = module.forward(&x);
+    let coeff = random_matrix(y.rows, y.cols, seed ^ 0xC0FF);
+
+    // Analytic gradient.
+    module.zero_grad();
+    let _ = module.forward(&x);
+    let gx = module.backward(&coeff);
+
+    // Numeric gradient.
+    let eps = 1e-3f32;
+    for i in 0..x.data.len() {
+        let mut xp = x.clone();
+        xp.data[i] += eps;
+        let lp = loss(&mut module, &xp, &coeff);
+        let mut xm = x.clone();
+        xm.data[i] -= eps;
+        let lm = loss(&mut module, &xm, &coeff);
+        let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        let analytic = gx.data[i];
+        let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+        assert!(
+            (numeric - analytic).abs() / denom < GRAD_TOL,
+            "input grad mismatch at {i}: numeric={numeric} analytic={analytic}"
+        );
+    }
+}
+
+/// Check the *parameter* gradients of `module` at a random input. Panics
+/// with a diagnostic on mismatch.
+pub fn check_module_param_grads<M: Module>(mut module: M, batch: usize, in_dim: usize, seed: u64) {
+    let x = random_matrix(batch, in_dim, seed);
+    let y = module.forward(&x);
+    let coeff = random_matrix(y.rows, y.cols, seed ^ 0xC0FF);
+
+    module.zero_grad();
+    let _ = module.forward(&x);
+    let _ = module.backward(&coeff);
+
+    // Snapshot analytic gradients.
+    let mut analytic: Vec<Vec<f32>> = Vec::new();
+    module.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+
+    let eps = 1e-3f32;
+    // For each parameter tensor and element, perturb and re-evaluate.
+    let num_tensors = analytic.len();
+    for t in 0..num_tensors {
+        for i in 0..analytic[t].len() {
+            let mut idx = 0usize;
+            module.visit_params(&mut |p, _| {
+                if idx == t {
+                    p[i] += eps;
+                }
+                idx += 1;
+            });
+            let lp = loss(&mut module, &x, &coeff);
+            let mut idx = 0usize;
+            module.visit_params(&mut |p, _| {
+                if idx == t {
+                    p[i] -= 2.0 * eps;
+                }
+                idx += 1;
+            });
+            let lm = loss(&mut module, &x, &coeff);
+            let mut idx = 0usize;
+            module.visit_params(&mut |p, _| {
+                if idx == t {
+                    p[i] += eps;
+                }
+                idx += 1;
+            });
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let a = analytic[t][i];
+            let denom = numeric.abs().max(a.abs()).max(1e-3);
+            assert!(
+                (numeric - a).abs() / denom < GRAD_TOL,
+                "param grad mismatch tensor {t} elem {i}: numeric={numeric} analytic={a}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Sequential, Tanh};
+
+    #[test]
+    fn linear_param_grads() {
+        check_module_param_grads(Linear::new(3, 2, 5), 2, 3, 0x21);
+    }
+
+    #[test]
+    fn mlp_param_grads() {
+        let seq = Sequential::new()
+            .push(Linear::new(2, 4, 1))
+            .push(Tanh::new())
+            .push(Linear::new(4, 2, 2));
+        check_module_param_grads(seq, 2, 2, 0x22);
+    }
+}

@@ -1,0 +1,32 @@
+//! # deepjoin-nn
+//!
+//! A minimal neural-network substrate with hand-written backprop — the
+//! ML-framework stand-in that lets this reproduction fine-tune a column
+//! encoder in pure Rust (DESIGN.md §1):
+//!
+//! * [`matrix`] — row-major `f32` matrices and the few kernels we need;
+//! * [`layers`] — `Linear`/`Tanh`/`Relu`/`Sequential` with the [`layers::Module`] trait;
+//! * [`adam`] — AdamW with linear warmup (the paper's optimizer setup);
+//! * [`encoder`] — the trainable column encoder in two variants mirroring
+//!   DistilBERT (`DistilLite`, mean pooling) and MPNet (`MPLite`, positional
+//!   + attention pooling);
+//! * [`mnr`] — the multiple-negatives-ranking loss of §4.2;
+//! * [`mlp`] — the 3-layer-perceptron regression baseline;
+//! * [`gradcheck`] — finite-difference validation used across the tests.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod encoder;
+pub mod gradcheck;
+pub mod layers;
+pub mod matrix;
+pub mod mlp;
+pub mod mnr;
+
+pub use adam::{Adam, AdamConfig};
+pub use encoder::{ColumnEncoder, EncoderConfig, EncoderOptimizer, Pooling};
+pub use layers::{Linear, Module, Relu, Sequential, Tanh};
+pub use matrix::Matrix;
+pub use mlp::{MlpConfig, MlpRegressor};
+pub use mnr::MnrLoss;

@@ -1,0 +1,270 @@
+//! The MLP baseline (paper §5.1, "Methods"): a 3-layer perceptron trained
+//! as a *regression* on joinability, taking the fastText embeddings of two
+//! columns as input; the last hidden layer is then used as a column
+//! embedding for retrieval.
+//!
+//! We realize it as a siamese tower `f` (Linear → ReLU → Linear): the score
+//! of a pair is `cos(f(q), f(x))` regressed with MSE against the labeled
+//! joinability, and `f(column-embedding)` is the retrieval embedding.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::adam::{Adam, AdamConfig};
+use crate::layers::{Linear, Module, Relu, Sequential};
+use crate::matrix::Matrix;
+
+/// Hyperparameters for the MLP baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Input (static column embedding) dimensionality.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Output embedding dimensionality.
+    pub out_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+    /// Optimizer settings.
+    pub adam: AdamConfig,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            in_dim: 64,
+            hidden: 64,
+            out_dim: 64,
+            epochs: 5,
+            batch_size: 64,
+            seed: 0x3117,
+            adam: AdamConfig {
+                lr: 1e-3,
+                warmup_steps: 0,
+                ..AdamConfig::default()
+            },
+        }
+    }
+}
+
+/// The trained regressor / embedder.
+pub struct MlpRegressor {
+    tower: Sequential,
+    config: MlpConfig,
+}
+
+impl MlpRegressor {
+    /// Untrained model.
+    pub fn new(config: MlpConfig) -> Self {
+        let tower = Sequential::new()
+            .push(Linear::new(config.in_dim, config.hidden, config.seed ^ 1))
+            .push(Relu::new())
+            .push(Linear::new(config.hidden, config.out_dim, config.seed ^ 2));
+        Self { tower, config }
+    }
+
+    /// Train on `(q_embedding, x_embedding, joinability)` triples with MSE on
+    /// `cos(f(q), f(x))`. Returns the mean loss of the final epoch.
+    pub fn train(&mut self, examples: &[(Vec<f32>, Vec<f32>, f32)]) -> f32 {
+        assert!(!examples.is_empty(), "no training examples");
+        let mut opt = Adam::new(self.config.adam);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut last_epoch_loss = 0f32;
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let n = chunk.len();
+                let d = self.config.in_dim;
+                let mut q = Matrix::zeros(n, d);
+                let mut x = Matrix::zeros(n, d);
+                let mut target = Vec::with_capacity(n);
+                for (r, &idx) in chunk.iter().enumerate() {
+                    let (qe, xe, jn) = &examples[idx];
+                    q.row_mut(r).copy_from_slice(qe);
+                    x.row_mut(r).copy_from_slice(xe);
+                    target.push(*jn);
+                }
+                // Two tower passes. The Sequential caches per call, so run
+                // q forward+backward before x forward. Gradients accumulate
+                // across both (shared weights), which is exactly siamese
+                // training.
+                self.tower.zero_grad();
+
+                // Pass 1: q
+                let fq = self.tower.forward(&q);
+                // Pass 2 needs its own cache; compute fx first as inference
+                // copy by cloning the tower? Instead: forward x, cache holds
+                // x; we must backward x's grads first, then re-forward q.
+                let fx = self.tower.forward(&x);
+
+                // Loss: mean (cos(fq_i, fx_i) − t_i)²; grads wrt fq, fx.
+                let (loss, dfq, dfx) = cosine_mse(&fq, &fx, &target);
+                epoch_loss += loss;
+                batches += 1;
+
+                // Backward through the x pass (cache currently holds x).
+                let _ = self.tower.backward(&dfx);
+                // Re-forward q to restore its cache, then backward.
+                let _ = self.tower.forward(&q);
+                let _ = self.tower.backward(&dfq);
+
+                opt.step(&mut self.tower);
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Embed a column's static embedding through the tower (the "last hidden
+    /// layer" used for retrieval).
+    pub fn embed(&mut self, column_embedding: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_vec(1, self.config.in_dim, column_embedding.to_vec());
+        let y = self.tower.forward(&x);
+        y.data
+    }
+
+    /// Predicted joinability of a pair.
+    pub fn predict(&mut self, q: &[f32], x: &[f32]) -> f32 {
+        let fq = self.embed(q);
+        let fx = self.embed(x);
+        cosine(&fq, &fx)
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = a.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
+    let nb = b.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    dot / (na * nb)
+}
+
+/// MSE over per-row cosine similarities; returns (loss, d/dA, d/dB).
+fn cosine_mse(a: &Matrix, b: &Matrix, target: &[f32]) -> (f32, Matrix, Matrix) {
+    let n = a.rows;
+    let d = a.cols;
+    let mut da = Matrix::zeros(n, d);
+    let mut db = Matrix::zeros(n, d);
+    let mut loss = 0f32;
+    for i in 0..n {
+        let ar = a.row(i);
+        let br = b.row(i);
+        let na = ar.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
+        let nb = br.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
+        let dot: f32 = ar.iter().zip(br).map(|(x, y)| x * y).sum();
+        let c = dot / (na * nb);
+        let err = c - target[i];
+        loss += err * err;
+        // d(cos)/da = b/(na·nb) − cos·a/na²  (and symmetrically for b)
+        let g = 2.0 * err / n as f32;
+        let dar = da.row_mut(i);
+        for k in 0..d {
+            dar[k] = g * (br[k] / (na * nb) - c * ar[k] / (na * na));
+        }
+        let dbr = db.row_mut(i);
+        for k in 0..d {
+            dbr[k] = g * (ar[k] / (na * nb) - c * br[k] / (nb * nb));
+        }
+    }
+    (loss / n as f32, da, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic task: pairs from the same cluster have jn 1, across
+    /// clusters 0. The MLP should learn to separate them.
+    #[test]
+    fn learns_cluster_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dim = 8;
+        let mut examples = Vec::new();
+        let center = |c: usize| -> Vec<f32> {
+            (0..dim)
+                .map(|i| if i % 2 == c % 2 { 1.0 } else { -1.0 })
+                .collect()
+        };
+        let jitter = |v: &[f32], rng: &mut StdRng| -> Vec<f32> {
+            v.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect()
+        };
+        for _ in 0..200 {
+            let c = rng.gen_range(0..2usize);
+            let q = jitter(&center(c), &mut rng);
+            let pos = jitter(&center(c), &mut rng);
+            let neg = jitter(&center(1 - c), &mut rng);
+            examples.push((q.clone(), pos, 1.0));
+            examples.push((q, neg, 0.0));
+        }
+        let mut mlp = MlpRegressor::new(MlpConfig {
+            in_dim: dim,
+            hidden: 16,
+            out_dim: 8,
+            epochs: 8,
+            ..MlpConfig::default()
+        });
+        let final_loss = mlp.train(&examples);
+        assert!(final_loss < 0.1, "final loss {final_loss}");
+
+        let q = center(0);
+        let same = center(0);
+        let other = center(1);
+        let p_same = mlp.predict(&q, &same);
+        let p_other = mlp.predict(&q, &other);
+        assert!(
+            p_same > p_other + 0.3,
+            "same {p_same} vs other {p_other}"
+        );
+    }
+
+    #[test]
+    fn embed_has_out_dim() {
+        let mut mlp = MlpRegressor::new(MlpConfig {
+            in_dim: 4,
+            hidden: 6,
+            out_dim: 3,
+            ..MlpConfig::default()
+        });
+        assert_eq!(mlp.embed(&[0.1, 0.2, 0.3, 0.4]).len(), 3);
+    }
+
+    #[test]
+    fn cosine_mse_gradcheck() {
+        let a = Matrix::xavier(2, 3, 1);
+        let b = Matrix::xavier(2, 3, 2);
+        let t = vec![0.5, -0.2];
+        let (_, da, db) = cosine_mse(&a, &b, &t);
+        let eps = 1e-3f32;
+        for idx in 0..a.data.len() {
+            let mut ap = a.clone();
+            ap.data[idx] += eps;
+            let (lp, _, _) = cosine_mse(&ap, &b, &t);
+            let mut am = a.clone();
+            am.data[idx] -= eps;
+            let (lm, _, _) = cosine_mse(&am, &b, &t);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(da.data[idx].abs()).max(1e-3);
+            assert!((numeric - da.data[idx]).abs() / denom < 2e-2);
+        }
+        for idx in 0..b.data.len() {
+            let mut bp = b.clone();
+            bp.data[idx] += eps;
+            let (lp, _, _) = cosine_mse(&a, &bp, &t);
+            let mut bm = b.clone();
+            bm.data[idx] -= eps;
+            let (lm, _, _) = cosine_mse(&a, &bm, &t);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(db.data[idx].abs()).max(1e-3);
+            assert!((numeric - db.data[idx]).abs() / denom < 2e-2);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Multiple-negatives-ranking loss (paper §4.2) with in-batch negatives.
+//!
+//! Given a batch of positive pairs `{(Xᵢ, Yᵢ)}` embedded to rows of `X` and
+//! `Y`, every `(Xᵢ, Yⱼ), j ≠ i` is treated as a negative (§4.1). With the
+//! cosine scoring `S(x, y) = scale · cos(x, y)` (sentence-transformers uses
+//! `scale = 20`), the loss is the mean cross-entropy of softmax-normalized
+//! rows against the diagonal:
+//!
+//! `L = −(1/N) Σᵢ log softmax(Sᵢ,·)ᵢ`
+//!
+//! `forward` returns the loss and the gradients w.r.t. both embedding
+//! matrices, which callers feed into the two encoder backward passes.
+
+use crate::matrix::Matrix;
+
+/// The loss with its similarity scale.
+#[derive(Debug, Clone, Copy)]
+pub struct MnrLoss {
+    /// Multiplier on cosine similarity before the softmax.
+    pub scale: f32,
+}
+
+impl Default for MnrLoss {
+    fn default() -> Self {
+        Self { scale: 20.0 }
+    }
+}
+
+impl MnrLoss {
+    /// Create with an explicit scale.
+    pub fn new(scale: f32) -> Self {
+        Self { scale }
+    }
+
+    /// Compute the loss and gradients. `x` and `y` are `N x d` with matching
+    /// shapes; row `i` of `x` pairs positively with row `i` of `y`.
+    ///
+    /// Returns `(loss, dL/dX, dL/dY)`.
+    pub fn forward(&self, x: &Matrix, y: &Matrix) -> (f32, Matrix, Matrix) {
+        assert_eq!(x.rows, y.rows, "batch sizes must match");
+        assert_eq!(x.cols, y.cols, "dims must match");
+        let n = x.rows;
+        let d = x.cols;
+        assert!(n > 0, "empty batch");
+
+        // Norms (clamped away from zero for stability).
+        let xn: Vec<f32> = (0..n).map(|i| norm(x.row(i)).max(1e-8)) .collect();
+        let yn: Vec<f32> = (0..n).map(|j| norm(y.row(j)).max(1e-8)).collect();
+
+        // Cosine and scaled score matrices.
+        let mut cos = x.matmul_t(y); // n x n of dot products
+        for i in 0..n {
+            for j in 0..n {
+                cos.data[i * n + j] /= xn[i] * yn[j];
+            }
+        }
+
+        // Row-wise softmax of scale*cos with max-subtraction.
+        let mut p = Matrix::zeros(n, n);
+        let mut loss = 0f32;
+        for i in 0..n {
+            let row = cos.row(i);
+            let max = row
+                .iter()
+                .map(|c| c * self.scale)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0f32;
+            for j in 0..n {
+                let e = (row[j] * self.scale - max).exp();
+                p.data[i * n + j] = e;
+                z += e;
+            }
+            for j in 0..n {
+                p.data[i * n + j] /= z;
+            }
+            loss -= p.data[i * n + i].max(1e-12).ln();
+        }
+        loss /= n as f32;
+
+        // dL/dcos_ij = scale/N * (p_ij − δ_ij)
+        let mut dcos = p;
+        for i in 0..n {
+            dcos.data[i * n + i] -= 1.0;
+        }
+        dcos.scale(self.scale / n as f32);
+
+        // cos = (xᵢ·yⱼ)/(|xᵢ||yⱼ|)
+        // ∂cos/∂xᵢ = yⱼ/(|xᵢ||yⱼ|) − cos · xᵢ/|xᵢ|²
+        let mut dx = Matrix::zeros(n, d);
+        let mut dy = Matrix::zeros(n, d);
+        for i in 0..n {
+            for j in 0..n {
+                let g = dcos.data[i * n + j];
+                if g == 0.0 {
+                    continue;
+                }
+                let c = cos.data[i * n + j];
+                let inv = 1.0 / (xn[i] * yn[j]);
+                let xi = x.row(i);
+                let yj = y.row(j);
+                {
+                    let dxr = dx.row_mut(i);
+                    let sx = c / (xn[i] * xn[i]);
+                    for k in 0..d {
+                        dxr[k] += g * (yj[k] * inv - sx * xi[k]);
+                    }
+                }
+                {
+                    let dyr = dy.row_mut(j);
+                    let sy = c / (yn[j] * yn[j]);
+                    for k in 0..d {
+                        dyr[k] += g * (xi[k] * inv - sy * yj[k]);
+                    }
+                }
+            }
+        }
+        (loss, dx, dy)
+    }
+}
+
+#[inline]
+fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn loss_is_low_for_aligned_pairs() {
+        // x_i == y_i, rows mutually orthogonal → near-perfect ranking.
+        let x = Matrix::from_vec(3, 3, vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]);
+        let loss = MnrLoss::default();
+        let (l_aligned, _, _) = loss.forward(&x, &x);
+        // Mismatched pairing: shift y by one row.
+        let y = Matrix::from_vec(3, 3, vec![0., 1., 0., 0., 0., 1., 1., 0., 0.]);
+        let (l_shifted, _, _) = loss.forward(&x, &y);
+        assert!(l_aligned < 0.01, "aligned loss {l_aligned}");
+        assert!(l_shifted > l_aligned + 1.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let loss = MnrLoss::new(5.0);
+        let x = random(3, 4, 1);
+        let y = random(3, 4, 2);
+        let (_, dx, dy) = loss.forward(&x, &y);
+        let eps = 1e-3f32;
+
+        for (which, grad) in [(0usize, &dx), (1usize, &dy)] {
+            for idx in 0..x.data.len() {
+                let mut xp = x.clone();
+                let mut yp = y.clone();
+                let mut xm = x.clone();
+                let mut ym = y.clone();
+                if which == 0 {
+                    xp.data[idx] += eps;
+                    xm.data[idx] -= eps;
+                } else {
+                    yp.data[idx] += eps;
+                    ym.data[idx] -= eps;
+                }
+                let (lp, _, _) = loss.forward(&xp, &yp);
+                let (lm, _, _) = loss.forward(&xm, &ym);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad.data[idx];
+                let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+                assert!(
+                    (numeric - analytic).abs() / denom < 3e-2,
+                    "tensor {which} elem {idx}: numeric={numeric} analytic={analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_descent_on_embeddings_reduces_loss() {
+        let loss = MnrLoss::default();
+        let mut x = random(4, 6, 3);
+        let mut y = random(4, 6, 4);
+        let (initial, _, _) = loss.forward(&x, &y);
+        for _ in 0..200 {
+            let (_, dx, dy) = loss.forward(&x, &y);
+            for (v, g) in x.data.iter_mut().zip(&dx.data) {
+                *v -= 0.1 * g;
+            }
+            for (v, g) in y.data.iter_mut().zip(&dy.data) {
+                *v -= 0.1 * g;
+            }
+        }
+        let (fin, _, _) = loss.forward(&x, &y);
+        assert!(fin < initial * 0.5, "loss should fall: {initial} -> {fin}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_batches_panic() {
+        let loss = MnrLoss::default();
+        let _ = loss.forward(&Matrix::zeros(2, 3), &Matrix::zeros(3, 3));
+    }
+}

@@ -1,0 +1,108 @@
+//! Compare the search systems head-to-head on one lake: exact (JOSIE),
+//! approximate sketch-based (LSH Ensemble), and embedding-based (fastText
+//! average vs fine-tuned DeepJoin) — accuracy and per-query latency.
+//!
+//! Run with: `cargo run --release --example compare_methods`
+
+use std::time::Instant;
+
+use deepjoin::baselines::{EmbeddingRetriever, FastTextEmbedder};
+use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::text::{Textizer, TransformOption};
+use deepjoin::train::JoinType;
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_josie::JosieIndex;
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::repository::Repository;
+use deepjoin_lshensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use deepjoin_metrics::{mean, precision_at_k};
+
+const K: usize = 10;
+
+fn main() {
+    println!("generating the lake…");
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 3_000, 8));
+    let (repo, _) = corpus.to_repository();
+    let queries: Vec<_> = corpus.sample_queries(20, 55);
+
+    println!("building JOSIE (exact)…");
+    let josie = JosieIndex::build(&repo);
+    println!("building LSH Ensemble…");
+    let lsh = LshEnsembleIndex::build(
+        &repo,
+        LshEnsembleConfig {
+            num_perm: 32,
+            ..Default::default()
+        },
+    );
+    println!("building fastText retriever…");
+    let ft = EmbeddingRetriever::build(
+        FastTextEmbedder {
+            ngram: NgramEmbedder::new(NgramConfig {
+                dim: 48,
+                ..NgramConfig::default()
+            }),
+            textizer: Textizer::new(TransformOption::TitleColnameStatCol, 48),
+        },
+        &repo,
+        Default::default(),
+    );
+    println!("training DeepJoin…");
+    let train_cols = corpus.sample_queries(800, 3);
+    let train_repo = Repository::from_columns(train_cols.into_iter().map(|(c, _)| c));
+    let (mut dj, _) = DeepJoin::train(
+        &train_repo,
+        JoinType::Equi,
+        DeepJoinConfig {
+            variant: Variant::MpLite,
+            dim: 48,
+            sgns: deepjoin_embed::SgnsConfig {
+                dim: 48,
+                epochs: 1,
+                ..Default::default()
+            },
+            fine_tune: deepjoin::train::FineTuneConfig {
+                epochs: 5,
+                adam: deepjoin_nn::AdamConfig {
+                    lr: 5e-3,
+                    warmup_steps: 40,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..DeepJoinConfig::default()
+        },
+    );
+    dj.index_repository(&repo);
+
+    // Evaluate each method against JOSIE's exact answer.
+    let exact: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|(q, _)| josie.search(q, K).iter().map(|s| s.id.0).collect())
+        .collect();
+
+    let mut report = |name: &str, f: &dyn Fn(&deepjoin_lake::Column) -> Vec<u32>| {
+        let mut precs = Vec::new();
+        let start = Instant::now();
+        for ((q, _), ex) in queries.iter().zip(&exact) {
+            let got = f(q);
+            precs.push(precision_at_k(&got, ex, K));
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        println!("{name:<16} precision@{K}: {:.3}   {ms:>8.2} ms/query", mean(&precs));
+    };
+
+    println!("\nmethod comparison (against exact top-{K}):");
+    report("JOSIE (exact)", &|q| {
+        josie.search(q, K).iter().map(|s| s.id.0).collect()
+    });
+    report("LSH Ensemble", &|q| {
+        lsh.search(q, K).iter().map(|s| s.id.0).collect()
+    });
+    report("fastText", &|q| {
+        ft.search(q, K).iter().map(|s| s.id.0).collect()
+    });
+    report("DeepJoin", &|q| {
+        dj.search(q, K).iter().map(|s| s.id.0).collect()
+    });
+}

@@ -1,0 +1,93 @@
+//! Data enrichment — the motivating scenario from the paper's introduction:
+//! an analyst holds a table and wants more features for its key column; the
+//! system finds lake tables that can be joined on, then materializes the
+//! join.
+//!
+//! Run with: `cargo run --release --example data_enrichment`
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::train::JoinType;
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::fxhash::FxHashMap;
+use deepjoin_lake::repository::Repository;
+
+fn main() {
+    println!("generating the lake…");
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 2_000, 31));
+    let (repo, _) = corpus.to_repository();
+
+    println!("training + indexing…");
+    let train_cols = corpus.sample_queries(500, 15);
+    let train_repo = Repository::from_columns(train_cols.into_iter().map(|(c, _)| c));
+    let config = DeepJoinConfig {
+        variant: Variant::DistilLite,
+        dim: 48,
+        sgns: deepjoin_embed::SgnsConfig {
+            dim: 48,
+            epochs: 1,
+            ..Default::default()
+        },
+        fine_tune: deepjoin::train::FineTuneConfig {
+            epochs: 3,
+            adam: deepjoin_nn::AdamConfig {
+                lr: 5e-3,
+                warmup_steps: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..DeepJoinConfig::default()
+    };
+    let (mut model, _) = DeepJoin::train(&train_repo, JoinType::Equi, config);
+    model.index_repository(&repo);
+
+    // The analyst's table: the key column they want to enrich.
+    let (key_column, _) = corpus.sample_queries(1, 2024).pop().expect("query");
+    println!(
+        "\nanalyst's key column '{}' ({} cells) — searching for enrichment sources…",
+        key_column.meta.column_name,
+        key_column.len()
+    );
+
+    let hits = model.search(&key_column, 3);
+    for hit in &hits {
+        // Map the retrieved column back to its source table.
+        let col = repo.column(hit.id);
+        let table_id = col.meta.table_id.expect("lake columns carry table ids") as usize;
+        let table = &corpus.tables[table_id];
+
+        // Materialize the equi-join: build a hash map from the target key
+        // column and enrich matching rows with the table's other columns.
+        let mut index: FxHashMap<&str, usize> = FxHashMap::default();
+        for (row, cell) in table.columns[table.key_column].iter().enumerate() {
+            index.entry(cell.as_str()).or_insert(row);
+        }
+        let mut joined = 0usize;
+        let mut sample: Option<(String, Vec<String>)> = None;
+        for cell in key_column.distinct() {
+            if let Some(&row) = index.get(cell.as_str()) {
+                joined += 1;
+                if sample.is_none() {
+                    let extra: Vec<String> = table
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .filter(|&(ci, _)| ci != table.key_column)
+                        .map(|(_, col)| col[row].clone())
+                        .collect();
+                    sample = Some((cell.clone(), extra));
+                }
+            }
+        }
+        println!(
+            "\n  source '{}' ({} extra attribute(s)) — {}/{} key values join",
+            table.title,
+            table.num_columns() - 1,
+            joined,
+            key_column.distinct_len()
+        );
+        if let Some((key, extras)) = sample {
+            println!("    e.g. '{key}' enriched with {extras:?}");
+        }
+    }
+}

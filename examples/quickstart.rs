@@ -1,0 +1,76 @@
+//! Quickstart: generate a small data lake, train DeepJoin, and find
+//! joinable columns for a query.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::train::JoinType;
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::joinability::equi_joinability;
+
+fn main() {
+    // 1. A synthetic data lake standing in for a crawled corpus.
+    println!("generating a synthetic data lake…");
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 2_000, 42));
+    let (repo, _provenance) = corpus.to_repository();
+    println!("  repository: {} searchable columns", repo.len());
+
+    // 2. Train the model on fresh columns drawn from the same lake
+    //    (self-supervised: positives come from a containment self-join).
+    println!("training DeepJoin (MPLite variant, equi-joins)…");
+    let train_cols = corpus.sample_queries(600, 7);
+    let train_repo = deepjoin_lake::Repository::from_columns(
+        train_cols.into_iter().map(|(c, _)| c),
+    );
+    let config = DeepJoinConfig {
+        variant: Variant::MpLite,
+        dim: 48,
+        sgns: deepjoin_embed::SgnsConfig {
+            dim: 48,
+            epochs: 1,
+            ..Default::default()
+        },
+        fine_tune: deepjoin::train::FineTuneConfig {
+            epochs: 4,
+            adam: deepjoin_nn::AdamConfig {
+                lr: 5e-3,
+                warmup_steps: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..DeepJoinConfig::default()
+    };
+    let (mut model, report) = DeepJoin::train(&train_repo, JoinType::Equi, config);
+    println!(
+        "  trained on {} positive pairs (vocab {}), final loss {:.3}",
+        report.num_pairs,
+        report.vocab_size,
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    );
+
+    // 3. Index the repository offline (embed every column + HNSW).
+    println!("indexing {} columns…", repo.len());
+    model.index_repository(&repo);
+
+    // 4. Search: take a fresh query column from the lake.
+    let (query, _) = corpus.sample_queries(1, 99).pop().expect("one query");
+    println!(
+        "\nquery column '{}' from table '{}' ({} cells), first cells: {:?}",
+        query.meta.column_name,
+        query.meta.table_title,
+        query.len(),
+        &query.cells[..query.len().min(4)]
+    );
+
+    let hits = model.search(&query, 5);
+    println!("\ntop-5 joinable columns:");
+    for (rank, hit) in hits.iter().enumerate() {
+        let col = repo.column(hit.id);
+        let jn = equi_joinability(&query, col);
+        println!(
+            "  #{rank}: {} — '{}' in '{}' (true joinability {:.2})",
+            hit.id, col.meta.column_name, col.meta.table_title, jn
+        );
+    }
+}

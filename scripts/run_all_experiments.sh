@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every paper table. Output lands in results/.
+# Usage: DJ_SCALE=small scripts/run_all_experiments.sh
+set -uo pipefail
+
+SCALE="${DJ_SCALE:-small}"
+OUT="results/$SCALE"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ($*) ==="
+  DJ_SCALE="$SCALE" cargo run --release -p deepjoin-bench --bin "$@" \
+    > "$OUT/$name.txt" 2> "$OUT/$name.err" || echo "  FAILED: $name"
+  tail -n 3 "$OUT/$name.txt"
+}
+
+cargo build --release -p deepjoin-bench
+
+run table2  exp_table2
+run table3  exp_accuracy -- equi
+run table4  exp_accuracy -- semantic 0.9
+run table5  exp_accuracy -- semantic 0.8
+run table6  exp_accuracy -- semantic 0.7
+run table7  exp_expert
+run table8  exp_colsize_accuracy
+run table9  exp_ablation_text -- equi
+run table10 exp_ablation_text -- semantic
+run table11 exp_ablation_shuffle -- equi
+run table12 exp_ablation_shuffle -- semantic
+run table13 exp_scalability
+run table14 exp_vary_k
+run table15 exp_colsize_time
+run ablation_anns exp_ablation_anns
+
+echo "all done; outputs in $OUT/"

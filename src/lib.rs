@@ -1,0 +1,16 @@
+//! Workspace-level umbrella crate for the DeepJoin reproduction.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests in `/tests`. The actual functionality lives
+//! in the `deepjoin-*` member crates; see the repository `README.md` and
+//! `DESIGN.md` for the crate map.
+
+pub use deepjoin;
+pub use deepjoin_ann as ann;
+pub use deepjoin_embed as embed;
+pub use deepjoin_josie as josie;
+pub use deepjoin_lake as lake;
+pub use deepjoin_lshensemble as lshensemble;
+pub use deepjoin_metrics as metrics;
+pub use deepjoin_nn as nn;
+pub use deepjoin_pexeso as pexeso;

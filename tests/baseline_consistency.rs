@@ -1,0 +1,130 @@
+//! Cross-crate consistency tests: every search system agrees with its
+//! brute-force reference on the same generated lake.
+
+use deepjoin_embed::cell_space::{CellSpace, EmbeddedRepository};
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_josie::JosieIndex;
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::joinability::brute_force_topk;
+use deepjoin_lshensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
+
+fn lake() -> (Corpus, deepjoin_lake::Repository) {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 500, 99));
+    let (repo, _) = corpus.to_repository();
+    (corpus, repo)
+}
+
+#[test]
+fn josie_is_exact_on_generated_lakes() {
+    let (corpus, repo) = lake();
+    let idx = JosieIndex::build(&repo);
+    for (q, _) in corpus.sample_queries(10, 1) {
+        for k in [1, 10, 25] {
+            let got: Vec<f64> = idx.search(&q, k).iter().map(|s| s.score).collect();
+            let want: Vec<f64> = brute_force_topk(&repo, &q, k).iter().map(|s| s.score).collect();
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn pexeso_is_exact_on_generated_lakes() {
+    let (corpus, repo) = lake();
+    let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
+        dim: 32,
+        ..NgramConfig::default()
+    }));
+    let er = EmbeddedRepository::build(&space, &repo);
+    let idx = PexesoIndex::build(&er.columns, PexesoConfig::default());
+    for (q, _) in corpus.sample_queries(5, 2) {
+        let qv = space.embed_column(&q);
+        for tau in [0.5, 0.9] {
+            let got = idx.search(&qv, tau, 15);
+            let want: Vec<_> = er
+                .brute_force_topk(&qv, tau, 15)
+                .into_iter()
+                .filter(|s| s.score > 0.0)
+                .collect();
+            assert_eq!(got.len(), want.len(), "tau={tau}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.score - w.score).abs() < 1e-9, "tau={tau}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lsh_ensemble_recall_of_top_targets() {
+    // Approximate, but the single best (highest-containment) target should
+    // almost always be retrieved in the top-10.
+    let (corpus, repo) = lake();
+    let idx = LshEnsembleIndex::build(&repo, LshEnsembleConfig::default());
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (q, _) in corpus.sample_queries(20, 3) {
+        let exact = brute_force_topk(&repo, &q, 1);
+        let best = exact[0];
+        if best.score < 0.5 {
+            continue; // no strongly joinable target for this query
+        }
+        total += 1;
+        let got = idx.search(&q, 10);
+        if got.iter().any(|s| s.id == best.id) {
+            hits += 1;
+        }
+    }
+    assert!(total >= 5, "need some strong queries, got {total}");
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.6, "best-target recall {recall}");
+}
+
+#[test]
+fn hnsw_matches_flat_on_column_embeddings() {
+    use deepjoin_ann::{FlatIndex, HnswConfig, HnswIndex, Metric, VectorIndex};
+    let (corpus, repo) = lake();
+    let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
+        dim: 32,
+        ..NgramConfig::default()
+    }));
+    // One embedding per column (mean of its cell vectors).
+    let embs: Vec<Vec<f32>> = repo
+        .columns()
+        .iter()
+        .map(|c| {
+            let cv = space.embed_column(c);
+            let mut acc = vec![0f32; 32];
+            for v in cv.iter() {
+                deepjoin_embed::vector::add_assign(&mut acc, v);
+            }
+            deepjoin_embed::vector::normalize(&mut acc);
+            acc
+        })
+        .collect();
+    let mut flat = FlatIndex::new(32, Metric::L2);
+    let mut hnsw = HnswIndex::new(32, HnswConfig::default());
+    for e in &embs {
+        flat.add(e);
+        hnsw.add(e);
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (q, _) in corpus.sample_queries(10, 4) {
+        let cv = space.embed_column(&q);
+        let mut acc = vec![0f32; 32];
+        for v in cv.iter() {
+            deepjoin_embed::vector::add_assign(&mut acc, v);
+        }
+        deepjoin_embed::vector::normalize(&mut acc);
+        let truth: std::collections::HashSet<u32> =
+            flat.search(&acc, 10).into_iter().map(|n| n.id).collect();
+        for n in hnsw.search(&acc, 10) {
+            total += 1;
+            if truth.contains(&n.id) {
+                agree += 1;
+            }
+        }
+    }
+    let recall = agree as f64 / total as f64;
+    assert!(recall > 0.9, "HNSW recall on real embeddings {recall}");
+}

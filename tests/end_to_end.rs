@@ -1,0 +1,141 @@
+//! End-to-end integration tests spanning all crates: generate a lake,
+//! train DeepJoin for both join types, index, search, and sanity-check
+//! accuracy against the exact searchers.
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::train::{FineTuneConfig, JoinType, TrainDataConfig};
+use deepjoin_embed::cell_space::{CellSpace, EmbeddedRepository};
+use deepjoin_embed::ngram::{NgramConfig, NgramEmbedder};
+use deepjoin_embed::SgnsConfig;
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::joinability::brute_force_topk;
+use deepjoin_lake::repository::Repository;
+use deepjoin_metrics::{mean, precision_at_k};
+use deepjoin_nn::AdamConfig;
+
+fn quick_config(variant: Variant, epochs: usize) -> DeepJoinConfig {
+    DeepJoinConfig {
+        variant,
+        dim: 32,
+        sgns: SgnsConfig {
+            dim: 32,
+            epochs: 1,
+            ..SgnsConfig::default()
+        },
+        fine_tune: FineTuneConfig {
+            epochs,
+            adam: AdamConfig {
+                lr: 5e-3,
+                warmup_steps: 20,
+                ..AdamConfig::default()
+            },
+            ..FineTuneConfig::default()
+        },
+        data: TrainDataConfig {
+            max_pairs: 6_000,
+            ..TrainDataConfig::default()
+        },
+        ..DeepJoinConfig::default()
+    }
+}
+
+#[test]
+fn equi_pipeline_beats_random_clearly() {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 1_000, 11));
+    let (repo, _) = corpus.to_repository();
+    let (model, report) = DeepJoin::train(&repo, JoinType::Equi, quick_config(Variant::MpLite, 6));
+    assert!(report.num_positives > 100, "positives {}", report.num_positives);
+    let mut model = model;
+    model.index_repository(&repo);
+
+    let k = 10;
+    let queries = corpus.sample_queries(8, 21);
+    let mut precs = Vec::new();
+    for (q, _) in &queries {
+        let exact: Vec<u32> = brute_force_topk(&repo, q, k).iter().map(|s| s.id.0).collect();
+        let got: Vec<u32> = model.search(q, k).iter().map(|s| s.id.0).collect();
+        assert_eq!(got.len(), k);
+        precs.push(precision_at_k(&got, &exact, k));
+    }
+    let m = mean(&precs);
+    // Random retrieval over ~950 columns ≈ 0.01; the trained model must be
+    // far above that.
+    assert!(m > 0.15, "mean precision {m}");
+}
+
+#[test]
+fn semantic_pipeline_finds_noisy_twins() {
+    let tau = 0.9;
+    let mut cfg = CorpusConfig::new(CorpusProfile::Webtable, 700, 13);
+    cfg.noise_rate = 0.2;
+    let corpus = Corpus::generate(cfg);
+    let (repo, _) = corpus.to_repository();
+    let (mut model, report) = DeepJoin::train(
+        &repo,
+        JoinType::Semantic { tau },
+        quick_config(Variant::DistilLite, 4),
+    );
+    assert!(report.num_positives > 50);
+    model.index_repository(&repo);
+
+    // Compare against the exact semantic answer on a few queries.
+    let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
+        dim: 32,
+        ..NgramConfig::default()
+    }));
+    let er = EmbeddedRepository::build(&space, &repo);
+    let queries = corpus.sample_queries(5, 3);
+    let mut precs = Vec::new();
+    for (q, _) in &queries {
+        let qv = space.embed_column(q);
+        let exact: Vec<u32> = er
+            .brute_force_topk(&qv, tau, 10)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        let got: Vec<u32> = model.search(q, 10).iter().map(|s| s.id.0).collect();
+        precs.push(precision_at_k(&got, &exact, 10));
+    }
+    assert!(mean(&precs) > 0.1, "semantic precision {}", mean(&precs));
+}
+
+#[test]
+fn training_is_deterministic_end_to_end() {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Wikitable, 400, 5));
+    let (repo, _) = corpus.to_repository();
+    let build = || {
+        let (mut m, _) = DeepJoin::train(&repo, JoinType::Equi, quick_config(Variant::MpLite, 2));
+        m.index_repository(&repo);
+        let q = repo.columns()[0].clone();
+        m.search(&q, 5)
+            .into_iter()
+            .map(|s| s.id.0)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn model_generalizes_to_unseen_repository() {
+    // Train on one lake sample, search a *different* (larger) repository —
+    // the generalization claim of §5.1.
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 1_200, 17));
+    let (test_repo, _) = corpus.to_repository();
+    let train_cols = corpus.sample_queries(400, 77);
+    let train_repo = Repository::from_columns(train_cols.into_iter().map(|(c, _)| c));
+
+    let (mut model, _) = DeepJoin::train(&train_repo, JoinType::Equi, quick_config(Variant::MpLite, 6));
+    model.index_repository(&test_repo);
+
+    let queries = corpus.sample_queries(6, 99);
+    let mut precs = Vec::new();
+    for (q, _) in &queries {
+        let exact: Vec<u32> = brute_force_topk(&test_repo, q, 10)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        let got: Vec<u32> = model.search(q, 10).iter().map(|s| s.id.0).collect();
+        precs.push(precision_at_k(&got, &exact, 10));
+    }
+    assert!(mean(&precs) > 0.1, "generalization precision {}", mean(&precs));
+}

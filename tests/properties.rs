@@ -1,0 +1,169 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+
+use deepjoin::text::{Textizer, TransformOption};
+use deepjoin_lake::column::{Column, ColumnMeta};
+use deepjoin_lake::joinability::{brute_force_topk, equi_joinability};
+use deepjoin_lake::repository::Repository;
+
+/// Strategy: a column of 5-30 cells over a small value alphabet (so overlap
+/// actually occurs).
+fn column_strategy() -> impl Strategy<Value = Column> {
+    prop::collection::vec(0u32..40, 5..30)
+        .prop_map(|vals| Column::from_cells(vals.into_iter().map(|v| format!("v{v}"))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn joinability_is_in_unit_interval(q in column_strategy(), x in column_strategy()) {
+        let jn = equi_joinability(&q, &x);
+        prop_assert!((0.0..=1.0).contains(&jn));
+    }
+
+    #[test]
+    fn joinability_of_self_is_one(q in column_strategy()) {
+        prop_assert_eq!(equi_joinability(&q, &q), 1.0);
+    }
+
+    #[test]
+    fn joinability_is_order_insensitive(q in column_strategy(), x in column_strategy()) {
+        let mut shuffled_cells = x.cells.clone();
+        shuffled_cells.reverse();
+        let x2 = Column::from_cells(shuffled_cells);
+        prop_assert_eq!(equi_joinability(&q, &x), equi_joinability(&q, &x2));
+    }
+
+    #[test]
+    fn joinability_monotone_under_target_extension(
+        q in column_strategy(),
+        x in column_strategy(),
+        extra in prop::collection::vec(0u32..40, 0..10),
+    ) {
+        // Adding cells to the target can only help (or not change) jn.
+        let mut bigger = x.cells.clone();
+        bigger.extend(extra.into_iter().map(|v| format!("v{v}")));
+        let xb = Column::from_cells(bigger);
+        prop_assert!(equi_joinability(&q, &xb) >= equi_joinability(&q, &x) - 1e-12);
+    }
+
+    #[test]
+    fn josie_equals_brute_force(
+        cols in prop::collection::vec(column_strategy(), 3..15),
+        q in column_strategy(),
+    ) {
+        let repo = Repository::from_columns(cols);
+        let idx = deepjoin_josie::JosieIndex::build(&repo);
+        for k in [1usize, 3, 8] {
+            let got: Vec<f64> = idx.search(&q, k).iter().map(|s| s.score).collect();
+            let want: Vec<f64> = brute_force_topk(&repo, &q, k)
+                .iter().map(|s| s.score).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn minhash_jaccard_close_to_truth(
+        a in prop::collection::hash_set(0u32..60, 5..40),
+        b in prop::collection::hash_set(0u32..60, 5..40),
+    ) {
+        let mh = deepjoin_lshensemble::MinHasher::new(256, 7);
+        let astr: Vec<String> = a.iter().map(|v| format!("i{v}")).collect();
+        let bstr: Vec<String> = b.iter().map(|v| format!("i{v}")).collect();
+        let sa = mh.sketch(astr.iter().map(String::as_str));
+        let sb = mh.sketch(bstr.iter().map(String::as_str));
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        let truth = inter / union;
+        let est = sa.jaccard(&sb);
+        // 256 permutations: σ ≈ sqrt(J(1−J)/256) ≤ 0.032; allow 5σ.
+        prop_assert!((est - truth).abs() < 0.17, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn transforms_include_all_distinct_cells_when_unbudgeted(
+        q in column_strategy(),
+        opt_idx in 0usize..7,
+    ) {
+        let opt = TransformOption::ALL[opt_idx];
+        let t = Textizer::new(opt, usize::MAX);
+        let text = t.transform(&q);
+        for cell in q.distinct() {
+            prop_assert!(text.contains(cell.as_str()), "missing cell {cell}");
+        }
+    }
+
+    #[test]
+    fn transform_budget_is_respected(q in column_strategy(), budget in 1usize..10) {
+        let t = Textizer::new(TransformOption::Col, budget);
+        let text = t.transform(&q);
+        let n = text.split(", ").count();
+        prop_assert!(n <= budget, "{n} cells > budget {budget}");
+    }
+
+    #[test]
+    fn shuffle_augmentation_preserves_multiset(q in column_strategy()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut perm: Vec<usize> = (0..q.len()).collect();
+        perm.shuffle(&mut rng);
+        let p = q.permuted(&perm);
+        let mut a = q.cells.clone();
+        let mut b = p.cells.clone();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(equi_joinability(&q, &p), 1.0);
+    }
+
+    #[test]
+    fn hnsw_always_returns_k_when_enough_points(
+        points in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 4), 20..80),
+        k in 1usize..10,
+    ) {
+        use deepjoin_ann::{HnswConfig, HnswIndex, VectorIndex};
+        let mut idx = HnswIndex::new(4, HnswConfig::default());
+        for p in &points {
+            idx.add(p);
+        }
+        let hits = idx.search(&points[0], k);
+        prop_assert_eq!(hits.len(), k.min(points.len()));
+        // Distances sorted ascending.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-6);
+        }
+        // Query point itself is its own nearest neighbor (distance 0).
+        prop_assert!(hits[0].distance < 1e-5);
+    }
+
+    #[test]
+    fn encoder_embedding_is_finite(
+        tokens in prop::collection::vec(0u32..50, 0..40),
+    ) {
+        use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig};
+        let enc = ColumnEncoder::new(EncoderConfig::mp_lite(60, 16, 1));
+        let v = enc.encode(&tokens);
+        prop_assert_eq!(v.len(), 16);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn column_meta_roundtrips_through_textizer() {
+    // Non-proptest sanity: metadata fields actually surface in the text.
+    let c = Column::new(
+        vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()],
+        ColumnMeta {
+            table_title: "My Title".into(),
+            column_name: "mycol".into(),
+            table_context: "some context".into(),
+            table_id: None,
+        },
+    );
+    let t = Textizer::new(TransformOption::TitleColnameColContext, usize::MAX);
+    let s = t.transform(&c);
+    assert!(s.contains("My Title") && s.contains("mycol") && s.contains("some context"));
+}
