@@ -1,46 +1,39 @@
 //! Binary persistence for the flat and HNSW indexes.
 //!
-//! The approved dependency set has `serde` but no wire format crate, so the
-//! on-disk format is a small hand-rolled binary codec built on [`bytes`]:
-//! little-endian, length-prefixed, with a magic header and version byte.
-//! Indexes are large and numeric, so a dense custom codec is also the
-//! *right* tool here — no intermediate tree, one pass in, one pass out.
+//! Built on the `deepjoin-store` codec: little-endian, length-prefixed,
+//! with a magic header and version byte per payload. Indexes are large and
+//! numeric, so a dense custom codec is the *right* tool — no intermediate
+//! tree, one pass in, one pass out.
+//!
+//! Three payload kinds live here:
+//!
+//! * `DJF1` — a flat (exact) index: metric, dim, row-major vectors;
+//! * `DJH1` — a self-contained HNSW index (config + vectors + graph), the
+//!   v1 on-disk format, still read and written for standalone index files;
+//! * `DJG1` — the HNSW *graph only* (config + adjacency, no vectors), used
+//!   by the sectioned model container so the vectors can live in their own
+//!   checksummed section and survive graph corruption.
+//!
+//! Every decoder is total: corrupt bytes yield a located [`DecodeError`],
+//! never a panic — length prefixes are validated against the remaining
+//! buffer before allocation, and graph structure (neighbor ids, node/vector
+//! counts, degenerate configs) is validated before an index is built, since
+//! an out-of-range neighbor id would otherwise panic at search time.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use deepjoin_store::codec::{DecodeErrorKind, Reader, Writer};
+pub use deepjoin_store::DecodeError;
 
 use crate::distance::Metric;
 use crate::flat::FlatIndex;
 use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::index::VectorIndex;
 
-/// Errors while decoding a serialized index.
-#[derive(Debug, PartialEq, Eq)]
-pub enum DecodeError {
-    /// The buffer does not start with the expected magic bytes.
-    BadMagic,
-    /// Unsupported format version.
-    BadVersion(u8),
-    /// The buffer ended before the structure was complete.
-    Truncated,
-    /// An enum discriminant had no defined meaning.
-    BadDiscriminant(u8),
-}
-
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::BadMagic => write!(f, "bad magic bytes"),
-            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
-            DecodeError::Truncated => write!(f, "buffer truncated"),
-            DecodeError::BadDiscriminant(d) => write!(f, "bad discriminant {d}"),
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
-
-const MAGIC_FLAT: &[u8; 4] = b"DJF1";
-const MAGIC_HNSW: &[u8; 4] = b"DJH1";
+/// Magic bytes of a flat-index payload.
+pub const MAGIC_FLAT: &[u8; 4] = b"DJF1";
+/// Magic bytes of a self-contained HNSW payload.
+pub const MAGIC_HNSW: &[u8; 4] = b"DJH1";
+/// Magic bytes of a graph-only HNSW payload.
+pub const MAGIC_HNSW_GRAPH: &[u8; 4] = b"DJG1";
 const VERSION: u8 = 1;
 
 fn metric_tag(m: Metric) -> u8 {
@@ -51,40 +44,18 @@ fn metric_tag(m: Metric) -> u8 {
     }
 }
 
-fn metric_from(tag: u8) -> Result<Metric, DecodeError> {
+fn metric_from(r: &Reader<'_>, tag: u8) -> Result<Metric, DecodeError> {
     match tag {
         0 => Ok(Metric::L2),
         1 => Ok(Metric::InnerProduct),
         2 => Ok(Metric::Cosine),
-        other => Err(DecodeError::BadDiscriminant(other)),
+        other => Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
     }
-}
-
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
-    if buf.remaining() < n {
-        Err(DecodeError::Truncated)
-    } else {
-        Ok(())
-    }
-}
-
-fn put_f32s(out: &mut BytesMut, xs: &[f32]) {
-    out.put_u64_le(xs.len() as u64);
-    for &x in xs {
-        out.put_f32_le(x);
-    }
-}
-
-fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
-    need(buf, 8)?;
-    let n = buf.get_u64_le() as usize;
-    need(buf, n * 4)?;
-    Ok((0..n).map(|_| buf.get_f32_le()).collect())
 }
 
 /// Serialize a [`FlatIndex`].
-pub fn encode_flat(index: &FlatIndex) -> Bytes {
-    let mut out = BytesMut::with_capacity(32 + index.len() * index.dim() * 4);
+pub fn encode_flat(index: &FlatIndex) -> Vec<u8> {
+    let mut out = Writer::with_capacity(32 + index.len() * index.dim() * 4);
     out.put_slice(MAGIC_FLAT);
     out.put_u8(VERSION);
     out.put_u8(metric_tag(index.metric()));
@@ -95,50 +66,103 @@ pub fn encode_flat(index: &FlatIndex) -> Bytes {
             out.put_f32_le(x);
         }
     }
-    out.freeze()
+    out.into_vec()
 }
 
-/// Deserialize a [`FlatIndex`].
-pub fn decode_flat(mut buf: Bytes) -> Result<FlatIndex, DecodeError> {
-    need(&buf, 4 + 1 + 1 + 16)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC_FLAT {
-        return Err(DecodeError::BadMagic);
+/// Deserialize a [`FlatIndex`], attributing errors to `section`.
+pub fn decode_flat_in(buf: &[u8], section: &'static str) -> Result<FlatIndex, DecodeError> {
+    let mut r = Reader::new(buf, section);
+    r.expect_magic(MAGIC_FLAT)?;
+    r.expect_version(VERSION)?;
+    let metric = {
+        let tag = r.u8()?;
+        metric_from(&r, tag)?
+    };
+    let dim = r.u64_le()? as usize;
+    if dim == 0 {
+        return Err(r.error(DecodeErrorKind::Invalid("flat index dim must be positive")));
     }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    let metric = metric_from(buf.get_u8())?;
-    let dim = buf.get_u64_le() as usize;
-    let n = buf.get_u64_le() as usize;
-    need(&buf, n * dim * 4)?;
+    let n = r.count(dim.saturating_mul(4))?;
     let mut index = FlatIndex::new(dim, metric);
     let mut row = vec![0f32; dim];
     for _ in 0..n {
         for x in &mut row {
-            *x = buf.get_f32_le();
+            *x = r.f32_le()?;
         }
         index.add(&row);
     }
     Ok(index)
 }
 
-/// Serialize an [`HnswIndex`] including its graph structure.
-pub fn encode_hnsw(index: &HnswIndex) -> Bytes {
-    let (config, dim, vectors, nodes, entry, max_level, rng_state) = index.raw_parts();
-    let mut out = BytesMut::with_capacity(64 + vectors.len() * 4);
-    out.put_slice(MAGIC_HNSW);
-    out.put_u8(VERSION);
-    // Config.
+/// Deserialize a [`FlatIndex`].
+pub fn decode_flat(buf: &[u8]) -> Result<FlatIndex, DecodeError> {
+    decode_flat_in(buf, "FLAT")
+}
+
+fn put_hnsw_config(out: &mut Writer, config: &HnswConfig) {
     out.put_u64_le(config.m as u64);
     out.put_u64_le(config.m0 as u64);
     out.put_u64_le(config.ef_construction as u64);
     out.put_u64_le(config.ef_search as u64);
     out.put_u8(metric_tag(config.metric));
     out.put_u64_le(config.seed);
-    // State.
+}
+
+fn get_hnsw_config(r: &mut Reader<'_>) -> Result<HnswConfig, DecodeError> {
+    let m = r.u64_le()? as usize;
+    let m0 = r.u64_le()? as usize;
+    let ef_construction = r.u64_le()? as usize;
+    let ef_search = r.u64_le()? as usize;
+    let metric = {
+        let tag = r.u8()?;
+        metric_from(r, tag)?
+    };
+    let seed = r.u64_le()?;
+    if m < 2 {
+        // `level_mult = 1/ln(m)` would be infinite or negative, which turns
+        // level sampling into unbounded allocations on the next insert.
+        return Err(r.error(DecodeErrorKind::Invalid("HNSW M must be at least 2")));
+    }
+    // Cap the tuning knobs at values far beyond any sane configuration:
+    // they size allocations and search frontiers, so a corrupt high byte
+    // would otherwise turn the first insert or search into an OOM or a
+    // near-infinite loop rather than a clean decode error.
+    const MAX_KNOB: usize = 1 << 20;
+    if m > MAX_KNOB || m0 > MAX_KNOB || ef_construction > MAX_KNOB || ef_search > MAX_KNOB {
+        return Err(r.error(DecodeErrorKind::Invalid(
+            "HNSW config parameter implausibly large",
+        )));
+    }
+    Ok(HnswConfig {
+        m,
+        m0,
+        ef_construction,
+        ef_search,
+        metric,
+        seed,
+    })
+}
+
+/// The graph state shared by the `DJH1` and `DJG1` payloads.
+struct GraphParts {
+    config: HnswConfig,
+    dim: usize,
+    max_level: usize,
+    rng_state: u64,
+    entry: Option<u32>,
+    nodes: Vec<Vec<Vec<u32>>>,
+}
+
+fn put_graph_state(
+    out: &mut Writer,
+    config: &HnswConfig,
+    dim: usize,
+    max_level: usize,
+    rng_state: u64,
+    entry: Option<u32>,
+    nodes: &[&Vec<Vec<u32>>],
+) {
+    put_hnsw_config(out, config);
     out.put_u64_le(dim as u64);
     out.put_u64_le(max_level as u64);
     out.put_u64_le(rng_state);
@@ -149,7 +173,82 @@ pub fn encode_hnsw(index: &HnswIndex) -> Bytes {
         }
         None => out.put_u8(0),
     }
-    put_f32s(&mut out, vectors);
+    out.put_u64_le(nodes.len() as u64);
+    for levels in nodes {
+        out.put_u32_le(levels.len() as u32);
+        for nbrs in levels.iter() {
+            out.put_u32_le(nbrs.len() as u32);
+            for &n in nbrs {
+                out.put_u32_le(n);
+            }
+        }
+    }
+}
+
+/// Header shared by `DJH1` and `DJG1`: config, dim, max_level, rng state,
+/// entry point.
+fn get_graph_header(
+    r: &mut Reader<'_>,
+) -> Result<(HnswConfig, usize, usize, u64, Option<u32>), DecodeError> {
+    let config = get_hnsw_config(r)?;
+    let dim = r.u64_le()? as usize;
+    let max_level = r.u64_le()? as usize;
+    let rng_state = r.u64_le()?;
+    let entry = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32_le()?),
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+    };
+    Ok((config, dim, max_level, rng_state, entry))
+}
+
+/// Per-node adjacency lists, validating every neighbor id against the node
+/// count so a decoded graph can never index out of range at search time.
+fn get_nodes(r: &mut Reader<'_>) -> Result<Vec<Vec<Vec<u32>>>, DecodeError> {
+    // Each node costs at least 4 bytes (its level count), which bounds how
+    // many a well-formed remainder can hold.
+    let num_nodes = r.count(4)?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let levels = r.count_u32(4)?;
+        let mut node = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let deg = r.count_u32(4)?;
+            let mut nbrs = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let nb = r.u32_le()?;
+                if nb as usize >= num_nodes {
+                    return Err(r.error(DecodeErrorKind::Invalid(
+                        "neighbor id out of range for node count",
+                    )));
+                }
+                nbrs.push(nb);
+            }
+            node.push(nbrs);
+        }
+        nodes.push(node);
+    }
+    Ok(nodes)
+}
+
+/// Serialize an [`HnswIndex`] including vectors and graph (`DJH1`).
+pub fn encode_hnsw(index: &HnswIndex) -> Vec<u8> {
+    let (config, dim, vectors, nodes, entry, max_level, rng_state) = index.raw_parts();
+    let mut out = Writer::with_capacity(96 + vectors.len() * 4 + nodes.len() * 16);
+    out.put_slice(MAGIC_HNSW);
+    out.put_u8(VERSION);
+    put_hnsw_config(&mut out, config);
+    out.put_u64_le(dim as u64);
+    out.put_u64_le(max_level as u64);
+    out.put_u64_le(rng_state);
+    match entry {
+        Some(e) => {
+            out.put_u8(1);
+            out.put_u32_le(e);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_f32s(vectors);
     out.put_u64_le(nodes.len() as u64);
     for levels in nodes {
         out.put_u32_le(levels.len() as u32);
@@ -160,72 +259,117 @@ pub fn encode_hnsw(index: &HnswIndex) -> Bytes {
             }
         }
     }
-    out.freeze()
+    out.into_vec()
 }
 
-/// Deserialize an [`HnswIndex`].
-pub fn decode_hnsw(mut buf: Bytes) -> Result<HnswIndex, DecodeError> {
-    need(&buf, 4 + 1)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC_HNSW {
-        return Err(DecodeError::BadMagic);
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    need(&buf, 8 * 4 + 1 + 8)?;
-    let m = buf.get_u64_le() as usize;
-    let m0 = buf.get_u64_le() as usize;
-    let ef_construction = buf.get_u64_le() as usize;
-    let ef_search = buf.get_u64_le() as usize;
-    let metric = metric_from(buf.get_u8())?;
-    let seed = buf.get_u64_le();
-    need(&buf, 8 * 3 + 1)?;
-    let dim = buf.get_u64_le() as usize;
-    let max_level = buf.get_u64_le() as usize;
-    let rng_state = buf.get_u64_le();
-    let entry = match buf.get_u8() {
-        0 => None,
-        1 => {
-            need(&buf, 4)?;
-            Some(buf.get_u32_le())
+/// Deserialize a `DJH1` [`HnswIndex`], attributing errors to `section`.
+pub fn decode_hnsw_in(buf: &[u8], section: &'static str) -> Result<HnswIndex, DecodeError> {
+    let mut r = Reader::new(buf, section);
+    r.expect_magic(MAGIC_HNSW)?;
+    r.expect_version(VERSION)?;
+    let (config, dim, max_level, rng_state, entry) = get_graph_header(&mut r)?;
+    let vectors = r.f32s()?;
+    let nodes = get_nodes(&mut r)?;
+    assemble_hnsw(
+        &r,
+        GraphParts {
+            config,
+            dim,
+            max_level,
+            rng_state,
+            entry,
+            nodes,
+        },
+        vectors,
+    )
+}
+
+/// Deserialize a `DJH1` [`HnswIndex`].
+pub fn decode_hnsw(buf: &[u8]) -> Result<HnswIndex, DecodeError> {
+    decode_hnsw_in(buf, "HNSW")
+}
+
+/// Serialize only the graph half of an [`HnswIndex`] (`DJG1`). Pair with a
+/// separately stored vector payload (see [`decode_hnsw_graph`]).
+pub fn encode_hnsw_graph(index: &HnswIndex) -> Vec<u8> {
+    let (config, dim, _vectors, nodes, entry, max_level, rng_state) = index.raw_parts();
+    let mut out = Writer::with_capacity(96 + nodes.len() * 16);
+    out.put_slice(MAGIC_HNSW_GRAPH);
+    out.put_u8(VERSION);
+    put_graph_state(&mut out, config, dim, max_level, rng_state, entry, &nodes);
+    out.into_vec()
+}
+
+/// Rebuild an [`HnswIndex`] from a `DJG1` graph payload plus the vectors it
+/// indexes (row-major, `nodes * dim`). Fails — rather than building an
+/// index that would panic at search time — when the graph and vectors
+/// disagree on shape.
+pub fn decode_hnsw_graph(
+    buf: &[u8],
+    section: &'static str,
+    vectors: Vec<f32>,
+) -> Result<HnswIndex, DecodeError> {
+    let mut r = Reader::new(buf, section);
+    r.expect_magic(MAGIC_HNSW_GRAPH)?;
+    r.expect_version(VERSION)?;
+    let (config, dim, max_level, rng_state, entry) = get_graph_header(&mut r)?;
+    let nodes = get_nodes(&mut r)?;
+    assemble_hnsw(
+        &r,
+        GraphParts {
+            config,
+            dim,
+            max_level,
+            rng_state,
+            entry,
+            nodes,
+        },
+        vectors,
+    )
+}
+
+fn assemble_hnsw(
+    r: &Reader<'_>,
+    parts: GraphParts,
+    vectors: Vec<f32>,
+) -> Result<HnswIndex, DecodeError> {
+    if let Some(e) = parts.entry {
+        if e as usize >= parts.nodes.len() {
+            return Err(r.error(DecodeErrorKind::Invalid("entry point out of range")));
         }
-        other => return Err(DecodeError::BadDiscriminant(other)),
-    };
-    let vectors = get_f32s(&mut buf)?;
-    need(&buf, 8)?;
-    let num_nodes = buf.get_u64_le() as usize;
-    let mut nodes = Vec::with_capacity(num_nodes);
-    for _ in 0..num_nodes {
-        need(&buf, 4)?;
-        let levels = buf.get_u32_le() as usize;
-        let mut node = Vec::with_capacity(levels);
-        for _ in 0..levels {
-            need(&buf, 4)?;
-            let deg = buf.get_u32_le() as usize;
-            need(&buf, deg * 4)?;
-            node.push((0..deg).map(|_| buf.get_u32_le()).collect::<Vec<u32>>());
-        }
-        nodes.push(node);
     }
-    let config = HnswConfig {
-        m,
-        m0,
-        ef_construction,
-        ef_search,
-        metric,
-        seed,
-    };
+    if parts.dim == 0 && !parts.nodes.is_empty() {
+        return Err(r.error(DecodeErrorKind::Invalid("non-empty index with dim 0")));
+    }
+    // `max_level` must be the tallest node's level: search iterates every
+    // layer from `max_level` down, so a corrupt (huge) value would loop for
+    // eons without this check even though it cannot panic.
+    let tallest = parts.nodes.iter().map(Vec::len).max().unwrap_or(0);
+    if parts.max_level != tallest.saturating_sub(1) {
+        return Err(r.error(DecodeErrorKind::Invalid(
+            "max_level disagrees with the tallest node",
+        )));
+    }
+    if vectors.len() != parts.nodes.len().saturating_mul(parts.dim) {
+        return Err(r.error(DecodeErrorKind::Invalid(
+            "vector payload does not match graph shape",
+        )));
+    }
     Ok(HnswIndex::from_raw_parts(
-        config, dim, vectors, nodes, entry, max_level, rng_state,
+        parts.config,
+        parts.dim,
+        vectors,
+        parts.nodes,
+        parts.entry,
+        parts.max_level,
+        parts.rng_state,
     ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use deepjoin_store::codec::DecodeErrorKind;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -239,7 +383,7 @@ mod tests {
         let mut idx = FlatIndex::new(8, Metric::L2);
         idx.add_batch(&random_data(200, 8));
         let bytes = encode_flat(&idx);
-        let back = decode_flat(bytes).unwrap();
+        let back = decode_flat(&bytes).unwrap();
         assert_eq!(back.len(), idx.len());
         let q = random_data(1, 8);
         assert_eq!(idx.search(&q, 10), back.search(&q, 10));
@@ -250,7 +394,7 @@ mod tests {
         let mut idx = HnswIndex::new(6, HnswConfig::default());
         idx.add_batch(&random_data(500, 6));
         let bytes = encode_hnsw(&idx);
-        let mut back = decode_hnsw(bytes).unwrap();
+        let mut back = decode_hnsw(&bytes).unwrap();
         let q = random_data(1, 6);
         assert_eq!(idx.search(&q, 10), back.search(&q, 10));
         // The decoded index keeps working for inserts (rng state restored).
@@ -261,27 +405,52 @@ mod tests {
     }
 
     #[test]
+    fn graph_only_roundtrip_matches_full_roundtrip() {
+        let mut idx = HnswIndex::new(5, HnswConfig::default());
+        idx.add_batch(&random_data(300, 5));
+        let (_, _, vectors, ..) = idx.raw_parts();
+        let vectors = vectors.to_vec();
+        let graph = encode_hnsw_graph(&idx);
+        let mut back = decode_hnsw_graph(&graph, "HNSW", vectors).unwrap();
+        let q = random_data(1, 5);
+        assert_eq!(idx.search(&q, 10), back.search(&q, 10));
+        let mut orig = idx.clone();
+        let v = random_data(1, 5);
+        assert_eq!(orig.add(&v), back.add(&v));
+    }
+
+    #[test]
+    fn graph_with_mismatched_vectors_is_rejected() {
+        let mut idx = HnswIndex::new(4, HnswConfig::default());
+        idx.add_batch(&random_data(50, 4));
+        let graph = encode_hnsw_graph(&idx);
+        let err = decode_hnsw_graph(&graph, "HNSW", vec![0.0; 7]).unwrap_err();
+        assert!(matches!(err.kind, DecodeErrorKind::Invalid(_)));
+    }
+
+    #[test]
     fn corrupted_buffers_are_rejected() {
         let mut idx = FlatIndex::new(4, Metric::Cosine);
         idx.add_batch(&random_data(10, 4));
         let bytes = encode_flat(&idx);
 
         // Wrong magic.
-        let mut bad = bytes.to_vec();
+        let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert_eq!(decode_flat(Bytes::from(bad)).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(decode_flat(&bad).unwrap_err().kind, DecodeErrorKind::BadMagic);
 
         // Wrong version.
-        let mut bad = bytes.to_vec();
+        let mut bad = bytes.clone();
         bad[4] = 99;
         assert_eq!(
-            decode_flat(Bytes::from(bad)).unwrap_err(),
-            DecodeError::BadVersion(99)
+            decode_flat(&bad).unwrap_err().kind,
+            DecodeErrorKind::BadVersion(99)
         );
 
-        // Truncation.
-        let bad = bytes.slice(0..bytes.len() - 3);
-        assert_eq!(decode_flat(bad).unwrap_err(), DecodeError::Truncated);
+        // Truncation, with offset context.
+        let err = decode_flat(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err.kind, DecodeErrorKind::Truncated { .. }));
+        assert_eq!(err.section, "FLAT");
     }
 
     #[test]
@@ -289,14 +458,52 @@ mod tests {
         let mut idx = FlatIndex::new(4, Metric::L2);
         idx.add(&[0.0; 4]);
         let bytes = encode_flat(&idx);
-        assert_eq!(decode_hnsw(bytes).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode_hnsw(&bytes).unwrap_err().kind,
+            DecodeErrorKind::BadMagic
+        );
     }
 
     #[test]
     fn empty_hnsw_roundtrips() {
         let idx = HnswIndex::new(3, HnswConfig::default());
-        let back = decode_hnsw(encode_hnsw(&idx)).unwrap();
+        let back = decode_hnsw(&encode_hnsw(&idx)).unwrap();
         assert_eq!(back.len(), 0);
         assert!(back.search(&[0.0; 3], 5).is_empty());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_never_panics() {
+        let mut idx = HnswIndex::new(3, HnswConfig::default());
+        idx.add_batch(&random_data(40, 3));
+        let bytes = encode_hnsw(&idx);
+        for cut in 0..bytes.len() {
+            assert!(decode_hnsw(&bytes[..cut]).is_err());
+        }
+        let flat_bytes = encode_flat(&{
+            let mut f = FlatIndex::new(3, Metric::L2);
+            f.add_batch(&random_data(40, 3));
+            f
+        });
+        for cut in 0..flat_bytes.len() {
+            assert!(decode_flat(&flat_bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_search() {
+        // Flip each byte of a small snapshot; decode must error or produce
+        // an index whose search doesn't panic (validated graph).
+        let mut idx = HnswIndex::new(3, HnswConfig::default());
+        idx.add_batch(&random_data(25, 3));
+        let bytes = encode_hnsw(&idx);
+        let q = random_data(1, 3);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x55;
+            if let Ok(back) = decode_hnsw(&bad) {
+                let _ = back.search(&q, 5);
+            }
+        }
     }
 }

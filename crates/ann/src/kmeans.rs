@@ -75,7 +75,7 @@ impl Kmeans {
     /// Train on row-major `data` (`n x dim`). If there are fewer points than
     /// requested centroids, `k` is reduced to the number of points.
     pub fn train(data: &[f32], dim: usize, config: KmeansConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "bad shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "bad shape");
         let n = data.len() / dim;
         assert!(n > 0, "no training points");
         let k = config.k.min(n);

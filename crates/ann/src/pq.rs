@@ -48,7 +48,7 @@ pub struct ProductQuantizer {
 impl ProductQuantizer {
     /// Train codebooks on row-major `data` (`n x dim`).
     pub fn train(data: &[f32], dim: usize, config: PqConfig) -> Self {
-        assert!(dim % config.m == 0, "m must divide dim");
+        assert!(dim.is_multiple_of(config.m), "m must divide dim");
         assert!(config.ks <= 256, "ks must fit in u8");
         let n = data.len() / dim;
         assert!(n > 0, "no training data");

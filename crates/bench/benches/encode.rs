@@ -28,7 +28,7 @@ fn bench_encode_paths(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(ngram.embed_cell("fort kelso 123")))
     });
 
-    let vocab = deepjoin_lake::Vocabulary::build([text.as_str()].into_iter(), 1);
+    let vocab = deepjoin_lake::Vocabulary::build([text.as_str()], 1);
     let tokens = vocab.encode(&text);
     let distil = ColumnEncoder::new(EncoderConfig::distil_lite(8_192, 64, 1));
     let mp = ColumnEncoder::new(EncoderConfig::mp_lite(8_192, 64, 1));

@@ -15,12 +15,15 @@ use deepjoin_nn::mlp::{MlpConfig, MlpRegressor};
 
 use crate::setup::{Bench, JoinKind};
 
+/// A boxed `(query, k) -> top-k column ids` search closure.
+pub type TopkFn = Box<dyn Fn(&Column, usize) -> Vec<ColumnId>>;
+
 /// A method under test: name + top-k search function returning column ids.
 pub struct SearchFn {
     /// Display name (matches the paper's tables).
     pub name: String,
     /// `(query, k) -> top-k column ids` in rank order.
-    pub search: Box<dyn Fn(&Column, usize) -> Vec<ColumnId>>,
+    pub search: TopkFn,
 }
 
 impl SearchFn {

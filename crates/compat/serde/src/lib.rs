@@ -1,0 +1,11 @@
+//! Offline subset of the `serde` facade.
+//!
+//! Re-exports the no-op derives from the vendored `serde_derive` so that
+//! `use serde::{Serialize, Deserialize};` plus `#[derive(...)]` compiles
+//! without registry access. No runtime serialization exists in this
+//! workspace — binary persistence is the checksummed codec in
+//! `deepjoin-store` — so the derives are declarations of intent only.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace has no wire-format crate (all persistence goes through the
+//! hand-rolled codecs in `deepjoin-store`), so serde derives carry no
+//! behaviour here. These stubs accept the derive syntax — including
+//! `#[serde(...)]` field attributes — and expand to nothing, which keeps the
+//! annotations compiling offline while documenting serialization intent.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

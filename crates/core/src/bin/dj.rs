@@ -11,14 +11,17 @@
 //! the binary format of `deepjoin::persist`. The CLI exists so the library
 //! can be exercised end-to-end without writing Rust.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use deepjoin::model::{DeepJoin, DeepJoinConfig, Variant};
+use deepjoin::model::{DeepJoin, DeepJoinConfig, IndexHealth, Variant};
 use deepjoin::persist::{load_model, save_model};
 use deepjoin::train::{FineTuneConfig, JoinType};
 use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
 use deepjoin_lake::joinability::equi_joinability;
+use deepjoin_lake::lakefile;
 use deepjoin_lake::repository::Repository;
+use deepjoin_store::{ArtifactIo, StdIo};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,57 +61,27 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Lake files: the corpus serialized with the same hand-rolled codec style.
-/// For simplicity the lake file stores the *generator inputs* (config) and
-/// regenerates deterministically on load — corpora are pure functions of
-/// their config.
-mod lakefile {
-    use super::*;
-    pub fn save(path: &str, config: &CorpusConfig) -> CliResult {
-        let line = format!(
-            "DJLAKE1 {:?} {} {} {} {} {} {} {} {} {} {}\n",
-            config.profile,
-            config.num_tables,
-            config.num_domains,
-            config.entities_per_domain,
-            config.zipf_exponent,
-            config.focus_rate,
-            config.focus_width,
-            config.windows_per_domain,
-            config.noise_rate,
-            config.strong_noise_rate,
-            config.seed,
-        );
-        std::fs::write(path, line)?;
-        Ok(())
-    }
+/// Read a lake file (checksummed `DJLAKE2` or legacy text) and regenerate
+/// its corpus.
+fn load_lake(path: &str) -> Result<Corpus, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    let config = lakefile::decode(&bytes)?;
+    Ok(Corpus::generate(config))
+}
 
-    pub fn load(path: &str) -> Result<Corpus, Box<dyn std::error::Error>> {
-        let text = std::fs::read_to_string(path)?;
-        let parts: Vec<&str> = text.split_whitespace().collect();
-        if parts.len() != 12 || parts[0] != "DJLAKE1" {
-            return Err("not a dj lake file".into());
-        }
-        let profile = match parts[1] {
-            "Webtable" => CorpusProfile::Webtable,
-            "Wikitable" => CorpusProfile::Wikitable,
-            other => return Err(format!("unknown profile {other}").into()),
-        };
-        let config = CorpusConfig {
-            profile,
-            num_tables: parts[2].parse()?,
-            num_domains: parts[3].parse()?,
-            entities_per_domain: parts[4].parse()?,
-            zipf_exponent: parts[5].parse()?,
-            focus_rate: parts[6].parse()?,
-            focus_width: parts[7].parse()?,
-            windows_per_domain: parts[8].parse()?,
-            noise_rate: parts[9].parse()?,
-            strong_noise_rate: parts[10].parse()?,
-            seed: parts[11].parse()?,
-        };
-        Ok(Corpus::generate(config))
+/// Load a model snapshot, surfacing any degradation warnings on stderr.
+fn load_model_file(path: &str) -> Result<DeepJoin, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    let loaded = load_model(&bytes)?;
+    for w in &loaded.warnings {
+        eprintln!("warning: {path}: {w}");
     }
+    Ok(loaded.model)
+}
+
+/// Crash-safe write: temp file, fsync, atomic rename.
+fn write_artifact(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    StdIo.write_atomic(Path::new(path), bytes)
 }
 
 fn cmd_generate(args: &[String]) -> CliResult {
@@ -120,7 +93,7 @@ fn cmd_generate(args: &[String]) -> CliResult {
         _ => CorpusProfile::Webtable,
     };
     let config = CorpusConfig::new(profile, tables, seed);
-    lakefile::save(out, &config)?;
+    write_artifact(out, &lakefile::encode(&config))?;
     let corpus = Corpus::generate(config);
     let (repo, _) = corpus.to_repository();
     println!(
@@ -133,7 +106,7 @@ fn cmd_generate(args: &[String]) -> CliResult {
 fn cmd_train(args: &[String]) -> CliResult {
     let lake = args.first().ok_or("missing <in.lake>")?;
     let out = args.get(1).ok_or("missing <out.model>")?;
-    let corpus = lakefile::load(lake)?;
+    let corpus = load_lake(lake)?;
     let (repo, _) = corpus.to_repository();
 
     let join = match flag(args, "--join").as_deref() {
@@ -176,7 +149,7 @@ fn cmd_train(args: &[String]) -> CliResult {
     );
     eprintln!("indexing {} columns…", repo.len());
     model.index_repository(&repo);
-    std::fs::write(out, save_model(&model, true))?;
+    write_artifact(out, &save_model(&model, true))?;
     println!("wrote {out} ({} bytes)", std::fs::metadata(out)?.len());
     Ok(())
 }
@@ -187,9 +160,9 @@ fn cmd_search(args: &[String]) -> CliResult {
     let k: usize = flag(args, "--k").map_or(Ok(10), |v| v.parse())?;
     let qi: usize = flag(args, "--query-index").map_or(Ok(0), |v| v.parse())?;
 
-    let corpus = lakefile::load(lake)?;
+    let corpus = load_lake(lake)?;
     let (repo, _) = corpus.to_repository();
-    let model = load_model(bytes::Bytes::from(std::fs::read(model_path)?))?;
+    let model = load_model_file(model_path)?;
     if model.indexed_len() == 0 {
         return Err("model was saved without an index".into());
     }
@@ -257,7 +230,7 @@ fn cmd_train_csv(args: &[String]) -> CliResult {
         report.num_positives, report.vocab_size
     );
     model.index_repository(&repo);
-    std::fs::write(out, save_model(&model, true))?;
+    write_artifact(out, &save_model(&model, true))?;
     println!("wrote {out} ({} bytes)", std::fs::metadata(out)?.len());
     Ok(())
 }
@@ -269,7 +242,7 @@ fn cmd_search_csv(args: &[String]) -> CliResult {
     let k: usize = flag(args, "--k").map_or(Ok(10), |v| v.parse())?;
 
     let repo = csv_repository(dir)?;
-    let model = load_model(bytes::Bytes::from(std::fs::read(model_path)?))?;
+    let model = load_model_file(model_path)?;
     if model.indexed_len() != repo.len() {
         return Err(format!(
             "model indexes {} columns but {dir} has {} — retrain with train-csv",
@@ -308,7 +281,7 @@ fn cmd_search_csv(args: &[String]) -> CliResult {
 
 fn cmd_info(args: &[String]) -> CliResult {
     let model_path = args.first().ok_or("missing <in.model>")?;
-    let model = load_model(bytes::Bytes::from(std::fs::read(model_path)?))?;
+    let model = load_model_file(model_path)?;
     let cfg = model.config();
     println!("variant       : {:?}", cfg.variant);
     println!("dim           : {}", cfg.dim);
@@ -318,5 +291,11 @@ fn cmd_info(args: &[String]) -> CliResult {
     println!("oov buckets   : {}", cfg.oov_buckets);
     println!("vocab size    : {}", model.vocabulary().len());
     println!("indexed cols  : {}", model.indexed_len());
+    match model.index_health() {
+        IndexHealth::DegradedFlat { reason } => {
+            println!("index health  : degraded-flat ({reason})");
+        }
+        health => println!("index health  : {}", health.label()),
+    }
     Ok(())
 }

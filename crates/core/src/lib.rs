@@ -45,8 +45,8 @@ pub mod rerank;
 pub mod text;
 pub mod train;
 
-pub use model::{DeepJoin, DeepJoinConfig, TrainReport, Variant};
-pub use persist::{load_model, save_model};
+pub use model::{DeepJoin, DeepJoinConfig, IndexHealth, IndexState, TrainReport, Variant};
+pub use persist::{load_model, save_model, LoadedModel};
 pub use rerank::{RerankConfig, RerankingSearcher};
 pub use text::{CellFrequencies, Textizer, TransformOption};
 pub use train::{FineTuneConfig, JoinType, TrainDataConfig};

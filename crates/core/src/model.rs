@@ -1,5 +1,6 @@
 //! The DeepJoin model: train → embed → index → search (paper §3, Figure 1).
 
+use deepjoin_ann::flat::FlatIndex;
 use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
 use deepjoin_ann::index::{Neighbor, VectorIndex};
 use deepjoin_embed::cell_space::CellSpace;
@@ -95,13 +96,58 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
 }
 
+/// The search backend a model is currently serving with.
+///
+/// Normal operation uses the HNSW graph. When a persisted snapshot's graph
+/// section fails its checksum but the vector section survives, the loader
+/// degrades to an exact flat scan over the same vectors — slower, but
+/// correct — instead of refusing to serve (see `persist::load_model`).
+pub enum IndexState {
+    /// Nothing indexed yet.
+    None,
+    /// Full HNSW graph index (normal mode).
+    Hnsw(HnswIndex),
+    /// Exact-scan fallback over the recovered vectors (degraded mode).
+    DegradedFlat {
+        /// The flat index serving searches.
+        index: FlatIndex,
+        /// Why the model is degraded (e.g. the graph checksum error).
+        reason: String,
+    },
+}
+
+/// Health summary of a model's search index, for operators (`dj info`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexHealth {
+    /// No index present; `search` is unavailable.
+    Missing,
+    /// HNSW graph index, full fidelity.
+    Hnsw,
+    /// Serving via exact flat scan after index corruption.
+    DegradedFlat {
+        /// Human-readable cause of the degradation.
+        reason: String,
+    },
+}
+
+impl IndexHealth {
+    /// Short operator-facing label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexHealth::Missing => "none",
+            IndexHealth::Hnsw => "hnsw",
+            IndexHealth::DegradedFlat { .. } => "degraded-flat",
+        }
+    }
+}
+
 /// The trained DeepJoin model.
 pub struct DeepJoin {
     pub(crate) config: DeepJoinConfig,
     pub(crate) vocab: Vocabulary,
     pub(crate) textizer: Textizer,
     pub(crate) encoder: ColumnEncoder,
-    pub(crate) index: Option<HnswIndex>,
+    pub(crate) index: IndexState,
 }
 
 impl DeepJoin {
@@ -188,7 +234,7 @@ impl DeepJoin {
                 vocab,
                 textizer,
                 encoder,
-                index: None,
+                index: IndexState::None,
             },
             report,
         )
@@ -218,7 +264,7 @@ impl DeepJoin {
             let v = self.embed_column(col);
             index.add(&v);
         }
-        self.index = Some(index);
+        self.index = IndexState::Hnsw(index);
     }
 
     /// Index pre-computed embeddings (used when the embedding pass was
@@ -226,7 +272,7 @@ impl DeepJoin {
     pub fn index_embeddings(&mut self, embeddings: &[f32]) {
         let mut index = HnswIndex::new(self.config.dim, self.config.hnsw);
         index.add_batch(embeddings);
-        self.index = Some(index);
+        self.index = IndexState::Hnsw(index);
     }
 
     /// Online top-k search: encode the query column and run ANNS under
@@ -239,9 +285,12 @@ impl DeepJoin {
 
     /// ANNS part only (for timing decomposition in the benchmarks).
     pub fn search_embedded(&self, query_embedding: &[f32], k: usize) -> Vec<ScoredColumn> {
-        let index = self.index.as_ref().expect("index_repository() first");
-        index
-            .search(query_embedding, k)
+        let neighbors = match &self.index {
+            IndexState::None => panic!("index_repository() first"),
+            IndexState::Hnsw(index) => index.search(query_embedding, k),
+            IndexState::DegradedFlat { index, .. } => index.search(query_embedding, k),
+        };
+        neighbors
             .into_iter()
             .map(|Neighbor { id, distance }| ScoredColumn {
                 id: ColumnId(id),
@@ -252,7 +301,22 @@ impl DeepJoin {
 
     /// Number of indexed columns (0 before `index_repository`).
     pub fn indexed_len(&self) -> usize {
-        self.index.as_ref().map(|i| i.len()).unwrap_or(0)
+        match &self.index {
+            IndexState::None => 0,
+            IndexState::Hnsw(index) => index.len(),
+            IndexState::DegradedFlat { index, .. } => index.len(),
+        }
+    }
+
+    /// Current search-backend health (surfaced by `dj info`).
+    pub fn index_health(&self) -> IndexHealth {
+        match &self.index {
+            IndexState::None => IndexHealth::Missing,
+            IndexState::Hnsw(_) => IndexHealth::Hnsw,
+            IndexState::DegradedFlat { reason, .. } => IndexHealth::DegradedFlat {
+                reason: reason.clone(),
+            },
+        }
     }
 
     /// Vocabulary accessor (shared with baselines in the benchmarks).

@@ -1,82 +1,105 @@
-//! Binary persistence for trained DeepJoin models.
+//! Durable persistence for trained DeepJoin models.
 //!
 //! A saved model carries everything inference and indexing need — the
 //! contextualizer (option, cell budget, cell frequencies), the vocabulary,
 //! the encoder configuration and parameters, and (optionally) the built
-//! HNSW index — in a little-endian, length-prefixed format with a magic
-//! header (same codec style as `deepjoin_ann::io`).
+//! index. Since v2 the on-disk form is a `DJAR` container
+//! (`deepjoin_store::container`) with three checksummed sections:
+//!
+//! * `MODL` — the model core (config, frequencies, vocabulary, encoder);
+//!   mandatory, and a checksum failure here is fatal;
+//! * `VECS` — the indexed embedding vectors as a `DJF1` flat-index payload;
+//! * `HNSW` — the graph half of the HNSW index as a `DJG1` payload.
+//!
+//! Splitting vectors from graph is what makes *graceful degradation*
+//! possible: when the `HNSW` section fails its CRC but `VECS` survives,
+//! [`load_model`] returns a model in [`IndexState::DegradedFlat`] — exact
+//! (slower) search over the same vectors — with a warning, instead of
+//! refusing to load. Legacy v1 `DJM1` snapshots (un-sectioned, no
+//! checksums) are still read.
 //!
 //! Training-only settings (optimizer, labeling thresholds, SGNS) are *not*
 //! persisted: a loaded model can embed, index and search, but continuing
 //! training requires the original `DeepJoinConfig`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
-use deepjoin_ann::io::{decode_hnsw, encode_hnsw, DecodeError};
+use deepjoin_ann::flat::FlatIndex;
+use deepjoin_ann::index::VectorIndex;
+use deepjoin_ann::io::{
+    decode_flat_in, decode_hnsw_graph, decode_hnsw_in, encode_flat, encode_hnsw_graph, DecodeError,
+};
 use deepjoin_lake::tokenizer::Vocabulary;
 use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, Pooling};
+use deepjoin_store::codec::{DecodeErrorKind, Reader, Writer};
+use deepjoin_store::{is_container, Container, ContainerBuilder};
 
-use crate::model::{DeepJoin, DeepJoinConfig, Variant};
+use crate::model::{DeepJoin, DeepJoinConfig, IndexState, Variant};
 use crate::text::{CellFrequencies, Textizer, TransformOption};
 
-const MAGIC: &[u8; 4] = b"DJM1";
-const VERSION: u8 = 1;
+/// Container section holding the model core.
+pub const SECTION_MODEL: [u8; 4] = *b"MODL";
+/// Container section holding the indexed embedding vectors (`DJF1`).
+pub const SECTION_VECTORS: [u8; 4] = *b"VECS";
+/// Container section holding the HNSW graph (`DJG1`).
+pub const SECTION_GRAPH: [u8; 4] = *b"HNSW";
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
-    if buf.remaining() < n {
-        Err(DecodeError::Truncated)
-    } else {
-        Ok(())
+/// Magic of the v2 model-core payload inside the `MODL` section.
+const CORE_MAGIC: &[u8; 4] = b"DJM2";
+const CORE_VERSION: u8 = 1;
+
+/// Magic of the legacy whole-file v1 format.
+const MAGIC_V1: &[u8; 4] = b"DJM1";
+const VERSION_V1: u8 = 1;
+
+/// A model restored from disk, along with any degradation warnings the
+/// loader produced. An empty `warnings` means full fidelity.
+pub struct LoadedModel {
+    /// The restored model; check [`DeepJoin::index_health`] before serving.
+    pub model: DeepJoin,
+    /// Human-readable accounts of anything that could not be restored.
+    pub warnings: Vec<String>,
+}
+
+impl LoadedModel {
+    /// Drop the warnings and keep the model (callers that already surfaced
+    /// or deliberately ignore degradation).
+    pub fn into_model(self) -> DeepJoin {
+        self.model
     }
 }
 
-fn put_str(out: &mut BytesMut, s: &str) {
-    out.put_u32_le(s.len() as u32);
-    out.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
-    need(buf, 4)?;
-    let n = buf.get_u32_le() as usize;
-    need(buf, n)?;
-    let mut raw = vec![0u8; n];
-    buf.copy_to_slice(&mut raw);
-    String::from_utf8(raw).map_err(|_| DecodeError::BadDiscriminant(0xFF))
-}
-
-fn put_f32s(out: &mut BytesMut, xs: &[f32]) {
-    out.put_u64_le(xs.len() as u64);
-    for &x in xs {
-        out.put_f32_le(x);
+impl std::fmt::Debug for LoadedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedModel")
+            .field("index_health", &self.model.index_health())
+            .field("warnings", &self.warnings)
+            .finish_non_exhaustive()
     }
 }
 
-fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
-    need(buf, 8)?;
-    let n = buf.get_u64_le() as usize;
-    need(buf, n * 4)?;
-    Ok((0..n).map(|_| buf.get_f32_le()).collect())
-}
-
+/// Tag is the option's position in [`TransformOption::ALL`]; the exhaustive
+/// match keeps the mapping total by construction.
 fn transform_tag(t: TransformOption) -> u8 {
-    TransformOption::ALL.iter().position(|&o| o == t).unwrap() as u8
+    match t {
+        TransformOption::Col => 0,
+        TransformOption::ColnameCol => 1,
+        TransformOption::ColnameColContext => 2,
+        TransformOption::ColnameStatCol => 3,
+        TransformOption::TitleColnameCol => 4,
+        TransformOption::TitleColnameColContext => 5,
+        TransformOption::TitleColnameStatCol => 6,
+    }
 }
 
-fn transform_from(tag: u8) -> Result<TransformOption, DecodeError> {
+fn transform_from(r: &Reader<'_>, tag: u8) -> Result<TransformOption, DecodeError> {
     TransformOption::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(DecodeError::BadDiscriminant(tag))
+        .ok_or_else(|| r.error(DecodeErrorKind::BadDiscriminant(tag)))
 }
 
-/// Serialize a trained model. Set `include_index` to persist the built HNSW
-/// index alongside the encoder (larger file, instant reload of search).
-pub fn save_model(model: &DeepJoin, include_index: bool) -> Bytes {
-    let mut out = BytesMut::new();
-    out.put_slice(MAGIC);
-    out.put_u8(VERSION);
-
-    // --- model-level config (inference-relevant subset) ---
+/// Model core fields, shared verbatim between the v1 body and the v2
+/// `MODL` section (the layouts are byte-identical past their headers).
+fn put_core(out: &mut Writer, model: &DeepJoin) {
     let cfg = &model.config;
     out.put_u8(match cfg.variant {
         Variant::DistilLite => 0,
@@ -97,7 +120,7 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Bytes {
             let mut pairs: Vec<(&str, u32)> = freq.iter().collect();
             pairs.sort_unstable();
             for (cell, count) in pairs {
-                put_str(&mut out, cell);
+                out.put_str(cell);
                 out.put_u32_le(count);
             }
         }
@@ -108,7 +131,7 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Bytes {
     out.put_u64_le(model.vocab.len() as u64);
     // Skip <unk> (id 0) — it is implicit in a fresh Vocabulary.
     for id in 1..model.vocab.len() as u32 {
-        put_str(&mut out, model.vocab.token(id));
+        out.put_str(model.vocab.token(id));
         out.put_u64_le(model.vocab.count(id));
     }
 
@@ -126,87 +149,93 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Bytes {
     out.put_u64_le(ec.seed);
     let (emb, pos, aw, ab, av, h1w, h1b, h2w, h2b) = model.encoder.raw_params();
     for t in [emb, pos, aw, ab, av, h1w, h1b, h2w, h2b] {
-        put_f32s(&mut out, t);
+        out.put_f32s(t);
     }
-
-    // --- index ---
-    match (&model.index, include_index) {
-        (Some(index), true) => {
-            out.put_u8(1);
-            let encoded = encode_hnsw(index);
-            out.put_u64_le(encoded.len() as u64);
-            out.put_slice(&encoded);
-        }
-        _ => out.put_u8(0),
-    }
-
-    out.freeze()
 }
 
-/// Deserialize a model saved by [`save_model`].
-pub fn load_model(mut buf: Bytes) -> Result<DeepJoin, DecodeError> {
-    need(&buf, 5)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
+/// Everything [`get_core`] restores; the index is attached separately.
+struct CoreParts {
+    config: DeepJoinConfig,
+    textizer: Textizer,
+    vocab: Vocabulary,
+    encoder: ColumnEncoder,
+}
 
-    need(&buf, 1 + 8 + 1 + 8 + 8 + 4)?;
-    let variant = match buf.get_u8() {
+impl CoreParts {
+    fn into_model(self, index: IndexState) -> DeepJoin {
+        DeepJoin {
+            config: self.config,
+            vocab: self.vocab,
+            textizer: self.textizer,
+            encoder: self.encoder,
+            index,
+        }
+    }
+}
+
+fn get_core(r: &mut Reader<'_>) -> Result<CoreParts, DecodeError> {
+    let variant = match r.u8()? {
         0 => Variant::DistilLite,
         1 => Variant::MpLite,
-        other => return Err(DecodeError::BadDiscriminant(other)),
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
     };
-    let dim = buf.get_u64_le() as usize;
-    let transform = transform_from(buf.get_u8())?;
-    let max_cells = buf.get_u64_le() as usize;
-    let max_tokens = buf.get_u64_le() as usize;
-    let oov_buckets = buf.get_u32_le();
+    let dim = r.u64_le()? as usize;
+    let transform = {
+        let tag = r.u8()?;
+        transform_from(r, tag)?
+    };
+    let max_cells = r.u64_le()? as usize;
+    let max_tokens = r.u64_le()? as usize;
+    let oov_buckets = r.u32_le()?;
 
     // Textizer.
-    need(&buf, 1)?;
     let mut textizer = Textizer::new(transform, max_cells);
-    if buf.get_u8() == 1 {
-        need(&buf, 8)?;
-        let n = buf.get_u64_le() as usize;
-        let mut pairs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let cell = get_str(&mut buf)?;
-            need(&buf, 4)?;
-            pairs.push((cell, buf.get_u32_le()));
+    match r.u8()? {
+        0 => {}
+        1 => {
+            // Each pair is at least 4 (string length) + 4 (count) bytes, so
+            // `count` bounds the allocation by the bytes actually present.
+            let n = r.count(8)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let cell = r.str_prefixed()?;
+                pairs.push((cell, r.u32_le()?));
+            }
+            textizer = textizer.with_frequencies(CellFrequencies::from_pairs(pairs));
         }
-        textizer = textizer.with_frequencies(CellFrequencies::from_pairs(pairs));
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
     }
 
-    // Vocabulary: rebuild with exact ids by feeding tokens in id order.
-    need(&buf, 8)?;
-    let vocab_len = buf.get_u64_le() as usize;
-    let mut lists: Vec<(String, u64)> = Vec::with_capacity(vocab_len.saturating_sub(1));
-    for _ in 1..vocab_len {
-        let tok = get_str(&mut buf)?;
-        need(&buf, 8)?;
-        lists.push((tok, buf.get_u64_le()));
+    // Vocabulary: rebuild with exact ids by feeding tokens in id order. The
+    // stored count includes the implicit <unk>; each entry needs at least
+    // 4 (string length) + 8 (count) bytes — validated before allocating.
+    let vocab_len = r.u64_le()? as usize;
+    let entries = vocab_len.saturating_sub(1);
+    if entries > r.remaining() / 12 {
+        return Err(r.error(DecodeErrorKind::Truncated {
+            needed: entries.saturating_mul(12),
+            available: r.remaining(),
+        }));
     }
-    let vocab = Vocabulary::from_id_order(lists);
+    let mut list: Vec<(String, u64)> = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        let tok = r.str_prefixed()?;
+        list.push((tok, r.u64_le()?));
+    }
+    let vocab = Vocabulary::from_id_order(list);
 
     // Encoder.
-    need(&buf, 8 * 3 + 3 + 8)?;
-    let vocab_size = buf.get_u64_le() as usize;
-    let out_dim = buf.get_u64_le() as usize;
-    let attn_hidden = buf.get_u64_le() as usize;
-    let pooling = match buf.get_u8() {
+    let vocab_size = r.u64_le()? as usize;
+    let out_dim = r.u64_le()? as usize;
+    let attn_hidden = r.u64_le()? as usize;
+    let pooling = match r.u8()? {
         0 => Pooling::Mean,
         1 => Pooling::Attention,
-        other => return Err(DecodeError::BadDiscriminant(other)),
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
     };
-    let use_positions = buf.get_u8() != 0;
-    let residual = buf.get_u8() != 0;
-    let seed = buf.get_u64_le();
+    let use_positions = r.u8()? != 0;
+    let residual = r.u8()? != 0;
+    let seed = r.u64_le()?;
     let ec = EncoderConfig {
         vocab_size,
         dim,
@@ -218,26 +247,12 @@ pub fn load_model(mut buf: Bytes) -> Result<DeepJoin, DecodeError> {
         residual,
         seed,
     };
-    let mut params: Vec<Vec<f32>> = Vec::with_capacity(9);
-    for _ in 0..9 {
-        params.push(get_f32s(&mut buf)?);
+    let mut params: [Vec<f32>; 9] = Default::default();
+    for p in params.iter_mut() {
+        *p = r.f32s()?;
     }
-    let encoder = ColumnEncoder::from_raw_params(
-        ec,
-        params.try_into().expect("exactly nine tensors"),
-    );
-
-    // Index.
-    need(&buf, 1)?;
-    let index = if buf.get_u8() == 1 {
-        need(&buf, 8)?;
-        let n = buf.get_u64_le() as usize;
-        need(&buf, n)?;
-        let encoded = buf.split_to(n);
-        Some(decode_hnsw(encoded)?)
-    } else {
-        None
-    };
+    let encoder = ColumnEncoder::try_from_raw_params(ec, params)
+        .map_err(|why| r.error(DecodeErrorKind::Invalid(why)))?;
 
     let config = DeepJoinConfig {
         variant,
@@ -248,20 +263,172 @@ pub fn load_model(mut buf: Bytes) -> Result<DeepJoin, DecodeError> {
         oov_buckets,
         ..DeepJoinConfig::default()
     };
-    Ok(DeepJoin {
+    Ok(CoreParts {
         config,
-        vocab,
         textizer,
+        vocab,
         encoder,
-        index,
+    })
+}
+
+/// Serialize a trained model as a v2 `DJAR` container. Set `include_index`
+/// to persist the built index alongside the encoder (larger file, instant
+/// reload of search). A degraded model saves its vectors but no graph, so
+/// it reloads degraded rather than silently losing exactness guarantees.
+pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
+    let mut core = Writer::with_capacity(1 << 16);
+    core.put_slice(CORE_MAGIC);
+    core.put_u8(CORE_VERSION);
+    put_core(&mut core, model);
+    let mut builder = ContainerBuilder::new().section(SECTION_MODEL, core.into_vec());
+    if include_index {
+        match &model.index {
+            IndexState::Hnsw(index) => {
+                let (config, dim, vectors, ..) = index.raw_parts();
+                let mut flat = FlatIndex::new(dim.max(1), config.metric);
+                flat.add_batch(vectors);
+                builder = builder
+                    .section(SECTION_VECTORS, encode_flat(&flat))
+                    .section(SECTION_GRAPH, encode_hnsw_graph(index));
+            }
+            IndexState::DegradedFlat { index, .. } => {
+                builder = builder.section(SECTION_VECTORS, encode_flat(index));
+            }
+            IndexState::None => {}
+        }
+    }
+    builder.build()
+}
+
+/// Deserialize a model saved by [`save_model`] (v2 container) or by the
+/// pre-container v1 writer (`DJM1`).
+///
+/// Corruption of the model core is fatal. Corruption of the index sections
+/// degrades instead: a damaged graph falls back to exact flat search over
+/// the intact vectors ([`IndexState::DegradedFlat`]), and damaged vectors
+/// drop the index entirely — each with an entry in
+/// [`LoadedModel::warnings`].
+pub fn load_model(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
+    if is_container(buf) {
+        load_v2(buf)
+    } else {
+        load_v1(buf)
+    }
+}
+
+fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
+    let container = Container::parse(buf)?;
+    let core_bytes = match container.section(SECTION_MODEL, "MODL") {
+        None => {
+            return Err(DecodeError::new(
+                DecodeErrorKind::Invalid("model container has no MODL section"),
+                "container",
+                0,
+            ))
+        }
+        Some(res) => res?,
+    };
+    let mut r = Reader::new(core_bytes, "MODL");
+    r.expect_magic(CORE_MAGIC)?;
+    r.expect_version(CORE_VERSION)?;
+    let core = get_core(&mut r)?;
+
+    let mut warnings = Vec::new();
+    let index = match container.section(SECTION_VECTORS, "VECS") {
+        None => IndexState::None,
+        Some(vecs) => match vecs.and_then(|b| decode_flat_in(b, "VECS")) {
+            Ok(flat) => restore_index(&container, flat, &mut warnings),
+            Err(e) => {
+                warnings.push(format!(
+                    "embedding vectors unrecoverable ({e}); \
+                     loading without an index — re-index before searching"
+                ));
+                IndexState::None
+            }
+        },
+    };
+    Ok(LoadedModel {
+        model: core.into_model(index),
+        warnings,
+    })
+}
+
+/// Rebuild the search index from intact vectors plus whatever is left of
+/// the graph section, degrading to exact flat search when the graph is
+/// missing or damaged.
+fn restore_index(
+    container: &Container<'_>,
+    flat: FlatIndex,
+    warnings: &mut Vec<String>,
+) -> IndexState {
+    let graph = match container.section(SECTION_GRAPH, "HNSW") {
+        None => {
+            return IndexState::DegradedFlat {
+                index: flat,
+                reason: "snapshot carries vectors but no graph section \
+                         (saved from a degraded model)"
+                    .into(),
+            }
+        }
+        Some(Ok(bytes)) => bytes,
+        Some(Err(e)) => {
+            warnings.push(format!(
+                "HNSW graph failed verification ({e}); falling back to exact flat search"
+            ));
+            return IndexState::DegradedFlat {
+                index: flat,
+                reason: e.to_string(),
+            };
+        }
+    };
+    let mut vectors = Vec::with_capacity(flat.len() * flat.dim());
+    for id in 0..flat.len() as u32 {
+        vectors.extend_from_slice(flat.vector(id));
+    }
+    match decode_hnsw_graph(graph, "HNSW", vectors) {
+        Ok(index) => IndexState::Hnsw(index),
+        Err(e) => {
+            warnings.push(format!(
+                "HNSW graph failed verification ({e}); falling back to exact flat search"
+            ));
+            IndexState::DegradedFlat {
+                index: flat,
+                reason: e.to_string(),
+            }
+        }
+    }
+}
+
+fn load_v1(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
+    let mut r = Reader::new(buf, "DJM1");
+    r.expect_magic(MAGIC_V1)?;
+    r.expect_version(VERSION_V1)?;
+    let core = get_core(&mut r)?;
+    // v1 has no checksums, so there is nothing to selectively trust: any
+    // index decode failure is fatal, as it was for the v1 loader.
+    let index = match r.u8()? {
+        0 => IndexState::None,
+        1 => {
+            let n = r.count(1)?;
+            let encoded = r.bytes(n)?;
+            IndexState::Hnsw(decode_hnsw_in(encoded, "DJM1")?)
+        }
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+    };
+    Ok(LoadedModel {
+        model: core.into_model(index),
+        warnings: Vec::new(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::IndexHealth;
     use crate::train::{FineTuneConfig, JoinType, TrainDataConfig};
     use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn trained() -> (DeepJoin, deepjoin_lake::Repository, Corpus) {
         let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 400, 3));
@@ -289,26 +456,85 @@ mod tests {
         (model, repo, corpus)
     }
 
+    /// A hand-assembled model small enough for exhaustive byte sweeps —
+    /// no training, tiny vocabulary, tiny encoder.
+    fn tiny_model() -> DeepJoin {
+        let config = DeepJoinConfig {
+            dim: 8,
+            oov_buckets: 4,
+            max_cells: 4,
+            max_tokens: 16,
+            ..DeepJoinConfig::default()
+        };
+        let vocab = Vocabulary::from_id_order(vec![
+            ("alpha".to_string(), 3),
+            ("beta".to_string(), 2),
+        ]);
+        let rows = vocab.len() + config.oov_buckets as usize;
+        let enc_cfg = EncoderConfig {
+            max_len: config.max_tokens,
+            ..EncoderConfig::mp_lite(rows, config.dim, 7)
+        };
+        let encoder = ColumnEncoder::new(enc_cfg);
+        let textizer = Textizer::new(config.transform, config.max_cells);
+        DeepJoin {
+            config,
+            vocab,
+            textizer,
+            encoder,
+            index: IndexState::None,
+        }
+    }
+
+    fn tiny_indexed(n: usize) -> (DeepJoin, Vec<f32>) {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(13);
+        let vectors: Vec<f32> = (0..n * 8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        model.index_embeddings(&vectors);
+        (model, vectors)
+    }
+
+    /// The legacy v1 writer, kept test-side to prove the compat read path.
+    fn save_model_v1(model: &DeepJoin, include_index: bool) -> Vec<u8> {
+        let mut out = Writer::new();
+        out.put_slice(MAGIC_V1);
+        out.put_u8(VERSION_V1);
+        put_core(&mut out, model);
+        match (&model.index, include_index) {
+            (IndexState::Hnsw(index), true) => {
+                out.put_u8(1);
+                let encoded = deepjoin_ann::io::encode_hnsw(index);
+                out.put_u64_le(encoded.len() as u64);
+                out.put_slice(&encoded);
+            }
+            _ => out.put_u8(0),
+        }
+        out.into_vec()
+    }
+
     #[test]
     fn roundtrip_preserves_embeddings_and_search() {
         let (model, _repo, corpus) = trained();
         let bytes = save_model(&model, true);
-        let loaded = load_model(bytes).unwrap();
+        let loaded = load_model(&bytes).unwrap();
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(loaded.model.index_health(), IndexHealth::Hnsw);
 
         let (q, _) = corpus.sample_queries(1, 8).pop().unwrap();
-        assert_eq!(model.embed_column(&q), loaded.embed_column(&q));
+        assert_eq!(model.embed_column(&q), loaded.model.embed_column(&q));
         let a: Vec<u32> = model.search(&q, 10).iter().map(|s| s.id.0).collect();
-        let b: Vec<u32> = loaded.search(&q, 10).iter().map(|s| s.id.0).collect();
+        let b: Vec<u32> = loaded.model.search(&q, 10).iter().map(|s| s.id.0).collect();
         assert_eq!(a, b);
-        assert_eq!(loaded.indexed_len(), model.indexed_len());
+        assert_eq!(loaded.model.indexed_len(), model.indexed_len());
     }
 
     #[test]
     fn roundtrip_without_index_can_reindex() {
         let (model, repo, corpus) = trained();
         let bytes = save_model(&model, false);
-        let mut loaded = load_model(bytes).unwrap();
+        let mut loaded = load_model(&bytes).unwrap().into_model();
         assert_eq!(loaded.indexed_len(), 0);
+        assert_eq!(loaded.index_health(), IndexHealth::Missing);
         loaded.index_repository(&repo);
         let (q, _) = corpus.sample_queries(1, 9).pop().unwrap();
         let a: Vec<u32> = model.search(&q, 5).iter().map(|s| s.id.0).collect();
@@ -317,17 +543,144 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshot_still_loads() {
+        let (model, _) = tiny_indexed(30);
+        let bytes = save_model_v1(&model, true);
+        let loaded = load_model(&bytes).unwrap();
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(loaded.model.index_health(), IndexHealth::Hnsw);
+        assert_eq!(loaded.model.indexed_len(), 30);
+        let mut rng = StdRng::seed_from_u64(99);
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a: Vec<u32> = model.search_embedded(&q, 5).iter().map(|s| s.id.0).collect();
+        let b: Vec<u32> = loaded
+            .model
+            .search_embedded(&q, 5)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_corruption_degrades_to_exact_flat_search() {
+        let (model, vectors) = tiny_indexed(40);
+        let bytes = save_model(&model, true);
+
+        // The HNSW graph section is written last; flipping the final byte
+        // damages only it.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+
+        let loaded = load_model(&bad).unwrap();
+        assert_eq!(loaded.warnings.len(), 1, "degradation must be reported");
+        assert!(loaded.warnings[0].contains("falling back to exact flat search"));
+        assert!(matches!(
+            loaded.model.index_health(),
+            IndexHealth::DegradedFlat { .. }
+        ));
+        assert_eq!(loaded.model.indexed_len(), 40);
+
+        // Degraded search is exact: it must agree with a brute-force scan
+        // of the stored vectors.
+        let mut rng = StdRng::seed_from_u64(5);
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let got: Vec<u32> = loaded
+            .model
+            .search_embedded(&q, 5)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        let mut scored: Vec<(f32, u32)> = vectors
+            .chunks(8)
+            .enumerate()
+            .map(|(i, v)| {
+                let d = v.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+                (d, i as u32)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<u32> = scored.iter().take(5).map(|&(_, i)| i).collect();
+        assert_eq!(got, expected);
+
+        // A degraded model re-saves without a graph and reloads degraded —
+        // degradation is sticky, not silently forgotten.
+        let resaved = save_model(&loaded.model, true);
+        let reloaded = load_model(&resaved).unwrap();
+        assert!(matches!(
+            reloaded.model.index_health(),
+            IndexHealth::DegradedFlat { .. }
+        ));
+        let again: Vec<u32> = reloaded
+            .model
+            .search_embedded(&q, 5)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        assert_eq!(again, expected);
+    }
+
+    #[test]
+    fn vector_corruption_loads_without_index() {
+        let (model, _) = tiny_indexed(20);
+        let bytes = save_model(&model, true);
+
+        // Locate the VECS payload by re-encoding it and searching.
+        let IndexState::Hnsw(index) = &model.index else {
+            unreachable!()
+        };
+        let (config, dim, vectors, ..) = index.raw_parts();
+        let mut flat = FlatIndex::new(dim, config.metric);
+        flat.add_batch(vectors);
+        let payload = encode_flat(&flat);
+        let pos = bytes
+            .windows(payload.len())
+            .position(|w| w == payload.as_slice())
+            .expect("VECS payload present in container");
+
+        let mut bad = bytes.clone();
+        bad[pos + payload.len() / 2] ^= 0x10;
+        let loaded = load_model(&bad).unwrap();
+        assert_eq!(loaded.model.index_health(), IndexHealth::Missing);
+        assert_eq!(loaded.model.indexed_len(), 0);
+        assert_eq!(loaded.warnings.len(), 1);
+        assert!(loaded.warnings[0].contains("re-index before searching"));
+    }
+
+    #[test]
     fn corrupted_model_is_rejected() {
-        let (model, _, _) = trained();
+        let (model, _) = tiny_indexed(10);
         let bytes = save_model(&model, false);
-        let mut bad = bytes.to_vec();
+        let mut bad = bytes.clone();
         bad[0] = b'X';
-        match load_model(Bytes::from(bad)) {
-            Err(e) => assert_eq!(e, DecodeError::BadMagic),
-            Ok(_) => panic!("corrupted magic must be rejected"),
+        // Neither a container nor a v1 file.
+        let err = load_model(&bad).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::BadMagic);
+        assert!(load_model(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_never_panic() {
+        let (model, _) = tiny_indexed(15);
+        for bytes in [save_model(&model, true), save_model_v1(&model, true)] {
+            // Every strict prefix must fail cleanly.
+            for cut in 0..bytes.len() {
+                assert!(load_model(&bytes[..cut]).is_err());
+            }
+            // Every single-byte flip must load degraded, load clean, or
+            // error — never panic; whatever loads must serve searches.
+            let q = [0.25f32; 8];
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x80;
+                if let Ok(loaded) = load_model(&bad) {
+                    if loaded.model.index_health() != IndexHealth::Missing {
+                        let _ = loaded.model.search_embedded(&q, 3);
+                    }
+                }
+            }
         }
-        let truncated = bytes.slice(0..bytes.len() / 2);
-        assert!(load_model(truncated).is_err());
     }
 
     #[test]

@@ -122,7 +122,7 @@ fn equi_self_join(repo: &Repository, threshold: f64) -> Vec<(ColumnId, ColumnId,
             }
         }
     }
-    out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    out.sort_by_key(|a| (a.0, a.1));
     out
 }
 
@@ -144,7 +144,7 @@ fn semantic_self_join(
             }
         }
     }
-    out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    out.sort_by_key(|a| (a.0, a.1));
     out
 }
 

@@ -30,11 +30,7 @@ pub struct ColumnVectors {
 impl ColumnVectors {
     /// Number of vectors.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// True when there are no vectors.

@@ -192,8 +192,10 @@ mod tests {
 
     #[test]
     fn permuted_reorders_cells_only() {
-        let mut meta = ColumnMeta::default();
-        meta.column_name = "city".into();
+        let meta = ColumnMeta {
+            column_name: "city".into(),
+            ..ColumnMeta::default()
+        };
         let c = Column::new(vec!["a".into(), "b".into(), "c".into()], meta.clone());
         let p = c.permuted(&[2, 0, 1]);
         assert_eq!(p.cells, vec!["c", "a", "b"]);

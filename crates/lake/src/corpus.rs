@@ -493,7 +493,7 @@ impl Corpus {
     /// 𝒳 to avoid data leak, §5.1).
     pub fn sample_queries(&self, n: usize, seed: u64) -> Vec<(Column, ColumnProvenance)> {
         let generator = Generator::new(&self.config, &self.catalog);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x51EE_D5);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0051_EED5);
         let domain_pick = Zipf::new(self.catalog.len(), 0.5);
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
@@ -516,7 +516,7 @@ impl Corpus {
         seed: u64,
     ) -> Vec<(Column, ColumnProvenance)> {
         let generator = Generator::new(&self.config, &self.catalog);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x517E_D);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0005_17ED);
         let domain_pick = Zipf::new(self.catalog.len(), 0.5);
         let mut out = Vec::with_capacity(n);
         let mut attempts = 0usize;

@@ -25,6 +25,7 @@ pub mod csv;
 pub mod dictionary;
 pub mod fxhash;
 pub mod joinability;
+pub mod lakefile;
 pub mod multiset;
 pub mod noise;
 pub mod oracle;

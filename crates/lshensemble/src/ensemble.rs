@@ -81,7 +81,7 @@ pub struct LshEnsembleIndex {
 fn banding_shapes(num_perm: usize) -> Vec<(usize, usize)> {
     [1usize, 2, 4, 8, 16, 32]
         .iter()
-        .filter(|&&r| num_perm % r == 0 && num_perm / r >= 4)
+        .filter(|&&r| num_perm.is_multiple_of(r) && num_perm / r >= 4)
         .map(|&r| (num_perm / r, r))
         .collect()
 }
@@ -294,7 +294,15 @@ mod tests {
 
     #[test]
     fn finds_high_containment_targets() {
-        let idx = LshEnsembleIndex::build(&repo(), LshEnsembleConfig::default());
+        // Column 4 (superset, containment 1.0) has true Jaccard only 0.1
+        // with the query, so its containment estimate rides on a small
+        // agreeing-component count; a longer signature keeps the estimator
+        // noise well inside the gap this test asserts on.
+        let config = LshEnsembleConfig {
+            num_perm: 512,
+            ..LshEnsembleConfig::default()
+        };
+        let idx = LshEnsembleIndex::build(&repo(), config);
         let q = col_range(0, 50);
         let top = idx.search(&q, 2);
         assert_eq!(top.len(), 2);

@@ -197,7 +197,7 @@ mod tests {
         pool.add_retrieved(&[3u32, 4, 5]); // method B
         assert_eq!(pool.pool_size(), 5);
         // Relevant items: even ids {2, 4}.
-        let judge = |x: u32| x % 2 == 0;
+        let judge = |x: u32| x.is_multiple_of(2);
         let a = pool.score(&[1, 2, 3], judge);
         assert!((a.precision - 1.0 / 3.0).abs() < 1e-12);
         assert!((a.recall - 0.5).abs() < 1e-12);

@@ -55,10 +55,11 @@ pub struct EncoderConfig {
     pub pooling: Pooling,
     /// Whether to add learned positional embeddings (MPLite).
     pub use_positions: bool,
-    /// Residual connection around the projection head (`out = head(pooled)
-    /// + pooled`; requires `out_dim == dim`). Keeps the fine-tuned output a
-    /// *refinement* of the pre-trained pooled representation, as transformer
-    /// fine-tuning does, instead of replacing it.
+    /// Residual connection around the projection head
+    /// (`out = head(pooled) + pooled`; requires `out_dim == dim`). Keeps
+    /// the fine-tuned output a *refinement* of the pre-trained pooled
+    /// representation, as transformer fine-tuning does, instead of
+    /// replacing it.
     pub residual: bool,
     /// Init seed for all parameter tensors.
     pub seed: u64,
@@ -169,7 +170,7 @@ impl ColumnEncoder {
     /// must be row-aligned to `dim` and no larger than the table.
     pub fn load_pretrained_embeddings(&mut self, table: &[f32]) {
         assert!(
-            table.len() % self.config.dim == 0
+            table.len().is_multiple_of(self.config.dim)
                 && table.len() <= self.config.vocab_size * self.config.dim,
             "pretrained table shape mismatch"
         );
@@ -351,19 +352,40 @@ impl ColumnEncoder {
     /// Rebuild an encoder from a config and the parameter tensors produced
     /// by [`Self::raw_params`]. Panics if any tensor has the wrong length
     /// for the config.
-    #[allow(clippy::too_many_arguments)]
     pub fn from_raw_params(config: EncoderConfig, params: [Vec<f32>; 9]) -> Self {
+        Self::try_from_raw_params(config, params).expect("tensor shapes match the config")
+    }
+
+    /// Like [`Self::from_raw_params`] but rejects a config/tensor mismatch
+    /// instead of panicking — the entry point for decoding untrusted
+    /// snapshot bytes. Shape arithmetic is checked *before* any allocation,
+    /// so a corrupt config cannot trigger an oversized allocation or an
+    /// assert deeper in construction.
+    pub fn try_from_raw_params(
+        config: EncoderConfig,
+        params: [Vec<f32>; 9],
+    ) -> Result<Self, &'static str> {
+        if config.residual && config.out_dim != config.dim {
+            return Err("residual head requires out_dim == dim");
+        }
+        let shapes: [(usize, usize); 9] = [
+            (config.vocab_size, config.dim),
+            (config.max_len, config.dim),
+            (config.dim, config.attn_hidden),
+            (config.attn_hidden, 1),
+            (config.attn_hidden, 1),
+            (config.dim, config.dim),
+            (config.dim, 1),
+            (config.dim, config.out_dim),
+            (config.out_dim, 1),
+        ];
+        for (tensor, (rows, cols)) in params.iter().zip(shapes) {
+            if rows.checked_mul(cols) != Some(tensor.len()) {
+                return Err("parameter tensor length does not match the encoder config");
+            }
+        }
         let [embedding, positions, attn_w, attn_b, attn_v, h1_w, h1_b, h2_w, h2_b] = params;
         let mut enc = Self::new(config);
-        assert_eq!(embedding.len(), enc.embedding.data.len(), "embedding shape");
-        assert_eq!(positions.len(), enc.positions.data.len(), "positions shape");
-        assert_eq!(attn_w.len(), enc.attn_w.data.len(), "attn_w shape");
-        assert_eq!(attn_b.len(), enc.attn_b.len(), "attn_b shape");
-        assert_eq!(attn_v.len(), enc.attn_v.len(), "attn_v shape");
-        assert_eq!(h1_w.len(), enc.h1.w.data.len(), "h1_w shape");
-        assert_eq!(h1_b.len(), enc.h1.b.len(), "h1_b shape");
-        assert_eq!(h2_w.len(), enc.h2.w.data.len(), "h2_w shape");
-        assert_eq!(h2_b.len(), enc.h2.b.len(), "h2_b shape");
         enc.embedding.data = embedding;
         enc.positions.data = positions;
         enc.attn_w.data = attn_w;
@@ -373,7 +395,7 @@ impl ColumnEncoder {
         enc.h1.b = h1_b;
         enc.h2.w.data = h2_w;
         enc.h2.b = h2_b;
-        enc
+        Ok(enc)
     }
 
     /// Clear every accumulated gradient (dense and sparse).
@@ -607,7 +629,7 @@ mod tests {
         for (pool, pos) in [(Pooling::Mean, false), (Pooling::Attention, true)] {
             let mut e = tiny(pool, pos);
             let seq = vec![3u32, 7, 1, 2];
-            let batch = e.encode_batch(&[seq.clone()]);
+            let batch = e.encode_batch(std::slice::from_ref(&seq));
             let single = e.encode(&seq);
             for (a, b) in batch.row(0).iter().zip(&single) {
                 assert!((a - b).abs() < 1e-5, "batch {a} vs single {b}");

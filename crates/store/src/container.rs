@@ -1,0 +1,266 @@
+//! The framed artifact container (`DJAR`): named sections, each with
+//! byte-length framing and a CRC-32 over its payload.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "DJAR" | version u8 | section_count u32 | directory_crc32 u32
+//! then per section:
+//!   name [u8;4] | payload_len u64 | crc32 u32 | payload bytes
+//! ```
+//!
+//! `directory_crc32` covers the concatenated `(name, payload_len)` frame
+//! headers. Without it, a single flipped bit in a section *name* would make
+//! that section silently vanish — a loader could then mistake "the index
+//! section is damaged" for "this artifact was saved without an index" and
+//! degrade without ever reporting it. The per-section payload CRCs are
+//! deliberately *not* covered: a damaged checksum field is equivalent to a
+//! damaged payload and should degrade only its own section.
+//!
+//! Parsing is two-phase by design. [`Container::parse`] validates the
+//! *framing* only — magic, version, directory integrity, and that every
+//! declared frame fits in the file — so a torn write or truncation surfaces
+//! as a structural [`DecodeError`] naming the section it cut into. Payload
+//! *integrity* is checked per section by [`Container::section`], which lets
+//! a loader treat a corrupt optional section (a damaged index) differently
+//! from a corrupt mandatory one (the model weights): graceful degradation
+//! instead of all-or-nothing loading.
+
+use crate::codec::{DecodeError, DecodeErrorKind, Reader, Writer};
+use crate::crc32::crc32;
+
+/// Container magic bytes.
+pub const CONTAINER_MAGIC: &[u8; 4] = b"DJAR";
+/// Current container format version.
+pub const CONTAINER_VERSION: u8 = 1;
+
+/// Fixed per-section frame overhead: name + length + checksum.
+const FRAME_HEADER: usize = 4 + 8 + 4;
+
+/// True when `bytes` look like a framed container (magic sniff only).
+pub fn is_container(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[..4] == CONTAINER_MAGIC
+}
+
+/// Builds a container by appending named sections.
+#[derive(Debug, Default)]
+pub struct ContainerBuilder {
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl ContainerBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a section. Names are 4 ASCII bytes by convention (`b"MODL"`);
+    /// duplicate names are allowed but only the first is addressable.
+    pub fn section(mut self, name: [u8; 4], payload: Vec<u8>) -> Self {
+        self.sections.push((name, payload));
+        self
+    }
+
+    /// Serialize the container.
+    pub fn build(self) -> Vec<u8> {
+        let total: usize = self
+            .sections
+            .iter()
+            .map(|(_, p)| FRAME_HEADER + p.len())
+            .sum();
+        let mut w = Writer::with_capacity(4 + 1 + 4 + 4 + total);
+        w.put_slice(CONTAINER_MAGIC);
+        w.put_u8(CONTAINER_VERSION);
+        w.put_u32_le(self.sections.len() as u32);
+        w.put_u32_le(crc32(&directory_bytes(
+            self.sections.iter().map(|(n, p)| (*n, p.len())),
+        )));
+        for (name, payload) in &self.sections {
+            w.put_slice(name);
+            w.put_u64_le(payload.len() as u64);
+            w.put_u32_le(crc32(payload));
+            w.put_slice(payload);
+        }
+        w.into_vec()
+    }
+}
+
+/// The byte string the directory CRC covers: every frame's name and
+/// payload length, in file order.
+fn directory_bytes(frames: impl Iterator<Item = ([u8; 4], usize)>) -> Vec<u8> {
+    let mut dir = Vec::new();
+    for (name, len) in frames {
+        dir.extend_from_slice(&name);
+        dir.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+    dir
+}
+
+/// One parsed (but not yet integrity-checked) section frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    name: [u8; 4],
+    /// Payload position within the container bytes.
+    start: usize,
+    len: usize,
+    stored_crc: u32,
+}
+
+/// A parsed container over borrowed bytes.
+#[derive(Debug)]
+pub struct Container<'a> {
+    bytes: &'a [u8],
+    frames: Vec<Frame>,
+}
+
+impl<'a> Container<'a> {
+    /// Parse the framing. Fails (with section/offset context) if the magic,
+    /// version, or any frame header is damaged, or if a frame claims more
+    /// bytes than the file holds — the signature of a torn write.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes, "container");
+        r.expect_magic(CONTAINER_MAGIC)?;
+        r.expect_version(CONTAINER_VERSION)?;
+        let n = r.count_u32(FRAME_HEADER)?;
+        let stored_dir_crc = r.u32_le()?;
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name: [u8; 4] = r.bytes(4)?.try_into().unwrap();
+            let len = r.count(1)?;
+            let stored_crc = r.u32_le()?;
+            let start = r.offset();
+            r.bytes(len)?;
+            frames.push(Frame {
+                name,
+                start,
+                len,
+                stored_crc,
+            });
+        }
+        let computed = crc32(&directory_bytes(
+            frames.iter().map(|f| (f.name, f.len)),
+        ));
+        if computed != stored_dir_crc {
+            return Err(DecodeError::new(
+                DecodeErrorKind::ChecksumMismatch {
+                    stored: stored_dir_crc,
+                    computed,
+                },
+                "container",
+                5,
+            ));
+        }
+        Ok(Self { bytes, frames })
+    }
+
+    /// Names of all sections, in file order.
+    pub fn section_names(&self) -> Vec<[u8; 4]> {
+        self.frames.iter().map(|f| f.name).collect()
+    }
+
+    /// Whether a section named `name` exists (regardless of integrity).
+    pub fn has_section(&self, name: [u8; 4]) -> bool {
+        self.frames.iter().any(|f| f.name == name)
+    }
+
+    /// Fetch a section's payload, verifying its checksum.
+    ///
+    /// * `None` — no such section.
+    /// * `Some(Err(_))` — present but its payload fails the CRC; the error
+    ///   carries the section name and `ChecksumMismatch` detail.
+    /// * `Some(Ok(payload))` — intact.
+    pub fn section(&self, name: [u8; 4], label: &'static str) -> Option<Result<&'a [u8], DecodeError>> {
+        let f = self.frames.iter().find(|f| f.name == name)?;
+        let payload = &self.bytes[f.start..f.start + f.len];
+        let computed = crc32(payload);
+        if computed != f.stored_crc {
+            return Some(Err(DecodeError::new(
+                DecodeErrorKind::ChecksumMismatch {
+                    stored: f.stored_crc,
+                    computed,
+                },
+                label,
+                0,
+            )));
+        }
+        Some(Ok(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        ContainerBuilder::new()
+            .section(*b"MODL", vec![1, 2, 3, 4, 5])
+            .section(*b"HNSW", vec![9; 100])
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_sections() {
+        let bytes = sample();
+        assert!(is_container(&bytes));
+        let c = Container::parse(&bytes).unwrap();
+        assert_eq!(c.section_names(), vec![*b"MODL", *b"HNSW"]);
+        assert_eq!(c.section(*b"MODL", "MODL").unwrap().unwrap(), &[1, 2, 3, 4, 5]);
+        assert_eq!(c.section(*b"HNSW", "HNSW").unwrap().unwrap(), &[9u8; 100][..]);
+        assert!(c.section(*b"VECS", "VECS").is_none());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_never_panics() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let res = Container::parse(&bytes[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes must not parse");
+        }
+        assert!(Container::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_a_checksum_mismatch() {
+        let mut bytes = sample();
+        let last = bytes.len() - 1; // inside the HNSW payload
+        bytes[last] ^= 0x40;
+        let c = Container::parse(&bytes).unwrap();
+        // MODL untouched, HNSW corrupt.
+        assert!(c.section(*b"MODL", "MODL").unwrap().is_ok());
+        let err = c.section(*b"HNSW", "HNSW").unwrap().unwrap_err();
+        assert!(err.is_checksum_mismatch());
+        assert_eq!(err.section, "HNSW");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_structural_corruption() {
+        let mut bytes = sample();
+        // First frame's length field: magic + ver + count + dir crc + name.
+        let len_at = 4 + 1 + 4 + 4 + 4;
+        bytes[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = Container::parse(&bytes).unwrap_err();
+        assert!(matches!(err.kind, DecodeErrorKind::Truncated { .. }));
+        assert_eq!(err.section, "container");
+    }
+
+    #[test]
+    fn bit_flip_in_a_section_name_fails_the_directory_check() {
+        let mut bytes = sample();
+        // First frame's name: magic + ver + count + dir crc.
+        let name_at = 4 + 1 + 4 + 4;
+        assert_eq!(&bytes[name_at..name_at + 4], b"MODL");
+        bytes[name_at] ^= 0x01;
+        // Without the directory CRC this would parse fine and `MODL` would
+        // just be "absent" — indistinguishable from a legitimate save.
+        let err = Container::parse(&bytes).unwrap_err();
+        assert!(err.is_checksum_mismatch());
+        assert_eq!(err.section, "container");
+    }
+
+    #[test]
+    fn empty_container_is_valid() {
+        let bytes = ContainerBuilder::new().build();
+        let c = Container::parse(&bytes).unwrap();
+        assert!(c.section_names().is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Fault injection for the artifact layer.
+//!
+//! [`MemIo`] is an in-memory [`ArtifactIo`] and [`FaultyIo`] wraps any
+//! implementation to inject the storage failure modes that matter for
+//! snapshot durability:
+//!
+//! * **torn write** — a crash mid-write persists only a prefix;
+//! * **read truncation** — the artifact comes back shorter than written
+//!   (partial copy, truncated download);
+//! * **bit flip** — silent storage decay flips bits in place;
+//! * **ENOSPC** — the device fills up mid-write.
+//!
+//! The injectors are ordinary code (not `cfg(test)`), so downstream crates'
+//! tests — and their integration suites — can drive the real load paths
+//! through them. The invariant every consumer test asserts: an injected
+//! fault yields a structured error or a degraded-but-serving artifact,
+//! never a panic and never silently wrong data.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::io::ArtifactIo;
+
+/// In-memory artifact storage for tests.
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemIo {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ArtifactIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .unwrap()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such artifact"))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().unwrap().contains_key(path)
+    }
+}
+
+/// A storage fault to inject on the next matching operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The next write persists only the first `keep` bytes (simulated crash
+    /// between write and rename on a non-atomic store).
+    TornWrite {
+        /// Bytes that make it to storage.
+        keep: usize,
+    },
+    /// The next read returns only the first `at` bytes.
+    TruncateRead {
+        /// Length of the returned prefix.
+        at: usize,
+    },
+    /// The next read flips one bit in place.
+    BitFlip {
+        /// Byte offset of the flip (clamped to the artifact length).
+        offset: usize,
+        /// Bit index within the byte, `0..8`.
+        bit: u8,
+    },
+    /// The next write fails with `ENOSPC` after persisting nothing.
+    Enospc,
+    /// The next read fails with an I/O error.
+    ReadError,
+}
+
+/// Wraps an [`ArtifactIo`], injecting queued faults front-to-back: each
+/// read consumes the next read-class fault, each write the next
+/// write-class fault. With an empty queue it is transparent.
+pub struct FaultyIo<I> {
+    inner: I,
+    queue: Mutex<Vec<Fault>>,
+}
+
+impl<I: ArtifactIo> FaultyIo<I> {
+    /// Wrap `inner` with an empty fault queue.
+    pub fn new(inner: I) -> Self {
+        Self {
+            inner,
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queue `fault` for the next matching operation.
+    pub fn inject(&self, fault: Fault) {
+        self.queue.lock().unwrap().push(fault);
+    }
+
+    /// Access the wrapped implementation (e.g. to inspect ground truth).
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    fn pop_matching(&self, read_side: bool) -> Option<Fault> {
+        let mut q = self.queue.lock().unwrap();
+        let idx = q.iter().position(|f| {
+            matches!(
+                (read_side, f),
+                (true, Fault::TruncateRead { .. } | Fault::BitFlip { .. } | Fault::ReadError)
+                    | (false, Fault::TornWrite { .. } | Fault::Enospc)
+            )
+        })?;
+        Some(q.remove(idx))
+    }
+}
+
+impl<I: ArtifactIo> ArtifactIo for FaultyIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read(path)?;
+        match self.pop_matching(true) {
+            Some(Fault::TruncateRead { at }) => {
+                bytes.truncate(at);
+                Ok(bytes)
+            }
+            Some(Fault::BitFlip { offset, bit }) => {
+                if !bytes.is_empty() {
+                    let i = offset.min(bytes.len() - 1);
+                    bytes[i] ^= 1 << (bit % 8);
+                }
+                Ok(bytes)
+            }
+            Some(Fault::ReadError) => Err(io::Error::other("injected read failure")),
+            _ => Ok(bytes),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.pop_matching(false) {
+            Some(Fault::TornWrite { keep }) => {
+                // A torn write bypasses the atomic protocol by definition:
+                // it models a store (or a crash window) without it.
+                let cut = keep.min(bytes.len());
+                self.inner.write_atomic(path, &bytes[..cut])
+            }
+            Some(Fault::Enospc) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            )),
+            _ => self.inner.write_atomic(path, bytes),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{Container, ContainerBuilder};
+
+    fn path() -> PathBuf {
+        PathBuf::from("mem://artifact")
+    }
+
+    fn io_with(content: &[u8]) -> FaultyIo<MemIo> {
+        let io = FaultyIo::new(MemIo::new());
+        io.write_atomic(&path(), content).unwrap();
+        io
+    }
+
+    #[test]
+    fn transparent_without_faults() {
+        let io = io_with(b"abc");
+        assert_eq!(io.read(&path()).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix() {
+        let io = io_with(b"old");
+        io.inject(Fault::TornWrite { keep: 4 });
+        io.write_atomic(&path(), b"new-content").unwrap();
+        assert_eq!(io.read(&path()).unwrap(), b"new-");
+    }
+
+    #[test]
+    fn enospc_fails_write_and_preserves_old_content() {
+        let io = io_with(b"old");
+        io.inject(Fault::Enospc);
+        let err = io.write_atomic(&path(), b"new").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(io.read(&path()).unwrap(), b"old");
+    }
+
+    #[test]
+    fn bit_flip_and_truncation_are_detected_by_the_container() {
+        let artifact = ContainerBuilder::new()
+            .section(*b"DATA", (0u8..200).collect())
+            .build();
+
+        let io = io_with(&artifact);
+        io.inject(Fault::BitFlip { offset: artifact.len() - 5, bit: 3 });
+        let flipped = io.read(&path()).unwrap();
+        let c = Container::parse(&flipped).unwrap();
+        assert!(c.section(*b"DATA", "DATA").unwrap().is_err());
+
+        io.inject(Fault::TruncateRead { at: artifact.len() / 2 });
+        let cut = io.read(&path()).unwrap();
+        assert!(Container::parse(&cut).is_err());
+    }
+
+    #[test]
+    fn faults_queue_in_order() {
+        let io = io_with(b"0123456789");
+        io.inject(Fault::TruncateRead { at: 2 });
+        io.inject(Fault::ReadError);
+        assert_eq!(io.read(&path()).unwrap(), b"01");
+        assert!(io.read(&path()).is_err());
+        assert_eq!(io.read(&path()).unwrap(), b"0123456789");
+    }
+}

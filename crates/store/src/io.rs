@@ -1,0 +1,132 @@
+//! Artifact I/O: the trait the stack reads and writes snapshots through,
+//! and its crash-safe filesystem implementation.
+//!
+//! [`StdIo::write_atomic`] follows the classic durable-rename protocol:
+//! write to a unique temp file in the destination directory, `fsync` it,
+//! then `rename` over the target (atomic on POSIX), then best-effort
+//! `fsync` the directory. A crash mid-write leaves either the old file or
+//! the new file — never a torn mix — which is what makes the checksummed
+//! container's job tractable: it only has to *detect* damage from storage
+//! decay or non-atomic copies, not from our own write path.
+//!
+//! The trait exists so tests can substitute [`crate::faults::FaultyIo`] and
+//! prove the load paths survive torn writes, truncations, bit flips, and
+//! ENOSPC without panicking.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Byte-level artifact storage.
+pub trait ArtifactIo {
+    /// Read the whole artifact at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Durably replace the artifact at `path` with `bytes`: after a
+    /// successful return the new content survives a crash, and a failure
+    /// leaves any previous artifact intact.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Whether an artifact exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// Real-filesystem implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdIo;
+
+impl StdIo {
+    fn temp_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        // Unique-ish suffix: pid guards against concurrent writers on the
+        // same host; the final rename makes collisions harmless anyway.
+        name.push(format!(".tmp.{}", std::process::id()));
+        path.with_file_name(name)
+    }
+}
+
+impl ArtifactIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+
+        let tmp = Self::temp_path(path);
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            // Leave no temp litter behind a failed write.
+            let _ = std::fs::remove_file(&tmp);
+            return result;
+        }
+        // Durability of the rename itself: fsync the parent directory.
+        // Best-effort — some filesystems refuse to open directories.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("djstore-io-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let dir = tmpdir("rt");
+        let path = dir.join("a.bin");
+        StdIo.write_atomic(&path, b"hello artifact").unwrap();
+        assert!(StdIo.exists(&path));
+        assert_eq!(StdIo.read(&path).unwrap(), b"hello artifact");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_and_leaves_no_temp_files() {
+        let dir = tmpdir("ow");
+        let path = dir.join("a.bin");
+        StdIo.write_atomic(&path, b"v1").unwrap();
+        StdIo.write_atomic(&path, b"v2-longer-content").unwrap();
+        assert_eq!(StdIo.read(&path).unwrap(), b"v2-longer-content");
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_preserves_previous_artifact() {
+        let dir = tmpdir("fail");
+        let path = dir.join("a.bin");
+        StdIo.write_atomic(&path, b"original").unwrap();
+        // Writing into a directory path fails (create of temp succeeds, the
+        // rename target is a directory) — simulate by using a path whose
+        // parent does not exist instead, which fails at create.
+        let bad = dir.join("missing-subdir").join("b.bin");
+        assert!(StdIo.write_atomic(&bad, b"x").is_err());
+        assert_eq!(StdIo.read(&path).unwrap(), b"original");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

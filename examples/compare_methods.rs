@@ -81,7 +81,7 @@ fn main() {
         .map(|(q, _)| josie.search(q, K).iter().map(|s| s.id.0).collect())
         .collect();
 
-    let mut report = |name: &str, f: &dyn Fn(&deepjoin_lake::Column) -> Vec<u32>| {
+    let report = |name: &str, f: &dyn Fn(&deepjoin_lake::Column) -> Vec<u32>| {
         let mut precs = Vec::new();
         let start = Instant::now();
         for ((q, _), ex) in queries.iter().zip(&exact) {

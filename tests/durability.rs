@@ -1,0 +1,173 @@
+//! End-to-end durability tests: a real trained-model snapshot driven
+//! through the fault-injection harness (`deepjoin_store::faults`).
+//!
+//! The invariant under test, for every fault class: the loader either
+//! recovers (possibly degraded, with a warning) or rejects the artifact
+//! with a structured [`deepjoin_ann::io::DecodeError`] — it never panics
+//! and never serves silently wrong data.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, IndexHealth, Variant};
+use deepjoin::persist::{load_model, save_model};
+use deepjoin::train::{FineTuneConfig, JoinType, TrainDataConfig};
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_store::{ArtifactIo, Fault, FaultyIo, MemIo, StdIo};
+
+/// One small trained + indexed model, shared across tests (training
+/// dominates the cost; the fault sweeps are cheap).
+fn snapshot() -> &'static [u8] {
+    static SNAPSHOT: OnceLock<Vec<u8>> = OnceLock::new();
+    SNAPSHOT.get_or_init(|| {
+        let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 60, 5));
+        let (repo, _) = corpus.to_repository();
+        let cfg = DeepJoinConfig {
+            variant: Variant::MpLite,
+            dim: 8,
+            oov_buckets: 16,
+            sgns: deepjoin_embed::SgnsConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+            fine_tune: FineTuneConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            data: TrainDataConfig {
+                max_pairs: 200,
+                ..Default::default()
+            },
+            ..DeepJoinConfig::default()
+        };
+        let (mut model, _) = DeepJoin::train(&repo, JoinType::Equi, cfg);
+        model.index_repository(&repo);
+        save_model(&model, true)
+    })
+}
+
+fn mem_path() -> PathBuf {
+    PathBuf::from("mem://model.dj")
+}
+
+#[test]
+fn fault_free_roundtrip_through_the_io_layer() {
+    let bytes = snapshot();
+    let io = FaultyIo::new(MemIo::new());
+    io.write_atomic(&mem_path(), bytes).unwrap();
+    let loaded = load_model(&io.read(&mem_path()).unwrap()).unwrap();
+    assert!(loaded.warnings.is_empty());
+    assert_eq!(loaded.model.index_health(), IndexHealth::Hnsw);
+    assert!(loaded.model.indexed_len() > 0);
+}
+
+#[test]
+fn torn_write_at_every_byte_boundary_is_rejected() {
+    let bytes = snapshot();
+    let io = FaultyIo::new(MemIo::new());
+    for keep in 0..bytes.len() {
+        io.inject(Fault::TornWrite { keep });
+        io.write_atomic(&mem_path(), bytes).unwrap();
+        let torn = io.read(&mem_path()).unwrap();
+        assert_eq!(torn.len(), keep);
+        assert!(
+            load_model(&torn).is_err(),
+            "torn prefix of {keep} bytes must be rejected"
+        );
+    }
+}
+
+#[test]
+fn truncated_read_at_every_byte_boundary_is_rejected() {
+    let bytes = snapshot();
+    let io = FaultyIo::new(MemIo::new());
+    io.write_atomic(&mem_path(), bytes).unwrap();
+    for at in 0..bytes.len() {
+        io.inject(Fault::TruncateRead { at });
+        let cut = io.read(&mem_path()).unwrap();
+        assert!(
+            load_model(&cut).is_err(),
+            "truncated read of {at} bytes must be rejected"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_degrade_or_reject_but_never_panic() {
+    let bytes = snapshot();
+    let io = FaultyIo::new(MemIo::new());
+    io.write_atomic(&mem_path(), bytes).unwrap();
+    let q = [0.1f32; 8];
+    // Stride by a prime so every region of the file (header, MODL, VECS,
+    // HNSW) gets hit across differing byte/bit positions.
+    for offset in (0..bytes.len()).step_by(23) {
+        io.inject(Fault::BitFlip {
+            offset,
+            bit: (offset % 8) as u8,
+        });
+        let damaged = io.read(&mem_path()).unwrap();
+        match load_model(&damaged) {
+            Err(_) => {} // structured rejection is fine
+            Ok(loaded) => match loaded.model.index_health() {
+                IndexHealth::Hnsw => {
+                    // Flip landed in dead space (e.g. a tolerated header
+                    // bit); the model must still serve.
+                    let _ = loaded.model.search_embedded(&q, 3);
+                }
+                IndexHealth::DegradedFlat { .. } => {
+                    assert!(
+                        !loaded.warnings.is_empty(),
+                        "degradation at offset {offset} must be reported"
+                    );
+                    let hits = loaded.model.search_embedded(&q, 3);
+                    assert_eq!(hits.len(), 3.min(loaded.model.indexed_len()));
+                }
+                IndexHealth::Missing => {
+                    assert!(
+                        !loaded.warnings.is_empty(),
+                        "index loss at offset {offset} must be reported"
+                    );
+                }
+            },
+        }
+    }
+}
+
+#[test]
+fn enospc_fails_the_write_and_preserves_the_previous_snapshot() {
+    let bytes = snapshot();
+    let io = FaultyIo::new(MemIo::new());
+    io.write_atomic(&mem_path(), bytes).unwrap();
+    io.inject(Fault::Enospc);
+    let err = io.write_atomic(&mem_path(), b"replacement").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+    // The old snapshot is still there and still loads cleanly.
+    let stored = io.read(&mem_path()).unwrap();
+    assert_eq!(stored.as_slice(), bytes);
+    assert!(load_model(&stored).is_ok());
+}
+
+#[test]
+fn read_errors_surface_as_io_errors() {
+    let bytes = snapshot();
+    let io = FaultyIo::new(MemIo::new());
+    io.write_atomic(&mem_path(), bytes).unwrap();
+    io.inject(Fault::ReadError);
+    assert!(io.read(&mem_path()).is_err());
+    // Queue drained: the next read succeeds.
+    assert!(io.read(&mem_path()).is_ok());
+}
+
+#[test]
+fn atomic_filesystem_write_roundtrips_a_real_snapshot() {
+    let bytes = snapshot();
+    let dir = std::env::temp_dir().join(format!("dj-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.dj");
+    StdIo.write_atomic(&path, bytes).unwrap();
+    let loaded = load_model(&StdIo.read(&path).unwrap()).unwrap();
+    assert!(loaded.warnings.is_empty());
+    assert_eq!(loaded.model.index_health(), IndexHealth::Hnsw);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,74 +1,106 @@
-//! Cross-crate property-based tests (proptest) on the core invariants.
+//! Cross-crate randomized property tests on the core invariants.
+//!
+//! Deterministic `StdRng`-driven sampling (fixed seeds, fixed case counts)
+//! stands in for a property-testing framework: every run explores the same
+//! cases, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 use deepjoin::text::{Textizer, TransformOption};
 use deepjoin_lake::column::{Column, ColumnMeta};
 use deepjoin_lake::joinability::{brute_force_topk, equi_joinability};
 use deepjoin_lake::repository::Repository;
 
-/// Strategy: a column of 5-30 cells over a small value alphabet (so overlap
-/// actually occurs).
-fn column_strategy() -> impl Strategy<Value = Column> {
-    prop::collection::vec(0u32..40, 5..30)
-        .prop_map(|vals| Column::from_cells(vals.into_iter().map(|v| format!("v{v}"))))
+const CASES: usize = 64;
+
+/// A column of 5–30 cells over a small value alphabet (so overlap actually
+/// occurs).
+fn random_column(rng: &mut StdRng) -> Column {
+    let len = rng.gen_range(5..30);
+    Column::from_cells((0..len).map(|_| format!("v{}", rng.gen_range(0u32..40))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn joinability_is_in_unit_interval(q in column_strategy(), x in column_strategy()) {
+#[test]
+fn joinability_is_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xA0);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
+        let x = random_column(&mut rng);
         let jn = equi_joinability(&q, &x);
-        prop_assert!((0.0..=1.0).contains(&jn));
+        assert!((0.0..=1.0).contains(&jn), "jn {jn} out of unit interval");
     }
+}
 
-    #[test]
-    fn joinability_of_self_is_one(q in column_strategy()) {
-        prop_assert_eq!(equi_joinability(&q, &q), 1.0);
+#[test]
+fn joinability_of_self_is_one() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
+        assert_eq!(equi_joinability(&q, &q), 1.0);
     }
+}
 
-    #[test]
-    fn joinability_is_order_insensitive(q in column_strategy(), x in column_strategy()) {
+#[test]
+fn joinability_is_order_insensitive() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
+        let x = random_column(&mut rng);
         let mut shuffled_cells = x.cells.clone();
         shuffled_cells.reverse();
         let x2 = Column::from_cells(shuffled_cells);
-        prop_assert_eq!(equi_joinability(&q, &x), equi_joinability(&q, &x2));
+        assert_eq!(equi_joinability(&q, &x), equi_joinability(&q, &x2));
     }
+}
 
-    #[test]
-    fn joinability_monotone_under_target_extension(
-        q in column_strategy(),
-        x in column_strategy(),
-        extra in prop::collection::vec(0u32..40, 0..10),
-    ) {
+#[test]
+fn joinability_monotone_under_target_extension() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
+        let x = random_column(&mut rng);
         // Adding cells to the target can only help (or not change) jn.
+        let extra = rng.gen_range(0..10);
         let mut bigger = x.cells.clone();
-        bigger.extend(extra.into_iter().map(|v| format!("v{v}")));
+        bigger.extend((0..extra).map(|_| format!("v{}", rng.gen_range(0u32..40))));
         let xb = Column::from_cells(bigger);
-        prop_assert!(equi_joinability(&q, &xb) >= equi_joinability(&q, &x) - 1e-12);
+        assert!(equi_joinability(&q, &xb) >= equi_joinability(&q, &x) - 1e-12);
     }
+}
 
-    #[test]
-    fn josie_equals_brute_force(
-        cols in prop::collection::vec(column_strategy(), 3..15),
-        q in column_strategy(),
-    ) {
+#[test]
+fn josie_equals_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..15);
+        let cols: Vec<Column> = (0..n).map(|_| random_column(&mut rng)).collect();
+        let q = random_column(&mut rng);
         let repo = Repository::from_columns(cols);
         let idx = deepjoin_josie::JosieIndex::build(&repo);
         for k in [1usize, 3, 8] {
             let got: Vec<f64> = idx.search(&q, k).iter().map(|s| s.score).collect();
             let want: Vec<f64> = brute_force_topk(&repo, &q, k)
-                .iter().map(|s| s.score).collect();
-            prop_assert_eq!(got, want);
+                .iter()
+                .map(|s| s.score)
+                .collect();
+            assert_eq!(got, want);
         }
     }
+}
 
-    #[test]
-    fn minhash_jaccard_close_to_truth(
-        a in prop::collection::hash_set(0u32..60, 5..40),
-        b in prop::collection::hash_set(0u32..60, 5..40),
-    ) {
+#[test]
+fn minhash_jaccard_close_to_truth() {
+    use std::collections::HashSet;
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let sample_set = |rng: &mut StdRng| -> HashSet<u32> {
+            let n = rng.gen_range(5..40);
+            (0..n).map(|_| rng.gen_range(0u32..60)).collect()
+        };
+        let a = sample_set(&mut rng);
+        let b = sample_set(&mut rng);
         let mh = deepjoin_lshensemble::MinHasher::new(256, 7);
         let astr: Vec<String> = a.iter().map(|v| format!("i{v}")).collect();
         let bstr: Vec<String> = b.iter().map(|v| format!("i{v}")).collect();
@@ -79,35 +111,42 @@ proptest! {
         let truth = inter / union;
         let est = sa.jaccard(&sb);
         // 256 permutations: σ ≈ sqrt(J(1−J)/256) ≤ 0.032; allow 5σ.
-        prop_assert!((est - truth).abs() < 0.17, "est {est} truth {truth}");
+        assert!((est - truth).abs() < 0.17, "est {est} truth {truth}");
     }
+}
 
-    #[test]
-    fn transforms_include_all_distinct_cells_when_unbudgeted(
-        q in column_strategy(),
-        opt_idx in 0usize..7,
-    ) {
-        let opt = TransformOption::ALL[opt_idx];
+#[test]
+fn transforms_include_all_distinct_cells_when_unbudgeted() {
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
+        let opt = TransformOption::ALL[rng.gen_range(0..TransformOption::ALL.len())];
         let t = Textizer::new(opt, usize::MAX);
         let text = t.transform(&q);
         for cell in q.distinct() {
-            prop_assert!(text.contains(cell.as_str()), "missing cell {cell}");
+            assert!(text.contains(cell.as_str()), "missing cell {cell}");
         }
     }
+}
 
-    #[test]
-    fn transform_budget_is_respected(q in column_strategy(), budget in 1usize..10) {
+#[test]
+fn transform_budget_is_respected() {
+    let mut rng = StdRng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
+        let budget = rng.gen_range(1usize..10);
         let t = Textizer::new(TransformOption::Col, budget);
         let text = t.transform(&q);
         let n = text.split(", ").count();
-        prop_assert!(n <= budget, "{n} cells > budget {budget}");
+        assert!(n <= budget, "{n} cells > budget {budget}");
     }
+}
 
-    #[test]
-    fn shuffle_augmentation_preserves_multiset(q in column_strategy()) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+#[test]
+fn shuffle_augmentation_preserves_multiset() {
+    let mut rng = StdRng::seed_from_u64(0xA8);
+    for _ in 0..CASES {
+        let q = random_column(&mut rng);
         let mut perm: Vec<usize> = (0..q.len()).collect();
         perm.shuffle(&mut rng);
         let p = q.permuted(&perm);
@@ -115,45 +154,53 @@ proptest! {
         let mut b = p.cells.clone();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(equi_joinability(&q, &p), 1.0);
+        assert_eq!(a, b);
+        assert_eq!(equi_joinability(&q, &p), 1.0);
     }
+}
 
-    #[test]
-    fn hnsw_always_returns_k_when_enough_points(
-        points in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 4), 20..80),
-        k in 1usize..10,
-    ) {
-        use deepjoin_ann::{HnswConfig, HnswIndex, VectorIndex};
+#[test]
+fn hnsw_always_returns_k_when_enough_points() {
+    use deepjoin_ann::{HnswConfig, HnswIndex, VectorIndex};
+    let mut rng = StdRng::seed_from_u64(0xA9);
+    for _ in 0..CASES {
+        let n = rng.gen_range(20..80);
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let k = rng.gen_range(1usize..10);
         let mut idx = HnswIndex::new(4, HnswConfig::default());
         for p in &points {
             idx.add(p);
         }
         let hits = idx.search(&points[0], k);
-        prop_assert_eq!(hits.len(), k.min(points.len()));
+        assert_eq!(hits.len(), k.min(points.len()));
         // Distances sorted ascending.
         for w in hits.windows(2) {
-            prop_assert!(w[0].distance <= w[1].distance + 1e-6);
+            assert!(w[0].distance <= w[1].distance + 1e-6);
         }
         // Query point itself is its own nearest neighbor (distance 0).
-        prop_assert!(hits[0].distance < 1e-5);
+        assert!(hits[0].distance < 1e-5);
     }
+}
 
-    #[test]
-    fn encoder_embedding_is_finite(
-        tokens in prop::collection::vec(0u32..50, 0..40),
-    ) {
-        use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig};
-        let enc = ColumnEncoder::new(EncoderConfig::mp_lite(60, 16, 1));
+#[test]
+fn encoder_embedding_is_finite() {
+    use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig};
+    let mut rng = StdRng::seed_from_u64(0xAA);
+    let enc = ColumnEncoder::new(EncoderConfig::mp_lite(60, 16, 1));
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..40);
+        let tokens: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..50)).collect();
         let v = enc.encode(&tokens);
-        prop_assert_eq!(v.len(), 16);
-        prop_assert!(v.iter().all(|x| x.is_finite()));
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|x| x.is_finite()));
     }
 }
 
 #[test]
 fn column_meta_roundtrips_through_textizer() {
-    // Non-proptest sanity: metadata fields actually surface in the text.
+    // Non-randomized sanity: metadata fields actually surface in the text.
     let c = Column::new(
         vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()],
         ColumnMeta {
