@@ -1,6 +1,14 @@
 //! Distance kernels shared by every index in this crate.
+//!
+//! The arithmetic lives in `deepjoin-simd` (runtime-dispatched AVX2+FMA /
+//! portable-unrolled kernels with a scalar parity oracle); this module owns
+//! the *metric semantics*: which kernel ranks a metric, how cheap surrogate
+//! scores convert back to true distances, and when the unit-norm shortcut
+//! for cosine is sound.
 
 use serde::{Deserialize, Serialize};
+
+pub use deepjoin_simd::{cosine, dot, l2_sq};
 
 /// The metric an index ranks by. DeepJoin's retrieval uses Euclidean
 /// distance (paper §3.3) even though training scores with cosine (§4.2) —
@@ -30,42 +38,56 @@ impl Metric {
     /// others are already cheap). Rankings are identical to `distance`.
     #[inline]
     pub fn surrogate(self, a: &[f32], b: &[f32]) -> f32 {
+        self.surrogate_un(a, b, false)
+    }
+
+    /// [`Metric::surrogate`] with a unit-norm promise: when `unit_norm` is
+    /// true the caller guarantees both vectors have L2 norm 1 (DeepJoin's
+    /// encoder normalizes every embedding), which lets cosine rank by the
+    /// much cheaper `-dot` (since `1 − cos = 1 − a·b` for unit vectors).
+    /// With `unit_norm` false, cosine falls back to the full computation.
+    #[inline]
+    pub fn surrogate_un(self, a: &[f32], b: &[f32], unit_norm: bool) -> f32 {
         match self {
             Metric::L2 => l2_sq(a, b),
-            other => other.distance(a, b),
+            Metric::InnerProduct => -dot(a, b),
+            Metric::Cosine if unit_norm => -dot(a, b),
+            Metric::Cosine => 1.0 - cosine(a, b),
         }
     }
-}
 
-/// Squared Euclidean distance.
-#[inline]
-pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
-}
-
-/// Dot product.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-/// Cosine similarity (0 when either vector is zero).
-#[inline]
-pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = dot(a, a).sqrt();
-    let nb = dot(b, b).sqrt();
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
+    /// Convert a surrogate score (from [`Metric::surrogate_un`] with the
+    /// same `unit_norm`) back to the true distance.
+    #[inline]
+    pub fn distance_from_surrogate(self, s: f32, unit_norm: bool) -> f32 {
+        match self {
+            Metric::L2 => s.sqrt(),
+            Metric::InnerProduct => s,
+            Metric::Cosine if unit_norm => 1.0 + s,
+            Metric::Cosine => s,
+        }
     }
-    dot(a, b) / (na * nb)
+
+    /// Score one query against `out.len()` row-major `data` rows, writing
+    /// surrogate scores into `out` via the blocked one-vs-many kernels.
+    /// Cosine without the unit-norm promise has no blocked kernel and falls
+    /// back to per-row evaluation.
+    pub fn surrogate_block(self, query: &[f32], data: &[f32], unit_norm: bool, out: &mut [f32]) {
+        match (self, unit_norm) {
+            (Metric::L2, _) => deepjoin_simd::l2_sq_block(query, data, out),
+            (Metric::InnerProduct, _) | (Metric::Cosine, true) => {
+                deepjoin_simd::dot_block(query, data, out);
+                for s in out.iter_mut() {
+                    *s = -*s;
+                }
+            }
+            (Metric::Cosine, false) => {
+                for (s, row) in out.iter_mut().zip(data.chunks_exact(query.len())) {
+                    *s = 1.0 - cosine(query, row);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +122,59 @@ mod tests {
         let d_orth = Metric::Cosine.distance(&[1., 0.], &[0., 1.]);
         assert!(d_same.abs() < 1e-6);
         assert!((d_orth - 1.0).abs() < 1e-6);
+    }
+
+    /// Unit vector at angle `t` (radians).
+    fn unit(t: f32) -> [f32; 2] {
+        [t.cos(), t.sin()]
+    }
+
+    #[test]
+    fn unit_norm_cosine_surrogate_matches_full_cosine() {
+        let q = unit(0.3);
+        for t in [0.0f32, 0.4, 1.2, 2.0, 3.0] {
+            let v = unit(t);
+            let full = Metric::Cosine.distance(&q, &v);
+            let s = Metric::Cosine.surrogate_un(&q, &v, true);
+            let back = Metric::Cosine.distance_from_surrogate(s, true);
+            assert!((full - back).abs() < 1e-6, "t={t}: {full} vs {back}");
+        }
+    }
+
+    #[test]
+    fn unit_norm_surrogate_preserves_ranking() {
+        let q = unit(0.0);
+        let near = unit(0.2);
+        let far = unit(2.5);
+        let s_near = Metric::Cosine.surrogate_un(&q, &near, true);
+        let s_far = Metric::Cosine.surrogate_un(&q, &far, true);
+        assert!(s_near < s_far);
+    }
+
+    #[test]
+    fn distance_from_surrogate_roundtrips() {
+        let a = [0.5f32, -1.0, 2.0];
+        let b = [1.0f32, 0.25, -0.5];
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            let s = m.surrogate(&a, &b);
+            let d = m.distance_from_surrogate(s, false);
+            assert!((d - m.distance(&a, &b)).abs() < 1e-6, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_block_matches_per_row() {
+        let q = [0.2f32, -0.4, 0.6, 0.8];
+        let data: Vec<f32> = (0..4 * 7).map(|i| (i as f32 * 0.37).sin()).collect();
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            for un in [false, true] {
+                let mut out = vec![0f32; 7];
+                m.surrogate_block(&q, &data, un, &mut out);
+                for (i, row) in data.chunks_exact(4).enumerate() {
+                    let want = m.surrogate_un(&q, row, un);
+                    assert!((out[i] - want).abs() < 1e-5, "{m:?} un={un} row {i}");
+                }
+            }
+        }
     }
 }

@@ -1,9 +1,20 @@
 //! Exact brute-force index: the correctness oracle and small-scale fallback.
+//!
+//! The scan is *batched*: one query is scored against the whole store with
+//! the blocked one-vs-many SIMD kernels (`deepjoin-simd`), filling a dense
+//! score buffer in row blocks instead of calling a distance function per
+//! vector. Multi-query workloads additionally parallelize over queries via
+//! [`FlatIndex::search_batch`].
 
+use deepjoin_par::Pool;
 use serde::{Deserialize, Serialize};
 
 use crate::distance::Metric;
-use crate::index::{finalize_hits, Neighbor, VectorIndex};
+use crate::index::{Neighbor, TopK, VectorIndex};
+
+/// Rows scored per block. Large enough to amortize dispatch, small enough
+/// that the score buffer stays in L1.
+const SCAN_BLOCK: usize = 256;
 
 /// Linear-scan exact kNN.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -11,6 +22,12 @@ pub struct FlatIndex {
     dim: usize,
     metric: Metric,
     data: Vec<f32>,
+    /// True when every stored vector is promised to be unit-norm (set at
+    /// build time by the caller, e.g. DeepJoin's normalizing encoder). Lets
+    /// cosine rank by the cheap `-dot` surrogate. Not persisted: decoded
+    /// indexes conservatively fall back to the full cosine path.
+    #[serde(skip)]
+    unit_norm: bool,
 }
 
 impl FlatIndex {
@@ -21,13 +38,43 @@ impl FlatIndex {
             dim,
             metric,
             data: Vec::new(),
+            unit_norm: false,
         }
+    }
+
+    /// Declare (at build time) that every vector added is L2-normalized,
+    /// enabling the cosine fast path. The promise is the caller's to keep.
+    pub fn with_unit_norm(mut self, unit_norm: bool) -> Self {
+        self.unit_norm = unit_norm;
+        self
+    }
+
+    /// Whether the index assumes unit-norm vectors.
+    pub fn unit_norm(&self) -> bool {
+        self.unit_norm
     }
 
     /// Stored vector by id.
     pub fn vector(&self, id: u32) -> &[f32] {
         let i = id as usize * self.dim;
         &self.data[i..i + self.dim]
+    }
+
+    /// Search many row-major queries (`queries.len() / dim` of them),
+    /// parallelized over queries with `pool`. Results are identical to
+    /// calling [`VectorIndex::search`] per query, in query order, for any
+    /// pool size.
+    pub fn search_batch(&self, queries: &[f32], k: usize, pool: &Pool) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len() % self.dim, 0, "row-major shape mismatch");
+        let nq = queries.len() / self.dim;
+        pool.map(nq, 1, |range| {
+            range
+                .map(|q| self.search(&queries[q * self.dim..(q + 1) * self.dim], k))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -53,21 +100,26 @@ impl VectorIndex for FlatIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "dimension mismatch");
-        // Rank by the cheap surrogate, then convert to true distances.
-        let mut hits: Vec<Neighbor> = self
-            .data
-            .chunks_exact(self.dim)
-            .enumerate()
-            .map(|(i, v)| Neighbor {
-                id: i as u32,
-                distance: self.metric.surrogate(query, v),
-            })
-            .collect();
-        hits = finalize_hits(hits, k);
-        if self.metric == Metric::L2 {
-            for h in &mut hits {
-                h.distance = h.distance.sqrt();
+        let n = self.len();
+        // Rank by the cheap surrogate, computed block-at-a-time with the
+        // one-vs-many kernels into a bounded top-k selector (never
+        // materializing all n hits), then convert survivors to distances.
+        let mut top = TopK::new(k);
+        let mut scores = [0f32; SCAN_BLOCK];
+        let mut base = 0usize;
+        while base < n {
+            let rows = SCAN_BLOCK.min(n - base);
+            let block = &self.data[base * self.dim..(base + rows) * self.dim];
+            self.metric
+                .surrogate_block(query, block, self.unit_norm, &mut scores[..rows]);
+            for (i, &s) in scores[..rows].iter().enumerate() {
+                top.push((base + i) as u32, s);
             }
+            base += rows;
+        }
+        let mut hits = top.into_sorted();
+        for h in &mut hits {
+            h.distance = self.metric.distance_from_surrogate(h.distance, self.unit_norm);
         }
         hits
     }
@@ -110,5 +162,59 @@ mod tests {
         assert_eq!(idx.vector(1), &[2.0]);
         assert_eq!(idx.len(), 2);
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn scan_crosses_block_boundaries() {
+        // More vectors than one scan block, with the nearest one placed in
+        // the final partial block.
+        let n = SCAN_BLOCK * 2 + 37;
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        for i in 0..n {
+            let x = if i == n - 1 { 0.5 } else { 10.0 + i as f32 };
+            idx.add(&[x, 0.0]);
+        }
+        let hits = idx.search(&[0.0, 0.0], 3);
+        assert_eq!(hits[0].id, (n - 1) as u32);
+        assert!((hits[0].distance - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_norm_cosine_matches_full_cosine() {
+        // Unit vectors on a circle: ranking and distances must agree
+        // between the fast path and the full path.
+        let mut fast = FlatIndex::new(2, Metric::Cosine).with_unit_norm(true);
+        let mut full = FlatIndex::new(2, Metric::Cosine);
+        for i in 0..300 {
+            let t = i as f32 * 0.021;
+            fast.add(&[t.cos(), t.sin()]);
+            full.add(&[t.cos(), t.sin()]);
+        }
+        let q = [0.6f32.cos(), 0.6f32.sin()];
+        let a = fast.search(&q, 10);
+        let b = full.search(&q, 10);
+        assert_eq!(
+            a.iter().map(|h| h.id).collect::<Vec<_>>(),
+            b.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.distance - y.distance).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_search_matches_sequential_for_any_pool() {
+        let mut idx = FlatIndex::new(4, Metric::L2);
+        let data: Vec<f32> = (0..400).map(|i| (i as f32 * 0.13).sin()).collect();
+        idx.add_batch(&data);
+        let queries: Vec<f32> = (0..40).map(|i| (i as f32 * 0.29).cos()).collect();
+        let seq: Vec<Vec<Neighbor>> = queries
+            .chunks_exact(4)
+            .map(|q| idx.search(q, 5))
+            .collect();
+        for threads in [1, 2, 8] {
+            let par = idx.search_batch(&queries, 5, &Pool::new(threads));
+            assert_eq!(seq, par, "threads {threads}");
+        }
     }
 }

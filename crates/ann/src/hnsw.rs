@@ -14,12 +14,16 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-
-
+use deepjoin_par::Pool;
 use serde::{Deserialize, Serialize};
 
 use crate::distance::Metric;
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
+
+/// Batch size for [`HnswIndex::add_batch_parallel`]. A constant (never a
+/// function of the thread count) so the produced graph is identical for any
+/// pool size.
+const PAR_BATCH: usize = 512;
 
 /// HNSW construction/search parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -116,6 +120,11 @@ pub struct HnswIndex {
     max_level: usize,
     level_mult: f64,
     rng_state: u64,
+    /// True when every indexed vector (and every query) is promised to be
+    /// L2-normalized; enables the cosine `-dot` fast path. Build-time only,
+    /// not persisted — reloaded indexes fall back to full cosine.
+    #[serde(skip)]
+    unit_norm: bool,
 }
 
 impl HnswIndex {
@@ -132,12 +141,26 @@ impl HnswIndex {
             entry: None,
             max_level: 0,
             rng_state: config.seed,
+            unit_norm: false,
         }
     }
 
     /// Config accessor.
     pub fn config(&self) -> &HnswConfig {
         &self.config
+    }
+
+    /// Declare (at build time) that every vector added *and every query* is
+    /// L2-normalized, enabling the cosine fast path. The promise is the
+    /// caller's to keep (DeepJoin's encoder normalizes all embeddings).
+    pub fn with_unit_norm(mut self, unit_norm: bool) -> Self {
+        self.unit_norm = unit_norm;
+        self
+    }
+
+    /// Whether the index assumes unit-norm vectors.
+    pub fn unit_norm(&self) -> bool {
+        self.unit_norm
     }
 
     /// Decompose into raw parts for persistence (see [`crate::io`]):
@@ -190,6 +213,7 @@ impl HnswIndex {
             entry,
             max_level,
             rng_state,
+            unit_norm: false,
         }
     }
 
@@ -202,7 +226,9 @@ impl HnswIndex {
 
     #[inline]
     fn dist(&self, a: &[f32], id: u32) -> f32 {
-        self.config.metric.surrogate(a, self.vector(id))
+        self.config
+            .metric
+            .surrogate_un(a, self.vector(id), self.unit_norm)
     }
 
     /// Draw the level for a new node: `floor(−ln(U) · mL)`.
@@ -289,7 +315,7 @@ impl HnswIndex {
             let dominated = selected.iter().any(|s| {
                 self.config
                     .metric
-                    .surrogate(self.vector(c.id), self.vector(s.id))
+                    .surrogate_un(self.vector(c.id), self.vector(s.id), self.unit_norm)
                     < c.dist
             });
             if dominated {
@@ -325,12 +351,187 @@ impl HnswIndex {
         let cands: Vec<MinCand> = list
             .iter()
             .map(|&id| MinCand {
-                dist: self.config.metric.surrogate(&anchor, self.vector(id)),
+                dist: self
+                    .config
+                    .metric
+                    .surrogate_un(&anchor, self.vector(id), self.unit_norm),
                 id,
             })
             .collect();
         let new_list = self.select_neighbors(cands, bound);
         self.nodes[node as usize].neighbors[level] = new_list;
+    }
+
+    /// Phase 1 of the batched build: search the *frozen* graph (the state
+    /// before this batch) for candidate neighbors of node `id` on every
+    /// insertion layer. Read-only, so it runs in parallel across the batch.
+    /// Returns `found[lev]` for `lev` in `0..=level.min(frozen_max)`.
+    fn frozen_candidates(
+        &self,
+        id: u32,
+        level: usize,
+        frozen_entry: u32,
+        frozen_max: usize,
+    ) -> Vec<Vec<MinCand>> {
+        let query = self.vector(id).to_vec();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut ep = frozen_entry;
+        let mut ep_dist = self.dist(&query, ep);
+
+        // Greedy descent through layers above the insertion level.
+        let mut l = frozen_max;
+        while l > level {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let node = &self.nodes[ep as usize];
+                if l < node.neighbors.len() {
+                    for &nb in &node.neighbors[l] {
+                        let d = self.dist(&query, nb);
+                        if d < ep_dist {
+                            ep = nb;
+                            ep_dist = d;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+
+        let top = level.min(frozen_max);
+        let mut entry_points = vec![MinCand {
+            dist: ep_dist,
+            id: ep,
+        }];
+        let mut out = vec![Vec::new(); top + 1];
+        for lev in (0..=top).rev() {
+            visited.iter_mut().for_each(|v| *v = false);
+            let found = self.search_layer(
+                &query,
+                &entry_points,
+                self.config.ef_construction,
+                lev,
+                &mut visited,
+            );
+            out[lev] = found.clone();
+            entry_points = found;
+        }
+        out
+    }
+
+    /// Insert one pre-reserved batch: phase 1 searches the frozen graph in
+    /// parallel; phase 2 links sequentially in id order, also considering
+    /// in-batch predecessors so co-inserted near-duplicates still connect.
+    fn insert_batch(&mut self, first_id: u32, levels: &[usize], pool: &Pool) {
+        let frozen_entry = self.entry.expect("batch insert requires an entry point");
+        let frozen_max = self.max_level;
+        let batch = levels.len();
+
+        let found: Vec<Vec<Vec<MinCand>>> = pool
+            .map(batch, 4, |range| {
+                range
+                    .map(|b| {
+                        self.frozen_candidates(
+                            first_id + b as u32,
+                            levels[b],
+                            frozen_entry,
+                            frozen_max,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        for b in 0..batch {
+            let id = first_id + b as u32;
+            let level = levels[b];
+            let query = self.vector(id).to_vec();
+            // Distances to in-batch predecessors, computed once per node.
+            let in_batch: Vec<MinCand> = (0..b)
+                .map(|j| MinCand {
+                    dist: self.dist(&query, first_id + j as u32),
+                    id: first_id + j as u32,
+                })
+                .collect();
+            let top = level.min(frozen_max);
+            for lev in (0..=top).rev() {
+                let mut cands = found[b][lev].clone();
+                cands.extend(
+                    in_batch
+                        .iter()
+                        .filter(|c| lev < self.nodes[c.id as usize].neighbors.len())
+                        .copied(),
+                );
+                let neighbors = self.select_neighbors(cands, self.config.m);
+                for &nb in &neighbors {
+                    self.nodes[id as usize].neighbors[lev].push(nb);
+                    self.nodes[nb as usize].neighbors[lev].push(id);
+                    self.shrink_neighbors(nb, lev);
+                }
+            }
+            if level > self.max_level {
+                self.max_level = level;
+                self.entry = Some(id);
+            }
+        }
+    }
+
+    /// Batched parallel construction. The candidate search for each batch
+    /// runs read-only against the graph as of the previous batch
+    /// (parallelized over the batch via `pool`); linking is a sequential
+    /// pass in id order. The produced graph is **identical for any pool
+    /// size** — batch boundaries and level sampling never depend on the
+    /// thread count — though it legitimately differs from the graph the
+    /// strictly sequential [`VectorIndex::add`] loop builds.
+    pub fn add_batch_parallel(&mut self, vectors: &[f32], pool: &Pool) {
+        assert_eq!(vectors.len() % self.dim, 0, "row-major shape mismatch");
+        let n = vectors.len() / self.dim;
+        let mut next = 0;
+        // Bootstrap sequentially until the graph can seed frozen searches.
+        while next < n && self.nodes.len() < PAR_BATCH {
+            self.add(&vectors[next * self.dim..(next + 1) * self.dim]);
+            next += 1;
+        }
+        while next < n {
+            let batch = PAR_BATCH.min(n - next);
+            let first_id = self.nodes.len() as u32;
+            // Reserve ids: vectors, levels (sequential RNG draw — identical
+            // to the order the sequential path would draw them), empty
+            // adjacency. The new nodes are link-free until phase 2, so
+            // frozen searches can never reach them.
+            let levels: Vec<usize> = (0..batch).map(|_| self.sample_level()).collect();
+            self.vectors
+                .extend_from_slice(&vectors[next * self.dim..(next + batch) * self.dim]);
+            for &l in &levels {
+                self.nodes.push(Node {
+                    neighbors: vec![Vec::new(); l + 1],
+                });
+            }
+            self.insert_batch(first_id, &levels, pool);
+            next += batch;
+        }
+    }
+
+    /// Search many row-major queries in parallel. Results are identical to
+    /// per-query [`VectorIndex::search`] calls, in query order, for any
+    /// pool size (searches are read-only).
+    pub fn search_batch(&self, queries: &[f32], k: usize, pool: &Pool) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len() % self.dim, 0, "row-major shape mismatch");
+        let nq = queries.len() / self.dim;
+        pool.map(nq, 1, |range| {
+            range
+                .map(|q| self.search(&queries[q * self.dim..(q + 1) * self.dim], k))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -466,10 +667,11 @@ impl VectorIndex for HnswIndex {
             })
             .collect();
         hits = finalize_hits(hits, k);
-        if self.config.metric == Metric::L2 {
-            for h in &mut hits {
-                h.distance = h.distance.sqrt();
-            }
+        for h in &mut hits {
+            h.distance = self
+                .config
+                .metric
+                .distance_from_surrogate(h.distance, self.unit_norm);
         }
         hits
     }
@@ -580,6 +782,72 @@ mod tests {
             idx.search(&data[0..5], 10)
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn parallel_build_is_pool_size_invariant() {
+        // The graph (and therefore every search result) must be
+        // bit-identical whether the batched build runs on 1 or many
+        // threads.
+        let data = random_data(1500, 8, 31);
+        let queries = random_data(25, 8, 32);
+        let build = |threads: usize| {
+            let mut idx = HnswIndex::new(8, HnswConfig::default());
+            idx.add_batch_parallel(&data, &Pool::new(threads));
+            idx
+        };
+        let a = build(1);
+        let b = build(4);
+        let c = build(13);
+        for q in queries.chunks_exact(8) {
+            let ha = a.search(q, 10);
+            assert_eq!(ha, b.search(q, 10), "1 vs 4 threads");
+            assert_eq!(ha, c.search(q, 10), "1 vs 13 threads");
+        }
+    }
+
+    #[test]
+    fn parallel_build_keeps_recall() {
+        let data = random_data(2000, 8, 33);
+        let queries = random_data(20, 8, 34);
+        let mut flat = FlatIndex::new(8, Metric::L2);
+        flat.add_batch(&data);
+        let mut hnsw = HnswIndex::new(8, HnswConfig::default());
+        hnsw.add_batch_parallel(&data, &Pool::new(4));
+        let mut hit = 0usize;
+        for q in queries.chunks_exact(8) {
+            let truth: std::collections::HashSet<u32> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            hit += hnsw.search(q, 10).iter().filter(|h| truth.contains(&h.id)).count();
+        }
+        let r = hit as f64 / 200.0;
+        assert!(r >= 0.95, "parallel-build recall {r}");
+    }
+
+    #[test]
+    fn parallel_batch_search_matches_sequential() {
+        let data = random_data(1200, 6, 35);
+        let mut idx = HnswIndex::new(6, HnswConfig::default());
+        idx.add_batch(&data);
+        let queries = random_data(17, 6, 36);
+        let seq: Vec<_> = queries.chunks_exact(6).map(|q| idx.search(q, 7)).collect();
+        for threads in [1, 3, 8] {
+            assert_eq!(seq, idx.search_batch(&queries, 7, &Pool::new(threads)));
+        }
+    }
+
+    #[test]
+    fn degree_bounds_hold_for_parallel_build() {
+        let data = random_data(1500, 6, 37);
+        let cfg = HnswConfig::default();
+        let mut idx = HnswIndex::new(6, cfg);
+        idx.add_batch_parallel(&data, &Pool::new(4));
+        for node in &idx.nodes {
+            for (l, nbs) in node.neighbors.iter().enumerate() {
+                let bound = if l == 0 { cfg.m0 } else { cfg.m };
+                assert!(nbs.len() <= bound, "layer {l} degree {}", nbs.len());
+            }
+        }
     }
 
     #[test]

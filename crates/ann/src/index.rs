@@ -1,6 +1,8 @@
 //! The common index interface every ANNS backend implements, so DeepJoin can
 //! swap Flat / HNSW / IVFPQ per §3.3.
 
+use std::collections::BinaryHeap;
+
 use crate::distance::Metric;
 
 /// One search hit: internal id + distance (smaller = closer).
@@ -54,6 +56,69 @@ pub fn finalize_hits(mut hits: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
     });
     hits.truncate(k);
     hits
+}
+
+/// Max-heap entry ordered by (distance, id) so the *worst* kept hit is on
+/// top and ties prefer the smaller id (matching [`finalize_hits`]).
+#[derive(PartialEq)]
+struct WorstFirst(Neighbor);
+
+impl Eq for WorstFirst {}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .distance
+            .total_cmp(&other.0.distance)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-k selector: streams candidates and keeps only the `k` best
+/// (smallest distance, ascending-id tie-break), so an exact scan never
+/// materializes or sorts all `n` hits. Results match
+/// [`finalize_hits`]-over-everything for non-NaN distances.
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    /// Selector keeping the best `k` hits.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one candidate.
+    #[inline]
+    pub fn push(&mut self, id: u32, distance: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = WorstFirst(Neighbor { id, distance });
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if cand < *self.heap.peek().expect("non-empty at capacity") {
+            self.heap.pop();
+            self.heap.push(cand);
+        }
+    }
+
+    /// The kept hits, ascending by (distance, id).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = self.heap.into_iter().map(|w| w.0).collect();
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        out
+    }
 }
 
 #[cfg(test)]

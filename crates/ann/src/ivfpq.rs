@@ -10,6 +10,8 @@
 //! each probed list an ADC table is built from the query's residual against
 //! that list's centroid.
 
+use deepjoin_par::Pool;
+
 use crate::distance::Metric;
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
 use crate::kmeans::{Kmeans, KmeansConfig};
@@ -65,27 +67,49 @@ impl IvfPqIndex {
     }
 
     /// Train the coarse quantizer and PQ codebooks on row-major `data`.
+    /// Uses the process-global pool; output is pool-size invariant.
     pub fn train(&mut self, data: &[f32]) {
+        self.train_with_pool(data, &Pool::global());
+    }
+
+    /// [`IvfPqIndex::train`] with an explicit pool.
+    pub fn train_with_pool(&mut self, data: &[f32], pool: &Pool) {
         assert!(!data.is_empty(), "empty training set");
         assert_eq!(data.len() % self.dim, 0, "bad shape");
-        let coarse = Kmeans::train(
+        let dim = self.dim;
+        let coarse = Kmeans::train_with_pool(
             data,
-            self.dim,
+            dim,
             KmeansConfig {
                 k: self.config.nlist,
                 max_iters: 25,
                 seed: self.config.seed,
             },
+            pool,
         );
-        // Train PQ on residuals v − centroid(v).
-        let mut residuals = Vec::with_capacity(data.len());
-        for v in data.chunks_exact(self.dim) {
-            let c = coarse.centroid(coarse.assign(v));
-            residuals.extend(v.iter().zip(c).map(|(a, b)| a - b));
-        }
+        // Train PQ on residuals v − centroid(v); the per-point residuals are
+        // independent, so chunk them across the pool.
+        let n = data.len() / dim;
+        let mut residuals = vec![0f32; data.len()];
+        let coarse_ref = &coarse;
+        pool.for_each_chunk_mut(&mut residuals, n, 64, |range, out| {
+            let mut scratch = vec![0f32; coarse_ref.k()];
+            for (j, i) in range.enumerate() {
+                let v = &data[i * dim..(i + 1) * dim];
+                let c = coarse_ref.centroid(coarse_ref.assign_with_scratch(v, &mut scratch));
+                for ((r, &a), &b) in out[j * dim..(j + 1) * dim].iter_mut().zip(v).zip(c) {
+                    *r = a - b;
+                }
+            }
+        });
         self.lists = vec![Vec::new(); coarse.k()];
         self.coarse = Some(coarse);
-        self.pq = Some(ProductQuantizer::train(&residuals, self.dim, self.config.pq));
+        self.pq = Some(ProductQuantizer::train_with_pool(
+            &residuals,
+            dim,
+            self.config.pq,
+            pool,
+        ));
     }
 
     /// True once `train` has run.

@@ -1,6 +1,14 @@
 //! Lloyd's k-means with k-means++ seeding — the quantizer trainer behind
 //! product quantization and the IVF coarse quantizer.
+//!
+//! The hot loops ride the shared substrates: point-to-centroid scoring uses
+//! the blocked SIMD kernels (`deepjoin-simd`), and the Lloyd assignment
+//! step — the dominant cost — is chunk-parallel over points via
+//! `deepjoin-par`. Results are deterministic for any thread count: each
+//! point's assignment is computed independently and written into its own
+//! slot, and the sequential centroid update consumes them in point order.
 
+use deepjoin_par::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,6 +70,24 @@ impl Kmeans {
         best
     }
 
+    /// [`Kmeans::assign`] through the blocked one-vs-many kernel, using a
+    /// caller-provided scratch buffer of length `k()` (so hot loops don't
+    /// allocate per point). Ties break to the lowest centroid index, same
+    /// as `assign`.
+    pub fn assign_with_scratch(&self, v: &[f32], scratch: &mut [f32]) -> usize {
+        debug_assert_eq!(scratch.len(), self.k());
+        deepjoin_simd::l2_sq_block(v, &self.centroids, scratch);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (c, &d) in scratch.iter().enumerate() {
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
     /// Indices of the `n` nearest centroids (ascending distance).
     pub fn assign_n(&self, v: &[f32], n: usize) -> Vec<usize> {
         let mut ds: Vec<(usize, f32)> = (0..self.k())
@@ -74,7 +100,15 @@ impl Kmeans {
 
     /// Train on row-major `data` (`n x dim`). If there are fewer points than
     /// requested centroids, `k` is reduced to the number of points.
+    ///
+    /// Uses the process-global pool (see [`Pool::global`]) for the Lloyd
+    /// assignment step; output is independent of the pool size.
     pub fn train(data: &[f32], dim: usize, config: KmeansConfig) -> Self {
+        Self::train_with_pool(data, dim, config, &Pool::global())
+    }
+
+    /// [`Kmeans::train`] with an explicit pool.
+    pub fn train_with_pool(data: &[f32], dim: usize, config: KmeansConfig, pool: &Pool) -> Self {
         assert!(dim > 0 && data.len().is_multiple_of(dim), "bad shape");
         let n = data.len() / dim;
         assert!(n > 0, "no training points");
@@ -86,7 +120,9 @@ impl Kmeans {
         let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
         let first = rng.gen_range(0..n);
         centroids.extend_from_slice(point(first));
-        let mut dist2: Vec<f32> = (0..n).map(|i| l2_sq(point(i), point(first))).collect();
+        let mut dist2 = vec![0f32; n];
+        deepjoin_simd::l2_sq_block(point(first), data, &mut dist2);
+        let mut new_d = vec![0f32; n];
         while centroids.len() / dim < k {
             let total: f64 = dist2.iter().map(|&d| d as f64).sum();
             let chosen = if total <= 0.0 {
@@ -106,10 +142,10 @@ impl Kmeans {
             centroids.extend_from_slice(point(chosen));
             let c = centroids.len() / dim - 1;
             let new_c = centroids[c * dim..(c + 1) * dim].to_vec();
-            for i in 0..n {
-                let d = l2_sq(point(i), &new_c);
-                if d < dist2[i] {
-                    dist2[i] = d;
+            deepjoin_simd::l2_sq_block(&new_c, data, &mut new_d);
+            for (d2, &d) in dist2.iter_mut().zip(&new_d) {
+                if d < *d2 {
+                    *d2 = d;
                 }
             }
         }
@@ -117,16 +153,24 @@ impl Kmeans {
         let mut km = Self { dim, centroids };
 
         // --- Lloyd iterations ---
+        // The assignment step is chunk-parallel over points: each chunk
+        // scores its points against all centroids with the blocked kernel
+        // and writes into its own disjoint slice of `new_assign`, so the
+        // result is identical for any pool size.
         let mut assignment = vec![0usize; n];
-        for _ in 0..config.max_iters {
-            let mut changed = false;
-            for i in 0..n {
-                let a = km.assign(point(i));
-                if a != assignment[i] {
-                    assignment[i] = a;
-                    changed = true;
-                }
+        let mut new_assign = vec![0usize; n];
+        for it in 0..config.max_iters {
+            {
+                let km_ref = &km;
+                pool.for_each_chunk_mut(&mut new_assign, n, 64, |range, slice| {
+                    let mut scratch = vec![0f32; km_ref.k()];
+                    for (i, slot) in range.zip(slice.iter_mut()) {
+                        *slot = km_ref.assign_with_scratch(point(i), &mut scratch);
+                    }
+                });
             }
+            let changed = it == 0 || new_assign != assignment;
+            assignment.copy_from_slice(&new_assign);
             if !changed {
                 break;
             }

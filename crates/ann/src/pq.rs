@@ -5,6 +5,12 @@
 //! Queries are answered with asymmetric distance computation (ADC): one
 //! `m × ks` lookup table of squared sub-distances per query, then each
 //! database code costs `m` table lookups.
+//!
+//! The `m` codebooks are independent (disjoint sub-spaces, per-`s` seeds),
+//! so training fans them out across the shared pool; ADC tables are filled
+//! with the blocked one-vs-many SIMD kernel.
+
+use deepjoin_par::Pool;
 
 use crate::distance::l2_sq;
 use crate::kmeans::{Kmeans, KmeansConfig};
@@ -46,31 +52,52 @@ pub struct ProductQuantizer {
 }
 
 impl ProductQuantizer {
-    /// Train codebooks on row-major `data` (`n x dim`).
+    /// Train codebooks on row-major `data` (`n x dim`), using the
+    /// process-global pool (see [`Pool::global`]). Each sub-quantizer has
+    /// its own seed and sub-space, so the codebooks are identical for any
+    /// pool size.
     pub fn train(data: &[f32], dim: usize, config: PqConfig) -> Self {
+        Self::train_with_pool(data, dim, config, &Pool::global())
+    }
+
+    /// [`ProductQuantizer::train`] with an explicit pool.
+    pub fn train_with_pool(data: &[f32], dim: usize, config: PqConfig, pool: &Pool) -> Self {
         assert!(dim.is_multiple_of(config.m), "m must divide dim");
         assert!(config.ks <= 256, "ks must fit in u8");
         let n = data.len() / dim;
         assert!(n > 0, "no training data");
         let sub_dim = dim / config.m;
 
-        let mut codebooks = Vec::with_capacity(config.m);
-        let mut sub = vec![0f32; n * sub_dim];
-        for s in 0..config.m {
-            for i in 0..n {
-                let src = &data[i * dim + s * sub_dim..i * dim + (s + 1) * sub_dim];
-                sub[i * sub_dim..(i + 1) * sub_dim].copy_from_slice(src);
-            }
-            codebooks.push(Kmeans::train(
-                &sub,
-                sub_dim,
-                KmeansConfig {
-                    k: config.ks,
-                    max_iters: config.train_iters,
-                    seed: config.seed ^ (s as u64 + 1),
-                },
-            ));
-        }
+        // Fan the independent codebooks across the pool; each task gathers
+        // its own sub-vector buffer and trains serially (the pool's threads
+        // are already saturated at this level).
+        let inner = Pool::serial();
+        let codebooks: Vec<Kmeans> = pool
+            .map(config.m, 1, |range| {
+                range
+                    .map(|s| {
+                        let mut sub = vec![0f32; n * sub_dim];
+                        for i in 0..n {
+                            let src =
+                                &data[i * dim + s * sub_dim..i * dim + (s + 1) * sub_dim];
+                            sub[i * sub_dim..(i + 1) * sub_dim].copy_from_slice(src);
+                        }
+                        Kmeans::train_with_pool(
+                            &sub,
+                            sub_dim,
+                            KmeansConfig {
+                                k: config.ks,
+                                max_iters: config.train_iters,
+                                seed: config.seed ^ (s as u64 + 1),
+                            },
+                            &inner,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         Self {
             dim,
             sub_dim,
@@ -111,12 +138,9 @@ impl ProductQuantizer {
         assert_eq!(query.len(), self.dim);
         let ks = self.codebooks[0].k();
         let mut table = vec![0f32; self.config.m * ks];
-        for s in 0..self.config.m {
+        for (s, cb) in self.codebooks.iter().enumerate() {
             let qv = &query[s * self.sub_dim..(s + 1) * self.sub_dim];
-            let cb = &self.codebooks[s];
-            for c in 0..cb.k() {
-                table[s * ks + c] = l2_sq(qv, cb.centroid(c));
-            }
+            deepjoin_simd::l2_sq_block(qv, &cb.centroids, &mut table[s * ks..(s + 1) * ks]);
         }
         table
     }

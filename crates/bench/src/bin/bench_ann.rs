@@ -1,0 +1,242 @@
+//! `bench_ann` — the reproducible ANN kernel/parallelism baseline.
+//!
+//! Measures, in one process, the before/after of this repo's two
+//! performance substrates:
+//!
+//! * **before**: distance kernels pinned to the scalar reference
+//!   (`force_kernel(Scalar)`), flat scans one query at a time, HNSW built
+//!   with the sequential inserter;
+//! * **after**: runtime-dispatched SIMD kernels, batched flat scans over
+//!   the shared pool, HNSW built with the deterministic parallel batch
+//!   inserter.
+//!
+//! Emits a JSON report (schema `bench_ann/v1`, default `BENCH_ann.json`)
+//! with flat-scan QPS, HNSW build time and recall@k against the exact flat
+//! oracle for both configurations. Run via `scripts/bench.sh`.
+//!
+//! ```text
+//! bench_ann [--quick] [--out PATH] [--threads N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use deepjoin_ann::flat::FlatIndex;
+use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
+use deepjoin_ann::index::{Neighbor, VectorIndex};
+use deepjoin_par::Pool;
+use deepjoin_simd::{force_kernel, Kernel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark scenario (corpus shape).
+struct Scenario {
+    n: usize,
+    dim: usize,
+    nq: usize,
+    k: usize,
+}
+
+impl Scenario {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                n: 2_000,
+                dim: 32,
+                nq: 40,
+                k: 10,
+            }
+        } else {
+            Self {
+                n: 20_000,
+                dim: 64,
+                nq: 200,
+                k: 10,
+            }
+        }
+    }
+}
+
+/// Unit-norm random vectors, row-major.
+fn unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0f32; n * dim];
+    for row in out.chunks_exact_mut(dim) {
+        for x in row.iter_mut() {
+            *x = rng.gen_range(-1.0f32..1.0);
+        }
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+    out
+}
+
+/// Exact top-k ids for every query (the recall oracle).
+fn oracle(flat: &FlatIndex, queries: &[f32], dim: usize, k: usize) -> Vec<Vec<u32>> {
+    queries
+        .chunks_exact(dim)
+        .map(|q| flat.search(q, k).into_iter().map(|h| h.id).collect())
+        .collect()
+}
+
+/// Mean recall@k of `got` against the oracle's id sets.
+fn recall(got: &[Vec<Neighbor>], truth: &[Vec<u32>], k: usize) -> f64 {
+    let mut hit = 0usize;
+    for (g, t) in got.iter().zip(truth) {
+        hit += g.iter().filter(|n| t.contains(&n.id)).count();
+    }
+    hit as f64 / (truth.len() * k) as f64
+}
+
+/// Flat-scan queries/second: every query searched `reps` times.
+fn flat_qps(flat: &FlatIndex, queries: &[f32], dim: usize, k: usize, reps: usize) -> f64 {
+    let nq = queries.len() / dim;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for q in queries.chunks_exact(dim) {
+            std::hint::black_box(flat.search(q, k));
+        }
+    }
+    (nq * reps) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Batched flat-scan QPS through the pool.
+fn flat_qps_batch(
+    flat: &FlatIndex,
+    queries: &[f32],
+    dim: usize,
+    k: usize,
+    reps: usize,
+    pool: &Pool,
+) -> f64 {
+    let nq = queries.len() / dim;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(flat.search_batch(queries, k, pool));
+    }
+    (nq * reps) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ann.json".to_string());
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| Pool::auto().threads());
+    let pool = Pool::new(threads);
+
+    let sc = Scenario::new(quick);
+    eprintln!(
+        "bench_ann: n={} dim={} nq={} k={} threads={} ({})",
+        sc.n,
+        sc.dim,
+        sc.nq,
+        sc.k,
+        pool.threads(),
+        if quick { "quick" } else { "full" }
+    );
+
+    let data = unit_vectors(sc.n, sc.dim, 0xBE7C);
+    let queries = unit_vectors(sc.nq, sc.dim, 0x9E_11);
+    let reps = if quick { 2 } else { 3 };
+
+    let mut flat = FlatIndex::new(sc.dim, deepjoin_ann::distance::Metric::L2);
+    flat.add_batch(&data);
+    let truth = oracle(&flat, &queries, sc.dim, sc.k);
+
+    let hnsw_cfg = HnswConfig {
+        ef_search: 128,
+        ..HnswConfig::default()
+    };
+
+    // ---- before: scalar kernels, sequential everything ----
+    force_kernel(Some(Kernel::Scalar));
+    let kernel_before = deepjoin_simd::active_kernel().name();
+    let qps_before = flat_qps(&flat, &queries, sc.dim, sc.k, reps);
+
+    let t0 = Instant::now();
+    let mut hnsw_seq = HnswIndex::new(sc.dim, hnsw_cfg);
+    hnsw_seq.add_batch(&data);
+    let build_before = t0.elapsed().as_secs_f64();
+    let got_before: Vec<Vec<Neighbor>> = queries
+        .chunks_exact(sc.dim)
+        .map(|q| hnsw_seq.search(q, sc.k))
+        .collect();
+    let recall_before = recall(&got_before, &truth, sc.k);
+    drop(hnsw_seq);
+
+    // ---- after: dispatched SIMD kernels, batched/parallel paths ----
+    force_kernel(None);
+    let kernel_after = deepjoin_simd::active_kernel().name();
+    let qps_after = flat_qps_batch(&flat, &queries, sc.dim, sc.k, reps, &pool);
+
+    let t1 = Instant::now();
+    let mut hnsw_par = HnswIndex::new(sc.dim, hnsw_cfg);
+    hnsw_par.add_batch_parallel(&data, &pool);
+    let build_after = t1.elapsed().as_secs_f64();
+    let got_after = hnsw_par.search_batch(&queries, sc.k, &pool);
+    let recall_after = recall(&got_after, &truth, sc.k);
+
+    let flat_speedup = qps_after / qps_before;
+    let build_speedup = build_before / build_after;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"schema\": \"bench_ann/v1\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"corpus\": {{ \"n\": {n}, \"dim\": {dim}, \"nq\": {nq}, \"k\": {k} }},\n",
+            "  \"threads\": {threads},\n",
+            "  \"kernel_before\": \"{kb}\",\n",
+            "  \"kernel_after\": \"{ka}\",\n",
+            "  \"flat_qps_before\": {qb:.2},\n",
+            "  \"flat_qps_after\": {qa:.2},\n",
+            "  \"flat_speedup\": {fs:.3},\n",
+            "  \"hnsw_build_s_before\": {bb:.4},\n",
+            "  \"hnsw_build_s_after\": {ba:.4},\n",
+            "  \"hnsw_build_speedup\": {bs:.3},\n",
+            "  \"recall_at_k_before\": {rb:.4},\n",
+            "  \"recall_at_k_after\": {ra:.4}\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        n = sc.n,
+        dim = sc.dim,
+        nq = sc.nq,
+        k = sc.k,
+        threads = pool.threads(),
+        kb = kernel_before,
+        ka = kernel_after,
+        qb = qps_before,
+        qa = qps_after,
+        fs = flat_speedup,
+        bb = build_before,
+        ba = build_after,
+        bs = build_speedup,
+        rb = recall_before,
+        ra = recall_after,
+    );
+
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!(
+        "flat: {qps_before:.0} -> {qps_after:.0} qps ({flat_speedup:.2}x); \
+         hnsw build: {build_before:.2}s -> {build_after:.2}s ({build_speedup:.2}x); \
+         recall@{}: {recall_before:.4} -> {recall_after:.4}",
+        sc.k
+    );
+    println!("wrote {out_path}");
+}

@@ -5,11 +5,21 @@
 //! embarrassingly parallel; we reproduce the two regimes as a single-thread
 //! path ("CPU") and a multi-thread path ("GPU stand-in"), labeled as such in
 //! the experiment output (DESIGN.md §1).
+//!
+//! Both parallel paths route through the shared [`Pool`]: workers are
+//! bounded by the pool size (never one thread per chunk), tiny inputs run
+//! on the calling thread, and per-column outputs land in fixed slots so the
+//! result is identical to the sequential path for any thread count.
 
 use deepjoin_lake::column::Column;
 use deepjoin_lake::repository::Repository;
+use deepjoin_par::Pool;
 
 use crate::model::DeepJoin;
+
+/// Minimum columns per task: below this, thread hand-off costs more than
+/// the encode itself.
+const MIN_COLS_PER_CHUNK: usize = 8;
 
 /// Encode every column of `repo`, single-threaded. Returns row-major
 /// embeddings in repository order.
@@ -21,57 +31,40 @@ pub fn encode_repository(model: &DeepJoin, repo: &Repository) -> Vec<f32> {
     out
 }
 
-/// Encode every column with `threads` worker threads (the GPU stand-in).
+/// Encode every column with up to `threads` worker threads (the GPU
+/// stand-in). Output is row-major in repository order, identical to
+/// [`encode_repository`].
 pub fn encode_repository_parallel(model: &DeepJoin, repo: &Repository, threads: usize) -> Vec<f32> {
-    let threads = threads.max(1);
-    if threads == 1 || repo.len() < 2 {
-        return encode_repository(model, repo);
-    }
     let dim = model.config().dim;
     let columns = repo.columns();
-    let chunk = columns.len().div_ceil(threads);
     let mut out = vec![0f32; columns.len() * dim];
-
-    std::thread::scope(|scope| {
-        let mut remaining: &mut [f32] = &mut out;
-        for (t, cols) in columns.chunks(chunk).enumerate() {
-            let (head, tail) = remaining.split_at_mut(cols.len() * dim);
-            remaining = tail;
-            let model_ref = &*model;
-            scope.spawn(move || {
-                for (i, col) in cols.iter().enumerate() {
-                    let v = model_ref.embed_column(col);
-                    head[i * dim..(i + 1) * dim].copy_from_slice(&v);
-                }
-            });
-            let _ = t;
-        }
-    });
+    Pool::new(threads.max(1)).for_each_chunk_mut(
+        &mut out,
+        columns.len(),
+        MIN_COLS_PER_CHUNK,
+        |range, slot| {
+            for (i, col) in columns[range].iter().enumerate() {
+                slot[i * dim..(i + 1) * dim].copy_from_slice(&model.embed_column(col));
+            }
+        },
+    );
     out
 }
 
 /// Encode a batch of query columns in parallel (used by the efficiency
 /// benches to measure the GPU-stand-in query path).
 pub fn encode_queries_parallel(model: &DeepJoin, queries: &[Column], threads: usize) -> Vec<Vec<f32>> {
-    let threads = threads.max(1);
-    if threads == 1 || queries.len() < 2 {
-        return queries.iter().map(|q| model.embed_column(q)).collect();
-    }
-    let chunk = queries.len().div_ceil(threads);
     let mut out: Vec<Vec<f32>> = vec![Vec::new(); queries.len()];
-    std::thread::scope(|scope| {
-        let mut rem: &mut [Vec<f32>] = &mut out;
-        for qs in queries.chunks(chunk) {
-            let (head, tail) = rem.split_at_mut(qs.len());
-            rem = tail;
-            let model_ref = &*model;
-            scope.spawn(move || {
-                for (i, q) in qs.iter().enumerate() {
-                    head[i] = model_ref.embed_column(q);
-                }
-            });
-        }
-    });
+    Pool::new(threads.max(1)).for_each_chunk_mut(
+        &mut out,
+        queries.len(),
+        MIN_COLS_PER_CHUNK,
+        |range, slot| {
+            for (v, q) in slot.iter_mut().zip(&queries[range]) {
+                *v = model.embed_column(q);
+            }
+        },
+    );
     out
 }
 

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! dj generate <out.lake>  [--tables N] [--profile webtable|wikitable] [--seed S]
-//! dj train    <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E]
+//! dj train    <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N]
 //! dj search   <in.lake> <in.model> [--k K] [--query-index I]
 //! dj info     <in.model>
 //! ```
+//!
+//! `--threads N` caps the worker pool used for column encoding and index
+//! construction (default: `available_parallelism`). Results are identical
+//! for any thread count.
 //!
 //! Lakes are serialized corpora (the synthetic-generator output); models are
 //! the binary format of `deepjoin::persist`. The CLI exists so the library
@@ -48,7 +52,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -59,6 +63,18 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse `--threads` (default: `available_parallelism`), configure the
+/// process-global pool with it, and return the count.
+fn thread_budget(args: &[String]) -> Result<usize, std::num::ParseIntError> {
+    let n = match flag(args, "--threads") {
+        Some(v) => v.parse()?,
+        None => deepjoin_par::Pool::auto().threads(),
+    };
+    let n = n.max(1);
+    deepjoin_par::Pool::set_global_threads(n);
+    Ok(n)
 }
 
 /// Read a lake file (checksummed `DJLAKE2` or legacy text) and regenerate
@@ -121,6 +137,7 @@ fn cmd_train(args: &[String]) -> CliResult {
         _ => Variant::MpLite,
     };
     let epochs: usize = flag(args, "--epochs").map_or(Ok(6), |v| v.parse())?;
+    let threads = thread_budget(args)?;
 
     // Train on a fresh sample from the lake; index the repository.
     let train_cols = corpus.sample_queries((repo.len() / 3).clamp(200, 3_000), 0x7EA1);
@@ -147,8 +164,8 @@ fn cmd_train(args: &[String]) -> CliResult {
         report.vocab_size,
         report.epoch_losses.last().copied().unwrap_or(f32::NAN)
     );
-    eprintln!("indexing {} columns…", repo.len());
-    model.index_repository(&repo);
+    eprintln!("indexing {} columns ({threads} threads)…", repo.len());
+    model.index_repository_parallel(&repo, threads);
     write_artifact(out, &save_model(&model, true))?;
     println!("wrote {out} ({} bytes)", std::fs::metadata(out)?.len());
     Ok(())
@@ -211,6 +228,7 @@ fn cmd_train_csv(args: &[String]) -> CliResult {
         _ => JoinType::Equi,
     };
     let epochs: usize = flag(args, "--epochs").map_or(Ok(6), |v| v.parse())?;
+    let threads = thread_budget(args)?;
     let config = DeepJoinConfig {
         fine_tune: FineTuneConfig {
             epochs,
@@ -229,7 +247,7 @@ fn cmd_train_csv(args: &[String]) -> CliResult {
         "  {} positives, vocab {}",
         report.num_positives, report.vocab_size
     );
-    model.index_repository(&repo);
+    model.index_repository_parallel(&repo, threads);
     write_artifact(out, &save_model(&model, true))?;
     println!("wrote {out} ({} bytes)", std::fs::metadata(out)?.len());
     Ok(())

@@ -258,8 +258,12 @@ impl DeepJoin {
     }
 
     /// Offline: embed and index every column of the repository (§3.3).
+    ///
+    /// `embed_column` L2-normalizes every embedding, so the index is built
+    /// with the unit-norm promise (enables the cosine `-dot` fast path; a
+    /// no-op under L2).
     pub fn index_repository(&mut self, repo: &Repository) {
-        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw);
+        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw).with_unit_norm(true);
         for col in repo.columns() {
             let v = self.embed_column(col);
             index.add(&v);
@@ -267,11 +271,29 @@ impl DeepJoin {
         self.index = IndexState::Hnsw(index);
     }
 
+    /// [`DeepJoin::index_repository`] with up to `threads` workers for both
+    /// the embedding pass and HNSW construction. The graph is built with the
+    /// deterministic batch inserter, so the result is identical for any
+    /// thread count (though not to the sequential [`DeepJoin::index_repository`]).
+    pub fn index_repository_parallel(&mut self, repo: &Repository, threads: usize) {
+        let embeddings = crate::batch::encode_repository_parallel(self, repo, threads);
+        self.index_embeddings_parallel(&embeddings, threads);
+    }
+
     /// Index pre-computed embeddings (used when the embedding pass was
-    /// batched / parallelized externally).
+    /// batched / parallelized externally). The embeddings must come from
+    /// [`DeepJoin::embed_column`] (unit-norm).
     pub fn index_embeddings(&mut self, embeddings: &[f32]) {
-        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw);
+        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw).with_unit_norm(true);
         index.add_batch(embeddings);
+        self.index = IndexState::Hnsw(index);
+    }
+
+    /// [`DeepJoin::index_embeddings`] using the parallel batch inserter with
+    /// up to `threads` workers.
+    pub fn index_embeddings_parallel(&mut self, embeddings: &[f32], threads: usize) {
+        let mut index = HnswIndex::new(self.config.dim, self.config.hnsw).with_unit_norm(true);
+        index.add_batch_parallel(embeddings, &deepjoin_par::Pool::new(threads.max(1)));
         self.index = IndexState::Hnsw(index);
     }
 

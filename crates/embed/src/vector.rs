@@ -2,29 +2,12 @@
 //!
 //! These are deliberately plain `&[f32]` functions (no vector newtype): the
 //! perf guide favours slices for flexibility, and every consumer (`ann`,
-//! `nn`, `pexeso`) stores its own contiguous buffers.
+//! `nn`, `pexeso`) stores its own contiguous buffers. The heavy reductions
+//! (`dot`, `l2_sq`, `cosine`, `add_scaled`) are re-exports of — or thin
+//! wrappers over — the runtime-dispatched kernels in `deepjoin-simd`, so
+//! every crate shares one set of vetted implementations.
 
-/// Dot product. Panics if lengths differ (debug) — callers guarantee equal
-/// dimensionality.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Iterator zip keeps this free of bounds checks and autovectorizable.
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-/// Squared Euclidean distance.
-#[inline]
-pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
-}
+pub use deepjoin_simd::{dot, l2_sq};
 
 /// Euclidean distance.
 #[inline]
@@ -53,12 +36,7 @@ pub fn normalize(a: &mut [f32]) {
 /// Cosine similarity; 0 when either vector is zero.
 #[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm(a);
-    let nb = norm(b);
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    dot(a, b) / (na * nb)
+    deepjoin_simd::cosine(a, b)
 }
 
 /// `acc += x` element-wise.
@@ -73,10 +51,7 @@ pub fn add_assign(acc: &mut [f32], x: &[f32]) {
 /// `acc += s * x` element-wise.
 #[inline]
 pub fn add_scaled(acc: &mut [f32], x: &[f32], s: f32) {
-    debug_assert_eq!(acc.len(), x.len());
-    for (a, v) in acc.iter_mut().zip(x) {
-        *a += s * v;
-    }
+    deepjoin_simd::axpy(acc, x, s);
 }
 
 /// `a *= s` element-wise.

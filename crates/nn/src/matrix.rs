@@ -1,6 +1,7 @@
 //! A minimal row-major `f32` matrix with the handful of kernels the column
-//! encoder needs. No BLAS — plain loops written to autovectorize (iterator
-//! chains, `chunks_exact`, preallocated outputs), per the perf-book guidance.
+//! encoder needs. No BLAS — the inner loops are the shared `deepjoin-simd`
+//! kernels (`axpy` for the rank-1 updates in `matmul`/`t_matmul`, `dot` for
+//! `matmul_t`), which dispatch to AVX2+FMA at runtime.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,8 +78,8 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        // ikj loop order: the inner j-loop runs over contiguous memory in
-        // both `other` and `out`, which autovectorizes well.
+        // ikj loop order: the inner j-loop is an axpy over contiguous memory
+        // in both `other` and `out`.
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -86,10 +87,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = other.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                deepjoin_simd::axpy(out_row, other.row(p), a);
             }
         }
         out
@@ -107,10 +105,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = out.row_mut(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                deepjoin_simd::axpy(out.row_mut(p), b_row, a);
             }
         }
         out
@@ -120,15 +115,12 @@ impl Matrix {
     /// similarity matrices.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let (m, n) = (self.rows, other.rows);
-        let mut out = Matrix::zeros(m, n);
+        let m = self.rows;
+        let mut out = Matrix::zeros(m, other.rows);
+        // `other`'s rows are contiguous, so each output row is exactly the
+        // blocked one-vs-many dot kernel.
         for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = other.row(j);
-                *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-            }
+            deepjoin_simd::dot_block(self.row(i), &other.data, out.row_mut(i));
         }
         out
     }

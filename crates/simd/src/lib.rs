@@ -1,0 +1,666 @@
+//! # deepjoin-simd
+//!
+//! Runtime-dispatched `f32` kernels for the hot distance paths (DESIGN.md
+//! §"Performance"). Every index in `deepjoin-ann`, the embedding helpers in
+//! `deepjoin-embed` and the matrix loops in `deepjoin-nn` funnel their inner
+//! products through this crate, so one dispatch decision accelerates the
+//! whole system.
+//!
+//! Three implementations of each kernel exist:
+//!
+//! * **scalar** — the straight-line reference (`iter().zip()` chains), kept
+//!   as the parity oracle and the before-side of the bench baseline;
+//! * **portable** — an 8-accumulator unrolled loop with a fixed reduction
+//!   tree, written so LLVM autovectorizes it on any target;
+//! * **avx2** — explicit AVX2+FMA intrinsics behind
+//!   `is_x86_feature_detected!`, with a 4-row blocked one-query-vs-many
+//!   kernel ([`l2_sq_block`]/[`dot_block`]).
+//!
+//! Dispatch is decided once per process (cached CPUID probe) and can be
+//! pinned with [`force_kernel`] so benchmarks can measure before/after in
+//! one binary. Results are deterministic for a fixed kernel: each variant
+//! uses a fixed accumulation order, so the same inputs always produce the
+//! same bits regardless of thread count or call site.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which kernel implementation serves the dispatched entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Straight-line reference implementation.
+    Scalar,
+    /// Portable 8-lane unrolled accumulators (autovectorizes).
+    Portable8,
+    /// AVX2 + FMA intrinsics (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+impl Kernel {
+    /// Stable lower-case name (used in bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Portable8 => "portable8",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 0 = no override, otherwise `Kernel as u8 + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static DETECTED: OnceLock<Kernel> = OnceLock::new();
+
+fn detect() -> Kernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Kernel::Avx2;
+        }
+    }
+    Kernel::Portable8
+}
+
+/// The kernel the dispatched entry points currently use.
+#[inline]
+pub fn active_kernel() -> Kernel {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Kernel::Scalar,
+        2 => Kernel::Portable8,
+        3 => Kernel::Avx2,
+        _ => *DETECTED.get_or_init(detect),
+    }
+}
+
+/// Pin the dispatched kernel (`None` restores auto-detection).
+///
+/// Intended for benchmarks that measure before/after in one process; the
+/// override is process-global, so don't flip it while other threads are
+/// mid-search. Forcing [`Kernel::Avx2`] on a machine without AVX2+FMA falls
+/// back to auto-detection.
+pub fn force_kernel(kernel: Option<Kernel>) {
+    let tag = match kernel {
+        Some(Kernel::Scalar) => 1,
+        Some(Kernel::Portable8) => 2,
+        Some(Kernel::Avx2) if detect() == Kernel::Avx2 => 3,
+        _ => 0,
+    };
+    FORCED.store(tag, Ordering::Relaxed);
+}
+
+/// Scalar reference kernels — the parity oracle for the optimized paths.
+pub mod scalar {
+    /// Dot product.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Squared Euclidean distance.
+    #[inline]
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    /// `acc[i] += s * x[i]`.
+    #[inline]
+    pub fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+        debug_assert_eq!(acc.len(), x.len());
+        for (a, v) in acc.iter_mut().zip(x) {
+            *a += s * v;
+        }
+    }
+}
+
+/// Portable unrolled kernels: 8 independent accumulators reduced in a fixed
+/// tree, so LLVM can keep 8 lanes in flight without needing permission to
+/// reassociate the final sum.
+mod portable {
+    #[inline]
+    fn reduce8(acc: [f32; 8]) -> f32 {
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+    }
+
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0f32; 8];
+        let ca = a.chunks_exact(8);
+        let cb = b.chunks_exact(8);
+        let (ra, rb) = (ca.remainder(), cb.remainder());
+        for (xa, xb) in ca.zip(cb) {
+            for k in 0..8 {
+                acc[k] += xa[k] * xb[k];
+            }
+        }
+        let mut s = reduce8(acc);
+        for (x, y) in ra.iter().zip(rb) {
+            s += x * y;
+        }
+        s
+    }
+
+    #[inline]
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0f32; 8];
+        let ca = a.chunks_exact(8);
+        let cb = b.chunks_exact(8);
+        let (ra, rb) = (ca.remainder(), cb.remainder());
+        for (xa, xb) in ca.zip(cb) {
+            for k in 0..8 {
+                let d = xa[k] - xb[k];
+                acc[k] += d * d;
+            }
+        }
+        let mut s = reduce8(acc);
+        for (x, y) in ra.iter().zip(rb) {
+            let d = x - y;
+            s += d * d;
+        }
+        s
+    }
+
+    #[inline]
+    pub fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+        let ca = acc.chunks_exact_mut(8);
+        let cx = x.chunks_exact(8);
+        let n8 = x.len() - x.len() % 8;
+        for (xa, xx) in ca.zip(cx) {
+            for k in 0..8 {
+                xa[k] += s * xx[k];
+            }
+        }
+        for (a, v) in acc[n8..].iter_mut().zip(&x[n8..]) {
+            *a += s * v;
+        }
+    }
+}
+
+/// AVX2+FMA kernels. Safety: every function is `#[target_feature]`-gated and
+/// only reachable through [`active_kernel`] after a successful CPUID probe.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        // (hi + lo) -> 128; then horizontal pairwise adds.
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(s);
+        let sums = _mm_add_ps(s, shuf);
+        let shuf2 = _mm_movehl_ps(shuf, sums);
+        _mm_cvtss_f32(_mm_add_ss(sums, shuf2))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let mut s = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            s += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            let d1 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)));
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut s = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            s += d * d;
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+        let n = acc.len();
+        let pa = acc.as_mut_ptr();
+        let px = x.as_ptr();
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + 8 <= n {
+            let r = _mm256_fmadd_ps(vs, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(pa.add(i)));
+            _mm256_storeu_ps(pa.add(i), r);
+            i += 8;
+        }
+        while i < n {
+            *pa.add(i) += s * *px.add(i);
+            i += 1;
+        }
+    }
+
+    /// Blocked one-query-vs-many dot: 4 rows share each query load, so the
+    /// query streams from registers while rows stream from memory.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_block(query: &[f32], data: &[f32], out: &mut [f32]) {
+        let dim = query.len();
+        let rows = out.len();
+        let pq = query.as_ptr();
+        let pd = data.as_ptr();
+        let d8 = dim - dim % 8;
+        let mut r = 0;
+        while r + 4 <= rows {
+            let (r0, r1, r2, r3) = (
+                pd.add(r * dim),
+                pd.add((r + 1) * dim),
+                pd.add((r + 2) * dim),
+                pd.add((r + 3) * dim),
+            );
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            let mut j = 0;
+            while j < d8 {
+                let q = _mm256_loadu_ps(pq.add(j));
+                a0 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r0.add(j)), a0);
+                a1 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r1.add(j)), a1);
+                a2 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r2.add(j)), a2);
+                a3 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r3.add(j)), a3);
+                j += 8;
+            }
+            let mut s0 = hsum256(a0);
+            let mut s1 = hsum256(a1);
+            let mut s2 = hsum256(a2);
+            let mut s3 = hsum256(a3);
+            while j < dim {
+                let q = *pq.add(j);
+                s0 += q * *r0.add(j);
+                s1 += q * *r1.add(j);
+                s2 += q * *r2.add(j);
+                s3 += q * *r3.add(j);
+                j += 1;
+            }
+            out[r] = s0;
+            out[r + 1] = s1;
+            out[r + 2] = s2;
+            out[r + 3] = s3;
+            r += 4;
+        }
+        while r < rows {
+            out[r] = dot(query, std::slice::from_raw_parts(pd.add(r * dim), dim));
+            r += 1;
+        }
+    }
+
+    /// Blocked one-query-vs-many squared L2 (see [`dot_block`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn l2_sq_block(query: &[f32], data: &[f32], out: &mut [f32]) {
+        let dim = query.len();
+        let rows = out.len();
+        let pq = query.as_ptr();
+        let pd = data.as_ptr();
+        let d8 = dim - dim % 8;
+        let mut r = 0;
+        while r + 4 <= rows {
+            let (r0, r1, r2, r3) = (
+                pd.add(r * dim),
+                pd.add((r + 1) * dim),
+                pd.add((r + 2) * dim),
+                pd.add((r + 3) * dim),
+            );
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            let mut j = 0;
+            while j < d8 {
+                let q = _mm256_loadu_ps(pq.add(j));
+                let d0 = _mm256_sub_ps(q, _mm256_loadu_ps(r0.add(j)));
+                a0 = _mm256_fmadd_ps(d0, d0, a0);
+                let d1 = _mm256_sub_ps(q, _mm256_loadu_ps(r1.add(j)));
+                a1 = _mm256_fmadd_ps(d1, d1, a1);
+                let d2 = _mm256_sub_ps(q, _mm256_loadu_ps(r2.add(j)));
+                a2 = _mm256_fmadd_ps(d2, d2, a2);
+                let d3 = _mm256_sub_ps(q, _mm256_loadu_ps(r3.add(j)));
+                a3 = _mm256_fmadd_ps(d3, d3, a3);
+                j += 8;
+            }
+            let mut s0 = hsum256(a0);
+            let mut s1 = hsum256(a1);
+            let mut s2 = hsum256(a2);
+            let mut s3 = hsum256(a3);
+            while j < dim {
+                let q = *pq.add(j);
+                let (e0, e1, e2, e3) = (
+                    q - *r0.add(j),
+                    q - *r1.add(j),
+                    q - *r2.add(j),
+                    q - *r3.add(j),
+                );
+                s0 += e0 * e0;
+                s1 += e1 * e1;
+                s2 += e2 * e2;
+                s3 += e3 * e3;
+                j += 1;
+            }
+            out[r] = s0;
+            out[r + 1] = s1;
+            out[r + 2] = s2;
+            out[r + 3] = s3;
+            r += 4;
+        }
+        while r < rows {
+            out[r] = l2_sq(query, std::slice::from_raw_parts(pd.add(r * dim), dim));
+            r += 1;
+        }
+    }
+}
+
+/// Dot product with an explicitly chosen kernel (parity tests; prefer
+/// [`dot`] everywhere else).
+#[inline]
+pub fn dot_with(kernel: Kernel, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    match kernel {
+        Kernel::Scalar => scalar::dot(a, b),
+        Kernel::Portable8 => portable::dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => portable::dot(a, b),
+    }
+}
+
+/// Squared L2 with an explicitly chosen kernel (parity tests).
+#[inline]
+pub fn l2_sq_with(kernel: Kernel, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    match kernel {
+        Kernel::Scalar => scalar::l2_sq(a, b),
+        Kernel::Portable8 => portable::l2_sq(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::l2_sq(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => portable::l2_sq(a, b),
+    }
+}
+
+/// Dot product (runtime-dispatched).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(active_kernel(), a, b)
+}
+
+/// Squared Euclidean distance (runtime-dispatched).
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    l2_sq_with(active_kernel(), a, b)
+}
+
+/// Cosine similarity (0 when either vector is zero), built on the
+/// dispatched dot product.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// `acc[i] += s * x[i]` (runtime-dispatched).
+#[inline]
+pub fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+    assert_eq!(acc.len(), x.len(), "dimension mismatch");
+    match active_kernel() {
+        Kernel::Scalar => scalar::axpy(acc, x, s),
+        Kernel::Portable8 => portable::axpy(acc, x, s),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::axpy(acc, x, s) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => portable::axpy(acc, x, s),
+    }
+}
+
+/// Score one query against `out.len()` contiguous row-major rows of `data`
+/// with the dot product: `out[i] = query · data[i]`.
+///
+/// `data.len()` must equal `out.len() * query.len()`.
+pub fn dot_block(query: &[f32], data: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        data.len(),
+        out.len() * query.len(),
+        "row-major shape mismatch"
+    );
+    if query.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::dot_block(query, data, out) },
+        Kernel::Scalar => {
+            for (o, row) in out.iter_mut().zip(data.chunks_exact(query.len())) {
+                *o = scalar::dot(query, row);
+            }
+        }
+        _ => {
+            for (o, row) in out.iter_mut().zip(data.chunks_exact(query.len())) {
+                *o = portable::dot(query, row);
+            }
+        }
+    }
+}
+
+/// Score one query against `out.len()` contiguous row-major rows of `data`
+/// with squared L2: `out[i] = ||query − data[i]||²`.
+///
+/// `data.len()` must equal `out.len() * query.len()`.
+pub fn l2_sq_block(query: &[f32], data: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        data.len(),
+        out.len() * query.len(),
+        "row-major shape mismatch"
+    );
+    if query.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::l2_sq_block(query, data, out) },
+        Kernel::Scalar => {
+            for (o, row) in out.iter_mut().zip(data.chunks_exact(query.len())) {
+                *o = scalar::l2_sq(query, row);
+            }
+        }
+        _ => {
+            for (o, row) in out.iter_mut().zip(data.chunks_exact(query.len())) {
+                *o = portable::l2_sq(query, row);
+            }
+        }
+    }
+}
+
+/// The kernels available on this machine (always includes scalar and
+/// portable; AVX2 only when detected).
+pub fn available_kernels() -> Vec<Kernel> {
+    let mut out = vec![Kernel::Scalar, Kernel::Portable8];
+    if detect() == Kernel::Avx2 {
+        out.push(Kernel::Avx2);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Lengths exercising every unroll boundary: empty, sub-lane, odd, the
+    /// 8/16 block edges, and larger-than-block sizes.
+    const LENS: &[usize] = &[0, 1, 2, 3, 5, 7, 8, 9, 13, 15, 16, 17, 24, 31, 33, 64, 100, 257];
+
+    fn vecs(len: usize, seed: u64, scale: f32) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..len).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect();
+        let b = (0..len).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect();
+        (a, b)
+    }
+
+    /// |got − want| ≤ 1e-5 · (magnitude of the summed terms), the right
+    /// relative notion for reduction kernels (tolerant of reassociation and
+    /// FMA, tight enough to catch indexing bugs).
+    fn assert_close(got: f32, want: f64, terms_magnitude: f64, ctx: &str) {
+        let tol = 1e-5 * terms_magnitude.max(1e-30);
+        assert!(
+            ((got as f64) - want).abs() <= tol,
+            "{ctx}: got {got}, want {want}, tol {tol}"
+        );
+    }
+
+    fn check_parity(scale: f32, seed: u64) {
+        for &len in LENS {
+            let (a, b) = vecs(len, seed ^ len as u64, scale);
+            let dot_ref: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let dot_mag: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f64 * y as f64).abs())
+                .sum();
+            let l2_ref: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+                .sum();
+            for k in available_kernels() {
+                let ctx = format!("kernel {} len {len} scale {scale}", k.name());
+                assert_close(dot_with(k, &a, &b), dot_ref, dot_mag, &format!("dot {ctx}"));
+                assert_close(l2_sq_with(k, &a, &b), l2_ref, l2_ref, &format!("l2 {ctx}"));
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_random_inputs() {
+        check_parity(1.0, 11);
+        check_parity(1000.0, 12);
+    }
+
+    #[test]
+    fn kernels_agree_on_denormal_adjacent_inputs() {
+        // Products of ±1e-19 values land around 1e-38, the f32 denormal
+        // boundary; sums must still agree relatively.
+        check_parity(1e-19, 13);
+    }
+
+    #[test]
+    fn blocks_match_per_row_kernels() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &dim in &[1usize, 3, 8, 17, 32, 64, 96] {
+            for &rows in &[0usize, 1, 2, 3, 4, 5, 7, 9, 16] {
+                let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let data: Vec<f32> = (0..rows * dim)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect();
+                let mut got_d = vec![0f32; rows];
+                let mut got_l = vec![0f32; rows];
+                dot_block(&q, &data, &mut got_d);
+                l2_sq_block(&q, &data, &mut got_l);
+                for r in 0..rows {
+                    let row = &data[r * dim..(r + 1) * dim];
+                    let wd: f64 = q.iter().zip(row).map(|(&x, &y)| x as f64 * y as f64).sum();
+                    let wl: f64 = q
+                        .iter()
+                        .zip(row)
+                        .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+                        .sum();
+                    let mag: f64 = q
+                        .iter()
+                        .zip(row)
+                        .map(|(&x, &y)| (x as f64 * y as f64).abs())
+                        .sum();
+                    assert_close(got_d[r], wd, mag, &format!("dot_block dim {dim} row {r}"));
+                    assert_close(got_l[r], wl, wl.max(mag), &format!("l2_block dim {dim} row {r}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &len in LENS {
+            let x: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let base: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let s = rng.gen_range(-2.0f32..2.0);
+            let mut want = base.clone();
+            scalar::axpy(&mut want, &x, s);
+            let mut got = base.clone();
+            axpy(&mut got, &x, s);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-6 * w.abs().max(1.0), "axpy len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1., 0., 0.], &[2., 0., 0.]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1., 0.], &[0., 1.]).abs() < 1e-6);
+        assert_eq!(cosine(&[0., 0.], &[1., 1.]), 0.0);
+    }
+
+    #[test]
+    fn forcing_kernels_is_reversible() {
+        // Note: other tests in this file run concurrently, so only assert
+        // on the explicit-kernel paths, not the dispatched ones.
+        for k in available_kernels() {
+            assert!(!k.name().is_empty());
+        }
+        force_kernel(None);
+        let auto = active_kernel();
+        assert!(available_kernels().contains(&auto));
+    }
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Reproducible ANN performance baseline: builds the workspace in release
+# mode, runs the before/after kernel + parallelism benchmark, and validates
+# the emitted report against the bench_ann/v1 schema.
+#
+# Usage:
+#   scripts/bench.sh            # full corpus, writes BENCH_ann.json
+#   scripts/bench.sh --quick    # tiny corpus (CI smoke), same schema
+#
+# Extra arguments are forwarded to bench_ann (e.g. --threads 4 --out p.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_ann.json"
+args=("$@")
+for ((i = 0; i < ${#args[@]}; i++)); do
+    if [[ "${args[$i]}" == "--out" ]]; then
+        OUT="${args[$((i + 1))]}"
+    fi
+done
+
+cargo build --release -p deepjoin-bench --bin bench_ann
+./target/release/bench_ann --out "$OUT" "$@"
+
+# Schema check: required keys present, speedups and recalls are numbers.
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+
+required = {
+    "schema": str, "mode": str, "corpus": dict, "threads": int,
+    "kernel_before": str, "kernel_after": str,
+    "flat_qps_before": (int, float), "flat_qps_after": (int, float),
+    "flat_speedup": (int, float),
+    "hnsw_build_s_before": (int, float), "hnsw_build_s_after": (int, float),
+    "hnsw_build_speedup": (int, float),
+    "recall_at_k_before": (int, float), "recall_at_k_after": (int, float),
+}
+for key, ty in required.items():
+    assert key in report, f"missing key: {key}"
+    assert isinstance(report[key], ty), f"bad type for {key}: {report[key]!r}"
+assert report["schema"] == "bench_ann/v1", report["schema"]
+for key in ("n", "dim", "nq", "k"):
+    assert isinstance(report["corpus"].get(key), int), f"corpus.{key}"
+assert 0.0 <= report["recall_at_k_before"] <= 1.0
+assert 0.0 <= report["recall_at_k_after"] <= 1.0
+print(f"{path}: schema OK "
+      f"(flat {report['flat_speedup']:.2f}x, "
+      f"build {report['hnsw_build_speedup']:.2f}x, "
+      f"recall {report['recall_at_k_before']:.4f} -> "
+      f"{report['recall_at_k_after']:.4f})")
+EOF

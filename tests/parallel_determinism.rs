@@ -1,0 +1,101 @@
+//! Cross-crate determinism guarantees of the parallel substrates: on a
+//! fixed-seed corpus, the parallel HNSW batch build and the batched flat
+//! scan must return identical top-k results for every pool size.
+
+use deepjoin_ann::distance::Metric;
+use deepjoin_ann::flat::FlatIndex;
+use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
+use deepjoin_ann::index::{Neighbor, VectorIndex};
+use deepjoin_par::Pool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 24;
+const N: usize = 1_500;
+const NQ: usize = 25;
+const K: usize = 10;
+
+fn unit_vectors(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0f32; n * DIM];
+    for row in out.chunks_exact_mut(DIM) {
+        for x in row.iter_mut() {
+            *x = rng.gen_range(-1.0f32..1.0);
+        }
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for x in row.iter_mut() {
+            *x /= norm;
+        }
+    }
+    out
+}
+
+fn ids(hits: &[Neighbor]) -> Vec<u32> {
+    hits.iter().map(|h| h.id).collect()
+}
+
+#[test]
+fn parallel_hnsw_build_and_flat_scan_are_pool_size_invariant() {
+    let data = unit_vectors(N, 0xD1CE);
+    let queries = unit_vectors(NQ, 0xFEED);
+
+    // Reference: everything on a single-thread pool.
+    let serial = Pool::serial();
+    let mut hnsw_ref = HnswIndex::new(DIM, HnswConfig::default());
+    hnsw_ref.add_batch_parallel(&data, &serial);
+    let mut flat_ref = FlatIndex::new(DIM, Metric::L2);
+    flat_ref.add_batch(&data);
+
+    let hnsw_expected: Vec<Vec<u32>> = queries
+        .chunks_exact(DIM)
+        .map(|q| ids(&hnsw_ref.search(q, K)))
+        .collect();
+    let flat_expected: Vec<Vec<u32>> = queries
+        .chunks_exact(DIM)
+        .map(|q| ids(&flat_ref.search(q, K)))
+        .collect();
+
+    for threads in [2, 5, 16] {
+        let pool = Pool::new(threads);
+
+        let mut hnsw = HnswIndex::new(DIM, HnswConfig::default());
+        hnsw.add_batch_parallel(&data, &pool);
+        let hnsw_got: Vec<Vec<u32>> = hnsw
+            .search_batch(&queries, K, &pool)
+            .iter()
+            .map(|h| ids(h))
+            .collect();
+        assert_eq!(hnsw_got, hnsw_expected, "hnsw differs at {threads} threads");
+
+        let flat_got: Vec<Vec<u32>> = flat_ref
+            .search_batch(&queries, K, &pool)
+            .iter()
+            .map(|h| ids(h))
+            .collect();
+        assert_eq!(flat_got, flat_expected, "flat differs at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_hnsw_matches_flat_oracle_closely() {
+    // The deterministic parallel build must not cost recall: against the
+    // exact oracle it has to stay near-perfect on an easy corpus.
+    let data = unit_vectors(N, 0x0DD5);
+    let queries = unit_vectors(NQ, 0x5EED);
+
+    let mut hnsw = HnswIndex::new(DIM, HnswConfig::default());
+    hnsw.add_batch_parallel(&data, &Pool::new(4));
+    let mut flat = FlatIndex::new(DIM, Metric::L2);
+    flat.add_batch(&data);
+
+    let mut hit = 0usize;
+    for q in queries.chunks_exact(DIM) {
+        let truth = ids(&flat.search(q, K));
+        hit += ids(&hnsw.search(q, K))
+            .iter()
+            .filter(|id| truth.contains(id))
+            .count();
+    }
+    let recall = hit as f64 / (NQ * K) as f64;
+    assert!(recall >= 0.95, "parallel-built HNSW recall {recall}");
+}
