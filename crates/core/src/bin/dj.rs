@@ -3,6 +3,7 @@
 //! ```text
 //! dj generate <out.lake>  [--tables N] [--profile webtable|wikitable] [--seed S]
 //! dj train    <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N]
+//!             [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
 //! dj search   <in.lake> <in.model> [--k K] [--query-index I]
 //! dj info     <in.model>
 //! ```
@@ -11,6 +12,12 @@
 //! construction (default: `available_parallelism`). Results are identical
 //! for any thread count.
 //!
+//! `--checkpoint-every N` snapshots fine-tuning state every N optimizer
+//! steps into a two-slot checkpoint directory (default `<out.model>.ckpt`,
+//! override with `--checkpoint-dir`). `--resume DIR` restarts a killed run
+//! from the newest intact checkpoint in `DIR`; the resumed model is
+//! bit-identical to an uninterrupted run.
+//!
 //! Lakes are serialized corpora (the synthetic-generator output); models are
 //! the binary format of `deepjoin::persist`. The CLI exists so the library
 //! can be exercised end-to-end without writing Rust.
@@ -18,9 +25,11 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use deepjoin::checkpoint::CheckpointStore;
 use deepjoin::model::{DeepJoin, DeepJoinConfig, IndexHealth, Variant};
 use deepjoin::persist::{load_model, save_model};
 use deepjoin::train::{FineTuneConfig, JoinType};
+use deepjoin::trainer::TrainerConfig;
 use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
 use deepjoin_lake::joinability::equi_joinability;
 use deepjoin_lake::lakefile;
@@ -52,7 +61,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -65,14 +74,29 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parse a numeric flag that must be ≥ 1, with actionable messages: a `0`
+/// or a non-number names the flag, shows the offending value, and says how
+/// to fix it — instead of a bare `ParseIntError` or a silent clamp.
+fn parse_positive(args: &[String], name: &str, default_hint: &str) -> Result<Option<usize>, String> {
+    let Some(raw) = flag(args, name) else {
+        return Ok(None);
+    };
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{name} must be at least 1 (got 0); omit the flag to use the default ({default_hint})"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{name} expects a whole number of at least 1, got '{raw}'"
+        )),
+    }
+}
+
 /// Parse `--threads` (default: `available_parallelism`), configure the
 /// process-global pool with it, and return the count.
-fn thread_budget(args: &[String]) -> Result<usize, std::num::ParseIntError> {
-    let n = match flag(args, "--threads") {
-        Some(v) => v.parse()?,
-        None => deepjoin_par::Pool::auto().threads(),
-    };
-    let n = n.max(1);
+fn thread_budget(args: &[String]) -> Result<usize, String> {
+    let n = parse_positive(args, "--threads", "all available cores")?
+        .unwrap_or_else(|| deepjoin_par::Pool::auto().threads());
     deepjoin_par::Pool::set_global_threads(n);
     Ok(n)
 }
@@ -136,8 +160,15 @@ fn cmd_train(args: &[String]) -> CliResult {
         Some("distil") => Variant::DistilLite,
         _ => Variant::MpLite,
     };
-    let epochs: usize = flag(args, "--epochs").map_or(Ok(6), |v| v.parse())?;
+    let epochs = parse_positive(args, "--epochs", "6")?.unwrap_or(6);
     let threads = thread_budget(args)?;
+    let checkpoint_every =
+        parse_positive(args, "--checkpoint-every", "checkpoint at epoch boundaries")?;
+    // Any checkpoint-related flag enables the store; --resume names the
+    // directory to continue from (and keep checkpointing into).
+    let store_dir = flag(args, "--resume")
+        .or_else(|| flag(args, "--checkpoint-dir"))
+        .or_else(|| checkpoint_every.map(|_| format!("{out}.ckpt")));
 
     // Train on a fresh sample from the lake; index the repository.
     let train_cols = corpus.sample_queries((repo.len() / 3).clamp(200, 3_000), 0x7EA1);
@@ -155,14 +186,35 @@ fn cmd_train(args: &[String]) -> CliResult {
         },
         ..DeepJoinConfig::default()
     };
+    let trainer = TrainerConfig {
+        checkpoint_every: checkpoint_every.unwrap_or(0),
+        ..TrainerConfig::default()
+    };
+    let io = StdIo;
+    let mut store = match &store_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            eprintln!("checkpointing into {dir}");
+            Some(CheckpointStore::new(&io, dir.clone()))
+        }
+        None => None,
+    };
     eprintln!("training {} on {} columns…", variant.name(), train_repo.len());
-    let (mut model, report) = DeepJoin::train(&train_repo, join, config);
+    let (mut model, report) =
+        DeepJoin::train_checkpointed(&train_repo, join, config, &trainer, store.as_mut());
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    if let Some(step) = report.resumed_from {
+        eprintln!("  resumed from checkpoint at step {step}");
+    }
     eprintln!(
-        "  {} positives, {} pairs, vocab {}, final loss {:.3}",
+        "  {} positives, {} pairs, vocab {}, final loss {:.3}, {} rollback(s)",
         report.num_positives,
         report.num_pairs,
         report.vocab_size,
-        report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        report.rollbacks
     );
     eprintln!("indexing {} columns ({threads} threads)…", repo.len());
     model.index_repository_parallel(&repo, threads);
@@ -227,7 +279,7 @@ fn cmd_train_csv(args: &[String]) -> CliResult {
         Some("semantic") => JoinType::Semantic { tau: 0.9 },
         _ => JoinType::Equi,
     };
-    let epochs: usize = flag(args, "--epochs").map_or(Ok(6), |v| v.parse())?;
+    let epochs = parse_positive(args, "--epochs", "6")?.unwrap_or(6);
     let threads = thread_budget(args)?;
     let config = DeepJoinConfig {
         fine_tune: FineTuneConfig {
@@ -315,5 +367,59 @@ fn cmd_info(args: &[String]) -> CliResult {
         }
         health => println!("index health  : {}", health.label()),
     }
+    match model.lineage() {
+        Some(l) => println!(
+            "training      : {} epoch(s), {} step(s), final loss {:.3}, {} rollback(s)",
+            l.epochs, l.steps, l.last_loss, l.rollbacks
+        ),
+        None => println!("training      : unknown (snapshot predates lineage tracking)"),
+    }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_finds_values() {
+        let args = argv(&["in.lake", "out.model", "--epochs", "4", "--threads", "2"]);
+        assert_eq!(flag(&args, "--epochs").as_deref(), Some("4"));
+        assert_eq!(flag(&args, "--threads").as_deref(), Some("2"));
+        assert_eq!(flag(&args, "--k"), None);
+        // Trailing flag with no value.
+        assert_eq!(flag(&argv(&["--epochs"]), "--epochs"), None);
+    }
+
+    #[test]
+    fn parse_positive_accepts_valid_and_defaults() {
+        let args = argv(&["--epochs", "4"]);
+        assert_eq!(parse_positive(&args, "--epochs", "6").unwrap(), Some(4));
+        assert_eq!(parse_positive(&args, "--threads", "auto").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_positive_rejects_zero_with_actionable_message() {
+        for name in ["--threads", "--epochs", "--checkpoint-every"] {
+            let args = argv(&[name, "0"]);
+            let err = parse_positive(&args, name, "the default").unwrap_err();
+            assert!(err.contains(name), "message names the flag: {err}");
+            assert!(err.contains("at least 1"), "message says the bound: {err}");
+            assert!(err.contains("omit the flag"), "message says the fix: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_positive_rejects_garbage_with_the_value_shown() {
+        for bad in ["abc", "-3", "1.5", ""] {
+            let args = argv(&["--checkpoint-every", bad]);
+            let err = parse_positive(&args, "--checkpoint-every", "x").unwrap_err();
+            assert!(err.contains("--checkpoint-every"), "{err}");
+            assert!(err.contains(&format!("'{bad}'")), "{err}");
+        }
+    }
 }

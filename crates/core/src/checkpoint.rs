@@ -1,0 +1,593 @@
+//! Checkpoint persistence for resumable fine-tuning.
+//!
+//! A checkpoint is a `DJAR` container (`deepjoin_store::container`) with
+//! three checksummed sections — the `CKPT` section family:
+//!
+//! * `CKPT` — trainer metadata: a fingerprint binding the checkpoint to its
+//!   training data + hyperparameters, epoch/step counters, the RNG stream
+//!   bump, rollback count, the loss-spike detector state, and the partial
+//!   epoch-loss accumulator;
+//! * `ENCP` — the encoder configuration and all nine parameter tensors;
+//! * `OPTS` — the optimizer state: dense AdamW moments + step counter and
+//!   the sparse lazy-Adam embedding moments and per-row counters.
+//!
+//! [`CheckpointStore`] keeps **two slots** (`ckpt-0.djar`, `ckpt-1.djar`)
+//! and always writes into the slot *not* holding the latest good
+//! checkpoint. Combined with the atomic temp/fsync/rename write path, a
+//! crash — even a torn write on a non-atomic store — can damage at most
+//! one slot, and [`CheckpointStore::load_latest`] falls back to the other:
+//! a torn or bit-flipped slot fails its CRC, produces a warning, and the
+//! previous good checkpoint is used instead.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use deepjoin_lake::tokenizer::TokenId;
+use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, OptimizerState, Pooling};
+use deepjoin_store::codec::{DecodeError, DecodeErrorKind, Reader, Writer};
+use deepjoin_store::{ArtifactIo, Container, ContainerBuilder};
+
+use crate::train::FineTuneConfig;
+
+/// Container section holding the trainer metadata.
+pub const SECTION_CKPT_META: [u8; 4] = *b"CKPT";
+/// Container section holding the encoder config + parameters.
+pub const SECTION_CKPT_ENCODER: [u8; 4] = *b"ENCP";
+/// Container section holding the optimizer state.
+pub const SECTION_CKPT_OPTIMIZER: [u8; 4] = *b"OPTS";
+
+/// Magic of the `CKPT` metadata payload.
+const META_MAGIC: &[u8; 4] = b"DJC1";
+const META_VERSION: u8 = 1;
+
+/// Trainer state at a step boundary (everything besides the raw tensors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    /// Fingerprint of the training pairs + fine-tune config this checkpoint
+    /// belongs to; a mismatch on resume means the data or hyperparameters
+    /// changed and the checkpoint must not be applied.
+    pub fingerprint: u64,
+    /// Completed epochs.
+    pub epoch: u64,
+    /// Batches (chunks of the shuffled order) consumed in the current epoch,
+    /// including degenerate skipped ones — the replay cursor.
+    pub batch_in_epoch: u64,
+    /// Optimizer steps applied over the whole run.
+    pub global_step: u64,
+    /// RNG stream bump: incremented by each rollback so the re-shuffled
+    /// epoch order differs from the one that led to the spike.
+    pub stream_bump: u64,
+    /// Rollbacks performed so far.
+    pub rollbacks: u64,
+    /// Loss-spike detector EMA (`None` until the first applied batch).
+    pub ema_loss: Option<f32>,
+    /// Batches the EMA has absorbed (the detector arms after a warmup).
+    pub ema_batches: u64,
+    /// Sum of batch losses in the current (partial) epoch.
+    pub partial_total: f32,
+    /// Applied batches in the current (partial) epoch.
+    pub partial_batches: u64,
+    /// Mean loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// A decoded checkpoint: metadata plus the tensors to restore.
+#[derive(Debug, Clone)]
+pub struct LoadedCheckpoint {
+    /// Trainer metadata.
+    pub meta: CheckpointMeta,
+    /// Encoder configuration recorded at save time.
+    pub encoder_config: EncoderConfig,
+    /// The nine encoder tensors, in `raw_params` order.
+    pub encoder_params: [Vec<f32>; 9],
+    /// Optimizer state snapshot.
+    pub optimizer: OptimizerState,
+}
+
+/// FNV-1a over the training pairs' token ids and the fine-tune
+/// hyperparameters: the identity a checkpoint is bound to.
+pub fn training_fingerprint(pairs: &[(Vec<TokenId>, Vec<TokenId>)], config: &FineTuneConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&(pairs.len() as u64).to_le_bytes());
+    for (x, y) in pairs {
+        eat(&(x.len() as u64).to_le_bytes());
+        for &t in x {
+            eat(&t.to_le_bytes());
+        }
+        eat(&(y.len() as u64).to_le_bytes());
+        for &t in y {
+            eat(&t.to_le_bytes());
+        }
+    }
+    eat(&(config.epochs as u64).to_le_bytes());
+    eat(&(config.batch_size as u64).to_le_bytes());
+    eat(&config.mnr_scale.to_le_bytes());
+    eat(&config.seed.to_le_bytes());
+    eat(&config.adam.lr.to_le_bytes());
+    eat(&config.adam.beta1.to_le_bytes());
+    eat(&config.adam.beta2.to_le_bytes());
+    eat(&config.adam.eps.to_le_bytes());
+    eat(&config.adam.weight_decay.to_le_bytes());
+    eat(&(config.adam.warmup_steps as u64).to_le_bytes());
+    eat(&config.adam.clip_norm.to_le_bytes());
+    h
+}
+
+fn put_meta(w: &mut Writer, meta: &CheckpointMeta) {
+    w.put_slice(META_MAGIC);
+    w.put_u8(META_VERSION);
+    w.put_u64_le(meta.fingerprint);
+    w.put_u64_le(meta.epoch);
+    w.put_u64_le(meta.batch_in_epoch);
+    w.put_u64_le(meta.global_step);
+    w.put_u64_le(meta.stream_bump);
+    w.put_u64_le(meta.rollbacks);
+    match meta.ema_loss {
+        Some(v) => {
+            w.put_u8(1);
+            w.put_f32_le(v);
+        }
+        None => {
+            w.put_u8(0);
+            w.put_f32_le(0.0);
+        }
+    }
+    w.put_u64_le(meta.ema_batches);
+    w.put_f32_le(meta.partial_total);
+    w.put_u64_le(meta.partial_batches);
+    w.put_f32s(&meta.epoch_losses);
+}
+
+fn get_meta(r: &mut Reader<'_>) -> Result<CheckpointMeta, DecodeError> {
+    r.expect_magic(META_MAGIC)?;
+    r.expect_version(META_VERSION)?;
+    let fingerprint = r.u64_le()?;
+    let epoch = r.u64_le()?;
+    let batch_in_epoch = r.u64_le()?;
+    let global_step = r.u64_le()?;
+    let stream_bump = r.u64_le()?;
+    let rollbacks = r.u64_le()?;
+    let ema_flag = r.u8()?;
+    let ema_value = r.f32_le()?;
+    let ema_loss = match ema_flag {
+        0 => None,
+        1 => Some(ema_value),
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+    };
+    let ema_batches = r.u64_le()?;
+    let partial_total = r.f32_le()?;
+    let partial_batches = r.u64_le()?;
+    let epoch_losses = r.f32s()?;
+    Ok(CheckpointMeta {
+        fingerprint,
+        epoch,
+        batch_in_epoch,
+        global_step,
+        stream_bump,
+        rollbacks,
+        ema_loss,
+        ema_batches,
+        partial_total,
+        partial_batches,
+        epoch_losses,
+    })
+}
+
+fn put_encoder(w: &mut Writer, encoder: &ColumnEncoder) {
+    let c = &encoder.config;
+    w.put_u64_le(c.vocab_size as u64);
+    w.put_u64_le(c.dim as u64);
+    w.put_u64_le(c.out_dim as u64);
+    w.put_u64_le(c.attn_hidden as u64);
+    w.put_u64_le(c.max_len as u64);
+    w.put_u8(match c.pooling {
+        Pooling::Mean => 0,
+        Pooling::Attention => 1,
+    });
+    w.put_u8(c.use_positions as u8);
+    w.put_u8(c.residual as u8);
+    w.put_u64_le(c.seed);
+    let (emb, pos, aw, ab, av, h1w, h1b, h2w, h2b) = encoder.raw_params();
+    for t in [emb, pos, aw, ab, av, h1w, h1b, h2w, h2b] {
+        w.put_f32s(t);
+    }
+}
+
+fn get_encoder(r: &mut Reader<'_>) -> Result<(EncoderConfig, [Vec<f32>; 9]), DecodeError> {
+    let vocab_size = r.u64_le()? as usize;
+    let dim = r.u64_le()? as usize;
+    let out_dim = r.u64_le()? as usize;
+    let attn_hidden = r.u64_le()? as usize;
+    let max_len = r.u64_le()? as usize;
+    let pooling = match r.u8()? {
+        0 => Pooling::Mean,
+        1 => Pooling::Attention,
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+    };
+    let use_positions = r.u8()? != 0;
+    let residual = r.u8()? != 0;
+    let seed = r.u64_le()?;
+    let config = EncoderConfig {
+        vocab_size,
+        dim,
+        out_dim,
+        attn_hidden,
+        max_len,
+        pooling,
+        use_positions,
+        residual,
+        seed,
+    };
+    let mut params: [Vec<f32>; 9] = Default::default();
+    for p in params.iter_mut() {
+        *p = r.f32s()?;
+    }
+    Ok((config, params))
+}
+
+fn put_optimizer(w: &mut Writer, state: &OptimizerState) {
+    w.put_u64_le(state.t);
+    w.put_u32_le(state.dense_m.len() as u32);
+    for m in &state.dense_m {
+        w.put_f32s(m);
+    }
+    for v in &state.dense_v {
+        w.put_f32s(v);
+    }
+    w.put_f32s(&state.emb_m);
+    w.put_f32s(&state.emb_v);
+    w.put_u64_le(state.emb_t.len() as u64);
+    for &t in &state.emb_t {
+        w.put_u32_le(t);
+    }
+}
+
+fn get_optimizer(r: &mut Reader<'_>) -> Result<OptimizerState, DecodeError> {
+    let t = r.u64_le()?;
+    // Each dense buffer costs at least its 8-byte length prefix.
+    let n_dense = r.count_u32(8)?;
+    let mut dense_m = Vec::with_capacity(n_dense);
+    for _ in 0..n_dense {
+        dense_m.push(r.f32s()?);
+    }
+    let mut dense_v = Vec::with_capacity(n_dense);
+    for _ in 0..n_dense {
+        dense_v.push(r.f32s()?);
+    }
+    let emb_m = r.f32s()?;
+    let emb_v = r.f32s()?;
+    let n_rows = r.count(4)?;
+    let mut emb_t = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        emb_t.push(r.u32_le()?);
+    }
+    Ok(OptimizerState {
+        t,
+        dense_m,
+        dense_v,
+        emb_m,
+        emb_v,
+        emb_t,
+    })
+}
+
+/// Serialize a checkpoint container from the trainer's current state.
+pub fn encode_checkpoint(
+    meta: &CheckpointMeta,
+    encoder: &ColumnEncoder,
+    optimizer: &OptimizerState,
+) -> Vec<u8> {
+    let mut m = Writer::new();
+    put_meta(&mut m, meta);
+    let mut e = Writer::with_capacity(1 << 16);
+    put_encoder(&mut e, encoder);
+    let mut o = Writer::with_capacity(1 << 16);
+    put_optimizer(&mut o, optimizer);
+    ContainerBuilder::new()
+        .section(SECTION_CKPT_META, m.into_vec())
+        .section(SECTION_CKPT_ENCODER, e.into_vec())
+        .section(SECTION_CKPT_OPTIMIZER, o.into_vec())
+        .build()
+}
+
+fn section_bytes<'a>(
+    container: &Container<'a>,
+    name: [u8; 4],
+    label: &'static str,
+) -> Result<&'a [u8], DecodeError> {
+    match container.section(name, label) {
+        None => Err(DecodeError::new(
+            DecodeErrorKind::Invalid("checkpoint container is missing a section"),
+            label,
+            0,
+        )),
+        Some(res) => res,
+    }
+}
+
+/// Parse and verify a checkpoint container. Any framing damage, CRC
+/// mismatch, or payload inconsistency is an error — a checkpoint is either
+/// fully intact or unusable (the two-slot store provides the fallback).
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<LoadedCheckpoint, DecodeError> {
+    let container = Container::parse(bytes)?;
+    let meta = {
+        let mut r = Reader::new(section_bytes(&container, SECTION_CKPT_META, "CKPT")?, "CKPT");
+        get_meta(&mut r)?
+    };
+    let (encoder_config, encoder_params) = {
+        let mut r = Reader::new(
+            section_bytes(&container, SECTION_CKPT_ENCODER, "ENCP")?,
+            "ENCP",
+        );
+        get_encoder(&mut r)?
+    };
+    let optimizer = {
+        let mut r = Reader::new(
+            section_bytes(&container, SECTION_CKPT_OPTIMIZER, "OPTS")?,
+            "OPTS",
+        );
+        get_optimizer(&mut r)?
+    };
+    Ok(LoadedCheckpoint {
+        meta,
+        encoder_config,
+        encoder_params,
+        optimizer,
+    })
+}
+
+/// Two-slot checkpoint directory over an [`ArtifactIo`].
+pub struct CheckpointStore<'a> {
+    io: &'a dyn ArtifactIo,
+    dir: PathBuf,
+    next_slot: usize,
+}
+
+impl<'a> CheckpointStore<'a> {
+    /// A store rooted at `dir`. The directory must already exist for
+    /// filesystem-backed IO (`dj train` creates it).
+    pub fn new(io: &'a dyn ArtifactIo, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            io,
+            dir: dir.into(),
+            next_slot: 0,
+        }
+    }
+
+    /// The directory checkpoints are written into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of slot `slot` (0 or 1).
+    pub fn slot_path(&self, slot: usize) -> PathBuf {
+        self.dir.join(format!("ckpt-{slot}.djar"))
+    }
+
+    /// True when either slot file exists.
+    pub fn any_slot_exists(&self) -> bool {
+        self.io.exists(&self.slot_path(0)) || self.io.exists(&self.slot_path(1))
+    }
+
+    /// Load the newest intact checkpoint, preferring higher
+    /// `(global_step, rollbacks, stream_bump)` — the tuple ordering makes a
+    /// post-rollback checkpoint (same step, higher rollback count) win over
+    /// the state it rolled back to. Damaged or unreadable slots are
+    /// reported through the returned warnings and skipped; the store's
+    /// write cursor is positioned so the next save does not overwrite the
+    /// slot that just loaded.
+    pub fn load_latest(&mut self) -> (Option<LoadedCheckpoint>, Vec<String>) {
+        let mut warnings = Vec::new();
+        let mut best: Option<(usize, LoadedCheckpoint)> = None;
+        for slot in 0..2 {
+            let path = self.slot_path(slot);
+            if !self.io.exists(&path) {
+                continue;
+            }
+            let bytes = match self.io.read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    warnings.push(format!(
+                        "checkpoint slot {} unreadable ({e}); ignoring it",
+                        path.display()
+                    ));
+                    continue;
+                }
+            };
+            match decode_checkpoint(&bytes) {
+                Ok(ck) => {
+                    let key = |m: &CheckpointMeta| (m.global_step, m.rollbacks, m.stream_bump);
+                    if best
+                        .as_ref()
+                        .is_none_or(|(_, b)| key(&ck.meta) > key(&b.meta))
+                    {
+                        best = Some((slot, ck));
+                    }
+                }
+                Err(e) => warnings.push(format!(
+                    "checkpoint slot {} failed verification ({e}); \
+                     falling back to the other slot",
+                    path.display()
+                )),
+            }
+        }
+        match best {
+            Some((slot, ck)) => {
+                self.next_slot = 1 - slot;
+                (Some(ck), warnings)
+            }
+            None => {
+                self.next_slot = 0;
+                (None, warnings)
+            }
+        }
+    }
+
+    /// Atomically write checkpoint bytes into the non-latest slot, then
+    /// advance the cursor so the slot just written becomes the protected
+    /// one. Returns the path written.
+    pub fn save(&mut self, bytes: &[u8]) -> io::Result<PathBuf> {
+        let path = self.slot_path(self.next_slot);
+        self.io.write_atomic(&path, bytes)?;
+        self.next_slot = 1 - self.next_slot;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepjoin_nn::adam::AdamConfig;
+    use deepjoin_nn::encoder::EncoderOptimizer;
+    use deepjoin_store::{Fault, FaultyIo, MemIo};
+
+    fn tiny_encoder() -> ColumnEncoder {
+        ColumnEncoder::new(EncoderConfig {
+            vocab_size: 12,
+            dim: 6,
+            out_dim: 6,
+            attn_hidden: 3,
+            max_len: 8,
+            pooling: Pooling::Attention,
+            use_positions: true,
+            residual: true,
+            seed: 0xC4,
+        })
+    }
+
+    fn sample_meta(step: u64) -> CheckpointMeta {
+        CheckpointMeta {
+            fingerprint: 0xF00D,
+            epoch: 1,
+            batch_in_epoch: 3,
+            global_step: step,
+            stream_bump: 0,
+            rollbacks: 0,
+            ema_loss: Some(1.25),
+            ema_batches: 7,
+            partial_total: 4.5,
+            partial_batches: 3,
+            epoch_losses: vec![2.0],
+        }
+    }
+
+    fn sample_bytes(step: u64) -> Vec<u8> {
+        let enc = tiny_encoder();
+        let opt = EncoderOptimizer::new(&enc, AdamConfig::default());
+        encode_checkpoint(&sample_meta(step), &enc, &opt.export_state())
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let enc = tiny_encoder();
+        let opt = EncoderOptimizer::new(&enc, AdamConfig::default());
+        let meta = sample_meta(42);
+        let bytes = encode_checkpoint(&meta, &enc, &opt.export_state());
+        let ck = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(ck.meta, meta);
+        assert_eq!(ck.optimizer, opt.export_state());
+        let (emb, ..) = enc.raw_params();
+        assert_eq!(ck.encoder_params[0], emb);
+        assert_eq!(ck.encoder_config.vocab_size, 12);
+        // Restorable into a real encoder.
+        assert!(ColumnEncoder::try_from_raw_params(ck.encoder_config, ck.encoder_params).is_ok());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_cleanly() {
+        let bytes = sample_bytes(1);
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected_or_consistent() {
+        let bytes = sample_bytes(1);
+        // Flips are either detected (CRC/framing) or, in the rare case they
+        // cancel nothing, still decode to *something* — never a panic.
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            let _ = decode_checkpoint(&bad);
+        }
+    }
+
+    #[test]
+    fn two_slots_alternate_and_latest_wins() {
+        let io = MemIo::new();
+        let mut store = CheckpointStore::new(&io, "mem://ck");
+        assert!(!store.any_slot_exists());
+        let p0 = store.save(&sample_bytes(10)).unwrap();
+        let p1 = store.save(&sample_bytes(20)).unwrap();
+        assert_ne!(p0, p1);
+        let (ck, warnings) = store.load_latest();
+        assert!(warnings.is_empty());
+        assert_eq!(ck.unwrap().meta.global_step, 20);
+        // The next save must overwrite the *older* slot (step 10).
+        let p2 = store.save(&sample_bytes(30)).unwrap();
+        assert_eq!(p2, p0);
+        let (ck, _) = store.load_latest();
+        assert_eq!(ck.unwrap().meta.global_step, 30);
+    }
+
+    #[test]
+    fn torn_write_falls_back_to_previous_slot() {
+        let io = FaultyIo::new(MemIo::new());
+        let mut store = CheckpointStore::new(&io, "mem://ck");
+        store.save(&sample_bytes(10)).unwrap();
+        let newer = sample_bytes(20);
+        io.inject(Fault::TornWrite { keep: newer.len() / 2 });
+        store.save(&newer).unwrap();
+        let (ck, warnings) = store.load_latest();
+        assert_eq!(ck.unwrap().meta.global_step, 10, "fall back to the good slot");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("failed verification"));
+    }
+
+    #[test]
+    fn read_truncation_falls_back_to_previous_slot() {
+        let io = FaultyIo::new(MemIo::new());
+        let mut store = CheckpointStore::new(&io, "mem://ck");
+        store.save(&sample_bytes(10)).unwrap();
+        store.save(&sample_bytes(20)).unwrap();
+        // Slot 1 (the newer) is read first or second depending on order; we
+        // truncate whichever read hits it by injecting on both reads.
+        io.inject(Fault::TruncateRead { at: 40 });
+        let (ck, warnings) = store.load_latest();
+        let ck = ck.expect("one slot survives");
+        assert!(ck.meta.global_step == 10 || ck.meta.global_step == 20);
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn enospc_on_save_surfaces_and_keeps_old_checkpoints() {
+        let io = FaultyIo::new(MemIo::new());
+        let mut store = CheckpointStore::new(&io, "mem://ck");
+        store.save(&sample_bytes(10)).unwrap();
+        io.inject(Fault::Enospc);
+        assert!(store.save(&sample_bytes(20)).is_err());
+        let (ck, _) = store.load_latest();
+        assert_eq!(ck.unwrap().meta.global_step, 10);
+    }
+
+    #[test]
+    fn fingerprint_tracks_pairs_and_config() {
+        let pairs = vec![(vec![1u32, 2], vec![3u32]), (vec![4], vec![5, 6])];
+        let cfg = FineTuneConfig::default();
+        let a = training_fingerprint(&pairs, &cfg);
+        assert_eq!(a, training_fingerprint(&pairs, &cfg));
+        let mut other_pairs = pairs.clone();
+        other_pairs[0].0[0] = 9;
+        assert_ne!(a, training_fingerprint(&other_pairs, &cfg));
+        let mut other_cfg = cfg;
+        other_cfg.seed ^= 1;
+        assert_ne!(a, training_fingerprint(&pairs, &other_cfg));
+    }
+}

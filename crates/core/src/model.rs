@@ -12,11 +12,13 @@ use deepjoin_lake::repository::Repository;
 use deepjoin_lake::tokenizer::Vocabulary;
 use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig};
 
+use crate::checkpoint::CheckpointStore;
 use crate::text::{CellFrequencies, Textizer, TransformOption};
 use crate::train::{
-    fine_tune, prepare_training_pairs, self_join_positives, tokenize_pairs, FineTuneConfig,
-    JoinType, TrainDataConfig,
+    prepare_training_pairs, self_join_positives, tokenize_pairs, FineTuneConfig, JoinType,
+    TrainDataConfig,
 };
+use crate::trainer::{fine_tune_checkpointed, TrainerConfig};
 
 /// Which PLM stand-in variant to use (DESIGN.md §1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +96,29 @@ pub struct TrainReport {
     pub vocab_size: usize,
     /// MNR loss per epoch.
     pub epoch_losses: Vec<f32>,
+    /// Loss-spike/NaN rollbacks performed during fine-tuning.
+    pub rollbacks: u64,
+    /// `Some(step)` when fine-tuning resumed from a checkpoint.
+    pub resumed_from: Option<u64>,
+    /// Non-fatal training anomalies (corrupt checkpoint slots, rollbacks,
+    /// checkpoint-write failures) for the operator.
+    pub warnings: Vec<String>,
+}
+
+/// Provenance of a model's fine-tuning run, persisted alongside the
+/// parameters and reported by `dj info`. Deliberately excludes anything
+/// that differs between an interrupted-and-resumed run and an
+/// uninterrupted one, so resumed models stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainLineage {
+    /// Fine-tuning epochs completed.
+    pub epochs: u64,
+    /// Optimizer steps applied.
+    pub steps: u64,
+    /// Mean loss of the final epoch (NaN when no epoch completed).
+    pub last_loss: f32,
+    /// Rollbacks the loss-spike detector performed.
+    pub rollbacks: u64,
 }
 
 /// The search backend a model is currently serving with.
@@ -148,6 +173,7 @@ pub struct DeepJoin {
     pub(crate) textizer: Textizer,
     pub(crate) encoder: ColumnEncoder,
     pub(crate) index: IndexState,
+    pub(crate) lineage: Option<TrainLineage>,
 }
 
 impl DeepJoin {
@@ -159,6 +185,22 @@ impl DeepJoin {
         train_repo: &Repository,
         join_type: JoinType,
         config: DeepJoinConfig,
+    ) -> (Self, TrainReport) {
+        Self::train_checkpointed(train_repo, join_type, config, &TrainerConfig::default(), None)
+    }
+
+    /// [`DeepJoin::train`] with stepwise checkpointing: fine-tuning
+    /// snapshots into `store` every `trainer.checkpoint_every` steps and
+    /// resumes from the newest intact checkpoint on restart. The
+    /// pre-fine-tuning stages (vocabulary, SGNS pre-training, labeling) are
+    /// deterministic in `config`, so a resumed run re-derives them
+    /// identically rather than persisting them.
+    pub fn train_checkpointed(
+        train_repo: &Repository,
+        join_type: JoinType,
+        config: DeepJoinConfig,
+        trainer: &TrainerConfig,
+        store: Option<&mut CheckpointStore<'_>>,
     ) -> (Self, TrainReport) {
         let space = CellSpace::new(NgramEmbedder::new(NgramConfig {
             dim: config.dim,
@@ -216,17 +258,29 @@ impl DeepJoin {
         let positives = self_join_positives(train_repo, join_type, &space, &config.data);
         let pairs = prepare_training_pairs(train_repo, &positives, &config.data);
         let tokenized = tokenize_pairs(&pairs, &textizer, &vocab, config.oov_buckets);
-        let epoch_losses = if tokenized.len() >= 2 {
-            fine_tune(&mut encoder, &tokenized, &config.fine_tune)
+        let outcome = if tokenized.len() >= 2 {
+            fine_tune_checkpointed(&mut encoder, &tokenized, &config.fine_tune, trainer, store)
         } else {
-            Vec::new()
+            crate::trainer::TrainOutcome {
+                completed: true,
+                ..Default::default()
+            }
         };
 
+        let lineage = TrainLineage {
+            epochs: outcome.epoch_losses.len() as u64,
+            steps: outcome.global_steps,
+            last_loss: outcome.epoch_losses.last().copied().unwrap_or(f32::NAN),
+            rollbacks: outcome.rollbacks,
+        };
         let report = TrainReport {
             num_positives: positives.len(),
             num_pairs: pairs.len(),
             vocab_size: vocab.len(),
-            epoch_losses,
+            epoch_losses: outcome.epoch_losses,
+            rollbacks: outcome.rollbacks,
+            resumed_from: outcome.resumed_from,
+            warnings: outcome.warnings,
         };
         (
             Self {
@@ -235,9 +289,16 @@ impl DeepJoin {
                 textizer,
                 encoder,
                 index: IndexState::None,
+                lineage: Some(lineage),
             },
             report,
         )
+    }
+
+    /// Fine-tuning provenance, when known (absent on models saved before
+    /// lineage tracking or stripped snapshots).
+    pub fn lineage(&self) -> Option<&TrainLineage> {
+        self.lineage.as_ref()
     }
 
     /// The model configuration.

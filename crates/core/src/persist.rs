@@ -32,11 +32,13 @@ use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, Pooling};
 use deepjoin_store::codec::{DecodeErrorKind, Reader, Writer};
 use deepjoin_store::{is_container, Container, ContainerBuilder};
 
-use crate::model::{DeepJoin, DeepJoinConfig, IndexState, Variant};
+use crate::model::{DeepJoin, DeepJoinConfig, IndexState, TrainLineage, Variant};
 use crate::text::{CellFrequencies, Textizer, TransformOption};
 
 /// Container section holding the model core.
 pub const SECTION_MODEL: [u8; 4] = *b"MODL";
+/// Container section holding the training lineage (`DJTL`).
+pub const SECTION_LINEAGE: [u8; 4] = *b"TLIN";
 /// Container section holding the indexed embedding vectors (`DJF1`).
 pub const SECTION_VECTORS: [u8; 4] = *b"VECS";
 /// Container section holding the HNSW graph (`DJG1`).
@@ -45,6 +47,10 @@ pub const SECTION_GRAPH: [u8; 4] = *b"HNSW";
 /// Magic of the v2 model-core payload inside the `MODL` section.
 const CORE_MAGIC: &[u8; 4] = b"DJM2";
 const CORE_VERSION: u8 = 1;
+
+/// Magic of the lineage payload inside the `TLIN` section.
+const LINEAGE_MAGIC: &[u8; 4] = b"DJTL";
+const LINEAGE_VERSION: u8 = 1;
 
 /// Magic of the legacy whole-file v1 format.
 const MAGIC_V1: &[u8; 4] = b"DJM1";
@@ -162,15 +168,36 @@ struct CoreParts {
 }
 
 impl CoreParts {
-    fn into_model(self, index: IndexState) -> DeepJoin {
+    fn into_model(self, index: IndexState, lineage: Option<TrainLineage>) -> DeepJoin {
         DeepJoin {
             config: self.config,
             vocab: self.vocab,
             textizer: self.textizer,
             encoder: self.encoder,
             index,
+            lineage,
         }
     }
+}
+
+fn put_lineage(out: &mut Writer, lineage: &TrainLineage) {
+    out.put_slice(LINEAGE_MAGIC);
+    out.put_u8(LINEAGE_VERSION);
+    out.put_u64_le(lineage.epochs);
+    out.put_u64_le(lineage.steps);
+    out.put_f32_le(lineage.last_loss);
+    out.put_u64_le(lineage.rollbacks);
+}
+
+fn get_lineage(r: &mut Reader<'_>) -> Result<TrainLineage, DecodeError> {
+    r.expect_magic(LINEAGE_MAGIC)?;
+    r.expect_version(LINEAGE_VERSION)?;
+    Ok(TrainLineage {
+        epochs: r.u64_le()?,
+        steps: r.u64_le()?,
+        last_loss: r.f32_le()?,
+        rollbacks: r.u64_le()?,
+    })
 }
 
 fn get_core(r: &mut Reader<'_>) -> Result<CoreParts, DecodeError> {
@@ -281,6 +308,11 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
     core.put_u8(CORE_VERSION);
     put_core(&mut core, model);
     let mut builder = ContainerBuilder::new().section(SECTION_MODEL, core.into_vec());
+    if let Some(lineage) = &model.lineage {
+        let mut w = Writer::new();
+        put_lineage(&mut w, lineage);
+        builder = builder.section(SECTION_LINEAGE, w.into_vec());
+    }
     if include_index {
         match &model.index {
             IndexState::Hnsw(index) => {
@@ -334,6 +366,20 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
     let core = get_core(&mut r)?;
 
     let mut warnings = Vec::new();
+    // Lineage is advisory metadata: damage costs the provenance display,
+    // never the model.
+    let lineage = match container.section(SECTION_LINEAGE, "TLIN") {
+        None => None,
+        Some(res) => match res.and_then(|b| get_lineage(&mut Reader::new(b, "TLIN"))) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                warnings.push(format!(
+                    "training lineage unreadable ({e}); model loads without provenance"
+                ));
+                None
+            }
+        },
+    };
     let index = match container.section(SECTION_VECTORS, "VECS") {
         None => IndexState::None,
         Some(vecs) => match vecs.and_then(|b| decode_flat_in(b, "VECS")) {
@@ -348,7 +394,7 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
         },
     };
     Ok(LoadedModel {
-        model: core.into_model(index),
+        model: core.into_model(index, lineage),
         warnings,
     })
 }
@@ -416,7 +462,8 @@ fn load_v1(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
         other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
     };
     Ok(LoadedModel {
-        model: core.into_model(index),
+        // v1 predates lineage tracking.
+        model: core.into_model(index, None),
         warnings: Vec::new(),
     })
 }
@@ -483,6 +530,12 @@ mod tests {
             textizer,
             encoder,
             index: IndexState::None,
+            lineage: Some(TrainLineage {
+                epochs: 2,
+                steps: 17,
+                last_loss: 0.5,
+                rollbacks: 1,
+            }),
         }
     }
 
@@ -687,5 +740,34 @@ mod tests {
     fn saved_files_are_byte_stable() {
         let (model, _, _) = trained();
         assert_eq!(save_model(&model, true), save_model(&model, true));
+    }
+
+    #[test]
+    fn lineage_roundtrips_and_degrades_gracefully() {
+        let (model, _) = tiny_indexed(10);
+        let bytes = save_model(&model, false);
+        let loaded = load_model(&bytes).unwrap();
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(loaded.model.lineage(), model.lineage());
+
+        // Damage the TLIN payload (located by its DJTL magic): the model
+        // must still load, with a warning and no lineage.
+        let pos = bytes
+            .windows(4)
+            .position(|w| w == LINEAGE_MAGIC)
+            .expect("lineage payload present");
+        let mut bad = bytes.clone();
+        bad[pos + 6] ^= 0x40;
+        let loaded = load_model(&bad).unwrap();
+        assert!(loaded.model.lineage().is_none());
+        assert_eq!(loaded.warnings.len(), 1);
+        assert!(loaded.warnings[0].contains("lineage unreadable"));
+
+        // A trained model records real lineage that survives persistence.
+        let (trained_model, _, _) = trained();
+        let l = *trained_model.lineage().expect("training records lineage");
+        assert!(l.epochs == 1 && l.steps > 0 && l.last_loss.is_finite());
+        let reloaded = load_model(&save_model(&trained_model, false)).unwrap();
+        assert_eq!(reloaded.model.lineage().copied(), Some(l));
     }
 }

@@ -20,9 +20,7 @@ use deepjoin_lake::fxhash::FxHashMap;
 use deepjoin_lake::repository::Repository;
 use deepjoin_lake::tokenizer::{TokenId, Vocabulary};
 use deepjoin_nn::adam::AdamConfig;
-use deepjoin_nn::encoder::{ColumnEncoder, EncoderOptimizer};
-use deepjoin_nn::matrix::Matrix;
-use deepjoin_nn::mnr::MnrLoss;
+use deepjoin_nn::encoder::ColumnEncoder;
 use deepjoin_pexeso::{PexesoConfig, PexesoIndex};
 
 use crate::text::Textizer;
@@ -213,46 +211,25 @@ impl Default for FineTuneConfig {
 
 /// Fine-tune `encoder` on tokenized pairs with the MNR loss and in-batch
 /// negatives. Returns the mean loss per epoch.
+///
+/// This is the non-persistent entry point: it delegates to the stepwise
+/// [`crate::trainer::fine_tune_checkpointed`] with no checkpoint store and
+/// default robustness settings. Epoch shuffles use counter-based RNG
+/// streams (`stream_rng(seed, epoch)`), so the batch order of epoch `e` is
+/// a pure function of `(config.seed, e)`.
 pub fn fine_tune(
     encoder: &mut ColumnEncoder,
     pairs: &[(Vec<TokenId>, Vec<TokenId>)],
     config: &FineTuneConfig,
 ) -> Vec<f32> {
-    assert!(!pairs.is_empty(), "no training pairs");
-    let loss_fn = MnrLoss::new(config.mnr_scale);
-    let mut opt = EncoderOptimizer::new(encoder, config.adam);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut order: Vec<usize> = (0..pairs.len()).collect();
-    let mut epoch_losses = Vec::with_capacity(config.epochs);
-
-    for _epoch in 0..config.epochs {
-        order.shuffle(&mut rng);
-        let mut total = 0f32;
-        let mut batches = 0usize;
-        for chunk in order.chunks(config.batch_size) {
-            // Batches of one have no in-batch negatives; skip them.
-            if chunk.len() < 2 {
-                continue;
-            }
-            let xs: Vec<Vec<TokenId>> = chunk.iter().map(|&i| pairs[i].0.clone()).collect();
-            let ys: Vec<Vec<TokenId>> = chunk.iter().map(|&i| pairs[i].1.clone()).collect();
-
-            encoder.zero_grad();
-            let out_x = encoder.encode_batch(&xs);
-            let out_y = encoder.encode_batch(&ys); // cache now holds ys
-            let (loss, dx, dy) = loss_fn.forward(&out_x, &out_y);
-            encoder.backward(&dy); // consumes the ys cache
-            let re_x: Matrix = encoder.encode_batch(&xs); // restore xs cache
-            debug_assert_eq!(re_x.data.len(), out_x.data.len());
-            encoder.backward(&dx);
-            opt.step(encoder);
-
-            total += loss;
-            batches += 1;
-        }
-        epoch_losses.push(total / batches.max(1) as f32);
-    }
-    epoch_losses
+    crate::trainer::fine_tune_checkpointed(
+        encoder,
+        pairs,
+        config,
+        &crate::trainer::TrainerConfig::default(),
+        None,
+    )
+    .epoch_losses
 }
 
 /// Tokenize training pairs through the textizer + vocabulary, with

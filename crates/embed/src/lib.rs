@@ -21,4 +21,4 @@ pub mod vector;
 
 pub use cell_space::{CellSpace, ColumnVectors, EmbeddedRepository};
 pub use ngram::{NgramConfig, NgramEmbedder};
-pub use sgns::{train_sgns, SgnsConfig, TokenEmbeddings};
+pub use sgns::{train_sgns, SgnsConfig, SgnsState, SgnsTrainer, TokenEmbeddings};

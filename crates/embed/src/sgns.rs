@@ -13,7 +13,7 @@
 //! raised to the 3/4 power.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use deepjoin_lake::tokenizer::{TokenId, Vocabulary};
@@ -123,35 +123,125 @@ impl NegativeTable {
     }
 }
 
-/// Train SGNS embeddings over `sentences` (sequences of token ids).
-pub fn train_sgns(
-    vocab: &Vocabulary,
-    sentences: &[Vec<TokenId>],
+/// A snapshot of an [`SgnsTrainer`] at an epoch boundary, sufficient to
+/// resume pre-training bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgnsState {
+    /// Completed epochs.
+    pub epoch: u64,
+    /// Sliding-window steps taken (drives the LR decay schedule).
+    pub step: u64,
+    /// Input (center-word) vectors, `vocab * dim`.
+    pub input: Vec<f32>,
+    /// Output (context-word) vectors, `vocab * dim`.
+    pub output: Vec<f32>,
+}
+
+/// Epoch-stepwise SGNS trainer.
+///
+/// Instead of one `StdRng` mutated across the whole run, every epoch draws
+/// from its own counter-based stream `stream_rng(seed, 1 + epoch)` (stream 0
+/// initializes the tables). Together with [`SgnsState`] snapshots at epoch
+/// boundaries this makes pre-training resumable: restore the state, run the
+/// remaining epochs, and the final table is bit-identical to an
+/// uninterrupted run.
+pub struct SgnsTrainer {
     config: SgnsConfig,
-) -> TokenEmbeddings {
-    let vocab_size = vocab.len();
-    let dim = config.dim;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    input: Vec<f32>,
+    output: Vec<f32>,
+    negatives: NegativeTable,
+    total_steps: usize,
+    step: usize,
+    epoch: usize,
+}
 
-    // Input vectors init uniform in [-0.5/dim, 0.5/dim] (word2vec convention),
-    // output vectors init zero.
-    let mut input: Vec<f32> = (0..vocab_size * dim)
-        .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
-        .collect();
-    let mut output: Vec<f32> = vec![0.0; vocab_size * dim];
+impl SgnsTrainer {
+    /// Initialize tables (input uniform in `[-0.5/dim, 0.5/dim]`, the
+    /// word2vec convention; output zero) from RNG stream 0.
+    pub fn new(vocab: &Vocabulary, sentences: &[Vec<TokenId>], config: SgnsConfig) -> Self {
+        let vocab_size = vocab.len();
+        let dim = config.dim;
+        let mut rng = rand::stream::stream_rng(config.seed, 0);
+        let input: Vec<f32> = (0..vocab_size * dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
+        let output = vec![0.0f32; vocab_size * dim];
+        let total_steps =
+            (config.epochs * sentences.iter().map(Vec::len).sum::<usize>()).max(1);
+        Self {
+            config,
+            input,
+            output,
+            negatives: NegativeTable::build(vocab),
+            total_steps,
+            step: 0,
+            epoch: 0,
+        }
+    }
 
-    let negatives = NegativeTable::build(vocab);
-    let total_steps = (config.epochs * sentences.iter().map(Vec::len).sum::<usize>()).max(1);
-    let mut step = 0usize;
-    let mut grad = vec![0f32; dim];
+    /// Completed epochs.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
 
-    for _epoch in 0..config.epochs {
+    /// Whether all configured epochs have run.
+    pub fn is_done(&self) -> bool {
+        self.epoch >= self.config.epochs
+    }
+
+    /// Snapshot the mutable state at the current epoch boundary.
+    pub fn state(&self) -> SgnsState {
+        SgnsState {
+            epoch: self.epoch as u64,
+            step: self.step as u64,
+            input: self.input.clone(),
+            output: self.output.clone(),
+        }
+    }
+
+    /// Restore a trainer from an epoch-boundary snapshot. Rejects tables
+    /// whose shape does not match the vocabulary and config.
+    pub fn restore(
+        vocab: &Vocabulary,
+        sentences: &[Vec<TokenId>],
+        config: SgnsConfig,
+        state: SgnsState,
+    ) -> Result<Self, &'static str> {
+        let n = vocab.len() * config.dim;
+        if state.input.len() != n || state.output.len() != n {
+            return Err("SGNS table shape does not match the vocabulary");
+        }
+        if state.epoch as usize > config.epochs {
+            return Err("SGNS snapshot is ahead of the configured epochs");
+        }
+        let total_steps =
+            (config.epochs * sentences.iter().map(Vec::len).sum::<usize>()).max(1);
+        Ok(Self {
+            config,
+            input: state.input,
+            output: state.output,
+            negatives: NegativeTable::build(vocab),
+            total_steps,
+            step: state.step as usize,
+            epoch: state.epoch as usize,
+        })
+    }
+
+    /// Run one epoch over `sentences` with this epoch's RNG stream. No-op
+    /// once [`Self::is_done`].
+    pub fn run_epoch(&mut self, sentences: &[Vec<TokenId>]) {
+        if self.is_done() {
+            return;
+        }
+        let dim = self.config.dim;
+        let mut rng = rand::stream::stream_rng(self.config.seed, 1 + self.epoch as u64);
+        let mut grad = vec![0f32; dim];
         for sent in sentences {
             for (pos, &center) in sent.iter().enumerate() {
-                step += 1;
-                let progress = step as f32 / total_steps as f32;
-                let lr = config.lr * (1.0 - 0.9 * progress);
-                let win = 1 + (rng.gen::<u64>() as usize % config.window);
+                self.step += 1;
+                let progress = self.step as f32 / self.total_steps as f32;
+                let lr = self.config.lr * (1.0 - 0.9 * progress.min(1.0));
+                let win = 1 + (rng.gen::<u64>() as usize % self.config.window);
                 let lo = pos.saturating_sub(win);
                 let hi = (pos + win + 1).min(sent.len());
                 for ctx_pos in lo..hi {
@@ -162,36 +252,57 @@ pub fn train_sgns(
                     let v = center as usize * dim;
                     grad.iter_mut().for_each(|g| *g = 0.0);
                     // Positive pair + k negatives.
-                    for neg in 0..=config.negatives {
+                    for neg in 0..=self.config.negatives {
                         let (target, label) = if neg == 0 {
                             (context, 1.0f32)
                         } else {
-                            (negatives.sample(&mut rng), 0.0f32)
+                            (self.negatives.sample(&mut rng), 0.0f32)
                         };
                         if neg > 0 && target == context {
                             continue;
                         }
                         let u = target as usize * dim;
-                        let score: f32 = input[v..v + dim]
+                        let score: f32 = self.input[v..v + dim]
                             .iter()
-                            .zip(&output[u..u + dim])
+                            .zip(&self.output[u..u + dim])
                             .map(|(a, b)| a * b)
                             .sum();
                         let g = (label - sigmoid(score)) * lr;
                         for i in 0..dim {
-                            grad[i] += g * output[u + i];
-                            output[u + i] += g * input[v + i];
+                            grad[i] += g * self.output[u + i];
+                            self.output[u + i] += g * self.input[v + i];
                         }
                     }
                     for i in 0..dim {
-                        input[v + i] += grad[i];
+                        self.input[v + i] += grad[i];
                     }
                 }
             }
         }
+        self.epoch += 1;
     }
 
-    TokenEmbeddings { dim, table: input }
+    /// Consume the trainer, yielding the input table as the embeddings.
+    pub fn finish(self) -> TokenEmbeddings {
+        TokenEmbeddings {
+            dim: self.config.dim,
+            table: self.input,
+        }
+    }
+}
+
+/// Train SGNS embeddings over `sentences` (sequences of token ids) — the
+/// closed-loop convenience wrapper over [`SgnsTrainer`].
+pub fn train_sgns(
+    vocab: &Vocabulary,
+    sentences: &[Vec<TokenId>],
+    config: SgnsConfig,
+) -> TokenEmbeddings {
+    let mut trainer = SgnsTrainer::new(vocab, sentences, config);
+    while !trainer.is_done() {
+        trainer.run_epoch(sentences);
+    }
+    trainer.finish()
 }
 
 #[cfg(test)]
@@ -263,6 +374,49 @@ mod tests {
         let v = emb.mean_pool(&ids);
         assert!((crate::vector::norm(&v) - 1.0).abs() < 1e-5);
         assert!(emb.mean_pool(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    /// Stop after one epoch, snapshot, restore into a fresh trainer, run the
+    /// rest — the final table must be bit-identical to an uninterrupted run.
+    #[test]
+    fn interrupted_training_resumes_bit_identically() {
+        let (vocab, sentences) = toy();
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 3,
+            ..SgnsConfig::default()
+        };
+        let oracle = train_sgns(&vocab, &sentences, cfg);
+
+        let mut first = SgnsTrainer::new(&vocab, &sentences, cfg);
+        first.run_epoch(&sentences);
+        let snap = first.state();
+        assert_eq!(snap.epoch, 1);
+        drop(first); // the "crash"
+
+        let mut resumed =
+            SgnsTrainer::restore(&vocab, &sentences, cfg, snap).expect("valid snapshot");
+        while !resumed.is_done() {
+            resumed.run_epoch(&sentences);
+        }
+        assert_eq!(resumed.finish().table, oracle.table);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_tables() {
+        let (vocab, sentences) = toy();
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 2,
+            ..SgnsConfig::default()
+        };
+        let trainer = SgnsTrainer::new(&vocab, &sentences, cfg);
+        let mut bad = trainer.state();
+        bad.input.pop();
+        assert!(SgnsTrainer::restore(&vocab, &sentences, cfg, bad).is_err());
+        let mut ahead = trainer.state();
+        ahead.epoch = 99;
+        assert!(SgnsTrainer::restore(&vocab, &sentences, cfg, ahead).is_err());
     }
 
     #[test]

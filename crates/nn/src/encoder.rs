@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use deepjoin_lake::fxhash::FxHashMap;
 use deepjoin_lake::tokenizer::TokenId;
 
-use crate::adam::{Adam, AdamConfig};
+use crate::adam::{Adam, AdamConfig, AdamState};
 use crate::layers::{Linear, Module};
 use crate::matrix::Matrix;
 
@@ -524,6 +524,25 @@ pub struct EncoderOptimizer {
     emb_t: Vec<u32>,
 }
 
+/// A snapshot of the full optimizer state — dense AdamW moments plus the
+/// sparse lazy-Adam embedding moments and per-row step counters — sufficient
+/// to resume fine-tuning bit-identically from a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerState {
+    /// Dense AdamW step counter.
+    pub t: u64,
+    /// Dense first moments, in [`Module::visit_params`] order.
+    pub dense_m: Vec<Vec<f32>>,
+    /// Dense second moments, same order.
+    pub dense_v: Vec<Vec<f32>>,
+    /// Embedding first moments, `vocab * dim`.
+    pub emb_m: Vec<f32>,
+    /// Embedding second moments, `vocab * dim`.
+    pub emb_v: Vec<f32>,
+    /// Per-row lazy step counters, `vocab`.
+    pub emb_t: Vec<u32>,
+}
+
 /// Adapter exposing the encoder's dense parameters as a [`Module`] for the
 /// shared AdamW implementation.
 struct DenseParams<'a>(&'a mut ColumnEncoder);
@@ -564,13 +583,117 @@ impl EncoderOptimizer {
         }
     }
 
+    /// Snapshot the full optimizer state for persistence.
+    pub fn export_state(&self) -> OptimizerState {
+        let dense = self.adam.export_state();
+        OptimizerState {
+            t: dense.t,
+            dense_m: dense.m,
+            dense_v: dense.v,
+            emb_m: self.emb_m.clone(),
+            emb_v: self.emb_v.clone(),
+            emb_t: self.emb_t.clone(),
+        }
+    }
+
+    /// Rebuild an optimizer for `encoder` from a state snapshot, validating
+    /// every buffer shape against the encoder (the entry point for state
+    /// decoded from untrusted checkpoint bytes).
+    pub fn restore_state(
+        encoder: &mut ColumnEncoder,
+        config: AdamConfig,
+        state: OptimizerState,
+    ) -> Result<Self, &'static str> {
+        let n = encoder.embedding.data.len();
+        if state.emb_m.len() != n || state.emb_v.len() != n {
+            return Err("embedding moment buffers do not match the encoder");
+        }
+        if state.emb_t.len() != encoder.config.vocab_size {
+            return Err("embedding step counters do not match the vocabulary");
+        }
+        let mut shapes = Vec::new();
+        DenseParams(encoder).visit_params(&mut |p, _g| shapes.push(p.len()));
+        let dense_ok = state.dense_m.len() == state.dense_v.len()
+            && (state.dense_m.is_empty()
+                || (state.dense_m.len() == shapes.len()
+                    && state.dense_m.iter().zip(&shapes).all(|(b, &s)| b.len() == s)
+                    && state.dense_v.iter().zip(&shapes).all(|(b, &s)| b.len() == s)));
+        if !dense_ok {
+            return Err("dense moment buffers do not match the encoder parameters");
+        }
+        Ok(Self {
+            adam: Adam::restore(
+                config,
+                AdamState {
+                    t: state.t,
+                    m: state.dense_m,
+                    v: state.dense_v,
+                },
+            ),
+            config,
+            emb_m: state.emb_m,
+            emb_v: state.emb_v,
+            emb_t: state.emb_t,
+        })
+    }
+
+    /// Dense AdamW steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.adam.steps()
+    }
+
+    /// The optimizer's hyperparameters.
+    pub fn config(&self) -> AdamConfig {
+        self.config
+    }
+
     /// Apply one optimization step from the encoder's accumulated gradients,
     /// then clear them.
+    ///
+    /// When [`AdamConfig::clip_norm`] is positive the clip is computed over
+    /// the *combined* global norm of dense and sparse gradients, and applied
+    /// by pre-scaling both families; [`Adam::step`]'s internal dense-only
+    /// clip then sees an already-conforming norm and is a no-op, so nothing
+    /// is clipped twice. Non-finite sparse gradient components are scrubbed
+    /// to zero (the dense ones are scrubbed inside [`Adam::step`]).
     pub fn step(&mut self, encoder: &mut ColumnEncoder) {
+        if self.config.clip_norm > 0.0 {
+            let mut sq = 0f64;
+            DenseParams(encoder).visit_params(&mut |_p, g| {
+                for &x in g.iter() {
+                    if x.is_finite() {
+                        sq += (x as f64) * (x as f64);
+                    }
+                }
+            });
+            for grad in encoder.embedding_grads.values() {
+                for &x in grad {
+                    if x.is_finite() {
+                        sq += (x as f64) * (x as f64);
+                    }
+                }
+            }
+            let norm = sq.sqrt() as f32;
+            if norm > self.config.clip_norm {
+                let scale = self.config.clip_norm / norm;
+                DenseParams(encoder).visit_params(&mut |_p, g| {
+                    for x in g.iter_mut() {
+                        *x = if x.is_finite() { *x * scale } else { 0.0 };
+                    }
+                });
+                for grad in encoder.embedding_grads.values_mut() {
+                    for x in grad.iter_mut() {
+                        *x = if x.is_finite() { *x * scale } else { 0.0 };
+                    }
+                }
+            }
+        }
+
         // Dense parameters via shared AdamW.
         self.adam.step(&mut DenseParams(encoder));
 
-        // Sparse (lazy) Adam on touched embedding rows.
+        // Sparse (lazy) Adam on touched embedding rows. Rows are independent,
+        // so the map's iteration order cannot affect the result.
         let dim = encoder.config.dim;
         let lr = self.adam.current_lr();
         let AdamConfig {
@@ -585,7 +708,7 @@ impl EncoderOptimizer {
             let base = row * dim;
             let prow = &mut encoder.embedding.data[base..base + dim];
             for i in 0..dim {
-                let g = grad[i];
+                let g = if grad[i].is_finite() { grad[i] } else { 0.0 };
                 let m = &mut self.emb_m[base + i];
                 let v = &mut self.emb_v[base + i];
                 *m = beta1 * *m + (1.0 - beta1) * g;
@@ -740,6 +863,72 @@ mod tests {
         assert!(untouched);
         // Gradients were cleared by step().
         assert!(e.embedding_grads.is_empty());
+    }
+
+    /// Export optimizer state mid-run, restore into a fresh optimizer, and
+    /// check the continued trajectories stay bit-identical.
+    #[test]
+    fn optimizer_state_roundtrip_resumes_bit_identically() {
+        let cfg = AdamConfig {
+            warmup_steps: 2,
+            clip_norm: 5.0,
+            ..AdamConfig::default()
+        };
+        let mut e_a = tiny(Pooling::Attention, true);
+        let mut opt_a = EncoderOptimizer::new(&e_a, cfg);
+        let seqs = [vec![vec![1u32, 2, 3]], vec![vec![4u32, 5]], vec![vec![2u32, 7, 9]]];
+        let run = |e: &mut ColumnEncoder, opt: &mut EncoderOptimizer, s: &[Vec<TokenId>]| {
+            let out = e.encode_batch(s);
+            let grad = Matrix::from_vec(out.rows, out.cols, out.data.clone());
+            e.backward(&grad);
+            opt.step(e);
+        };
+        for s in &seqs {
+            run(&mut e_a, &mut opt_a, s);
+        }
+
+        // Clone the encoder via raw params and restore the optimizer state.
+        let (emb, pos, aw, ab, av, h1w, h1b, h2w, h2b) = e_a.raw_params();
+        let params = [
+            emb.to_vec(),
+            pos.to_vec(),
+            aw.to_vec(),
+            ab.to_vec(),
+            av.to_vec(),
+            h1w.to_vec(),
+            h1b.to_vec(),
+            h2w.to_vec(),
+            h2b.to_vec(),
+        ];
+        let mut e_b = ColumnEncoder::from_raw_params(e_a.config, params);
+        let state = opt_a.export_state();
+        assert_eq!(state.t, 3);
+        let mut opt_b =
+            EncoderOptimizer::restore_state(&mut e_b, cfg, state).expect("shapes match");
+
+        for s in seqs.iter().cycle().take(5) {
+            run(&mut e_a, &mut opt_a, s);
+            run(&mut e_b, &mut opt_b, s);
+        }
+        assert_eq!(e_a.embedding.data, e_b.embedding.data);
+        let (a, b) = (e_a.raw_params(), e_b.raw_params());
+        assert_eq!(a.5, b.5);
+        assert_eq!(a.7, b.7);
+        assert_eq!(opt_a.export_state(), opt_b.export_state());
+    }
+
+    #[test]
+    fn restore_state_rejects_mismatched_buffers() {
+        let cfg = AdamConfig::default();
+        let e = tiny(Pooling::Mean, false);
+        let opt = EncoderOptimizer::new(&e, cfg);
+        let mut bad = opt.export_state();
+        bad.emb_m.pop();
+        let mut e2 = tiny(Pooling::Mean, false);
+        assert!(EncoderOptimizer::restore_state(&mut e2, cfg, bad).is_err());
+        let mut bad_t = opt.export_state();
+        bad_t.emb_t.push(0);
+        assert!(EncoderOptimizer::restore_state(&mut e2, cfg, bad_t).is_err());
     }
 
     #[test]

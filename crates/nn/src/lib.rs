@@ -24,8 +24,8 @@ pub mod matrix;
 pub mod mlp;
 pub mod mnr;
 
-pub use adam::{Adam, AdamConfig};
-pub use encoder::{ColumnEncoder, EncoderConfig, EncoderOptimizer, Pooling};
+pub use adam::{Adam, AdamConfig, AdamState};
+pub use encoder::{ColumnEncoder, EncoderConfig, EncoderOptimizer, OptimizerState, Pooling};
 pub use layers::{Linear, Module, Relu, Sequential, Tanh};
 pub use matrix::Matrix;
 pub use mlp::{MlpConfig, MlpRegressor};

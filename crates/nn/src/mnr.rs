@@ -116,6 +116,32 @@ impl MnrLoss {
         }
         (loss, dx, dy)
     }
+
+    /// [`Self::forward`] with degenerate-batch and numerical guards, the
+    /// entry point for training loops that must never see a NaN:
+    ///
+    /// * batches with fewer than 2 rows carry no in-batch negatives — the
+    ///   loss is identically ~0 and the gradients vacuous — so they are
+    ///   *skipped* (`None`) rather than averaged into epoch statistics;
+    /// * a non-finite loss (e.g. from an all-zero embedding collapsing the
+    ///   norms) also yields `None`;
+    /// * any non-finite gradient component is scrubbed to zero so a single
+    ///   poisoned pair cannot propagate NaN into the optimizer moments.
+    pub fn forward_guarded(&self, x: &Matrix, y: &Matrix) -> Option<(f32, Matrix, Matrix)> {
+        if x.rows < 2 || y.rows != x.rows || y.cols != x.cols {
+            return None;
+        }
+        let (loss, mut dx, mut dy) = self.forward(x, y);
+        if !loss.is_finite() {
+            return None;
+        }
+        for g in dx.data.iter_mut().chain(dy.data.iter_mut()) {
+            if !g.is_finite() {
+                *g = 0.0;
+            }
+        }
+        Some((loss, dx, dy))
+    }
 }
 
 #[inline]
@@ -205,5 +231,35 @@ mod tests {
     fn mismatched_batches_panic() {
         let loss = MnrLoss::default();
         let _ = loss.forward(&Matrix::zeros(2, 3), &Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn guarded_forward_skips_degenerate_batches() {
+        let loss = MnrLoss::default();
+        // Batch of one: no in-batch negatives, must be skipped, not NaN.
+        assert!(loss.forward_guarded(&random(1, 4, 9), &random(1, 4, 10)).is_none());
+        // Empty batch.
+        assert!(loss.forward_guarded(&Matrix::zeros(0, 4), &Matrix::zeros(0, 4)).is_none());
+        // Mismatched shapes return None instead of panicking.
+        assert!(loss.forward_guarded(&Matrix::zeros(2, 3), &Matrix::zeros(3, 3)).is_none());
+        // A healthy batch passes through with finite loss and gradients.
+        let (l, dx, dy) = loss
+            .forward_guarded(&random(3, 4, 11), &random(3, 4, 12))
+            .expect("healthy batch");
+        assert!(l.is_finite());
+        assert!(dx.data.iter().chain(&dy.data).all(|g| g.is_finite()));
+    }
+
+    /// All-zero embeddings (e.g. columns with empty token lists) exercise the
+    /// norm clamp; the guarded path must still return finite values.
+    #[test]
+    fn guarded_forward_survives_zero_embeddings() {
+        let loss = MnrLoss::default();
+        let x = Matrix::zeros(3, 4);
+        let y = Matrix::zeros(3, 4);
+        if let Some((l, dx, dy)) = loss.forward_guarded(&x, &y) {
+            assert!(l.is_finite());
+            assert!(dx.data.iter().chain(&dy.data).all(|g| g.is_finite()));
+        }
     }
 }

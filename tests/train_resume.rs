@@ -1,0 +1,342 @@
+//! Resume-determinism and self-healing properties of the stepwise trainer
+//! (DESIGN.md §10).
+//!
+//! The contract under test: kill fine-tuning at *any* step boundary,
+//! resume from the latest checkpoint, and the final model is bit-identical
+//! to an uninterrupted run — including when the newest checkpoint slot is
+//! torn or truncated (CRC detects it, the trainer falls back to the
+//! previous good slot and replays the difference).
+
+use deepjoin::checkpoint::{decode_checkpoint, CheckpointStore};
+use deepjoin::train::{fine_tune, FineTuneConfig};
+use deepjoin::trainer::{fine_tune_checkpointed, TrainerConfig};
+use deepjoin_lake::tokenizer::TokenId;
+use deepjoin_nn::adam::AdamConfig;
+use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, Pooling};
+use deepjoin_store::{ArtifactIo, Fault, FaultyIo, MemIo};
+
+fn pairs() -> Vec<(Vec<TokenId>, Vec<TokenId>)> {
+    // Two token clusters; positives pair within a cluster.
+    (0..12u32)
+        .map(|i| {
+            let base = if i % 2 == 0 { 1 } else { 9 };
+            let x: Vec<TokenId> = (0..5).map(|j| base + (i + j) % 4).collect();
+            let y: Vec<TokenId> = (0..5).map(|j| base + (i + j + 1) % 4).collect();
+            (x, y)
+        })
+        .collect()
+}
+
+fn fresh_encoder() -> ColumnEncoder {
+    ColumnEncoder::new(EncoderConfig {
+        vocab_size: 16,
+        dim: 8,
+        out_dim: 8,
+        attn_hidden: 4,
+        max_len: 8,
+        pooling: Pooling::Attention,
+        use_positions: true,
+        residual: false,
+        seed: 11,
+    })
+}
+
+fn tune_config() -> FineTuneConfig {
+    FineTuneConfig {
+        epochs: 2,
+        batch_size: 4,
+        adam: AdamConfig {
+            lr: 5e-3,
+            warmup_steps: 3,
+            clip_norm: 5.0,
+            ..AdamConfig::default()
+        },
+        ..FineTuneConfig::default()
+    }
+}
+
+fn trainer_config() -> TrainerConfig {
+    TrainerConfig {
+        checkpoint_every: 2,
+        ..TrainerConfig::default()
+    }
+}
+
+fn params_of(e: &ColumnEncoder) -> Vec<Vec<f32>> {
+    let (a, b, c, d, f, g, h, i, j) = e.raw_params();
+    [a, b, c, d, f, g, h, i, j].iter().map(|t| t.to_vec()).collect()
+}
+
+/// Kill at every possible step boundary; every resumed run must finish
+/// bit-identical to the uninterrupted oracle.
+#[test]
+fn resume_from_any_step_boundary_is_bit_identical() {
+    let pairs = pairs();
+    let cfg = tune_config();
+    let tcfg = trainer_config();
+
+    // Oracle: uninterrupted, no store — the store must not affect results.
+    let mut oracle = fresh_encoder();
+    let oracle_out = fine_tune_checkpointed(&mut oracle, &pairs, &cfg, &tcfg, None);
+    assert!(oracle_out.completed);
+    assert_eq!(oracle_out.rollbacks, 0);
+    let total = oracle_out.global_steps;
+    assert!(total >= 4, "test needs several boundaries, got {total}");
+
+    for kill_at in 1..=total {
+        let io = MemIo::new();
+        let mut store = CheckpointStore::new(&io, "mem://ck");
+
+        // Phase 1: train until the simulated kill.
+        let mut enc = fresh_encoder();
+        let killed = fine_tune_checkpointed(
+            &mut enc,
+            &pairs,
+            &cfg,
+            &TrainerConfig {
+                max_steps: Some(kill_at),
+                ..tcfg
+            },
+            Some(&mut store),
+        );
+        assert!(!killed.completed, "kill_at={kill_at} must stop early");
+
+        // Phase 2: resume in a fresh process (fresh encoder, fresh store
+        // handle over the surviving files).
+        let mut store = CheckpointStore::new(&io, "mem://ck");
+        let mut enc = fresh_encoder();
+        let resumed = fine_tune_checkpointed(&mut enc, &pairs, &cfg, &tcfg, Some(&mut store));
+        assert!(resumed.completed, "kill_at={kill_at}");
+        assert!(
+            resumed.resumed_from.is_some(),
+            "kill_at={kill_at}: a step-0 checkpoint always exists"
+        );
+        assert_eq!(resumed.global_steps, total, "kill_at={kill_at}");
+        assert_eq!(
+            resumed.epoch_losses, oracle_out.epoch_losses,
+            "kill_at={kill_at}: loss history must replay exactly"
+        );
+        assert_eq!(
+            params_of(&enc),
+            params_of(&oracle),
+            "kill_at={kill_at}: resumed model must be bit-identical"
+        );
+    }
+}
+
+/// Tearing the newest checkpoint slot (simulated crash mid-write on a
+/// non-atomic store) must fall back to the previous good slot — and still
+/// converge to the oracle bit-for-bit.
+#[test]
+fn torn_newest_checkpoint_falls_back_and_still_matches_oracle() {
+    let pairs = pairs();
+    let cfg = tune_config();
+    let tcfg = trainer_config();
+
+    let mut oracle = fresh_encoder();
+    let oracle_out = fine_tune_checkpointed(&mut oracle, &pairs, &cfg, &tcfg, None);
+
+    let io = MemIo::new();
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    let killed = fine_tune_checkpointed(
+        &mut enc,
+        &pairs,
+        &cfg,
+        &TrainerConfig {
+            max_steps: Some(4),
+            ..tcfg
+        },
+        Some(&mut store),
+    );
+    assert!(!killed.completed);
+
+    // Find the slot holding the newest checkpoint and tear it in half.
+    let (slot0, slot1) = (store.slot_path(0), store.slot_path(1));
+    let newest = [&slot0, &slot1]
+        .into_iter()
+        .filter(|p| io.exists(p))
+        .max_by_key(|p| {
+            decode_checkpoint(&io.read(p).unwrap())
+                .map(|ck| ck.meta.global_step)
+                .unwrap_or(0)
+        })
+        .expect("checkpoints were written");
+    let bytes = io.read(newest).unwrap();
+    let newest_step = decode_checkpoint(&bytes).unwrap().meta.global_step;
+    io.write_atomic(newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    let resumed = fine_tune_checkpointed(&mut enc, &pairs, &cfg, &tcfg, Some(&mut store));
+    assert!(resumed.completed);
+    assert!(
+        resumed.warnings.iter().any(|w| w.contains("failed verification")),
+        "torn slot must be reported: {:?}",
+        resumed.warnings
+    );
+    let from = resumed.resumed_from.expect("fallback slot resumes");
+    assert!(
+        from < newest_step,
+        "must resume from an older checkpoint ({from} < {newest_step})"
+    );
+    assert_eq!(params_of(&enc), params_of(&oracle));
+    assert_eq!(resumed.epoch_losses, oracle_out.epoch_losses);
+}
+
+/// A truncated read of one slot at resume time (partial copy) must skip to
+/// the surviving slot and still match the oracle.
+#[test]
+fn truncated_read_on_resume_falls_back_and_still_matches_oracle() {
+    let pairs = pairs();
+    let cfg = tune_config();
+    let tcfg = trainer_config();
+
+    let mut oracle = fresh_encoder();
+    fine_tune_checkpointed(&mut oracle, &pairs, &cfg, &tcfg, None);
+
+    let io = FaultyIo::new(MemIo::new());
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    fine_tune_checkpointed(
+        &mut enc,
+        &pairs,
+        &cfg,
+        &TrainerConfig {
+            max_steps: Some(5),
+            ..tcfg
+        },
+        Some(&mut store),
+    );
+
+    // The first slot read during resume comes back truncated.
+    io.inject(Fault::TruncateRead { at: 32 });
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    let resumed = fine_tune_checkpointed(&mut enc, &pairs, &cfg, &tcfg, Some(&mut store));
+    assert!(resumed.completed);
+    assert!(!resumed.warnings.is_empty(), "truncation must be reported");
+    assert_eq!(params_of(&enc), params_of(&oracle));
+}
+
+/// Checkpoint write failures (disk full) must not abort training — the run
+/// degrades to in-memory snapshots, finishes, and reports the failures.
+#[test]
+fn checkpoint_write_failures_degrade_gracefully() {
+    let pairs = pairs();
+    let cfg = tune_config();
+    let tcfg = trainer_config();
+
+    let mut oracle = fresh_encoder();
+    fine_tune_checkpointed(&mut oracle, &pairs, &cfg, &tcfg, None);
+
+    let io = FaultyIo::new(MemIo::new());
+    for _ in 0..32 {
+        io.inject(Fault::Enospc);
+    }
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    let out = fine_tune_checkpointed(&mut enc, &pairs, &cfg, &tcfg, Some(&mut store));
+    assert!(out.completed, "ENOSPC on checkpoints must not abort training");
+    assert!(out.warnings.iter().any(|w| w.contains("checkpoint write failed")));
+    assert_eq!(params_of(&enc), params_of(&oracle));
+}
+
+/// An over-sensitive spike detector exercises the rollback path: the
+/// trainer rolls back, re-shuffles on a new stream, and once the budget is
+/// exhausted stops early *holding the last good state* instead of
+/// diverging or panicking.
+#[test]
+fn loss_spike_rollback_restores_last_good_state_and_respects_budget() {
+    let pairs = pairs();
+    let cfg = tune_config();
+    // Arms after a single batch and treats any non-halving loss as a
+    // spike, so every post-warmup batch rolls back until the budget runs
+    // out — the detector's worst case.
+    let tcfg = TrainerConfig {
+        checkpoint_every: 2,
+        spike_warmup: 1,
+        spike_factor: 0.5,
+        max_rollbacks: 2,
+        max_steps: None,
+    };
+
+    let io = MemIo::new();
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    let out = fine_tune_checkpointed(&mut enc, &pairs, &cfg, &tcfg, Some(&mut store));
+
+    assert!(!out.completed, "budget exhaustion stops the run early");
+    assert_eq!(out.rollbacks, 2, "exactly max_rollbacks rollbacks");
+    assert!(out
+        .warnings
+        .iter()
+        .any(|w| w.contains("rollback budget exhausted")));
+    assert!(out.warnings.iter().any(|w| w.contains("loss spike")));
+
+    // The in-memory model equals the newest persisted checkpoint: the
+    // trainer handed back the last good state, not a half-updated one.
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let (latest, warnings) = store.load_latest();
+    assert!(warnings.is_empty());
+    let latest = latest.expect("post-rollback checkpoint persisted");
+    assert_eq!(latest.meta.rollbacks, 2);
+    let persisted: Vec<Vec<f32>> = latest.encoder_params.to_vec();
+    assert_eq!(params_of(&enc), persisted);
+    // All parameters are still finite.
+    assert!(params_of(&enc).iter().flatten().all(|x| x.is_finite()));
+}
+
+/// A checkpoint written for different data or hyperparameters must be
+/// ignored (fingerprint mismatch), not silently applied.
+#[test]
+fn fingerprint_mismatch_starts_fresh() {
+    let pairs_a = pairs();
+    let mut pairs_b = pairs_a.clone();
+    pairs_b[0].0[0] += 1;
+    let cfg = tune_config();
+    let tcfg = trainer_config();
+
+    let io = MemIo::new();
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc = fresh_encoder();
+    fine_tune_checkpointed(&mut enc, &pairs_a, &cfg, &tcfg, Some(&mut store));
+
+    // Same directory, different data: must warn and train from scratch.
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut enc_b = fresh_encoder();
+    let out = fine_tune_checkpointed(&mut enc_b, &pairs_b, &cfg, &tcfg, Some(&mut store));
+    assert!(out.completed);
+    assert_eq!(out.resumed_from, None);
+    assert!(out.warnings.iter().any(|w| w.contains("fingerprint")));
+
+    let mut fresh = fresh_encoder();
+    let fresh_out = fine_tune_checkpointed(&mut fresh, &pairs_b, &cfg, &tcfg, None);
+    assert_eq!(params_of(&enc_b), params_of(&fresh));
+    assert_eq!(out.epoch_losses, fresh_out.epoch_losses);
+}
+
+/// The legacy `fine_tune` entry point and the checkpointed trainer with a
+/// store attached must produce the same model: persistence machinery must
+/// never perturb the optimization trajectory.
+#[test]
+fn store_presence_does_not_perturb_training() {
+    let pairs = pairs();
+    let cfg = tune_config();
+
+    let mut plain = fresh_encoder();
+    let losses = fine_tune(&mut plain, &pairs, &cfg);
+
+    let io = MemIo::new();
+    let mut store = CheckpointStore::new(&io, "mem://ck");
+    let mut stored = fresh_encoder();
+    let out = fine_tune_checkpointed(
+        &mut stored,
+        &pairs,
+        &cfg,
+        &TrainerConfig::default(),
+        Some(&mut store),
+    );
+    assert_eq!(losses, out.epoch_losses);
+    assert_eq!(params_of(&plain), params_of(&stored));
+}
