@@ -1,0 +1,197 @@
+//! Cooperative cancellation for searches.
+//!
+//! A [`Budget`] is a cheap handle threaded into the search loops of the HNSW
+//! and flat indexes: it carries an optional wall-clock deadline and an
+//! optional shared cancellation flag. Search code polls it at coarse
+//! intervals (per candidate batch / per scan block) and, when the budget is
+//! exhausted, stops mid-traversal and returns the best results found so far
+//! with `complete == false` — instead of burning a worker past its deadline.
+//!
+//! An unlimited budget (the default) costs nothing on the hot path: the
+//! polling sites gate on [`Budget::is_limited`] before ever reading a clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::index::Neighbor;
+
+/// Deadline + cancellation handle for one search.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget that never expires (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            deadline: Some(deadline),
+            cancel: None,
+        }
+    }
+
+    /// A budget that expires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attach a shared cancellation flag: the budget counts as expired as
+    /// soon as the flag reads `true` (e.g. a disconnected client or a
+    /// server drain).
+    pub fn cancelled_by(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// The deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True when this budget can ever expire. Search loops use this to skip
+    /// clock reads entirely for unlimited budgets.
+    #[inline]
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// True when the budget is exhausted (deadline passed or cancelled).
+    #[inline]
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Result of a budgeted search: the hits gathered before the budget ran out
+/// plus enough context for the caller to report degradation honestly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedSearch {
+    /// Best hits found, sorted ascending by (distance, id). When
+    /// `complete` is false this is a best-effort partial top-k.
+    pub hits: Vec<Neighbor>,
+    /// True when the search ran to the end; false when it stopped early
+    /// because the budget expired.
+    pub complete: bool,
+    /// Distance evaluations performed (the work actually done — useful for
+    /// operators sizing deadlines).
+    pub visited: usize,
+}
+
+/// Poll granularity: how many distance evaluations pass between budget
+/// checks. Coarse enough that `Instant::now` never dominates, fine enough
+/// that an expired request stops within microseconds.
+pub(crate) const CHECK_EVERY: usize = 64;
+
+/// Per-search polling state: counts distance evaluations and latches
+/// expiry so a search stops at the next loop boundary.
+#[derive(Debug)]
+pub(crate) struct Ticker<'a> {
+    budget: &'a Budget,
+    limited: bool,
+    pub(crate) visited: usize,
+    pub(crate) expired: bool,
+}
+
+impl<'a> Ticker<'a> {
+    pub(crate) fn new(budget: &'a Budget) -> Self {
+        Self {
+            limited: budget.is_limited(),
+            // A pre-expired budget should stop the search before any work.
+            expired: budget.is_limited() && budget.expired(),
+            budget,
+            visited: 0,
+        }
+    }
+
+    /// Record one distance evaluation; returns true when the search should
+    /// stop (budget exhausted).
+    #[inline]
+    pub(crate) fn tick(&mut self) -> bool {
+        self.visited += 1;
+        if self.limited
+            && !self.expired
+            && self.visited.is_multiple_of(CHECK_EVERY)
+            && self.budget.expired()
+        {
+            self.expired = true;
+        }
+        self.expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn past_deadline_is_expired() {
+        let b = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(b.is_limited());
+        assert!(b.expired());
+        let mut t = Ticker::new(&b);
+        assert!(t.expired, "pre-expired budget latches immediately");
+        assert!(t.tick());
+    }
+
+    #[test]
+    fn future_deadline_is_live() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(b.is_limited());
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn cancellation_flag_expires_budget() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().cancelled_by(flag.clone());
+        assert!(b.is_limited());
+        assert!(!b.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn ticker_latches_expiry_at_check_interval() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().cancelled_by(flag.clone());
+        let mut t = Ticker::new(&b);
+        for _ in 0..CHECK_EVERY - 1 {
+            assert!(!t.tick());
+        }
+        flag.store(true, Ordering::Relaxed);
+        // The next multiple-of-interval tick observes the flag.
+        let mut stopped = false;
+        for _ in 0..CHECK_EVERY + 1 {
+            if t.tick() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+        assert!(t.visited >= CHECK_EVERY);
+    }
+}

@@ -9,12 +9,58 @@
 use deepjoin_par::Pool;
 use serde::{Deserialize, Serialize};
 
+use crate::budget::{Budget, BudgetedSearch};
 use crate::distance::Metric;
 use crate::index::{Neighbor, TopK, VectorIndex};
 
 /// Rows scored per block. Large enough to amortize dispatch, small enough
 /// that the score buffer stays in L1.
 const SCAN_BLOCK: usize = 256;
+
+/// Budgeted blocked scan over row-major `data`, shared by
+/// [`FlatIndex::search_budgeted`] and the HNSW flat-rescue path
+/// (`HnswIndex::flat_scan_budgeted`). The budget is polled once per scan
+/// block; on expiry the scan stops and returns the best-so-far top-k with
+/// `complete == false`. `visited` counts the rows actually scored.
+pub(crate) fn scan_budgeted(
+    data: &[f32],
+    dim: usize,
+    metric: Metric,
+    unit_norm: bool,
+    query: &[f32],
+    k: usize,
+    budget: &Budget,
+) -> BudgetedSearch {
+    assert_eq!(query.len(), dim, "dimension mismatch");
+    let n = data.len() / dim;
+    let limited = budget.is_limited();
+    let mut top = TopK::new(k);
+    let mut scores = [0f32; SCAN_BLOCK];
+    let mut base = 0usize;
+    let mut complete = true;
+    while base < n {
+        if limited && budget.expired() {
+            complete = false;
+            break;
+        }
+        let rows = SCAN_BLOCK.min(n - base);
+        let block = &data[base * dim..(base + rows) * dim];
+        metric.surrogate_block(query, block, unit_norm, &mut scores[..rows]);
+        for (i, &s) in scores[..rows].iter().enumerate() {
+            top.push((base + i) as u32, s);
+        }
+        base += rows;
+    }
+    let mut hits = top.into_sorted();
+    for h in &mut hits {
+        h.distance = metric.distance_from_surrogate(h.distance, unit_norm);
+    }
+    BudgetedSearch {
+        hits,
+        complete,
+        visited: base,
+    }
+}
 
 /// Linear-scan exact kNN.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,6 +106,21 @@ impl FlatIndex {
         &self.data[i..i + self.dim]
     }
 
+    /// [`VectorIndex::search`] under a cooperative [`Budget`]: the scan
+    /// polls the budget between blocks and, on expiry, returns the best
+    /// top-k over the rows scored so far (`complete == false`).
+    pub fn search_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        scan_budgeted(
+            &self.data,
+            self.dim,
+            self.metric,
+            self.unit_norm,
+            query,
+            k,
+            budget,
+        )
+    }
+
     /// Search many row-major queries (`queries.len() / dim` of them),
     /// parallelized over queries with `pool`. Results are identical to
     /// calling [`VectorIndex::search`] per query, in query order, for any
@@ -99,29 +160,11 @@ impl VectorIndex for FlatIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        let n = self.len();
         // Rank by the cheap surrogate, computed block-at-a-time with the
         // one-vs-many kernels into a bounded top-k selector (never
         // materializing all n hits), then convert survivors to distances.
-        let mut top = TopK::new(k);
-        let mut scores = [0f32; SCAN_BLOCK];
-        let mut base = 0usize;
-        while base < n {
-            let rows = SCAN_BLOCK.min(n - base);
-            let block = &self.data[base * self.dim..(base + rows) * self.dim];
-            self.metric
-                .surrogate_block(query, block, self.unit_norm, &mut scores[..rows]);
-            for (i, &s) in scores[..rows].iter().enumerate() {
-                top.push((base + i) as u32, s);
-            }
-            base += rows;
-        }
-        let mut hits = top.into_sorted();
-        for h in &mut hits {
-            h.distance = self.metric.distance_from_surrogate(h.distance, self.unit_norm);
-        }
-        hits
+        // The unlimited budget never reads a clock (see `budget`).
+        self.search_budgeted(query, k, &Budget::unlimited()).hits
     }
 }
 
@@ -200,6 +243,53 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x.distance - y.distance).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn budgeted_search_with_unlimited_budget_matches_search() {
+        let mut idx = FlatIndex::new(3, Metric::L2);
+        let data: Vec<f32> = (0..SCAN_BLOCK * 3 * 3).map(|i| (i as f32 * 0.17).sin()).collect();
+        idx.add_batch(&data);
+        let q = [0.1f32, -0.2, 0.3];
+        let plain = idx.search(&q, 7);
+        let budgeted = idx.search_budgeted(&q, 7, &Budget::unlimited());
+        assert!(budgeted.complete);
+        assert_eq!(budgeted.hits, plain);
+        assert_eq!(budgeted.visited, idx.len());
+    }
+
+    #[test]
+    fn expired_budget_stops_scan_with_partial_results() {
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        for i in 0..SCAN_BLOCK * 4 {
+            idx.add(&[i as f32, 0.0]);
+        }
+        let expired = Budget::with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let out = idx.search_budgeted(&[0.0, 0.0], 5, &expired);
+        assert!(!out.complete, "expired budget must report a partial scan");
+        assert!(out.visited < idx.len(), "scan must stop early");
+        // Whatever was scored is still correctly ranked.
+        for w in out.hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_scan() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        for i in 0..SCAN_BLOCK * 2 {
+            idx.add(&[i as f32, 1.0]);
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = Budget::unlimited().cancelled_by(flag.clone());
+        let out = idx.search_budgeted(&[0.0, 0.0], 3, &budget);
+        assert!(!out.complete);
+        flag.store(false, Ordering::Relaxed);
+        let out = idx.search_budgeted(&[0.0, 0.0], 3, &budget);
+        assert!(out.complete);
+        assert_eq!(out.visited, idx.len());
     }
 
     #[test]

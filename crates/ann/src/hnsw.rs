@@ -17,6 +17,7 @@ use std::collections::BinaryHeap;
 use deepjoin_par::Pool;
 use serde::{Deserialize, Serialize};
 
+use crate::budget::{Budget, BudgetedSearch, Ticker};
 use crate::distance::Metric;
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
 
@@ -245,7 +246,10 @@ impl HnswIndex {
     }
 
     /// Algorithm 2: best-first search on one layer, returning up to `ef`
-    /// closest candidates (unsorted heap order).
+    /// closest candidates (unsorted heap order). The ticker records every
+    /// distance evaluation and, once its budget expires, stops the
+    /// expansion at the next candidate boundary — the results gathered so
+    /// far are returned as a best-effort partial answer.
     fn search_layer(
         &self,
         query: &[f32],
@@ -253,6 +257,7 @@ impl HnswIndex {
         ef: usize,
         level: usize,
         visited: &mut [bool],
+        ticker: &mut Ticker<'_>,
     ) -> Vec<MinCand> {
         let mut candidates: BinaryHeap<MinCand> = BinaryHeap::new();
         let mut results: BinaryHeap<MaxCand> = BinaryHeap::new();
@@ -267,6 +272,9 @@ impl HnswIndex {
             }
         }
         while let Some(cur) = candidates.pop() {
+            if ticker.expired {
+                break;
+            }
             let worst = results.peek().map(|w| w.dist).unwrap_or(f32::INFINITY);
             if cur.dist > worst && results.len() >= ef {
                 break;
@@ -280,6 +288,9 @@ impl HnswIndex {
                     }
                     visited[nb_us] = true;
                     let d = self.dist(query, nb);
+                    if ticker.tick() {
+                        break;
+                    }
                     let worst = results.peek().map(|w| w.dist).unwrap_or(f32::INFINITY);
                     if results.len() < ef || d < worst {
                         candidates.push(MinCand { dist: d, id: nb });
@@ -408,6 +419,8 @@ impl HnswIndex {
             id: ep,
         }];
         let mut out = vec![Vec::new(); top + 1];
+        let budget = Budget::unlimited();
+        let mut ticker = Ticker::new(&budget);
         for lev in (0..=top).rev() {
             visited.iter_mut().for_each(|v| *v = false);
             let found = self.search_layer(
@@ -416,6 +429,7 @@ impl HnswIndex {
                 self.config.ef_construction,
                 lev,
                 &mut visited,
+                &mut ticker,
             );
             out[lev] = found.clone();
             entry_points = found;
@@ -518,6 +532,101 @@ impl HnswIndex {
         }
     }
 
+    /// Algorithm 5 under a cooperative [`Budget`]: identical to
+    /// [`VectorIndex::search`] while the budget lasts; when it expires
+    /// mid-traversal the search stops at the next candidate boundary and
+    /// returns the best hits gathered so far with `complete == false`.
+    /// Unlimited budgets never read a clock, so the plain `search` path
+    /// pays nothing for this hook.
+    pub fn search_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let Some(mut ep) = self.entry else {
+            return BudgetedSearch {
+                hits: Vec::new(),
+                complete: true,
+                visited: 0,
+            };
+        };
+        let mut ticker = Ticker::new(budget);
+        let mut ep_dist = self.dist(query, ep);
+        let mut descent_cut = ticker.tick();
+        // Greedy descent to layer 1 (skipped once the budget expires — the
+        // current entry point is still a usable, if coarse, seed).
+        for l in (1..=self.max_level).rev() {
+            if descent_cut {
+                break;
+            }
+            let mut changed = true;
+            while changed && !descent_cut {
+                changed = false;
+                let node = &self.nodes[ep as usize];
+                if l < node.neighbors.len() {
+                    for &nb in &node.neighbors[l] {
+                        let d = self.dist(query, nb);
+                        if ticker.tick() {
+                            descent_cut = true;
+                            break;
+                        }
+                        if d < ep_dist {
+                            ep = nb;
+                            ep_dist = d;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let ef = self.config.ef_search.max(k);
+        let mut visited = vec![false; self.nodes.len()];
+        let found = self.search_layer(
+            query,
+            &[MinCand {
+                dist: ep_dist,
+                id: ep,
+            }],
+            ef,
+            0,
+            &mut visited,
+            &mut ticker,
+        );
+        let mut hits: Vec<Neighbor> = found
+            .into_iter()
+            .map(|c| Neighbor {
+                id: c.id,
+                distance: c.dist,
+            })
+            .collect();
+        hits = finalize_hits(hits, k);
+        for h in &mut hits {
+            h.distance = self
+                .config
+                .metric
+                .distance_from_surrogate(h.distance, self.unit_norm);
+        }
+        BudgetedSearch {
+            hits,
+            complete: !ticker.expired,
+            visited: ticker.visited,
+        }
+    }
+
+    /// Budgeted exact scan over this index's stored vectors — the rescue
+    /// rung of the degradation ladder when graph traversal itself fails
+    /// (e.g. a panic on a structurally damaged graph): same vectors, no
+    /// graph involved, same partial-results contract as
+    /// [`crate::FlatIndex::search_budgeted`].
+    pub fn flat_scan_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        crate::flat::scan_budgeted(
+            &self.vectors,
+            self.dim,
+            self.config.metric,
+            self.unit_norm,
+            query,
+            k,
+            budget,
+        )
+    }
+
     /// Search many row-major queries in parallel. Results are identical to
     /// per-query [`VectorIndex::search`] calls, in query order, for any
     /// pool size (searches are read-only).
@@ -597,6 +706,8 @@ impl VectorIndex for HnswIndex {
             dist: ep_dist,
             id: ep,
         }];
+        let budget = Budget::unlimited();
+        let mut ticker = Ticker::new(&budget);
         for lev in (0..=top).rev() {
             visited.iter_mut().for_each(|v| *v = false);
             let found = self.search_layer(
@@ -605,6 +716,7 @@ impl VectorIndex for HnswIndex {
                 self.config.ef_construction,
                 lev,
                 &mut visited,
+                &mut ticker,
             );
             let neighbors = self.select_neighbors(found.clone(), self.config.m);
             for &nb in &neighbors {
@@ -622,58 +734,10 @@ impl VectorIndex for HnswIndex {
         id
     }
 
-    /// Algorithm 5: k-NN search.
+    /// Algorithm 5: k-NN search ([`HnswIndex::search_budgeted`] with an
+    /// unlimited budget).
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        let Some(mut ep) = self.entry else {
-            return Vec::new();
-        };
-        let mut ep_dist = self.dist(query, ep);
-        // Greedy descent to layer 1.
-        for l in (1..=self.max_level).rev() {
-            let mut changed = true;
-            while changed {
-                changed = false;
-                let node = &self.nodes[ep as usize];
-                if l < node.neighbors.len() {
-                    for &nb in &node.neighbors[l] {
-                        let d = self.dist(query, nb);
-                        if d < ep_dist {
-                            ep = nb;
-                            ep_dist = d;
-                            changed = true;
-                        }
-                    }
-                }
-            }
-        }
-        let ef = self.config.ef_search.max(k);
-        let mut visited = vec![false; self.nodes.len()];
-        let found = self.search_layer(
-            query,
-            &[MinCand {
-                dist: ep_dist,
-                id: ep,
-            }],
-            ef,
-            0,
-            &mut visited,
-        );
-        let mut hits: Vec<Neighbor> = found
-            .into_iter()
-            .map(|c| Neighbor {
-                id: c.id,
-                distance: c.dist,
-            })
-            .collect();
-        hits = finalize_hits(hits, k);
-        for h in &mut hits {
-            h.distance = self
-                .config
-                .metric
-                .distance_from_surrogate(h.distance, self.unit_norm);
-        }
-        hits
+        self.search_budgeted(query, k, &Budget::unlimited()).hits
     }
 }
 
@@ -848,6 +912,54 @@ mod tests {
                 assert!(nbs.len() <= bound, "layer {l} degree {}", nbs.len());
             }
         }
+    }
+
+    #[test]
+    fn budgeted_search_with_unlimited_budget_matches_search() {
+        let data = random_data(1200, 6, 41);
+        let mut idx = HnswIndex::new(6, HnswConfig::default());
+        idx.add_batch(&data);
+        let queries = random_data(10, 6, 42);
+        for q in queries.chunks_exact(6) {
+            let plain = idx.search(q, 8);
+            let budgeted = idx.search_budgeted(q, 8, &Budget::unlimited());
+            assert!(budgeted.complete);
+            assert!(budgeted.visited > 0);
+            assert_eq!(budgeted.hits, plain);
+        }
+    }
+
+    #[test]
+    fn expired_budget_returns_partial_results_not_nothing() {
+        let data = random_data(2000, 8, 43);
+        let mut idx = HnswIndex::new(8, HnswConfig::default());
+        idx.add_batch(&data);
+        let expired = Budget::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let out = idx.search_budgeted(&data[0..8], 10, &expired);
+        assert!(!out.complete, "expired budget must be reported");
+        // The traversal stops almost immediately but still surfaces the
+        // best candidates it touched (at least the entry point).
+        assert!(!out.hits.is_empty());
+        assert!(out.visited < 2000, "must not have scanned everything");
+        for w in out.hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn flat_scan_budgeted_matches_flat_index() {
+        let data = random_data(900, 5, 44);
+        let mut hnsw = HnswIndex::new(5, HnswConfig::default());
+        hnsw.add_batch(&data);
+        let mut flat = FlatIndex::new(5, Metric::L2);
+        flat.add_batch(&data);
+        let q = &data[35 * 5..36 * 5];
+        let rescue = hnsw.flat_scan_budgeted(q, 7, &Budget::unlimited());
+        assert!(rescue.complete);
+        assert_eq!(rescue.visited, 900);
+        assert_eq!(rescue.hits, flat.search(q, 7));
     }
 
     #[test]

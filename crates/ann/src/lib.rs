@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod distance;
 pub mod io;
 pub mod flat;
@@ -18,6 +19,7 @@ pub mod ivfpq;
 pub mod kmeans;
 pub mod pq;
 
+pub use budget::{Budget, BudgetedSearch};
 pub use distance::Metric;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};

@@ -5,8 +5,18 @@
 //! dj train    <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N]
 //!             [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
 //! dj search   <in.lake> <in.model> [--k K] [--query-index I]
+//! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D]
+//! dj query    <addr> --cells a,b,c [--name NAME] [--k K]
+//! dj ctl      <addr> ping|stats|reload [path]|shutdown
 //! dj info     <in.model>
 //! ```
+//!
+//! `dj serve` runs the TCP query server (DESIGN.md §11): admission control
+//! sheds bursts past `--max-inflight` with structured `Overloaded` errors,
+//! `--deadline-ms` bounds per-query compute (late queries return partial,
+//! `degraded` results), SIGHUP hot-reloads the model artifact, and
+//! SIGTERM/SIGINT drain gracefully. `dj query` / `dj ctl` are the matching
+//! client.
 //!
 //! `--threads N` caps the worker pool used for column encoding and index
 //! construction (default: `available_parallelism`). Results are identical
@@ -34,6 +44,7 @@ use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
 use deepjoin_lake::joinability::equi_joinability;
 use deepjoin_lake::lakefile;
 use deepjoin_lake::repository::Repository;
+use deepjoin_serve::{Client, Server, ServerConfig};
 use deepjoin_store::{ArtifactIo, StdIo};
 
 fn main() -> ExitCode {
@@ -45,6 +56,9 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "train" => cmd_train(&args[1..]),
         "search" => cmd_search(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "ctl" => cmd_ctl(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "train-csv" => cmd_train_csv(&args[1..]),
         "search-csv" => cmd_search_csv(&args[1..]),
@@ -61,7 +75,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D]\n  dj query <addr> --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -89,6 +103,37 @@ fn parse_positive(args: &[String], name: &str, default_hint: &str) -> Result<Opt
         Err(_) => Err(format!(
             "{name} expects a whole number of at least 1, got '{raw}'"
         )),
+    }
+}
+
+/// Like [`parse_positive`] but for flags where 0 is meaningful (e.g.
+/// `--query-index 0` is the first query). Still rejects garbage with the
+/// flag name and the offending value instead of a bare `ParseIntError`.
+fn parse_nonnegative(
+    args: &[String],
+    name: &str,
+    default_hint: &str,
+) -> Result<Option<usize>, String> {
+    let Some(raw) = flag(args, name) else {
+        return Ok(None);
+    };
+    raw.parse::<usize>().map(Some).map_err(|_| {
+        format!(
+            "{name} expects a whole number of at least 0, got '{raw}'; \
+             omit the flag to use the default ({default_hint})"
+        )
+    })
+}
+
+/// Clamp `k` to the number of indexed columns, warning when the request
+/// asked for more than exists (asking for 50 neighbors in a 10-column lake
+/// is well-defined, not an error).
+fn clamp_k(k: usize, indexed: usize) -> usize {
+    if k > indexed {
+        eprintln!("warning: --k {k} exceeds the {indexed} indexed columns; returning {indexed}");
+        indexed
+    } else {
+        k
     }
 }
 
@@ -226,8 +271,8 @@ fn cmd_train(args: &[String]) -> CliResult {
 fn cmd_search(args: &[String]) -> CliResult {
     let lake = args.first().ok_or("missing <in.lake>")?;
     let model_path = args.get(1).ok_or("missing <in.model>")?;
-    let k: usize = flag(args, "--k").map_or(Ok(10), |v| v.parse())?;
-    let qi: usize = flag(args, "--query-index").map_or(Ok(0), |v| v.parse())?;
+    let k = parse_positive(args, "--k", "10")?.unwrap_or(10);
+    let qi = parse_nonnegative(args, "--query-index", "0, the first query")?.unwrap_or(0);
 
     let corpus = load_lake(lake)?;
     let (repo, _) = corpus.to_repository();
@@ -235,6 +280,7 @@ fn cmd_search(args: &[String]) -> CliResult {
     if model.indexed_len() == 0 {
         return Err("model was saved without an index".into());
     }
+    let k = clamp_k(k, model.indexed_len());
     let (query, _) = corpus
         .sample_queries(qi + 1, 0x0BEE)
         .pop()
@@ -309,10 +355,11 @@ fn cmd_search_csv(args: &[String]) -> CliResult {
     let dir = args.first().ok_or("missing <csv-dir>")?;
     let model_path = args.get(1).ok_or("missing <in.model>")?;
     let query_file = flag(args, "--query").ok_or("missing --query <file.csv>")?;
-    let k: usize = flag(args, "--k").map_or(Ok(10), |v| v.parse())?;
+    let k = parse_positive(args, "--k", "10")?.unwrap_or(10);
 
     let repo = csv_repository(dir)?;
     let model = load_model_file(model_path)?;
+    let k = clamp_k(k, model.indexed_len());
     if model.indexed_len() != repo.len() {
         return Err(format!(
             "model indexes {} columns but {dir} has {} — retrain with train-csv",
@@ -345,6 +392,119 @@ fn cmd_search_csv(args: &[String]) -> CliResult {
             col.meta.table_title,
             equi_joinability(&query, col)
         );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let lake = args.first().ok_or("missing <in.lake>")?;
+    let model_path = args.get(1).ok_or("missing <in.model>")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let workers = thread_budget(args)?;
+    let max_inflight = parse_positive(args, "--max-inflight", "32")?.unwrap_or(32);
+    let deadline = parse_positive(args, "--deadline-ms", "no deadline")?
+        .map(|ms| std::time::Duration::from_millis(ms as u64));
+
+    // The lake provides the human-readable labels for hits; it is loaded
+    // once and shared across model reloads.
+    let corpus = load_lake(lake)?;
+    let (repo, _) = corpus.to_repository();
+    let repo = std::sync::Arc::new(repo);
+    eprintln!("lake {lake}: {} columns", repo.len());
+
+    let loader = deepjoin::serving::snapshot_loader(model_path.clone(), repo);
+    let server = Server::start(
+        ServerConfig {
+            addr,
+            workers,
+            max_inflight,
+            deadline,
+            install_signal_handlers: true,
+            ..ServerConfig::default()
+        },
+        loader,
+    )?;
+    for w in server.startup_warnings() {
+        eprintln!("warning: {model_path}: {w}");
+    }
+    // The e2e tests (and scripts) parse this line for the bound port, so
+    // it goes to stdout and is flushed before the accept loop starts.
+    println!("dj-serve listening on {}", server.local_addr()?);
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.run()?;
+    eprintln!("dj-serve drained cleanly");
+    Ok(())
+}
+
+/// Split `--cells a,b,c`; a missing flag reads newline-separated cells
+/// from stdin so scripts can pipe a column in.
+fn query_cells(args: &[String]) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    if let Some(joined) = flag(args, "--cells") {
+        return Ok(joined.split(',').map(str::to_string).collect());
+    }
+    use std::io::Read as _;
+    let mut buf = String::new();
+    std::io::stdin().read_to_string(&mut buf)?;
+    let cells: Vec<String> = buf.lines().map(str::to_string).collect();
+    if cells.is_empty() {
+        return Err("no query cells: pass --cells a,b,c or pipe one cell per line".into());
+    }
+    Ok(cells)
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let addr = args.first().ok_or("missing <addr> (e.g. 127.0.0.1:7878)")?;
+    let name = flag(args, "--name").unwrap_or_else(|| "query".to_string());
+    let k = parse_positive(args, "--k", "10")?.unwrap_or(10);
+    let cells = query_cells(args)?;
+    let mut client = Client::connect(addr)?;
+    let reply = client.query(&name, &cells, k as u32)?;
+    println!(
+        "generation {} | health {} | {}{}",
+        reply.generation,
+        reply.health_label,
+        if reply.degraded { "DEGRADED" } else { "ok" },
+        if reply.complete { "" } else { " (partial: deadline hit)" },
+    );
+    for (rank, hit) in reply.hits.iter().enumerate() {
+        println!("#{rank:<3} col#{:<6} {:<30} dist {:.4}", hit.id, hit.label, hit.score);
+    }
+    Ok(())
+}
+
+fn cmd_ctl(args: &[String]) -> CliResult {
+    let addr = args.first().ok_or("missing <addr>")?;
+    let verb = args.get(1).ok_or("missing verb: ping|stats|reload|shutdown")?;
+    let mut client = Client::connect(addr)?;
+    match verb.as_str() {
+        "ping" => {
+            client.ping()?;
+            println!("pong");
+        }
+        "stats" => {
+            let s = client.stats()?;
+            println!("generation      : {}", s.generation);
+            println!("indexed cols    : {}", s.indexed);
+            println!("index health    : {}", s.health_label);
+            println!("accepted        : {}", s.accepted);
+            println!("shed (overload) : {}", s.shed);
+            println!("expired queued  : {}", s.expired);
+            println!("degraded answers: {}", s.degraded_answers);
+            println!("queue capacity  : {}", s.queue_capacity);
+        }
+        "reload" => {
+            let (generation, warnings) = client.reload(args.get(2).map(String::as_str))?;
+            for w in warnings {
+                eprintln!("warning: {w}");
+            }
+            println!("reloaded: generation {generation}");
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("server draining");
+        }
+        other => return Err(format!("unknown ctl verb '{other}': ping|stats|reload|shutdown").into()),
     }
     Ok(())
 }
@@ -411,6 +571,35 @@ mod tests {
             assert!(err.contains("at least 1"), "message says the bound: {err}");
             assert!(err.contains("omit the flag"), "message says the fix: {err}");
         }
+    }
+
+    #[test]
+    fn parse_nonnegative_accepts_zero_and_rejects_garbage() {
+        assert_eq!(
+            parse_nonnegative(&argv(&["--query-index", "0"]), "--query-index", "0").unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            parse_nonnegative(&argv(&["--query-index", "7"]), "--query-index", "0").unwrap(),
+            Some(7)
+        );
+        assert_eq!(parse_nonnegative(&argv(&[]), "--query-index", "0").unwrap(), None);
+        for bad in ["abc", "-1", "2.5"] {
+            let err =
+                parse_nonnegative(&argv(&["--query-index", bad]), "--query-index", "0").unwrap_err();
+            assert!(err.contains("--query-index"), "{err}");
+            assert!(err.contains(&format!("'{bad}'")), "{err}");
+        }
+    }
+
+    #[test]
+    fn clamp_k_caps_at_index_size() {
+        // k larger than the index clamps (with a warning on stderr);
+        // anything within bounds passes through untouched.
+        assert_eq!(clamp_k(50, 10), 10);
+        assert_eq!(clamp_k(10, 10), 10);
+        assert_eq!(clamp_k(3, 10), 3);
+        assert_eq!(clamp_k(1, 0), 0);
     }
 
     #[test]

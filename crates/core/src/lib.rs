@@ -43,16 +43,19 @@ pub mod checkpoint;
 pub mod model;
 pub mod persist;
 pub mod rerank;
+pub mod serving;
 pub mod text;
 pub mod train;
 pub mod trainer;
 
 pub use checkpoint::{CheckpointMeta, CheckpointStore, LoadedCheckpoint};
 pub use model::{
-    DeepJoin, DeepJoinConfig, IndexHealth, IndexState, TrainLineage, TrainReport, Variant,
+    DeepJoin, DeepJoinConfig, IndexHealth, IndexState, LadderSearch, TrainLineage, TrainReport,
+    Variant,
 };
 pub use persist::{load_model, save_model, LoadedModel};
 pub use rerank::{RerankConfig, RerankingSearcher};
+pub use serving::{snapshot_loader, ServedModel};
 pub use text::{CellFrequencies, Textizer, TransformOption};
 pub use train::{FineTuneConfig, JoinType, TrainDataConfig};
 pub use trainer::{fine_tune_checkpointed, TrainOutcome, TrainerConfig};

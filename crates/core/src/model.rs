@@ -1,5 +1,6 @@
 //! The DeepJoin model: train → embed → index → search (paper §3, Figure 1).
 
+use deepjoin_ann::budget::{Budget, BudgetedSearch};
 use deepjoin_ann::flat::FlatIndex;
 use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
 use deepjoin_ann::index::{Neighbor, VectorIndex};
@@ -164,6 +165,22 @@ impl IndexHealth {
             IndexHealth::DegradedFlat { .. } => "degraded-flat",
         }
     }
+}
+
+/// Result of a budgeted, ladder-protected search
+/// ([`DeepJoin::search_embedded_budgeted`]): the hits plus an honest
+/// account of how they were obtained.
+#[derive(Debug, Clone)]
+pub struct LadderSearch {
+    /// Best hits found, highest score (closest) first.
+    pub hits: Vec<ScoredColumn>,
+    /// False when the budget expired mid-search and `hits` is a partial
+    /// best-effort top-k.
+    pub complete: bool,
+    /// Distance evaluations performed.
+    pub visited: usize,
+    /// True when the HNSW path failed and the exact-scan rescue answered.
+    pub via_fallback: bool,
 }
 
 /// The trained DeepJoin model.
@@ -380,6 +397,72 @@ impl DeepJoin {
                 score: -distance as f64,
             })
             .collect()
+    }
+
+    /// [`DeepJoin::search_embedded`] under a cooperative [`Budget`], with
+    /// the full degradation ladder (see [`LadderSearch`]):
+    ///
+    /// 1. a healthy HNSW graph runs a budgeted graph search; if the graph
+    ///    traversal *panics* (e.g. an index corrupted in memory), the panic
+    ///    is caught and the query re-runs as a budgeted exact scan over the
+    ///    graph's own vectors;
+    /// 2. a degraded model (flat fallback from load time) runs the budgeted
+    ///    exact scan directly;
+    /// 3. when the budget expires mid-scan on any rung, the best-so-far
+    ///    partial top-k is returned with `complete == false` instead of
+    ///    nothing.
+    ///
+    /// An empty index returns an empty, complete result (no panic — this
+    /// path is reachable from the server, which must not die on it).
+    pub fn search_embedded_budgeted(
+        &self,
+        query_embedding: &[f32],
+        k: usize,
+        budget: &Budget,
+    ) -> LadderSearch {
+        let (result, via_fallback) = match &self.index {
+            IndexState::None => (
+                BudgetedSearch {
+                    hits: Vec::new(),
+                    complete: true,
+                    visited: 0,
+                },
+                false,
+            ),
+            IndexState::Hnsw(index) => {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    index.search_budgeted(query_embedding, k, budget)
+                }));
+                match attempt {
+                    Ok(result) => (result, false),
+                    // The graph path failed outright; rescue with an exact
+                    // scan over the same vectors, still under the budget.
+                    Err(_) => (index.flat_scan_budgeted(query_embedding, k, budget), true),
+                }
+            }
+            IndexState::DegradedFlat { index, .. } => {
+                (index.search_budgeted(query_embedding, k, budget), false)
+            }
+        };
+        LadderSearch {
+            hits: result
+                .hits
+                .into_iter()
+                .map(|Neighbor { id, distance }| ScoredColumn {
+                    id: ColumnId(id),
+                    score: -distance as f64,
+                })
+                .collect(),
+            complete: result.complete,
+            visited: result.visited,
+            via_fallback,
+        }
+    }
+
+    /// [`DeepJoin::search`] under a budget: encode, then run the ladder.
+    pub fn search_budgeted(&self, query: &Column, k: usize, budget: &Budget) -> LadderSearch {
+        let v = self.embed_column(query);
+        self.search_embedded_budgeted(&v, k, budget)
     }
 
     /// Number of indexed columns (0 before `index_repository`).

@@ -1,0 +1,151 @@
+//! The adapter between the model-agnostic server crate and the real
+//! DeepJoin model: wraps a loaded [`DeepJoin`] (plus the repository that
+//! supplies human-readable column labels) as a
+//! [`deepjoin_serve::ServeModel`], and builds the snapshot [`Loader`] the
+//! server calls at startup and on every hot reload.
+
+use std::sync::Arc;
+
+use deepjoin_ann::Budget;
+use deepjoin_lake::column::{Column, ColumnMeta};
+use deepjoin_lake::repository::Repository;
+use deepjoin_serve::{Health, Hit, LoadedSnapshot, Loader, QueryOutcome, ServeModel};
+
+use crate::model::{DeepJoin, IndexHealth};
+use crate::persist::load_model;
+
+/// A loaded model + its repository, queryable by the server. The
+/// repository provides the `table.column` labels attached to hits; it is
+/// shared (`Arc`) across reloads because the lake does not change when the
+/// model artifact is swapped.
+pub struct ServedModel {
+    model: DeepJoin,
+    repo: Arc<Repository>,
+}
+
+impl ServedModel {
+    /// Wrap a model and the repository it indexes.
+    pub fn new(model: DeepJoin, repo: Arc<Repository>) -> Self {
+        Self { model, repo }
+    }
+
+    fn label(&self, id: u32) -> String {
+        match self.repo.get(deepjoin_lake::column::ColumnId(id)) {
+            Some(col) => format!("{}.{}", col.meta.table_title, col.meta.column_name),
+            None => format!("col#{id}"),
+        }
+    }
+}
+
+impl ServeModel for ServedModel {
+    fn indexed_len(&self) -> usize {
+        self.model.indexed_len()
+    }
+
+    fn health(&self) -> Health {
+        match self.model.index_health() {
+            IndexHealth::Hnsw => Health::Hnsw,
+            IndexHealth::DegradedFlat { reason } => Health::DegradedFlat { reason },
+            IndexHealth::Missing => Health::Missing,
+        }
+    }
+
+    fn query(&self, cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome {
+        let column = Column::new(
+            cells.to_vec(),
+            ColumnMeta {
+                column_name: name.to_string(),
+                ..ColumnMeta::default()
+            },
+        );
+        let ladder = self.model.search_budgeted(&column, k, budget);
+        QueryOutcome {
+            hits: ladder
+                .hits
+                .into_iter()
+                .map(|sc| Hit {
+                    id: sc.id.0,
+                    // The wire carries the raw distance; ScoredColumn holds
+                    // the negated score.
+                    score: -sc.score as f32,
+                    label: self.label(sc.id.0),
+                })
+                .collect(),
+            complete: ladder.complete,
+            visited: ladder.visited,
+            via_fallback: ladder.via_fallback,
+        }
+    }
+}
+
+/// Build the server's snapshot [`Loader`] for a model artifact.
+///
+/// The loader re-reads `model_path` (or the path given in the reload
+/// request) on every call, so `dj ctl reload` after retraining picks up the
+/// new artifact without restarting the server. Non-fatal load degradations
+/// (e.g. a corrupt HNSW section rescued by the flat fallback) become
+/// snapshot warnings and flow into responses via the health field.
+pub fn snapshot_loader(model_path: String, repo: Arc<Repository>) -> Loader {
+    Box::new(move |path| {
+        let path = path.unwrap_or(&model_path);
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("read model artifact {path}: {e}"))?;
+        let loaded = load_model(&bytes).map_err(|e| format!("decode {path}: {e}"))?;
+        if loaded.model.indexed_len() == 0 {
+            return Err(format!("{path} was saved without an index; retrain with dj train"));
+        }
+        let warnings = loaded.warnings.clone();
+        Ok(LoadedSnapshot {
+            model: Box::new(ServedModel::new(loaded.model, repo.clone())),
+            warnings,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeepJoinConfig;
+    use crate::train::JoinType;
+    use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+
+    fn tiny_served() -> (ServedModel, Column) {
+        let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 12, 7));
+        let (repo, _) = corpus.to_repository();
+        let config = DeepJoinConfig {
+            fine_tune: crate::train::FineTuneConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..DeepJoinConfig::default()
+        };
+        let (mut model, _report) = DeepJoin::train(&repo, JoinType::Equi, config);
+        model.index_repository(&repo);
+        let query = repo.column(deepjoin_lake::column::ColumnId(0)).clone();
+        (ServedModel::new(model, Arc::new(repo)), query)
+    }
+
+    #[test]
+    fn served_model_answers_with_labels_and_health() {
+        let (served, query) = tiny_served();
+        assert!(served.indexed_len() > 0);
+        assert_eq!(served.health(), Health::Hnsw);
+        let out = served.query(&query.cells, "probe", 3, &Budget::unlimited());
+        assert!(out.complete);
+        assert!(!out.via_fallback);
+        assert_eq!(out.hits.len(), 3);
+        for h in &out.hits {
+            assert!(h.label.contains('.'), "label '{}' is not table.column", h.label);
+        }
+    }
+
+    #[test]
+    fn expired_budget_yields_incomplete_outcome() {
+        let (served, query) = tiny_served();
+        let expired = Budget::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let out = served.query(&query.cells, "probe", 3, &expired);
+        assert!(!out.complete, "expired budget must be reported");
+    }
+}

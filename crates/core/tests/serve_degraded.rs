@@ -1,0 +1,181 @@
+//! Degradation acceptance test (ISSUE PR 4): serving a model artifact
+//! whose HNSW section is corrupt must still answer queries — via the exact
+//! flat fallback, flagged `degraded` — and a hot reload of the repaired
+//! artifact must restore full health without a restart.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig};
+use deepjoin::persist::{load_model, save_model};
+use deepjoin::serving::snapshot_loader;
+use deepjoin::train::{FineTuneConfig, JoinType};
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_lake::repository::Repository;
+use deepjoin_serve::{Client, Server, ServerConfig};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dj-serve-degraded-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_trained() -> (DeepJoin, Repository, Corpus) {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 12, 7));
+    let (repo, _) = corpus.to_repository();
+    let config = DeepJoinConfig {
+        fine_tune: FineTuneConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        ..DeepJoinConfig::default()
+    };
+    let (mut model, _report) = DeepJoin::train(&repo, JoinType::Equi, config);
+    model.index_repository(&repo);
+    (model, repo, corpus)
+}
+
+#[test]
+fn corrupt_hnsw_serves_exact_flat_answers_and_reload_recovers() {
+    let tmp = TempDir::new("ladder");
+    let (model, repo, corpus) = tiny_trained();
+
+    let good_path = tmp.path("good.model");
+    let bytes = save_model(&model, true);
+    std::fs::write(&good_path, &bytes).unwrap();
+
+    // The HNSW graph section is written last; flipping the final byte
+    // damages only it (same idiom as the persist degradation tests).
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    let bad_path = tmp.path("bad.model");
+    std::fs::write(&bad_path, &bad).unwrap();
+
+    // What the corrupted artifact should answer: the exact flat scan the
+    // loader degrades to (already proven brute-force-exact in persist.rs).
+    // The wire protocol carries cells + a name but no table metadata, so
+    // the oracle must embed the same metadata-stripped column the server
+    // will reconstruct.
+    let (query, _) = corpus.sample_queries(1, 0x0BEE).pop().unwrap();
+    let wire_query = deepjoin_lake::column::Column::new(
+        query.cells.clone(),
+        deepjoin_lake::column::ColumnMeta {
+            column_name: "probe".to_string(),
+            ..Default::default()
+        },
+    );
+    let degraded_model = load_model(&bad).unwrap().model;
+    let expected_ids: Vec<u32> = degraded_model
+        .search(&wire_query, 5)
+        .iter()
+        .map(|s| s.id.0)
+        .collect();
+
+    // Serve the corrupted artifact.
+    let loader = snapshot_loader(
+        bad_path.to_str().unwrap().to_string(),
+        Arc::new(repo),
+    );
+    let server = Server::start(
+        ServerConfig {
+            deadline: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        },
+        loader,
+    )
+    .expect("server must start on a degraded artifact");
+    assert!(
+        server
+            .startup_warnings()
+            .iter()
+            .any(|w| w.contains("flat")),
+        "degradation must be surfaced at startup: {:?}",
+        server.startup_warnings()
+    );
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(&addr).unwrap();
+    let reply = client
+        .query("probe", &query.cells, 5)
+        .expect("degraded server must answer, not refuse");
+    assert!(reply.degraded, "degraded index must flag every answer");
+    assert!(reply.complete, "no deadline pressure here: scan completes");
+    assert!(
+        reply.health_label.starts_with("degraded-flat"),
+        "health must say what rung is serving, got '{}'",
+        reply.health_label
+    );
+    let got_ids: Vec<u32> = reply.hits.iter().map(|h| h.id).collect();
+    assert_eq!(
+        got_ids, expected_ids,
+        "served answers must match the exact flat scan over the recovered vectors"
+    );
+
+    // Hot reload the repaired artifact: health returns to hnsw, answers
+    // lose the degraded flag, and nobody restarted anything.
+    let (generation, warnings) = client
+        .reload(Some(good_path.to_str().unwrap()))
+        .expect("reload of the intact artifact");
+    assert_eq!(generation, 2);
+    assert!(warnings.is_empty(), "intact artifact loads clean: {warnings:?}");
+    let reply = client.query("probe", &query.cells, 5).unwrap();
+    assert!(!reply.degraded, "recovered server must drop the flag");
+    assert_eq!(reply.health_label, "hnsw");
+    assert_eq!(reply.generation, 2);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn reload_failure_keeps_previous_snapshot_serving() {
+    let tmp = TempDir::new("badreload");
+    let (model, repo, corpus) = tiny_trained();
+    let good_path = tmp.path("good.model");
+    std::fs::write(&good_path, save_model(&model, true)).unwrap();
+
+    let loader = snapshot_loader(good_path.to_str().unwrap().to_string(), Arc::new(repo));
+    let server = Server::start(ServerConfig::default(), loader).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let (query, _) = corpus.sample_queries(1, 0x0BEE).pop().unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    let before = client.query("probe", &query.cells, 3).unwrap();
+
+    // Reload pointing at a file that does not exist: structured error...
+    let err = client
+        .reload(Some(tmp.path("missing.model").to_str().unwrap()))
+        .expect_err("reload of a missing artifact must fail");
+    assert!(err.to_string().contains("previous snapshot"), "{err}");
+
+    // ...and the old snapshot keeps answering, same generation.
+    let after = client.query("probe", &query.cells, 3).unwrap();
+    assert_eq!(after.generation, before.generation);
+    assert_eq!(
+        after.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+        before.hits.iter().map(|h| h.id).collect::<Vec<_>>()
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}

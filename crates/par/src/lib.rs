@@ -27,6 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod queue;
+
+pub use queue::{Bounded, TryPushError};
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

@@ -1,0 +1,227 @@
+//! A bounded MPMC queue for admission control.
+//!
+//! This is the load-shedding primitive the query server puts in front of
+//! its worker pool: producers use a non-blocking [`Bounded::try_push`] that
+//! fails *immediately* when the queue is at capacity (the caller turns that
+//! into a structured `Overloaded` response instead of queueing without
+//! bound), while consumers block in [`Bounded::pop`] until work arrives or
+//! the queue is closed and drained.
+//!
+//! Closing is how graceful drain works: after [`Bounded::close`] no new
+//! item is admitted, but `pop` keeps handing out the items already
+//! accepted — consumers exit (receive `None`) only once the backlog is
+//! empty, so every admitted request gets an answer.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Bounded::try_push`] rejected an item. The item is handed back so
+/// the caller can answer its originator.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; shed the item now rather than wait.
+    Full(T),
+    /// The queue was closed (drain in progress); no new work is admitted.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            TryPushError::Full(t) | TryPushError::Closed(t) => t,
+        }
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Queue admitting at most `capacity` pending items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending items right now (racy by nature; for telemetry only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// True when no items are pending (same caveat as [`Bounded::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit `item` if there is room, without ever blocking. Returns the
+    /// item inside the error when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Take the oldest pending item, blocking while the queue is open and
+    /// empty. Returns `None` only when the queue is closed **and** fully
+    /// drained — the consumer-exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Stop admitting new items. Already-admitted items remain poppable;
+    /// blocked consumers wake (and exit once the backlog drains).
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately_and_returns_the_item() {
+        let q = Bounded::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(TryPushError::Full(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Popping one frees a slot.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains_backlog() {
+        let q = Bounded::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert!(matches!(q.try_push(30), Err(TryPushError::Closed(30))));
+        // Drain continues after close; None only once empty.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays terminal");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_each_item_once() {
+        let q = Arc::new(Bounded::new(8));
+        let produced = 4 * 200;
+        let sum = Arc::new(AtomicUsize::new(0));
+        let taken = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            let sum = sum.clone();
+            let taken = taken.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Some(v) = q.pop() {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                    taken.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..200usize {
+                    let v = p * 200 + i + 1;
+                    // Spin on Full — producers in this test must not lose items.
+                    let mut item = v;
+                    loop {
+                        match q.try_push(item) {
+                            Ok(()) => break,
+                            Err(TryPushError::Full(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            Err(TryPushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), produced);
+        let want: usize = (1..=produced).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), want);
+    }
+}

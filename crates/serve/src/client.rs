@@ -1,0 +1,154 @@
+//! A small blocking client for the serve protocol, used by `dj query` /
+//! `dj ctl` and by the integration tests (it doubles as the reference
+//! implementation for anyone writing a client in another language).
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    self, FrameError, QueryReply, Request, Response, StatsReply, WireError, MAX_FRAME,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or unexpected close).
+    Io(io::Error),
+    /// The server sent bytes that don't decode as a response, or a
+    /// response of the wrong type for the request.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// One connection to a `dj serve` instance. Requests are strictly
+/// sequential per connection (one frame out, one frame in).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with a 30 s read timeout (covers slow queries without
+    /// hanging forever on a dead server).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with an explicit per-call read timeout.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Send one request, read one response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        protocol::write_frame(&mut self.stream, &request.encode())?;
+        let payload = protocol::read_frame(&mut self.stream, MAX_FRAME)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without answering",
+            ))
+        })?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Search for the `k` nearest indexed columns. Server-side errors
+    /// (including `Overloaded` sheds) surface as [`ClientError::Server`].
+    pub fn query(
+        &mut self,
+        name: &str,
+        cells: &[String],
+        k: u32,
+    ) -> Result<QueryReply, ClientError> {
+        let req = Request::Query {
+            name: name.to_string(),
+            cells: cells.to_vec(),
+            k,
+        };
+        match self.call(&req)? {
+            Response::Query(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Query", &other)),
+        }
+    }
+
+    /// Hot-swap the server's snapshot. Returns the new generation and any
+    /// non-fatal load warnings.
+    pub fn reload(&mut self, path: Option<&str>) -> Result<(u32, Vec<String>), ClientError> {
+        let req = Request::Reload {
+            path: path.map(str::to_string),
+        };
+        match self.call(&req)? {
+            Response::Reloaded {
+                generation,
+                warnings,
+            } => Ok((generation, warnings)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Reloaded", &other)),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

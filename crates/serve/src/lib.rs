@@ -1,0 +1,132 @@
+//! # deepjoin-serve
+//!
+//! A dependency-free TCP query server for a trained DeepJoin model
+//! (DESIGN.md §11). The crate is deliberately *model-agnostic*: it serves
+//! anything implementing [`ServeModel`], which is how it avoids a circular
+//! dependency on the core crate (the core crate depends on this one and
+//! provides the adapter).
+//!
+//! Robustness layers, outermost first:
+//!
+//! 1. **Admission control** — a bounded queue ([`deepjoin_par::Bounded`])
+//!    sits in front of the worker pool. A full queue sheds the request
+//!    immediately with a structured `Overloaded` error instead of queueing
+//!    without bound.
+//! 2. **Deadlines** — every admitted query carries a
+//!    [`deepjoin_ann::Budget`]; the index search loops poll it and stop
+//!    mid-traversal when it expires, returning partial results marked
+//!    `degraded`.
+//! 3. **Degradation ladder** — an HNSW search that panics is caught and
+//!    retried as a bounded flat scan; a flat scan that times out returns
+//!    best-so-far top-k. Every response carries the snapshot's [`Health`].
+//! 4. **Lifecycle** — snapshots hot-swap atomically on reload (the new
+//!    snapshot is fully loaded before it becomes visible), and shutdown
+//!    drains admitted work before exiting.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{ErrorCode, QueryReply, Request, Response, StatsReply, WireError, WireHit};
+pub use server::{Server, ServerConfig, ServerHandle};
+
+use deepjoin_ann::Budget;
+
+/// Health of the index backing a snapshot, mirrored into every query
+/// response so clients can tell exact-but-degraded answers from healthy
+/// ANN answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// The HNSW graph loaded and is serving.
+    Hnsw,
+    /// The graph section was unusable; an exact flat scan is serving.
+    DegradedFlat {
+        /// Why the graph was rejected (decode error text).
+        reason: String,
+    },
+    /// No index is available at all.
+    Missing,
+}
+
+impl Health {
+    /// Stable wire code for this state.
+    pub fn code(&self) -> u8 {
+        match self {
+            Health::Hnsw => 0,
+            Health::DegradedFlat { .. } => 1,
+            Health::Missing => 2,
+        }
+    }
+
+    /// Human-readable label (carried on the wire next to the code).
+    pub fn label(&self) -> String {
+        match self {
+            Health::Hnsw => "hnsw".to_string(),
+            Health::DegradedFlat { reason } => format!("degraded-flat: {reason}"),
+            Health::Missing => "missing".to_string(),
+        }
+    }
+
+    /// True for every state other than a healthy HNSW graph.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Health::Hnsw)
+    }
+}
+
+/// One search hit as produced by the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Column id within the indexed lake.
+    pub id: u32,
+    /// Distance (smaller is closer), in the index's metric.
+    pub score: f32,
+    /// Human-readable column label (`table.column`).
+    pub label: String,
+}
+
+/// Outcome of one model query, including enough context for the server to
+/// report degradation honestly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Best hits found, closest first.
+    pub hits: Vec<Hit>,
+    /// False when the budget expired mid-search and `hits` is a partial
+    /// best-effort top-k.
+    pub complete: bool,
+    /// Distance evaluations performed.
+    pub visited: usize,
+    /// True when the answer came from a fallback path (e.g. flat rescue
+    /// after an HNSW failure) rather than the primary index.
+    pub via_fallback: bool,
+}
+
+/// What the server serves: a queryable snapshot of a trained model plus its
+/// index. Implementations must be safe to query from many worker threads.
+pub trait ServeModel: Send + Sync {
+    /// Number of indexed columns (used to clamp `k`).
+    fn indexed_len(&self) -> usize;
+
+    /// Health of the backing index.
+    fn health(&self) -> Health;
+
+    /// Embed the query column (`cells` + `name`) and search for its `k`
+    /// nearest indexed columns under `budget`.
+    fn query(&self, cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome;
+}
+
+/// A freshly loaded snapshot: the model plus any non-fatal load warnings
+/// (e.g. "HNSW section corrupt, degraded to flat scan").
+pub struct LoadedSnapshot {
+    /// The queryable model.
+    pub model: Box<dyn ServeModel>,
+    /// Non-fatal warnings emitted while loading.
+    pub warnings: Vec<String>,
+}
+
+/// Loads a snapshot, at startup and again on every reload. `path` is
+/// `None` to reload the original artifact or `Some` to switch to a new one.
+/// Errors leave the previous snapshot serving.
+pub type Loader = Box<dyn Fn(Option<&str>) -> Result<LoadedSnapshot, String> + Send + Sync>;

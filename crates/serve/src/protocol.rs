@@ -1,0 +1,634 @@
+//! The wire protocol: length-prefixed binary frames (DESIGN.md §11).
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! followed by the payload. The payload starts with a version byte, then a
+//! message tag, then tag-specific fields encoded with the bounded
+//! [`deepjoin_store::codec`] reader/writer — the same
+//! validate-before-allocate codec the artifact store uses, so a hostile
+//! length prefix is rejected before it can become an allocation.
+//!
+//! The frame length itself is checked against a cap *before* the body is
+//! read: an oversized header costs the server 4 bytes of I/O, not memory.
+
+use std::io::{self, Read, Write};
+
+use deepjoin_store::codec::{DecodeError, DecodeErrorKind, Reader, Writer};
+
+/// Protocol version carried in every payload.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on a single frame's payload size (1 MiB). Queries are a few
+/// hundred cells of text; anything near this cap is hostile or corrupt.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Request tags.
+const REQ_PING: u8 = 1;
+const REQ_QUERY: u8 = 2;
+const REQ_RELOAD: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+const REQ_STATS: u8 = 5;
+
+/// Response tags.
+const RESP_PONG: u8 = 1;
+const RESP_QUERY: u8 = 2;
+const RESP_RELOADED: u8 = 3;
+const RESP_SHUTTING_DOWN: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+/// Structured error codes. Stable across releases; clients switch on these,
+/// not on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Admission queue full: the request was shed without being started.
+    /// Retry with backoff.
+    Overloaded = 1,
+    /// The request's deadline passed before any work could start.
+    DeadlineExceeded = 2,
+    /// The request was malformed (bad frame, bad field, k = 0, ...).
+    BadRequest = 3,
+    /// The frame header announced a payload larger than the server accepts.
+    FrameTooLarge = 4,
+    /// The server hit an internal failure processing the request; the
+    /// worker survived and the connection stays usable.
+    Internal = 5,
+    /// The server is draining (shutdown in progress) or a reload failed.
+    Unavailable = 6,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::FrameTooLarge,
+            5 => ErrorCode::Internal,
+            6 => ErrorCode::Unavailable,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Search for the `k` columns most joinable with the query column.
+    Query {
+        /// Query column name (`table.column` or free text).
+        name: String,
+        /// Query column cell values.
+        cells: Vec<String>,
+        /// Neighbors requested (clamped server-side to the index size).
+        k: u32,
+    },
+    /// Swap in a fresh snapshot; `None` re-reads the artifact the server
+    /// was started with.
+    Reload {
+        /// Optional new artifact path.
+        path: Option<String>,
+    },
+    /// Begin graceful drain: admitted requests finish, then the server
+    /// exits.
+    Shutdown,
+    /// Server counters and snapshot info.
+    Stats,
+}
+
+/// One hit on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHit {
+    /// Indexed column id.
+    pub id: u32,
+    /// Distance (smaller is closer).
+    pub score: f32,
+    /// Column label (`table.column`).
+    pub label: String,
+}
+
+/// A query answer, including the degradation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Index health code ([`crate::Health::code`]).
+    pub health_code: u8,
+    /// Index health label ([`crate::Health::label`]).
+    pub health_label: String,
+    /// True when this answer is in any way less than a healthy, complete
+    /// HNSW answer (partial scan, fallback path, or degraded index).
+    pub degraded: bool,
+    /// False when the deadline expired mid-search and `hits` is partial.
+    pub complete: bool,
+    /// True when the answer came from a fallback (flat rescue) path.
+    pub via_fallback: bool,
+    /// Snapshot generation that answered (bumps on every reload).
+    pub generation: u32,
+    /// Indexed column count in that snapshot.
+    pub indexed: u64,
+    /// Distance evaluations performed.
+    pub visited: u64,
+    /// The hits, closest first.
+    pub hits: Vec<WireHit>,
+}
+
+/// Server counters (all since process start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Current snapshot generation.
+    pub generation: u32,
+    /// Indexed column count in the current snapshot.
+    pub indexed: u64,
+    /// Current health label.
+    pub health_label: String,
+    /// Queries admitted to the queue.
+    pub accepted: u64,
+    /// Queries shed with `Overloaded`.
+    pub shed: u64,
+    /// Queries whose deadline expired before work started.
+    pub expired: u64,
+    /// Answers that used a fallback path or returned partial results.
+    pub degraded_answers: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: u32,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness ack.
+    Pong,
+    /// Query answer.
+    Query(QueryReply),
+    /// Reload succeeded; the new snapshot is serving.
+    Reloaded {
+        /// New snapshot generation.
+        generation: u32,
+        /// Non-fatal load warnings.
+        warnings: Vec<String>,
+    },
+    /// Drain has begun.
+    ShuttingDown,
+    /// Counter snapshot.
+    Stats(StatsReply),
+    /// Structured failure.
+    Error(WireError),
+}
+
+impl Request {
+    /// Encode to a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Request::Ping => w.put_u8(REQ_PING),
+            Request::Query { name, cells, k } => {
+                w.put_u8(REQ_QUERY);
+                w.put_str(name);
+                w.put_u32_le(*k);
+                w.put_u32_le(cells.len() as u32);
+                for c in cells {
+                    w.put_str(c);
+                }
+            }
+            Request::Reload { path } => {
+                w.put_u8(REQ_RELOAD);
+                match path {
+                    Some(p) => {
+                        w.put_u8(1);
+                        w.put_str(p);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+            Request::Stats => w.put_u8(REQ_STATS),
+        }
+        w.into_vec()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload, "request");
+        r.expect_version(PROTOCOL_VERSION)?;
+        let tag = r.u8()?;
+        let req = match tag {
+            REQ_PING => Request::Ping,
+            REQ_QUERY => {
+                let name = r.str_prefixed()?;
+                let k = r.u32_le()?;
+                // Each cell costs at least its 4-byte length prefix, so the
+                // count is validated against the bytes actually present.
+                let n = r.count_u32(4)?;
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cells.push(r.str_prefixed()?);
+                }
+                Request::Query { name, cells, k }
+            }
+            REQ_RELOAD => {
+                let has_path = r.u8()?;
+                let path = match has_path {
+                    0 => None,
+                    1 => Some(r.str_prefixed()?),
+                    _ => return Err(r.error(DecodeErrorKind::BadMagic)),
+                };
+                Request::Reload { path }
+            }
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_STATS => Request::Stats,
+            other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+        };
+        if !r.is_empty() {
+            return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after message")));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Response::Pong => w.put_u8(RESP_PONG),
+            Response::Query(q) => {
+                w.put_u8(RESP_QUERY);
+                w.put_u8(q.health_code);
+                w.put_str(&q.health_label);
+                w.put_u8(q.degraded as u8);
+                w.put_u8(q.complete as u8);
+                w.put_u8(q.via_fallback as u8);
+                w.put_u32_le(q.generation);
+                w.put_u64_le(q.indexed);
+                w.put_u64_le(q.visited);
+                w.put_u32_le(q.hits.len() as u32);
+                for h in &q.hits {
+                    w.put_u32_le(h.id);
+                    w.put_f32_le(h.score);
+                    w.put_str(&h.label);
+                }
+            }
+            Response::Reloaded {
+                generation,
+                warnings,
+            } => {
+                w.put_u8(RESP_RELOADED);
+                w.put_u32_le(*generation);
+                w.put_u32_le(warnings.len() as u32);
+                for s in warnings {
+                    w.put_str(s);
+                }
+            }
+            Response::ShuttingDown => w.put_u8(RESP_SHUTTING_DOWN),
+            Response::Stats(s) => {
+                w.put_u8(RESP_STATS);
+                w.put_u32_le(s.generation);
+                w.put_u64_le(s.indexed);
+                w.put_str(&s.health_label);
+                w.put_u64_le(s.accepted);
+                w.put_u64_le(s.shed);
+                w.put_u64_le(s.expired);
+                w.put_u64_le(s.degraded_answers);
+                w.put_u32_le(s.queue_capacity);
+            }
+            Response::Error(e) => {
+                w.put_u8(RESP_ERROR);
+                w.put_u8(e.code as u8);
+                w.put_str(&e.message);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload, "response");
+        r.expect_version(PROTOCOL_VERSION)?;
+        let tag = r.u8()?;
+        let resp = match tag {
+            RESP_PONG => Response::Pong,
+            RESP_QUERY => {
+                let health_code = r.u8()?;
+                let health_label = r.str_prefixed()?;
+                let degraded = r.u8()? != 0;
+                let complete = r.u8()? != 0;
+                let via_fallback = r.u8()? != 0;
+                let generation = r.u32_le()?;
+                let indexed = r.u64_le()?;
+                let visited = r.u64_le()?;
+                // A hit is at least id + score + label-length = 12 bytes.
+                let n = r.count_u32(12)?;
+                let mut hits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    hits.push(WireHit {
+                        id: r.u32_le()?,
+                        score: r.f32_le()?,
+                        label: r.str_prefixed()?,
+                    });
+                }
+                Response::Query(QueryReply {
+                    health_code,
+                    health_label,
+                    degraded,
+                    complete,
+                    via_fallback,
+                    generation,
+                    indexed,
+                    visited,
+                    hits,
+                })
+            }
+            RESP_RELOADED => {
+                let generation = r.u32_le()?;
+                let n = r.count_u32(4)?;
+                let mut warnings = Vec::with_capacity(n);
+                for _ in 0..n {
+                    warnings.push(r.str_prefixed()?);
+                }
+                Response::Reloaded {
+                    generation,
+                    warnings,
+                }
+            }
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_STATS => Response::Stats(StatsReply {
+                generation: r.u32_le()?,
+                indexed: r.u64_le()?,
+                health_label: r.str_prefixed()?,
+                accepted: r.u64_le()?,
+                shed: r.u64_le()?,
+                expired: r.u64_le()?,
+                degraded_answers: r.u64_le()?,
+                queue_capacity: r.u32_le()?,
+            }),
+            RESP_ERROR => {
+                let code_byte = r.u8()?;
+                let code = ErrorCode::from_code(code_byte)
+                    .ok_or_else(|| r.error(DecodeErrorKind::BadDiscriminant(code_byte)))?;
+                Response::Error(WireError {
+                    code,
+                    message: r.str_prefixed()?,
+                })
+            }
+            other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+        };
+        if !r.is_empty() {
+            return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after message")));
+        }
+        Ok(resp)
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes mid-frame EOF and read
+    /// timeouts).
+    Io(io::Error),
+    /// The header announced a payload bigger than the configured cap. The
+    /// body was *not* read.
+    TooLarge {
+        /// Announced payload size.
+        announced: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::TooLarge { announced, cap } => {
+                write!(f, "frame of {announced} bytes exceeds cap of {cap} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: `u32`-le payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed between messages); EOF mid-frame is an error. A header
+/// announcing more than `max_frame` bytes fails *before* the body is read.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            announced: len,
+            cap: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let enc = resp.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Query {
+            name: "orders.customer_id".into(),
+            cells: vec!["a".into(), "b".into(), String::new()],
+            k: 25,
+        });
+        roundtrip_request(Request::Reload { path: None });
+        roundtrip_request(Request::Reload {
+            path: Some("/tmp/model.djar".into()),
+        });
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Query(QueryReply {
+            health_code: 1,
+            health_label: "degraded-flat: checksum".into(),
+            degraded: true,
+            complete: false,
+            via_fallback: true,
+            generation: 3,
+            indexed: 1000,
+            visited: 512,
+            hits: vec![
+                WireHit {
+                    id: 7,
+                    score: 0.25,
+                    label: "t.c".into(),
+                },
+                WireHit {
+                    id: 9,
+                    score: 0.5,
+                    label: "u.d".into(),
+                },
+            ],
+        }));
+        roundtrip_response(Response::Reloaded {
+            generation: 2,
+            warnings: vec!["hnsw section corrupt".into()],
+        });
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Stats(StatsReply {
+            generation: 1,
+            indexed: 42,
+            health_label: "hnsw".into(),
+            accepted: 10,
+            shed: 2,
+            expired: 1,
+            degraded_answers: 3,
+            queue_capacity: 32,
+        }));
+        roundtrip_response(Response::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        }));
+    }
+
+    #[test]
+    fn truncated_payload_is_a_decode_error_not_a_panic() {
+        let enc = Request::Query {
+            name: "n".into(),
+            cells: vec!["x".into()],
+            k: 3,
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(Request::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_cell_count_is_rejected_before_allocation() {
+        // A query frame claiming u32::MAX cells but carrying none.
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        w.put_u8(REQ_QUERY);
+        w.put_str("q");
+        w.put_u32_le(5);
+        w.put_u32_le(u32::MAX); // hostile count
+        let err = Request::decode(&w.into_vec()).unwrap_err();
+        let msg = err.to_string();
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut enc = Request::Ping.encode();
+        enc.push(0xAB);
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut enc = Request::Ping.encode();
+        enc[0] = 99;
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_eof_semantics() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, MAX_FRAME).unwrap().unwrap(), b"");
+        // Clean EOF at a frame boundary.
+        assert!(read_frame(&mut cur, MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_header_or_body_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        // Truncate inside the body.
+        let mut cur = std::io::Cursor::new(&buf[..6]);
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+        // Truncate inside the header.
+        let mut cur = std::io::Cursor::new(&buf[..2]);
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_header_fails_without_reading_the_body() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        // No body bytes at all: the cap check must fire first.
+        let mut cur = std::io::Cursor::new(buf);
+        match read_frame(&mut cur, 1024) {
+            Err(FrameError::TooLarge { announced, cap }) => {
+                assert_eq!(announced, u32::MAX as usize);
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+}

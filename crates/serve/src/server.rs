@@ -1,0 +1,636 @@
+//! The query server: accept loop, worker pool, admission control,
+//! degradation reporting, hot reload, and graceful drain.
+//!
+//! Threading model (all scoped — the server can never leak threads):
+//!
+//! * the caller's thread runs the accept loop (non-blocking, polled so it
+//!   can notice shutdown/reload signals between connections);
+//! * one scoped thread per connection reads frames and answers cheap
+//!   requests (ping/stats/reload/shutdown) inline;
+//! * query requests are `try_push`ed into a bounded queue and answered by a
+//!   fixed pool of scoped worker threads — a full queue sheds the request
+//!   immediately with `Overloaded`.
+//!
+//! Connections use sliced reads (a short socket timeout looped up to the
+//! configured per-frame budget) so a stalled client ties up its thread for
+//! at most `read_timeout`, and a drain is never blocked behind a slow
+//! reader.
+
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use deepjoin_ann::Budget;
+use deepjoin_par::{Bounded, TryPushError};
+
+use crate::protocol::{
+    self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, WireHit,
+};
+use crate::{Loader, ServeModel};
+
+/// Tuning for one server instance.
+pub struct ServerConfig {
+    /// Listen address, e.g. `"127.0.0.1:7878"`. Port 0 picks a free port
+    /// (read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission queue capacity: queries waiting for a worker beyond this
+    /// bound are shed with `Overloaded`.
+    pub max_inflight: usize,
+    /// Per-query compute deadline. `None` means unbounded.
+    pub deadline: Option<Duration>,
+    /// Total time a connection may take to deliver one frame; stalled
+    /// clients are disconnected after this.
+    pub read_timeout: Duration,
+    /// Maximum accepted frame payload size.
+    pub max_frame: usize,
+    /// Maximum simultaneous connections; excess connections are turned
+    /// away with `Unavailable`.
+    pub max_conns: usize,
+    /// Install process-wide SIGTERM/SIGINT (drain) and SIGHUP (reload)
+    /// handlers. Off by default so embedded/test servers don't touch
+    /// process state.
+    pub install_signal_handlers: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_inflight: 32,
+            deadline: None,
+            read_timeout: Duration::from_secs(10),
+            max_frame: protocol::MAX_FRAME,
+            max_conns: 64,
+            install_signal_handlers: false,
+        }
+    }
+}
+
+/// An immutable loaded model generation. Queries clone the `Arc` once and
+/// use that snapshot for their whole lifetime, so a concurrent reload can
+/// never produce a torn read.
+struct Snapshot {
+    model: Box<dyn ServeModel>,
+    generation: u32,
+    warnings: Vec<String>,
+}
+
+/// A query waiting for a worker.
+struct Job {
+    request: Request,
+    budget: Budget,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    degraded_answers: AtomicU64,
+}
+
+struct Shared {
+    current: Mutex<Arc<Snapshot>>,
+    generation: AtomicU32,
+    loader: Loader,
+    queue: Bounded<Job>,
+    shutdown: AtomicBool,
+    conns: AtomicUsize,
+    counters: Counters,
+    /// Serializes reloads; queries are *not* blocked by this (they only
+    /// take the `current` lock for the duration of an `Arc::clone`).
+    reload_lock: Mutex<()>,
+    config: ConfigBits,
+}
+
+/// The subset of [`ServerConfig`] needed after startup.
+struct ConfigBits {
+    deadline: Option<Duration>,
+    read_timeout: Duration,
+    max_frame: usize,
+    max_conns: usize,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.lock().expect("snapshot lock").clone()
+    }
+
+    /// Load (startup) or reload (on request/SIGHUP) a snapshot. The new
+    /// snapshot is fully constructed before it becomes visible; on error
+    /// the previous one keeps serving.
+    fn reload(&self, path: Option<&str>) -> Result<(u32, Vec<String>), String> {
+        let _guard = self.reload_lock.lock().expect("reload lock");
+        let loaded = (self.loader)(path)?;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let snap = Arc::new(Snapshot {
+            model: loaded.model,
+            generation,
+            warnings: loaded.warnings.clone(),
+        });
+        *self.current.lock().expect("snapshot lock") = snap;
+        Ok((generation, loaded.warnings))
+    }
+
+    fn stats(&self) -> StatsReply {
+        let snap = self.snapshot();
+        StatsReply {
+            generation: snap.generation,
+            indexed: snap.model.indexed_len() as u64,
+            health_label: snap.model.health().label(),
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            expired: self.counters.expired.load(Ordering::Relaxed),
+            degraded_answers: self.counters.degraded_answers.load(Ordering::Relaxed),
+            queue_capacity: self.queue.capacity() as u32,
+        }
+    }
+}
+
+/// A handle for stopping or poking a running server from another thread
+/// (the in-process equivalent of sending SIGTERM).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful drain: stop accepting, answer admitted work, return
+    /// from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a drain has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> StatsReply {
+        self.shared.stats()
+    }
+}
+
+/// A bound, loaded, ready-to-run server. Created by [`Server::start`];
+/// serves until shutdown via [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+    install_signals: bool,
+}
+
+impl Server {
+    /// Bind `config.addr`, run the loader once (readiness gating: the
+    /// socket only starts accepting inside [`Server::run`], after the model
+    /// is live), and return the ready server.
+    pub fn start(config: ServerConfig, loader: Loader) -> Result<Self, String> {
+        let loaded = loader(None)?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let snap = Arc::new(Snapshot {
+            model: loaded.model,
+            generation: 1,
+            warnings: loaded.warnings,
+        });
+        let shared = Arc::new(Shared {
+            current: Mutex::new(snap),
+            generation: AtomicU32::new(1),
+            loader,
+            queue: Bounded::new(config.max_inflight),
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            counters: Counters::default(),
+            reload_lock: Mutex::new(()),
+            config: ConfigBits {
+                deadline: config.deadline,
+                read_timeout: config.read_timeout,
+                max_frame: config.max_frame,
+                max_conns: config.max_conns,
+            },
+        });
+        Ok(Server {
+            listener,
+            shared,
+            workers: config.workers.max(1),
+            install_signals: config.install_signal_handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Warnings from the initial load (e.g. degraded-index notices), for
+    /// the operator's startup log.
+    pub fn startup_warnings(&self) -> Vec<String> {
+        self.shared.snapshot().warnings.clone()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serve until a drain is requested (shutdown request, SIGTERM/SIGINT
+    /// when signal handlers are installed, or [`ServerHandle::shutdown`]),
+    /// then drain admitted work and return.
+    pub fn run(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        if self.install_signals {
+            signals::install();
+        }
+        self.listener.set_nonblocking(true)?;
+        let shared = &self.shared;
+        std::thread::scope(|s| {
+            // Fixed worker pool: the only threads that touch the model.
+            for _ in 0..self.workers {
+                s.spawn(|| worker_loop(shared));
+            }
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                #[cfg(unix)]
+                if self.install_signals {
+                    if signals::take_term() {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    if signals::take_hup() {
+                        // Best-effort live reload; a failure keeps serving
+                        // the old snapshot.
+                        if let Err(e) = shared.reload(None) {
+                            eprintln!("warning: SIGHUP reload failed: {e}");
+                        }
+                    }
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.conns.load(Ordering::Relaxed) >= shared.config.max_conns {
+                            turn_away(stream);
+                            continue;
+                        }
+                        shared.conns.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(move || {
+                            let _ = handle_connection(shared, stream);
+                            shared.conns.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Drain: no new work is admitted; workers finish the backlog
+            // and exit; connection threads notice the flag at their next
+            // read slice and close. The scope join is the drain barrier.
+            shared.queue.close();
+            Ok(())
+        })
+    }
+}
+
+fn turn_away(mut stream: TcpStream) {
+    let resp = Response::Error(WireError {
+        code: ErrorCode::Unavailable,
+        message: "connection limit reached".to_string(),
+    });
+    let _ = protocol::write_frame(&mut stream, &resp.encode());
+}
+
+/// Pull queries off the admission queue until it is closed and drained.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let response = process_job(shared, &job);
+        // A dead client (dropped receiver) is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn process_job(shared: &Shared, job: &Job) -> Response {
+    let Request::Query { name, cells, k } = &job.request else {
+        return internal_error("non-query job reached the worker pool");
+    };
+    // A query that sat in the queue past its whole deadline gets a
+    // structured error instead of a zero-work "partial result".
+    if let Some(d) = job.deadline {
+        if Instant::now() >= d {
+            shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+            return Response::Error(WireError {
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline expired while queued; retry with backoff".to_string(),
+            });
+        }
+    }
+    let snap = shared.snapshot();
+    let indexed = snap.model.indexed_len();
+    // Clamp k to the index size: asking for more neighbors than columns is
+    // well-defined, not an error.
+    let k = (*k as usize).min(indexed.max(1));
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        snap.model.query(cells, name, k, &job.budget)
+    })) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            return internal_error("query processing failed; the worker recovered");
+        }
+    };
+    let health = snap.model.health();
+    let degraded = !outcome.complete || outcome.via_fallback || health.is_degraded();
+    if degraded {
+        shared
+            .counters
+            .degraded_answers
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Response::Query(QueryReply {
+        health_code: health.code(),
+        health_label: health.label(),
+        degraded,
+        complete: outcome.complete,
+        via_fallback: outcome.via_fallback,
+        generation: snap.generation,
+        indexed: indexed as u64,
+        visited: outcome.visited as u64,
+        hits: outcome
+            .hits
+            .into_iter()
+            .map(|h| WireHit {
+                id: h.id,
+                score: h.score,
+                label: h.label,
+            })
+            .collect(),
+    })
+}
+
+fn internal_error(msg: &str) -> Response {
+    Response::Error(WireError {
+        code: ErrorCode::Internal,
+        message: msg.to_string(),
+    })
+}
+
+/// Read frames off one connection until EOF, a fatal protocol error, a
+/// stall, or server drain. Always answers with a structured error before
+/// closing on a protocol violation.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
+    // Short slices let the loop observe drain and enforce the total
+    // per-frame budget against slow-loris clients.
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_nodelay(true).ok();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let resp = Response::Error(WireError {
+                code: ErrorCode::Unavailable,
+                message: "server is draining".to_string(),
+            });
+            let _ = protocol::write_frame(&mut stream, &resp.encode());
+            return Ok(());
+        }
+        let payload = match read_frame_sliced(shared, &mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(FrameError::TooLarge { announced, cap }) => {
+                let resp = Response::Error(WireError {
+                    code: ErrorCode::FrameTooLarge,
+                    message: format!("frame of {announced} bytes exceeds cap of {cap} bytes"),
+                });
+                let _ = protocol::write_frame(&mut stream, &resp.encode());
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
+                // Either the client stalled past read_timeout or a drain
+                // started mid-read; tell it which before closing.
+                let resp = if shared.shutdown.load(Ordering::SeqCst) {
+                    Response::Error(WireError {
+                        code: ErrorCode::Unavailable,
+                        message: "server is draining".to_string(),
+                    })
+                } else {
+                    Response::Error(WireError {
+                        code: ErrorCode::BadRequest,
+                        message: "read timed out mid-frame".to_string(),
+                    })
+                };
+                let _ = protocol::write_frame(&mut stream, &resp.encode());
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error(WireError {
+                    code: ErrorCode::BadRequest,
+                    message: format!("bad request frame: {e}"),
+                });
+                let _ = protocol::write_frame(&mut stream, &resp.encode());
+                // A peer speaking garbage gets one diagnosis, then the
+                // connection closes: framing can no longer be trusted.
+                return Ok(());
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(shared.stats()),
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = protocol::write_frame(&mut stream, &Response::ShuttingDown.encode());
+                return Ok(());
+            }
+            Request::Reload { ref path } => match shared.reload(path.as_deref()) {
+                Ok((generation, warnings)) => Response::Reloaded {
+                    generation,
+                    warnings,
+                },
+                Err(e) => Response::Error(WireError {
+                    code: ErrorCode::Unavailable,
+                    message: format!("reload failed, previous snapshot still serving: {e}"),
+                }),
+            },
+            Request::Query { k: 0, .. } => Response::Error(WireError {
+                code: ErrorCode::BadRequest,
+                message: "k must be >= 1".to_string(),
+            }),
+            query @ Request::Query { .. } => dispatch_query(shared, query),
+        };
+        protocol::write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+/// Admit a query to the worker queue, or shed it. Blocks the connection
+/// thread (not a worker) while waiting for the answer.
+fn dispatch_query(shared: &Shared, request: Request) -> Response {
+    let now = Instant::now();
+    let deadline = shared.config.deadline.map(|d| now + d);
+    let budget = match deadline {
+        Some(d) => Budget::with_deadline(d),
+        None => Budget::unlimited(),
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        budget,
+        deadline,
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TryPushError::Full(_)) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::Error(WireError {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "admission queue full ({} in flight); retry with backoff",
+                    shared.queue.capacity()
+                ),
+            });
+        }
+        Err(TryPushError::Closed(_)) => {
+            return Response::Error(WireError {
+                code: ErrorCode::Unavailable,
+                message: "server is draining".to_string(),
+            });
+        }
+    }
+    // The worker sends exactly one response per admitted job; recv fails
+    // only if the worker pool died, which is itself an internal error.
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => internal_error("worker pool unavailable"),
+    }
+}
+
+/// Read one frame with the 250 ms socket slices accumulated against the
+/// connection's total `read_timeout`, checking the drain flag between
+/// slices. Distinguishes a stall (TimedOut) from transport errors.
+fn read_frame_sliced(shared: &Shared, stream: &mut TcpStream) -> Result<Option<Vec<u8>>, FrameError> {
+    let start = Instant::now();
+    let mut header = [0u8; 4];
+    let mut have = 0usize;
+    // Header phase: a clean EOF before any byte is a normal close.
+    while have < 4 {
+        check_stall(shared, start)?;
+        match stream.read(&mut header[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => have += n,
+            Err(e) if stall_kind(&e) => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > shared.config.max_frame {
+        return Err(FrameError::TooLarge {
+            announced: len,
+            cap: shared.config.max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut have = 0usize;
+    while have < len {
+        check_stall(shared, start)?;
+        match stream.read(&mut payload[have..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                )))
+            }
+            Ok(n) => have += n,
+            Err(e) if stall_kind(&e) => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn check_stall(shared: &Shared, start: Instant) -> Result<(), FrameError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "server draining during read",
+        )));
+    }
+    if start.elapsed() >= shared.config.read_timeout {
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "client stalled mid-frame",
+        )));
+    }
+    Ok(())
+}
+
+/// Socket-timeout error kinds (platform-dependent: WouldBlock on unix,
+/// TimedOut on some platforms).
+fn stall_kind(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Minimal async-signal-safe handlers. The libc `signal` symbol is linked
+/// into every Rust binary, so no external crate is needed; handlers only
+/// set atomics that the accept loop polls.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    static HUP: AtomicBool = AtomicBool::new(false);
+
+    const SIGHUP: i32 = 1;
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_hup(_sig: i32) {
+        HUP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+            signal(SIGHUP, on_hup as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn take_term() -> bool {
+        TERM.swap(false, Ordering::SeqCst)
+    }
+
+    pub fn take_hup() -> bool {
+        HUP.swap(false, Ordering::SeqCst)
+    }
+}
