@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::budget::{Budget, BudgetedSearch};
 use crate::distance::Metric;
 use crate::index::{Neighbor, TopK, VectorIndex};
+use crate::sq8::Sq8Plane;
 
 /// Rows scored per block. Large enough to amortize dispatch, small enough
 /// that the score buffer stays in L1.
@@ -74,6 +75,11 @@ pub struct FlatIndex {
     /// indexes conservatively fall back to the full cosine path.
     #[serde(skip)]
     unit_norm: bool,
+    /// Optional SQ8 plane: when attached, scans run two-stage (quantized
+    /// candidate generation + exact f32 rescore, see `sq8`). Persisted as
+    /// its own `SQ8V` section, not through serde.
+    #[serde(skip)]
+    sq8: Option<Sq8Plane>,
 }
 
 impl FlatIndex {
@@ -85,6 +91,7 @@ impl FlatIndex {
             metric,
             data: Vec::new(),
             unit_norm: false,
+            sq8: None,
         }
     }
 
@@ -106,10 +113,47 @@ impl FlatIndex {
         &self.data[i..i + self.dim]
     }
 
+    /// Quantize the stored vectors into an SQ8 plane and attach it: scans
+    /// switch to the two-stage quantized-then-rescored path. Call after the
+    /// index is fully populated — a later [`VectorIndex::add`] drops the
+    /// plane (its codes would be stale).
+    pub fn quantize_sq8(&mut self) {
+        self.sq8 = Some(Sq8Plane::quantize(&self.data, self.dim));
+    }
+
+    /// Attach an already-built SQ8 plane (e.g. decoded from a snapshot's
+    /// `SQ8V` section). The plane must cover exactly the stored rows.
+    pub fn attach_sq8(&mut self, plane: Sq8Plane) {
+        assert_eq!(plane.dim(), self.dim, "plane dimension mismatch");
+        assert_eq!(plane.len(), self.len(), "plane row-count mismatch");
+        self.sq8 = Some(plane);
+    }
+
+    /// Drop the SQ8 plane, reverting to exact f32 scans.
+    pub fn detach_sq8(&mut self) {
+        self.sq8 = None;
+    }
+
+    /// The attached SQ8 plane, when one exists.
+    pub fn sq8(&self) -> Option<&Sq8Plane> {
+        self.sq8.as_ref()
+    }
+
     /// [`VectorIndex::search`] under a cooperative [`Budget`]: the scan
     /// polls the budget between blocks and, on expiry, returns the best
     /// top-k over the rows scored so far (`complete == false`).
     pub fn search_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        if let Some(plane) = &self.sq8 {
+            return crate::sq8::scan_budgeted(
+                plane,
+                &self.data,
+                self.metric,
+                self.unit_norm,
+                query,
+                k,
+                budget,
+            );
+        }
         scan_budgeted(
             &self.data,
             self.dim,
@@ -154,6 +198,9 @@ impl VectorIndex for FlatIndex {
 
     fn add(&mut self, vector: &[f32]) -> u32 {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        // An attached plane no longer covers the new row; drop it rather
+        // than serve stale codes. Re-quantize after bulk loading.
+        self.sq8 = None;
         let id = self.len() as u32;
         self.data.extend_from_slice(vector);
         id
@@ -290,6 +337,61 @@ mod tests {
         let out = idx.search_budgeted(&[0.0, 0.0], 3, &budget);
         assert!(out.complete);
         assert_eq!(out.visited, idx.len());
+    }
+
+    /// Recall@10 of the SQ8 two-stage scan vs the exact f32 scan on a
+    /// seeded corpus: the rescored path must stay within 0.01 of exact.
+    #[test]
+    fn sq8_rescored_recall_at_10_within_1_percent_of_exact() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (n, dim, nq, k) = (3000usize, 32usize, 50usize, 10usize);
+        let mut rng = StdRng::seed_from_u64(0x5A8);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut exact = FlatIndex::new(dim, Metric::L2);
+        exact.add_batch(&data);
+        let mut quant = exact.clone();
+        quant.quantize_sq8();
+        assert!(quant.sq8().is_some());
+        let mut matched = 0usize;
+        for _ in 0..nq {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let truth: std::collections::HashSet<u32> =
+                exact.search(&q, k).iter().map(|h| h.id).collect();
+            for h in quant.search(&q, k) {
+                if truth.contains(&h.id) {
+                    matched += 1;
+                }
+            }
+        }
+        let recall = matched as f64 / (nq * k) as f64;
+        assert!(recall >= 0.99, "SQ8 recall@10 {recall} below 0.99");
+    }
+
+    #[test]
+    fn sq8_distances_are_exact_f32_distances() {
+        let mut idx = FlatIndex::new(3, Metric::L2);
+        let data: Vec<f32> = (0..3 * 200).map(|i| (i as f32 * 0.37).sin()).collect();
+        idx.add_batch(&data);
+        let plain = idx.search(&[0.3, -0.1, 0.8], 5);
+        idx.quantize_sq8();
+        let quant = idx.search(&[0.3, -0.1, 0.8], 5);
+        for (p, q) in plain.iter().zip(&quant) {
+            assert_eq!(p.id, q.id);
+            assert!((p.distance - q.distance).abs() < 1e-6, "rescored distance must be exact");
+        }
+    }
+
+    #[test]
+    fn add_after_quantize_drops_stale_plane() {
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        idx.add_batch(&[0., 0., 1., 1.]);
+        idx.quantize_sq8();
+        assert!(idx.sq8().is_some());
+        idx.add(&[2., 2.]);
+        assert!(idx.sq8().is_none(), "stale plane must not survive an add");
+        // And the new row is searchable.
+        assert_eq!(idx.search(&[2., 2.], 1)[0].id, 2);
     }
 
     #[test]

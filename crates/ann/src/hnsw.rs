@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::budget::{Budget, BudgetedSearch, Ticker};
 use crate::distance::Metric;
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
+use crate::sq8::{Sq8Plane, Sq8Query};
 
 /// Batch size for [`HnswIndex::add_batch_parallel`]. A constant (never a
 /// function of the thread count) so the produced graph is identical for any
@@ -110,6 +111,82 @@ struct Node {
     neighbors: Vec<Vec<u32>>,
 }
 
+/// Reusable per-thread query scratch: an epoch-stamped visited set plus the
+/// candidate/result heaps of the layer search. Replaces the per-query
+/// `vec![false; n]` bitmap and two fresh `BinaryHeap`s — after warm-up a
+/// search allocates nothing. Visited membership is `stamp[id] == epoch`;
+/// starting a query bumps the epoch, which clears the set in O(1). The
+/// (astronomically rare) epoch wraparound hard-resets the stamps so stale
+/// marks can never alias a new query.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    candidates: BinaryHeap<MinCand>,
+    results: BinaryHeap<MaxCand>,
+}
+
+impl SearchScratch {
+    /// Arm the scratch for one layer search over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            // New slots carry the *current* epoch value, which the bump
+            // below immediately invalidates.
+            let epoch = self.epoch;
+            self.stamp.resize(n, epoch);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.candidates.clear();
+        self.results.clear();
+    }
+
+    #[inline]
+    fn is_visited(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.epoch
+    }
+
+    #[inline]
+    fn mark_visited(&mut self, id: u32) {
+        self.stamp[id as usize] = self.epoch;
+    }
+}
+
+/// Run `f` with this thread's scratch. Pool worker threads are long-lived,
+/// so the buffers amortize across every query a thread ever serves.
+fn with_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<SearchScratch> =
+            std::cell::RefCell::new(SearchScratch::default());
+    }
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// How a traversal scores a node against the query: exact f32, or the SQ8
+/// quantized surrogate when a plane is attached (candidates are then
+/// rescored exactly before ranking, see [`HnswIndex::search_budgeted`]).
+enum QueryDist<'a> {
+    Exact(&'a [f32]),
+    Sq8 {
+        plane: &'a Sq8Plane,
+        prep: Sq8Query,
+    },
+}
+
+impl QueryDist<'_> {
+    #[inline]
+    fn dist(&self, index: &HnswIndex, id: u32) -> f32 {
+        match self {
+            QueryDist::Exact(q) => index.dist(q, id),
+            QueryDist::Sq8 { plane, prep } => plane.surrogate(prep, id),
+        }
+    }
+}
+
 /// The HNSW index.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HnswIndex {
@@ -126,6 +203,12 @@ pub struct HnswIndex {
     /// not persisted — reloaded indexes fall back to full cosine.
     #[serde(skip)]
     unit_norm: bool,
+    /// Optional SQ8 plane: when attached (always *after* the build — the
+    /// build stays exact so graphs are reproducible), traversal scores
+    /// candidates against the quantized codes and the final beam is
+    /// rescored exactly. Persisted as its own `SQ8V` section, not via serde.
+    #[serde(skip)]
+    sq8: Option<Sq8Plane>,
 }
 
 impl HnswIndex {
@@ -143,6 +226,7 @@ impl HnswIndex {
             max_level: 0,
             rng_state: config.seed,
             unit_norm: false,
+            sq8: None,
         }
     }
 
@@ -215,7 +299,35 @@ impl HnswIndex {
             max_level,
             rng_state,
             unit_norm: false,
+            sq8: None,
         }
+    }
+
+    /// Quantize the stored vectors into an SQ8 plane and attach it:
+    /// traversal switches to quantized scoring with an exact rescore of the
+    /// final beam. Attach *after* building — a later [`VectorIndex::add`]
+    /// drops the plane (its codes would be stale), and the build itself
+    /// always links with exact distances so graphs stay reproducible.
+    pub fn quantize_sq8(&mut self) {
+        self.sq8 = Some(Sq8Plane::quantize(&self.vectors, self.dim));
+    }
+
+    /// Attach an already-built SQ8 plane (e.g. decoded from a snapshot's
+    /// `SQ8V` section). Must cover exactly the stored rows.
+    pub fn attach_sq8(&mut self, plane: Sq8Plane) {
+        assert_eq!(plane.dim(), self.dim, "plane dimension mismatch");
+        assert_eq!(plane.len(), self.len(), "plane row-count mismatch");
+        self.sq8 = Some(plane);
+    }
+
+    /// Drop the SQ8 plane, reverting to exact f32 traversal.
+    pub fn detach_sq8(&mut self) {
+        self.sq8 = None;
+    }
+
+    /// The attached SQ8 plane, when one exists.
+    pub fn sq8(&self) -> Option<&Sq8Plane> {
+        self.sq8.as_ref()
     }
 
     /// Stored vector by id.
@@ -249,61 +361,70 @@ impl HnswIndex {
     /// closest candidates (unsorted heap order). The ticker records every
     /// distance evaluation and, once its budget expires, stops the
     /// expansion at the next candidate boundary — the results gathered so
-    /// far are returned as a best-effort partial answer.
+    /// far are returned as a best-effort partial answer. The scratch is
+    /// re-armed at entry (epoch bump + heap clear), so one scratch serves
+    /// any number of sequential calls without allocating.
     fn search_layer(
         &self,
-        query: &[f32],
+        qd: &QueryDist<'_>,
         entry_points: &[MinCand],
         ef: usize,
         level: usize,
-        visited: &mut [bool],
+        scratch: &mut SearchScratch,
         ticker: &mut Ticker<'_>,
     ) -> Vec<MinCand> {
-        let mut candidates: BinaryHeap<MinCand> = BinaryHeap::new();
-        let mut results: BinaryHeap<MaxCand> = BinaryHeap::new();
+        scratch.begin(self.nodes.len());
         for &ep in entry_points {
-            if !visited[ep.id as usize] {
-                visited[ep.id as usize] = true;
-                candidates.push(ep);
-                results.push(MaxCand {
+            if !scratch.is_visited(ep.id) {
+                scratch.mark_visited(ep.id);
+                scratch.candidates.push(ep);
+                scratch.results.push(MaxCand {
                     dist: ep.dist,
                     id: ep.id,
                 });
             }
         }
-        while let Some(cur) = candidates.pop() {
+        while let Some(cur) = scratch.candidates.pop() {
             if ticker.expired {
                 break;
             }
-            let worst = results.peek().map(|w| w.dist).unwrap_or(f32::INFINITY);
-            if cur.dist > worst && results.len() >= ef {
+            let worst = scratch
+                .results
+                .peek()
+                .map(|w| w.dist)
+                .unwrap_or(f32::INFINITY);
+            if cur.dist > worst && scratch.results.len() >= ef {
                 break;
             }
             let node = &self.nodes[cur.id as usize];
             if level < node.neighbors.len() {
                 for &nb in &node.neighbors[level] {
-                    let nb_us = nb as usize;
-                    if visited[nb_us] {
+                    if scratch.is_visited(nb) {
                         continue;
                     }
-                    visited[nb_us] = true;
-                    let d = self.dist(query, nb);
+                    scratch.mark_visited(nb);
+                    let d = qd.dist(self, nb);
                     if ticker.tick() {
                         break;
                     }
-                    let worst = results.peek().map(|w| w.dist).unwrap_or(f32::INFINITY);
-                    if results.len() < ef || d < worst {
-                        candidates.push(MinCand { dist: d, id: nb });
-                        results.push(MaxCand { dist: d, id: nb });
-                        if results.len() > ef {
-                            results.pop();
+                    let worst = scratch
+                        .results
+                        .peek()
+                        .map(|w| w.dist)
+                        .unwrap_or(f32::INFINITY);
+                    if scratch.results.len() < ef || d < worst {
+                        scratch.candidates.push(MinCand { dist: d, id: nb });
+                        scratch.results.push(MaxCand { dist: d, id: nb });
+                        if scratch.results.len() > ef {
+                            scratch.results.pop();
                         }
                     }
                 }
             }
         }
-        results
-            .into_iter()
+        scratch
+            .results
+            .drain()
             .map(|c| MinCand {
                 dist: c.dist,
                 id: c.id,
@@ -358,14 +479,14 @@ impl HnswIndex {
         if list.len() <= bound {
             return;
         }
-        let anchor = self.vector(node).to_vec();
+        let anchor = self.vector(node);
         let cands: Vec<MinCand> = list
             .iter()
             .map(|&id| MinCand {
                 dist: self
                     .config
                     .metric
-                    .surrogate_un(&anchor, self.vector(id), self.unit_norm),
+                    .surrogate_un(anchor, self.vector(id), self.unit_norm),
                 id,
             })
             .collect();
@@ -384,10 +505,10 @@ impl HnswIndex {
         frozen_entry: u32,
         frozen_max: usize,
     ) -> Vec<Vec<MinCand>> {
-        let query = self.vector(id).to_vec();
-        let mut visited = vec![false; self.nodes.len()];
+        let query = self.vector(id);
+        let qd = QueryDist::Exact(query);
         let mut ep = frozen_entry;
-        let mut ep_dist = self.dist(&query, ep);
+        let mut ep_dist = self.dist(query, ep);
 
         // Greedy descent through layers above the insertion level.
         let mut l = frozen_max;
@@ -398,7 +519,7 @@ impl HnswIndex {
                 let node = &self.nodes[ep as usize];
                 if l < node.neighbors.len() {
                     for &nb in &node.neighbors[l] {
-                        let d = self.dist(&query, nb);
+                        let d = self.dist(query, nb);
                         if d < ep_dist {
                             ep = nb;
                             ep_dist = d;
@@ -421,19 +542,22 @@ impl HnswIndex {
         let mut out = vec![Vec::new(); top + 1];
         let budget = Budget::unlimited();
         let mut ticker = Ticker::new(&budget);
-        for lev in (0..=top).rev() {
-            visited.iter_mut().for_each(|v| *v = false);
-            let found = self.search_layer(
-                &query,
-                &entry_points,
-                self.config.ef_construction,
-                lev,
-                &mut visited,
-                &mut ticker,
-            );
-            out[lev] = found.clone();
-            entry_points = found;
-        }
+        // Each pool worker leases its own thread-local scratch, so the
+        // parallel phase-1 searches never contend or allocate bitmaps.
+        with_scratch(|scratch| {
+            for lev in (0..=top).rev() {
+                let found = self.search_layer(
+                    &qd,
+                    &entry_points,
+                    self.config.ef_construction,
+                    lev,
+                    scratch,
+                    &mut ticker,
+                );
+                out[lev] = found.clone();
+                entry_points = found;
+            }
+        });
         out
     }
 
@@ -465,11 +589,13 @@ impl HnswIndex {
         for b in 0..batch {
             let id = first_id + b as u32;
             let level = levels[b];
-            let query = self.vector(id).to_vec();
+            let query = self.vector(id);
             // Distances to in-batch predecessors, computed once per node.
+            // The borrow of `query` ends here, before the links below
+            // mutate the adjacency lists.
             let in_batch: Vec<MinCand> = (0..b)
                 .map(|j| MinCand {
-                    dist: self.dist(&query, first_id + j as u32),
+                    dist: self.dist(query, first_id + j as u32),
                     id: first_id + j as u32,
                 })
                 .collect();
@@ -505,6 +631,8 @@ impl HnswIndex {
     /// strictly sequential [`VectorIndex::add`] loop builds.
     pub fn add_batch_parallel(&mut self, vectors: &[f32], pool: &Pool) {
         assert_eq!(vectors.len() % self.dim, 0, "row-major shape mismatch");
+        // Growing the matrix invalidates any attached SQ8 codes.
+        self.sq8 = None;
         let n = vectors.len() / self.dim;
         let mut next = 0;
         // Bootstrap sequentially until the graph can seed frozen searches.
@@ -548,7 +676,18 @@ impl HnswIndex {
             };
         };
         let mut ticker = Ticker::new(budget);
-        let mut ep_dist = self.dist(query, ep);
+        // With an SQ8 plane attached, the graph is traversed over the
+        // quantized codes (≈4× less memory traffic per hop); the final ef
+        // beam is then rescored against the exact f32 vectors before
+        // truncating to k, so reported distances are always exact.
+        let qd = match &self.sq8 {
+            Some(plane) => QueryDist::Sq8 {
+                plane,
+                prep: plane.prepare(query, self.config.metric, self.unit_norm),
+            },
+            None => QueryDist::Exact(query),
+        };
+        let mut ep_dist = qd.dist(self, ep);
         let mut descent_cut = ticker.tick();
         // Greedy descent to layer 1 (skipped once the budget expires — the
         // current entry point is still a usable, if coarse, seed).
@@ -562,7 +701,7 @@ impl HnswIndex {
                 let node = &self.nodes[ep as usize];
                 if l < node.neighbors.len() {
                     for &nb in &node.neighbors[l] {
-                        let d = self.dist(query, nb);
+                        let d = qd.dist(self, nb);
                         if ticker.tick() {
                             descent_cut = true;
                             break;
@@ -577,25 +716,35 @@ impl HnswIndex {
             }
         }
         let ef = self.config.ef_search.max(k);
-        let mut visited = vec![false; self.nodes.len()];
-        let found = self.search_layer(
-            query,
-            &[MinCand {
-                dist: ep_dist,
-                id: ep,
-            }],
-            ef,
-            0,
-            &mut visited,
-            &mut ticker,
-        );
+        let found = with_scratch(|scratch| {
+            self.search_layer(
+                &qd,
+                &[MinCand {
+                    dist: ep_dist,
+                    id: ep,
+                }],
+                ef,
+                0,
+                scratch,
+                &mut ticker,
+            )
+        });
+        let mut visited = ticker.visited;
         let mut hits: Vec<Neighbor> = found
             .into_iter()
             .map(|c| Neighbor {
                 id: c.id,
-                distance: c.dist,
+                distance: match qd {
+                    // Exact rescore of the surviving beam: replace each
+                    // quantized surrogate with the true f32 surrogate.
+                    QueryDist::Sq8 { .. } => self.dist(query, c.id),
+                    QueryDist::Exact(_) => c.dist,
+                },
             })
             .collect();
+        if matches!(qd, QueryDist::Sq8 { .. }) {
+            visited += hits.len();
+        }
         hits = finalize_hits(hits, k);
         for h in &mut hits {
             h.distance = self
@@ -606,7 +755,7 @@ impl HnswIndex {
         BudgetedSearch {
             hits,
             complete: !ticker.expired,
-            visited: ticker.visited,
+            visited,
         }
     }
 
@@ -614,7 +763,8 @@ impl HnswIndex {
     /// rung of the degradation ladder when graph traversal itself fails
     /// (e.g. a panic on a structurally damaged graph): same vectors, no
     /// graph involved, same partial-results contract as
-    /// [`crate::FlatIndex::search_budgeted`].
+    /// [`crate::FlatIndex::search_budgeted`]. Deliberately ignores any
+    /// attached SQ8 plane — the bottom of the ladder stays exact f32.
     pub fn flat_scan_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
         crate::flat::scan_budgeted(
             &self.vectors,
@@ -657,9 +807,12 @@ impl VectorIndex for HnswIndex {
         self.nodes.len()
     }
 
-    /// Algorithm 1: insert a vector.
+    /// Algorithm 1: insert a vector. Construction always runs against the
+    /// exact f32 vectors; any attached SQ8 plane is dropped because its
+    /// codes would no longer cover the grown matrix.
     fn add(&mut self, vector: &[f32]) -> u32 {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        self.sq8 = None;
         let id = self.nodes.len() as u32;
         self.vectors.extend_from_slice(vector);
         let level = self.sample_level();
@@ -673,7 +826,6 @@ impl VectorIndex for HnswIndex {
             return id;
         };
 
-        let mut visited = vec![false; self.nodes.len()];
         let mut ep_dist = self.dist(vector, ep);
 
         // Greedy descent through layers above the insertion level.
@@ -708,24 +860,25 @@ impl VectorIndex for HnswIndex {
         }];
         let budget = Budget::unlimited();
         let mut ticker = Ticker::new(&budget);
-        for lev in (0..=top).rev() {
-            visited.iter_mut().for_each(|v| *v = false);
-            let found = self.search_layer(
-                vector,
-                &entry_points,
-                self.config.ef_construction,
-                lev,
-                &mut visited,
-                &mut ticker,
-            );
-            let neighbors = self.select_neighbors(found.clone(), self.config.m);
-            for &nb in &neighbors {
-                self.nodes[id as usize].neighbors[lev].push(nb);
-                self.nodes[nb as usize].neighbors[lev].push(id);
-                self.shrink_neighbors(nb, lev);
+        with_scratch(|scratch| {
+            for lev in (0..=top).rev() {
+                let found = self.search_layer(
+                    &QueryDist::Exact(vector),
+                    &entry_points,
+                    self.config.ef_construction,
+                    lev,
+                    scratch,
+                    &mut ticker,
+                );
+                let neighbors = self.select_neighbors(found.clone(), self.config.m);
+                for &nb in &neighbors {
+                    self.nodes[id as usize].neighbors[lev].push(nb);
+                    self.nodes[nb as usize].neighbors[lev].push(id);
+                    self.shrink_neighbors(nb, lev);
+                }
+                entry_points = found;
             }
-            entry_points = found;
-        }
+        });
 
         if level > self.max_level {
             self.max_level = level;
@@ -960,6 +1113,86 @@ mod tests {
         assert!(rescue.complete);
         assert_eq!(rescue.visited, 900);
         assert_eq!(rescue.hits, flat.search(q, 7));
+    }
+
+    /// The epoch-stamped scratch must make repeated same-thread queries
+    /// (reused scratch, bumped epochs) indistinguishable from queries run
+    /// on a freshly spawned thread (brand-new scratch).
+    #[test]
+    fn scratch_reuse_matches_fresh_thread_results() {
+        let data = random_data(1500, 7, 51);
+        let mut idx = HnswIndex::new(7, HnswConfig::default());
+        idx.add_batch(&data);
+        let idx = std::sync::Arc::new(idx);
+        let queries = random_data(40, 7, 52);
+        // Warm the thread-local scratch heavily, then interleave checks:
+        // each query also runs on a fresh thread whose scratch has never
+        // been used, and the results must be identical.
+        for q in queries.chunks_exact(7) {
+            let warm = idx.search(q, 9);
+            let again = idx.search(q, 9);
+            let idx2 = idx.clone();
+            let q2 = q.to_vec();
+            let fresh = std::thread::spawn(move || idx2.search(&q2, 9))
+                .join()
+                .unwrap();
+            assert_eq!(warm, again, "same-thread reuse must be idempotent");
+            assert_eq!(warm, fresh, "reused scratch must match fresh scratch");
+        }
+    }
+
+    /// Quantized traversal must keep recall against the exact-f32 graph
+    /// search and must report *exact* f32 distances (the beam is rescored
+    /// before truncation).
+    #[test]
+    fn sq8_traversal_keeps_recall_and_exact_distances() {
+        let n = 2000;
+        let dim = 16;
+        let data = random_data(n, dim, 53);
+        let queries = random_data(30, dim, 54);
+        let mut exact = HnswIndex::new(dim, HnswConfig::default());
+        exact.add_batch(&data);
+        let mut quant = exact.clone();
+        quant.quantize_sq8();
+        assert!(quant.sq8().is_some());
+
+        let mut flat = FlatIndex::new(dim, Metric::L2);
+        flat.add_batch(&data);
+
+        let k = 10;
+        let mut hit = 0usize;
+        let nq = queries.len() / dim;
+        for q in queries.chunks_exact(dim) {
+            let truth: std::collections::HashSet<u32> =
+                flat.search(q, k).into_iter().map(|h| h.id).collect();
+            let hits = quant.search(q, k);
+            hit += hits.iter().filter(|h| truth.contains(&h.id)).count();
+            for h in &hits {
+                let want = Metric::L2
+                    .distance(q, &data[h.id as usize * dim..(h.id as usize + 1) * dim]);
+                assert!(
+                    (h.distance - want).abs() <= 1e-5 * want.max(1.0),
+                    "distance must be exact f32 after rescore: {} vs {want}",
+                    h.distance
+                );
+            }
+        }
+        let r = hit as f64 / (nq * k) as f64;
+        assert!(r >= 0.93, "sq8 traversal recall {r}");
+    }
+
+    #[test]
+    fn hnsw_add_after_quantize_drops_stale_plane() {
+        let data = random_data(300, 5, 55);
+        let mut idx = HnswIndex::new(5, HnswConfig::default());
+        idx.add_batch(&data);
+        idx.quantize_sq8();
+        assert!(idx.sq8().is_some());
+        idx.add(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert!(idx.sq8().is_none(), "grown matrix must drop stale codes");
+        idx.quantize_sq8();
+        idx.add_batch_parallel(&random_data(600, 5, 56), &Pool::new(2));
+        assert!(idx.sq8().is_none(), "batched growth must drop stale codes");
     }
 
     #[test]

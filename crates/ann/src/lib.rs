@@ -18,6 +18,7 @@ pub mod index;
 pub mod ivfpq;
 pub mod kmeans;
 pub mod pq;
+pub mod sq8;
 
 pub use budget::{Budget, BudgetedSearch};
 pub use distance::Metric;
@@ -27,3 +28,4 @@ pub use index::{Neighbor, VectorIndex};
 pub use ivfpq::{IvfPqConfig, IvfPqIndex};
 pub use kmeans::{Kmeans, KmeansConfig};
 pub use pq::{PqConfig, ProductQuantizer};
+pub use sq8::{Sq8Plane, Sq8Query, RESCORE_FACTOR};

@@ -1,0 +1,208 @@
+//! `bench_quant` — the SQ8 quantized-plane flat-scan benchmark.
+//!
+//! Measures, in one process, what the SQ8 plane buys on a corpus that
+//! does not fit in cache:
+//!
+//! * **f32**: exact flat scan over the full-precision vector plane;
+//! * **sq8**: two-stage scan — int8 surrogate candidate generation over
+//!   the quantized codes, then exact f32 rescore of the top
+//!   `RESCORE_FACTOR * k` survivors.
+//!
+//! Both configurations run the identical batched `search_batch` path over
+//! the shared pool, so the reported speedup isolates the quantization, not
+//! a change in parallelism. Emits a JSON report (schema `bench_quant/v1`,
+//! default `BENCH_quant.json`) with QPS, resident vector-plane bytes and
+//! recall@k against the exact f32 oracle. Run via `scripts/bench.sh quant`.
+//!
+//! ```text
+//! bench_quant [--quick] [--out PATH] [--threads N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use deepjoin_ann::distance::Metric;
+use deepjoin_ann::flat::FlatIndex;
+use deepjoin_ann::index::{Neighbor, VectorIndex};
+use deepjoin_ann::RESCORE_FACTOR;
+use deepjoin_par::Pool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark scenario (corpus shape).
+struct Scenario {
+    n: usize,
+    dim: usize,
+    nq: usize,
+    k: usize,
+}
+
+impl Scenario {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                n: 5_000,
+                dim: 32,
+                nq: 40,
+                k: 10,
+            }
+        } else {
+            // ~102 MB of f32 vectors: larger than any L3, so the f32 scan
+            // is memory-bandwidth-bound and the 4x-smaller codes pay off.
+            Self {
+                n: 200_000,
+                dim: 128,
+                nq: 100,
+                k: 10,
+            }
+        }
+    }
+}
+
+/// Unit-norm random vectors, row-major.
+fn unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0f32; n * dim];
+    for row in out.chunks_exact_mut(dim) {
+        for x in row.iter_mut() {
+            *x = rng.gen_range(-1.0f32..1.0);
+        }
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+    out
+}
+
+/// Mean recall@k of `got` against the exact oracle's id sets.
+fn recall(got: &[Vec<Neighbor>], truth: &[Vec<u32>], k: usize) -> f64 {
+    let mut hit = 0usize;
+    for (g, t) in got.iter().zip(truth) {
+        hit += g.iter().filter(|n| t.contains(&n.id)).count();
+    }
+    hit as f64 / (truth.len() * k) as f64
+}
+
+/// Batched flat-scan QPS through the pool (same path for f32 and SQ8; the
+/// index routes to the quantized scan whenever a plane is attached).
+fn flat_qps_batch(
+    flat: &FlatIndex,
+    queries: &[f32],
+    dim: usize,
+    k: usize,
+    reps: usize,
+    pool: &Pool,
+) -> f64 {
+    let nq = queries.len() / dim;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(flat.search_batch(queries, k, pool));
+    }
+    (nq * reps) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_quant.json".to_string());
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| Pool::auto().threads());
+    let pool = Pool::new(threads);
+
+    let sc = Scenario::new(quick);
+    eprintln!(
+        "bench_quant: n={} dim={} nq={} k={} threads={} ({})",
+        sc.n,
+        sc.dim,
+        sc.nq,
+        sc.k,
+        pool.threads(),
+        if quick { "quick" } else { "full" }
+    );
+
+    let data = unit_vectors(sc.n, sc.dim, 0x5A8F);
+    let queries = unit_vectors(sc.nq, sc.dim, 0x0_D17);
+    let reps = if quick { 2 } else { 3 };
+    let kernel = deepjoin_simd::active_kernel().name();
+
+    let mut flat = FlatIndex::new(sc.dim, Metric::L2);
+    flat.add_batch(&data);
+
+    // ---- f32: exact scan over the full-precision plane ----
+    let truth: Vec<Vec<u32>> = queries
+        .chunks_exact(sc.dim)
+        .map(|q| flat.search(q, sc.k).into_iter().map(|h| h.id).collect())
+        .collect();
+    let qps_f32 = flat_qps_batch(&flat, &queries, sc.dim, sc.k, reps, &pool);
+    let f32_bytes = sc.n * sc.dim * std::mem::size_of::<f32>();
+
+    // ---- sq8: int8 surrogate scan + exact rescore ----
+    flat.quantize_sq8();
+    let sq8_bytes = flat.sq8().expect("plane just attached").resident_bytes();
+    let got_sq8 = flat.search_batch(&queries, sc.k, &pool);
+    let recall_sq8 = recall(&got_sq8, &truth, sc.k);
+    let qps_sq8 = flat_qps_batch(&flat, &queries, sc.dim, sc.k, reps, &pool);
+
+    let qps_speedup = qps_sq8 / qps_f32;
+    let bytes_ratio = f32_bytes as f64 / sq8_bytes as f64;
+    let recall_delta = 1.0 - recall_sq8;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"schema\": \"bench_quant/v1\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"corpus\": {{ \"n\": {n}, \"dim\": {dim}, \"nq\": {nq}, \"k\": {k} }},\n",
+            "  \"threads\": {threads},\n",
+            "  \"kernel\": \"{kernel}\",\n",
+            "  \"rescore_factor\": {rf},\n",
+            "  \"f32_bytes\": {fb},\n",
+            "  \"sq8_bytes\": {sb},\n",
+            "  \"bytes_ratio\": {br:.3},\n",
+            "  \"qps_f32\": {qf:.2},\n",
+            "  \"qps_sq8\": {qs:.2},\n",
+            "  \"qps_speedup\": {su:.3},\n",
+            "  \"recall_at_k_sq8\": {rs:.4},\n",
+            "  \"recall_delta\": {rd:.4}\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        n = sc.n,
+        dim = sc.dim,
+        nq = sc.nq,
+        k = sc.k,
+        threads = pool.threads(),
+        kernel = kernel,
+        rf = RESCORE_FACTOR,
+        fb = f32_bytes,
+        sb = sq8_bytes,
+        br = bytes_ratio,
+        qf = qps_f32,
+        qs = qps_sq8,
+        su = qps_speedup,
+        rs = recall_sq8,
+        rd = recall_delta,
+    );
+
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!(
+        "flat: {qps_f32:.0} -> {qps_sq8:.0} qps ({qps_speedup:.2}x); \
+         plane: {f32_bytes} -> {sq8_bytes} bytes ({bytes_ratio:.2}x smaller); \
+         recall@{}: {recall_sq8:.4} (delta {recall_delta:.4})",
+        sc.k
+    );
+    println!("wrote {out_path}");
+}

@@ -5,11 +5,23 @@
 //! dj train    <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N]
 //!             [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
 //! dj search   <in.lake> <in.model> [--k K] [--query-index I]
-//! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D]
+//! dj build    <in.model> <out.model> --quantize sq8
+//! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]
 //! dj query    <addr> --cells a,b,c [--name NAME] [--k K]
 //! dj ctl      <addr> ping|stats|reload [path]|shutdown
 //! dj info     <in.model>
 //! ```
+//!
+//! `dj build --quantize sq8` rewrites a trained artifact with an SQ8
+//! quantized vector plane (`SQ8V` section): searches generate candidates
+//! over 1-byte codes and rescore survivors against the exact f32 vectors,
+//! so distances stay exact while the plane takes ~4× less memory. A
+//! quantized artifact serves and hot-reloads like any other; if its `SQ8V`
+//! section is damaged the loader degrades to exact f32 with a warning.
+//!
+//! `dj serve --query-cache N` keeps an LRU of the last N query embeddings
+//! so repeated probes skip the encoder forward pass (hit/miss counters in
+//! `dj ctl stats`).
 //!
 //! `dj serve` runs the TCP query server (DESIGN.md §11): admission control
 //! sheds bursts past `--max-inflight` with structured `Overloaded` errors,
@@ -56,6 +68,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "train" => cmd_train(&args[1..]),
         "search" => cmd_search(&args[1..]),
+        "build" => cmd_build(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "ctl" => cmd_ctl(&args[1..]),
@@ -75,7 +88,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D]\n  dj query <addr> --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]\n  dj query <addr> --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -396,6 +409,38 @@ fn cmd_search_csv(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Rewrite a trained artifact with a derived plane — today that means
+/// `--quantize sq8` (the SQ8 quantized vector plane). Reads the input
+/// snapshot, quantizes the indexed vectors, and writes a new artifact with
+/// the extra checksummed `SQ8V` section.
+fn cmd_build(args: &[String]) -> CliResult {
+    let input = args.first().ok_or("missing <in.model>")?;
+    let out = args.get(1).ok_or("missing <out.model>")?;
+    let scheme = flag(args, "--quantize")
+        .ok_or("nothing to build: pass --quantize sq8")?;
+    if scheme != "sq8" {
+        return Err(format!("unknown quantization scheme '{scheme}': only sq8 is supported").into());
+    }
+    let mut model = load_model_file(input)?;
+    if model.indexed_len() == 0 {
+        return Err(format!("{input} was saved without an index; nothing to quantize").into());
+    }
+    let f32_bytes = model.indexed_len() * model.config().dim * std::mem::size_of::<f32>();
+    if !model.quantize_sq8() {
+        return Err("quantization failed: model has no index state".into());
+    }
+    let sq8_bytes = model
+        .sq8_resident_bytes()
+        .expect("plane attached by quantize_sq8");
+    write_artifact(out, &save_model(&model, true))?;
+    println!(
+        "wrote {out} ({} bytes): sq8 plane {sq8_bytes} bytes vs {f32_bytes} f32 ({:.2}x smaller)",
+        std::fs::metadata(out)?.len(),
+        f32_bytes as f64 / sq8_bytes as f64
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
     let lake = args.first().ok_or("missing <in.lake>")?;
     let model_path = args.get(1).ok_or("missing <in.model>")?;
@@ -404,6 +449,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let max_inflight = parse_positive(args, "--max-inflight", "32")?.unwrap_or(32);
     let deadline = parse_positive(args, "--deadline-ms", "no deadline")?
         .map(|ms| std::time::Duration::from_millis(ms as u64));
+    let query_cache =
+        parse_nonnegative(args, "--query-cache", "0, caching disabled")?.unwrap_or(0);
 
     // The lake provides the human-readable labels for hits; it is loaded
     // once and shared across model reloads.
@@ -412,7 +459,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let repo = std::sync::Arc::new(repo);
     eprintln!("lake {lake}: {} columns", repo.len());
 
-    let loader = deepjoin::serving::snapshot_loader(model_path.clone(), repo);
+    let loader = deepjoin::serving::snapshot_loader(model_path.clone(), repo, query_cache);
     let server = Server::start(
         ServerConfig {
             addr,
@@ -492,6 +539,8 @@ fn cmd_ctl(args: &[String]) -> CliResult {
             println!("expired queued  : {}", s.expired);
             println!("degraded answers: {}", s.degraded_answers);
             println!("queue capacity  : {}", s.queue_capacity);
+            println!("cache hits      : {}", s.cache_hits);
+            println!("cache misses    : {}", s.cache_misses);
         }
         "reload" => {
             let (generation, warnings) = client.reload(args.get(2).map(String::as_str))?;
@@ -511,7 +560,12 @@ fn cmd_ctl(args: &[String]) -> CliResult {
 
 fn cmd_info(args: &[String]) -> CliResult {
     let model_path = args.first().ok_or("missing <in.model>")?;
-    let model = load_model_file(model_path)?;
+    let bytes = std::fs::read(model_path)?;
+    let loaded = load_model(&bytes)?;
+    for w in &loaded.warnings {
+        eprintln!("warning: {model_path}: {w}");
+    }
+    let model = loaded.model;
     let cfg = model.config();
     println!("variant       : {:?}", cfg.variant);
     println!("dim           : {}", cfg.dim);
@@ -526,6 +580,24 @@ fn cmd_info(args: &[String]) -> CliResult {
             println!("index health  : degraded-flat ({reason})");
         }
         health => println!("index health  : {}", health.label()),
+    }
+    match model.sq8_resident_bytes() {
+        Some(b) => {
+            let f32_bytes = model.indexed_len() * cfg.dim * std::mem::size_of::<f32>();
+            println!(
+                "quantization  : sq8 ({b} bytes resident, {:.2}x smaller than f32)",
+                f32_bytes as f64 / b.max(1) as f64
+            );
+        }
+        None => println!("quantization  : none (exact f32)"),
+    }
+    if deepjoin_store::is_container(&bytes) {
+        if let Ok(container) = deepjoin_store::Container::parse(&bytes) {
+            println!("sections      :");
+            for (name, len) in container.section_sizes() {
+                println!("  {:<4}        : {len} bytes", String::from_utf8_lossy(&name));
+            }
+        }
     }
     match model.lineage() {
         Some(l) => println!(

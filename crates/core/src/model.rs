@@ -474,6 +474,35 @@ impl DeepJoin {
         }
     }
 
+    /// Quantize the indexed vectors into an SQ8 plane (`dj build
+    /// --quantize sq8`): candidate generation runs over 1-byte codes and
+    /// survivors are rescored against the exact f32 vectors, so results
+    /// stay exact-distance while the scan touches ~4× less memory. No-op
+    /// without an index. Returns `true` when a plane was attached.
+    pub fn quantize_sq8(&mut self) -> bool {
+        match &mut self.index {
+            IndexState::None => false,
+            IndexState::Hnsw(index) => {
+                index.quantize_sq8();
+                true
+            }
+            IndexState::DegradedFlat { index, .. } => {
+                index.quantize_sq8();
+                true
+            }
+        }
+    }
+
+    /// Resident bytes of the attached SQ8 plane, when the index is
+    /// quantized (surfaced by `dj info`).
+    pub fn sq8_resident_bytes(&self) -> Option<usize> {
+        match &self.index {
+            IndexState::None => None,
+            IndexState::Hnsw(index) => index.sq8().map(|p| p.resident_bytes()),
+            IndexState::DegradedFlat { index, .. } => index.sq8().map(|p| p.resident_bytes()),
+        }
+    }
+
     /// Current search-backend health (surfaced by `dj info`).
     pub fn index_health(&self) -> IndexHealth {
         match &self.index {

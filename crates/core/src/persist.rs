@@ -25,8 +25,10 @@
 use deepjoin_ann::flat::FlatIndex;
 use deepjoin_ann::index::VectorIndex;
 use deepjoin_ann::io::{
-    decode_flat_in, decode_hnsw_graph, decode_hnsw_in, encode_flat, encode_hnsw_graph, DecodeError,
+    decode_flat_in, decode_hnsw_graph, decode_hnsw_in, decode_sq8_in, encode_flat,
+    encode_hnsw_graph, encode_sq8, DecodeError,
 };
+use deepjoin_ann::sq8::Sq8Plane;
 use deepjoin_lake::tokenizer::Vocabulary;
 use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, Pooling};
 use deepjoin_store::codec::{DecodeErrorKind, Reader, Writer};
@@ -41,6 +43,11 @@ pub const SECTION_MODEL: [u8; 4] = *b"MODL";
 pub const SECTION_LINEAGE: [u8; 4] = *b"TLIN";
 /// Container section holding the indexed embedding vectors (`DJF1`).
 pub const SECTION_VECTORS: [u8; 4] = *b"VECS";
+/// Container section holding the SQ8 quantized vector plane (`DJQ1`).
+/// Written between `VECS` and `HNSW` so the graph stays the trailing
+/// section (tail truncation keeps damaging the graph first, the most
+/// gracefully degradable section).
+pub const SECTION_SQ8: [u8; 4] = *b"SQ8V";
 /// Container section holding the HNSW graph (`DJG1`).
 pub const SECTION_GRAPH: [u8; 4] = *b"HNSW";
 
@@ -319,12 +326,17 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
                 let (config, dim, vectors, ..) = index.raw_parts();
                 let mut flat = FlatIndex::new(dim.max(1), config.metric);
                 flat.add_batch(vectors);
-                builder = builder
-                    .section(SECTION_VECTORS, encode_flat(&flat))
-                    .section(SECTION_GRAPH, encode_hnsw_graph(index));
+                builder = builder.section(SECTION_VECTORS, encode_flat(&flat));
+                if let Some(plane) = index.sq8() {
+                    builder = builder.section(SECTION_SQ8, encode_sq8(plane));
+                }
+                builder = builder.section(SECTION_GRAPH, encode_hnsw_graph(index));
             }
             IndexState::DegradedFlat { index, .. } => {
                 builder = builder.section(SECTION_VECTORS, encode_flat(index));
+                if let Some(plane) = index.sq8() {
+                    builder = builder.section(SECTION_SQ8, encode_sq8(plane));
+                }
             }
             IndexState::None => {}
         }
@@ -401,26 +413,36 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
 
 /// Rebuild the search index from intact vectors plus whatever is left of
 /// the graph section, degrading to exact flat search when the graph is
-/// missing or damaged.
+/// missing or damaged. An intact `SQ8V` section re-attaches the quantized
+/// plane to whichever index comes out; a damaged or mismatched one only
+/// costs the quantized fast path (exact f32 serves instead) and never
+/// affects index health.
 fn restore_index(
     container: &Container<'_>,
-    flat: FlatIndex,
+    mut flat: FlatIndex,
     warnings: &mut Vec<String>,
 ) -> IndexState {
+    let sq8 = restore_sq8(container, &flat, warnings);
     let graph = match container.section(SECTION_GRAPH, "HNSW") {
         None => {
+            if let Some(plane) = sq8 {
+                flat.attach_sq8(plane);
+            }
             return IndexState::DegradedFlat {
                 index: flat,
                 reason: "snapshot carries vectors but no graph section \
                          (saved from a degraded model)"
                     .into(),
-            }
+            };
         }
         Some(Ok(bytes)) => bytes,
         Some(Err(e)) => {
             warnings.push(format!(
                 "HNSW graph failed verification ({e}); falling back to exact flat search"
             ));
+            if let Some(plane) = sq8 {
+                flat.attach_sq8(plane);
+            }
             return IndexState::DegradedFlat {
                 index: flat,
                 reason: e.to_string(),
@@ -432,15 +454,60 @@ fn restore_index(
         vectors.extend_from_slice(flat.vector(id));
     }
     match decode_hnsw_graph(graph, "HNSW", vectors) {
-        Ok(index) => IndexState::Hnsw(index),
+        Ok(mut index) => {
+            if let Some(plane) = sq8 {
+                index.attach_sq8(plane);
+            }
+            IndexState::Hnsw(index)
+        }
         Err(e) => {
             warnings.push(format!(
                 "HNSW graph failed verification ({e}); falling back to exact flat search"
             ));
+            if let Some(plane) = sq8 {
+                flat.attach_sq8(plane);
+            }
             IndexState::DegradedFlat {
                 index: flat,
                 reason: e.to_string(),
             }
+        }
+    }
+}
+
+/// Decode the optional `SQ8V` section. Absence is normal (unquantized
+/// snapshot); any failure — CRC, codec, or a shape that does not cover the
+/// decoded vectors — degrades to exact f32 with a warning.
+fn restore_sq8(
+    container: &Container<'_>,
+    flat: &FlatIndex,
+    warnings: &mut Vec<String>,
+) -> Option<Sq8Plane> {
+    match container.section(SECTION_SQ8, "SQ8V")? {
+        Ok(bytes) => match decode_sq8_in(bytes, "SQ8V") {
+            Ok(plane) if plane.dim() == flat.dim() && plane.len() == flat.len() => Some(plane),
+            Ok(_) => {
+                warnings.push(
+                    "SQ8 plane shape disagrees with the vectors; \
+                     serving exact f32 instead"
+                        .into(),
+                );
+                None
+            }
+            Err(e) => {
+                warnings.push(format!(
+                    "SQ8 quantized plane failed verification ({e}); \
+                     serving exact f32 instead"
+                ));
+                None
+            }
+        },
+        Err(e) => {
+            warnings.push(format!(
+                "SQ8 quantized plane failed verification ({e}); \
+                 serving exact f32 instead"
+            ));
+            None
         }
     }
 }
@@ -672,6 +739,76 @@ mod tests {
             .map(|s| s.id.0)
             .collect();
         assert_eq!(again, expected);
+    }
+
+    #[test]
+    fn sq8_plane_roundtrips_through_save_load() {
+        let (mut model, _) = tiny_indexed(40);
+        assert!(model.quantize_sq8());
+        assert!(model.sq8_resident_bytes().is_some());
+        let bytes = save_model(&model, true);
+        let loaded = load_model(&bytes).unwrap();
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(loaded.model.index_health(), IndexHealth::Hnsw);
+        assert_eq!(
+            loaded.model.sq8_resident_bytes(),
+            model.sq8_resident_bytes(),
+            "quantization must survive the round trip"
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a: Vec<u32> = model.search_embedded(&q, 5).iter().map(|s| s.id.0).collect();
+        let b: Vec<u32> = loaded
+            .model
+            .search_embedded(&q, 5)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sq8_corruption_degrades_to_exact_f32_not_index_loss() {
+        let (mut model, _) = tiny_indexed(40);
+        model.quantize_sq8();
+        let bytes = save_model(&model, true);
+
+        // Locate the SQ8V payload by re-encoding the attached plane.
+        let IndexState::Hnsw(index) = &model.index else {
+            unreachable!()
+        };
+        let payload = encode_sq8(index.sq8().unwrap());
+        let pos = bytes
+            .windows(payload.len())
+            .position(|w| w == payload.as_slice())
+            .expect("SQ8V payload present in the container");
+        let mut bad = bytes.clone();
+        bad[pos + payload.len() / 2] ^= 0x10;
+
+        let loaded = load_model(&bad).unwrap();
+        assert_eq!(loaded.warnings.len(), 1, "{:?}", loaded.warnings);
+        assert!(loaded.warnings[0].contains("SQ8 quantized plane failed verification"));
+        // The quantized fast path is lost; the index itself is not.
+        assert_eq!(loaded.model.index_health(), IndexHealth::Hnsw);
+        assert_eq!(loaded.model.sq8_resident_bytes(), None);
+        let IndexState::Hnsw(idx) = &mut model.index else {
+            unreachable!()
+        };
+        idx.detach_sq8();
+        let mut rng = StdRng::seed_from_u64(78);
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a: Vec<u32> = model
+            .search_embedded(&q, 5)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        let b: Vec<u32> = loaded
+            .model
+            .search_embedded(&q, 5)
+            .iter()
+            .map(|s| s.id.0)
+            .collect();
+        assert_eq!(a, b, "corrupt plane must serve exactly like unquantized");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! [`deepjoin_serve::ServeModel`], and builds the snapshot [`Loader`] the
 //! server calls at startup and on every hot reload.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use deepjoin_ann::Budget;
 use deepjoin_lake::column::{Column, ColumnMeta};
@@ -14,6 +15,86 @@ use deepjoin_serve::{Health, Hit, LoadedSnapshot, Loader, QueryOutcome, ServeMod
 use crate::model::{DeepJoin, IndexHealth};
 use crate::persist::load_model;
 
+/// FNV-1a over the query identity: the column name and the exact cell
+/// bytes, with distinct separators so `["ab"]` and `["a","b"]` hash apart.
+fn query_key(cells: &[String], name: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(name.as_bytes());
+    eat(&[0xFF]);
+    for c in cells {
+        eat(c.as_bytes());
+        eat(&[0xFE]);
+    }
+    h
+}
+
+/// Fixed-capacity LRU of query embeddings, keyed by [`query_key`]. The
+/// encoder forward pass dominates query latency for repeated probes (the
+/// same column re-checked against a growing lake), so a small cache pays
+/// for itself quickly. Eviction scans for the least-recently-used entry —
+/// O(capacity), fine at the configured sizes (tens to thousands).
+struct QueryCache {
+    capacity: usize,
+    map: HashMap<u64, (u64, Vec<f32>)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Vec<f32>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some((used, v)) => {
+                *used = tick;
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, embedding: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(&evict) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&evict);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, embedding));
+    }
+}
+
 /// A loaded model + its repository, queryable by the server. The
 /// repository provides the `table.column` labels attached to hits; it is
 /// shared (`Arc`) across reloads because the lake does not change when the
@@ -21,12 +102,25 @@ use crate::persist::load_model;
 pub struct ServedModel {
     model: DeepJoin,
     repo: Arc<Repository>,
+    cache: Option<Mutex<QueryCache>>,
 }
 
 impl ServedModel {
-    /// Wrap a model and the repository it indexes.
+    /// Wrap a model and the repository it indexes, without an embedding
+    /// cache.
     pub fn new(model: DeepJoin, repo: Arc<Repository>) -> Self {
-        Self { model, repo }
+        Self::with_cache(model, repo, 0)
+    }
+
+    /// Wrap a model with a query-embedding LRU of `cache_capacity` entries
+    /// (`0` disables caching). Repeated queries skip the encoder forward
+    /// pass; the search itself always re-runs against the live index.
+    pub fn with_cache(model: DeepJoin, repo: Arc<Repository>, cache_capacity: usize) -> Self {
+        Self {
+            model,
+            repo,
+            cache: (cache_capacity > 0).then(|| Mutex::new(QueryCache::new(cache_capacity))),
+        }
     }
 
     fn label(&self, id: u32) -> String {
@@ -34,6 +128,24 @@ impl ServedModel {
             Some(col) => format!("{}.{}", col.meta.table_title, col.meta.column_name),
             None => format!("col#{id}"),
         }
+    }
+
+    /// The query embedding, from cache when possible. The encoder pass runs
+    /// outside the lock, so concurrent misses never serialize on it.
+    fn embed_cached(&self, column: &Column, cells: &[String], name: &str) -> Vec<f32> {
+        let Some(cache) = &self.cache else {
+            return self.model.embed_column(column);
+        };
+        let key = query_key(cells, name);
+        if let Some(hit) = cache.lock().expect("query cache lock").get(key) {
+            return hit;
+        }
+        let v = self.model.embed_column(column);
+        cache
+            .lock()
+            .expect("query cache lock")
+            .insert(key, v.clone());
+        v
     }
 }
 
@@ -58,7 +170,8 @@ impl ServeModel for ServedModel {
                 ..ColumnMeta::default()
             },
         );
-        let ladder = self.model.search_budgeted(&column, k, budget);
+        let embedding = self.embed_cached(&column, cells, name);
+        let ladder = self.model.search_embedded_budgeted(&embedding, k, budget);
         QueryOutcome {
             hits: ladder
                 .hits
@@ -76,6 +189,16 @@ impl ServeModel for ServedModel {
             via_fallback: ladder.via_fallback,
         }
     }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        match &self.cache {
+            Some(cache) => {
+                let c = cache.lock().expect("query cache lock");
+                (c.hits, c.misses)
+            }
+            None => (0, 0),
+        }
+    }
 }
 
 /// Build the server's snapshot [`Loader`] for a model artifact.
@@ -85,7 +208,12 @@ impl ServeModel for ServedModel {
 /// new artifact without restarting the server. Non-fatal load degradations
 /// (e.g. a corrupt HNSW section rescued by the flat fallback) become
 /// snapshot warnings and flow into responses via the health field.
-pub fn snapshot_loader(model_path: String, repo: Arc<Repository>) -> Loader {
+///
+/// `cache_capacity` sizes each snapshot's query-embedding LRU (`dj serve
+/// --query-cache`; `0` disables it). The cache belongs to the snapshot, so
+/// a hot reload starts cold — stale embeddings can never outlive the model
+/// that produced them.
+pub fn snapshot_loader(model_path: String, repo: Arc<Repository>, cache_capacity: usize) -> Loader {
     Box::new(move |path| {
         let path = path.unwrap_or(&model_path);
         let bytes =
@@ -96,7 +224,11 @@ pub fn snapshot_loader(model_path: String, repo: Arc<Repository>) -> Loader {
         }
         let warnings = loaded.warnings.clone();
         Ok(LoadedSnapshot {
-            model: Box::new(ServedModel::new(loaded.model, repo.clone())),
+            model: Box::new(ServedModel::with_cache(
+                loaded.model,
+                repo.clone(),
+                cache_capacity,
+            )),
             warnings,
         })
     })
@@ -137,6 +269,36 @@ mod tests {
         for h in &out.hits {
             assert!(h.label.contains('.'), "label '{}' is not table.column", h.label);
         }
+    }
+
+    #[test]
+    fn query_cache_hits_on_repeats_and_answers_identically() {
+        let (served, query) = tiny_served();
+        // Re-wrap the same model with a cache: the uncached answer (first
+        // call, a miss) must equal the cached one (second call, a hit).
+        let cached = ServedModel::with_cache(served.model, served.repo, 4);
+        assert_eq!(cached.cache_stats(), (0, 0));
+        let a = cached.query(&query.cells, "probe", 3, &Budget::unlimited());
+        assert_eq!(cached.cache_stats(), (0, 1));
+        let b = cached.query(&query.cells, "probe", 3, &Budget::unlimited());
+        assert_eq!(cached.cache_stats(), (1, 1), "repeat must hit");
+        assert_eq!(a, b, "cached answer must equal the computed one");
+        // A different name is a different query identity.
+        cached.query(&query.cells, "other", 3, &Budget::unlimited());
+        assert_eq!(cached.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn query_cache_evicts_least_recently_used() {
+        let mut cache = QueryCache::new(2);
+        cache.insert(1, vec![1.0]);
+        cache.insert(2, vec![2.0]);
+        assert!(cache.get(1).is_some(), "touch 1 so 2 is the LRU");
+        cache.insert(3, vec![3.0]);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none(), "2 was least recently used");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.map.len(), 2);
     }
 
     #[test]

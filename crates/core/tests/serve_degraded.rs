@@ -88,10 +88,7 @@ fn corrupt_hnsw_serves_exact_flat_answers_and_reload_recovers() {
         .collect();
 
     // Serve the corrupted artifact.
-    let loader = snapshot_loader(
-        bad_path.to_str().unwrap().to_string(),
-        Arc::new(repo),
-    );
+    let loader = snapshot_loader(bad_path.to_str().unwrap().to_string(), Arc::new(repo), 0);
     let server = Server::start(
         ServerConfig {
             deadline: Some(Duration::from_secs(30)),
@@ -152,7 +149,7 @@ fn reload_failure_keeps_previous_snapshot_serving() {
     let good_path = tmp.path("good.model");
     std::fs::write(&good_path, save_model(&model, true)).unwrap();
 
-    let loader = snapshot_loader(good_path.to_str().unwrap().to_string(), Arc::new(repo));
+    let loader = snapshot_loader(good_path.to_str().unwrap().to_string(), Arc::new(repo), 0);
     let server = Server::start(ServerConfig::default(), loader).unwrap();
     let addr = server.local_addr().unwrap().to_string();
     let handle = server.handle();

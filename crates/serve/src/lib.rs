@@ -115,6 +115,12 @@ pub trait ServeModel: Send + Sync {
     /// Embed the query column (`cells` + `name`) and search for its `k`
     /// nearest indexed columns under `budget`.
     fn query(&self, cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome;
+
+    /// `(hits, misses)` of the model's query-embedding cache. Models that
+    /// serve without a cache report `(0, 0)`.
+    fn cache_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// A freshly loaded snapshot: the model plus any non-fatal load warnings

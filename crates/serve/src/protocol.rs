@@ -168,6 +168,11 @@ pub struct StatsReply {
     pub degraded_answers: u64,
     /// Admission queue capacity.
     pub queue_capacity: u32,
+    /// Query-embedding cache hits in the current snapshot (0 when the
+    /// model serves without a cache).
+    pub cache_hits: u64,
+    /// Query-embedding cache misses in the current snapshot.
+    pub cache_misses: u64,
 }
 
 /// Server → client messages.
@@ -309,6 +314,8 @@ impl Response {
                 w.put_u64_le(s.expired);
                 w.put_u64_le(s.degraded_answers);
                 w.put_u32_le(s.queue_capacity);
+                w.put_u64_le(s.cache_hits);
+                w.put_u64_le(s.cache_misses);
             }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
@@ -379,6 +386,8 @@ impl Response {
                 expired: r.u64_le()?,
                 degraded_answers: r.u64_le()?,
                 queue_capacity: r.u32_le()?,
+                cache_hits: r.u64_le()?,
+                cache_misses: r.u64_le()?,
             }),
             RESP_ERROR => {
                 let code_byte = r.u8()?;
@@ -539,6 +548,8 @@ mod tests {
             expired: 1,
             degraded_answers: 3,
             queue_capacity: 32,
+            cache_hits: 12,
+            cache_misses: 5,
         }));
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Overloaded,

@@ -142,6 +142,7 @@ impl Shared {
 
     fn stats(&self) -> StatsReply {
         let snap = self.snapshot();
+        let (cache_hits, cache_misses) = snap.model.cache_stats();
         StatsReply {
             generation: snap.generation,
             indexed: snap.model.indexed_len() as u64,
@@ -151,6 +152,8 @@ impl Shared {
             expired: self.counters.expired.load(Ordering::Relaxed),
             degraded_answers: self.counters.degraded_answers.load(Ordering::Relaxed),
             queue_capacity: self.queue.capacity() as u32,
+            cache_hits,
+            cache_misses,
         }
     }
 }

@@ -120,6 +120,41 @@ pub mod scalar {
             *a += s * v;
         }
     }
+
+    /// Dot product of two u8 code rows, accumulated exactly in `u32`.
+    /// Exact for `len ≤ 66051` (255² · len must fit in u32) — far beyond
+    /// any embedding dimension this crate serves.
+    #[inline]
+    pub fn dot_u8(a: &[u8], b: &[u8]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| x as u32 * y as u32).sum()
+    }
+
+    /// Dot product of an f32 query against a u8 code row:
+    /// `Σ q[i] · c[i]` with the codes widened to f32.
+    #[inline]
+    pub fn dot_f32u8(q: &[f32], c: &[u8]) -> f32 {
+        debug_assert_eq!(q.len(), c.len());
+        q.iter().zip(c).map(|(&x, &y)| x * y as f32).sum()
+    }
+
+    /// Asymmetric squared L2 between a prepared query and a u8 code row:
+    /// `Σ (t[i] − s[i]·c[i])²`, where `t = query − offset` and `s` is the
+    /// per-dimension scale — i.e. the exact squared distance between the
+    /// query and the *dequantized* row, in one pass over the codes.
+    #[inline]
+    pub fn l2_sq_f32u8(t: &[f32], s: &[f32], c: &[u8]) -> f32 {
+        debug_assert_eq!(t.len(), c.len());
+        debug_assert_eq!(s.len(), c.len());
+        t.iter()
+            .zip(s)
+            .zip(c)
+            .map(|((&ti, &si), &ci)| {
+                let d = ti - si * ci as f32;
+                d * d
+            })
+            .sum()
+    }
 }
 
 /// Portable unrolled kernels: 8 independent accumulators reduced in a fixed
@@ -182,6 +217,68 @@ mod portable {
         for (a, v) in acc[n8..].iter_mut().zip(&x[n8..]) {
             *a += s * v;
         }
+    }
+
+    #[inline]
+    fn reduce8_u32(acc: [u32; 8]) -> u32 {
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+    }
+
+    #[inline]
+    pub fn dot_u8(a: &[u8], b: &[u8]) -> u32 {
+        let mut acc = [0u32; 8];
+        let ca = a.chunks_exact(8);
+        let cb = b.chunks_exact(8);
+        let (ra, rb) = (ca.remainder(), cb.remainder());
+        for (xa, xb) in ca.zip(cb) {
+            for k in 0..8 {
+                acc[k] += xa[k] as u32 * xb[k] as u32;
+            }
+        }
+        let mut s = reduce8_u32(acc);
+        for (x, y) in ra.iter().zip(rb) {
+            s += *x as u32 * *y as u32;
+        }
+        s
+    }
+
+    #[inline]
+    pub fn dot_f32u8(q: &[f32], c: &[u8]) -> f32 {
+        let mut acc = [0f32; 8];
+        let cq = q.chunks_exact(8);
+        let cc = c.chunks_exact(8);
+        let (rq, rc) = (cq.remainder(), cc.remainder());
+        for (xq, xc) in cq.zip(cc) {
+            for k in 0..8 {
+                acc[k] += xq[k] * xc[k] as f32;
+            }
+        }
+        let mut s = reduce8(acc);
+        for (x, y) in rq.iter().zip(rc) {
+            s += x * *y as f32;
+        }
+        s
+    }
+
+    #[inline]
+    pub fn l2_sq_f32u8(t: &[f32], s: &[f32], c: &[u8]) -> f32 {
+        let mut acc = [0f32; 8];
+        let ct = t.chunks_exact(8);
+        let cs = s.chunks_exact(8);
+        let cc = c.chunks_exact(8);
+        let n8 = c.len() - c.len() % 8;
+        for ((xt, xs), xc) in ct.zip(cs).zip(cc) {
+            for k in 0..8 {
+                let d = xt[k] - xs[k] * xc[k] as f32;
+                acc[k] += d * d;
+            }
+        }
+        let mut sum = reduce8(acc);
+        for ((x, y), z) in t[n8..].iter().zip(&s[n8..]).zip(&c[n8..]) {
+            let d = x - y * *z as f32;
+            sum += d * d;
+        }
+        sum
     }
 }
 
@@ -393,6 +490,238 @@ mod avx2 {
             r += 1;
         }
     }
+
+    #[inline]
+    unsafe fn hsum256_epi32(v: __m256i) -> u32 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256(v, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x55));
+        _mm_cvtsi128_si32(s) as u32
+    }
+
+    /// Widen 8 u8 codes (at `p`) to a `__m256` of f32s.
+    #[inline]
+    unsafe fn load8_u8_ps(p: *const u8) -> __m256 {
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(p as *const __m128i)))
+    }
+
+    /// u8×u8 dot. `_mm256_maddubs_epi16` saturates for unsigned×unsigned
+    /// (products reach 255² = 65025 > i16::MAX), so both sides widen to i16
+    /// via `cvtepu8_epi16` first and `madd_epi16` pairs them into i32 lanes.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_u8(a: &[u8], b: &[u8]) -> u32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            let va = _mm256_cvtepu8_epi16(_mm_loadu_si128(pa.add(i) as *const __m128i));
+            let vb = _mm256_cvtepu8_epi16(_mm_loadu_si128(pb.add(i) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+            i += 16;
+        }
+        let mut s = hsum256_epi32(acc);
+        while i < n {
+            s += *pa.add(i) as u32 * *pb.add(i) as u32;
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_f32u8(q: &[f32], c: &[u8]) -> f32 {
+        let n = q.len();
+        let pq = q.as_ptr();
+        let pc = c.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), load8_u8_ps(pc.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pq.add(i + 8)),
+                load8_u8_ps(pc.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), load8_u8_ps(pc.add(i)), acc0);
+            i += 8;
+        }
+        let mut s = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            s += *pq.add(i) * *pc.add(i) as f32;
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn l2_sq_f32u8(t: &[f32], s: &[f32], c: &[u8]) -> f32 {
+        let n = t.len();
+        let pt = t.as_ptr();
+        let ps = s.as_ptr();
+        let pc = c.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            // fnmadd(s, c, t) = t − s·c, the residual against the
+            // dequantized coordinate.
+            let d0 = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i)),
+                load8_u8_ps(pc.add(i)),
+                _mm256_loadu_ps(pt.add(i)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            let d1 = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i + 8)),
+                load8_u8_ps(pc.add(i + 8)),
+                _mm256_loadu_ps(pt.add(i + 8)),
+            );
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i)),
+                load8_u8_ps(pc.add(i)),
+                _mm256_loadu_ps(pt.add(i)),
+            );
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = *pt.add(i) - *ps.add(i) * *pc.add(i) as f32;
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    /// Blocked one-query-vs-many f32×u8 dot (see [`dot_block`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_f32u8_block(query: &[f32], codes: &[u8], out: &mut [f32]) {
+        let dim = query.len();
+        let rows = out.len();
+        let pq = query.as_ptr();
+        let pc = codes.as_ptr();
+        let d8 = dim - dim % 8;
+        let mut r = 0;
+        while r + 4 <= rows {
+            let (r0, r1, r2, r3) = (
+                pc.add(r * dim),
+                pc.add((r + 1) * dim),
+                pc.add((r + 2) * dim),
+                pc.add((r + 3) * dim),
+            );
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            let mut j = 0;
+            while j < d8 {
+                let q = _mm256_loadu_ps(pq.add(j));
+                a0 = _mm256_fmadd_ps(q, load8_u8_ps(r0.add(j)), a0);
+                a1 = _mm256_fmadd_ps(q, load8_u8_ps(r1.add(j)), a1);
+                a2 = _mm256_fmadd_ps(q, load8_u8_ps(r2.add(j)), a2);
+                a3 = _mm256_fmadd_ps(q, load8_u8_ps(r3.add(j)), a3);
+                j += 8;
+            }
+            let mut s0 = hsum256(a0);
+            let mut s1 = hsum256(a1);
+            let mut s2 = hsum256(a2);
+            let mut s3 = hsum256(a3);
+            while j < dim {
+                let q = *pq.add(j);
+                s0 += q * *r0.add(j) as f32;
+                s1 += q * *r1.add(j) as f32;
+                s2 += q * *r2.add(j) as f32;
+                s3 += q * *r3.add(j) as f32;
+                j += 1;
+            }
+            out[r] = s0;
+            out[r + 1] = s1;
+            out[r + 2] = s2;
+            out[r + 3] = s3;
+            r += 4;
+        }
+        while r < rows {
+            out[r] = dot_f32u8(query, std::slice::from_raw_parts(pc.add(r * dim), dim));
+            r += 1;
+        }
+    }
+
+    /// Blocked one-query-vs-many asymmetric squared L2 (see
+    /// [`l2_sq_f32u8`]): 4 code rows share each `t`/`s` load.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn l2_sq_f32u8_block(t: &[f32], s: &[f32], codes: &[u8], out: &mut [f32]) {
+        let dim = t.len();
+        let rows = out.len();
+        let pt = t.as_ptr();
+        let ps = s.as_ptr();
+        let pc = codes.as_ptr();
+        let d8 = dim - dim % 8;
+        let mut r = 0;
+        while r + 4 <= rows {
+            let (r0, r1, r2, r3) = (
+                pc.add(r * dim),
+                pc.add((r + 1) * dim),
+                pc.add((r + 2) * dim),
+                pc.add((r + 3) * dim),
+            );
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            let mut j = 0;
+            while j < d8 {
+                let vt = _mm256_loadu_ps(pt.add(j));
+                let vs = _mm256_loadu_ps(ps.add(j));
+                let d0 = _mm256_fnmadd_ps(vs, load8_u8_ps(r0.add(j)), vt);
+                a0 = _mm256_fmadd_ps(d0, d0, a0);
+                let d1 = _mm256_fnmadd_ps(vs, load8_u8_ps(r1.add(j)), vt);
+                a1 = _mm256_fmadd_ps(d1, d1, a1);
+                let d2 = _mm256_fnmadd_ps(vs, load8_u8_ps(r2.add(j)), vt);
+                a2 = _mm256_fmadd_ps(d2, d2, a2);
+                let d3 = _mm256_fnmadd_ps(vs, load8_u8_ps(r3.add(j)), vt);
+                a3 = _mm256_fmadd_ps(d3, d3, a3);
+                j += 8;
+            }
+            let mut s0 = hsum256(a0);
+            let mut s1 = hsum256(a1);
+            let mut s2 = hsum256(a2);
+            let mut s3 = hsum256(a3);
+            while j < dim {
+                let tj = *pt.add(j);
+                let sj = *ps.add(j);
+                let (e0, e1, e2, e3) = (
+                    tj - sj * *r0.add(j) as f32,
+                    tj - sj * *r1.add(j) as f32,
+                    tj - sj * *r2.add(j) as f32,
+                    tj - sj * *r3.add(j) as f32,
+                );
+                s0 += e0 * e0;
+                s1 += e1 * e1;
+                s2 += e2 * e2;
+                s3 += e3 * e3;
+                j += 1;
+            }
+            out[r] = s0;
+            out[r + 1] = s1;
+            out[r + 2] = s2;
+            out[r + 3] = s3;
+            r += 4;
+        }
+        while r < rows {
+            out[r] = l2_sq_f32u8(t, s, std::slice::from_raw_parts(pc.add(r * dim), dim));
+            r += 1;
+        }
+    }
 }
 
 /// Dot product with an explicitly chosen kernel (parity tests; prefer
@@ -517,6 +846,131 @@ pub fn l2_sq_block(query: &[f32], data: &[f32], out: &mut [f32]) {
         _ => {
             for (o, row) in out.iter_mut().zip(data.chunks_exact(query.len())) {
                 *o = portable::l2_sq(query, row);
+            }
+        }
+    }
+}
+
+/// u8×u8 dot product with an explicitly chosen kernel (parity tests).
+#[inline]
+pub fn dot_u8_with(kernel: Kernel, a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    match kernel {
+        Kernel::Scalar => scalar::dot_u8(a, b),
+        Kernel::Portable8 => portable::dot_u8(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::dot_u8(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => portable::dot_u8(a, b),
+    }
+}
+
+/// f32×u8 dot product with an explicitly chosen kernel (parity tests).
+#[inline]
+pub fn dot_f32u8_with(kernel: Kernel, q: &[f32], c: &[u8]) -> f32 {
+    assert_eq!(q.len(), c.len(), "dimension mismatch");
+    match kernel {
+        Kernel::Scalar => scalar::dot_f32u8(q, c),
+        Kernel::Portable8 => portable::dot_f32u8(q, c),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::dot_f32u8(q, c) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => portable::dot_f32u8(q, c),
+    }
+}
+
+/// Asymmetric squared L2 with an explicitly chosen kernel (parity tests).
+#[inline]
+pub fn l2_sq_f32u8_with(kernel: Kernel, t: &[f32], s: &[f32], c: &[u8]) -> f32 {
+    assert_eq!(t.len(), c.len(), "dimension mismatch");
+    assert_eq!(s.len(), c.len(), "dimension mismatch");
+    match kernel {
+        Kernel::Scalar => scalar::l2_sq_f32u8(t, s, c),
+        Kernel::Portable8 => portable::l2_sq_f32u8(t, s, c),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::l2_sq_f32u8(t, s, c) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => portable::l2_sq_f32u8(t, s, c),
+    }
+}
+
+/// Dot product of two u8 code rows (runtime-dispatched). Exact: the
+/// accumulation is integer, so every kernel returns identical bits.
+#[inline]
+pub fn dot_u8(a: &[u8], b: &[u8]) -> u32 {
+    dot_u8_with(active_kernel(), a, b)
+}
+
+/// Dot product of an f32 query against a u8 code row
+/// (runtime-dispatched).
+#[inline]
+pub fn dot_f32u8(q: &[f32], c: &[u8]) -> f32 {
+    dot_f32u8_with(active_kernel(), q, c)
+}
+
+/// Asymmetric squared L2 `Σ (t[i] − s[i]·c[i])²` between a prepared query
+/// (`t = query − offset`, per-dim scales `s`) and a u8 code row
+/// (runtime-dispatched). Equals the exact f32 squared distance between the
+/// query and the dequantized row.
+#[inline]
+pub fn l2_sq_f32u8(t: &[f32], s: &[f32], c: &[u8]) -> f32 {
+    l2_sq_f32u8_with(active_kernel(), t, s, c)
+}
+
+/// Score one f32 query against `out.len()` contiguous row-major u8 code
+/// rows with the dot product: `out[i] = query · codes[i]`.
+///
+/// `codes.len()` must equal `out.len() * query.len()`.
+pub fn dot_f32u8_block(query: &[f32], codes: &[u8], out: &mut [f32]) {
+    assert_eq!(
+        codes.len(),
+        out.len() * query.len(),
+        "row-major shape mismatch"
+    );
+    if query.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::dot_f32u8_block(query, codes, out) },
+        Kernel::Scalar => {
+            for (o, row) in out.iter_mut().zip(codes.chunks_exact(query.len())) {
+                *o = scalar::dot_f32u8(query, row);
+            }
+        }
+        _ => {
+            for (o, row) in out.iter_mut().zip(codes.chunks_exact(query.len())) {
+                *o = portable::dot_f32u8(query, row);
+            }
+        }
+    }
+}
+
+/// Score one prepared query (`t`, per-dim scales `s`) against `out.len()`
+/// contiguous row-major u8 code rows with asymmetric squared L2:
+/// `out[i] = Σ_d (t[d] − s[d]·codes[i][d])²`.
+///
+/// `codes.len()` must equal `out.len() * t.len()`; `s.len()` must equal
+/// `t.len()`.
+pub fn l2_sq_f32u8_block(t: &[f32], s: &[f32], codes: &[u8], out: &mut [f32]) {
+    assert_eq!(s.len(), t.len(), "dimension mismatch");
+    assert_eq!(codes.len(), out.len() * t.len(), "row-major shape mismatch");
+    if t.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { avx2::l2_sq_f32u8_block(t, s, codes, out) },
+        Kernel::Scalar => {
+            for (o, row) in out.iter_mut().zip(codes.chunks_exact(t.len())) {
+                *o = scalar::l2_sq_f32u8(t, s, row);
+            }
+        }
+        _ => {
+            for (o, row) in out.iter_mut().zip(codes.chunks_exact(t.len())) {
+                *o = portable::l2_sq_f32u8(t, s, row);
             }
         }
     }
@@ -650,6 +1104,115 @@ mod tests {
         assert!((cosine(&[1., 0., 0.], &[2., 0., 0.]) - 1.0).abs() < 1e-6);
         assert!(cosine(&[1., 0.], &[0., 1.]).abs() < 1e-6);
         assert_eq!(cosine(&[0., 0.], &[1., 1.]), 0.0);
+    }
+
+    fn codes(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect()
+    }
+
+    #[test]
+    fn u8_dot_kernels_are_bit_exact() {
+        for &len in LENS {
+            let a = codes(len, 41 ^ len as u64);
+            let b = codes(len, 42 ^ len as u64);
+            let want: u32 = a.iter().zip(&b).map(|(&x, &y)| x as u32 * y as u32).sum();
+            for k in available_kernels() {
+                assert_eq!(
+                    dot_u8_with(k, &a, &b),
+                    want,
+                    "dot_u8 kernel {} len {len}",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    /// The asymmetric kernels must agree with the dequantize-then-f32-kernel
+    /// route: dequantize the codes (x̂ = off + s·c), run the f32 reference,
+    /// and compare. This is the parity property the two-stage scan relies on.
+    #[test]
+    fn int8_kernels_match_dequantized_f32() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for &len in LENS {
+            let q: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let c = codes(len, 52 ^ len as u64);
+            let s: Vec<f32> = (0..len).map(|_| rng.gen_range(0.001f32..0.01)).collect();
+            let off: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..0.0)).collect();
+            let deq: Vec<f32> = (0..len).map(|i| off[i] + s[i] * c[i] as f32).collect();
+            // dot_f32u8 computes q·c (raw codes), reference in f64.
+            let dot_ref: f64 = q.iter().zip(&c).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let dot_mag: f64 = q
+                .iter()
+                .zip(&c)
+                .map(|(&x, &y)| (x as f64 * y as f64).abs())
+                .sum();
+            // l2_sq_f32u8 on t = q − off equals ‖q − deq‖².
+            let t: Vec<f32> = q.iter().zip(&off).map(|(&x, &o)| x - o).collect();
+            let l2_ref: f64 = q
+                .iter()
+                .zip(&deq)
+                .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+                .sum();
+            for k in available_kernels() {
+                let ctx = format!("kernel {} len {len}", k.name());
+                assert_close(
+                    dot_f32u8_with(k, &q, &c),
+                    dot_ref,
+                    dot_mag,
+                    &format!("dot_f32u8 {ctx}"),
+                );
+                assert_close(
+                    l2_sq_f32u8_with(k, &t, &s, &c),
+                    l2_ref,
+                    l2_ref.max(dot_mag * 0.02),
+                    &format!("l2_sq_f32u8 {ctx}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_blocks_match_per_row_kernels() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for &dim in &[1usize, 3, 8, 17, 32, 64, 96] {
+            for &rows in &[0usize, 1, 2, 3, 4, 5, 7, 9, 16] {
+                let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let s: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.001f32..0.01)).collect();
+                let data = codes(rows * dim, (dim * 31 + rows) as u64);
+                let mut got_d = vec![0f32; rows];
+                let mut got_l = vec![0f32; rows];
+                dot_f32u8_block(&q, &data, &mut got_d);
+                l2_sq_f32u8_block(&q, &s, &data, &mut got_l);
+                for r in 0..rows {
+                    let row = &data[r * dim..(r + 1) * dim];
+                    let wd: f64 = q.iter().zip(row).map(|(&x, &y)| x as f64 * y as f64).sum();
+                    let wl: f64 = q
+                        .iter()
+                        .zip(&s)
+                        .zip(row)
+                        .map(|((&t, &sc), &cc)| (t as f64 - sc as f64 * cc as f64).powi(2))
+                        .sum();
+                    let mag: f64 = q
+                        .iter()
+                        .zip(row)
+                        .map(|(&x, &y)| (x as f64 * y as f64).abs())
+                        .sum();
+                    assert_close(
+                        got_d[r],
+                        wd,
+                        mag,
+                        &format!("dot_f32u8_block dim {dim} row {r}"),
+                    );
+                    assert_close(
+                        got_l[r],
+                        wl,
+                        wl.max(mag * 0.02),
+                        &format!("l2_sq_f32u8_block dim {dim} row {r}"),
+                    );
+                }
+            }
+        }
     }
 
     #[test]

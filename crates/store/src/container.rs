@@ -163,6 +163,12 @@ impl<'a> Container<'a> {
         self.frames.iter().any(|f| f.name == name)
     }
 
+    /// `(name, payload bytes)` for every section in file order, without
+    /// checking payload integrity — for size reporting (`dj info`).
+    pub fn section_sizes(&self) -> Vec<([u8; 4], usize)> {
+        self.frames.iter().map(|f| (f.name, f.len)).collect()
+    }
+
     /// Fetch a section's payload, verifying its checksum.
     ///
     /// * `None` — no such section.
@@ -204,6 +210,10 @@ mod tests {
         assert!(is_container(&bytes));
         let c = Container::parse(&bytes).unwrap();
         assert_eq!(c.section_names(), vec![*b"MODL", *b"HNSW"]);
+        assert_eq!(
+            c.section_sizes(),
+            vec![(*b"MODL", 5), (*b"HNSW", 100)]
+        );
         assert_eq!(c.section(*b"MODL", "MODL").unwrap().unwrap(), &[1, 2, 3, 4, 5]);
         assert_eq!(c.section(*b"HNSW", "HNSW").unwrap().unwrap(), &[9u8; 100][..]);
         assert!(c.section(*b"VECS", "VECS").is_none());

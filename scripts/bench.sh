@@ -1,17 +1,34 @@
 #!/usr/bin/env bash
-# Reproducible ANN performance baseline: builds the workspace in release
-# mode, runs the before/after kernel + parallelism benchmark, and validates
-# the emitted report against the bench_ann/v1 schema.
+# Reproducible performance baselines: builds the bench binaries in release
+# mode, runs the selected suite, and validates the emitted report against
+# its schema.
 #
 # Usage:
-#   scripts/bench.sh            # full corpus, writes BENCH_ann.json
-#   scripts/bench.sh --quick    # tiny corpus (CI smoke), same schema
+#   scripts/bench.sh [ann|quant] [--quick] [extra args...]
 #
-# Extra arguments are forwarded to bench_ann (e.g. --threads 4 --out p.json).
+#   scripts/bench.sh                  # ann suite, full corpus -> BENCH_ann.json
+#   scripts/bench.sh quant            # SQ8 suite, full corpus -> BENCH_quant.json
+#   scripts/bench.sh --quick          # ann suite, tiny corpus (CI smoke)
+#   scripts/bench.sh quant --quick    # SQ8 suite, tiny corpus (CI smoke)
+#
+# Extra arguments are forwarded to the bench binary (e.g. --threads 4
+# --out p.json). The first argument selects the suite; anything else is
+# forwarded, so the historical `scripts/bench.sh --quick` still runs the
+# ann suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_ann.json"
+SUITE="ann"
+if [[ $# -gt 0 && ("$1" == "ann" || "$1" == "quant") ]]; then
+    SUITE="$1"
+    shift
+fi
+
+case "$SUITE" in
+    ann) BIN="bench_ann"; OUT="BENCH_ann.json" ;;
+    quant) BIN="bench_quant"; OUT="BENCH_quant.json" ;;
+esac
+
 args=("$@")
 for ((i = 0; i < ${#args[@]}; i++)); do
     if [[ "${args[$i]}" == "--out" ]]; then
@@ -19,37 +36,62 @@ for ((i = 0; i < ${#args[@]}; i++)); do
     fi
 done
 
-cargo build --release -p deepjoin-bench --bin bench_ann
-./target/release/bench_ann --out "$OUT" "$@"
+cargo build --release -p deepjoin-bench --bin "$BIN"
+"./target/release/$BIN" --out "$OUT" "$@"
 
 # Schema check: required keys present, speedups and recalls are numbers.
-python3 - "$OUT" <<'EOF'
+python3 - "$SUITE" "$OUT" <<'EOF'
 import json, sys
 
-path = sys.argv[1]
+suite, path = sys.argv[1], sys.argv[2]
 with open(path) as f:
     report = json.load(f)
 
-required = {
-    "schema": str, "mode": str, "corpus": dict, "threads": int,
-    "kernel_before": str, "kernel_after": str,
-    "flat_qps_before": (int, float), "flat_qps_after": (int, float),
-    "flat_speedup": (int, float),
-    "hnsw_build_s_before": (int, float), "hnsw_build_s_after": (int, float),
-    "hnsw_build_speedup": (int, float),
-    "recall_at_k_before": (int, float), "recall_at_k_after": (int, float),
-}
+if suite == "ann":
+    required = {
+        "schema": str, "mode": str, "corpus": dict, "threads": int,
+        "kernel_before": str, "kernel_after": str,
+        "flat_qps_before": (int, float), "flat_qps_after": (int, float),
+        "flat_speedup": (int, float),
+        "hnsw_build_s_before": (int, float), "hnsw_build_s_after": (int, float),
+        "hnsw_build_speedup": (int, float),
+        "recall_at_k_before": (int, float), "recall_at_k_after": (int, float),
+    }
+else:
+    required = {
+        "schema": str, "mode": str, "corpus": dict, "threads": int,
+        "kernel": str, "rescore_factor": int,
+        "f32_bytes": int, "sq8_bytes": int, "bytes_ratio": (int, float),
+        "qps_f32": (int, float), "qps_sq8": (int, float),
+        "qps_speedup": (int, float),
+        "recall_at_k_sq8": (int, float), "recall_delta": (int, float),
+    }
 for key, ty in required.items():
     assert key in report, f"missing key: {key}"
     assert isinstance(report[key], ty), f"bad type for {key}: {report[key]!r}"
-assert report["schema"] == "bench_ann/v1", report["schema"]
+assert report["schema"] == f"bench_{suite}/v1", report["schema"]
 for key in ("n", "dim", "nq", "k"):
     assert isinstance(report["corpus"].get(key), int), f"corpus.{key}"
-assert 0.0 <= report["recall_at_k_before"] <= 1.0
-assert 0.0 <= report["recall_at_k_after"] <= 1.0
-print(f"{path}: schema OK "
-      f"(flat {report['flat_speedup']:.2f}x, "
-      f"build {report['hnsw_build_speedup']:.2f}x, "
-      f"recall {report['recall_at_k_before']:.4f} -> "
-      f"{report['recall_at_k_after']:.4f})")
+
+if suite == "ann":
+    assert 0.0 <= report["recall_at_k_before"] <= 1.0
+    assert 0.0 <= report["recall_at_k_after"] <= 1.0
+    print(f"{path}: schema OK "
+          f"(flat {report['flat_speedup']:.2f}x, "
+          f"build {report['hnsw_build_speedup']:.2f}x, "
+          f"recall {report['recall_at_k_before']:.4f} -> "
+          f"{report['recall_at_k_after']:.4f})")
+else:
+    assert 0.0 <= report["recall_at_k_sq8"] <= 1.0
+    # Size and accuracy invariants hold on any machine; the QPS speedup is
+    # only load-bearing on the full corpus (the quick corpus fits in cache,
+    # so the bandwidth advantage that motivates SQ8 barely shows).
+    assert report["bytes_ratio"] >= 3.5, report["bytes_ratio"]
+    assert report["recall_delta"] <= 0.01, report["recall_delta"]
+    if report["mode"] == "full":
+        assert report["qps_speedup"] >= 1.5, report["qps_speedup"]
+    print(f"{path}: schema OK "
+          f"(qps {report['qps_speedup']:.2f}x, "
+          f"bytes {report['bytes_ratio']:.2f}x smaller, "
+          f"recall@k {report['recall_at_k_sq8']:.4f})")
 EOF
