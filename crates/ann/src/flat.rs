@@ -13,6 +13,7 @@ use crate::budget::{Budget, BudgetedSearch};
 use crate::distance::Metric;
 use crate::index::{Neighbor, TopK, VectorIndex};
 use crate::sq8::Sq8Plane;
+use crate::tombstones::TombSet;
 
 /// Rows scored per block. Large enough to amortize dispatch, small enough
 /// that the score buffer stays in L1.
@@ -23,6 +24,9 @@ const SCAN_BLOCK: usize = 256;
 /// (`HnswIndex::flat_scan_budgeted`). The budget is polled once per scan
 /// block; on expiry the scan stops and returns the best-so-far top-k with
 /// `complete == false`. `visited` counts the rows actually scored.
+/// Tombstoned rows (`deleted`) are still scored by the block kernel but are
+/// never offered to the selector, so they cannot appear in results.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_budgeted(
     data: &[f32],
     dim: usize,
@@ -31,6 +35,7 @@ pub(crate) fn scan_budgeted(
     query: &[f32],
     k: usize,
     budget: &Budget,
+    deleted: Option<&TombSet>,
 ) -> BudgetedSearch {
     assert_eq!(query.len(), dim, "dimension mismatch");
     let n = data.len() / dim;
@@ -47,8 +52,20 @@ pub(crate) fn scan_budgeted(
         let rows = SCAN_BLOCK.min(n - base);
         let block = &data[base * dim..(base + rows) * dim];
         metric.surrogate_block(query, block, unit_norm, &mut scores[..rows]);
-        for (i, &s) in scores[..rows].iter().enumerate() {
-            top.push((base + i) as u32, s);
+        match deleted {
+            Some(tombs) if !tombs.is_empty() => {
+                for (i, &s) in scores[..rows].iter().enumerate() {
+                    let id = (base + i) as u32;
+                    if !tombs.contains(id) {
+                        top.push(id, s);
+                    }
+                }
+            }
+            _ => {
+                for (i, &s) in scores[..rows].iter().enumerate() {
+                    top.push((base + i) as u32, s);
+                }
+            }
         }
         base += rows;
     }
@@ -143,6 +160,19 @@ impl FlatIndex {
     /// polls the budget between blocks and, on expiry, returns the best
     /// top-k over the rows scored so far (`complete == false`).
     pub fn search_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        self.search_budgeted_filtered(query, k, budget, None)
+    }
+
+    /// [`Self::search_budgeted`] with tombstone filtering: ids in `deleted`
+    /// never appear in the results, in either the exact or the SQ8
+    /// two-stage path.
+    pub fn search_budgeted_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        budget: &Budget,
+        deleted: Option<&TombSet>,
+    ) -> BudgetedSearch {
         if let Some(plane) = &self.sq8 {
             return crate::sq8::scan_budgeted(
                 plane,
@@ -152,6 +182,7 @@ impl FlatIndex {
                 query,
                 k,
                 budget,
+                deleted,
             );
         }
         scan_budgeted(
@@ -162,6 +193,7 @@ impl FlatIndex {
             query,
             k,
             budget,
+            deleted,
         )
     }
 
@@ -392,6 +424,33 @@ mod tests {
         assert!(idx.sq8().is_none(), "stale plane must not survive an add");
         // And the new row is searchable.
         assert_eq!(idx.search(&[2., 2.], 1)[0].id, 2);
+    }
+
+    #[test]
+    fn filtered_scan_excludes_tombstones_in_both_scan_paths() {
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        for i in 0..600 {
+            idx.add(&[i as f32, 0.0]);
+        }
+        let tombs: TombSet = [0u32, 1, 2, 5, 300].into_iter().collect();
+        // Exact path: the nearest live rows are 3, 4, 6, 7.
+        let hits =
+            idx.search_budgeted_filtered(&[0.0, 0.0], 4, &Budget::unlimited(), Some(&tombs));
+        assert_eq!(hits.hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 4, 6, 7]);
+        // SQ8 two-stage path: same contract.
+        idx.quantize_sq8();
+        let hits =
+            idx.search_budgeted_filtered(&[0.0, 0.0], 4, &Budget::unlimited(), Some(&tombs));
+        assert_eq!(hits.hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 4, 6, 7]);
+        // An empty tombset behaves exactly like no tombset.
+        let none = idx.search_budgeted(&[0.0, 0.0], 4, &Budget::unlimited());
+        let empty = idx.search_budgeted_filtered(
+            &[0.0, 0.0],
+            4,
+            &Budget::unlimited(),
+            Some(&TombSet::new()),
+        );
+        assert_eq!(none.hits, empty.hits);
     }
 
     #[test]

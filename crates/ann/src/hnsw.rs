@@ -21,6 +21,7 @@ use crate::budget::{Budget, BudgetedSearch, Ticker};
 use crate::distance::Metric;
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
 use crate::sq8::{Sq8Plane, Sq8Query};
+use crate::tombstones::TombSet;
 
 /// Batch size for [`HnswIndex::add_batch_parallel`]. A constant (never a
 /// function of the thread count) so the produced graph is identical for any
@@ -667,6 +668,34 @@ impl HnswIndex {
     /// Unlimited budgets never read a clock, so the plain `search` path
     /// pays nothing for this hook.
     pub fn search_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        self.search_budgeted_filtered(query, k, budget, None)
+    }
+
+    /// [`Self::search_budgeted`] with tombstone filtering. The graph keeps
+    /// its dead nodes as *routing* waypoints (removing them would tear the
+    /// small-world structure), so the beam is widened by the tombstone
+    /// count — bounding the worst case where all deleted rows crowd the
+    /// true top-k — and dead ids are dropped from the final hits.
+    pub fn search_budgeted_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        budget: &Budget,
+        deleted: Option<&TombSet>,
+    ) -> BudgetedSearch {
+        match deleted {
+            Some(tombs) if !tombs.is_empty() => {
+                let wide_k = k.saturating_add(tombs.len()).min(self.len().max(k));
+                let mut out = self.search_budgeted_raw(query, wide_k, budget);
+                out.hits.retain(|h| !tombs.contains(h.id));
+                out.hits.truncate(k);
+                out
+            }
+            _ => self.search_budgeted_raw(query, k, budget),
+        }
+    }
+
+    fn search_budgeted_raw(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
         assert_eq!(query.len(), self.dim, "dimension mismatch");
         let Some(mut ep) = self.entry else {
             return BudgetedSearch {
@@ -766,6 +795,18 @@ impl HnswIndex {
     /// [`crate::FlatIndex::search_budgeted`]. Deliberately ignores any
     /// attached SQ8 plane — the bottom of the ladder stays exact f32.
     pub fn flat_scan_budgeted(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        self.flat_scan_budgeted_filtered(query, k, budget, None)
+    }
+
+    /// [`Self::flat_scan_budgeted`] with tombstone filtering: the exact
+    /// rescue path over live rows only.
+    pub fn flat_scan_budgeted_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        budget: &Budget,
+        deleted: Option<&TombSet>,
+    ) -> BudgetedSearch {
         crate::flat::scan_budgeted(
             &self.vectors,
             self.dim,
@@ -774,6 +815,7 @@ impl HnswIndex {
             query,
             k,
             budget,
+            deleted,
         )
     }
 
@@ -964,6 +1006,28 @@ mod tests {
         let hits = idx.search(target, 1);
         assert_eq!(hits[0].id, 17);
         assert!(hits[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn filtered_search_never_returns_tombstoned_ids() {
+        let data = random_data(800, 6, 8);
+        let mut idx = HnswIndex::new(6, HnswConfig::default());
+        idx.add_batch(&data);
+        let q = &data[42 * 6..43 * 6];
+        // Tombstone the query's own row plus its current top neighbors:
+        // the worst case, where every dead row crowds the true top-k.
+        let tombs: TombSet = idx.search(q, 10).into_iter().map(|h| h.id).collect();
+        let hits = idx.search_budgeted_filtered(q, 10, &Budget::unlimited(), Some(&tombs));
+        assert_eq!(hits.hits.len(), 10, "widened beam still fills k");
+        for h in &hits.hits {
+            assert!(!tombs.contains(h.id), "tombstoned id {} returned", h.id);
+        }
+        // The rescue scan obeys the same contract.
+        let rescue = idx.flat_scan_budgeted_filtered(q, 10, &Budget::unlimited(), Some(&tombs));
+        assert_eq!(rescue.hits.len(), 10);
+        for h in &rescue.hits {
+            assert!(!tombs.contains(h.id));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::flat::FlatIndex;
 use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::index::VectorIndex;
 use crate::sq8::Sq8Plane;
+use crate::tombstones::TombSet;
 
 /// Magic bytes of a flat-index payload.
 pub const MAGIC_FLAT: &[u8; 4] = b"DJF1";
@@ -37,6 +38,8 @@ pub const MAGIC_HNSW: &[u8; 4] = b"DJH1";
 pub const MAGIC_HNSW_GRAPH: &[u8; 4] = b"DJG1";
 /// Magic bytes of an SQ8 quantized-plane payload.
 pub const MAGIC_SQ8: &[u8; 4] = b"DJQ1";
+/// Magic bytes of a tombstone-bitmap payload.
+pub const MAGIC_TOMBS: &[u8; 4] = b"DJT1";
 const VERSION: u8 = 1;
 
 fn metric_tag(m: Metric) -> u8 {
@@ -400,6 +403,41 @@ pub fn decode_sq8(buf: &[u8]) -> Result<Sq8Plane, DecodeError> {
     decode_sq8_in(buf, "SQ8")
 }
 
+/// Serialize a [`TombSet`] (`DJT1`): word count, then the raw bitset words.
+pub fn encode_tombs(tombs: &TombSet) -> Vec<u8> {
+    let mut out = Writer::with_capacity(16 + tombs.words().len() * 8);
+    out.put_slice(MAGIC_TOMBS);
+    out.put_u8(VERSION);
+    out.put_u64_le(tombs.words().len() as u64);
+    for &w in tombs.words() {
+        out.put_u64_le(w);
+    }
+    out.into_vec()
+}
+
+/// Deserialize a [`TombSet`], attributing errors to `section`.
+pub fn decode_tombs_in(buf: &[u8], section: &'static str) -> Result<TombSet, DecodeError> {
+    let mut r = Reader::new(buf, section);
+    r.expect_magic(MAGIC_TOMBS)?;
+    r.expect_version(VERSION)?;
+    let n = r.count(8)?;
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(r.u64_le()?);
+    }
+    if !r.is_empty() {
+        return Err(r.error(DecodeErrorKind::Invalid(
+            "tombstone payload has trailing bytes",
+        )));
+    }
+    Ok(TombSet::from_words(words))
+}
+
+/// Deserialize a [`TombSet`].
+pub fn decode_tombs(buf: &[u8]) -> Result<TombSet, DecodeError> {
+    decode_tombs_in(buf, "TOMB")
+}
+
 fn assemble_hnsw(
     r: &Reader<'_>,
     parts: GraphParts,
@@ -604,6 +642,21 @@ mod tests {
                 assert_eq!(back.dim(), plane.dim());
             }
         }
+    }
+
+    #[test]
+    fn tombs_roundtrip_and_reject_corruption() {
+        let tombs: TombSet = [0u32, 5, 64, 9000].into_iter().collect();
+        let bytes = encode_tombs(&tombs);
+        assert_eq!(decode_tombs(&bytes).unwrap(), tombs);
+        for cut in 0..bytes.len() {
+            assert!(decode_tombs(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_tombs(&trailing).is_err());
+        let empty = encode_tombs(&TombSet::new());
+        assert!(decode_tombs(&empty).unwrap().is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::index::{finalize_hits, Neighbor, VectorIndex};
 use crate::kmeans::{Kmeans, KmeansConfig};
 use crate::pq::{PqConfig, ProductQuantizer};
 use crate::sq8::{Sq8Plane, RESCORE_FACTOR};
+use crate::tombstones::TombSet;
 
 /// IVFPQ parameters.
 #[derive(Debug, Clone, Copy)]
@@ -137,6 +138,64 @@ impl IvfPqIndex {
     pub fn sq8(&self) -> Option<&Sq8Plane> {
         self.sq8.as_ref()
     }
+
+    /// [`VectorIndex::search`] with tombstone filtering: ids in `deleted`
+    /// are skipped at ADC candidate collection, so they neither appear in
+    /// results nor crowd live rows out of the refinement shortlist.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        deleted: Option<&TombSet>,
+    ) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let (Some(coarse), Some(pq)) = (self.coarse.as_ref(), self.pq.as_ref()) else {
+            return Vec::new();
+        };
+        let probes = coarse.assign_n(query, self.config.nprobe.min(coarse.k()));
+        let mut hits = Vec::new();
+        for p in probes {
+            let q_residual: Vec<f32> = query
+                .iter()
+                .zip(coarse.centroid(p))
+                .map(|(a, b)| a - b)
+                .collect();
+            let table = pq.adc_table(&q_residual);
+            for (id, code) in &self.lists[p] {
+                if deleted.is_some_and(|t| t.contains(*id)) {
+                    continue;
+                }
+                hits.push(Neighbor {
+                    id: *id,
+                    distance: pq.adc_distance(&table, code),
+                });
+            }
+        }
+        // SQ8 refinement: rerank the top ADC candidates against the
+        // quantized originals. The asymmetric L2 surrogate is exact to the
+        // dequantized row, so the rerank wipes out most of the PQ error.
+        if let Some(plane) = &self.sq8 {
+            let shortlist = finalize_hits(hits, k.saturating_mul(RESCORE_FACTOR).max(k));
+            let prep = plane.prepare(query, Metric::L2, false);
+            let refined = shortlist
+                .into_iter()
+                .map(|h| Neighbor {
+                    id: h.id,
+                    distance: plane.surrogate(&prep, h.id),
+                })
+                .collect();
+            let mut out = finalize_hits(refined, k);
+            for h in &mut out {
+                h.distance = h.distance.sqrt();
+            }
+            return out;
+        }
+        let mut out = finalize_hits(hits, k);
+        for h in &mut out {
+            h.distance = h.distance.sqrt();
+        }
+        out
+    }
 }
 
 impl VectorIndex for IvfPqIndex {
@@ -173,50 +232,7 @@ impl VectorIndex for IvfPqIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        let (Some(coarse), Some(pq)) = (self.coarse.as_ref(), self.pq.as_ref()) else {
-            return Vec::new();
-        };
-        let probes = coarse.assign_n(query, self.config.nprobe.min(coarse.k()));
-        let mut hits = Vec::new();
-        for p in probes {
-            let q_residual: Vec<f32> = query
-                .iter()
-                .zip(coarse.centroid(p))
-                .map(|(a, b)| a - b)
-                .collect();
-            let table = pq.adc_table(&q_residual);
-            for (id, code) in &self.lists[p] {
-                hits.push(Neighbor {
-                    id: *id,
-                    distance: pq.adc_distance(&table, code),
-                });
-            }
-        }
-        // SQ8 refinement: rerank the top ADC candidates against the
-        // quantized originals. The asymmetric L2 surrogate is exact to the
-        // dequantized row, so the rerank wipes out most of the PQ error.
-        if let Some(plane) = &self.sq8 {
-            let shortlist = finalize_hits(hits, k.saturating_mul(RESCORE_FACTOR).max(k));
-            let prep = plane.prepare(query, Metric::L2, false);
-            let refined = shortlist
-                .into_iter()
-                .map(|h| Neighbor {
-                    id: h.id,
-                    distance: plane.surrogate(&prep, h.id),
-                })
-                .collect();
-            let mut out = finalize_hits(refined, k);
-            for h in &mut out {
-                h.distance = h.distance.sqrt();
-            }
-            return out;
-        }
-        let mut out = finalize_hits(hits, k);
-        for h in &mut out {
-            h.distance = h.distance.sqrt();
-        }
-        out
+        self.search_filtered(query, k, None)
     }
 }
 
@@ -333,6 +349,37 @@ mod tests {
                     h.id,
                     h.distance
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_search_never_returns_tombstoned_ids() {
+        let dim = 8;
+        let data = clustered(1500, dim, 16, 9);
+        for refine_sq8 in [false, true] {
+            let mut idx = IvfPqIndex::new(
+                dim,
+                IvfPqConfig {
+                    nlist: 16,
+                    nprobe: 8,
+                    pq: PqConfig {
+                        m: 4,
+                        ks: 32,
+                        ..Default::default()
+                    },
+                    refine_sq8,
+                    ..Default::default()
+                },
+            );
+            idx.train(&data);
+            idx.add_batch(&data);
+            let q = &data[7 * dim..8 * dim];
+            let tombs: TombSet = idx.search(q, 10).into_iter().map(|h| h.id).collect();
+            let hits = idx.search_filtered(q, 10, Some(&tombs));
+            assert_eq!(hits.len(), 10, "refine_sq8 {refine_sq8}");
+            for h in &hits {
+                assert!(!tombs.contains(h.id), "tombstoned id {} returned", h.id);
             }
         }
     }

@@ -19,6 +19,7 @@ pub mod ivfpq;
 pub mod kmeans;
 pub mod pq;
 pub mod sq8;
+pub mod tombstones;
 
 pub use budget::{Budget, BudgetedSearch};
 pub use distance::Metric;
@@ -29,3 +30,4 @@ pub use ivfpq::{IvfPqConfig, IvfPqIndex};
 pub use kmeans::{Kmeans, KmeansConfig};
 pub use pq::{PqConfig, ProductQuantizer};
 pub use sq8::{Sq8Plane, Sq8Query, RESCORE_FACTOR};
+pub use tombstones::TombSet;

@@ -19,6 +19,7 @@
 use crate::budget::{Budget, BudgetedSearch};
 use crate::distance::Metric;
 use crate::index::TopK;
+use crate::tombstones::TombSet;
 
 /// Candidate over-fetch for the quantized first stage: the quantized scan
 /// keeps `RESCORE_FACTOR · k` rows for the exact rescore. 4 is generous —
@@ -312,6 +313,7 @@ enum Prepared {
 /// The budget is polled once per code block; on expiry the survivors found
 /// so far are still rescored (exactness is preserved) and the result is
 /// marked incomplete.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_budgeted(
     plane: &Sq8Plane,
     exact: &[f32],
@@ -320,6 +322,7 @@ pub(crate) fn scan_budgeted(
     query: &[f32],
     k: usize,
     budget: &Budget,
+    deleted: Option<&TombSet>,
 ) -> BudgetedSearch {
     let dim = plane.dim;
     debug_assert_eq!(exact.len(), plane.codes.len());
@@ -338,8 +341,22 @@ pub(crate) fn scan_budgeted(
         }
         let rows = SCAN_BLOCK.min(n - base);
         plane.surrogate_block(&prep, base, &mut scores[..rows]);
-        for (i, &s) in scores[..rows].iter().enumerate() {
-            top.push((base + i) as u32, s);
+        // Tombstoned rows are dropped at candidate generation, before the
+        // rescore pool — a dead row must not displace a live candidate.
+        match deleted {
+            Some(tombs) if !tombs.is_empty() => {
+                for (i, &s) in scores[..rows].iter().enumerate() {
+                    let id = (base + i) as u32;
+                    if !tombs.contains(id) {
+                        top.push(id, s);
+                    }
+                }
+            }
+            _ => {
+                for (i, &s) in scores[..rows].iter().enumerate() {
+                    top.push((base + i) as u32, s);
+                }
+            }
         }
         base += rows;
     }
@@ -485,6 +502,7 @@ mod tests {
             &q,
             5,
             &Budget::unlimited(),
+            None,
         );
         assert!(out.complete);
         assert_eq!(out.hits.len(), 5);
@@ -510,7 +528,7 @@ mod tests {
         let expired = Budget::with_deadline(
             std::time::Instant::now() - std::time::Duration::from_millis(1),
         );
-        let out = scan_budgeted(&plane, &data, Metric::L2, false, &q, 5, &expired);
+        let out = scan_budgeted(&plane, &data, Metric::L2, false, &q, 5, &expired, None);
         assert!(!out.complete);
         for h in &out.hits {
             let row = &data[h.id as usize * dim..(h.id as usize + 1) * dim];
@@ -546,6 +564,7 @@ mod tests {
             &[0f32; 8],
             3,
             &Budget::unlimited(),
+            None,
         );
         assert!(out.complete);
         assert!(out.hits.is_empty());

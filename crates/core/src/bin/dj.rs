@@ -7,10 +7,22 @@
 //! dj search   <in.lake> <in.model> [--k K] [--query-index I]
 //! dj build    <in.model> <out.model> --quantize sq8
 //! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]
+//!             [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N]
 //! dj query    <addr> --cells a,b,c [--name NAME] [--k K]
 //! dj ctl      <addr> ping|stats|reload [path]|shutdown
+//! dj ctl      <addr> add-table <title> --columns "name:a|b|c;name2:x|y"
+//! dj ctl      <addr> drop-table <title>
 //! dj info     <in.model>
 //! ```
+//!
+//! `dj serve --live DIR` enables crash-safe live ingest (DESIGN.md §13):
+//! `dj ctl add-table` / `drop-table` journal mutations into `DIR` (WAL +
+//! manifest + immutable segments) and take effect on the very next query
+//! without a restart. A SIGKILL at any moment loses nothing that was
+//! acknowledged: on restart the journal tail replays on top of the last
+//! flushed manifest. `--flush-rows` bounds the in-memory write buffer,
+//! and a background thread compacts small segments every `--compact-secs`
+//! once `--compact-min-segs` of them exist (dropping tombstoned rows).
 //!
 //! `dj build --quantize sq8` rewrites a trained artifact with an SQ8
 //! quantized vector plane (`SQ8V` section): searches generate candidates
@@ -88,7 +100,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]\n  dj query <addr> --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N]\n  dj query <addr> --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -451,6 +463,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .map(|ms| std::time::Duration::from_millis(ms as u64));
     let query_cache =
         parse_nonnegative(args, "--query-cache", "0, caching disabled")?.unwrap_or(0);
+    let live_dir = flag(args, "--live");
+    let flush_rows = parse_positive(args, "--flush-rows", "256")?
+        .unwrap_or(deepjoin::live::DEFAULT_FLUSH_ROWS);
+    let compact_secs = parse_positive(args, "--compact-secs", "5")?.unwrap_or(5);
+    let compact_min_segs = parse_positive(args, "--compact-min-segs", "4")?.unwrap_or(4);
 
     // The lake provides the human-readable labels for hits; it is loaded
     // once and shared across model reloads.
@@ -459,7 +476,45 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let repo = std::sync::Arc::new(repo);
     eprintln!("lake {lake}: {} columns", repo.len());
 
-    let loader = deepjoin::serving::snapshot_loader(model_path.clone(), repo, query_cache);
+    // With --live, open (and crash-recover) the live directory against the
+    // model, then hand every snapshot the same lake so mutations survive
+    // hot reloads. The compactor thread belongs to this function, not to
+    // any snapshot: it runs for the server's whole life.
+    let mut compactor = None;
+    let loader = match &live_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let model = load_model_file(model_path)?;
+            if model.indexed_len() == 0 {
+                return Err(format!("{model_path} was saved without an index").into());
+            }
+            let opened = deepjoin::live::LiveLake::open_with_flush_rows(
+                std::sync::Arc::new(StdIo),
+                std::path::PathBuf::from(dir),
+                &model,
+                flush_rows,
+            )?;
+            for w in &opened.warnings {
+                eprintln!("warning: {dir}: {w}");
+            }
+            let stats = opened.lake.stats();
+            eprintln!(
+                "live lake {dir}: {} segment(s), {} live row(s), {} pending tombstone(s)",
+                stats.segments, stats.live_rows, stats.pending_tombstones
+            );
+            compactor = Some(opened.lake.spawn_compactor(
+                std::time::Duration::from_secs(compact_secs as u64),
+                compact_min_segs,
+            ));
+            deepjoin::serving::live_snapshot_loader(
+                model_path.clone(),
+                repo,
+                query_cache,
+                opened.lake,
+            )
+        }
+        None => deepjoin::serving::snapshot_loader(model_path.clone(), repo, query_cache),
+    };
     let server = Server::start(
         ServerConfig {
             addr,
@@ -480,8 +535,37 @@ fn cmd_serve(args: &[String]) -> CliResult {
     use std::io::Write as _;
     std::io::stdout().flush()?;
     server.run()?;
+    if let Some(c) = compactor {
+        c.stop();
+    }
     eprintln!("dj-serve drained cleanly");
     Ok(())
+}
+
+/// Parse `--columns "name:a|b|c;name2:x|y"` — columns split on `;`, the
+/// name from its cells on the first `:`, cells on `|`.
+fn parse_ctl_columns(spec: &str) -> Result<Vec<(String, Vec<String>)>, String> {
+    let mut columns = Vec::new();
+    for part in spec.split(';').filter(|p| !p.is_empty()) {
+        let (name, cells) = part.split_once(':').ok_or_else(|| {
+            format!("column spec '{part}' has no ':'; expected name:cell|cell|cell")
+        })?;
+        if name.is_empty() {
+            return Err(format!("column spec '{part}' has an empty name"));
+        }
+        columns.push((
+            name.to_string(),
+            cells
+                .split('|')
+                .filter(|c| !c.is_empty())
+                .map(str::to_string)
+                .collect(),
+        ));
+    }
+    if columns.is_empty() {
+        return Err("no columns: pass --columns \"name:a|b|c;name2:x|y\"".to_string());
+    }
+    Ok(columns)
 }
 
 /// Split `--cells a,b,c`; a missing flag reads newline-separated cells
@@ -522,7 +606,9 @@ fn cmd_query(args: &[String]) -> CliResult {
 
 fn cmd_ctl(args: &[String]) -> CliResult {
     let addr = args.first().ok_or("missing <addr>")?;
-    let verb = args.get(1).ok_or("missing verb: ping|stats|reload|shutdown")?;
+    let verb = args
+        .get(1)
+        .ok_or("missing verb: ping|stats|reload|shutdown|add-table|drop-table")?;
     let mut client = Client::connect(addr)?;
     match verb.as_str() {
         "ping" => {
@@ -541,6 +627,12 @@ fn cmd_ctl(args: &[String]) -> CliResult {
             println!("queue capacity  : {}", s.queue_capacity);
             println!("cache hits      : {}", s.cache_hits);
             println!("cache misses    : {}", s.cache_misses);
+            if let Some(live) = &s.live {
+                println!("live segments   : {}", live.segments);
+                println!("wal bytes       : {}", live.wal_bytes);
+                println!("pending tombs   : {}", live.pending_tombstones);
+                println!("live rows       : {}", live.live_rows);
+            }
         }
         "reload" => {
             let (generation, warnings) = client.reload(args.get(2).map(String::as_str))?;
@@ -553,7 +645,25 @@ fn cmd_ctl(args: &[String]) -> CliResult {
             client.shutdown()?;
             println!("server draining");
         }
-        other => return Err(format!("unknown ctl verb '{other}': ping|stats|reload|shutdown").into()),
+        "add-table" => {
+            let title = args.get(2).ok_or("missing <title>")?;
+            let spec = flag(args, "--columns")
+                .ok_or("missing --columns \"name:a|b|c;name2:x|y\"")?;
+            let columns = parse_ctl_columns(&spec)?;
+            let (seq, applied) = client.add_table(title, &columns)?;
+            println!("added {applied} column(s) to '{title}' (journal seq {seq})");
+        }
+        "drop-table" => {
+            let title = args.get(2).ok_or("missing <title>")?;
+            let (seq, applied) = client.drop_table(title)?;
+            println!("dropped {applied} column(s) of '{title}' (journal seq {seq})");
+        }
+        other => {
+            return Err(format!(
+                "unknown ctl verb '{other}': ping|stats|reload|shutdown|add-table|drop-table"
+            )
+            .into())
+        }
     }
     Ok(())
 }
@@ -662,6 +772,23 @@ mod tests {
             assert!(err.contains("--query-index"), "{err}");
             assert!(err.contains(&format!("'{bad}'")), "{err}");
         }
+    }
+
+    #[test]
+    fn ctl_columns_spec_parses_and_rejects_garbage() {
+        let cols = parse_ctl_columns("id:1|2|3;sku:a|b").unwrap();
+        assert_eq!(
+            cols,
+            vec![
+                ("id".to_string(), vec!["1".into(), "2".into(), "3".into()]),
+                ("sku".to_string(), vec!["a".into(), "b".into()]),
+            ]
+        );
+        // Empty cells are allowed (a column of no values is still a column).
+        assert_eq!(parse_ctl_columns("empty:").unwrap()[0].1.len(), 0);
+        assert!(parse_ctl_columns("no-colon").is_err());
+        assert!(parse_ctl_columns(":cells|but|no|name").is_err());
+        assert!(parse_ctl_columns("").is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod baselines;
 pub mod batch;
 pub mod checkpoint;
+pub mod live;
 pub mod model;
 pub mod persist;
 pub mod rerank;
@@ -49,13 +50,14 @@ pub mod train;
 pub mod trainer;
 
 pub use checkpoint::{CheckpointMeta, CheckpointStore, LoadedCheckpoint};
+pub use live::{model_fingerprint, Compactor, LiveLake, LiveLakeStats, LiveOpen, LiveView};
 pub use model::{
     DeepJoin, DeepJoinConfig, IndexHealth, IndexState, LadderSearch, TrainLineage, TrainReport,
     Variant,
 };
 pub use persist::{load_model, save_model, LoadedModel};
 pub use rerank::{RerankConfig, RerankingSearcher};
-pub use serving::{snapshot_loader, ServedModel};
+pub use serving::{live_snapshot_loader, snapshot_loader, ServedModel};
 pub use text::{CellFrequencies, Textizer, TransformOption};
 pub use train::{FineTuneConfig, JoinType, TrainDataConfig};
 pub use trainer::{fine_tune_checkpointed, TrainOutcome, TrainerConfig};

@@ -1,0 +1,1111 @@
+//! The crash-safe live lake (DESIGN.md §13): WAL-journaled incremental
+//! ingest, tombstoned deletes, and kill-safe flush/compaction layered on
+//! top of an immutable base snapshot.
+//!
+//! The base model (`dj train` output) stays frozen; mutations accumulate
+//! beside it in a *live directory*:
+//!
+//! * `wal.djwl` — the journal. `add-table` / `drop-table` append one
+//!   checksummed record each ([`deepjoin_store::Wal`]) and are committed
+//!   the moment the append returns; a SIGKILL at any byte boundary
+//!   recovers exactly the committed prefix.
+//! * in-memory **memtable** — journaled-but-unflushed columns, searched by
+//!   exact flat scan alongside the base index.
+//! * `seg-NNNNNN.djar` — immutable flushed segments (atomic rename), each
+//!   an exact-scan slab of embedded live columns.
+//! * `manifest.djar` — the single source of truth: which segments exist,
+//!   the journal watermark (`applied_seq`), the id allocator, and the
+//!   tombstone bitmap (`TOMB` section). Rewritten atomically; every state
+//!   transition (flush, compaction) becomes durable exactly when the
+//!   manifest rename lands, which is what makes those transitions
+//!   kill-safe.
+//!
+//! Ids are global and stable: the base snapshot owns `[0, base_len)`,
+//! live columns are allocated upward from `base_len` and never reused —
+//! so tombstones, WAL records, and search results all speak one id
+//! language, and replay is idempotent (`seq <= applied_seq` is skipped).
+//!
+//! Deletes are logical until compaction: [`LiveLake::drop_table`] journals
+//! the *resolved* ids (so replay cannot re-resolve differently), marks
+//! them in the tombstone bitmap, and every search path filters through it
+//! — effective on the very next query, no restart. Compaction rewrites
+//! the surviving segment rows into one segment, physically dropping dead
+//! rows; a corrupt tombstone bitmap degrades to serving-without-deletes
+//! with a warning rather than refusing to load.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use deepjoin_ann::budget::{Budget, BudgetedSearch};
+use deepjoin_ann::index::Neighbor;
+use deepjoin_ann::io::{decode_tombs_in, encode_tombs};
+use deepjoin_ann::{FlatIndex, Metric, TombSet, VectorIndex};
+use deepjoin_lake::column::{Column, ColumnMeta};
+use deepjoin_store::codec::{DecodeError, DecodeErrorKind, Reader, Writer};
+use deepjoin_store::{Container, ContainerBuilder, SharedIo, Wal, WalOpen};
+
+use crate::model::DeepJoin;
+
+/// The journal file inside a live directory.
+pub const WAL_FILE: &str = "wal.djwl";
+/// The manifest file inside a live directory.
+pub const MANIFEST_FILE: &str = "manifest.djar";
+/// Manifest container section: segment list + watermarks.
+pub const SECTION_MANIFEST: [u8; 4] = *b"MNFS";
+/// Manifest container section: the tombstone bitmap (`DJT1`).
+pub const SECTION_TOMBS: [u8; 4] = *b"TOMB";
+/// Segment container section: the embedded live rows.
+pub const SECTION_SEGMENT: [u8; 4] = *b"SEGM";
+
+const MANIFEST_MAGIC: &[u8; 4] = b"DJMF";
+const MANIFEST_VERSION: u8 = 1;
+const SEGMENT_MAGIC: &[u8; 4] = b"DJS1";
+const SEGMENT_VERSION: u8 = 1;
+
+/// WAL record body tags.
+const OP_ADD_TABLE: u8 = 1;
+const OP_DROP_TABLE: u8 = 2;
+
+/// Memtable rows that trigger an automatic flush from `add_table`.
+pub const DEFAULT_FLUSH_ROWS: usize = 256;
+
+/// Identity of the model a live directory belongs to: FNV-1a over the
+/// embedding dimension, the base snapshot's indexed length, the vocabulary
+/// size, and the encoder seed. Live embeddings are only meaningful under
+/// the model that produced them, so [`LiveLake::open`] refuses a directory
+/// whose fingerprint disagrees.
+pub fn model_fingerprint(model: &DeepJoin) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(model.config().dim as u64);
+    eat(model.indexed_len() as u64);
+    eat(model.vocabulary().len() as u64);
+    eat(model.encoder().config.seed);
+    h
+}
+
+/// One live (non-base) column: its stable global id, its provenance
+/// labels, and its embedding under the base model.
+#[derive(Clone)]
+struct LiveRow {
+    id: u32,
+    table: String,
+    column: String,
+    embedding: Vec<f32>,
+}
+
+#[derive(Clone)]
+struct SegmentMeta {
+    file: String,
+    rows: u32,
+}
+
+/// An immutable, loaded segment: parallel id/label arrays plus an exact
+/// flat index over the rows. Shared by `Arc` into every published view.
+struct Segment {
+    ids: Arc<Vec<u32>>,
+    labels: Arc<Vec<(String, String)>>,
+    index: Arc<FlatIndex>,
+}
+
+impl Segment {
+    fn build(rows: &[LiveRow], dim: usize, metric: Metric) -> Self {
+        let mut index = FlatIndex::new(dim.max(1), metric).with_unit_norm(true);
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut labels = Vec::with_capacity(rows.len());
+        for r in rows {
+            index.add(&r.embedding);
+            ids.push(r.id);
+            labels.push((r.table.clone(), r.column.clone()));
+        }
+        Segment {
+            ids: Arc::new(ids),
+            labels: Arc::new(labels),
+            index: Arc::new(index),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Manifest {
+    fingerprint: u64,
+    /// Journal records with `seq <= applied_seq` are reflected in the
+    /// segments + tombstone bitmap; replay skips them (idempotence).
+    applied_seq: u64,
+    /// Next global column id to allocate (starts at `base_len`).
+    next_id: u32,
+    /// Next segment file number (never reused, so a half-compacted
+    /// directory cannot collide names).
+    next_seg: u64,
+    base_len: u32,
+    segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    fn fresh(fingerprint: u64, base_len: u32) -> Self {
+        Manifest {
+            fingerprint,
+            applied_seq: 0,
+            next_id: base_len,
+            next_seg: 0,
+            base_len,
+            segments: Vec::new(),
+        }
+    }
+}
+
+fn encode_manifest(m: &Manifest, tombs: &TombSet) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_slice(MANIFEST_MAGIC);
+    w.put_u8(MANIFEST_VERSION);
+    w.put_u64_le(m.fingerprint);
+    w.put_u64_le(m.applied_seq);
+    w.put_u32_le(m.next_id);
+    w.put_u64_le(m.next_seg);
+    w.put_u32_le(m.base_len);
+    w.put_u32_le(m.segments.len() as u32);
+    for s in &m.segments {
+        w.put_str(&s.file);
+        w.put_u32_le(s.rows);
+    }
+    ContainerBuilder::new()
+        .section(SECTION_MANIFEST, w.into_vec())
+        .section(SECTION_TOMBS, encode_tombs(tombs))
+        .build()
+}
+
+/// Decode a manifest container. A damaged `MNFS` section is fatal to the
+/// manifest (the caller degrades to journal-only recovery); a damaged
+/// `TOMB` section only costs the deletes — `None` plus a warning.
+fn decode_manifest(bytes: &[u8]) -> Result<(Manifest, Option<TombSet>, Vec<String>), DecodeError> {
+    let container = Container::parse(bytes)?;
+    let payload = match container.section(SECTION_MANIFEST, "MNFS") {
+        None => {
+            return Err(DecodeError::new(
+                DecodeErrorKind::Invalid("manifest container has no MNFS section"),
+                "MNFS",
+                0,
+            ))
+        }
+        Some(res) => res?,
+    };
+    let mut r = Reader::new(payload, "MNFS");
+    r.expect_magic(MANIFEST_MAGIC)?;
+    r.expect_version(MANIFEST_VERSION)?;
+    let fingerprint = r.u64_le()?;
+    let applied_seq = r.u64_le()?;
+    let next_id = r.u32_le()?;
+    let next_seg = r.u64_le()?;
+    let base_len = r.u32_le()?;
+    // Each segment entry is at least a 4-byte name length + 4-byte rows.
+    let n = r.count_u32(8)?;
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let file = r.str_prefixed()?;
+        segments.push(SegmentMeta {
+            file,
+            rows: r.u32_le()?,
+        });
+    }
+    if !r.is_empty() {
+        return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after manifest")));
+    }
+    let manifest = Manifest {
+        fingerprint,
+        applied_seq,
+        next_id,
+        next_seg,
+        base_len,
+        segments,
+    };
+    let mut warnings = Vec::new();
+    let tombs = match container.section(SECTION_TOMBS, "TOMB") {
+        None => {
+            warnings.push(
+                "manifest has no tombstone section; serving without deletes — \
+                 dropped columns may reappear until the next flush"
+                    .to_string(),
+            );
+            None
+        }
+        Some(res) => match res.and_then(decode_tombs) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                warnings.push(format!(
+                    "tombstone bitmap failed verification ({e}); serving without deletes — \
+                     dropped columns may reappear until the next flush"
+                ));
+                None
+            }
+        },
+    };
+    Ok((manifest, tombs, warnings))
+}
+
+fn decode_tombs(buf: &[u8]) -> Result<TombSet, DecodeError> {
+    decode_tombs_in(buf, "TOMB")
+}
+
+fn encode_segment(rows: &[LiveRow], dim: usize) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + rows.len() * (16 + dim * 4));
+    w.put_slice(SEGMENT_MAGIC);
+    w.put_u8(SEGMENT_VERSION);
+    w.put_u32_le(dim as u32);
+    w.put_u32_le(rows.len() as u32);
+    for r in rows {
+        w.put_u32_le(r.id);
+        w.put_str(&r.table);
+        w.put_str(&r.column);
+    }
+    let mut data = Vec::with_capacity(rows.len() * dim);
+    for r in rows {
+        data.extend_from_slice(&r.embedding);
+    }
+    w.put_f32s(&data);
+    ContainerBuilder::new()
+        .section(SECTION_SEGMENT, w.into_vec())
+        .build()
+}
+
+fn decode_segment(bytes: &[u8], dim: usize) -> Result<Vec<LiveRow>, DecodeError> {
+    let container = Container::parse(bytes)?;
+    let payload = match container.section(SECTION_SEGMENT, "SEGM") {
+        None => {
+            return Err(DecodeError::new(
+                DecodeErrorKind::Invalid("segment container has no SEGM section"),
+                "SEGM",
+                0,
+            ))
+        }
+        Some(res) => res?,
+    };
+    let mut r = Reader::new(payload, "SEGM");
+    r.expect_magic(SEGMENT_MAGIC)?;
+    r.expect_version(SEGMENT_VERSION)?;
+    let seg_dim = r.u32_le()? as usize;
+    if seg_dim != dim {
+        return Err(r.error(DecodeErrorKind::Invalid(
+            "segment dimensionality disagrees with the model",
+        )));
+    }
+    // A row header is at least id + two string length prefixes = 12 bytes.
+    let n = r.count_u32(12)?;
+    let mut heads = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32_le()?;
+        let table = r.str_prefixed()?;
+        let column = r.str_prefixed()?;
+        heads.push((id, table, column));
+    }
+    let data = r.f32s()?;
+    if data.len() != n * dim {
+        return Err(r.error(DecodeErrorKind::Invalid(
+            "segment vector block does not cover its rows",
+        )));
+    }
+    if !r.is_empty() {
+        return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after segment")));
+    }
+    Ok(heads
+        .into_iter()
+        .zip(data.chunks(dim.max(1)))
+        .map(|((id, table, column), chunk)| LiveRow {
+            id,
+            table,
+            column,
+            embedding: chunk.to_vec(),
+        })
+        .collect())
+}
+
+/// Decoded WAL record bodies.
+enum WalOp {
+    AddTable {
+        title: String,
+        first_id: u32,
+        columns: Vec<(String, Vec<String>)>,
+    },
+    DropTable {
+        ids: Vec<u32>,
+    },
+}
+
+fn encode_add(title: &str, first_id: u32, columns: &[(String, Vec<String>)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_ADD_TABLE);
+    w.put_str(title);
+    w.put_u32_le(first_id);
+    w.put_u32_le(columns.len() as u32);
+    for (name, cells) in columns {
+        w.put_str(name);
+        w.put_u32_le(cells.len() as u32);
+        for c in cells {
+            w.put_str(c);
+        }
+    }
+    w.into_vec()
+}
+
+fn encode_drop(title: &str, ids: &[u32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_DROP_TABLE);
+    w.put_str(title);
+    w.put_u32_le(ids.len() as u32);
+    for &id in ids {
+        w.put_u32_le(id);
+    }
+    w.into_vec()
+}
+
+fn decode_record(body: &[u8]) -> Result<WalOp, DecodeError> {
+    let mut r = Reader::new(body, "wal-record");
+    let op = match r.u8()? {
+        OP_ADD_TABLE => {
+            let title = r.str_prefixed()?;
+            let first_id = r.u32_le()?;
+            let n = r.count_u32(8)?;
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str_prefixed()?;
+                let cells_n = r.count_u32(4)?;
+                let mut cells = Vec::with_capacity(cells_n);
+                for _ in 0..cells_n {
+                    cells.push(r.str_prefixed()?);
+                }
+                columns.push((name, cells));
+            }
+            WalOp::AddTable {
+                title,
+                first_id,
+                columns,
+            }
+        }
+        OP_DROP_TABLE => {
+            let _title = r.str_prefixed()?;
+            let n = r.count_u32(4)?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.u32_le()?);
+            }
+            WalOp::DropTable { ids }
+        }
+        other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
+    };
+    if !r.is_empty() {
+        return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after record")));
+    }
+    Ok(op)
+}
+
+/// One exact-scan slab of a published [`LiveView`]: an immutable segment
+/// or a snapshot of the memtable, with its local dead-row mask precomputed
+/// so queries never translate global tombstones per scan.
+struct Slab {
+    ids: Arc<Vec<u32>>,
+    labels: Arc<Vec<(String, String)>>,
+    index: Arc<FlatIndex>,
+    dead: Arc<TombSet>,
+}
+
+fn local_dead(ids: &[u32], tombs: &TombSet) -> TombSet {
+    ids.iter()
+        .enumerate()
+        .filter(|(_, &id)| tombs.contains(id))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// An immutable snapshot of the live lake, published after every mutation
+/// and consumed lock-free by queries (clone the `Arc`, use it for the
+/// whole request). Holds the global tombstone bitmap (for filtering the
+/// base index) and the live slabs in ascending-id order.
+pub struct LiveView {
+    base_len: u32,
+    tombs: TombSet,
+    slabs: Vec<Slab>,
+}
+
+impl LiveView {
+    /// Size of the immutable base snapshot's id range.
+    pub fn base_len(&self) -> u32 {
+        self.base_len
+    }
+
+    /// Global deleted-id bitmap (base and live ids). Pass it to the base
+    /// index's filtered search so dropped base columns vanish too.
+    pub fn tombs(&self) -> &TombSet {
+        &self.tombs
+    }
+
+    /// Live (non-deleted) rows across all slabs.
+    pub fn live_rows(&self) -> usize {
+        self.slabs
+            .iter()
+            .map(|s| s.ids.len() - s.dead.len())
+            .sum()
+    }
+
+    /// Number of slabs (segments + at most one memtable snapshot).
+    pub fn slab_count(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// `(table, column)` of a live id, if it exists and is not deleted.
+    pub fn label(&self, id: u32) -> Option<(&str, &str)> {
+        if self.tombs.contains(id) {
+            return None;
+        }
+        for slab in &self.slabs {
+            if let Ok(i) = slab.ids.binary_search(&id) {
+                let (t, c) = &slab.labels[i];
+                return Some((t.as_str(), c.as_str()));
+            }
+        }
+        None
+    }
+
+    /// `(id, table, column)` of every surviving live row, ascending id —
+    /// the observable mutation state (used by the recovery oracle tests).
+    pub fn surviving(&self) -> Vec<(u32, String, String)> {
+        let mut out = Vec::with_capacity(self.live_rows());
+        for slab in &self.slabs {
+            for (i, &id) in slab.ids.iter().enumerate() {
+                if !slab.dead.contains(i as u32) {
+                    let (t, c) = &slab.labels[i];
+                    out.push((id, t.clone(), c.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact top-k over the live rows (dead rows filtered at candidate
+    /// collection). Returned ids are global; the caller merges them with
+    /// the base index's hits through the same bounded top-k selector, so
+    /// the combined result is deterministic.
+    pub fn search(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
+        let mut hits = Vec::new();
+        let mut complete = true;
+        let mut visited = 0;
+        for slab in &self.slabs {
+            let r = slab
+                .index
+                .search_budgeted_filtered(query, k, budget, Some(&slab.dead));
+            complete &= r.complete;
+            visited += r.visited;
+            hits.extend(r.hits.into_iter().map(|n| Neighbor {
+                id: slab.ids[n.id as usize],
+                distance: n.distance,
+            }));
+        }
+        BudgetedSearch {
+            hits,
+            complete,
+            visited,
+        }
+    }
+}
+
+struct Inner {
+    wal: Wal,
+    manifest: Manifest,
+    mem: Vec<LiveRow>,
+    segments: Vec<Segment>,
+    tombs: TombSet,
+    /// True when the journal holds records not yet covered by the
+    /// manifest (i.e. a flush would change durable state).
+    dirty: bool,
+}
+
+/// Acknowledgement of a durably journaled mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutateOutcome {
+    /// Journal sequence number of the committed record.
+    pub seq: u64,
+    /// Columns added, or ids tombstoned.
+    pub applied: u64,
+}
+
+/// Operator-facing gauges for `dj ctl stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveLakeStats {
+    /// Flushed segment files.
+    pub segments: u32,
+    /// Journal size on disk.
+    pub wal_bytes: u64,
+    /// Tombstoned ids not yet physically dropped by compaction.
+    pub pending_tombstones: u64,
+    /// Surviving live (non-base) rows.
+    pub live_rows: u64,
+}
+
+/// A live lake opened with [`LiveLake::open`], plus its recovery warnings.
+pub struct LiveOpen {
+    /// The mutable live lake.
+    pub lake: Arc<LiveLake>,
+    /// Non-fatal recovery notes (torn journal tail dropped, unreadable
+    /// tombstone bitmap, orphan segments swept, ...).
+    pub warnings: Vec<String>,
+}
+
+/// The mutable live half of a serving lake. All mutations are serialized
+/// behind one lock and follow write-ahead discipline: the journal append
+/// (or the manifest rename) is the commit point, and in-memory state only
+/// changes after the bytes are durable.
+pub struct LiveLake {
+    io: SharedIo,
+    dir: PathBuf,
+    dim: usize,
+    metric: Metric,
+    fingerprint: u64,
+    flush_rows: usize,
+    inner: Mutex<Inner>,
+    view: Mutex<Arc<LiveView>>,
+}
+
+impl LiveLake {
+    /// Open (or create) the live directory `dir`, recovering whatever a
+    /// previous process committed: load the manifest and its segments,
+    /// replay the journal tail (`seq > applied_seq`) into the memtable by
+    /// re-embedding the journaled columns under `model` (embedding is
+    /// deterministic, so replayed vectors are byte-identical to the
+    /// originals), and sweep orphan segment files left by a crash between
+    /// a segment write and its manifest commit.
+    pub fn open(io: SharedIo, dir: PathBuf, model: &DeepJoin) -> io::Result<LiveOpen> {
+        Self::open_with_flush_rows(io, dir, model, DEFAULT_FLUSH_ROWS)
+    }
+
+    /// [`LiveLake::open`] with an explicit memtable auto-flush threshold.
+    pub fn open_with_flush_rows(
+        io: SharedIo,
+        dir: PathBuf,
+        model: &DeepJoin,
+        flush_rows: usize,
+    ) -> io::Result<LiveOpen> {
+        let mut warnings = Vec::new();
+        let fingerprint = model_fingerprint(model);
+        let base_len = model.indexed_len() as u32;
+        let dim = model.config().dim;
+        let metric = model.config().hnsw.metric;
+
+        // Manifest: the single source of truth for flushed state. A
+        // damaged manifest degrades to journal-only recovery (flushed
+        // segments are unreachable without it); a damaged TOMB section
+        // degrades to serving without deletes.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut manifest = Manifest::fresh(fingerprint, base_len);
+        let mut tombs = TombSet::new();
+        if io.exists(&manifest_path) {
+            let bytes = io.read(&manifest_path)?;
+            match decode_manifest(&bytes) {
+                Ok((m, t, mut w)) => {
+                    if m.fingerprint != fingerprint {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "live directory {} belongs to a different model \
+                                 (fingerprint {:#018x}, this model is {:#018x}); \
+                                 serve the original model or use a fresh --live directory",
+                                dir.display(),
+                                m.fingerprint,
+                                fingerprint
+                            ),
+                        ));
+                    }
+                    warnings.append(&mut w);
+                    if let Some(t) = t {
+                        tombs = t;
+                    }
+                    manifest = m;
+                }
+                Err(e) => warnings.push(format!(
+                    "live manifest unreadable ({e}); recovering from the journal alone — \
+                     previously flushed segments are not reachable"
+                )),
+            }
+        }
+
+        // Load the segments the manifest vouches for. An unreadable
+        // segment loses its rows but never the lake.
+        let mut segments = Vec::new();
+        let mut metas = Vec::new();
+        for meta in std::mem::take(&mut manifest.segments) {
+            let decoded = io
+                .read(&dir.join(&meta.file))
+                .map_err(|e| e.to_string())
+                .and_then(|b| decode_segment(&b, dim).map_err(|e| e.to_string()));
+            match decoded {
+                Ok(rows) => {
+                    segments.push(Segment::build(&rows, dim, metric));
+                    metas.push(meta);
+                }
+                Err(e) => warnings.push(format!(
+                    "live segment {} unreadable ({e}); its rows are lost",
+                    meta.file
+                )),
+            }
+        }
+        manifest.segments = metas;
+
+        // Journal: replay the un-flushed tail into the memtable. Records
+        // at or below the manifest watermark are already reflected in the
+        // segments/tombstones (a crash between the manifest rename and the
+        // journal reset leaves them behind) and must not double-apply.
+        let WalOpen {
+            wal,
+            records,
+            warnings: wal_warnings,
+        } = Wal::open(io.clone(), dir.join(WAL_FILE), fingerprint)?;
+        warnings.extend(wal_warnings);
+        let mut mem: Vec<LiveRow> = Vec::new();
+        let mut dirty = false;
+        for rec in records {
+            if rec.seq <= manifest.applied_seq {
+                continue;
+            }
+            match decode_record(&rec.body) {
+                Ok(WalOp::AddTable {
+                    title,
+                    first_id,
+                    columns,
+                }) => {
+                    for (i, (name, cells)) in columns.iter().enumerate() {
+                        let col = Column::new(
+                            cells.clone(),
+                            ColumnMeta {
+                                table_title: title.clone(),
+                                column_name: name.clone(),
+                                ..ColumnMeta::default()
+                            },
+                        );
+                        mem.push(LiveRow {
+                            id: first_id + i as u32,
+                            table: title.clone(),
+                            column: name.clone(),
+                            embedding: model.embed_column(&col),
+                        });
+                    }
+                    manifest.next_id = manifest.next_id.max(first_id + columns.len() as u32);
+                    dirty = true;
+                }
+                Ok(WalOp::DropTable { ids }) => {
+                    for id in ids {
+                        tombs.insert(id);
+                    }
+                    dirty = true;
+                }
+                Err(e) => {
+                    warnings.push(format!(
+                        "journal record {} undecodable ({e}); replay stops at the committed prefix",
+                        rec.seq
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // Sweep orphan segment files: a crash between a segment write and
+        // its manifest rename leaves a file no manifest references.
+        if let Ok(files) = io.list(&dir) {
+            for f in files {
+                let orphan = f.starts_with("seg-")
+                    && f.ends_with(".djar")
+                    && !manifest.segments.iter().any(|m| m.file == f);
+                if orphan {
+                    warnings.push(format!(
+                        "removing orphan segment {f} (crashed before its manifest commit)"
+                    ));
+                    let _ = io.remove(&dir.join(&f));
+                }
+            }
+        }
+
+        let inner = Inner {
+            wal,
+            manifest,
+            mem,
+            segments,
+            tombs,
+            dirty,
+        };
+        let view = Arc::new(build_view(&inner, dim, metric));
+        let lake = Arc::new(LiveLake {
+            io,
+            dir,
+            dim,
+            metric,
+            fingerprint,
+            flush_rows: flush_rows.max(1),
+            inner: Mutex::new(inner),
+            view: Mutex::new(view),
+        });
+        Ok(LiveOpen { lake, warnings })
+    }
+
+    /// The fingerprint of the model this directory belongs to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The current published view (cheap `Arc` clone; never blocks on
+    /// mutations beyond the clone itself).
+    pub fn view(&self) -> Arc<LiveView> {
+        self.view.lock().expect("live view lock").clone()
+    }
+
+    fn publish(&self, inner: &Inner) {
+        let view = Arc::new(build_view(inner, self.dim, self.metric));
+        *self.view.lock().expect("live view lock") = view;
+    }
+
+    /// Journal and ingest one table of columns. Committed (and therefore
+    /// crash-durable) the moment the journal append returns; visible to
+    /// the very next query via the republished view. Returns the journal
+    /// sequence number and the number of columns added.
+    pub fn add_table(
+        &self,
+        model: &DeepJoin,
+        title: &str,
+        columns: &[(String, Vec<String>)],
+    ) -> io::Result<MutateOutcome> {
+        if columns.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "add-table needs at least one column",
+            ));
+        }
+        let mut inner = self.inner.lock().expect("live lake lock");
+        let first_id = inner.manifest.next_id;
+        if ((u32::MAX - first_id) as usize) < columns.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "live id space exhausted",
+            ));
+        }
+        // Embed before journaling: the encoder is deterministic, so replay
+        // re-derives identical vectors from the journaled cells.
+        let mut rows = Vec::with_capacity(columns.len());
+        for (i, (name, cells)) in columns.iter().enumerate() {
+            let col = Column::new(
+                cells.clone(),
+                ColumnMeta {
+                    table_title: title.to_string(),
+                    column_name: name.clone(),
+                    ..ColumnMeta::default()
+                },
+            );
+            rows.push(LiveRow {
+                id: first_id + i as u32,
+                table: title.to_string(),
+                column: name.clone(),
+                embedding: model.embed_column(&col),
+            });
+        }
+        let body = encode_add(title, first_id, columns);
+        let seq = inner.wal.append(&body)?; // commit point
+        inner.manifest.next_id = first_id + columns.len() as u32;
+        inner.mem.append(&mut rows);
+        inner.dirty = true;
+        if inner.mem.len() >= self.flush_rows {
+            self.flush_locked(&mut inner)?;
+        }
+        self.publish(&inner);
+        Ok(MutateOutcome {
+            seq,
+            applied: columns.len() as u64,
+        })
+    }
+
+    /// Journal and apply a table drop. The ids are resolved *now* (base
+    /// columns via `base_ids`, live columns by title) and journaled
+    /// resolved, so replay can never re-resolve against a different
+    /// state. Effective on the next query; physically reclaimed by
+    /// compaction.
+    pub fn drop_table(&self, title: &str, base_ids: &[u32]) -> io::Result<MutateOutcome> {
+        let mut inner = self.inner.lock().expect("live lake lock");
+        let mut ids: Vec<u32> = Vec::new();
+        for &b in base_ids {
+            if b < inner.manifest.base_len && !inner.tombs.contains(b) {
+                ids.push(b);
+            }
+        }
+        for seg in &inner.segments {
+            for (i, &id) in seg.ids.iter().enumerate() {
+                if seg.labels[i].0 == title && !inner.tombs.contains(id) {
+                    ids.push(id);
+                }
+            }
+        }
+        for r in &inner.mem {
+            if r.table == title && !inner.tombs.contains(r.id) {
+                ids.push(r.id);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no live or indexed columns belong to table '{title}'"),
+            ));
+        }
+        let body = encode_drop(title, &ids);
+        let seq = inner.wal.append(&body)?; // commit point
+        for &id in &ids {
+            inner.tombs.insert(id);
+        }
+        inner.dirty = true;
+        self.publish(&inner);
+        Ok(MutateOutcome {
+            seq,
+            applied: ids.len() as u64,
+        })
+    }
+
+    /// Flush the memtable into an immutable segment and advance the
+    /// manifest watermark. Ordering is the whole point:
+    ///
+    /// 1. write the segment file (atomic rename; a crash here leaves an
+    ///    orphan the next open sweeps);
+    /// 2. rewrite the manifest referencing it with `applied_seq` advanced
+    ///    (atomic rename — THE commit point of the flush);
+    /// 3. reset the journal (advisory: a crash before this leaves stale
+    ///    records that replay skips via the watermark).
+    ///
+    /// Returns false when there was nothing to flush.
+    pub fn flush(&self) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("live lake lock");
+        let did = self.flush_locked(&mut inner)?;
+        if did {
+            self.publish(&inner);
+        }
+        Ok(did)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> io::Result<bool> {
+        if !inner.dirty {
+            return Ok(false);
+        }
+        let mut manifest = inner.manifest.clone();
+        let mut new_seg = None;
+        if !inner.mem.is_empty() {
+            let file = format!("seg-{:06}.djar", manifest.next_seg);
+            manifest.next_seg += 1;
+            self.io
+                .write_atomic(&self.dir.join(&file), &encode_segment(&inner.mem, self.dim))?;
+            manifest.segments.push(SegmentMeta {
+                file: file.clone(),
+                rows: inner.mem.len() as u32,
+            });
+            new_seg = Some(Segment::build(&inner.mem, self.dim, self.metric));
+        }
+        manifest.applied_seq = inner.wal.next_seq().saturating_sub(1);
+        self.io.write_atomic(
+            &self.dir.join(MANIFEST_FILE),
+            &encode_manifest(&manifest, &inner.tombs),
+        )?;
+        // The manifest rename landed: commit to memory before the
+        // advisory journal reset, so an error below cannot tear state.
+        if let Some(seg) = new_seg {
+            inner.segments.push(seg);
+        }
+        inner.mem.clear();
+        let applied = manifest.applied_seq;
+        inner.manifest = manifest;
+        inner.dirty = false;
+        inner.wal.reset(applied)?;
+        Ok(true)
+    }
+
+    /// Merge all flushed segments into one, physically dropping
+    /// tombstoned rows, and prune tombstones that no longer cover any
+    /// stored row. The new segment is written first, then the manifest
+    /// rename commits the swap; old segment files are removed best-effort
+    /// afterwards (a crash in between leaves unreferenced files the next
+    /// open sweeps). Returns false when compaction would change nothing.
+    pub fn compact(&self) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("live lake lock");
+        let dead_in_segs = inner
+            .segments
+            .iter()
+            .any(|s| s.ids.iter().any(|&id| inner.tombs.contains(id)));
+        if inner.segments.len() < 2 && !dead_in_segs {
+            return Ok(false);
+        }
+        let mut rows = Vec::new();
+        for seg in &inner.segments {
+            for (i, &id) in seg.ids.iter().enumerate() {
+                if inner.tombs.contains(id) {
+                    continue;
+                }
+                let (t, c) = &seg.labels[i];
+                rows.push(LiveRow {
+                    id,
+                    table: t.clone(),
+                    column: c.clone(),
+                    embedding: seg.index.vector(i as u32).to_vec(),
+                });
+            }
+        }
+        let mut manifest = inner.manifest.clone();
+        let old_files: Vec<String> = manifest.segments.iter().map(|s| s.file.clone()).collect();
+        manifest.segments.clear();
+        let mut new_seg = None;
+        if !rows.is_empty() {
+            let file = format!("seg-{:06}.djar", manifest.next_seg);
+            manifest.next_seg += 1;
+            self.io
+                .write_atomic(&self.dir.join(&file), &encode_segment(&rows, self.dim))?;
+            manifest.segments.push(SegmentMeta {
+                file: file.clone(),
+                rows: rows.len() as u32,
+            });
+            new_seg = Some(Segment::build(&rows, self.dim, self.metric));
+        }
+        // Tombstones covering compacted-away rows are physically gone;
+        // keep the ones that still cover stored rows (base ids, and any
+        // memtable rows dropped before their first flush).
+        let base_len = inner.manifest.base_len;
+        let mem_ids: std::collections::HashSet<u32> = inner.mem.iter().map(|r| r.id).collect();
+        let kept: TombSet = inner
+            .tombs
+            .iter()
+            .filter(|&id| id < base_len || mem_ids.contains(&id))
+            .collect();
+        self.io.write_atomic(
+            &self.dir.join(MANIFEST_FILE),
+            &encode_manifest(&manifest, &kept),
+        )?; // commit point
+        inner.segments = new_seg.into_iter().collect();
+        inner.manifest = manifest;
+        inner.tombs = kept;
+        for f in old_files {
+            let _ = self.io.remove(&self.dir.join(&f));
+        }
+        self.publish(&inner);
+        Ok(true)
+    }
+
+    /// Operator gauges for `dj ctl stats`.
+    pub fn stats(&self) -> LiveLakeStats {
+        let inner = self.inner.lock().expect("live lake lock");
+        let live_rows = inner
+            .segments
+            .iter()
+            .flat_map(|s| s.ids.iter())
+            .chain(inner.mem.iter().map(|r| &r.id))
+            .filter(|&&id| !inner.tombs.contains(id))
+            .count() as u64;
+        LiveLakeStats {
+            segments: inner.segments.len() as u32,
+            wal_bytes: inner.wal.size_bytes(),
+            pending_tombstones: inner.tombs.len() as u64,
+            live_rows,
+        }
+    }
+
+    /// Spawn the background compactor: every `interval` it merges the
+    /// flushed segments when there are at least `min_segments` of them or
+    /// any of them carries tombstoned rows. The thread holds only a weak
+    /// reference, so dropping the lake (or the returned handle) stops it.
+    pub fn spawn_compactor(
+        self: &Arc<Self>,
+        interval: Duration,
+        min_segments: usize,
+    ) -> Compactor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak = Arc::downgrade(self);
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || loop {
+            let deadline = Instant::now() + interval;
+            while Instant::now() < deadline {
+                if stop_flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            let Some(lake) = weak.upgrade() else { return };
+            let worth = {
+                let inner = lake.inner.lock().expect("live lake lock");
+                inner.segments.len() >= min_segments.max(2)
+                    || inner
+                        .segments
+                        .iter()
+                        .any(|s| s.ids.iter().any(|&id| inner.tombs.contains(id)))
+            };
+            if worth {
+                if let Err(e) = lake.compact() {
+                    eprintln!("warning: background compaction failed (will retry): {e}");
+                }
+            }
+        });
+        Compactor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+fn build_view(inner: &Inner, dim: usize, metric: Metric) -> LiveView {
+    let mut slabs: Vec<Slab> = inner
+        .segments
+        .iter()
+        .map(|seg| Slab {
+            ids: seg.ids.clone(),
+            labels: seg.labels.clone(),
+            index: seg.index.clone(),
+            dead: Arc::new(local_dead(&seg.ids, &inner.tombs)),
+        })
+        .collect();
+    if !inner.mem.is_empty() {
+        let seg = Segment::build(&inner.mem, dim, metric);
+        slabs.push(Slab {
+            dead: Arc::new(local_dead(&seg.ids, &inner.tombs)),
+            ids: seg.ids,
+            labels: seg.labels,
+            index: seg.index,
+        });
+    }
+    LiveView {
+        base_len: inner.manifest.base_len,
+        tombs: inner.tombs.clone(),
+        slabs,
+    }
+}
+
+/// Handle for the background compaction thread; stops (and joins) it on
+/// [`Compactor::stop`] or drop.
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Stop and join the compactor thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

@@ -2,6 +2,7 @@
 
 use deepjoin_ann::budget::{Budget, BudgetedSearch};
 use deepjoin_ann::flat::FlatIndex;
+use deepjoin_ann::TombSet;
 use deepjoin_ann::hnsw::{HnswConfig, HnswIndex};
 use deepjoin_ann::index::{Neighbor, VectorIndex};
 use deepjoin_embed::cell_space::CellSpace;
@@ -420,6 +421,21 @@ impl DeepJoin {
         k: usize,
         budget: &Budget,
     ) -> LadderSearch {
+        self.search_embedded_budgeted_filtered(query_embedding, k, budget, None)
+    }
+
+    /// [`DeepJoin::search_embedded_budgeted`] with a tombstone filter:
+    /// ids in `deleted` never appear in the hits, on any rung of the
+    /// ladder (graph search, flat rescue, or degraded flat). This is how
+    /// the live lake makes `drop-table` effective on the very next query
+    /// without rebuilding the index (DESIGN.md §13).
+    pub fn search_embedded_budgeted_filtered(
+        &self,
+        query_embedding: &[f32],
+        k: usize,
+        budget: &Budget,
+        deleted: Option<&TombSet>,
+    ) -> LadderSearch {
         let (result, via_fallback) = match &self.index {
             IndexState::None => (
                 BudgetedSearch {
@@ -431,18 +447,22 @@ impl DeepJoin {
             ),
             IndexState::Hnsw(index) => {
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    index.search_budgeted(query_embedding, k, budget)
+                    index.search_budgeted_filtered(query_embedding, k, budget, deleted)
                 }));
                 match attempt {
                     Ok(result) => (result, false),
                     // The graph path failed outright; rescue with an exact
                     // scan over the same vectors, still under the budget.
-                    Err(_) => (index.flat_scan_budgeted(query_embedding, k, budget), true),
+                    Err(_) => (
+                        index.flat_scan_budgeted_filtered(query_embedding, k, budget, deleted),
+                        true,
+                    ),
                 }
             }
-            IndexState::DegradedFlat { index, .. } => {
-                (index.search_budgeted(query_embedding, k, budget), false)
-            }
+            IndexState::DegradedFlat { index, .. } => (
+                index.search_budgeted_filtered(query_embedding, k, budget, deleted),
+                false,
+            ),
         };
         LadderSearch {
             hits: result

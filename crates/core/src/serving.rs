@@ -7,11 +7,15 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use deepjoin_ann::index::TopK;
 use deepjoin_ann::Budget;
 use deepjoin_lake::column::{Column, ColumnMeta};
 use deepjoin_lake::repository::Repository;
-use deepjoin_serve::{Health, Hit, LoadedSnapshot, Loader, QueryOutcome, ServeModel};
+use deepjoin_serve::{
+    Health, Hit, LiveStats, LoadedSnapshot, Loader, MutateOp, MutateReply, QueryOutcome, ServeModel,
+};
 
+use crate::live::{model_fingerprint, LiveLake};
 use crate::model::{DeepJoin, IndexHealth};
 use crate::persist::load_model;
 
@@ -103,6 +107,10 @@ pub struct ServedModel {
     model: DeepJoin,
     repo: Arc<Repository>,
     cache: Option<Mutex<QueryCache>>,
+    /// When present, queries merge base-index hits with the live lake's
+    /// slabs and mutations are accepted (DESIGN.md §13). The lake outlives
+    /// snapshots: a hot reload wraps the same `Arc`.
+    live: Option<Arc<LiveLake>>,
 }
 
 impl ServedModel {
@@ -120,7 +128,15 @@ impl ServedModel {
             model,
             repo,
             cache: (cache_capacity > 0).then(|| Mutex::new(QueryCache::new(cache_capacity))),
+            live: None,
         }
+    }
+
+    /// Attach a live lake: queries search base + live merged, and
+    /// `add-table` / `drop-table` mutations are accepted.
+    pub fn with_live(mut self, live: Arc<LiveLake>) -> Self {
+        self.live = Some(live);
+        self
     }
 
     fn label(&self, id: u32) -> String {
@@ -151,7 +167,10 @@ impl ServedModel {
 
 impl ServeModel for ServedModel {
     fn indexed_len(&self) -> usize {
-        self.model.indexed_len()
+        match &self.live {
+            Some(live) => self.model.indexed_len() + live.view().live_rows(),
+            None => self.model.indexed_len(),
+        }
     }
 
     fn health(&self) -> Health {
@@ -171,22 +190,113 @@ impl ServeModel for ServedModel {
             },
         );
         let embedding = self.embed_cached(&column, cells, name);
-        let ladder = self.model.search_embedded_budgeted(&embedding, k, budget);
+        let Some(live) = &self.live else {
+            let ladder = self.model.search_embedded_budgeted(&embedding, k, budget);
+            return QueryOutcome {
+                hits: ladder
+                    .hits
+                    .into_iter()
+                    .map(|sc| Hit {
+                        id: sc.id.0,
+                        // The wire carries the raw distance; ScoredColumn
+                        // holds the negated score.
+                        score: -sc.score as f32,
+                        label: self.label(sc.id.0),
+                    })
+                    .collect(),
+                complete: ladder.complete,
+                visited: ladder.visited,
+                via_fallback: ladder.via_fallback,
+            };
+        };
+        // Live path: one view snapshot answers the whole request. The base
+        // index is filtered through the view's tombstones (dropped base
+        // columns vanish on the very next query), the live slabs are
+        // scanned exactly, and the two candidate streams merge through the
+        // same bounded top-k selector the indexes use — deterministic
+        // regardless of which side a hit came from.
+        let view = live.view();
+        let base =
+            self.model
+                .search_embedded_budgeted_filtered(&embedding, k, budget, Some(view.tombs()));
+        let live_hits = view.search(&embedding, k, budget);
+        let mut top = TopK::new(k);
+        for sc in &base.hits {
+            top.push(sc.id.0, (-sc.score) as f32);
+        }
+        for n in &live_hits.hits {
+            top.push(n.id, n.distance);
+        }
         QueryOutcome {
-            hits: ladder
-                .hits
+            hits: top
+                .into_sorted()
                 .into_iter()
-                .map(|sc| Hit {
-                    id: sc.id.0,
-                    // The wire carries the raw distance; ScoredColumn holds
-                    // the negated score.
-                    score: -sc.score as f32,
-                    label: self.label(sc.id.0),
+                .map(|n| {
+                    let label = if n.id < view.base_len() {
+                        self.label(n.id)
+                    } else {
+                        match view.label(n.id) {
+                            Some((t, c)) => format!("{t}.{c}"),
+                            None => format!("col#{}", n.id),
+                        }
+                    };
+                    Hit {
+                        id: n.id,
+                        score: n.distance,
+                        label,
+                    }
                 })
                 .collect(),
-            complete: ladder.complete,
-            visited: ladder.visited,
-            via_fallback: ladder.via_fallback,
+            complete: base.complete && live_hits.complete,
+            visited: base.visited + live_hits.visited,
+            via_fallback: base.via_fallback,
+        }
+    }
+
+    fn mutate(&self, op: MutateOp) -> Result<MutateReply, String> {
+        let Some(live) = &self.live else {
+            return Err("server is read-only: started without live ingest (--live)".to_string());
+        };
+        let outcome = match op {
+            MutateOp::AddTable { title, columns } => live
+                .add_table(&self.model, &title, &columns)
+                .map_err(|e| format!("add-table {title}: {e}"))?,
+            MutateOp::DropTable { title } => {
+                // Resolve the base-indexed ids for this title from the
+                // repository; live ids resolve inside the lake.
+                let base_ids: Vec<u32> = self
+                    .repo
+                    .iter()
+                    .filter(|(_, col)| col.meta.table_title == title)
+                    .map(|(id, _)| id.0)
+                    .collect();
+                live.drop_table(&title, &base_ids)
+                    .map_err(|e| format!("drop-table {title}: {e}"))?
+            }
+        };
+        Ok(MutateReply {
+            seq: outcome.seq,
+            applied: outcome.applied,
+        })
+    }
+
+    fn live_stats(&self) -> Option<LiveStats> {
+        self.live.as_ref().map(|live| {
+            let s = live.stats();
+            LiveStats {
+                segments: s.segments,
+                wal_bytes: s.wal_bytes,
+                pending_tombstones: s.pending_tombstones,
+                live_rows: s.live_rows,
+            }
+        })
+    }
+
+    fn drain(&self) {
+        if let Some(live) = &self.live {
+            if let Err(e) = live.flush() {
+                eprintln!("warning: live-lake flush on shutdown failed: {e}");
+            }
         }
     }
 
@@ -229,6 +339,42 @@ pub fn snapshot_loader(model_path: String, repo: Arc<Repository>, cache_capacity
                 repo.clone(),
                 cache_capacity,
             )),
+            warnings,
+        })
+    })
+}
+
+/// [`snapshot_loader`] for a server with live ingest: every snapshot wraps
+/// the same [`LiveLake`], so mutations survive hot reloads. Each (re)load
+/// verifies the lake's fingerprint against the freshly loaded model —
+/// reloading a *different* model under a live directory full of embeddings
+/// from the old one would silently corrupt search results, so it is
+/// refused and the previous snapshot keeps serving.
+pub fn live_snapshot_loader(
+    model_path: String,
+    repo: Arc<Repository>,
+    cache_capacity: usize,
+    live: Arc<LiveLake>,
+) -> Loader {
+    Box::new(move |path| {
+        let path = path.unwrap_or(&model_path);
+        let bytes = std::fs::read(path).map_err(|e| format!("read model artifact {path}: {e}"))?;
+        let loaded = load_model(&bytes).map_err(|e| format!("decode {path}: {e}"))?;
+        if loaded.model.indexed_len() == 0 {
+            return Err(format!("{path} was saved without an index; retrain with dj train"));
+        }
+        if model_fingerprint(&loaded.model) != live.fingerprint() {
+            return Err(format!(
+                "{path} is not the model this live directory belongs to \
+                 (fingerprint mismatch); restart with a fresh --live directory to switch models"
+            ));
+        }
+        let warnings = loaded.warnings.clone();
+        Ok(LoadedSnapshot {
+            model: Box::new(
+                ServedModel::with_cache(loaded.model, repo.clone(), cache_capacity)
+                    .with_live(live.clone()),
+            ),
             warnings,
         })
     })

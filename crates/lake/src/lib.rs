@@ -26,6 +26,7 @@ pub mod dictionary;
 pub mod fxhash;
 pub mod joinability;
 pub mod lakefile;
+pub mod live_oracle;
 pub mod multiset;
 pub mod noise;
 pub mod oracle;
@@ -38,6 +39,7 @@ pub mod zipf;
 pub use column::{Column, ColumnId, ColumnMeta};
 pub use corpus::{ColumnProvenance, Corpus, CorpusConfig, CorpusProfile};
 pub use joinability::{equi_joinability, overlap, ScoredColumn};
+pub use live_oracle::{MutationOracle, OracleColumn};
 pub use multiset::{join_result_count, multiset_joinability};
 pub use oracle::Oracle;
 pub use repository::{ExtractionRule, Repository};

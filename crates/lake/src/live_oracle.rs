@@ -1,0 +1,146 @@
+//! An executable specification of live-lake mutation semantics
+//! (DESIGN.md §13), deliberately embedding-free: it tracks only *which*
+//! columns survive a sequence of `add-table` / `drop-table` operations, in
+//! insertion order. The property tests in the core crate mutate a real
+//! [`LiveLake`](../deepjoin/live/struct.LiveLake.html) through a random
+//! interleaving of adds, drops, flushes, and compactions, then rebuild a
+//! from-scratch index over `surviving()` and demand byte-identical search
+//! results — any divergence means the lake's recovery or compaction logic
+//! changed observable state.
+
+/// One surviving column: where it came from and its cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleColumn {
+    /// Table title the column was added under.
+    pub table: String,
+    /// Column name within its table.
+    pub name: String,
+    /// Cell values.
+    pub cells: Vec<String>,
+}
+
+/// Reference model of live mutations: an append-only log of adds with a
+/// tombstone flag per column. Drops never reorder survivors — exactly the
+/// invariant the real lake's stable global ids enforce.
+#[derive(Debug, Clone, Default)]
+pub struct MutationOracle {
+    columns: Vec<(OracleColumn, bool)>,
+}
+
+impl MutationOracle {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Oracle pre-seeded with base columns (the immutable snapshot's
+    /// contents), so base-table drops are part of the specification too.
+    pub fn with_base(base: impl IntoIterator<Item = OracleColumn>) -> Self {
+        Self {
+            columns: base.into_iter().map(|c| (c, false)).collect(),
+        }
+    }
+
+    /// Record an `add-table`: every column appends, live from birth.
+    pub fn add_table(&mut self, title: &str, columns: &[(String, Vec<String>)]) {
+        for (name, cells) in columns {
+            self.columns.push((
+                OracleColumn {
+                    table: title.to_string(),
+                    name: name.clone(),
+                    cells: cells.clone(),
+                },
+                false,
+            ));
+        }
+    }
+
+    /// Record a `drop-table`: tombstone every live column of `title`.
+    /// Returns how many columns died (0 when the title names nothing —
+    /// the real lake reports that as an error, the oracle just counts).
+    pub fn drop_table(&mut self, title: &str) -> usize {
+        let mut dropped = 0;
+        for (col, dead) in &mut self.columns {
+            if !*dead && col.table == title {
+                *dead = true;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// The surviving columns, in add order. This is the observable state a
+    /// crash-recovered or compacted lake must reproduce exactly.
+    pub fn surviving(&self) -> Vec<OracleColumn> {
+        self.columns
+            .iter()
+            .filter(|(_, dead)| !*dead)
+            .map(|(c, _)| c.clone())
+            .collect()
+    }
+
+    /// Surviving `table.name` labels in add order (the cheap comparison
+    /// key when cells are not in question).
+    pub fn surviving_labels(&self) -> Vec<String> {
+        self.columns
+            .iter()
+            .filter(|(_, dead)| !*dead)
+            .map(|(c, _)| format!("{}.{}", c.table, c.name))
+            .collect()
+    }
+
+    /// Total columns ever added (dead or alive).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when nothing was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(table: &str, name: &str) -> OracleColumn {
+        OracleColumn {
+            table: table.into(),
+            name: name.into(),
+            cells: vec!["x".into()],
+        }
+    }
+
+    #[test]
+    fn adds_accumulate_in_order_and_drops_tombstone_by_title() {
+        let mut o = MutationOracle::new();
+        o.add_table("t1", &[("a".into(), vec!["1".into()]), ("b".into(), vec![])]);
+        o.add_table("t2", &[("c".into(), vec!["2".into()])]);
+        assert_eq!(o.surviving_labels(), vec!["t1.a", "t1.b", "t2.c"]);
+        assert_eq!(o.drop_table("t1"), 2);
+        assert_eq!(o.surviving_labels(), vec!["t2.c"]);
+        // Dropping again finds nothing: the tombstones are permanent.
+        assert_eq!(o.drop_table("t1"), 0);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn re_added_title_after_a_drop_is_a_fresh_table() {
+        let mut o = MutationOracle::new();
+        o.add_table("t", &[("a".into(), vec![])]);
+        o.drop_table("t");
+        o.add_table("t", &[("b".into(), vec![])]);
+        // Only the new incarnation survives; the old one stays dead.
+        assert_eq!(o.surviving_labels(), vec!["t.b"]);
+        assert_eq!(o.drop_table("t"), 1);
+    }
+
+    #[test]
+    fn base_seeding_makes_base_drops_part_of_the_spec() {
+        let mut o = MutationOracle::with_base([col("base", "k"), col("other", "v")]);
+        o.add_table("live", &[("w".into(), vec![])]);
+        assert_eq!(o.drop_table("base"), 1);
+        assert_eq!(o.surviving_labels(), vec!["other.v", "live.w"]);
+    }
+}

@@ -7,8 +7,68 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    self, FrameError, QueryReply, Request, Response, StatsReply, WireError, MAX_FRAME,
+    self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, MAX_FRAME,
 };
+
+/// Bounded exponential backoff with deterministic jitter, used by
+/// [`Client::connect_with_retry`] (transient connect failures) and
+/// [`Client::query_with_retry`] (`Overloaded` sheds). Retries are capped
+/// both per-attempt and in total delay, so a permanently-down server fails
+/// fast instead of hanging a caller.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; `1` means no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream (vary per process to
+    /// decorrelate clients; fix in tests for reproducibility).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x5eed_cafe_f00d_beef,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `retry` (0-based): `base * 2^retry`,
+    /// capped at `max_delay`, with up to +50% deterministic jitter so a
+    /// fleet of clients does not retry in lockstep.
+    pub fn delay(&self, retry: u32) -> Duration {
+        let base = self.base_delay.saturating_mul(1u32 << retry.min(16));
+        let capped = base.min(self.max_delay);
+        // xorshift64: the serve crate is dependency-free, so the jitter
+        // stream is hand-rolled rather than pulled from a rand crate.
+        let mut x = self.jitter_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(retry as u64 + 1));
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter_num = x % 51; // 0..=50 percent
+        capped + capped.mul_f64(jitter_num as f64 / 100.0)
+    }
+
+    fn transient_connect(e: &ClientError) -> bool {
+        match e {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -51,6 +111,7 @@ impl From<FrameError> for ClientError {
 
 /// One connection to a `dj serve` instance. Requests are strictly
 /// sequential per connection (one frame out, one frame in).
+#[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
 }
@@ -71,6 +132,31 @@ impl Client {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true).ok();
         Ok(Client { stream })
+    }
+
+    /// Connect, retrying transient failures (refused / reset / aborted /
+    /// timed out) with bounded exponential backoff. A permanently-down
+    /// server costs at most `policy.max_attempts` tries and the summed
+    /// (capped) delays — it never hangs. Non-transient errors (e.g. an
+    /// unresolvable address) fail on the first attempt.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last = None;
+        for retry in 0..attempts {
+            if retry > 0 {
+                std::thread::sleep(policy.delay(retry - 1));
+            }
+            match Self::connect_with_timeout(&addr, timeout) {
+                Ok(c) => return Ok(c),
+                Err(e) if RetryPolicy::transient_connect(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
     }
 
     /// Send one request, read one response.
@@ -114,6 +200,65 @@ impl Client {
         }
     }
 
+    /// [`Client::query`] with bounded backoff on `Overloaded` sheds: an
+    /// admission-queue rejection is the one server error that is *expected*
+    /// to clear on its own, so it is retried up to `policy.max_attempts`
+    /// total tries. Every other error — and exhaustion — surfaces as-is.
+    pub fn query_with_retry(
+        &mut self,
+        name: &str,
+        cells: &[String],
+        k: u32,
+        policy: &RetryPolicy,
+    ) -> Result<QueryReply, ClientError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last = None;
+        for retry in 0..attempts {
+            if retry > 0 {
+                std::thread::sleep(policy.delay(retry - 1));
+            }
+            match self.query(name, cells, k) {
+                Ok(reply) => return Ok(reply),
+                Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
+                    last = Some(ClientError::Server(e));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Ingest a new table into a live server. Returns `(seq, applied)` of
+    /// the durably journaled mutation.
+    pub fn add_table(
+        &mut self,
+        title: &str,
+        columns: &[(String, Vec<String>)],
+    ) -> Result<(u64, u64), ClientError> {
+        let req = Request::AddTable {
+            title: title.to_string(),
+            columns: columns.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Mutated { seq, applied } => Ok((seq, applied)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Drop every column belonging to a table on a live server. Returns
+    /// `(seq, ids tombstoned)`.
+    pub fn drop_table(&mut self, title: &str) -> Result<(u64, u64), ClientError> {
+        let req = Request::DropTable {
+            title: title.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Mutated { seq, applied } => Ok((seq, applied)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
     /// Hot-swap the server's snapshot. Returns the new generation and any
     /// non-fatal load warnings.
     pub fn reload(&mut self, path: Option<&str>) -> Result<(u32, Vec<String>), ClientError> {
@@ -151,4 +296,81 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_monotone_before_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 42,
+        };
+        let a: Vec<Duration> = (0..8).map(|r| policy.delay(r)).collect();
+        let b: Vec<Duration> = (0..8).map(|r| policy.delay(r)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (r, d) in a.iter().enumerate() {
+            // Never more than cap + 50% jitter.
+            assert!(
+                *d <= Duration::from_millis(300),
+                "retry {r} delay {d:?} exceeds jittered cap"
+            );
+            assert!(*d >= Duration::from_millis(10), "retry {r} below base");
+        }
+        // A different seed produces a different (decorrelated) schedule.
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        };
+        assert_ne!(
+            a,
+            (0..8).map(|r| other.delay(r)).collect::<Vec<_>>(),
+            "jitter must depend on the seed"
+        );
+    }
+
+    #[test]
+    fn permanently_down_server_fails_fast() {
+        // Bind a port, learn it, and free it: nothing listens there now.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter_seed: 7,
+        };
+        let start = Instant::now();
+        let err = Client::connect_with_retry(dead_addr, Duration::from_secs(1), &policy)
+            .expect_err("nothing is listening");
+        let elapsed = start.elapsed();
+        assert!(matches!(err, ClientError::Io(_)), "got {err}");
+        // 3 attempts with capped delays (≤ 30ms + 50% jitter each) must be
+        // well under a second: bounded, not hanging.
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "connect_with_retry took {elapsed:?}; retries are unbounded"
+        );
+    }
+
+    #[test]
+    fn zero_attempts_is_clamped_to_one_try() {
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(Client::connect_with_retry(dead_addr, Duration::from_secs(1), &policy).is_err());
+    }
 }

@@ -29,7 +29,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{ErrorCode, QueryReply, Request, Response, StatsReply, WireError, WireHit};
 pub use server::{Server, ServerConfig, ServerHandle};
 
@@ -103,6 +103,46 @@ pub struct QueryOutcome {
     pub via_fallback: bool,
 }
 
+/// A mutation request against a live (writable) snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateOp {
+    /// Ingest a new table of columns into the live lake.
+    AddTable {
+        /// Table title (provenance label, and the handle `DropTable` uses).
+        title: String,
+        /// `(column name, cells)` per column.
+        columns: Vec<(String, Vec<String>)>,
+    },
+    /// Drop every column (base-indexed or live) belonging to a table.
+    DropTable {
+        /// Table title to drop.
+        title: String,
+    },
+}
+
+/// Acknowledgement of a durably journaled mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutateReply {
+    /// Journal sequence number of the committed record.
+    pub seq: u64,
+    /// Columns added, or ids tombstoned.
+    pub applied: u64,
+}
+
+/// Live-lake gauges, reported through `stats` when the server was started
+/// with live ingest enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Flushed segment files.
+    pub segments: u32,
+    /// Journal size on disk, bytes.
+    pub wal_bytes: u64,
+    /// Tombstoned ids awaiting physical reclamation by compaction.
+    pub pending_tombstones: u64,
+    /// Surviving live (non-base) rows.
+    pub live_rows: u64,
+}
+
 /// What the server serves: a queryable snapshot of a trained model plus its
 /// index. Implementations must be safe to query from many worker threads.
 pub trait ServeModel: Send + Sync {
@@ -121,6 +161,20 @@ pub trait ServeModel: Send + Sync {
     fn cache_stats(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Apply a mutation. Read-only snapshots (the default) refuse.
+    fn mutate(&self, _op: MutateOp) -> Result<MutateReply, String> {
+        Err("server is read-only: started without live ingest (--live)".to_string())
+    }
+
+    /// Live-lake gauges, `None` for read-only snapshots.
+    fn live_stats(&self) -> Option<LiveStats> {
+        None
+    }
+
+    /// Flush any buffered live state to disk (called on graceful
+    /// shutdown). Best-effort; read-only snapshots do nothing.
+    fn drain(&self) {}
 }
 
 /// A freshly loaded snapshot: the model plus any non-fatal load warnings

@@ -27,6 +27,8 @@ const REQ_QUERY: u8 = 2;
 const REQ_RELOAD: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_STATS: u8 = 5;
+const REQ_ADD_TABLE: u8 = 6;
+const REQ_DROP_TABLE: u8 = 7;
 
 /// Response tags.
 const RESP_PONG: u8 = 1;
@@ -35,6 +37,7 @@ const RESP_RELOADED: u8 = 3;
 const RESP_SHUTTING_DOWN: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_MUTATED: u8 = 7;
 
 /// Structured error codes. Stable across releases; clients switch on these,
 /// not on message text.
@@ -112,6 +115,18 @@ pub enum Request {
     Shutdown,
     /// Server counters and snapshot info.
     Stats,
+    /// Ingest a new table into the live lake (live servers only).
+    AddTable {
+        /// Table title.
+        title: String,
+        /// `(column name, cells)` per column.
+        columns: Vec<(String, Vec<String>)>,
+    },
+    /// Drop every column belonging to a table (live servers only).
+    DropTable {
+        /// Table title.
+        title: String,
+    },
 }
 
 /// One hit on the wire.
@@ -173,6 +188,11 @@ pub struct StatsReply {
     pub cache_hits: u64,
     /// Query-embedding cache misses in the current snapshot.
     pub cache_misses: u64,
+    /// Live-lake gauges, present when the server runs with live ingest.
+    /// Encoded as a versioned optional tail: servers predating live
+    /// ingest simply end the message here, and old clients ignore the
+    /// tail — both directions stay compatible.
+    pub live: Option<crate::LiveStats>,
 }
 
 /// Server → client messages.
@@ -195,6 +215,13 @@ pub enum Response {
     Stats(StatsReply),
     /// Structured failure.
     Error(WireError),
+    /// A mutation was durably journaled.
+    Mutated {
+        /// Journal sequence number of the committed record.
+        seq: u64,
+        /// Columns added, or ids tombstoned.
+        applied: u64,
+    },
 }
 
 impl Request {
@@ -225,6 +252,22 @@ impl Request {
             }
             Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
             Request::Stats => w.put_u8(REQ_STATS),
+            Request::AddTable { title, columns } => {
+                w.put_u8(REQ_ADD_TABLE);
+                w.put_str(title);
+                w.put_u32_le(columns.len() as u32);
+                for (name, cells) in columns {
+                    w.put_str(name);
+                    w.put_u32_le(cells.len() as u32);
+                    for c in cells {
+                        w.put_str(c);
+                    }
+                }
+            }
+            Request::DropTable { title } => {
+                w.put_u8(REQ_DROP_TABLE);
+                w.put_str(title);
+            }
         }
         w.into_vec()
     }
@@ -259,6 +302,25 @@ impl Request {
             }
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_STATS => Request::Stats,
+            REQ_ADD_TABLE => {
+                let title = r.str_prefixed()?;
+                // Each column costs at least a name prefix + cell count.
+                let n = r.count_u32(8)?;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str_prefixed()?;
+                    let cells_n = r.count_u32(4)?;
+                    let mut cells = Vec::with_capacity(cells_n);
+                    for _ in 0..cells_n {
+                        cells.push(r.str_prefixed()?);
+                    }
+                    columns.push((name, cells));
+                }
+                Request::AddTable { title, columns }
+            }
+            REQ_DROP_TABLE => Request::DropTable {
+                title: r.str_prefixed()?,
+            },
             other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
         };
         if !r.is_empty() {
@@ -316,11 +378,28 @@ impl Response {
                 w.put_u32_le(s.queue_capacity);
                 w.put_u64_le(s.cache_hits);
                 w.put_u64_le(s.cache_misses);
+                // Versioned optional tail (see `StatsReply::live`): a
+                // presence flag, then the live gauges.
+                match &s.live {
+                    None => w.put_u8(0),
+                    Some(live) => {
+                        w.put_u8(1);
+                        w.put_u32_le(live.segments);
+                        w.put_u64_le(live.wal_bytes);
+                        w.put_u64_le(live.pending_tombstones);
+                        w.put_u64_le(live.live_rows);
+                    }
+                }
             }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
                 w.put_u8(e.code as u8);
                 w.put_str(&e.message);
+            }
+            Response::Mutated { seq, applied } => {
+                w.put_u8(RESP_MUTATED);
+                w.put_u64_le(*seq);
+                w.put_u64_le(*applied);
             }
         }
         w.into_vec()
@@ -377,18 +456,35 @@ impl Response {
                 }
             }
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
-            RESP_STATS => Response::Stats(StatsReply {
-                generation: r.u32_le()?,
-                indexed: r.u64_le()?,
-                health_label: r.str_prefixed()?,
-                accepted: r.u64_le()?,
-                shed: r.u64_le()?,
-                expired: r.u64_le()?,
-                degraded_answers: r.u64_le()?,
-                queue_capacity: r.u32_le()?,
-                cache_hits: r.u64_le()?,
-                cache_misses: r.u64_le()?,
-            }),
+            RESP_STATS => {
+                let mut s = StatsReply {
+                    generation: r.u32_le()?,
+                    indexed: r.u64_le()?,
+                    health_label: r.str_prefixed()?,
+                    accepted: r.u64_le()?,
+                    shed: r.u64_le()?,
+                    expired: r.u64_le()?,
+                    degraded_answers: r.u64_le()?,
+                    queue_capacity: r.u32_le()?,
+                    cache_hits: r.u64_le()?,
+                    cache_misses: r.u64_le()?,
+                    live: None,
+                };
+                // Versioned optional tail: a server predating live ingest
+                // ends the message here. After the known tail, tolerate
+                // (and ignore) bytes a *newer* server may append — the
+                // Stats message alone is forward-extensible, so this early
+                // return intentionally skips the trailing-bytes check.
+                if !r.is_empty() && r.u8()? != 0 {
+                    s.live = Some(crate::LiveStats {
+                        segments: r.u32_le()?,
+                        wal_bytes: r.u64_le()?,
+                        pending_tombstones: r.u64_le()?,
+                        live_rows: r.u64_le()?,
+                    });
+                }
+                return Ok(Response::Stats(s));
+            }
             RESP_ERROR => {
                 let code_byte = r.u8()?;
                 let code = ErrorCode::from_code(code_byte)
@@ -398,6 +494,10 @@ impl Response {
                     message: r.str_prefixed()?,
                 })
             }
+            RESP_MUTATED => Response::Mutated {
+                seq: r.u64_le()?,
+                applied: r.u64_le()?,
+            },
             other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
         };
         if !r.is_empty() {
@@ -507,6 +607,16 @@ mod tests {
         });
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::AddTable {
+            title: "orders".into(),
+            columns: vec![
+                ("id".into(), vec!["1".into(), "2".into()]),
+                ("sku".into(), vec![]),
+            ],
+        });
+        roundtrip_request(Request::DropTable {
+            title: "orders".into(),
+        });
     }
 
     #[test]
@@ -550,11 +660,85 @@ mod tests {
             queue_capacity: 32,
             cache_hits: 12,
             cache_misses: 5,
+            live: None,
+        }));
+        roundtrip_response(Response::Stats(StatsReply {
+            generation: 1,
+            indexed: 42,
+            health_label: "hnsw".into(),
+            accepted: 10,
+            shed: 2,
+            expired: 1,
+            degraded_answers: 3,
+            queue_capacity: 32,
+            cache_hits: 12,
+            cache_misses: 5,
+            live: Some(crate::LiveStats {
+                segments: 3,
+                wal_bytes: 1024,
+                pending_tombstones: 7,
+                live_rows: 99,
+            }),
         }));
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Overloaded,
             message: "queue full".into(),
         }));
+        roundtrip_response(Response::Mutated {
+            seq: 12,
+            applied: 4,
+        });
+    }
+
+    #[test]
+    fn stats_from_an_old_server_still_parses() {
+        // An old server ends the Stats message right after cache_misses —
+        // no presence flag at all. New clients must read that as live: None.
+        let full = Response::Stats(StatsReply {
+            generation: 1,
+            indexed: 42,
+            health_label: "hnsw".into(),
+            accepted: 10,
+            shed: 2,
+            expired: 1,
+            degraded_answers: 3,
+            queue_capacity: 32,
+            cache_hits: 12,
+            cache_misses: 5,
+            live: None,
+        })
+        .encode();
+        // Strip the presence flag this encoder appends: the old wire image.
+        let old_wire = &full[..full.len() - 1];
+        match Response::decode(old_wire).unwrap() {
+            Response::Stats(s) => assert_eq!(s.live, None),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_with_an_unknown_future_tail_still_parses() {
+        // A future server may append more optional fields after the live
+        // gauges; today's client must ignore them rather than reject.
+        let mut enc = Response::Stats(StatsReply {
+            generation: 1,
+            indexed: 42,
+            health_label: "hnsw".into(),
+            accepted: 10,
+            shed: 2,
+            expired: 1,
+            degraded_answers: 3,
+            queue_capacity: 32,
+            cache_hits: 12,
+            cache_misses: 5,
+            live: Some(crate::LiveStats::default()),
+        })
+        .encode();
+        enc.extend_from_slice(&[1, 2, 3, 4]);
+        match Response::decode(&enc).unwrap() {
+            Response::Stats(s) => assert!(s.live.is_some()),
+            other => panic!("expected Stats, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use deepjoin_par::{Bounded, TryPushError};
 use crate::protocol::{
     self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, WireHit,
 };
-use crate::{Loader, ServeModel};
+use crate::{Loader, MutateOp, ServeModel};
 
 /// Tuning for one server instance.
 pub struct ServerConfig {
@@ -154,6 +154,7 @@ impl Shared {
             queue_capacity: self.queue.capacity() as u32,
             cache_hits,
             cache_misses,
+            live: snap.model.live_stats(),
         }
     }
 }
@@ -303,7 +304,12 @@ impl Server {
             // read slice and close. The scope join is the drain barrier.
             shared.queue.close();
             Ok(())
-        })
+        })?;
+        // Graceful exit: give a live model the chance to flush its
+        // memtable. Crash safety never depends on this (the journal
+        // already holds everything), it just makes restarts cheaper.
+        self.shared.snapshot().model.drain();
+        Ok(())
     }
 }
 
@@ -466,6 +472,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
                     message: format!("reload failed, previous snapshot still serving: {e}"),
                 }),
             },
+            Request::AddTable { title, columns } => {
+                dispatch_mutation(shared, MutateOp::AddTable { title, columns })
+            }
+            Request::DropTable { title } => dispatch_mutation(shared, MutateOp::DropTable { title }),
             Request::Query { k: 0, .. } => Response::Error(WireError {
                 code: ErrorCode::BadRequest,
                 message: "k must be >= 1".to_string(),
@@ -473,6 +483,25 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
             query @ Request::Query { .. } => dispatch_query(shared, query),
         };
         protocol::write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+/// Apply a mutation on the connection thread. Mutations are serialized
+/// inside the live lake (one lock) and are cheap relative to queries
+/// (embedding a handful of columns + one journal append), so they do not
+/// go through the admission queue.
+fn dispatch_mutation(shared: &Shared, op: MutateOp) -> Response {
+    let snap = shared.snapshot();
+    match catch_unwind(AssertUnwindSafe(|| snap.model.mutate(op))) {
+        Ok(Ok(reply)) => Response::Mutated {
+            seq: reply.seq,
+            applied: reply.applied,
+        },
+        Ok(Err(msg)) => Response::Error(WireError {
+            code: ErrorCode::BadRequest,
+            message: msg,
+        }),
+        Err(_) => internal_error("mutation failed; the server recovered"),
     }
 }
 

@@ -15,6 +15,11 @@
 //! through them. The invariant every consumer test asserts: an injected
 //! fault yields a structured error or a degraded-but-serving artifact,
 //! never a panic and never silently wrong data.
+//!
+//! [`KillPointIo`] is the complement for *crash* safety: instead of a
+//! damaged artifact, it models the process dying at a chosen mutation
+//! boundary (before, torn mid-append, or after an op), so recovery paths
+//! can be proven to serve exactly the committed prefix at every point.
 
 use std::collections::HashMap;
 use std::io;
@@ -56,6 +61,34 @@ impl ArtifactIo for MemIo {
 
     fn exists(&self, path: &Path) -> bool {
         self.files.lock().unwrap().contains_key(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.files.lock().unwrap().remove(path);
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = self
+            .files
+            .lock()
+            .unwrap()
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        Ok(names)
     }
 }
 
@@ -165,6 +198,157 @@ impl<I: ArtifactIo> ArtifactIo for FaultyIo<I> {
     fn exists(&self, path: &Path) -> bool {
         self.inner.exists(path)
     }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.pop_matching(false) {
+            Some(Fault::TornWrite { keep }) => {
+                let cut = keep.min(bytes.len());
+                self.inner.append(path, &bytes[..cut])
+            }
+            Some(Fault::Enospc) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            )),
+            _ => self.inner.append(path, bytes),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+}
+
+/// Deterministic crash injection: every state-mutating operation exposes
+/// one or more *kill points*, and the wrapper "kills the process" at a
+/// chosen point — the operation persists exactly the bytes a real SIGKILL
+/// at that boundary would leave behind (nothing, a torn prefix, or
+/// everything), then fails, and every subsequent operation fails too.
+///
+/// The harness pattern: run the workload once with `kill_at = None` to
+/// count the points, then once per point, recovering from
+/// [`KillPointIo::inner`] after each induced crash and asserting the
+/// recovered state serves exactly the committed prefix.
+///
+/// Kill points per operation, in order:
+/// * `write_atomic` — before (old content survives), after (new content
+///   persisted, ack lost);
+/// * `append` — before, torn at 1 byte, torn at the midpoint, torn one
+///   byte short, after (degenerate cuts are deduplicated);
+/// * `remove` — before, after.
+///
+/// Reads never kill: a crash during a read mutates nothing.
+pub struct KillPointIo<I> {
+    inner: I,
+    next_point: Mutex<usize>,
+    kill_at: Option<usize>,
+    dead: Mutex<bool>,
+}
+
+impl<I: ArtifactIo> KillPointIo<I> {
+    /// Wrap `inner`, crashing at kill point `kill_at` (`None` = count only).
+    pub fn new(inner: I, kill_at: Option<usize>) -> Self {
+        Self {
+            inner,
+            next_point: Mutex::new(0),
+            kill_at,
+            dead: Mutex::new(false),
+        }
+    }
+
+    /// Number of kill points passed so far (the total after a clean run).
+    pub fn points_used(&self) -> usize {
+        *self.next_point.lock().unwrap()
+    }
+
+    /// True once the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        *self.dead.lock().unwrap()
+    }
+
+    /// The wrapped store — the "disk" that survives the crash.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    fn killed() -> io::Error {
+        io::Error::other("injected crash (kill point)")
+    }
+
+    /// Advance one kill point; `Err` means the process just died here.
+    fn step(&self) -> io::Result<()> {
+        if *self.dead.lock().unwrap() {
+            return Err(Self::killed());
+        }
+        let mut n = self.next_point.lock().unwrap();
+        let here = *n;
+        *n += 1;
+        drop(n);
+        if self.kill_at == Some(here) {
+            *self.dead.lock().unwrap() = true;
+            return Err(Self::killed());
+        }
+        Ok(())
+    }
+
+    /// The torn-prefix cut lengths an `append` of `len` bytes exposes.
+    fn torn_cuts(len: usize) -> Vec<usize> {
+        let mut cuts: Vec<usize> = [1, len / 2, len.saturating_sub(1)]
+            .into_iter()
+            .filter(|&c| c > 0 && c < len)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts
+    }
+}
+
+impl<I: ArtifactIo> ArtifactIo for KillPointIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if *self.dead.lock().unwrap() {
+            return Err(Self::killed());
+        }
+        self.inner.read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.step()?; // before: the old artifact survives untouched
+        self.inner.write_atomic(path, bytes)?;
+        self.step() // after: new content is durable, the ack is lost
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !*self.dead.lock().unwrap() && self.inner.exists(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.step()?; // before: nothing appended
+        for cut in Self::torn_cuts(bytes.len()) {
+            if let Err(e) = self.step() {
+                // Torn: a prefix of this append reached the disk.
+                self.inner.append(path, &bytes[..cut])?;
+                return Err(e);
+            }
+        }
+        self.inner.append(path, bytes)?;
+        self.step() // after: the full record is durable, the ack is lost
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.step()?; // before: the artifact survives
+        self.inner.remove(path)?;
+        self.step() // after: the unlink is durable
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        if *self.dead.lock().unwrap() {
+            return Err(Self::killed());
+        }
+        self.inner.list(dir)
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +414,58 @@ mod tests {
         assert_eq!(io.read(&path()).unwrap(), b"01");
         assert!(io.read(&path()).is_err());
         assert_eq!(io.read(&path()).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn torn_append_keeps_existing_bytes_plus_prefix() {
+        let io = io_with(b"base");
+        io.inject(Fault::TornWrite { keep: 2 });
+        io.append(&path(), b"xyz").unwrap();
+        assert_eq!(io.read(&path()).unwrap(), b"basexy");
+        io.append(&path(), b"!").unwrap();
+        assert_eq!(io.read(&path()).unwrap(), b"basexy!");
+    }
+
+    #[test]
+    fn kill_point_counting_run_is_transparent() {
+        let io = KillPointIo::new(MemIo::new(), None);
+        io.write_atomic(&path(), b"v1").unwrap();
+        io.append(&path(), b"-longer-tail").unwrap();
+        io.remove(&path()).unwrap();
+        assert!(!io.crashed());
+        // write 2 + append (before + 3 torn cuts + after) + remove 2.
+        assert_eq!(io.points_used(), 2 + 5 + 2);
+    }
+
+    #[test]
+    fn every_kill_point_leaves_a_committed_prefix_or_torn_tail() {
+        // Workload: atomic header write, then two appends. Enumerate every
+        // kill point and check the surviving bytes are always `header` plus
+        // a (possibly torn) prefix of the appended stream.
+        let total = {
+            let io = KillPointIo::new(MemIo::new(), None);
+            io.write_atomic(&path(), b"HDR!").unwrap();
+            io.append(&path(), b"aaaa").unwrap();
+            io.append(&path(), b"bbbb").unwrap();
+            io.points_used()
+        };
+        for kill in 0..total {
+            let io = KillPointIo::new(MemIo::new(), Some(kill));
+            let res = (|| {
+                io.write_atomic(&path(), b"HDR!")?;
+                io.append(&path(), b"aaaa")?;
+                io.append(&path(), b"bbbb")
+            })();
+            assert!(res.is_err(), "kill point {kill} must abort the workload");
+            assert!(io.crashed());
+            // Once dead, everything fails — the process is gone.
+            assert!(io.read(&path()).is_err());
+            let survived = io.inner().read(&path()).unwrap_or_default();
+            let full = b"HDR!aaaabbbb";
+            assert!(
+                full.starts_with(&survived),
+                "kill point {kill}: survived bytes {survived:?} are not a prefix"
+            );
+        }
     }
 }

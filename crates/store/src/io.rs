@@ -16,6 +16,11 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// A shareable, thread-safe artifact store — what long-lived components
+/// (the WAL, the live-lake state) hold so tests can substitute fault
+/// injectors for the real filesystem.
+pub type SharedIo = std::sync::Arc<dyn ArtifactIo + Send + Sync>;
+
 /// Byte-level artifact storage.
 pub trait ArtifactIo {
     /// Read the whole artifact at `path`.
@@ -28,6 +33,19 @@ pub trait ArtifactIo {
 
     /// Whether an artifact exists at `path`.
     fn exists(&self, path: &Path) -> bool;
+
+    /// Durably append `bytes` to the artifact at `path`, creating it if
+    /// absent. Unlike [`Self::write_atomic`] an append is *not* atomic: a
+    /// crash mid-append may persist any prefix of `bytes`, which is why WAL
+    /// records carry their own framing and checksums.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Remove the artifact at `path`. Removing a missing artifact is `Ok`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// File names (not full paths) of every artifact directly under `dir`.
+    /// A missing directory lists as empty.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
 }
 
 /// Real-filesystem implementation.
@@ -78,6 +96,48 @@ impl ArtifactIo for StdIo {
     fn exists(&self, path: &Path) -> bool {
         path.exists()
     }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => {
+                // Make the unlink itself durable, mirroring write_atomic.
+                if let Some(dir) = path.parent() {
+                    if let Ok(d) = std::fs::File::open(dir) {
+                        let _ = d.sync_all();
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let entries = match std::fs::read_dir(dir) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            other => other?,
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +173,31 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_creates_then_extends() {
+        let dir = tmpdir("app");
+        let path = dir.join("wal.log");
+        StdIo.append(&path, b"rec1").unwrap();
+        StdIo.append(&path, b"rec2").unwrap();
+        assert_eq!(StdIo.read(&path).unwrap(), b"rec1rec2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_list_sees_only_files() {
+        let dir = tmpdir("rm");
+        let path = dir.join("a.bin");
+        StdIo.write_atomic(&path, b"x").unwrap();
+        std::fs::create_dir(dir.join("subdir")).unwrap();
+        assert_eq!(StdIo.list(&dir).unwrap(), vec!["a.bin".to_string()]);
+        StdIo.remove(&path).unwrap();
+        StdIo.remove(&path).unwrap(); // second remove is not an error
+        assert!(!StdIo.exists(&path));
+        assert!(StdIo.list(&dir).unwrap().is_empty());
+        assert!(StdIo.list(&dir.join("missing")).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

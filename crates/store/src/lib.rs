@@ -16,8 +16,10 @@
 //! * [`io`] — [`io::ArtifactIo`] and the crash-safe [`io::StdIo`]
 //!   (temp file + fsync + atomic rename);
 //! * [`faults`] — injection of torn writes, read truncation, bit flips,
-//!   and ENOSPC, so every load path can be proven panic-free under
-//!   corruption.
+//!   ENOSPC, and deterministic crash (kill) points, so every load and
+//!   recovery path can be proven panic-free under corruption;
+//! * [`wal`] — the `DJWL` write-ahead journal live lake mutations are
+//!   logged through before touching memory, with committed-prefix replay.
 
 #![warn(missing_docs)]
 
@@ -26,9 +28,11 @@ pub mod container;
 pub mod crc32;
 pub mod faults;
 pub mod io;
+pub mod wal;
 
 pub use codec::{DecodeError, DecodeErrorKind, Reader, Writer};
 pub use container::{is_container, Container, ContainerBuilder};
 pub use crc32::crc32;
-pub use faults::{Fault, FaultyIo, MemIo};
-pub use io::{ArtifactIo, StdIo};
+pub use faults::{Fault, FaultyIo, KillPointIo, MemIo};
+pub use io::{ArtifactIo, SharedIo, StdIo};
+pub use wal::{Wal, WalOpen, WalRecord};

@@ -1,0 +1,434 @@
+//! The write-ahead journal (`DJWL`) behind live lake mutations.
+//!
+//! Every mutation is appended here *before* it touches in-memory state, so
+//! a crash at any byte boundary loses at most the unacknowledged tail.
+//! Appends are not atomic — that is the whole point of the format: each
+//! record carries its own framing and checksum, and replay simply stops at
+//! the first frame that is torn, corrupt, or out of sequence. Everything
+//! before that point is the *committed prefix* and is replayed; everything
+//! after never happened.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header (written via write_atomic, so it is never torn):
+//!   "DJWL" | version u8 | fingerprint u64 | base_seq u64
+//! then zero or more appended records:
+//!   payload_len u32 | crc32(payload) u32 | payload
+//!   where payload = seq u64 | body bytes
+//! ```
+//!
+//! * `fingerprint` ties the journal to one base snapshot: replaying a WAL
+//!   against a different snapshot would resurrect or mangle columns, so a
+//!   mismatch discards the journal (with a warning) instead.
+//! * `base_seq` is the sequence number the journal was last truncated at.
+//!   Sequence numbers are monotone across truncations — records in the
+//!   file run `base_seq + 1, base_seq + 2, …` — which is what makes replay
+//!   idempotent: recovery skips every record whose `seq` is at or below
+//!   the manifest's `applied_seq`, so a crash *between* "manifest written"
+//!   and "WAL truncated" cannot double-apply.
+//! * Truncation ([`Wal::reset`]) rewrites the file as a fresh header via
+//!   the atomic-rename protocol, so it also is an all-or-nothing step.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::io::SharedIo;
+
+/// Journal magic bytes.
+pub const WAL_MAGIC: &[u8; 4] = b"DJWL";
+/// Current journal format version.
+pub const WAL_VERSION: u8 = 1;
+
+/// Header size: magic + version + fingerprint + base_seq.
+const HEADER_LEN: usize = 4 + 1 + 8 + 8;
+/// Per-record frame overhead: payload length + checksum.
+const FRAME_LEN: usize = 4 + 4;
+
+/// One committed journal record, as yielded by replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone sequence number (never reused, survives truncation).
+    pub seq: u64,
+    /// Opaque record body — the mutation, encoded by the caller.
+    pub body: Vec<u8>,
+}
+
+/// The result of opening a journal: the handle, the committed records that
+/// survived (empty for a fresh journal), and any non-fatal warnings (torn
+/// tail dropped, foreign journal discarded).
+pub struct WalOpen {
+    /// The journal, positioned to append after the last committed record.
+    pub wal: Wal,
+    /// Committed records in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Non-fatal recovery notes, for operator logs.
+    pub warnings: Vec<String>,
+}
+
+/// An append-only, checksummed, crash-recoverable journal.
+pub struct Wal {
+    io: SharedIo,
+    path: PathBuf,
+    fingerprint: u64,
+    next_seq: u64,
+    file_len: u64,
+}
+
+impl Wal {
+    /// Open (or create) the journal at `path`, replaying its committed
+    /// prefix. `fingerprint` must identify the base snapshot; a journal
+    /// written against a different fingerprint is discarded with a warning
+    /// rather than replayed.
+    pub fn open(io: SharedIo, path: PathBuf, fingerprint: u64) -> io::Result<WalOpen> {
+        if !io.exists(&path) {
+            let mut wal = Self {
+                io,
+                path,
+                fingerprint,
+                next_seq: 1,
+                file_len: HEADER_LEN as u64,
+            };
+            wal.write_header(0)?;
+            return Ok(WalOpen {
+                wal,
+                records: Vec::new(),
+                warnings: Vec::new(),
+            });
+        }
+
+        let bytes = io.read(&path)?;
+        let mut warnings = Vec::new();
+        let (base_seq, records) = match Self::parse(&bytes, fingerprint) {
+            Ok((base_seq, records, mut notes)) => {
+                warnings.append(&mut notes);
+                (base_seq, records)
+            }
+            Err(why) => {
+                warnings.push(format!("WAL {}: {why}; discarding journal", path.display()));
+                let mut wal = Self {
+                    io,
+                    path,
+                    fingerprint,
+                    next_seq: 1,
+                    file_len: HEADER_LEN as u64,
+                };
+                wal.write_header(0)?;
+                return Ok(WalOpen {
+                    wal,
+                    records: Vec::new(),
+                    warnings,
+                });
+            }
+        };
+
+        let committed_len = Self::committed_len(&bytes, &records);
+        let next_seq = records.last().map(|r| r.seq).unwrap_or(base_seq) + 1;
+        let wal = Self {
+            io,
+            path,
+            fingerprint,
+            next_seq,
+            file_len: committed_len,
+        };
+        Ok(WalOpen {
+            wal,
+            records,
+            warnings,
+        })
+    }
+
+    /// Byte length of the header plus every committed record.
+    fn committed_len(bytes: &[u8], records: &[WalRecord]) -> u64 {
+        let recs: usize = records
+            .iter()
+            .map(|r| FRAME_LEN + 8 + r.body.len())
+            .sum();
+        ((HEADER_LEN + recs) as u64).min(bytes.len() as u64)
+    }
+
+    /// Parse header + records. A structurally bad *header* is an error (the
+    /// journal cannot be trusted at all); a bad *record* just ends the
+    /// committed prefix, with a warning when trailing bytes were dropped.
+    fn parse(
+        bytes: &[u8],
+        fingerprint: u64,
+    ) -> Result<(u64, Vec<WalRecord>, Vec<String>), String> {
+        if bytes.len() < HEADER_LEN {
+            return Err(format!(
+                "header truncated ({} of {HEADER_LEN} bytes)",
+                bytes.len()
+            ));
+        }
+        if &bytes[..4] != WAL_MAGIC {
+            return Err("bad magic".to_string());
+        }
+        if bytes[4] != WAL_VERSION {
+            return Err(format!("unsupported version {}", bytes[4]));
+        }
+        let stored_fp = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+        if stored_fp != fingerprint {
+            return Err(format!(
+                "fingerprint mismatch (journal {stored_fp:#018x}, snapshot {fingerprint:#018x})"
+            ));
+        }
+        let base_seq = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut expected_seq = base_seq + 1;
+        let mut tail_note = None;
+        while pos < bytes.len() {
+            let Some((record, end)) = Self::parse_record(bytes, pos, expected_seq) else {
+                tail_note = Some(format!(
+                    "dropped {} torn/corrupt trailing byte(s) after seq {}",
+                    bytes.len() - pos,
+                    expected_seq - 1
+                ));
+                break;
+            };
+            records.push(record);
+            expected_seq += 1;
+            pos = end;
+        }
+        Ok((base_seq, records, tail_note.into_iter().collect()))
+    }
+
+    /// Decode one record at `pos`. `None` ends the committed prefix: torn
+    /// frame, short payload, checksum mismatch, or a sequence break.
+    fn parse_record(bytes: &[u8], pos: usize, expected_seq: u64) -> Option<(WalRecord, usize)> {
+        let frame = bytes.get(pos..pos + FRAME_LEN)?;
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let payload = bytes.get(pos + FRAME_LEN..pos + FRAME_LEN + len)?;
+        if crc32(payload) != stored_crc || len < 8 {
+            return None;
+        }
+        let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        if seq != expected_seq {
+            return None;
+        }
+        Some((
+            WalRecord {
+                seq,
+                body: payload[8..].to_vec(),
+            },
+            pos + FRAME_LEN + len,
+        ))
+    }
+
+    fn write_header(&mut self, base_seq: u64) -> io::Result<()> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(WAL_MAGIC);
+        header.push(WAL_VERSION);
+        header.extend_from_slice(&self.fingerprint.to_le_bytes());
+        header.extend_from_slice(&base_seq.to_le_bytes());
+        self.io.write_atomic(&self.path, &header)?;
+        self.file_len = HEADER_LEN as u64;
+        Ok(())
+    }
+
+    /// Append one mutation record; returns its sequence number. The record
+    /// is durable when this returns — callers apply the mutation to memory
+    /// only afterwards, so acknowledged state is always recoverable.
+    pub fn append(&mut self, body: &[u8]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(8 + body.len());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(body);
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.io.append(&self.path, &frame)?;
+        self.next_seq = seq + 1;
+        self.file_len += frame.len() as u64;
+        Ok(seq)
+    }
+
+    /// Truncate the journal after its records have been made durable
+    /// elsewhere (a flushed segment + manifest). `base_seq` is the highest
+    /// sequence number now covered by the manifest; future appends continue
+    /// from there. Atomic: a crash leaves either the old journal (harmless,
+    /// replay skips applied records) or the fresh one.
+    pub fn reset(&mut self, base_seq: u64) -> io::Result<()> {
+        self.write_header(base_seq)?;
+        self.next_seq = self.next_seq.max(base_seq + 1);
+        Ok(())
+    }
+
+    /// Current journal size in bytes (committed prefix only).
+    pub fn size_bytes(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Fault, FaultyIo, KillPointIo, MemIo};
+    use crate::io::ArtifactIo;
+    use std::sync::Arc;
+
+    fn wal_path() -> PathBuf {
+        PathBuf::from("mem://wal")
+    }
+
+    fn mem() -> SharedIo {
+        Arc::new(MemIo::new())
+    }
+
+    #[test]
+    fn fresh_open_append_replay_roundtrip() {
+        let io = mem();
+        let mut open = Wal::open(io.clone(), wal_path(), 42).unwrap();
+        assert!(open.records.is_empty());
+        assert!(open.warnings.is_empty());
+        assert_eq!(open.wal.append(b"add:users").unwrap(), 1);
+        assert_eq!(open.wal.append(b"drop:orders").unwrap(), 2);
+
+        let reopened = Wal::open(io, wal_path(), 42).unwrap();
+        assert!(reopened.warnings.is_empty());
+        assert_eq!(
+            reopened.records,
+            vec![
+                WalRecord { seq: 1, body: b"add:users".to_vec() },
+                WalRecord { seq: 2, body: b"drop:orders".to_vec() },
+            ]
+        );
+        assert_eq!(reopened.wal.next_seq(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_with_a_warning() {
+        let io: Arc<FaultyIo<MemIo>> = Arc::new(FaultyIo::new(MemIo::new()));
+        let shared: SharedIo = io.clone();
+        let mut open = Wal::open(shared.clone(), wal_path(), 7).unwrap();
+        open.wal.append(b"committed").unwrap();
+        // The next record tears mid-append: only 5 of its bytes land.
+        io.inject(Fault::TornWrite { keep: 5 });
+        open.wal.append(b"torn-away").unwrap();
+
+        let reopened = Wal::open(shared, wal_path(), 7).unwrap();
+        assert_eq!(reopened.records.len(), 1);
+        assert_eq!(reopened.records[0].body, b"committed");
+        assert_eq!(reopened.warnings.len(), 1);
+        assert!(reopened.warnings[0].contains("torn"), "{:?}", reopened.warnings);
+        // Appending after recovery continues the sequence.
+        let mut wal = reopened.wal;
+        assert_eq!(wal.append(b"next").unwrap(), 2);
+    }
+
+    #[test]
+    fn bit_flip_in_a_record_ends_the_committed_prefix() {
+        let io = mem();
+        let mut open = Wal::open(io.clone(), wal_path(), 7).unwrap();
+        open.wal.append(b"first").unwrap();
+        open.wal.append(b"second").unwrap();
+        let mut bytes = io.read(&wal_path()).unwrap();
+        let last = bytes.len() - 1; // inside the second record's body
+        bytes[last] ^= 0x10;
+        io.write_atomic(&wal_path(), &bytes).unwrap();
+
+        let reopened = Wal::open(io, wal_path(), 7).unwrap();
+        assert_eq!(reopened.records.len(), 1);
+        assert_eq!(reopened.records[0].body, b"first");
+        assert!(!reopened.warnings.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards_the_journal() {
+        let io = mem();
+        let mut open = Wal::open(io.clone(), wal_path(), 1).unwrap();
+        open.wal.append(b"belongs to snapshot 1").unwrap();
+
+        let reopened = Wal::open(io.clone(), wal_path(), 2).unwrap();
+        assert!(reopened.records.is_empty());
+        assert_eq!(reopened.warnings.len(), 1);
+        assert!(reopened.warnings[0].contains("fingerprint"), "{:?}", reopened.warnings);
+        // The discarded journal was replaced by a fresh one for snapshot 2.
+        let again = Wal::open(io, wal_path(), 2).unwrap();
+        assert!(again.warnings.is_empty());
+    }
+
+    #[test]
+    fn reset_advances_base_seq_so_replay_stays_idempotent() {
+        let io = mem();
+        let mut open = Wal::open(io.clone(), wal_path(), 9).unwrap();
+        open.wal.append(b"a").unwrap();
+        open.wal.append(b"b").unwrap();
+        open.wal.reset(2).unwrap();
+        assert_eq!(open.wal.size_bytes(), 21);
+        assert_eq!(open.wal.append(b"c").unwrap(), 3);
+
+        let reopened = Wal::open(io, wal_path(), 9).unwrap();
+        assert_eq!(reopened.records, vec![WalRecord { seq: 3, body: b"c".to_vec() }]);
+        assert_eq!(reopened.wal.next_seq(), 4);
+    }
+
+    #[test]
+    fn every_kill_point_recovers_to_a_committed_prefix() {
+        // Workload: open, three appends, reset(committed), one more append.
+        // At every kill point, recovery must yield records that are exactly
+        // a prefix of the acknowledged sequence — never torn, reordered,
+        // resurrected, or double-applied.
+        let workload = |io: &SharedIo| -> io::Result<Vec<u64>> {
+            let mut acked = Vec::new();
+            let mut open = Wal::open(io.clone(), wal_path(), 5)?;
+            for body in [b"r1".as_slice(), b"r2", b"r3"] {
+                acked.push(open.wal.append(body)?);
+            }
+            open.wal.reset(3)?;
+            acked.push(open.wal.append(b"r4")?);
+            Ok(acked)
+        };
+
+        let total = {
+            let kp = Arc::new(KillPointIo::new(MemIo::new(), None));
+            let shared: SharedIo = kp.clone();
+            workload(&shared).unwrap();
+            kp.points_used()
+        };
+        assert!(total > 8, "workload should expose many kill points, got {total}");
+
+        for kill in 0..total {
+            let kp = Arc::new(KillPointIo::new(MemIo::new(), Some(kill)));
+            let shared: SharedIo = kp.clone();
+            let _ = workload(&shared); // dies at the kill point
+            assert!(kp.crashed(), "kill point {kill} never fired");
+
+            // "Reboot": recover from the surviving bytes.
+            let survivor: SharedIo = Arc::new(MemIo::new());
+            if let Ok(bytes) = kp.inner().read(&wal_path()) {
+                survivor.write_atomic(&wal_path(), &bytes).unwrap();
+            }
+            let recovered = Wal::open(survivor, wal_path(), 5).unwrap();
+            // Sequence numbers are consecutive (no gaps, no duplicates)...
+            for pair in recovered.records.windows(2) {
+                assert_eq!(pair[1].seq, pair[0].seq + 1, "kill point {kill}");
+            }
+            // ...and every surviving record is one we actually wrote.
+            for rec in &recovered.records {
+                let expect: &[u8] = match rec.seq {
+                    1 => b"r1",
+                    2 => b"r2",
+                    3 => b"r3",
+                    4 => b"r4",
+                    other => panic!("kill point {kill}: impossible seq {other}"),
+                };
+                assert_eq!(rec.body, expect, "kill point {kill}");
+            }
+        }
+    }
+}
