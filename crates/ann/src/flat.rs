@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::budget::{Budget, BudgetedSearch};
 use crate::distance::Metric;
 use crate::index::{Neighbor, TopK, VectorIndex};
+use crate::plane::PodVec;
 use crate::sq8::Sq8Plane;
 use crate::tombstones::TombSet;
 
@@ -85,7 +86,10 @@ pub(crate) fn scan_budgeted(
 pub struct FlatIndex {
     dim: usize,
     metric: Metric,
-    data: Vec<f32>,
+    /// Row-major vectors: heap-owned after a build, or a zero-copy view
+    /// into a mapped v2 artifact section (see [`crate::plane`]). Every scan
+    /// goes through `as_slice`, so both backings search byte-identically.
+    data: PodVec<f32>,
     /// True when every stored vector is promised to be unit-norm (set at
     /// build time by the caller, e.g. DeepJoin's normalizing encoder). Lets
     /// cosine rank by the cheap `-dot` surrogate. Not persisted: decoded
@@ -106,10 +110,41 @@ impl FlatIndex {
         Self {
             dim,
             metric,
-            data: Vec::new(),
+            data: PodVec::new(),
             unit_norm: false,
             sq8: None,
         }
+    }
+
+    /// Index over an existing vector plane (heap or mapped): `data` holds
+    /// `data.len() / dim` row-major vectors. Used by the artifact decoders.
+    pub fn from_plane(dim: usize, metric: Metric, data: PodVec<f32>) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "plane length not a multiple of dim");
+        Self {
+            dim,
+            metric,
+            data,
+            unit_norm: false,
+            sq8: None,
+        }
+    }
+
+    /// The raw row-major vector plane.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The vector plane itself — clone it (cheap for mapped views) to hand
+    /// the same backing to another structure without copying.
+    pub fn plane(&self) -> &PodVec<f32> {
+        &self.data
+    }
+
+    /// True when the vector plane is a zero-copy view of a mapped artifact
+    /// rather than heap-resident (reported by `dj info`).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Declare (at build time) that every vector added is L2-normalized,
@@ -234,7 +269,8 @@ impl VectorIndex for FlatIndex {
         // than serve stale codes. Re-quantize after bulk loading.
         self.sq8 = None;
         let id = self.len() as u32;
-        self.data.extend_from_slice(vector);
+        // A mapped plane materializes to heap on first mutation.
+        self.data.make_mut().extend_from_slice(vector);
         id
     }
 

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::budget::{Budget, BudgetedSearch, Ticker};
 use crate::distance::Metric;
+use crate::graph::{Graph, Node};
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
+use crate::plane::PodVec;
 use crate::sq8::{Sq8Plane, Sq8Query};
 use crate::tombstones::TombSet;
 
@@ -106,12 +108,6 @@ impl PartialOrd for MaxCand {
     }
 }
 
-/// Adjacency of one node: `neighbors[l]` is the out-list on layer `l`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct Node {
-    neighbors: Vec<Vec<u32>>,
-}
-
 /// Reusable per-thread query scratch: an epoch-stamped visited set plus the
 /// candidate/result heaps of the layer search. Replaces the per-query
 /// `vec![false; n]` bitmap and two fresh `BinaryHeap`s — after warm-up a
@@ -193,8 +189,12 @@ impl QueryDist<'_> {
 pub struct HnswIndex {
     config: HnswConfig,
     dim: usize,
-    vectors: Vec<f32>,
-    nodes: Vec<Node>,
+    /// Row-major vectors: heap after a build, zero-copy view of a mapped
+    /// v2 artifact section after a load (see [`crate::plane`]).
+    vectors: PodVec<f32>,
+    /// Layered adjacency: heap nested lists during construction, CSR
+    /// (possibly mapped) after a v2 load (see [`crate::graph`]).
+    graph: Graph,
     entry: Option<u32>,
     max_level: usize,
     level_mult: f64,
@@ -221,8 +221,8 @@ impl HnswIndex {
             level_mult: 1.0 / (config.m as f64).ln(),
             config,
             dim,
-            vectors: Vec::new(),
-            nodes: Vec::new(),
+            vectors: PodVec::new(),
+            graph: Graph::new(),
             entry: None,
             max_level: 0,
             rng_state: config.seed,
@@ -249,35 +249,75 @@ impl HnswIndex {
         self.unit_norm
     }
 
-    /// Decompose into raw parts for persistence (see [`crate::io`]):
-    /// `(config, dim, vectors, per-node adjacency, entry, max_level,
-    /// rng_state)`.
-    #[allow(clippy::type_complexity)]
-    pub fn raw_parts(
-        &self,
-    ) -> (
-        &HnswConfig,
-        usize,
-        &[f32],
-        Vec<&Vec<Vec<u32>>>,
-        Option<u32>,
-        usize,
-        u64,
-    ) {
-        (
-            &self.config,
-            self.dim,
-            &self.vectors,
-            self.nodes.iter().map(|n| &n.neighbors).collect(),
-            self.entry,
-            self.max_level,
-            self.rng_state,
-        )
+    /// The adjacency structure (heap or CSR — see [`Graph`]), for the
+    /// persistence codecs and diagnostics.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
-    /// Rebuild an index from raw parts produced by [`Self::raw_parts`] (via
-    /// the [`crate::io`] codec). The caller is responsible for structural
-    /// consistency; out-of-range neighbor ids would panic at search time.
+    /// The raw row-major vector plane.
+    pub fn vectors(&self) -> &[f32] {
+        &self.vectors
+    }
+
+    /// The vector plane itself — clone it (cheap for mapped views) to hand
+    /// the same backing to another structure without copying.
+    pub fn vectors_plane(&self) -> &PodVec<f32> {
+        &self.vectors
+    }
+
+    /// Entry point of the top layer, if the graph is non-empty.
+    pub fn entry(&self) -> Option<u32> {
+        self.entry
+    }
+
+    /// Level of the tallest node.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Level-sampling RNG state (persisted so growth resumes identically).
+    pub fn rng_state(&self) -> u64 {
+        self.rng_state
+    }
+
+    /// True when any plane (vectors, graph, SQ8 codes) is a zero-copy view
+    /// of a mapped artifact (reported by `dj info`).
+    pub fn is_mapped(&self) -> bool {
+        self.vectors.is_mapped()
+            || self.graph.is_mapped()
+            || self.sq8.as_ref().is_some_and(|p| p.is_mapped())
+    }
+
+    /// Rebuild an index from decoded parts (via the [`crate::io`] codecs):
+    /// a vector plane (heap or mapped) and a [`Graph`] in either
+    /// representation. The caller is responsible for structural consistency
+    /// — the codecs validate shape and neighbor ranges before calling this.
+    pub fn from_graph_parts(
+        config: HnswConfig,
+        dim: usize,
+        vectors: impl Into<PodVec<f32>>,
+        graph: Graph,
+        entry: Option<u32>,
+        max_level: usize,
+        rng_state: u64,
+    ) -> Self {
+        Self {
+            level_mult: 1.0 / (config.m as f64).ln(),
+            config,
+            dim,
+            vectors: vectors.into(),
+            graph,
+            entry,
+            max_level,
+            rng_state,
+            unit_norm: false,
+            sq8: None,
+        }
+    }
+
+    /// [`Self::from_graph_parts`] with nested per-node adjacency (the v1
+    /// decode path).
     pub fn from_raw_parts(
         config: HnswConfig,
         dim: usize,
@@ -287,21 +327,15 @@ impl HnswIndex {
         max_level: usize,
         rng_state: u64,
     ) -> Self {
-        Self {
-            level_mult: 1.0 / (config.m as f64).ln(),
+        Self::from_graph_parts(
             config,
             dim,
             vectors,
-            nodes: nodes
-                .into_iter()
-                .map(|neighbors| Node { neighbors })
-                .collect(),
+            Graph::from_adjacency(nodes),
             entry,
             max_level,
             rng_state,
-            unit_norm: false,
-            sq8: None,
-        }
+        )
     }
 
     /// Quantize the stored vectors into an SQ8 plane and attach it:
@@ -374,7 +408,7 @@ impl HnswIndex {
         scratch: &mut SearchScratch,
         ticker: &mut Ticker<'_>,
     ) -> Vec<MinCand> {
-        scratch.begin(self.nodes.len());
+        scratch.begin(self.graph.len());
         for &ep in entry_points {
             if !scratch.is_visited(ep.id) {
                 scratch.mark_visited(ep.id);
@@ -397,9 +431,8 @@ impl HnswIndex {
             if cur.dist > worst && scratch.results.len() >= ef {
                 break;
             }
-            let node = &self.nodes[cur.id as usize];
-            if level < node.neighbors.len() {
-                for &nb in &node.neighbors[level] {
+            if level < self.graph.level_count(cur.id) {
+                for &nb in self.graph.neighbors(cur.id, level) {
                     if scratch.is_visited(nb) {
                         continue;
                     }
@@ -476,7 +509,7 @@ impl HnswIndex {
         } else {
             self.config.m
         };
-        let list = &self.nodes[node as usize].neighbors[level];
+        let list = self.graph.neighbors(node, level);
         if list.len() <= bound {
             return;
         }
@@ -492,7 +525,7 @@ impl HnswIndex {
             })
             .collect();
         let new_list = self.select_neighbors(cands, bound);
-        self.nodes[node as usize].neighbors[level] = new_list;
+        self.graph.heap_mut()[node as usize].neighbors[level] = new_list;
     }
 
     /// Phase 1 of the batched build: search the *frozen* graph (the state
@@ -517,9 +550,8 @@ impl HnswIndex {
             let mut changed = true;
             while changed {
                 changed = false;
-                let node = &self.nodes[ep as usize];
-                if l < node.neighbors.len() {
-                    for &nb in &node.neighbors[l] {
+                if l < self.graph.level_count(ep) {
+                    for &nb in self.graph.neighbors(ep, l) {
                         let d = self.dist(query, nb);
                         if d < ep_dist {
                             ep = nb;
@@ -606,13 +638,14 @@ impl HnswIndex {
                 cands.extend(
                     in_batch
                         .iter()
-                        .filter(|c| lev < self.nodes[c.id as usize].neighbors.len())
+                        .filter(|c| lev < self.graph.level_count(c.id))
                         .copied(),
                 );
                 let neighbors = self.select_neighbors(cands, self.config.m);
                 for &nb in &neighbors {
-                    self.nodes[id as usize].neighbors[lev].push(nb);
-                    self.nodes[nb as usize].neighbors[lev].push(id);
+                    let nodes = self.graph.heap_mut();
+                    nodes[id as usize].neighbors[lev].push(nb);
+                    nodes[nb as usize].neighbors[lev].push(id);
                     self.shrink_neighbors(nb, lev);
                 }
             }
@@ -637,22 +670,23 @@ impl HnswIndex {
         let n = vectors.len() / self.dim;
         let mut next = 0;
         // Bootstrap sequentially until the graph can seed frozen searches.
-        while next < n && self.nodes.len() < PAR_BATCH {
+        while next < n && self.graph.len() < PAR_BATCH {
             self.add(&vectors[next * self.dim..(next + 1) * self.dim]);
             next += 1;
         }
         while next < n {
             let batch = PAR_BATCH.min(n - next);
-            let first_id = self.nodes.len() as u32;
+            let first_id = self.graph.len() as u32;
             // Reserve ids: vectors, levels (sequential RNG draw — identical
             // to the order the sequential path would draw them), empty
             // adjacency. The new nodes are link-free until phase 2, so
             // frozen searches can never reach them.
             let levels: Vec<usize> = (0..batch).map(|_| self.sample_level()).collect();
             self.vectors
+                .make_mut()
                 .extend_from_slice(&vectors[next * self.dim..(next + batch) * self.dim]);
             for &l in &levels {
-                self.nodes.push(Node {
+                self.graph.heap_mut().push(Node {
                     neighbors: vec![Vec::new(); l + 1],
                 });
             }
@@ -727,9 +761,8 @@ impl HnswIndex {
             let mut changed = true;
             while changed && !descent_cut {
                 changed = false;
-                let node = &self.nodes[ep as usize];
-                if l < node.neighbors.len() {
-                    for &nb in &node.neighbors[l] {
+                if l < self.graph.level_count(ep) {
+                    for &nb in self.graph.neighbors(ep, l) {
                         let d = qd.dist(self, nb);
                         if ticker.tick() {
                             descent_cut = true;
@@ -846,7 +879,7 @@ impl VectorIndex for HnswIndex {
     }
 
     fn len(&self) -> usize {
-        self.nodes.len()
+        self.graph.len()
     }
 
     /// Algorithm 1: insert a vector. Construction always runs against the
@@ -855,10 +888,10 @@ impl VectorIndex for HnswIndex {
     fn add(&mut self, vector: &[f32]) -> u32 {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
         self.sq8 = None;
-        let id = self.nodes.len() as u32;
-        self.vectors.extend_from_slice(vector);
+        let id = self.graph.len() as u32;
+        self.vectors.make_mut().extend_from_slice(vector);
         let level = self.sample_level();
-        self.nodes.push(Node {
+        self.graph.heap_mut().push(Node {
             neighbors: vec![Vec::new(); level + 1],
         });
 
@@ -876,9 +909,8 @@ impl VectorIndex for HnswIndex {
             let mut changed = true;
             while changed {
                 changed = false;
-                let node = &self.nodes[ep as usize];
-                if l < node.neighbors.len() {
-                    for &nb in &node.neighbors[l] {
+                if l < self.graph.level_count(ep) {
+                    for &nb in self.graph.neighbors(ep, l) {
                         let d = self.dist(vector, nb);
                         if d < ep_dist {
                             ep = nb;
@@ -914,8 +946,9 @@ impl VectorIndex for HnswIndex {
                 );
                 let neighbors = self.select_neighbors(found.clone(), self.config.m);
                 for &nb in &neighbors {
-                    self.nodes[id as usize].neighbors[lev].push(nb);
-                    self.nodes[nb as usize].neighbors[lev].push(id);
+                    let nodes = self.graph.heap_mut();
+                    nodes[id as usize].neighbors[lev].push(nb);
+                    nodes[nb as usize].neighbors[lev].push(id);
                     self.shrink_neighbors(nb, lev);
                 }
                 entry_points = found;
@@ -1036,10 +1069,11 @@ mod tests {
         let cfg = HnswConfig::default();
         let mut idx = HnswIndex::new(6, cfg);
         idx.add_batch(&data);
-        for node in &idx.nodes {
-            for (l, nbs) in node.neighbors.iter().enumerate() {
+        for id in 0..idx.len() as u32 {
+            for l in 0..idx.graph().level_count(id) {
+                let deg = idx.graph().neighbors(id, l).len();
                 let bound = if l == 0 { cfg.m0 } else { cfg.m };
-                assert!(nbs.len() <= bound, "layer {l} degree {}", nbs.len());
+                assert!(deg <= bound, "layer {l} degree {deg}");
             }
         }
     }
@@ -1123,10 +1157,11 @@ mod tests {
         let cfg = HnswConfig::default();
         let mut idx = HnswIndex::new(6, cfg);
         idx.add_batch_parallel(&data, &Pool::new(4));
-        for node in &idx.nodes {
-            for (l, nbs) in node.neighbors.iter().enumerate() {
+        for id in 0..idx.len() as u32 {
+            for l in 0..idx.graph().level_count(id) {
+                let deg = idx.graph().neighbors(id, l).len();
                 let bound = if l == 0 { cfg.m0 } else { cfg.m };
-                assert!(nbs.len() <= bound, "layer {l} degree {}", nbs.len());
+                assert!(deg <= bound, "layer {l} degree {deg}");
             }
         }
     }

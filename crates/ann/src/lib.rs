@@ -11,23 +11,29 @@
 
 pub mod budget;
 pub mod distance;
+pub mod graph;
 pub mod io;
 pub mod flat;
 pub mod hnsw;
 pub mod index;
 pub mod ivfpq;
 pub mod kmeans;
+pub mod plane;
 pub mod pq;
+pub mod segmented;
 pub mod sq8;
 pub mod tombstones;
 
 pub use budget::{Budget, BudgetedSearch};
 pub use distance::Metric;
 pub use flat::FlatIndex;
+pub use graph::Graph;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use index::{Neighbor, VectorIndex};
 pub use ivfpq::{IvfPqConfig, IvfPqIndex};
 pub use kmeans::{Kmeans, KmeansConfig};
+pub use plane::{ByteOwner, Pod, PodVec};
 pub use pq::{PqConfig, ProductQuantizer};
+pub use segmented::search_segments;
 pub use sq8::{Sq8Plane, Sq8Query, RESCORE_FACTOR};
 pub use tombstones::TombSet;

@@ -1,0 +1,293 @@
+//! Plane storage: one contiguous typed array that is either **heap-owned**
+//! (`Vec<T>`) or a **zero-copy view** into bytes owned elsewhere — an open
+//! `mmap(2)` of a DJAR v2 artifact, or any other pinned byte buffer.
+//!
+//! Every hot array in the ANN stack (f32 vector rows, SQ8 codes and affine
+//! parameters, CSR graph offset/neighbor tables) is a [`PodVec`], and every
+//! consumer goes through [`PodVec::as_slice`], so search runs *byte
+//! identically* on either backing: the slice a scan kernel sees is the same
+//! numbers whether they were decoded onto the heap or reinterpreted in
+//! place from a mapping.
+//!
+//! Safety model: a mapped view is only constructible through
+//! [`PodVec::from_bytes`], which checks that the designated range is
+//! in-bounds and aligned for `T` *at its current address* and keeps the
+//! owner alive in an `Arc`. Element types are limited to the sealed [`Pod`]
+//! set (plain little-endian numeric types with no invalid bit patterns).
+//! Reinterpretation assumes a little-endian host — the codecs write LE — so
+//! on a big-endian target `from_bytes` refuses and callers fall back to the
+//! heap decode path (correct everywhere, zero-copy where it matters).
+//!
+//! Mutation always goes through [`PodVec::make_mut`], which materializes a
+//! mapped view into an owned `Vec<T>` first: indexes opened zero-copy stay
+//! immutable for free, and an explicit `add` simply pays one copy to become
+//! heap-backed again.
+
+use std::sync::Arc;
+
+/// The byte buffer a mapped [`PodVec`] borrows from. `Arc`-shared so any
+/// number of planes (vectors, codes, graph arrays) can view one open
+/// mapping; the mapping unmaps when the last plane drops.
+pub type ByteOwner = Arc<dyn AsRef<[u8]> + Send + Sync>;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+}
+
+/// Element types a plane may reinterpret from raw little-endian bytes:
+/// fixed-size numerics where every bit pattern is a valid value.
+pub trait Pod: Copy + Send + Sync + sealed::Sealed + 'static {}
+impl Pod for u8 {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for f32 {}
+
+enum Backing<T: Pod> {
+    Heap(Vec<T>),
+    Mapped {
+        owner: ByteOwner,
+        /// Byte offset of the first element within the owner.
+        offset: usize,
+        /// Element (not byte) count.
+        len: usize,
+    },
+}
+
+/// A typed contiguous array over heap or mapped backing. See the module
+/// docs for the contract.
+pub struct PodVec<T: Pod> {
+    backing: Backing<T>,
+}
+
+impl<T: Pod> Default for PodVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for PodVec<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self {
+            backing: Backing::Heap(v),
+        }
+    }
+}
+
+impl<T: Pod> PodVec<T> {
+    /// Empty heap-backed plane.
+    pub fn new() -> Self {
+        Vec::new().into()
+    }
+
+    /// Zero-copy view of `len` elements of `T` starting `offset` bytes into
+    /// `owner`'s buffer. Returns `None` when the range is out of bounds,
+    /// the start address is misaligned for `T`, or the host is big-endian
+    /// (the bytes are little-endian) — callers then decode to heap instead.
+    pub fn from_bytes(owner: ByteOwner, offset: usize, len: usize) -> Option<Self> {
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        let bytes: &[u8] = owner.as_ref().as_ref();
+        let need = len.checked_mul(std::mem::size_of::<T>())?;
+        if offset.checked_add(need)? > bytes.len() {
+            return None;
+        }
+        if !(bytes.as_ptr() as usize + offset).is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        Some(Self {
+            backing: Backing::Mapped { owner, offset, len },
+        })
+    }
+
+    /// The elements. For mapped backing this reinterprets the owner's bytes
+    /// in place (bounds and alignment were proven at construction).
+    pub fn as_slice(&self) -> &[T] {
+        match &self.backing {
+            Backing::Heap(v) => v,
+            Backing::Mapped { owner, offset, len } => {
+                let bytes: &[u8] = owner.as_ref().as_ref();
+                // Safety: from_bytes checked offset + len*size <= bytes.len()
+                // and alignment of this exact address; T is Pod (any bit
+                // pattern valid); the owner is immutable and pinned by Arc.
+                unsafe {
+                    std::slice::from_raw_parts(bytes.as_ptr().add(*offset) as *const T, *len)
+                }
+            }
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            Backing::Heap(v) => v.len(),
+            Backing::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this plane is a zero-copy view rather than owned heap —
+    /// the `dj info` mapped-vs-resident distinction.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped { .. })
+    }
+
+    /// Heap bytes this plane itself retains. Mapped planes retain none
+    /// (their pages are file-backed and shared); heap planes retain their
+    /// allocation.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.backing {
+            Backing::Heap(v) => v.capacity() * std::mem::size_of::<T>(),
+            Backing::Mapped { .. } => 0,
+        }
+    }
+
+    /// Mutable access, materializing a mapped view into owned heap first
+    /// (one copy, after which the plane stays heap-backed).
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        if let Backing::Mapped { .. } = self.backing {
+            let copied = self.as_slice().to_vec();
+            self.backing = Backing::Heap(copied);
+        }
+        match &mut self.backing {
+            Backing::Heap(v) => v,
+            Backing::Mapped { .. } => unreachable!("materialized above"),
+        }
+    }
+
+    /// Consume into an owned `Vec` (copying if mapped).
+    pub fn into_vec(mut self) -> Vec<T> {
+        std::mem::take(self.make_mut())
+    }
+}
+
+impl<'a, T: Pod> IntoIterator for &'a PodVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Pod> std::ops::Deref for PodVec<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for PodVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PodVec")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl<T: Pod> Clone for PodVec<T> {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            Backing::Heap(v) => v.clone().into(),
+            // Cloning a view clones the Arc, not the bytes.
+            Backing::Mapped { owner, offset, len } => Self {
+                backing: Backing::Mapped {
+                    owner: owner.clone(),
+                    offset: *offset,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for PodVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner_from(bytes: Vec<u8>) -> ByteOwner {
+        Arc::new(bytes)
+    }
+
+    #[test]
+    fn heap_roundtrip() {
+        let mut p: PodVec<f32> = vec![1.0, 2.0, 3.0].into();
+        assert_eq!(p.as_slice(), &[1.0, 2.0, 3.0]);
+        assert!(!p.is_mapped());
+        assert!(p.resident_bytes() >= 12);
+        p.make_mut().push(4.0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn mapped_view_reads_le_bytes_in_place() {
+        let values = [1.5f32, -2.25, 1e-8, f32::MAX];
+        let mut bytes = vec![0u8; 16]; // leading pad to test nonzero offset
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let p = PodVec::<f32>::from_bytes(owner_from(bytes), 16, 4).unwrap();
+        assert!(p.is_mapped());
+        assert_eq!(p.resident_bytes(), 0);
+        assert_eq!(p.as_slice(), &values);
+    }
+
+    #[test]
+    fn out_of_bounds_and_misaligned_views_are_refused() {
+        let bytes: Vec<u8> = (0..64).collect();
+        // Too long.
+        assert!(PodVec::<u32>::from_bytes(owner_from(bytes.clone()), 0, 17).is_none());
+        // Offset past the end.
+        assert!(PodVec::<u32>::from_bytes(owner_from(bytes.clone()), 65, 0).is_none());
+        // Vec<u8> allocations are sufficiently aligned that offset parity
+        // controls element alignment: an odd offset can never hold a u32.
+        assert!(PodVec::<u32>::from_bytes(owner_from(bytes), 1, 4).is_none());
+    }
+
+    #[test]
+    fn make_mut_materializes_mapped_to_heap() {
+        let mut bytes = Vec::new();
+        for v in [7u32, 8, 9] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut p = PodVec::<u32>::from_bytes(owner_from(bytes), 0, 3).unwrap();
+        assert!(p.is_mapped());
+        p.make_mut().push(10);
+        assert!(!p.is_mapped());
+        assert_eq!(p.as_slice(), &[7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn clone_of_mapped_view_shares_the_owner() {
+        let bytes: Vec<u8> = vec![1, 0, 0, 0, 2, 0, 0, 0];
+        let p = PodVec::<u32>::from_bytes(owner_from(bytes), 0, 2).unwrap();
+        let q = p.clone();
+        assert!(q.is_mapped());
+        assert_eq!(p.as_slice(), q.as_slice());
+    }
+
+    #[test]
+    fn u8_views_have_no_alignment_constraint() {
+        let bytes: Vec<u8> = (0..32).collect();
+        for offset in 0..8 {
+            let p = PodVec::<u8>::from_bytes(owner_from(bytes.clone()), offset, 8).unwrap();
+            assert_eq!(p.as_slice(), &bytes[offset..offset + 8]);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Scatter-gather search over a segmented index.
+//!
+//! A segmented index is N immutable segments (mapped DJAR files, live-lake
+//! flush segments, a memtable snapshot) that each answer a top-k query
+//! independently. [`search_segments`] scatters the per-segment searches
+//! across a [`Pool`], then gathers every partial result through the same
+//! bounded [`TopK`] selector the per-index scans use — so the merged result
+//! is **deterministic** (independent of thread count and completion order)
+//! and exactly what a serial loop over the segments would produce.
+//!
+//! The per-segment closure returns global ids: segments number their rows
+//! locally, so the closure is where slab-local → global id translation
+//! happens (the caller owns that mapping; see `LiveView::search`).
+
+use crate::budget::BudgetedSearch;
+use crate::index::TopK;
+use deepjoin_par::Pool;
+
+/// Search every segment via `f`, merging the partial top-k lists into one
+/// bounded top-k. Per-segment searches run scattered on `pool` (serial pools
+/// degrade gracefully to the old loop); results are gathered in segment
+/// order, so hits, `complete`, and `visited` are identical across thread
+/// counts. `f` must return hits with **global** ids, ascending by
+/// `(distance, id)` as every budgeted search in this crate does.
+pub fn search_segments<S, F>(pool: &Pool, segments: &[S], k: usize, f: F) -> BudgetedSearch
+where
+    S: Sync,
+    F: Fn(&S) -> BudgetedSearch + Sync,
+{
+    // One partial per chunk of segments, in chunk order (deterministic).
+    let partials: Vec<BudgetedSearch> = pool.map(segments.len(), 1, |range| {
+        let mut top = TopK::new(k);
+        let mut complete = true;
+        let mut visited = 0usize;
+        for seg in &segments[range] {
+            let r = f(seg);
+            complete &= r.complete;
+            visited += r.visited;
+            for n in r.hits {
+                top.push(n.id, n.distance);
+            }
+        }
+        BudgetedSearch {
+            hits: top.into_sorted(),
+            complete,
+            visited,
+        }
+    });
+
+    let mut top = TopK::new(k);
+    let mut complete = true;
+    let mut visited = 0usize;
+    for p in partials {
+        complete &= p.complete;
+        visited += p.visited;
+        for n in p.hits {
+            top.push(n.id, n.distance);
+        }
+    }
+    BudgetedSearch {
+        hits: top.into_sorted(),
+        complete,
+        visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::distance::Metric;
+    use crate::flat::FlatIndex;
+    use crate::index::{Neighbor, VectorIndex};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A toy segment: a flat index plus the global id of its first row.
+    struct Seg {
+        base: u32,
+        index: FlatIndex,
+    }
+
+    fn build_segments(n_segs: usize, rows_per: usize, dim: usize) -> (Vec<Seg>, FlatIndex) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut all = FlatIndex::new(dim, Metric::L2);
+        let mut segs = Vec::new();
+        for s in 0..n_segs {
+            let data: Vec<f32> = (0..rows_per * dim)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
+            let mut idx = FlatIndex::new(dim, Metric::L2);
+            idx.add_batch(&data);
+            all.add_batch(&data);
+            segs.push(Seg {
+                base: (s * rows_per) as u32,
+                index: idx,
+            });
+        }
+        (segs, all)
+    }
+
+    fn search_all(pool: &Pool, segs: &[Seg], q: &[f32], k: usize) -> BudgetedSearch {
+        let budget = Budget::unlimited();
+        search_segments(pool, segs, k, |seg| {
+            let mut r = seg.index.search_budgeted_filtered(q, k, &budget, None);
+            for n in &mut r.hits {
+                n.id += seg.base;
+            }
+            r
+        })
+    }
+
+    #[test]
+    fn scatter_gather_matches_one_big_index() {
+        let (segs, all) = build_segments(7, 50, 6);
+        let q: Vec<f32> = vec![0.1; 6];
+        let merged = search_all(&Pool::global(), &segs, &q, 10);
+        let oracle: Vec<Neighbor> = all.search(&q, 10);
+        assert_eq!(merged.hits, oracle);
+        assert!(merged.complete);
+        assert_eq!(merged.visited, 7 * 50);
+    }
+
+    #[test]
+    fn result_is_thread_count_independent() {
+        let (segs, _) = build_segments(9, 40, 5);
+        let q: Vec<f32> = vec![-0.3; 5];
+        let serial = search_all(&Pool::serial(), &segs, &q, 8);
+        for threads in [2, 3, 8] {
+            let parallel = search_all(&Pool::new(threads), &segs, &q, 8);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_segment_list_yields_empty_complete_result() {
+        let segs: Vec<Seg> = Vec::new();
+        let r = search_all(&Pool::global(), &segs, &[0.0; 4], 5);
+        assert!(r.hits.is_empty());
+        assert!(r.complete);
+        assert_eq!(r.visited, 0);
+    }
+
+    #[test]
+    fn incomplete_partials_mark_the_merge_incomplete() {
+        let (segs, _) = build_segments(3, 30, 4);
+        let q = vec![0.0; 4];
+        // An already-expired budget: every scan stops before any work.
+        let budget = Budget::with_deadline(std::time::Instant::now());
+        let r = search_segments(&Pool::global(), &segs, 5, |seg| {
+            seg.index.search_budgeted_filtered(&q, 5, &budget, None)
+        });
+        assert!(!r.complete);
+    }
+}

@@ -19,6 +19,7 @@
 use crate::budget::{Budget, BudgetedSearch};
 use crate::distance::Metric;
 use crate::index::TopK;
+use crate::plane::PodVec;
 use crate::tombstones::TombSet;
 
 /// Candidate over-fetch for the quantized first stage: the quantized scan
@@ -36,14 +37,16 @@ const SCAN_BLOCK: usize = 256;
 pub struct Sq8Plane {
     dim: usize,
     /// Per-dimension step size `(max − min) / 255` (0 for constant dims).
-    scale: Vec<f32>,
+    /// All four arrays are [`PodVec`]s: heap after quantization, zero-copy
+    /// views when decoded from a mapped v2 artifact section.
+    scale: PodVec<f32>,
     /// Per-dimension minimum (the value code 0 decodes to).
-    offset: Vec<f32>,
+    offset: PodVec<f32>,
     /// Row-major `n × dim` codes.
-    codes: Vec<u8>,
+    codes: PodVec<u8>,
     /// L2 norm of each *dequantized* row, for cosine without the unit-norm
     /// promise.
-    row_norm: Vec<f32>,
+    row_norm: PodVec<f32>,
 }
 
 impl Sq8Plane {
@@ -53,8 +56,8 @@ impl Sq8Plane {
     pub fn quantize(data: &[f32], dim: usize) -> Self {
         let (scale, offset) = Self::affine_from(data, dim);
         let mut plane = Self::with_affine(dim, scale, offset);
-        plane.codes.reserve(data.len());
-        plane.row_norm.reserve(data.len() / dim.max(1));
+        plane.codes.make_mut().reserve(data.len());
+        plane.row_norm.make_mut().reserve(data.len() / dim.max(1));
         for row in data.chunks_exact(dim) {
             plane.push(row);
         }
@@ -100,10 +103,10 @@ impl Sq8Plane {
         assert_eq!(offset.len(), dim, "offset length mismatch");
         Self {
             dim,
-            scale,
-            offset,
-            codes: Vec::new(),
-            row_norm: Vec::new(),
+            scale: scale.into(),
+            offset: offset.into(),
+            codes: PodVec::new(),
+            row_norm: PodVec::new(),
         }
     }
 
@@ -112,6 +115,7 @@ impl Sq8Plane {
     pub fn push(&mut self, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
         let mut norm_sq = 0f32;
+        let codes = self.codes.make_mut();
         for (d, &x) in vector.iter().enumerate() {
             let c = if self.scale[d] > 0.0 {
                 ((x - self.offset[d]) / self.scale[d])
@@ -120,22 +124,25 @@ impl Sq8Plane {
             } else {
                 0
             };
-            self.codes.push(c);
+            codes.push(c);
             let deq = self.offset[d] + self.scale[d] * c as f32;
             norm_sq += deq * deq;
         }
-        self.row_norm.push(norm_sq.sqrt());
+        self.row_norm.make_mut().push(norm_sq.sqrt());
     }
 
-    /// Reassemble a plane from decoded parts (the `DJQ1` codec). Shape
+    /// Reassemble a plane from decoded parts (the `DJQ1`/`DJQ2` codecs).
+    /// Accepts owned `Vec`s or zero-copy [`PodVec`] views alike. Shape
     /// validation is the codec's job; this only debug-asserts.
     pub fn from_parts(
         dim: usize,
-        scale: Vec<f32>,
-        offset: Vec<f32>,
-        codes: Vec<u8>,
-        row_norm: Vec<f32>,
+        scale: impl Into<PodVec<f32>>,
+        offset: impl Into<PodVec<f32>>,
+        codes: impl Into<PodVec<u8>>,
+        row_norm: impl Into<PodVec<f32>>,
     ) -> Self {
+        let (scale, offset, codes, row_norm) =
+            (scale.into(), offset.into(), codes.into(), row_norm.into());
         debug_assert_eq!(scale.len(), dim);
         debug_assert_eq!(offset.len(), dim);
         debug_assert_eq!(codes.len(), row_norm.len() * dim.max(1));
@@ -197,11 +204,18 @@ impl Sq8Plane {
         }
     }
 
-    /// Bytes resident for this plane (codes + per-dim maps + row norms).
+    /// Heap bytes resident for this plane (codes + per-dim maps + row
+    /// norms). Mapped arrays count zero — their pages are file-backed.
     pub fn resident_bytes(&self) -> usize {
-        self.codes.len()
-            + (self.scale.len() + self.offset.len() + self.row_norm.len())
-                * std::mem::size_of::<f32>()
+        self.codes.resident_bytes()
+            + self.scale.resident_bytes()
+            + self.offset.resident_bytes()
+            + self.row_norm.resident_bytes()
+    }
+
+    /// True when the code matrix is a zero-copy view of a mapped artifact.
+    pub fn is_mapped(&self) -> bool {
+        self.codes.is_mapped()
     }
 
     /// Fold a query into the precomputed form the asymmetric kernels

@@ -61,7 +61,7 @@ use std::process::ExitCode;
 
 use deepjoin::checkpoint::CheckpointStore;
 use deepjoin::model::{DeepJoin, DeepJoinConfig, IndexHealth, Variant};
-use deepjoin::persist::{load_model, save_model};
+use deepjoin::persist::{load_model_path, save_model};
 use deepjoin::train::{FineTuneConfig, JoinType};
 use deepjoin::trainer::TrainerConfig;
 use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
@@ -179,10 +179,10 @@ fn load_lake(path: &str) -> Result<Corpus, Box<dyn std::error::Error>> {
     Ok(Corpus::generate(config))
 }
 
-/// Load a model snapshot, surfacing any degradation warnings on stderr.
+/// Load a model snapshot through the shared zero-copy-capable loader,
+/// surfacing any degradation warnings on stderr.
 fn load_model_file(path: &str) -> Result<DeepJoin, Box<dyn std::error::Error>> {
-    let bytes = std::fs::read(path)?;
-    let loaded = load_model(&bytes)?;
+    let loaded = load_model_path(Path::new(path))?;
     for w in &loaded.warnings {
         eprintln!("warning: {path}: {w}");
     }
@@ -627,6 +627,11 @@ fn cmd_ctl(args: &[String]) -> CliResult {
             println!("queue capacity  : {}", s.queue_capacity);
             println!("cache hits      : {}", s.cache_hits);
             println!("cache misses    : {}", s.cache_misses);
+            if let Some(us) = s.last_reload_micros {
+                if us > 0 {
+                    println!("last reload     : {:.3} ms", us as f64 / 1000.0);
+                }
+            }
             if let Some(live) = &s.live {
                 println!("live segments   : {}", live.segments);
                 println!("wal bytes       : {}", live.wal_bytes);
@@ -670,11 +675,11 @@ fn cmd_ctl(args: &[String]) -> CliResult {
 
 fn cmd_info(args: &[String]) -> CliResult {
     let model_path = args.first().ok_or("missing <in.model>")?;
-    let bytes = std::fs::read(model_path)?;
-    let loaded = load_model(&bytes)?;
+    let loaded = load_model_path(Path::new(model_path))?;
     for w in &loaded.warnings {
         eprintln!("warning: {model_path}: {w}");
     }
+    let sections = loaded.sections;
     let model = loaded.model;
     let cfg = model.config();
     println!("variant       : {:?}", cfg.variant);
@@ -701,12 +706,15 @@ fn cmd_info(args: &[String]) -> CliResult {
         }
         None => println!("quantization  : none (exact f32)"),
     }
-    if deepjoin_store::is_container(&bytes) {
-        if let Ok(container) = deepjoin_store::Container::parse(&bytes) {
-            println!("sections      :");
-            for (name, len) in container.section_sizes() {
-                println!("  {:<4}        : {len} bytes", String::from_utf8_lossy(&name));
-            }
+    if !sections.is_empty() {
+        println!("sections      :");
+        for s in &sections {
+            let backing = if s.mapped {
+                "mapped (zero-copy)".to_string()
+            } else {
+                format!("{} bytes resident", s.resident)
+            };
+            println!("  {:<4}        : {} bytes on disk, {backing}", s.name, s.bytes);
         }
     }
     match model.lineage() {

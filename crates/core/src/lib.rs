@@ -55,7 +55,7 @@ pub use model::{
     DeepJoin, DeepJoinConfig, IndexHealth, IndexState, LadderSearch, TrainLineage, TrainReport,
     Variant,
 };
-pub use persist::{load_model, save_model, LoadedModel};
+pub use persist::{load_model, load_model_path, save_model, LoadedModel, SectionInfo};
 pub use rerank::{RerankConfig, RerankingSearcher};
 pub use serving::{live_snapshot_loader, snapshot_loader, ServedModel};
 pub use text::{CellFrequencies, Textizer, TransformOption};

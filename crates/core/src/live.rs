@@ -40,12 +40,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use deepjoin_ann::budget::{Budget, BudgetedSearch};
-use deepjoin_ann::index::Neighbor;
-use deepjoin_ann::io::{decode_tombs_in, encode_tombs};
+use deepjoin_ann::io::{decode_flat_v2_in, decode_tombs_in, encode_flat_v2, encode_tombs, MappedPayload};
+use deepjoin_ann::plane::ByteOwner;
+use deepjoin_ann::segmented::search_segments;
 use deepjoin_ann::{FlatIndex, Metric, TombSet, VectorIndex};
 use deepjoin_lake::column::{Column, ColumnMeta};
+use deepjoin_par::Pool;
 use deepjoin_store::codec::{DecodeError, DecodeErrorKind, Reader, Writer};
-use deepjoin_store::{Container, ContainerBuilder, SharedIo, Wal, WalOpen};
+use deepjoin_store::{is_aligned_container, Container, ContainerBuilder, Mmap, SharedIo, Wal, WalOpen};
 
 use crate::model::DeepJoin;
 
@@ -59,11 +61,17 @@ pub const SECTION_MANIFEST: [u8; 4] = *b"MNFS";
 pub const SECTION_TOMBS: [u8; 4] = *b"TOMB";
 /// Segment container section: the embedded live rows.
 pub const SECTION_SEGMENT: [u8; 4] = *b"SEGM";
+/// Segment container section (v2 layout): the row vectors as a `DJF2`
+/// aligned flat-index payload, mappable zero-copy.
+pub const SECTION_SEGMENT_VECS: [u8; 4] = *b"VECS";
 
 const MANIFEST_MAGIC: &[u8; 4] = b"DJMF";
 const MANIFEST_VERSION: u8 = 1;
 const SEGMENT_MAGIC: &[u8; 4] = b"DJS1";
 const SEGMENT_VERSION: u8 = 1;
+/// v2 segment header magic: ids + labels only, vectors live in the
+/// `VECS` section of the same (aligned) container.
+const SEGMENT_MAGIC_V2: &[u8; 4] = b"DJS2";
 
 /// WAL record body tags.
 const OP_ADD_TABLE: u8 = 1;
@@ -256,9 +264,14 @@ fn decode_tombs(buf: &[u8]) -> Result<TombSet, DecodeError> {
     decode_tombs_in(buf, "TOMB")
 }
 
-fn encode_segment(rows: &[LiveRow], dim: usize) -> Vec<u8> {
-    let mut w = Writer::with_capacity(64 + rows.len() * (16 + dim * 4));
-    w.put_slice(SEGMENT_MAGIC);
+/// Encode a segment in the aligned (v2) container layout: the `SEGM`
+/// section carries ids and labels only, and the vector plane lives in a
+/// separate `VECS` section as a v2 flat payload whose raw f32 blob sits
+/// on a 64-byte file boundary — so a reopened segment file can be
+/// mmap'd and searched in place without copying the vectors.
+fn encode_segment(rows: &[LiveRow], dim: usize, metric: Metric) -> Vec<u8> {
+    let mut w = Writer::with_capacity(32 + rows.len() * 16);
+    w.put_slice(SEGMENT_MAGIC_V2);
     w.put_u8(SEGMENT_VERSION);
     w.put_u32_le(dim as u32);
     w.put_u32_le(rows.len() as u32);
@@ -267,17 +280,31 @@ fn encode_segment(rows: &[LiveRow], dim: usize) -> Vec<u8> {
         w.put_str(&r.table);
         w.put_str(&r.column);
     }
-    let mut data = Vec::with_capacity(rows.len() * dim);
+    // Same construction as `Segment::build`, so the bytes on disk are
+    // exactly the plane a freshly flushed in-memory segment searches.
+    let mut index = FlatIndex::new(dim.max(1), metric).with_unit_norm(true);
     for r in rows {
-        data.extend_from_slice(&r.embedding);
+        index.add(&r.embedding);
     }
-    w.put_f32s(&data);
-    ContainerBuilder::new()
+    ContainerBuilder::aligned()
         .section(SECTION_SEGMENT, w.into_vec())
+        .section(SECTION_SEGMENT_VECS, encode_flat_v2(&index))
         .build()
 }
 
-fn decode_segment(bytes: &[u8], dim: usize) -> Result<Vec<LiveRow>, DecodeError> {
+/// Decode a segment container straight into a loaded [`Segment`].
+///
+/// Handles both on-disk generations: the aligned v2 layout (`DJS2`
+/// header + `VECS` flat payload, viewed zero-copy when `mapped` carries
+/// the file's pinned mapping) and the legacy v1 row format (always
+/// heap-decoded). Structural validation is identical either way — a
+/// mapping is never trusted.
+fn decode_segment_loaded(
+    bytes: &[u8],
+    mapped: Option<&ByteOwner>,
+    dim: usize,
+    metric: Metric,
+) -> Result<Segment, DecodeError> {
     let container = Container::parse(bytes)?;
     let payload = match container.section(SECTION_SEGMENT, "SEGM") {
         None => {
@@ -290,6 +317,59 @@ fn decode_segment(bytes: &[u8], dim: usize) -> Result<Vec<LiveRow>, DecodeError>
         Some(res) => res?,
     };
     let mut r = Reader::new(payload, "SEGM");
+    if payload.starts_with(SEGMENT_MAGIC_V2) {
+        r.expect_magic(SEGMENT_MAGIC_V2)?;
+        r.expect_version(SEGMENT_VERSION)?;
+        let seg_dim = r.u32_le()? as usize;
+        if seg_dim != dim {
+            return Err(r.error(DecodeErrorKind::Invalid(
+                "segment dimensionality disagrees with the model",
+            )));
+        }
+        // A row header is at least id + two string length prefixes.
+        let n = r.count_u32(12)?;
+        let mut ids = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(r.u32_le()?);
+            labels.push((r.str_prefixed()?, r.str_prefixed()?));
+        }
+        if !r.is_empty() {
+            return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after segment")));
+        }
+        let range = match container.section_range(SECTION_SEGMENT_VECS, "VECS") {
+            None => {
+                return Err(DecodeError::new(
+                    DecodeErrorKind::Invalid("segment container has no VECS section"),
+                    "VECS",
+                    0,
+                ))
+            }
+            Some(res) => res?,
+        };
+        let vecs = &bytes[range.offset..range.offset + range.len];
+        let src = mapped.map(|owner| MappedPayload {
+            owner: owner.clone(),
+            base: range.offset,
+        });
+        let index = decode_flat_v2_in(vecs, "VECS", src.as_ref())?;
+        if index.len() != n || index.dim() != dim.max(1) || index.metric() != metric {
+            return Err(DecodeError::new(
+                DecodeErrorKind::Invalid("segment vector plane disagrees with its header"),
+                "VECS",
+                0,
+            ));
+        }
+        return Ok(Segment {
+            ids: Arc::new(ids),
+            labels: Arc::new(labels),
+            // `Segment::build` stores unit-norm rows; restore the same
+            // cosine fast path so mapped and rebuilt segments score
+            // byte-identically.
+            index: Arc::new(index.with_unit_norm(true)),
+        });
+    }
+    // Legacy v1 segment: inline rows, always heap.
     r.expect_magic(SEGMENT_MAGIC)?;
     r.expect_version(SEGMENT_VERSION)?;
     let seg_dim = r.u32_le()? as usize;
@@ -316,7 +396,7 @@ fn decode_segment(bytes: &[u8], dim: usize) -> Result<Vec<LiveRow>, DecodeError>
     if !r.is_empty() {
         return Err(r.error(DecodeErrorKind::Invalid("trailing bytes after segment")));
     }
-    Ok(heads
+    let rows: Vec<LiveRow> = heads
         .into_iter()
         .zip(data.chunks(dim.max(1)))
         .map(|((id, table, column), chunk)| LiveRow {
@@ -325,7 +405,37 @@ fn decode_segment(bytes: &[u8], dim: usize) -> Result<Vec<LiveRow>, DecodeError>
             column,
             embedding: chunk.to_vec(),
         })
-        .collect())
+        .collect();
+    Ok(Segment::build(&rows, dim, metric))
+}
+
+/// Open one segment file. Tries the zero-copy path first — mmap the
+/// real file and view its vector plane in place — and falls back to the
+/// io-mediated heap read for legacy v1 segments, non-aligned files, and
+/// test doubles whose "files" have no real backing on disk. Any failure
+/// on the mapped path (including a file that parses but fails
+/// validation) retries through `io`, so fault-injection wrappers always
+/// see the read they expect to intercept.
+fn load_segment(
+    io: &SharedIo,
+    path: &std::path::Path,
+    dim: usize,
+    metric: Metric,
+) -> Result<Segment, String> {
+    if crate::persist::mmap_enabled() {
+        if let Ok(map) = Mmap::open(path) {
+            if is_aligned_container(&map) {
+                let owner: ByteOwner = Arc::new(map);
+                let buf_owner = owner.clone();
+                let buf: &[u8] = buf_owner.as_ref().as_ref();
+                if let Ok(seg) = decode_segment_loaded(buf, Some(&owner), dim, metric) {
+                    return Ok(seg);
+                }
+            }
+        }
+    }
+    let bytes = io.read(path).map_err(|e| e.to_string())?;
+    decode_segment_loaded(&bytes, None, dim, metric).map_err(|e| e.to_string())
 }
 
 /// Decoded WAL record bodies.
@@ -490,29 +600,22 @@ impl LiveView {
     }
 
     /// Exact top-k over the live rows (dead rows filtered at candidate
-    /// collection). Returned ids are global; the caller merges them with
-    /// the base index's hits through the same bounded top-k selector, so
-    /// the combined result is deterministic.
+    /// collection), scatter-gathered across the slabs on the shared
+    /// worker pool and merged through the bounded top-k selector — so
+    /// the result holds at most `k` hits and is identical for any
+    /// thread count. Returned ids are global; the caller merges them
+    /// with the base index's hits through the same selector, so the
+    /// combined result is deterministic.
     pub fn search(&self, query: &[f32], k: usize, budget: &Budget) -> BudgetedSearch {
-        let mut hits = Vec::new();
-        let mut complete = true;
-        let mut visited = 0;
-        for slab in &self.slabs {
-            let r = slab
+        search_segments(&Pool::global(), &self.slabs, k, |slab| {
+            let mut r = slab
                 .index
                 .search_budgeted_filtered(query, k, budget, Some(&slab.dead));
-            complete &= r.complete;
-            visited += r.visited;
-            hits.extend(r.hits.into_iter().map(|n| Neighbor {
-                id: slab.ids[n.id as usize],
-                distance: n.distance,
-            }));
-        }
-        BudgetedSearch {
-            hits,
-            complete,
-            visited,
-        }
+            for n in &mut r.hits {
+                n.id = slab.ids[n.id as usize];
+            }
+            r
+        })
     }
 }
 
@@ -640,13 +743,9 @@ impl LiveLake {
         let mut segments = Vec::new();
         let mut metas = Vec::new();
         for meta in std::mem::take(&mut manifest.segments) {
-            let decoded = io
-                .read(&dir.join(&meta.file))
-                .map_err(|e| e.to_string())
-                .and_then(|b| decode_segment(&b, dim).map_err(|e| e.to_string()));
-            match decoded {
-                Ok(rows) => {
-                    segments.push(Segment::build(&rows, dim, metric));
+            match load_segment(&io, &dir.join(&meta.file), dim, metric) {
+                Ok(seg) => {
+                    segments.push(seg);
                     metas.push(meta);
                 }
                 Err(e) => warnings.push(format!(
@@ -902,7 +1001,10 @@ impl LiveLake {
             let file = format!("seg-{:06}.djar", manifest.next_seg);
             manifest.next_seg += 1;
             self.io
-                .write_atomic(&self.dir.join(&file), &encode_segment(&inner.mem, self.dim))?;
+                .write_atomic(
+                    &self.dir.join(&file),
+                    &encode_segment(&inner.mem, self.dim, self.metric),
+                )?;
             manifest.segments.push(SegmentMeta {
                 file: file.clone(),
                 rows: inner.mem.len() as u32,
@@ -965,7 +1067,10 @@ impl LiveLake {
             let file = format!("seg-{:06}.djar", manifest.next_seg);
             manifest.next_seg += 1;
             self.io
-                .write_atomic(&self.dir.join(&file), &encode_segment(&rows, self.dim))?;
+                .write_atomic(
+                    &self.dir.join(&file),
+                    &encode_segment(&rows, self.dim, self.metric),
+                )?;
             manifest.segments.push(SegmentMeta {
                 file: file.clone(),
                 rows: rows.len() as u32,
@@ -1107,5 +1212,150 @@ impl Compactor {
 impl Drop for Compactor {
     fn drop(&mut self) {
         self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepjoin_ann::index::Neighbor;
+    use deepjoin_store::StdIo;
+
+    fn test_rows(n: usize, dim: usize) -> Vec<LiveRow> {
+        (0..n)
+            .map(|i| {
+                let mut v: Vec<f32> = (0..dim)
+                    .map(|d| ((i * 31 + d * 7 + 3) % 17) as f32 - 8.0)
+                    .collect();
+                let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                v.iter_mut().for_each(|x| *x /= norm);
+                LiveRow {
+                    id: 100 + i as u32,
+                    table: format!("t{}", i / 3),
+                    column: format!("c{i}"),
+                    embedding: v,
+                }
+            })
+            .collect()
+    }
+
+    fn query(dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|d| ((d * 5 + 1) % 11) as f32 - 5.0).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= norm);
+        v
+    }
+
+    fn seg_hits(seg: &Segment, q: &[f32], k: usize) -> Vec<Neighbor> {
+        seg.index
+            .search_budgeted_filtered(q, k, &Budget::unlimited(), None)
+            .hits
+    }
+
+    #[test]
+    fn v2_segment_roundtrips_heap_and_mapped_byte_identically() {
+        let (dim, metric) = (8, Metric::Cosine);
+        let rows = test_rows(17, dim);
+        let built = Segment::build(&rows, dim, metric);
+        let bytes = encode_segment(&rows, dim, metric);
+
+        let heap = decode_segment_loaded(&bytes, None, dim, metric).unwrap();
+        assert!(!heap.index.is_mapped());
+
+        let owner: ByteOwner = Arc::new(bytes.clone());
+        let mapped = decode_segment_loaded(&bytes, Some(&owner), dim, metric).unwrap();
+        assert!(mapped.index.is_mapped());
+
+        let q = query(dim);
+        let want = seg_hits(&built, &q, 5);
+        for seg in [&heap, &mapped] {
+            assert_eq!(*seg.ids, *built.ids);
+            assert_eq!(*seg.labels, *built.labels);
+            assert!(seg.index.unit_norm());
+            let got = seg_hits(seg, &q, 5);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id);
+                assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_segment_still_loads_on_heap() {
+        let (dim, metric) = (6, Metric::Cosine);
+        let rows = test_rows(9, dim);
+        // Byte-for-byte the pre-v2 writer: inline rows in a compact container.
+        let mut w = Writer::with_capacity(64);
+        w.put_slice(SEGMENT_MAGIC);
+        w.put_u8(SEGMENT_VERSION);
+        w.put_u32_le(dim as u32);
+        w.put_u32_le(rows.len() as u32);
+        for r in &rows {
+            w.put_u32_le(r.id);
+            w.put_str(&r.table);
+            w.put_str(&r.column);
+        }
+        let mut data = Vec::new();
+        for r in &rows {
+            data.extend_from_slice(&r.embedding);
+        }
+        w.put_f32s(&data);
+        let bytes = ContainerBuilder::new()
+            .section(SECTION_SEGMENT, w.into_vec())
+            .build();
+
+        let seg = decode_segment_loaded(&bytes, None, dim, metric).unwrap();
+        assert!(!seg.index.is_mapped());
+        let built = Segment::build(&rows, dim, metric);
+        assert_eq!(*seg.ids, *built.ids);
+        assert_eq!(*seg.labels, *built.labels);
+        let q = query(dim);
+        let (got, want) = (seg_hits(&seg, &q, 4), seg_hits(&built, &q, 4));
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!((g.id, g.distance.to_bits()), (w.id, w.distance.to_bits()));
+        }
+    }
+
+    #[test]
+    fn load_segment_maps_real_files_and_heap_falls_back_for_mem_io() {
+        let (dim, metric) = (4, Metric::L2);
+        let rows = test_rows(5, dim);
+        let bytes = encode_segment(&rows, dim, metric);
+
+        let dir = std::env::temp_dir().join(format!("dj-live-map-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-000000.djar");
+        std::fs::write(&path, &bytes).unwrap();
+        let io: SharedIo = Arc::new(StdIo);
+        let seg = load_segment(&io, &path, dim, metric).unwrap();
+        assert!(seg.index.is_mapped(), "real file should load zero-copy");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A MemIo "file" has no real backing path: the loader must fall
+        // back to the io-mediated heap read, not fail.
+        let mem: SharedIo = Arc::new(deepjoin_store::MemIo::new());
+        let vpath = PathBuf::from("virtual/seg-000001.djar");
+        mem.write_atomic(&vpath, &bytes).unwrap();
+        let seg = load_segment(&mem, &vpath, dim, metric).unwrap();
+        assert!(!seg.index.is_mapped());
+        assert_eq!(*seg.ids, (100..105).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn corrupt_v2_segment_errors_instead_of_panicking() {
+        let (dim, metric) = (4, Metric::Cosine);
+        let rows = test_rows(6, dim);
+        let good = encode_segment(&rows, dim, metric);
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            // Either a structured error or a decode that still validates —
+            // never a panic, never silently inconsistent lengths.
+            if let Ok(seg) = decode_segment_loaded(&bad, None, dim, metric) {
+                assert_eq!(seg.ids.len(), seg.labels.len());
+                assert_eq!(seg.index.len(), seg.ids.len());
+            }
+        }
     }
 }

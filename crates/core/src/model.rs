@@ -359,6 +359,70 @@ impl DeepJoin {
         self.index_embeddings_parallel(&embeddings, threads);
     }
 
+    /// A structurally valid model over a synthetic vector plane and a
+    /// ring-adjacency HNSW graph: every artifact section (`MODL`, `VECS`,
+    /// `SQ8V`, `HNSW`) at a caller-chosen scale, without hours of
+    /// training. Exists for the artifact load/startup benchmark
+    /// (`bench_load`), where what matters is section *size*, not recall —
+    /// the graph answers queries, but its neighbors are meaningless.
+    pub fn synthetic(n: usize, dim: usize, seed: u64) -> DeepJoin {
+        assert!(n > 0 && dim > 0, "synthetic model needs rows and dims");
+        let config = DeepJoinConfig {
+            dim,
+            ..DeepJoinConfig::default()
+        };
+        let vocab = Vocabulary::from_id_order(vec![("synthetic".to_string(), 1)]);
+        let rows = vocab.len() + config.oov_buckets as usize;
+        let enc_cfg = EncoderConfig {
+            max_len: config.max_tokens,
+            ..EncoderConfig::mp_lite(rows, dim, seed)
+        };
+        let encoder = ColumnEncoder::new(enc_cfg);
+        let textizer = Textizer::new(config.transform, config.max_cells);
+
+        // Deterministic xorshift vectors — content is irrelevant, bytes
+        // and shape are what the load path pays for.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32) / 1000.0 - 1.0
+        };
+        let vectors: Vec<f32> = (0..n * dim).map(|_| next()).collect();
+
+        // One-layer ring adjacency in CSR form: node i points at the next
+        // `deg` ids. Valid by construction, built in O(n).
+        let deg = 8.min(n - 1);
+        let node_off: Vec<u32> = (0..=n as u32).collect();
+        let adj_off: Vec<u32> = (0..=n).map(|i| (i * deg) as u32).collect();
+        let mut neighbors = Vec::with_capacity(n * deg);
+        for i in 0..n {
+            for j in 1..=deg {
+                neighbors.push(((i + j) % n) as u32);
+            }
+        }
+        let graph = deepjoin_ann::graph::Graph::from_csr(node_off, adj_off, neighbors)
+            .expect("synthetic ring CSR is structurally valid");
+        let index = HnswIndex::from_graph_parts(
+            config.hnsw,
+            dim,
+            vectors,
+            graph,
+            Some(0),
+            0,
+            seed,
+        );
+        DeepJoin {
+            config,
+            vocab,
+            textizer,
+            encoder,
+            index: IndexState::Hnsw(index),
+            lineage: None,
+        }
+    }
+
     /// Index pre-computed embeddings (used when the embedding pass was
     /// batched / parallelized externally). The embeddings must come from
     /// [`DeepJoin::embed_column`] (unit-norm).

@@ -22,17 +22,24 @@
 //! persisted: a loaded model can embed, index and search, but continuing
 //! training requires the original `DeepJoinConfig`.
 
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use deepjoin_ann::flat::FlatIndex;
+use deepjoin_ann::hnsw::HnswIndex;
 use deepjoin_ann::index::VectorIndex;
 use deepjoin_ann::io::{
-    decode_flat_in, decode_hnsw_graph, decode_hnsw_in, decode_sq8_in, encode_flat,
-    encode_hnsw_graph, encode_sq8, DecodeError,
+    decode_flat_in, decode_flat_v2_in, decode_hnsw_graph, decode_hnsw_graph_v2, decode_hnsw_in,
+    decode_sq8_in, decode_sq8_v2_in, encode_flat_v2, encode_hnsw_graph_v2, encode_sq8_v2,
+    DecodeError, MappedPayload, MAGIC_FLAT_V2, MAGIC_HNSW_GRAPH_V2, MAGIC_SQ8_V2,
 };
+use deepjoin_ann::plane::{ByteOwner, PodVec};
 use deepjoin_ann::sq8::Sq8Plane;
 use deepjoin_lake::tokenizer::Vocabulary;
 use deepjoin_nn::encoder::{ColumnEncoder, EncoderConfig, Pooling};
 use deepjoin_store::codec::{DecodeErrorKind, Reader, Writer};
-use deepjoin_store::{is_container, Container, ContainerBuilder};
+use deepjoin_store::{is_aligned_container, is_container, Container, ContainerBuilder, Mmap};
 
 use crate::model::{DeepJoin, DeepJoinConfig, IndexState, TrainLineage, Variant};
 use crate::text::{CellFrequencies, Textizer, TransformOption};
@@ -63,6 +70,21 @@ const LINEAGE_VERSION: u8 = 1;
 const MAGIC_V1: &[u8; 4] = b"DJM1";
 const VERSION_V1: u8 = 1;
 
+/// Backing report for one container section after a load — the
+/// `dj info` mapped-vs-resident view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Four-character section name (`MODL`, `VECS`, ...).
+    pub name: String,
+    /// Payload bytes on disk.
+    pub bytes: usize,
+    /// True when the loaded structure views the mapping zero-copy.
+    pub mapped: bool,
+    /// Heap bytes the loaded structure retains for this section (0 for a
+    /// mapped plane; its pages are file-backed and evictable).
+    pub resident: usize,
+}
+
 /// A model restored from disk, along with any degradation warnings the
 /// loader produced. An empty `warnings` means full fidelity.
 pub struct LoadedModel {
@@ -70,6 +92,9 @@ pub struct LoadedModel {
     pub model: DeepJoin,
     /// Human-readable accounts of anything that could not be restored.
     pub warnings: Vec<String>,
+    /// Per-section backing (file bytes, mapped or heap, resident bytes),
+    /// in file order. Empty for legacy v1 snapshots.
+    pub sections: Vec<SectionInfo>,
 }
 
 impl LoadedModel {
@@ -305,8 +330,32 @@ fn get_core(r: &mut Reader<'_>) -> Result<CoreParts, DecodeError> {
     })
 }
 
-/// Serialize a trained model as a v2 `DJAR` container. Set `include_index`
-/// to persist the built index alongside the encoder (larger file, instant
+/// The legacy whole-file v1 (`DJM1`) writer: un-sectioned, no checksums,
+/// nothing mappable. New artifacts are always v2 — this exists so the
+/// compat read path and the load benchmark can produce real v1 inputs
+/// (the pre-aligned-layout status quo the startup numbers are measured
+/// against).
+pub fn encode_model_v1(model: &DeepJoin, include_index: bool) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.put_slice(MAGIC_V1);
+    out.put_u8(VERSION_V1);
+    put_core(&mut out, model);
+    match (&model.index, include_index) {
+        (IndexState::Hnsw(index), true) => {
+            out.put_u8(1);
+            let encoded = deepjoin_ann::io::encode_hnsw(index);
+            out.put_u64_le(encoded.len() as u64);
+            out.put_slice(&encoded);
+        }
+        _ => out.put_u8(0),
+    }
+    out.into_vec()
+}
+
+/// Serialize a trained model as an **aligned** (v2) `DJAR` container whose
+/// index sections use the v2 aligned payloads (`DJF2`/`DJQ2`/`DJG2`) — the
+/// layout [`load_model_path`] can map zero-copy. Set `include_index` to
+/// persist the built index alongside the encoder (larger file, instant
 /// reload of search). A degraded model saves its vectors but no graph, so
 /// it reloads degraded rather than silently losing exactness guarantees.
 pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
@@ -314,7 +363,7 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
     core.put_slice(CORE_MAGIC);
     core.put_u8(CORE_VERSION);
     put_core(&mut core, model);
-    let mut builder = ContainerBuilder::new().section(SECTION_MODEL, core.into_vec());
+    let mut builder = ContainerBuilder::aligned().section(SECTION_MODEL, core.into_vec());
     if let Some(lineage) = &model.lineage {
         let mut w = Writer::new();
         put_lineage(&mut w, lineage);
@@ -323,19 +372,21 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
     if include_index {
         match &model.index {
             IndexState::Hnsw(index) => {
-                let (config, dim, vectors, ..) = index.raw_parts();
-                let mut flat = FlatIndex::new(dim.max(1), config.metric);
-                flat.add_batch(vectors);
-                builder = builder.section(SECTION_VECTORS, encode_flat(&flat));
+                let flat = FlatIndex::from_plane(
+                    index.dim().max(1),
+                    index.config().metric,
+                    index.vectors_plane().clone(),
+                );
+                builder = builder.section(SECTION_VECTORS, encode_flat_v2(&flat));
                 if let Some(plane) = index.sq8() {
-                    builder = builder.section(SECTION_SQ8, encode_sq8(plane));
+                    builder = builder.section(SECTION_SQ8, encode_sq8_v2(plane));
                 }
-                builder = builder.section(SECTION_GRAPH, encode_hnsw_graph(index));
+                builder = builder.section(SECTION_GRAPH, encode_hnsw_graph_v2(index));
             }
             IndexState::DegradedFlat { index, .. } => {
-                builder = builder.section(SECTION_VECTORS, encode_flat(index));
+                builder = builder.section(SECTION_VECTORS, encode_flat_v2(index));
                 if let Some(plane) = index.sq8() {
-                    builder = builder.section(SECTION_SQ8, encode_sq8(plane));
+                    builder = builder.section(SECTION_SQ8, encode_sq8_v2(plane));
                 }
             }
             IndexState::None => {}
@@ -345,7 +396,9 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
 }
 
 /// Deserialize a model saved by [`save_model`] (v2 container) or by the
-/// pre-container v1 writer (`DJM1`).
+/// pre-container v1 writer (`DJM1`), decoding everything onto the heap.
+/// Prefer [`load_model_path`] when the artifact is a file: it maps aligned
+/// containers zero-copy instead.
 ///
 /// Corruption of the model core is fatal. Corruption of the index sections
 /// degrades instead: a damaged graph falls back to exact flat search over
@@ -354,15 +407,98 @@ pub fn save_model(model: &DeepJoin, include_index: bool) -> Vec<u8> {
 /// [`LoadedModel::warnings`].
 pub fn load_model(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
     if is_container(buf) {
-        load_v2(buf)
+        load_v2(buf, None, true)
     } else {
         load_v1(buf)
     }
 }
 
-fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
-    let container = Container::parse(buf)?;
-    let core_bytes = match container.section(SECTION_MODEL, "MODL") {
+/// Decode a flat-index payload of either generation; `src` enables the
+/// zero-copy path for `DJF2`.
+fn decode_flat_any(
+    buf: &[u8],
+    label: &'static str,
+    src: Option<&MappedPayload>,
+) -> Result<FlatIndex, DecodeError> {
+    if buf.starts_with(MAGIC_FLAT_V2) {
+        decode_flat_v2_in(buf, label, src)
+    } else {
+        decode_flat_in(buf, label)
+    }
+}
+
+/// Decode an SQ8 payload of either generation.
+fn decode_sq8_any(
+    buf: &[u8],
+    label: &'static str,
+    src: Option<&MappedPayload>,
+) -> Result<Sq8Plane, DecodeError> {
+    if buf.starts_with(MAGIC_SQ8_V2) {
+        decode_sq8_v2_in(buf, label, src)
+    } else {
+        decode_sq8_in(buf, label)
+    }
+}
+
+/// Decode a graph-only HNSW payload of either generation over `vectors`.
+fn decode_graph_any(
+    buf: &[u8],
+    label: &'static str,
+    vectors: PodVec<f32>,
+    src: Option<&MappedPayload>,
+) -> Result<HnswIndex, DecodeError> {
+    if buf.starts_with(MAGIC_HNSW_GRAPH_V2) {
+        decode_hnsw_graph_v2(buf, label, vectors, src)
+    } else {
+        decode_hnsw_graph(buf, label, vectors.into_vec())
+    }
+}
+
+/// How one load resolves container sections: the parsed container, plus
+/// (for the zero-copy path) the pinned whole-file buffer the payloads can
+/// be viewed from, plus whether payload CRCs still need checking (`false`
+/// only on a reopen of a file this process already verified, unchanged).
+struct Sections<'a> {
+    container: Container<'a>,
+    buf: &'a [u8],
+    mapped: Option<ByteOwner>,
+    verify: bool,
+}
+
+impl<'a> Sections<'a> {
+    /// Payload bytes + optional mapped source for `name`, mirroring
+    /// [`Container::section`]'s `Option<Result<..>>` contract.
+    #[allow(clippy::type_complexity)]
+    fn get(
+        &self,
+        name: [u8; 4],
+        label: &'static str,
+    ) -> Option<Result<(&'a [u8], Option<MappedPayload>), DecodeError>> {
+        let range = if self.verify {
+            match self.container.section_range(name, label)? {
+                Ok(r) => r,
+                Err(e) => return Some(Err(e)),
+            }
+        } else {
+            self.container.section_range_trusted(name)?
+        };
+        let bytes = &self.buf[range.offset..range.offset + range.len];
+        let src = self.mapped.as_ref().map(|owner| MappedPayload {
+            owner: owner.clone(),
+            base: range.offset,
+        });
+        Some(Ok((bytes, src)))
+    }
+}
+
+fn load_v2(buf: &[u8], mapped: Option<ByteOwner>, verify: bool) -> Result<LoadedModel, DecodeError> {
+    let sections = Sections {
+        container: Container::parse(buf)?,
+        buf,
+        mapped,
+        verify,
+    };
+    let (core_bytes, _) = match sections.get(SECTION_MODEL, "MODL") {
         None => {
             return Err(DecodeError::new(
                 DecodeErrorKind::Invalid("model container has no MODL section"),
@@ -380,9 +516,9 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
     let mut warnings = Vec::new();
     // Lineage is advisory metadata: damage costs the provenance display,
     // never the model.
-    let lineage = match container.section(SECTION_LINEAGE, "TLIN") {
+    let lineage = match sections.get(SECTION_LINEAGE, "TLIN") {
         None => None,
-        Some(res) => match res.and_then(|b| get_lineage(&mut Reader::new(b, "TLIN"))) {
+        Some(res) => match res.and_then(|(b, _)| get_lineage(&mut Reader::new(b, "TLIN"))) {
             Ok(l) => Some(l),
             Err(e) => {
                 warnings.push(format!(
@@ -392,10 +528,10 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
             }
         },
     };
-    let index = match container.section(SECTION_VECTORS, "VECS") {
+    let index = match sections.get(SECTION_VECTORS, "VECS") {
         None => IndexState::None,
-        Some(vecs) => match vecs.and_then(|b| decode_flat_in(b, "VECS")) {
-            Ok(flat) => restore_index(&container, flat, &mut warnings),
+        Some(vecs) => match vecs.and_then(|(b, src)| decode_flat_any(b, "VECS", src.as_ref())) {
+            Ok(flat) => restore_index(&sections, flat, &mut warnings),
             Err(e) => {
                 warnings.push(format!(
                     "embedding vectors unrecoverable ({e}); \
@@ -405,10 +541,229 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
             }
         },
     };
+    let model = core.into_model(index, lineage);
+    let section_info = section_report(&sections.container, &model);
     Ok(LoadedModel {
-        model: core.into_model(index, lineage),
+        model,
         warnings,
+        sections: section_info,
     })
+}
+
+/// Per-section backing report for a freshly loaded model (`dj info`).
+fn section_report(container: &Container<'_>, model: &DeepJoin) -> Vec<SectionInfo> {
+    container
+        .section_sizes()
+        .into_iter()
+        .map(|(name, bytes)| {
+            let (mapped, resident) = match (&name, &model.index) {
+                (b"VECS", IndexState::Hnsw(i)) => (
+                    i.vectors_plane().is_mapped(),
+                    i.vectors_plane().resident_bytes(),
+                ),
+                (b"VECS", IndexState::DegradedFlat { index, .. }) => {
+                    (index.is_mapped(), index.plane().resident_bytes())
+                }
+                (b"HNSW", IndexState::Hnsw(i)) => {
+                    (i.graph().is_mapped(), i.graph().resident_bytes())
+                }
+                (b"SQ8V", IndexState::Hnsw(i)) => match i.sq8() {
+                    Some(p) => (p.is_mapped(), p.resident_bytes()),
+                    None => (false, 0),
+                },
+                (b"SQ8V", IndexState::DegradedFlat { index, .. }) => match index.sq8() {
+                    Some(p) => (p.is_mapped(), p.resident_bytes()),
+                    None => (false, 0),
+                },
+                // The model core (and lineage) always decode to owned
+                // structures; their heap cost ≈ the payload size.
+                _ => (false, bytes),
+            };
+            SectionInfo {
+                name: String::from_utf8_lossy(&name).into_owned(),
+                bytes,
+                mapped,
+                resident,
+            }
+        })
+        .collect()
+}
+
+/// True unless `DEEPJOIN_MMAP` is set to `0`/`off`/`false` — the toggle the
+/// serve e2e suite uses to exercise both backings.
+pub(crate) fn mmap_enabled() -> bool {
+    match std::env::var("DEEPJOIN_MMAP") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")),
+        Err(_) => true,
+    }
+}
+
+/// Identity of a file's content for the validated-artifact cache.
+#[cfg(unix)]
+type FileStamp = (u64, u64, i64, i64, u64);
+
+#[cfg(unix)]
+fn file_stamp(path: &Path) -> Option<FileStamp> {
+    use std::os::unix::fs::MetadataExt;
+    let m = std::fs::metadata(path).ok()?;
+    Some((m.dev(), m.ino(), m.mtime(), m.mtime_nsec(), m.len()))
+}
+
+#[cfg(unix)]
+fn validated_cache() -> &'static Mutex<HashMap<PathBuf, FileStamp>> {
+    static CACHE: OnceLock<Mutex<HashMap<PathBuf, FileStamp>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// True when `path` was fully CRC-verified by a previous load in this
+/// process and is provably the same file content (device, inode, mtime,
+/// size all unchanged) — the hot-reload fast path may then skip payload
+/// CRCs, touching only header pages instead of the whole file.
+#[cfg(unix)]
+fn already_validated(path: &Path, stamp: &FileStamp) -> bool {
+    validated_cache()
+        .lock()
+        .map(|c| c.get(path) == Some(stamp))
+        .unwrap_or(false)
+}
+
+#[cfg(unix)]
+fn record_validated(path: &Path, stamp: FileStamp) {
+    if let Ok(mut c) = validated_cache().lock() {
+        c.insert(path.to_path_buf(), stamp);
+    }
+}
+
+/// Magic of the validation-stamp sidecar (`<artifact>.stamp`).
+#[cfg(unix)]
+const STAMP_MAGIC: &[u8; 4] = b"DJST";
+#[cfg(unix)]
+const STAMP_VERSION: u8 = 1;
+
+/// Sidecar path for `artifact`: the artifact name with `.stamp` appended
+/// (`model.djar` → `model.djar.stamp`), so the pair travels together.
+#[cfg(unix)]
+fn stamp_sidecar_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".stamp");
+    PathBuf::from(s)
+}
+
+/// The stamp a previous *process* fully CRC-verified this artifact under,
+/// if a well-formed sidecar is present. A missing, truncated, or
+/// checksum-damaged sidecar simply means "not verified" — never an error.
+#[cfg(unix)]
+fn read_stamp_sidecar(path: &Path) -> Option<FileStamp> {
+    let bytes = std::fs::read(stamp_sidecar_path(path)).ok()?;
+    if bytes.len() != 49 || &bytes[..4] != STAMP_MAGIC || bytes[4] != STAMP_VERSION {
+        return None;
+    }
+    let crc_stored = u32::from_le_bytes(bytes[45..49].try_into().ok()?);
+    if deepjoin_store::crc32::crc32(&bytes[..45]) != crc_stored {
+        return None;
+    }
+    let u = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    Some((u(5), u(13), u(21) as i64, u(29) as i64, u(37)))
+}
+
+/// Persist `stamp` so the *next process* can skip the payload CRC sweep on
+/// an unchanged artifact — this is what makes cold start a remap instead
+/// of a full re-read. Written via temp-file + atomic rename; best effort
+/// (a read-only artifact directory just means the next start re-verifies).
+#[cfg(unix)]
+fn write_stamp_sidecar(path: &Path, stamp: &FileStamp) {
+    let mut w = Writer::with_capacity(49);
+    w.put_slice(STAMP_MAGIC);
+    w.put_u8(STAMP_VERSION);
+    w.put_u64_le(stamp.0);
+    w.put_u64_le(stamp.1);
+    w.put_u64_le(stamp.2 as u64);
+    w.put_u64_le(stamp.3 as u64);
+    w.put_u64_le(stamp.4);
+    let bytes = w.into_vec();
+    let crc = deepjoin_store::crc32::crc32(&bytes);
+    let sidecar = stamp_sidecar_path(path);
+    let tmp = sidecar.with_extension("stamp.tmp");
+    let mut out = bytes;
+    out.extend_from_slice(&crc.to_le_bytes());
+    if std::fs::write(&tmp, &out).is_ok() {
+        let _ = std::fs::rename(&tmp, &sidecar);
+    }
+}
+
+/// The shared artifact loader every path-taking call site goes through
+/// (`dj serve`, `dj info`, `dj query`, snapshot reload).
+///
+/// * **Aligned (v2) containers** are `mmap(2)`-ed and their index planes
+///   decoded as zero-copy views of the mapping — cold start does no vector
+///   copy, and cold RSS stays at the heap structures only. Disable with
+///   `DEEPJOIN_MMAP=0` (the planes then decode onto the heap from the same
+///   bytes, byte-identically).
+/// * **Reloads of an unchanged file** (same device/inode/mtime/size as a
+///   load already fully verified — by this process, or by a previous one
+///   via the `<artifact>.stamp` sidecar) skip the payload CRC sweep, so a
+///   hot remap *and* a process restart cost milliseconds, not a full
+///   re-read. Any change to the file (production writes go through
+///   temp-file + rename, changing the inode) voids the stamp and forces a
+///   full sweep. Delete the sidecar to force re-verification.
+/// * **Legacy artifacts** (v1 containers, `DJM1` files) fall back to a
+///   heap `std::fs::read` load with one warning and identical behavior.
+///
+/// Errors carry the path and the failing stage, uniformly.
+pub fn load_model_path(path: &Path) -> Result<LoadedModel, String> {
+    let want_mmap = mmap_enabled();
+    #[cfg(unix)]
+    if want_mmap {
+        match Mmap::open(path) {
+            Ok(map) => {
+                if is_aligned_container(&map) {
+                    let stamp = file_stamp(path);
+                    // Skip the payload CRC sweep when this exact file
+                    // content (device/inode/mtime/size) was already fully
+                    // verified — by this process (hot reload) or by a
+                    // previous one that left a stamp sidecar (restart).
+                    let verify = match &stamp {
+                        Some(s) => {
+                            !already_validated(path, s)
+                                && read_stamp_sidecar(path).as_ref() != Some(s)
+                        }
+                        None => true,
+                    };
+                    let owner: ByteOwner = Arc::new(map);
+                    let buf_owner = owner.clone();
+                    let buf: &[u8] = buf_owner.as_ref().as_ref();
+                    let loaded = load_v2(buf, Some(owner), verify)
+                        .map_err(|e| format!("load {}: {e}", path.display()))?;
+                    if verify {
+                        if let Some(s) = stamp {
+                            record_validated(path, s);
+                            // Only a wholly clean load earns a persistent
+                            // stamp: a degraded artifact must re-verify
+                            // (and re-warn) on every start.
+                            if loaded.warnings.is_empty() {
+                                write_stamp_sidecar(path, &s);
+                            }
+                        }
+                    }
+                    return Ok(loaded);
+                }
+                // v1 artifact: fall through to the heap path below.
+            }
+            Err(e) => return Err(format!("open {}: {e}", path.display())),
+        }
+    }
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut loaded =
+        load_model(&bytes).map_err(|e| format!("load {}: {e}", path.display()))?;
+    if want_mmap && !is_aligned_container(&bytes) {
+        loaded.warnings.push(format!(
+            "artifact {} predates the aligned (v2) layout; loaded on heap — \
+             re-save with `dj build` to enable zero-copy mmap",
+            path.display()
+        ));
+    }
+    Ok(loaded)
 }
 
 /// Rebuild the search index from intact vectors plus whatever is left of
@@ -418,12 +773,12 @@ fn load_v2(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
 /// costs the quantized fast path (exact f32 serves instead) and never
 /// affects index health.
 fn restore_index(
-    container: &Container<'_>,
+    sections: &Sections<'_>,
     mut flat: FlatIndex,
     warnings: &mut Vec<String>,
 ) -> IndexState {
-    let sq8 = restore_sq8(container, &flat, warnings);
-    let graph = match container.section(SECTION_GRAPH, "HNSW") {
+    let sq8 = restore_sq8(sections, &flat, warnings);
+    let (graph, graph_src) = match sections.get(SECTION_GRAPH, "HNSW") {
         None => {
             if let Some(plane) = sq8 {
                 flat.attach_sq8(plane);
@@ -435,7 +790,7 @@ fn restore_index(
                     .into(),
             };
         }
-        Some(Ok(bytes)) => bytes,
+        Some(Ok(pair)) => pair,
         Some(Err(e)) => {
             warnings.push(format!(
                 "HNSW graph failed verification ({e}); falling back to exact flat search"
@@ -449,11 +804,10 @@ fn restore_index(
             };
         }
     };
-    let mut vectors = Vec::with_capacity(flat.len() * flat.dim());
-    for id in 0..flat.len() as u32 {
-        vectors.extend_from_slice(flat.vector(id));
-    }
-    match decode_hnsw_graph(graph, "HNSW", vectors) {
+    // Share the flat plane's backing with the graph index: for a mapped
+    // load both view the same mapping; for heap both clone the decode.
+    let vectors = flat.plane().clone();
+    match decode_graph_any(graph, "HNSW", vectors, graph_src.as_ref()) {
         Ok(mut index) => {
             if let Some(plane) = sq8 {
                 index.attach_sq8(plane);
@@ -479,12 +833,12 @@ fn restore_index(
 /// snapshot); any failure — CRC, codec, or a shape that does not cover the
 /// decoded vectors — degrades to exact f32 with a warning.
 fn restore_sq8(
-    container: &Container<'_>,
+    sections: &Sections<'_>,
     flat: &FlatIndex,
     warnings: &mut Vec<String>,
 ) -> Option<Sq8Plane> {
-    match container.section(SECTION_SQ8, "SQ8V")? {
-        Ok(bytes) => match decode_sq8_in(bytes, "SQ8V") {
+    match sections.get(SECTION_SQ8, "SQ8V")? {
+        Ok((bytes, src)) => match decode_sq8_any(bytes, "SQ8V", src.as_ref()) {
             Ok(plane) if plane.dim() == flat.dim() && plane.len() == flat.len() => Some(plane),
             Ok(_) => {
                 warnings.push(
@@ -529,9 +883,10 @@ fn load_v1(buf: &[u8]) -> Result<LoadedModel, DecodeError> {
         other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
     };
     Ok(LoadedModel {
-        // v1 predates lineage tracking.
+        // v1 predates lineage tracking (and sectioned layout).
         model: core.into_model(index, None),
         warnings: Vec::new(),
+        sections: Vec::new(),
     })
 }
 
@@ -614,22 +969,9 @@ mod tests {
         (model, vectors)
     }
 
-    /// The legacy v1 writer, kept test-side to prove the compat read path.
+    /// The legacy v1 writer under its historical test-side name.
     fn save_model_v1(model: &DeepJoin, include_index: bool) -> Vec<u8> {
-        let mut out = Writer::new();
-        out.put_slice(MAGIC_V1);
-        out.put_u8(VERSION_V1);
-        put_core(&mut out, model);
-        match (&model.index, include_index) {
-            (IndexState::Hnsw(index), true) => {
-                out.put_u8(1);
-                let encoded = deepjoin_ann::io::encode_hnsw(index);
-                out.put_u64_le(encoded.len() as u64);
-                out.put_slice(&encoded);
-            }
-            _ => out.put_u8(0),
-        }
-        out.into_vec()
+        encode_model_v1(model, include_index)
     }
 
     #[test]
@@ -777,7 +1119,7 @@ mod tests {
         let IndexState::Hnsw(index) = &model.index else {
             unreachable!()
         };
-        let payload = encode_sq8(index.sq8().unwrap());
+        let payload = encode_sq8_v2(index.sq8().unwrap());
         let pos = bytes
             .windows(payload.len())
             .position(|w| w == payload.as_slice())
@@ -820,10 +1162,12 @@ mod tests {
         let IndexState::Hnsw(index) = &model.index else {
             unreachable!()
         };
-        let (config, dim, vectors, ..) = index.raw_parts();
-        let mut flat = FlatIndex::new(dim, config.metric);
-        flat.add_batch(vectors);
-        let payload = encode_flat(&flat);
+        let flat = FlatIndex::from_plane(
+            index.dim(),
+            index.config().metric,
+            index.vectors_plane().clone(),
+        );
+        let payload = encode_flat_v2(&flat);
         let pos = bytes
             .windows(payload.len())
             .position(|w| w == payload.as_slice())
@@ -906,5 +1250,238 @@ mod tests {
         assert!(l.epochs == 1 && l.steps > 0 && l.last_loss.is_finite());
         let reloaded = load_model(&save_model(&trained_model, false)).unwrap();
         assert_eq!(reloaded.model.lineage().copied(), Some(l));
+    }
+
+    fn write_temp(bytes: &[u8], tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dj-persist-map-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.djar");
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    fn index_hits(
+        model: &DeepJoin,
+        q: &[f32],
+        k: usize,
+        tombs: Option<&deepjoin_ann::TombSet>,
+    ) -> Vec<(u32, u32)> {
+        let budget = deepjoin_ann::Budget::unlimited();
+        let r = match &model.index {
+            IndexState::Hnsw(i) => i.search_budgeted_filtered(q, k, &budget, tombs),
+            IndexState::DegradedFlat { index, .. } => {
+                index.search_budgeted_filtered(q, k, &budget, tombs)
+            }
+            IndexState::None => panic!("model lost its index"),
+        };
+        r.hits.iter().map(|n| (n.id, n.distance.to_bits())).collect()
+    }
+
+    /// The tentpole acceptance property: for every index shape the
+    /// artifact can hold — healthy HNSW and degraded flat, with and
+    /// without an SQ8 plane, with and without tombstone filtering — a
+    /// mapped load and a heap load return byte-identical search results
+    /// (same ids, same distance bits, same health, same warnings).
+    #[test]
+    fn mapped_and_heap_loads_search_byte_identically() {
+        for quantize in [false, true] {
+            for corrupt_graph in [false, true] {
+                let (mut model, vectors) = tiny_indexed(48);
+                if quantize {
+                    assert!(model.quantize_sq8());
+                }
+                let mut bytes = save_model(&model, true);
+                if corrupt_graph {
+                    // Damage the HNSW payload so both loads must degrade
+                    // to the exact flat fallback, identically.
+                    let payload = match &model.index {
+                        IndexState::Hnsw(i) => encode_hnsw_graph_v2(i),
+                        _ => unreachable!(),
+                    };
+                    let at = bytes
+                        .windows(payload.len())
+                        .position(|w| w == payload.as_slice())
+                        .expect("graph payload present");
+                    bytes[at + payload.len() / 2] ^= 1;
+                }
+                let tag = format!("q{}c{}", quantize as u8, corrupt_graph as u8);
+                let path = write_temp(&bytes, &tag);
+
+                let heap = load_model(&bytes).unwrap();
+                let mapped = load_model_path(&path).unwrap();
+
+                assert_eq!(heap.warnings, mapped.warnings, "{tag}");
+                assert_eq!(
+                    heap.model.index_health(),
+                    mapped.model.index_health(),
+                    "{tag}"
+                );
+                if corrupt_graph {
+                    assert!(matches!(
+                        mapped.model.index_health(),
+                        IndexHealth::DegradedFlat { .. }
+                    ));
+                } else {
+                    assert!(
+                        mapped.sections.iter().any(|s| s.mapped),
+                        "{tag}: mmap load reported no mapped section"
+                    );
+                }
+
+                let tombs: deepjoin_ann::TombSet = [1u32, 5, 9].into_iter().collect();
+                for qi in 0..4 {
+                    let q = &vectors[qi * 8..(qi + 1) * 8];
+                    for t in [None, Some(&tombs)] {
+                        assert_eq!(
+                            index_hits(&heap.model, q, 6, t),
+                            index_hits(&mapped.model, q, 6, t),
+                            "{tag} query {qi}"
+                        );
+                    }
+                }
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn v1_artifact_through_the_path_loader_falls_back_to_heap_with_one_warning() {
+        let (model, vectors) = tiny_indexed(24);
+        let bytes = save_model_v1(&model, true);
+        let path = write_temp(&bytes, "v1compat");
+        let loaded = load_model_path(&path).unwrap();
+        assert_eq!(loaded.warnings.len(), 1, "{:?}", loaded.warnings);
+        assert!(
+            loaded.warnings[0].contains("predates the aligned (v2) layout"),
+            "{:?}",
+            loaded.warnings
+        );
+        assert!(loaded.sections.is_empty());
+        let heap = load_model(&bytes).unwrap();
+        let q = &vectors[..8];
+        assert_eq!(
+            index_hits(&heap.model, q, 5, None),
+            index_hits(&loaded.model, q, 5, None)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Drop the in-process validated cache so the next `load_model_path`
+    /// behaves like a fresh process start.
+    fn forget_in_process_validation() {
+        validated_cache().lock().unwrap().clear();
+    }
+
+    #[test]
+    fn stamp_sidecar_carries_validation_across_process_restarts() {
+        let (model, vectors) = tiny_indexed(32);
+        let bytes = save_model(&model, true);
+        let path = write_temp(&bytes, "stamp");
+        let sidecar = stamp_sidecar_path(&path);
+        let _ = std::fs::remove_file(&sidecar);
+
+        // A clean fully-verified load persists its stamp.
+        let first = load_model_path(&path).unwrap();
+        assert!(first.warnings.is_empty());
+        assert!(sidecar.exists(), "clean load must write {}", sidecar.display());
+
+        // "Restart": the in-process cache is gone, only the sidecar
+        // remains. The load must still map the hot sections and answer
+        // byte-identically.
+        forget_in_process_validation();
+        let restarted = load_model_path(&path).unwrap();
+        assert!(restarted.warnings.is_empty());
+        assert!(restarted.sections.iter().any(|s| s.mapped));
+        let q = &vectors[..8];
+        assert_eq!(
+            index_hits(&first.model, q, 7, None),
+            index_hits(&restarted.model, q, 7, None)
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn stale_stamp_never_masks_a_changed_artifact() {
+        let (model, _) = tiny_indexed(32);
+        let bytes = save_model(&model, true);
+        let path = write_temp(&bytes, "stale-stamp");
+        let sidecar = stamp_sidecar_path(&path);
+        let _ = std::fs::remove_file(&sidecar);
+        assert!(load_model_path(&path).unwrap().warnings.is_empty());
+        assert!(sidecar.exists());
+
+        // Rewrite the artifact with a damaged graph section. The write
+        // changes the file stamp, so the sidecar no longer matches: the
+        // next start must run the full CRC sweep, catch the damage, and
+        // refuse to persist a new stamp for the degraded artifact.
+        let payload = match &model.index {
+            IndexState::Hnsw(i) => encode_hnsw_graph_v2(i),
+            _ => unreachable!(),
+        };
+        let at = bytes
+            .windows(payload.len())
+            .position(|w| w == payload.as_slice())
+            .expect("graph payload present");
+        let mut bad = bytes.clone();
+        bad[at + payload.len() / 2] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        let before = std::fs::read(&sidecar).unwrap();
+
+        forget_in_process_validation();
+        let degraded = load_model_path(&path).unwrap();
+        assert_eq!(degraded.warnings.len(), 1, "{:?}", degraded.warnings);
+        assert!(matches!(
+            degraded.model.index_health(),
+            IndexHealth::DegradedFlat { .. }
+        ));
+        assert_eq!(
+            std::fs::read(&sidecar).unwrap(),
+            before,
+            "a degraded load must not refresh the stamp"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn garbage_stamp_sidecar_is_ignored_and_replaced() {
+        let (model, _) = tiny_indexed(24);
+        let bytes = save_model(&model, true);
+        let path = write_temp(&bytes, "junk-stamp");
+        let sidecar = stamp_sidecar_path(&path);
+        for junk in [&b""[..], &b"DJST"[..], &[0xFFu8; 49][..]] {
+            std::fs::write(&sidecar, junk).unwrap();
+            forget_in_process_validation();
+            let loaded = load_model_path(&path).unwrap();
+            assert!(loaded.warnings.is_empty());
+            assert!(loaded.sections.iter().any(|s| s.mapped));
+        }
+        // The junk was replaced by a well-formed stamp the next start trusts.
+        assert!(read_stamp_sidecar(&path).is_some());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn reloading_an_unchanged_artifact_stays_mapped_and_identical() {
+        let (model, vectors) = tiny_indexed(32);
+        let bytes = save_model(&model, true);
+        let path = write_temp(&bytes, "remap");
+        // First load verifies every section CRC and records the file
+        // stamp; the second takes the trusted remap path. Both must map
+        // the hot sections and answer identically.
+        let first = load_model_path(&path).unwrap();
+        let second = load_model_path(&path).unwrap();
+        for loaded in [&first, &second] {
+            assert!(loaded.warnings.is_empty());
+            assert!(loaded.sections.iter().any(|s| s.mapped));
+        }
+        let q = &vectors[..8];
+        assert_eq!(
+            index_hits(&first.model, q, 7, None),
+            index_hits(&second.model, q, 7, None)
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -5,6 +5,7 @@
 //! server calls at startup and on every hot reload.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use deepjoin_ann::index::TopK;
@@ -17,7 +18,7 @@ use deepjoin_serve::{
 
 use crate::live::{model_fingerprint, LiveLake};
 use crate::model::{DeepJoin, IndexHealth};
-use crate::persist::load_model;
+use crate::persist::load_model_path;
 
 /// FNV-1a over the query identity: the column name and the exact cell
 /// bytes, with distinct separators so `["ab"]` and `["a","b"]` hash apart.
@@ -326,9 +327,7 @@ impl ServeModel for ServedModel {
 pub fn snapshot_loader(model_path: String, repo: Arc<Repository>, cache_capacity: usize) -> Loader {
     Box::new(move |path| {
         let path = path.unwrap_or(&model_path);
-        let bytes =
-            std::fs::read(path).map_err(|e| format!("read model artifact {path}: {e}"))?;
-        let loaded = load_model(&bytes).map_err(|e| format!("decode {path}: {e}"))?;
+        let loaded = load_model_path(Path::new(path))?;
         if loaded.model.indexed_len() == 0 {
             return Err(format!("{path} was saved without an index; retrain with dj train"));
         }
@@ -358,8 +357,7 @@ pub fn live_snapshot_loader(
 ) -> Loader {
     Box::new(move |path| {
         let path = path.unwrap_or(&model_path);
-        let bytes = std::fs::read(path).map_err(|e| format!("read model artifact {path}: {e}"))?;
-        let loaded = load_model(&bytes).map_err(|e| format!("decode {path}: {e}"))?;
+        let loaded = load_model_path(Path::new(path))?;
         if loaded.model.indexed_len() == 0 {
             return Err(format!("{path} was saved without an index; retrain with dj train"));
         }

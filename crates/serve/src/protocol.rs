@@ -193,6 +193,12 @@ pub struct StatsReply {
     /// ingest simply end the message here, and old clients ignore the
     /// tail — both directions stay compatible.
     pub live: Option<crate::LiveStats>,
+    /// Wall-clock microseconds the last snapshot (re)load took, present
+    /// on servers that track it. The headline mmap observability gauge:
+    /// a remap-and-swap reload of an unchanged aligned artifact is
+    /// O(ms), a heap reload is O(artifact size). Second optional tail
+    /// after `live` — same compatibility story.
+    pub last_reload_micros: Option<u64>,
 }
 
 /// Server → client messages.
@@ -390,6 +396,14 @@ impl Response {
                         w.put_u64_le(live.live_rows);
                     }
                 }
+                // Second optional tail: last reload duration.
+                match s.last_reload_micros {
+                    None => w.put_u8(0),
+                    Some(us) => {
+                        w.put_u8(1);
+                        w.put_u64_le(us);
+                    }
+                }
             }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
@@ -469,12 +483,15 @@ impl Response {
                     cache_hits: r.u64_le()?,
                     cache_misses: r.u64_le()?,
                     live: None,
+                    last_reload_micros: None,
                 };
-                // Versioned optional tail: a server predating live ingest
-                // ends the message here. After the known tail, tolerate
-                // (and ignore) bytes a *newer* server may append — the
-                // Stats message alone is forward-extensible, so this early
-                // return intentionally skips the trailing-bytes check.
+                // Versioned optional tails: a server predating live ingest
+                // ends the message after `cache_misses`, one predating
+                // reload timing ends it after the live gauges. After the
+                // known tails, tolerate (and ignore) bytes a *newer*
+                // server may append — the Stats message alone is
+                // forward-extensible, so this early return intentionally
+                // skips the trailing-bytes check.
                 if !r.is_empty() && r.u8()? != 0 {
                     s.live = Some(crate::LiveStats {
                         segments: r.u32_le()?,
@@ -482,6 +499,9 @@ impl Response {
                         pending_tombstones: r.u64_le()?,
                         live_rows: r.u64_le()?,
                     });
+                }
+                if !r.is_empty() && r.u8()? != 0 {
+                    s.last_reload_micros = Some(r.u64_le()?);
                 }
                 return Ok(Response::Stats(s));
             }
@@ -661,6 +681,7 @@ mod tests {
             cache_hits: 12,
             cache_misses: 5,
             live: None,
+            last_reload_micros: None,
         }));
         roundtrip_response(Response::Stats(StatsReply {
             generation: 1,
@@ -679,6 +700,7 @@ mod tests {
                 pending_tombstones: 7,
                 live_rows: 99,
             }),
+            last_reload_micros: Some(2_500),
         }));
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Overloaded,
@@ -706,12 +728,19 @@ mod tests {
             cache_hits: 12,
             cache_misses: 5,
             live: None,
+            last_reload_micros: None,
         })
         .encode();
-        // Strip the presence flag this encoder appends: the old wire image.
-        let old_wire = &full[..full.len() - 1];
+        // Strip the presence flags this encoder appends: the old wire image.
+        let old_wire = &full[..full.len() - 2];
         match Response::decode(old_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.live, None),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // A middle-generation server: live gauges but no reload timing.
+        let mid_wire = &full[..full.len() - 1];
+        match Response::decode(mid_wire).unwrap() {
+            Response::Stats(s) => assert_eq!(s.last_reload_micros, None),
             other => panic!("expected Stats, got {other:?}"),
         }
     }
@@ -732,6 +761,7 @@ mod tests {
             cache_hits: 12,
             cache_misses: 5,
             live: Some(crate::LiveStats::default()),
+            last_reload_micros: Some(900),
         })
         .encode();
         enc.extend_from_slice(&[1, 2, 3, 4]);

@@ -108,6 +108,9 @@ struct Shared {
     /// Serializes reloads; queries are *not* blocked by this (they only
     /// take the `current` lock for the duration of an `Arc::clone`).
     reload_lock: Mutex<()>,
+    /// Microseconds the most recent (re)load took (0 until the first
+    /// reload after startup completes).
+    last_reload_micros: AtomicU64,
     config: ConfigBits,
 }
 
@@ -126,9 +129,13 @@ impl Shared {
 
     /// Load (startup) or reload (on request/SIGHUP) a snapshot. The new
     /// snapshot is fully constructed before it becomes visible; on error
-    /// the previous one keeps serving.
+    /// the previous one keeps serving. The wall-clock cost is recorded
+    /// for `stats` — the gauge that shows a remap-and-swap reload of an
+    /// unchanged mmap'd artifact staying O(ms) while a heap reload pays
+    /// for the whole artifact.
     fn reload(&self, path: Option<&str>) -> Result<(u32, Vec<String>), String> {
         let _guard = self.reload_lock.lock().expect("reload lock");
+        let started = Instant::now();
         let loaded = (self.loader)(path)?;
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let snap = Arc::new(Snapshot {
@@ -137,6 +144,8 @@ impl Shared {
             warnings: loaded.warnings.clone(),
         });
         *self.current.lock().expect("snapshot lock") = snap;
+        self.last_reload_micros
+            .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         Ok((generation, loaded.warnings))
     }
 
@@ -155,6 +164,7 @@ impl Shared {
             cache_hits,
             cache_misses,
             live: snap.model.live_stats(),
+            last_reload_micros: Some(self.last_reload_micros.load(Ordering::Relaxed)),
         }
     }
 }
@@ -215,6 +225,7 @@ impl Server {
             conns: AtomicUsize::new(0),
             counters: Counters::default(),
             reload_lock: Mutex::new(()),
+            last_reload_micros: AtomicU64::new(0),
             config: ConfigBits {
                 deadline: config.deadline,
                 read_timeout: config.read_timeout,

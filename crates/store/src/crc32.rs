@@ -1,7 +1,10 @@
 //! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
-//! guarding every container section. Table-driven, one table build at first
-//! use, ~1 byte/cycle: artifact sections are read once at startup, so this
-//! is nowhere near the hot path.
+//! guarding every container section. Slice-by-8: eight lookup tables built
+//! at compile time, eight input bytes folded per iteration. Section CRCs
+//! are verified when a mapped artifact is opened, so at lake scale this
+//! runs over hundreds of megabytes and its throughput is what cold-start
+//! pays — the slice-by-8 form keeps that near memory speed instead of the
+//! ~1 byte/cycle of the classic one-table loop.
 
 /// Streaming CRC-32 state.
 #[derive(Debug, Clone)]
@@ -11,8 +14,11 @@ pub struct Crc32 {
 
 const POLY: u32 = 0xEDB8_8320;
 
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Eight tables: `TABLES[0]` is the classic byte table; `TABLES[k]` maps a
+/// byte to its CRC contribution when it sits `k` positions deeper in the
+/// 8-byte word being folded.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -21,10 +27,20 @@ const TABLE: [u32; 256] = {
             crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 };
 
 impl Default for Crc32 {
@@ -41,9 +57,23 @@ impl Crc32 {
 
     /// Absorb `bytes`.
     pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        let mut state = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ state;
+            state = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][c[4] as usize]
+                ^ TABLES[2][c[5] as usize]
+                ^ TABLES[1][c[6] as usize]
+                ^ TABLES[0][c[7] as usize];
         }
+        for &b in chunks.remainder() {
+            state = (state >> 8) ^ TABLES[0][((state ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = state;
     }
 
     /// Final checksum value.
@@ -78,6 +108,20 @@ mod tests {
         c.update(&data[..7]);
         c.update(&data[7..]);
         assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sliced_path_matches_byte_at_a_time_reference() {
+        // Every length from 0..64 so the 8-byte fast path and the remainder
+        // loop are both exercised across all phase offsets.
+        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(0x9E37) >> 3) as u8).collect();
+        for len in 0..=data.len() {
+            let mut want = 0xFFFF_FFFFu32;
+            for &b in &data[..len] {
+                want = (want >> 8) ^ TABLES[0][((want ^ b as u32) & 0xFF) as usize];
+            }
+            assert_eq!(crc32(&data[..len]), want ^ 0xFFFF_FFFF, "len {len}");
+        }
     }
 
     #[test]

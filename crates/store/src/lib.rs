@@ -15,6 +15,8 @@
 //! * [`crc32`] — the checksum (IEEE 802.3);
 //! * [`io`] — [`io::ArtifactIo`] and the crash-safe [`io::StdIo`]
 //!   (temp file + fsync + atomic rename);
+//! * [`mmap`] — read-only `mmap(2)` of artifact files (raw `extern "C"`,
+//!   no libc crate): the zero-copy backing for v2 aligned sections;
 //! * [`faults`] — injection of torn writes, read truncation, bit flips,
 //!   ENOSPC, and deterministic crash (kill) points, so every load and
 //!   recovery path can be proven panic-free under corruption;
@@ -28,11 +30,15 @@ pub mod container;
 pub mod crc32;
 pub mod faults;
 pub mod io;
+pub mod mmap;
 pub mod wal;
 
 pub use codec::{DecodeError, DecodeErrorKind, Reader, Writer};
-pub use container::{is_container, Container, ContainerBuilder};
+pub use container::{
+    is_aligned_container, is_container, Container, ContainerBuilder, SectionRange, SECTION_ALIGN,
+};
 pub use crc32::crc32;
+pub use mmap::Mmap;
 pub use faults::{Fault, FaultyIo, KillPointIo, MemIo};
 pub use io::{ArtifactIo, SharedIo, StdIo};
 pub use wal::{Wal, WalOpen, WalRecord};

@@ -4,10 +4,11 @@
 # its schema.
 #
 # Usage:
-#   scripts/bench.sh [ann|quant] [--quick] [extra args...]
+#   scripts/bench.sh [ann|quant|load] [--quick] [extra args...]
 #
 #   scripts/bench.sh                  # ann suite, full corpus -> BENCH_ann.json
 #   scripts/bench.sh quant            # SQ8 suite, full corpus -> BENCH_quant.json
+#   scripts/bench.sh load             # cold-start suite -> BENCH_load.json
 #   scripts/bench.sh --quick          # ann suite, tiny corpus (CI smoke)
 #   scripts/bench.sh quant --quick    # SQ8 suite, tiny corpus (CI smoke)
 #
@@ -19,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITE="ann"
-if [[ $# -gt 0 && ("$1" == "ann" || "$1" == "quant") ]]; then
+if [[ $# -gt 0 && ("$1" == "ann" || "$1" == "quant" || "$1" == "load") ]]; then
     SUITE="$1"
     shift
 fi
@@ -27,6 +28,7 @@ fi
 case "$SUITE" in
     ann) BIN="bench_ann"; OUT="BENCH_ann.json" ;;
     quant) BIN="bench_quant"; OUT="BENCH_quant.json" ;;
+    load) BIN="bench_load"; OUT="BENCH_load.json" ;;
 esac
 
 args=("$@")
@@ -57,6 +59,17 @@ if suite == "ann":
         "hnsw_build_speedup": (int, float),
         "recall_at_k_before": (int, float), "recall_at_k_after": (int, float),
     }
+elif suite == "load":
+    required = {
+        "schema": str, "mode": str, "corpus": dict, "threads": int,
+        "artifact_v1_bytes": int, "artifact_v2_bytes": int,
+        "cold_s_v1_heap": (int, float), "cold_s_v2_heap": (int, float),
+        "first_open_s_v2_mmap": (int, float), "cold_s_v2_mmap": (int, float),
+        "peak_rss_kb_v1_heap": int, "peak_rss_kb_v2_heap": int,
+        "peak_rss_kb_v2_mmap": int,
+        "cold_speedup_v2_mmap_vs_v1_heap": (int, float),
+        "hot_reload_ms": (int, float),
+    }
 else:
     required = {
         "schema": str, "mode": str, "corpus": dict, "threads": int,
@@ -81,6 +94,21 @@ if suite == "ann":
           f"build {report['hnsw_build_speedup']:.2f}x, "
           f"recall {report['recall_at_k_before']:.4f} -> "
           f"{report['recall_at_k_after']:.4f})")
+elif suite == "load":
+    for key in ("cold_s_v1_heap", "cold_s_v2_heap", "cold_s_v2_mmap"):
+        assert report[key] > 0.0, f"{key} must be positive"
+    # The headline criteria only hold at production scale: on the quick
+    # corpus every artifact loads in milliseconds and fixed per-process
+    # overhead dominates, so only the schema is checked there.
+    if report["mode"] == "full":
+        assert report["cold_speedup_v2_mmap_vs_v1_heap"] >= 5.0, \
+            report["cold_speedup_v2_mmap_vs_v1_heap"]
+        assert report["hot_reload_ms"] < 50.0, report["hot_reload_ms"]
+    print(f"{path}: schema OK "
+          f"(cold {report['cold_s_v1_heap']:.3f}s v1-heap -> "
+          f"{report['cold_s_v2_mmap']:.3f}s v2-mmap "
+          f"({report['cold_speedup_v2_mmap_vs_v1_heap']:.2f}x), "
+          f"hot remap {report['hot_reload_ms']:.2f} ms)")
 else:
     assert 0.0 <= report["recall_at_k_sq8"] <= 1.0
     # Size and accuracy invariants hold on any machine; the QPS speedup is
