@@ -8,7 +8,8 @@
 //! dj build    <in.model> <out.model> --quantize sq8
 //! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]
 //!             [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N]
-//! dj query    <addr> --cells a,b,c [--name NAME] [--k K]
+//!             [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B]
+//! dj query    <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K]
 //! dj ctl      <addr> ping|stats|reload [path]|shutdown
 //! dj ctl      <addr> add-table <title> --columns "name:a|b|c;name2:x|y"
 //! dj ctl      <addr> drop-table <title>
@@ -30,6 +31,17 @@
 //! so distances stay exact while the plane takes ~4× less memory. A
 //! quantized artifact serves and hot-reloads like any other; if its `SQ8V`
 //! section is damaged the loader degrades to exact f32 with a warning.
+//!
+//! `dj serve --replica-of HOST:PORT` runs this server as a read-only
+//! replica (DESIGN.md §15): it pulls snapshot generations (model artifact
+//! plus sealed live segments, never the WAL) from the primary over the query
+//! port, installs them with the same temp/fsync/rename discipline the
+//! primary uses, and hot-reloads in O(ms). Every `dj serve` is a
+//! sync-exporting primary by default, so replicas can point at any
+//! server. Once the primary is unreachable past `--stale-after-ms`,
+//! replica answers carry a `stale` health flag but keep serving. `dj
+//! query` with a comma-separated address list fails over between
+//! endpoints and hedges slow requests against a second one.
 //!
 //! `dj serve --query-cache N` keeps an LRU of the last N query embeddings
 //! so repeated probes skip the encoder forward pass (hit/miss counters in
@@ -100,7 +112,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N]\n  dj query <addr> --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N] [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B]\n  dj query <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -468,6 +480,17 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .unwrap_or(deepjoin::live::DEFAULT_FLUSH_ROWS);
     let compact_secs = parse_positive(args, "--compact-secs", "5")?.unwrap_or(5);
     let compact_min_segs = parse_positive(args, "--compact-min-segs", "4")?.unwrap_or(4);
+    let replica_of = flag(args, "--replica-of");
+    let sync_interval = parse_positive(args, "--sync-interval-ms", "500")?.unwrap_or(500);
+    let stale_after = parse_positive(args, "--stale-after-ms", "10000")?.unwrap_or(10_000);
+    let sync_chunk = parse_positive(args, "--sync-chunk-bytes", "262144")?;
+    // Test hook: pretend to be a slow replica by stalling every query this
+    // many milliseconds (exercises hedged clients without a slow machine).
+    let debug_stall = std::env::var("DEEPJOIN_DEBUG_STALL_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis);
 
     // The lake provides the human-readable labels for hits; it is loaded
     // once and shared across model reloads.
@@ -475,6 +498,74 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let (repo, _) = corpus.to_repository();
     let repo = std::sync::Arc::new(repo);
     eprintln!("lake {lake}: {} columns", repo.len());
+
+    let io: deepjoin_store::SharedIo = std::sync::Arc::new(StdIo);
+
+    // Replica mode: the model artifact (and live directory, when given)
+    // are *installed by sync*, not authored here — bootstrap a first
+    // complete generation if the disk is empty, serve read-only, and keep
+    // pulling generations in the background.
+    if let Some(primary_addr) = replica_of {
+        let replica_cfg = deepjoin_serve::ReplicaConfig {
+            primary_addr: primary_addr.clone(),
+            model_path: std::path::PathBuf::from(model_path),
+            live_dir: live_dir.as_ref().map(|d| {
+                let _ = std::fs::create_dir_all(d);
+                std::path::PathBuf::from(d)
+            }),
+            interval: std::time::Duration::from_millis(sync_interval as u64),
+            stale_after: std::time::Duration::from_millis(stale_after as u64),
+            ..deepjoin_serve::ReplicaConfig::default()
+        };
+        let replica_cfg = match sync_chunk {
+            Some(bytes) => deepjoin_serve::ReplicaConfig {
+                chunk_len: bytes as u32,
+                ..replica_cfg
+            },
+            None => replica_cfg,
+        };
+        let state = deepjoin_serve::ReplicationState::replica(replica_cfg.stale_after);
+        if !Path::new(model_path).exists() {
+            deepjoin_serve::bootstrap(io.clone(), &replica_cfg, &state)?;
+            eprintln!("replica: bootstrapped first generation from {primary_addr}");
+        }
+        let loader = deepjoin::serving::replica_snapshot_loader(
+            model_path.clone(),
+            repo,
+            query_cache,
+            io.clone(),
+            replica_cfg.live_dir.clone(),
+        );
+        let server = Server::start(
+            ServerConfig {
+                addr,
+                workers,
+                max_inflight,
+                deadline,
+                install_signal_handlers: true,
+                replication: Some(state.clone()),
+                debug_stall,
+                ..ServerConfig::default()
+            },
+            loader,
+        )?;
+        for w in server.startup_warnings() {
+            eprintln!("warning: {model_path}: {w}");
+        }
+        println!("dj-serve listening on {} (replica of {primary_addr})", server.local_addr()?);
+        use std::io::Write as _;
+        std::io::stdout().flush()?;
+        let handle = server.handle();
+        let sync_thread = std::thread::spawn({
+            let io = io.clone();
+            let state = state.clone();
+            move || deepjoin_serve::run_sync_loop(io, &replica_cfg, &handle, &state)
+        });
+        server.run()?;
+        let _ = sync_thread.join();
+        eprintln!("dj-serve replica drained cleanly");
+        return Ok(());
+    }
 
     // With --live, open (and crash-recover) the live directory against the
     // model, then hand every snapshot the same lake so mutations survive
@@ -489,7 +580,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 return Err(format!("{model_path} was saved without an index").into());
             }
             let opened = deepjoin::live::LiveLake::open_with_flush_rows(
-                std::sync::Arc::new(StdIo),
+                io.clone(),
                 std::path::PathBuf::from(dir),
                 &model,
                 flush_rows,
@@ -515,6 +606,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
         }
         None => deepjoin::serving::snapshot_loader(model_path.clone(), repo, query_cache),
     };
+    // Any server can be a sync-exporting primary: replicas poll the
+    // generation+fingerprint and pull model artifacts plus sealed live
+    // segments (never the WAL) over the query port.
+    let sync_export = std::sync::Arc::new(deepjoin_serve::SyncExport::new(
+        io.clone(),
+        std::path::PathBuf::from(model_path),
+        live_dir.as_ref().map(std::path::PathBuf::from),
+    ));
     let server = Server::start(
         ServerConfig {
             addr,
@@ -522,6 +621,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
             max_inflight,
             deadline,
             install_signal_handlers: true,
+            sync_export: Some(sync_export),
+            replication: Some(deepjoin_serve::ReplicationState::primary()),
+            debug_stall,
             ..ServerConfig::default()
         },
         loader,
@@ -589,8 +691,32 @@ fn cmd_query(args: &[String]) -> CliResult {
     let name = flag(args, "--name").unwrap_or_else(|| "query".to_string());
     let k = parse_positive(args, "--k", "10")?.unwrap_or(10);
     let cells = query_cells(args)?;
-    let mut client = Client::connect(addr)?;
-    let reply = client.query(&name, &cells, k as u32)?;
+    // A comma-separated address list enables failover + hedging: health
+    // probes rank the endpoints (non-stale first, then freshest
+    // generation), breakers skip dead ones, and a hedge fires a second
+    // attempt when the first runs past the observed p99.
+    let reply = if addr.contains(',') {
+        let endpoints: Vec<String> = addr
+            .split(',')
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect();
+        let client = deepjoin_serve::MultiClient::new(deepjoin_serve::ClusterConfig {
+            endpoints,
+            ..deepjoin_serve::ClusterConfig::default()
+        })?;
+        let routed = client.query(&name, &cells, k as u32)?;
+        let (fired, won) = client.hedge_counters();
+        eprintln!(
+            "answered by {}{}{}",
+            routed.endpoint,
+            if routed.hedged { " (hedged)" } else { "" },
+            if fired > 0 { format!(" | hedges fired {fired}, won {won}") } else { String::new() },
+        );
+        routed.reply
+    } else {
+        Client::connect(addr)?.query(&name, &cells, k as u32)?
+    };
     println!(
         "generation {} | health {} | {}{}",
         reply.generation,
@@ -637,6 +763,29 @@ fn cmd_ctl(args: &[String]) -> CliResult {
                 println!("wal bytes       : {}", live.wal_bytes);
                 println!("pending tombs   : {}", live.pending_tombstones);
                 println!("live rows       : {}", live.live_rows);
+            }
+            if let Some(r) = &s.replication {
+                let role = if r.role == deepjoin_serve::ROLE_PRIMARY {
+                    "primary"
+                } else {
+                    "replica"
+                };
+                println!("role            : {role}");
+                println!("primary gen     : {}", r.primary_generation);
+                println!("synced gen      : {}", r.synced_generation);
+                println!("lag generations : {}", r.lag_generations);
+                println!("lag seconds     : {}", r.lag_seconds);
+                println!("syncs completed : {}", r.syncs);
+                if r.syncs > 0 {
+                    println!(
+                        "last sync       : {:.3} ms, {} bytes",
+                        r.last_sync_micros as f64 / 1000.0,
+                        r.last_sync_bytes
+                    );
+                }
+                println!("hedges fired    : {}", r.hedges_fired);
+                println!("hedges won      : {}", r.hedges_won);
+                println!("stale           : {}", r.stale);
             }
         }
         "reload" => {

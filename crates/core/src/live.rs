@@ -36,7 +36,7 @@
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use deepjoin_ann::budget::{Budget, BudgetedSearch};
@@ -630,6 +630,72 @@ struct Inner {
     dirty: bool,
 }
 
+/// Channel a blocked mutator waits on for its commit acknowledgement.
+type Done = mpsc::Sender<io::Result<MutateOutcome>>;
+
+/// A mutation waiting for a group-commit leader. The expensive half of an
+/// ingest (embedding every cell) is already done — it happens *outside*
+/// the mutation lock — so what queues here is cheap to commit.
+enum PendingOp {
+    Add {
+        title: String,
+        columns: Vec<(String, Vec<String>)>,
+        /// Pre-embedded rows; ids are placeholders until the leader
+        /// allocates them in journal order.
+        rows: Vec<LiveRow>,
+    },
+    Drop {
+        title: String,
+        base_ids: Vec<u32>,
+    },
+}
+
+/// One queued mutation plus the channel its caller blocks on.
+struct Pending {
+    op: PendingOp,
+    done: Done,
+}
+
+/// A [`PendingOp`] resolved against the lake state at commit time: ids
+/// allocated / tombstones enumerated, journal body encoded.
+enum ResolvedOp {
+    Add { rows: Vec<LiveRow> },
+    Drop { ids: Vec<u32> },
+}
+
+/// `io::Error` is not `Clone`; a batch-wide failure must still reach
+/// every waiter, so rebuild an equivalent error per recipient.
+fn clone_io_err(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
+}
+
+/// Enumerate every un-tombstoned id belonging to `title`: base columns
+/// come pre-resolved from the caller (the lake has no base catalog),
+/// live columns are found by title in sealed segments and the memtable.
+fn resolve_drop(inner: &Inner, title: &str, base_ids: &[u32]) -> Vec<u32> {
+    let mut ids: Vec<u32> = Vec::new();
+    for &b in base_ids {
+        if b < inner.manifest.base_len && !inner.tombs.contains(b) {
+            ids.push(b);
+        }
+    }
+    for seg in &inner.segments {
+        for (i, &id) in seg.ids.iter().enumerate() {
+            if seg.labels[i].0 == title && !inner.tombs.contains(id) {
+                ids.push(id);
+            }
+        }
+    }
+    for r in &inner.mem {
+        if r.table == title && !inner.tombs.contains(r.id) {
+            ids.push(r.id);
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
 /// Acknowledgement of a durably journaled mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MutateOutcome {
@@ -674,6 +740,11 @@ pub struct LiveLake {
     flush_rows: usize,
     inner: Mutex<Inner>,
     view: Mutex<Arc<LiveView>>,
+    /// Group-commit queue: mutations enqueue here, then race for the
+    /// `inner` lock; whoever wins drains the whole queue and journals it
+    /// with ONE batched append (= one fsync), so N concurrent mutations
+    /// cost far fewer than N fsyncs under load.
+    pending: Mutex<Vec<Pending>>,
 }
 
 impl LiveLake {
@@ -847,6 +918,7 @@ impl LiveLake {
             flush_rows: flush_rows.max(1),
             inner: Mutex::new(inner),
             view: Mutex::new(view),
+            pending: Mutex::new(Vec::new()),
         });
         Ok(LiveOpen { lake, warnings })
     }
@@ -868,9 +940,15 @@ impl LiveLake {
     }
 
     /// Journal and ingest one table of columns. Committed (and therefore
-    /// crash-durable) the moment the journal append returns; visible to
+    /// crash-durable) the moment its journal record is durable; visible to
     /// the very next query via the republished view. Returns the journal
     /// sequence number and the number of columns added.
+    ///
+    /// Embedding happens *before* the mutation lock, and concurrent
+    /// mutations group-commit: the journal appends of every mutation
+    /// queued while a commit is in flight coalesce into one batched
+    /// append — one fsync — without weakening durability (no mutation is
+    /// acknowledged before its record is on disk).
     pub fn add_table(
         &self,
         model: &DeepJoin,
@@ -883,18 +961,14 @@ impl LiveLake {
                 "add-table needs at least one column",
             ));
         }
-        let mut inner = self.inner.lock().expect("live lake lock");
-        let first_id = inner.manifest.next_id;
-        if ((u32::MAX - first_id) as usize) < columns.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "live id space exhausted",
-            ));
-        }
-        // Embed before journaling: the encoder is deterministic, so replay
-        // re-derives identical vectors from the journaled cells.
+        // Embed outside every lock — the expensive half of ingest no
+        // longer serializes behind the mutation lock. The encoder is
+        // deterministic, so replay re-derives identical vectors from the
+        // journaled cells. Ids are assigned by the commit leader in
+        // journal order (replay assigns `first_id + i`, so allocation
+        // order and journal order must agree).
         let mut rows = Vec::with_capacity(columns.len());
-        for (i, (name, cells)) in columns.iter().enumerate() {
+        for (name, cells) in columns {
             let col = Column::new(
                 cells.clone(),
                 ColumnMeta {
@@ -904,71 +978,176 @@ impl LiveLake {
                 },
             );
             rows.push(LiveRow {
-                id: first_id + i as u32,
+                id: 0, // allocated at commit
                 table: title.to_string(),
                 column: name.clone(),
                 embedding: model.embed_column(&col),
             });
         }
-        let body = encode_add(title, first_id, columns);
-        let seq = inner.wal.append(&body)?; // commit point
-        inner.manifest.next_id = first_id + columns.len() as u32;
-        inner.mem.append(&mut rows);
-        inner.dirty = true;
-        if inner.mem.len() >= self.flush_rows {
-            self.flush_locked(&mut inner)?;
-        }
-        self.publish(&inner);
-        Ok(MutateOutcome {
-            seq,
-            applied: columns.len() as u64,
+        self.commit(PendingOp::Add {
+            title: title.to_string(),
+            columns: columns.to_vec(),
+            rows,
         })
     }
 
-    /// Journal and apply a table drop. The ids are resolved *now* (base
-    /// columns via `base_ids`, live columns by title) and journaled
-    /// resolved, so replay can never re-resolve against a different
-    /// state. Effective on the next query; physically reclaimed by
-    /// compaction.
+    /// Journal and apply a table drop. The ids are resolved at commit
+    /// time (base columns via `base_ids`, live columns by title) and
+    /// journaled resolved, so replay can never re-resolve against a
+    /// different state. Effective on the next query; physically reclaimed
+    /// by compaction.
     pub fn drop_table(&self, title: &str, base_ids: &[u32]) -> io::Result<MutateOutcome> {
-        let mut inner = self.inner.lock().expect("live lake lock");
-        let mut ids: Vec<u32> = Vec::new();
-        for &b in base_ids {
-            if b < inner.manifest.base_len && !inner.tombs.contains(b) {
-                ids.push(b);
-            }
-        }
-        for seg in &inner.segments {
-            for (i, &id) in seg.ids.iter().enumerate() {
-                if seg.labels[i].0 == title && !inner.tombs.contains(id) {
-                    ids.push(id);
-                }
-            }
-        }
-        for r in &inner.mem {
-            if r.table == title && !inner.tombs.contains(r.id) {
-                ids.push(r.id);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        if ids.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no live or indexed columns belong to table '{title}'"),
-            ));
-        }
-        let body = encode_drop(title, &ids);
-        let seq = inner.wal.append(&body)?; // commit point
-        for &id in &ids {
-            inner.tombs.insert(id);
-        }
-        inner.dirty = true;
-        self.publish(&inner);
-        Ok(MutateOutcome {
-            seq,
-            applied: ids.len() as u64,
+        self.commit(PendingOp::Drop {
+            title: title.to_string(),
+            base_ids: base_ids.to_vec(),
         })
+    }
+
+    /// Group-commit entry: enqueue the op, then race for the mutation
+    /// lock. The winner (leader) drains the whole queue — its own op plus
+    /// everything that piled up while the previous leader was fsyncing —
+    /// and commits it as one batch; losers find their op already durable
+    /// and just collect the outcome. Lock order is always queue → inner
+    /// with the queue lock released in between, so there is no inversion.
+    fn commit(&self, op: PendingOp) -> io::Result<MutateOutcome> {
+        let (done, outcome) = mpsc::channel();
+        self.pending
+            .lock()
+            .expect("commit queue lock")
+            .push(Pending { op, done });
+        {
+            let mut inner = self.inner.lock().expect("live lake lock");
+            let batch: Vec<Pending> =
+                std::mem::take(&mut *self.pending.lock().expect("commit queue lock"));
+            if !batch.is_empty() {
+                self.commit_batch(&mut inner, batch);
+            }
+        }
+        outcome
+            .recv()
+            .unwrap_or_else(|_| Err(io::Error::other("commit leader vanished")))
+    }
+
+    /// Resolve, journal (one batched append = one fsync), and apply a
+    /// group of mutations, then publish once and acknowledge every
+    /// waiter. Resolution happens against the state all earlier commits
+    /// left behind — racing mutations carry no ordering promise beyond
+    /// "journal order is apply order", which batch seqs preserve.
+    fn commit_batch(&self, inner: &mut Inner, batch: Vec<Pending>) {
+        // Tentative id cursor: advanced during resolution, written back
+        // to the manifest only once the batched append has made every
+        // allocation durable.
+        let mut next_id = inner.manifest.next_id;
+        let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+        let mut resolved: Vec<(Done, io::Result<ResolvedOp>)> = Vec::with_capacity(batch.len());
+        for Pending { op, done } in batch {
+            let res = match op {
+                PendingOp::Add {
+                    title,
+                    columns,
+                    mut rows,
+                } => {
+                    if ((u32::MAX - next_id) as usize) < columns.len() {
+                        Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "live id space exhausted",
+                        ))
+                    } else {
+                        let first_id = next_id;
+                        next_id += columns.len() as u32;
+                        for (i, r) in rows.iter_mut().enumerate() {
+                            r.id = first_id + i as u32;
+                        }
+                        bodies.push(encode_add(&title, first_id, &columns));
+                        Ok(ResolvedOp::Add { rows })
+                    }
+                }
+                PendingOp::Drop { title, base_ids } => {
+                    // Resolved against committed state: two drops of the
+                    // same table in one batch journal the same ids, and
+                    // tombstone inserts keep the double-apply idempotent —
+                    // exactly what replaying both records would do.
+                    let ids = resolve_drop(inner, &title, &base_ids);
+                    if ids.is_empty() {
+                        Err(io::Error::new(
+                            io::ErrorKind::NotFound,
+                            format!("no live or indexed columns belong to table '{title}'"),
+                        ))
+                    } else {
+                        bodies.push(encode_drop(&title, &ids));
+                        Ok(ResolvedOp::Drop { ids })
+                    }
+                }
+            };
+            resolved.push((done, res));
+        }
+
+        if bodies.is_empty() {
+            // Every op failed resolution; nothing reached the journal.
+            for (done, res) in resolved {
+                let _ = done.send(res.map(|_| MutateOutcome { seq: 0, applied: 0 }));
+            }
+            return;
+        }
+
+        // THE commit point for the whole group: one append, one fsync.
+        let first_seq = match inner.wal.append_batch(&bodies) {
+            Ok(seq) => seq,
+            Err(e) => {
+                for (done, res) in resolved {
+                    let _ = done.send(match res {
+                        Ok(_) => Err(clone_io_err(&e)),
+                        Err(own) => Err(own),
+                    });
+                }
+                return;
+            }
+        };
+        inner.manifest.next_id = next_id;
+
+        // Apply in journal order, handing out consecutive seqs — replay
+        // assigns ids and seqs in record order, so apply must match.
+        let mut seq = first_seq;
+        let mut acks: Vec<(Done, io::Result<MutateOutcome>)> = Vec::with_capacity(resolved.len());
+        for (done, res) in resolved {
+            match res {
+                Ok(ResolvedOp::Add { mut rows }) => {
+                    let applied = rows.len() as u64;
+                    inner.mem.append(&mut rows);
+                    inner.dirty = true;
+                    acks.push((done, Ok(MutateOutcome { seq, applied })));
+                    seq += 1;
+                }
+                Ok(ResolvedOp::Drop { ids }) => {
+                    let applied = ids.len() as u64;
+                    for id in ids {
+                        inner.tombs.insert(id);
+                    }
+                    inner.dirty = true;
+                    acks.push((done, Ok(MutateOutcome { seq, applied })));
+                    seq += 1;
+                }
+                Err(e) => acks.push((done, Err(e))),
+            }
+        }
+
+        // One conditional flush and one view publish for the whole group.
+        // A flush failure is reported to every member (matching the
+        // single-op behavior of old releases): their records ARE durable,
+        // but the lake could not seal them into a segment.
+        let flush_err = if inner.mem.len() >= self.flush_rows {
+            self.flush_locked(inner).err()
+        } else {
+            None
+        };
+        self.publish(inner);
+        for (done, result) in acks {
+            let result = match (&flush_err, result) {
+                (Some(e), Ok(_)) => Err(clone_io_err(e)),
+                (_, r) => r,
+            };
+            let _ = done.send(result);
+        }
     }
 
     /// Flush the memtable into an immutable segment and advance the

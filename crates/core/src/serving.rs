@@ -5,8 +5,10 @@
 //! server calls at startup and on every hot reload.
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+
+use deepjoin_store::SharedIo;
 
 use deepjoin_ann::index::TopK;
 use deepjoin_ann::Budget;
@@ -112,6 +114,10 @@ pub struct ServedModel {
     /// slabs and mutations are accepted (DESIGN.md §13). The lake outlives
     /// snapshots: a hot reload wraps the same `Arc`.
     live: Option<Arc<LiveLake>>,
+    /// A replica serves synced state it does not own: queries (including
+    /// the live merge) work, mutations are refused and must go to the
+    /// primary (DESIGN.md §15).
+    read_only: bool,
 }
 
 impl ServedModel {
@@ -130,6 +136,7 @@ impl ServedModel {
             repo,
             cache: (cache_capacity > 0).then(|| Mutex::new(QueryCache::new(cache_capacity))),
             live: None,
+            read_only: false,
         }
     }
 
@@ -137,6 +144,14 @@ impl ServedModel {
     /// `add-table` / `drop-table` mutations are accepted.
     pub fn with_live(mut self, live: Arc<LiveLake>) -> Self {
         self.live = Some(live);
+        self
+    }
+
+    /// Refuse mutations even when a live lake is attached — the replica
+    /// serving mode, where the lake's contents arrive by snapshot sync
+    /// and the primary is the only writer.
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
         self
     }
 
@@ -255,6 +270,9 @@ impl ServeModel for ServedModel {
     }
 
     fn mutate(&self, op: MutateOp) -> Result<MutateReply, String> {
+        if self.read_only {
+            return Err("replica is read-only: send mutations to the primary".to_string());
+        }
         let Some(live) = &self.live else {
             return Err("server is read-only: started without live ingest (--live)".to_string());
         };
@@ -294,6 +312,11 @@ impl ServeModel for ServedModel {
     }
 
     fn drain(&self) {
+        if self.read_only {
+            // A replica never writes its synced live directory — flushing
+            // would fork it from the primary's segment layout.
+            return;
+        }
         if let Some(live) = &self.live {
             if let Err(e) = live.flush() {
                 eprintln!("warning: live-lake flush on shutdown failed: {e}");
@@ -373,6 +396,59 @@ pub fn live_snapshot_loader(
                 ServedModel::with_cache(loaded.model, repo.clone(), cache_capacity)
                     .with_live(live.clone()),
             ),
+            warnings,
+        })
+    })
+}
+
+/// [`snapshot_loader`] for a replica: every (re)load re-reads the model
+/// artifact *and* re-opens the synced live directory, because sync
+/// installs both behind the server's back — a reload is how a freshly
+/// synced generation (new model, new sealed segments, new manifest)
+/// starts serving. The resulting snapshot is read-only: mutations are
+/// refused and routed to the primary.
+///
+/// The live directory is best-effort by design. Mid-convergence states
+/// (no manifest yet, or a manifest whose fingerprint belongs to a model
+/// generation whose artifact hasn't landed) degrade to serving the base
+/// index alone with a warning, never to a load failure — the next sync
+/// round reconverges and reloads again.
+pub fn replica_snapshot_loader(
+    model_path: String,
+    repo: Arc<Repository>,
+    cache_capacity: usize,
+    io: SharedIo,
+    live_dir: Option<PathBuf>,
+) -> Loader {
+    Box::new(move |path| {
+        let path = path.unwrap_or(&model_path);
+        let loaded = load_model_path(Path::new(path))?;
+        if loaded.model.indexed_len() == 0 {
+            return Err(format!("{path} was saved without an index; retrain with dj train"));
+        }
+        let mut warnings = loaded.warnings.clone();
+        let mut live = None;
+        if let Some(live_dir) = live_dir
+            .as_ref()
+            .filter(|d| io.exists(&d.join(crate::live::MANIFEST_FILE)))
+        {
+            match LiveLake::open(io.clone(), live_dir.clone(), &loaded.model) {
+                Ok(opened) => {
+                    warnings.extend(opened.warnings);
+                    live = Some(opened.lake);
+                }
+                Err(e) => warnings.push(format!(
+                    "synced live directory unavailable ({e}); serving the base index only \
+                     until the next sync round converges"
+                )),
+            }
+        }
+        let mut served = ServedModel::with_cache(loaded.model, repo.clone(), cache_capacity);
+        if let Some(lake) = live {
+            served = served.with_live(lake);
+        }
+        Ok(LoadedSnapshot {
+            model: Box::new(served.read_only()),
             warnings,
         })
     })

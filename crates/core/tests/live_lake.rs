@@ -467,3 +467,110 @@ fn corrupt_tombstone_bitmap_degrades_to_serving_without_deletes() {
         .add_table(&model, "u", &[("b".into(), vec!["2".into()])])
         .expect("lake stays writable after degradation");
 }
+
+// ---------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------
+
+/// An io that counts journal appends and holds each one for `delay`, so
+/// mutations racing the in-flight fsync pile up in the commit queue and
+/// must coalesce into batched appends.
+struct SlowCountingIo {
+    inner: MemIo,
+    appends: std::sync::atomic::AtomicUsize,
+    delay: std::time::Duration,
+}
+
+impl ArtifactIo for SlowCountingIo {
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.inner.write_atomic(path, bytes)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.appends
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        self.inner.append(path, bytes)
+    }
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.remove(path)
+    }
+    fn list(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+}
+
+#[test]
+fn concurrent_mutations_group_commit_into_fewer_fsyncs_than_ops() {
+    const N: usize = 8;
+    let (model, _repo) = tiny_model(false);
+    let slow = Arc::new(SlowCountingIo {
+        inner: MemIo::new(),
+        appends: std::sync::atomic::AtomicUsize::new(0),
+        delay: std::time::Duration::from_millis(100),
+    });
+    let io: SharedIo = slow.clone();
+    let lake = LiveLake::open(io.clone(), live_dir(), &model)
+        .expect("open")
+        .lake;
+
+    // N threads release together; each journals one single-column table.
+    let barrier = std::sync::Barrier::new(N);
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let (lake, model, barrier) = (&lake, &model, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    lake.add_table(
+                        model,
+                        &format!("gc{i}"),
+                        &[("col".into(), vec![format!("cell-{i}")])],
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every mutation was acknowledged with its own journal seq…
+    let mut seqs: Vec<u64> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every concurrent add must commit").seq)
+        .collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), N, "acks must carry {N} distinct seqs");
+    assert_eq!(
+        seqs[N - 1] - seqs[0],
+        (N - 1) as u64,
+        "batched records must take consecutive seqs"
+    );
+
+    // …but the journal saw far fewer durable appends than mutations.
+    let appends = slow.appends.load(std::sync::atomic::Ordering::SeqCst);
+    assert!(appends >= 1, "something must have hit the journal");
+    assert!(
+        appends <= N / 2,
+        "expected {N} concurrent mutations to coalesce into at most {} \
+         journal appends, saw {appends}",
+        N / 2
+    );
+
+    // Recovery replays the full committed batch: every add survives.
+    drop(lake);
+    let recovered = LiveLake::open(io, live_dir(), &model)
+        .expect("reopen")
+        .lake;
+    let view = recovered.view();
+    assert_eq!(
+        view.live_rows(),
+        N,
+        "replay must recover every group-committed row"
+    );
+}

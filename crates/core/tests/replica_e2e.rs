@@ -1,0 +1,439 @@
+//! Replicated serving against real `dj` binaries (DESIGN.md §15): a
+//! primary plus replicas pulling snapshot generations over the query
+//! port. The chaos here is process-level — SIGKILL the primary mid-serve
+//! and mid-sync, demand that replicas keep answering (flagged stale past
+//! the threshold), that a multi-endpoint client fails over, that a
+//! restarted primary re-converges the fleet, and that hedged queries cap
+//! the tail latency a stalled replica would otherwise impose.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use deepjoin_serve::{Client, ClusterConfig, MultiClient, ROLE_REPLICA};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dj-replica-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn s(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+fn run_dj(args: &[&str]) {
+    let status = Command::new(env!("CARGO_BIN_EXE_dj"))
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn dj");
+    assert!(status.success(), "dj {args:?} failed: {status}");
+}
+
+fn make_lake_and_model(tmp: &TempDir) -> (PathBuf, PathBuf) {
+    let lake = tmp.path("lake");
+    let model = tmp.path("primary.djar");
+    run_dj(&["generate", s(&lake), "--tables", "20", "--seed", "3"]);
+    run_dj(&["train", s(&lake), s(&model), "--epochs", "1", "--threads", "1"]);
+    (lake, model)
+}
+
+/// A serving `dj` process whose listening address was parsed from stdout.
+struct Serve {
+    child: Child,
+    addr: String,
+}
+
+impl Serve {
+    fn sigkill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        self.sigkill();
+    }
+}
+
+/// Spawn `dj serve` with `args`/`envs` and block until it prints its
+/// listening line (replicas print it only after bootstrap completes).
+fn spawn_serve(args: &[String], envs: &[(&str, &str)]) -> Serve {
+    try_spawn_serve(args, envs, Duration::from_secs(120)).expect("dj serve must come up")
+}
+
+fn try_spawn_serve(
+    args: &[String],
+    envs: &[(&str, &str)],
+    timeout: Duration,
+) -> Result<Serve, String> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dj"));
+    cmd.arg("serve").args(args).stdout(Stdio::piped()).stderr(Stdio::inherit());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { return };
+            if let Some(rest) = line.strip_prefix("dj-serve listening on ") {
+                let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+                let _ = tx.send(addr);
+                return;
+            }
+        }
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(addr) => Ok(Serve { child, addr }),
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err("no listening line before timeout".to_string())
+        }
+    }
+}
+
+/// Restart a primary on its previous (now released) address; retried
+/// because lingering sockets from the killed process may hold the port
+/// for a moment.
+fn respawn_primary_at(addr: &str, mut args: Vec<String>) -> Serve {
+    args.extend(["--addr".to_string(), addr.to_string()]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match try_spawn_serve(&args, &[], Duration::from_secs(20)) {
+            Ok(serve) => return serve,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "primary did not come back on {addr}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+fn primary_args(lake: &Path, model: &Path, live: &Path) -> Vec<String> {
+    vec![
+        s(lake).to_string(),
+        s(model).to_string(),
+        "--threads".into(),
+        "1".into(),
+        "--live".into(),
+        s(live).to_string(),
+        "--flush-rows".into(),
+        "2".into(),
+    ]
+}
+
+fn replica_args(lake: &Path, model: &Path, live: &Path, primary: &str) -> Vec<String> {
+    vec![
+        s(lake).to_string(),
+        s(model).to_string(),
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--threads".into(),
+        "1".into(),
+        "--replica-of".into(),
+        primary.to_string(),
+        "--live".into(),
+        s(live).to_string(),
+        "--sync-interval-ms".into(),
+        "100".into(),
+        // Loose enough that a debug-build sync round (segment install +
+        // model reload) under load never trips it; the post-kill stale
+        // waits below allow 10s, so detection still has ample headroom.
+        "--stale-after-ms".into(),
+        "3000".into(),
+    ]
+}
+
+fn add_table(addr: &str, title: &str) {
+    let columns = format!("x:{title}-a|{title}-b|{title}-c;y:{title}-other");
+    let out = Command::new(env!("CARGO_BIN_EXE_dj"))
+        .args(["ctl", addr, "add-table", title, "--columns", &columns])
+        .output()
+        .expect("dj ctl add-table");
+    assert!(out.status.success(), "add-table {title} failed: {out:?}");
+}
+
+fn labels(addr: &str, probe: &str) -> Vec<String> {
+    let mut client = Client::connect(addr).expect("connect");
+    let cells: Vec<String> = (0..4).map(|i| format!("{probe}-{i}")).collect();
+    let reply = client.query(probe, &cells, 500).expect("query");
+    reply.hits.into_iter().map(|h| h.label).collect()
+}
+
+/// Poll until `cond` holds or `timeout` elapses.
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn replicas_survive_a_sigkilled_primary_flag_staleness_and_reconverge() {
+    let tmp = TempDir::new("failover");
+    let (lake, model) = make_lake_and_model(&tmp);
+    let live_p = tmp.path("live-p");
+
+    let args_p = primary_args(&lake, &model, &live_p);
+    let mut primary = spawn_serve(
+        &[args_p.clone(), vec!["--addr".into(), "127.0.0.1:0".into()]].concat(),
+        &[],
+    );
+    let paddr = primary.addr.clone();
+
+    // Two replicas bootstrap their first generation from the primary
+    // (their model paths start empty) and ship live deltas thereafter.
+    let r1 = spawn_serve(
+        &replica_args(&lake, &tmp.path("r1.djar"), &tmp.path("live-r1"), &paddr),
+        &[],
+    );
+    let r2 = spawn_serve(
+        &replica_args(&lake, &tmp.path("r2.djar"), &tmp.path("live-r2"), &paddr),
+        &[],
+    );
+
+    // A mutation on the primary reaches both replicas without restarts or
+    // re-embedding: the sealed segment + manifest ship on the next poll.
+    add_table(&paddr, "fleet");
+    for addr in [&r1.addr, &r2.addr] {
+        wait_for("replica convergence", Duration::from_secs(15), || {
+            labels(addr, "conv").iter().any(|l| l == "fleet.x")
+        });
+    }
+
+    // Replicas identify themselves, are in sync, and refuse writes.
+    {
+        let mut c = Client::connect(&r1.addr).expect("connect r1");
+        let stats = c.stats().expect("stats");
+        let rep = stats.replication.expect("replica must report gauges");
+        assert_eq!(rep.role, ROLE_REPLICA);
+        assert!(!rep.stale, "freshly synced replica must not be stale");
+        assert!(rep.syncs > 0, "bootstrap counts as a sync");
+        let denied = c.add_table("nope", &[("a".into(), vec!["1".into()])]);
+        let err = denied.expect_err("replica must refuse mutations");
+        assert!(
+            err.to_string().contains("read-only"),
+            "refusal should say read-only: {err}"
+        );
+    }
+
+    // SIGKILL the primary mid-serve. Replicas keep answering, and once
+    // the staleness threshold passes, answers say so.
+    primary.sigkill();
+    for addr in [&r1.addr, &r2.addr] {
+        wait_for("stale flag", Duration::from_secs(10), || {
+            Client::connect(addr)
+                .and_then(|mut c| c.stats())
+                .map(|s| s.replication.is_some_and(|r| r.stale))
+                .unwrap_or(false)
+        });
+        let mut c = Client::connect(addr).expect("connect stale replica");
+        let reply = c.query("probe", &["probe-0".into()], 3).expect("stale query");
+        assert!(
+            reply.health_label.contains("(stale)"),
+            "stale answers must be flagged: {}",
+            reply.health_label
+        );
+        assert!(reply.degraded, "stale answers report degraded");
+    }
+
+    // A multi-endpoint client fails over to the replicas: the dead
+    // primary is probed down and never blocks the answer.
+    let cluster = MultiClient::new(ClusterConfig {
+        endpoints: vec![paddr.clone(), r1.addr.clone(), r2.addr.clone()],
+        ..ClusterConfig::default()
+    })
+    .expect("cluster client");
+    let started = Instant::now();
+    let routed = cluster
+        .query("failover", &["failover-0".into()], 3)
+        .expect("failover query");
+    let took = started.elapsed();
+    assert_ne!(routed.endpoint, paddr, "dead primary cannot answer");
+    eprintln!("failover query answered by {} in {took:?}", routed.endpoint);
+
+    // The primary returns on the same address: replicas re-converge, the
+    // stale flag clears, and new mutations flow again.
+    let primary2 = respawn_primary_at(&paddr, args_p);
+    assert_eq!(primary2.addr, paddr, "primary must rebind its address");
+    add_table(&paddr, "after-heal");
+    for addr in [&r1.addr, &r2.addr] {
+        wait_for("re-convergence", Duration::from_secs(20), || {
+            labels(addr, "heal").iter().any(|l| l == "after-heal.x")
+        });
+        let mut c = Client::connect(addr).expect("reconnect");
+        let stats = c.stats().expect("stats");
+        assert!(
+            !stats.replication.expect("gauges").stale,
+            "re-synced replica must drop the stale flag"
+        );
+    }
+    drop(cluster);
+    drop((r1, r2, primary2));
+}
+
+#[test]
+fn a_primary_killed_mid_sync_is_survived_by_a_resumed_bootstrap() {
+    let tmp = TempDir::new("midsync");
+    let (lake, model) = make_lake_and_model(&tmp);
+
+    let mut primary = spawn_serve(
+        &[
+            s(&lake).to_string(),
+            s(&model).to_string(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--threads".into(),
+            "1".into(),
+        ],
+        &[],
+    );
+    let paddr = primary.addr.clone();
+
+    // Start a replica bootstrapping in tiny chunks (thousands of fetch
+    // round-trips), then SIGKILL the primary while the transfer is most
+    // likely in flight. The replica's bootstrap keeps retrying.
+    let replica_model = tmp.path("replica.djar");
+    let mut args = replica_args(&lake, &replica_model, &tmp.path("live-r"), &paddr);
+    args.extend(["--sync-chunk-bytes".into(), "1024".into()]);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dj"));
+    cmd.arg("serve").args(&args).stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut replica = cmd.spawn().expect("spawn replica");
+    let replica_stdout = replica.stdout.take().expect("piped stdout");
+
+    std::thread::sleep(Duration::from_millis(150));
+    primary.sigkill();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The primary returns; the replica finishes bootstrapping (resuming
+    // or restarting its partial — either way it converges) and serves.
+    let primary2 = respawn_primary_at(
+        &paddr,
+        vec![
+            s(&lake).to_string(),
+            s(&model).to_string(),
+            "--threads".into(),
+            "1".into(),
+        ],
+    );
+    assert_eq!(primary2.addr, paddr);
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(replica_stdout).lines() {
+            let Ok(line) = line else { return };
+            if let Some(rest) = line.strip_prefix("dj-serve listening on ") {
+                let _ = tx.send(rest.split_whitespace().next().unwrap_or("").to_string());
+                return;
+            }
+        }
+    });
+    let raddr = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("replica must finish bootstrapping after the primary returns");
+
+    let mut c = Client::connect(&raddr).expect("connect replica");
+    let reply = c.query("probe", &["probe-0".into()], 3).expect("replica query");
+    assert!(!reply.hits.is_empty(), "bootstrapped replica must answer");
+    // The install was atomic: the served artifact is complete and no
+    // partial-transfer files linger next to it.
+    let mut partial = replica_model.as_os_str().to_os_string();
+    partial.push(".sync");
+    assert!(
+        !PathBuf::from(&partial).exists(),
+        "a finished install must clean up its partial"
+    );
+
+    let _ = replica.kill();
+    let _ = replica.wait();
+    drop(primary2);
+}
+
+#[test]
+fn hedged_queries_cap_the_tail_latency_of_a_stalled_replica() {
+    let tmp = TempDir::new("hedge");
+    let (lake, model) = make_lake_and_model(&tmp);
+
+    let primary = spawn_serve(
+        &[
+            s(&lake).to_string(),
+            s(&model).to_string(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--threads".into(),
+            "1".into(),
+        ],
+        &[],
+    );
+    let paddr = primary.addr.clone();
+
+    // Two replicas of the same primary; one stalls every query 250 ms
+    // (the debug hook models a slow peer, not a dead one: probes and
+    // syncs stay fast, so the breaker never opens).
+    let slow = spawn_serve(
+        &replica_args(&lake, &tmp.path("slow.djar"), &tmp.path("live-slow"), &paddr),
+        &[("DEEPJOIN_DEBUG_STALL_MS", "250")],
+    );
+    let fast = spawn_serve(
+        &replica_args(&lake, &tmp.path("fast.djar"), &tmp.path("live-fast"), &paddr),
+        &[],
+    );
+
+    // The stalled replica ranks first (equal freshness, listed first), so
+    // every query would eat the 250 ms stall — unless the hedge fires a
+    // second attempt at the adaptive delay and the fast replica answers.
+    let cluster = MultiClient::new(ClusterConfig {
+        endpoints: vec![slow.addr.clone(), fast.addr.clone()],
+        ..ClusterConfig::default()
+    })
+    .expect("cluster client");
+
+    let mut under_stall = 0usize;
+    let rounds = 12usize;
+    for i in 0..rounds {
+        let started = Instant::now();
+        let routed = cluster
+            .query("hedge", &[format!("hedge-{i}")], 3)
+            .expect("hedged query");
+        let took = started.elapsed();
+        if took < Duration::from_millis(250) {
+            under_stall += 1;
+        }
+        assert!(!routed.reply.hits.is_empty());
+    }
+    let (fired, won) = cluster.hedge_counters();
+    eprintln!("hedges fired {fired}, won {won}, {under_stall}/{rounds} under the stall");
+    assert!(fired > 0, "the stalled first choice must trigger hedges");
+    assert!(
+        under_stall >= rounds - 2,
+        "hedging must cap the tail below the 250 ms stall ({under_stall}/{rounds})"
+    );
+    drop((slow, fast, primary));
+}

@@ -1,0 +1,168 @@
+//! Stamp-sidecar × snapshot-sync interaction (DESIGN.md §14 + §15).
+//!
+//! The validation-stamp sidecar (`<artifact>.stamp`) lets an unchanged
+//! artifact skip its payload CRC sweep across process restarts. Replica
+//! sync installs *new* artifact content under the same path — so these
+//! tests pin the two safety properties at the seam:
+//!
+//! * installing a synced generation **voids** the previous stamp: the
+//!   sidecar left behind by the old generation must not let damaged new
+//!   content skip verification;
+//! * a **degraded** (warning-bearing) synced load never earns a stamp,
+//!   while a clean synced load does.
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use deepjoin::model::{DeepJoin, DeepJoinConfig, IndexHealth};
+use deepjoin::persist::{load_model_path, save_model};
+use deepjoin::train::{FineTuneConfig, JoinType};
+use deepjoin_lake::corpus::{Corpus, CorpusConfig, CorpusProfile};
+use deepjoin_serve::sync::LocalSyncSource;
+use deepjoin_serve::{SyncExport, Syncer};
+use deepjoin_store::{SharedIo, StdIo};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dj-stamp-sync-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn trained_artifact(seed: u64) -> Vec<u8> {
+    let corpus = Corpus::generate(CorpusConfig::new(CorpusProfile::Webtable, 12, seed));
+    let (repo, _) = corpus.to_repository();
+    let config = DeepJoinConfig {
+        fine_tune: FineTuneConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        ..DeepJoinConfig::default()
+    };
+    let (mut model, _) = DeepJoin::train(&repo, JoinType::Equi, config);
+    model.index_repository(&repo);
+    save_model(&model, true)
+}
+
+fn stamp_path(artifact: &Path) -> PathBuf {
+    let mut s = artifact.as_os_str().to_os_string();
+    s.push(".stamp");
+    PathBuf::from(s)
+}
+
+/// Flip one byte deep inside the artifact's HNSW graph payload: the load
+/// then degrades to exact flat search with a warning — but only if the
+/// payload CRC sweep actually runs.
+fn corrupt_graph_section(bytes: &mut [u8]) {
+    let magic = b"HNSW";
+    let pos = bytes
+        .windows(magic.len())
+        .rposition(|w| w == magic)
+        .expect("artifact has an HNSW section");
+    bytes[pos + 64] ^= 0x20;
+}
+
+/// Install the primary's current artifact into `replica_model` through the
+/// real chunked sync engine (poll → fetch → CRC gate → atomic rename).
+fn sync_install(io: &SharedIo, primary_model: &Path, replica_model: &Path, generation: u32) {
+    let export = SyncExport::new(io.clone(), primary_model.to_path_buf(), None);
+    let mut source = LocalSyncSource {
+        export: &export,
+        generation,
+    };
+    let mut syncer = Syncer::new(io.clone(), replica_model.to_path_buf(), None, 1024);
+    let report = syncer.sync_once(&mut source).expect("sync must install");
+    assert_eq!(report.installed, 1, "the model artifact must transfer");
+}
+
+#[test]
+fn installing_a_synced_generation_voids_the_previous_stamp() {
+    let tmp = TempDir::new("voids");
+    let io: SharedIo = Arc::new(StdIo);
+    let replica_model = tmp.path("replica.djar");
+    let primary_model = tmp.path("primary.djar");
+
+    // Generation 1 serves cleanly and earns a stamp: the next restart
+    // would skip the payload sweep for this exact file content.
+    std::fs::write(&replica_model, trained_artifact(7)).unwrap();
+    let loaded = load_model_path(&replica_model).expect("clean load");
+    assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+    assert!(
+        stamp_path(&replica_model).exists(),
+        "a clean verified load must leave a stamp sidecar"
+    );
+
+    // Generation 2 arrives by sync — damaged at the source, so every
+    // transfer CRC matches the (corrupt) source bytes and the install
+    // succeeds. The stale generation-1 sidecar is still on disk.
+    let mut v2 = trained_artifact(8);
+    corrupt_graph_section(&mut v2);
+    std::fs::write(&primary_model, &v2).unwrap();
+    sync_install(&io, &primary_model, &replica_model, 2);
+    assert!(
+        stamp_path(&replica_model).exists(),
+        "the old sidecar survives the install; it must simply stop matching"
+    );
+
+    // If the loader trusted the stale sidecar it would skip the sweep and
+    // silently serve a corrupt graph. It must instead re-verify (the
+    // rename gave the file a new inode) and degrade loudly.
+    let loaded = load_model_path(&replica_model).expect("degraded, not failed");
+    assert!(
+        !loaded.warnings.is_empty(),
+        "the synced generation's damage must be re-detected despite the stale stamp"
+    );
+    assert!(
+        matches!(loaded.model.index_health(), IndexHealth::DegradedFlat { .. }),
+        "corrupt graph must degrade to exact flat search"
+    );
+}
+
+#[test]
+fn a_degraded_synced_load_never_earns_a_stamp_but_a_clean_one_does() {
+    let tmp = TempDir::new("earns");
+    let io: SharedIo = Arc::new(StdIo);
+    let replica_model = tmp.path("replica.djar");
+    let primary_model = tmp.path("primary.djar");
+
+    // A degraded synced generation: loads with warnings, and must NOT
+    // leave a sidecar — a damaged artifact re-verifies (and re-warns) on
+    // every start.
+    let mut damaged = trained_artifact(11);
+    corrupt_graph_section(&mut damaged);
+    std::fs::write(&primary_model, &damaged).unwrap();
+    sync_install(&io, &primary_model, &replica_model, 1);
+    assert!(!stamp_path(&replica_model).exists());
+    let loaded = load_model_path(&replica_model).expect("degraded load");
+    assert!(!loaded.warnings.is_empty(), "damage must warn");
+    assert!(
+        !stamp_path(&replica_model).exists(),
+        "a warning-bearing load must not earn a validation stamp"
+    );
+
+    // The primary repairs (re-trains); the next sync round installs the
+    // clean generation, which loads silently and earns its stamp.
+    std::fs::write(&primary_model, trained_artifact(11)).unwrap();
+    sync_install(&io, &primary_model, &replica_model, 2);
+    let loaded = load_model_path(&replica_model).expect("clean load");
+    assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+    assert!(
+        stamp_path(&replica_model).exists(),
+        "a clean verified synced load must earn a stamp for the next restart"
+    );
+}

@@ -68,6 +68,26 @@ impl RetryPolicy {
             _ => false,
         }
     }
+
+    /// Transport failures on an *established* connection that a reconnect
+    /// can heal: the server died mid-response (EOF inside a frame, reset,
+    /// aborted, broken pipe on write) or refuses connections while it
+    /// restarts. Distinct from [`RetryPolicy::transient_connect`] in
+    /// including `UnexpectedEof` and `BrokenPipe`, which only exist once a
+    /// connection was up.
+    fn transient_transport(e: &ClientError) -> bool {
+        match e {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
 }
 
 /// Why a client call failed.
@@ -114,6 +134,10 @@ impl From<FrameError> for ClientError {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The resolved peer, kept so retry paths can reconnect after the
+    /// server dies mid-response.
+    peer: std::net::SocketAddr,
+    read_timeout: Duration,
 }
 
 impl Client {
@@ -131,7 +155,21 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        let peer = stream.peer_addr()?;
+        Ok(Client {
+            stream,
+            peer,
+            read_timeout: timeout,
+        })
+    }
+
+    /// Replace a dead connection with a fresh one to the same peer.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_nodelay(true).ok();
+        self.stream = stream;
+        Ok(())
     }
 
     /// Connect, retrying transient failures (refused / reset / aborted /
@@ -200,10 +238,14 @@ impl Client {
         }
     }
 
-    /// [`Client::query`] with bounded backoff on `Overloaded` sheds: an
-    /// admission-queue rejection is the one server error that is *expected*
-    /// to clear on its own, so it is retried up to `policy.max_attempts`
-    /// total tries. Every other error — and exhaustion — surfaces as-is.
+    /// [`Client::query`] with bounded backoff on failures that are
+    /// *expected* to clear on their own: `Overloaded` sheds (the backlog
+    /// drains) and transport failures on the established connection — the
+    /// server dying mid-response (EOF inside a frame, reset, broken pipe)
+    /// or refusing connections while it restarts. Transport failures get
+    /// a reconnect before the next try; queries are idempotent, so a
+    /// retried half-answered query is safe. Every other error — and
+    /// exhaustion — surfaces as-is.
     pub fn query_with_retry(
         &mut self,
         name: &str,
@@ -213,14 +255,30 @@ impl Client {
     ) -> Result<QueryReply, ClientError> {
         let attempts = policy.max_attempts.max(1);
         let mut last = None;
+        let mut dead_connection = false;
         for retry in 0..attempts {
             if retry > 0 {
                 std::thread::sleep(policy.delay(retry - 1));
+            }
+            if dead_connection {
+                match self.reconnect() {
+                    Ok(()) => dead_connection = false,
+                    Err(e) if RetryPolicy::transient_transport(&e) => {
+                        // Still restarting; burn this attempt and back off.
+                        last = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             match self.query(name, cells, k) {
                 Ok(reply) => return Ok(reply),
                 Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
                     last = Some(ClientError::Server(e));
+                }
+                Err(e) if RetryPolicy::transient_transport(&e) => {
+                    last = Some(e);
+                    dead_connection = true;
                 }
                 Err(e) => return Err(e),
             }
@@ -359,6 +417,62 @@ mod tests {
             elapsed < Duration::from_secs(5),
             "connect_with_retry took {elapsed:?}; retries are unbounded"
         );
+    }
+
+    #[test]
+    fn a_server_dying_mid_response_is_retried_against_its_replacement() {
+        use crate::protocol::QueryReply;
+        use std::io::Write as _;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: read the request, then die mid-response —
+            // a frame header announcing 64 bytes followed by only 8.
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_frame(&mut s);
+            s.write_all(&64u32.to_le_bytes()).unwrap();
+            s.write_all(&[0xAB; 8]).unwrap();
+            drop(s); // EOF inside the frame body
+                     // "Restarted" server on the same port: answer properly.
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_frame(&mut s);
+            let reply = Response::Query(QueryReply {
+                health_code: 0,
+                health_label: "hnsw".to_string(),
+                degraded: false,
+                complete: true,
+                via_fallback: false,
+                generation: 1,
+                indexed: 1,
+                visited: 1,
+                hits: Vec::new(),
+            });
+            protocol::write_frame(&mut s, &reply.encode()).unwrap();
+        });
+
+        let mut client = Client::connect(addr).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter_seed: 9,
+        };
+        let reply = client
+            .query_with_retry("q", &["a".to_string()], 1, &policy)
+            .expect("mid-frame death must be retried, not surfaced");
+        assert_eq!(reply.generation, 1);
+        assert!(reply.complete);
+        server.join().unwrap();
+    }
+
+    fn read_request_frame(s: &mut std::net::TcpStream) {
+        use std::io::Read as _;
+        let mut header = [0u8; 4];
+        s.read_exact(&mut header).unwrap();
+        let len = u32::from_le_bytes(header) as usize;
+        let mut body = vec![0u8; len];
+        s.read_exact(&mut body).unwrap();
     }
 
     #[test]

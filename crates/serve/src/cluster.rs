@@ -1,0 +1,669 @@
+//! The multi-endpoint, failure-aware client (DESIGN.md §15): health
+//! probes with per-endpoint breaker state, automatic failover of reads to
+//! the freshest healthy replica, and hedged requests.
+//!
+//! Failure handling is layered:
+//!
+//! 1. **Probes** — a background thread pings every endpoint and reads its
+//!    stats on a fixed interval, keeping a local view of liveness,
+//!    serving generation, and staleness. Failover happens within one
+//!    probe interval of an endpoint dying, without a query paying for the
+//!    discovery.
+//! 2. **Breakers** — consecutive failures (probe or query) past a
+//!    threshold open a per-endpoint breaker for a cool-off period;
+//!    open endpoints are skipped by routing (but retried by probes, which
+//!    is what closes the breaker again). If *every* breaker is open the
+//!    client falls back to trying all endpoints anyway — a wrong breaker
+//!    must degrade to slower answers, never to refusing service.
+//! 3. **Ranking** — reads go to non-stale endpoints first, then to the
+//!    highest serving generation, then by configured order.
+//! 4. **Hedging** — after an adaptive delay derived from observed query
+//!    latencies (~p99, clamped), the same query is issued to the
+//!    next-ranked endpoint and the first answer wins. A single slow or
+//!    wedged replica then costs roughly the hedge delay, not its stall.
+//! 5. **Retries** — the whole routed attempt (including failover across
+//!    endpoints) is wrapped in the existing [`RetryPolicy`] backoff for
+//!    `Overloaded` sheds and transient transport failures.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::client::{Client, ClientError, RetryPolicy};
+use crate::protocol::{ErrorCode, QueryReply, StatsReply};
+use crate::replica::ReplicationState;
+
+/// Tuning for a [`MultiClient`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Endpoints in preference order (ties in ranking keep this order, so
+    /// put the primary first).
+    pub endpoints: Vec<String>,
+    /// Delay between background probe rounds.
+    pub probe_interval: Duration,
+    /// Read timeout for probe connections (kept short: a probe that
+    /// cannot answer quickly is as good as down).
+    pub probe_timeout: Duration,
+    /// Read timeout for query connections.
+    pub read_timeout: Duration,
+    /// Consecutive failures that open an endpoint's breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker skips its endpoint before the next try.
+    pub breaker_cooloff: Duration,
+    /// Enable hedged queries.
+    pub hedge: bool,
+    /// Floor on the adaptive hedge delay.
+    pub hedge_min: Duration,
+    /// Ceiling on the adaptive hedge delay.
+    pub hedge_max: Duration,
+    /// Backoff for `Overloaded` sheds and transient transport failures
+    /// around the whole routed attempt.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            endpoints: Vec::new(),
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            breaker_threshold: 2,
+            breaker_cooloff: Duration::from_secs(2),
+            hedge: true,
+            hedge_min: Duration::from_millis(20),
+            hedge_max: Duration::from_millis(500),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What the prober (and query outcomes) know about one endpoint.
+#[derive(Debug, Clone)]
+struct EndpointState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    /// Last serving generation observed by a probe.
+    generation: u32,
+    /// Last staleness flag observed by a probe.
+    stale: bool,
+    /// Whether the last contact (probe or query) succeeded.
+    healthy: bool,
+}
+
+impl EndpointState {
+    fn new() -> Self {
+        EndpointState {
+            consecutive_failures: 0,
+            open_until: None,
+            generation: 0,
+            stale: false,
+            healthy: false,
+        }
+    }
+
+    fn available(&self, now: Instant) -> bool {
+        self.open_until.is_none_or(|until| now >= until)
+    }
+}
+
+/// Sliding window of recent query latencies (micros) feeding the adaptive
+/// hedge delay.
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+const LATENCY_RING: usize = 64;
+
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing {
+            samples: Vec::with_capacity(LATENCY_RING),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, micros: u64) {
+        if self.samples.len() < LATENCY_RING {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+            self.next = (self.next + 1) % LATENCY_RING;
+        }
+    }
+
+    /// ~p99 of the window (`None` until there are samples).
+    fn p99_micros(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[(sorted.len() - 1) * 99 / 100])
+    }
+}
+
+struct ClusterInner {
+    cfg: ClusterConfig,
+    states: Mutex<Vec<EndpointState>>,
+    latencies: Mutex<LatencyRing>,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    /// Optional server-side gauge sink, so an embedding process surfaces
+    /// its hedge fire rate through `dj ctl stats`.
+    replication: Mutex<Option<Arc<ReplicationState>>>,
+}
+
+impl ClusterInner {
+    fn note_ok(&self, idx: usize) {
+        let mut states = self.states.lock().expect("cluster states");
+        let s = &mut states[idx];
+        s.consecutive_failures = 0;
+        s.open_until = None;
+        s.healthy = true;
+    }
+
+    fn note_failure(&self, idx: usize) {
+        let mut states = self.states.lock().expect("cluster states");
+        let s = &mut states[idx];
+        s.consecutive_failures += 1;
+        s.healthy = false;
+        if s.consecutive_failures >= self.cfg.breaker_threshold {
+            s.open_until = Some(Instant::now() + self.cfg.breaker_cooloff);
+        }
+    }
+
+    /// Endpoint indices in routing order: available (breaker closed)
+    /// endpoints ranked non-stale first, freshest generation next,
+    /// configured order last; if every breaker is open, all endpoints in
+    /// configured order (degrade, never refuse).
+    fn ranked(&self) -> Vec<usize> {
+        let now = Instant::now();
+        let states = self.states.lock().expect("cluster states");
+        let mut open: Vec<usize> = (0..states.len())
+            .filter(|&i| states[i].available(now))
+            .collect();
+        if open.is_empty() {
+            return (0..states.len()).collect();
+        }
+        open.sort_by_key(|&i| (states[i].stale, std::cmp::Reverse(states[i].generation), i));
+        open
+    }
+
+    fn probe_round(&self) {
+        for idx in 0..self.cfg.endpoints.len() {
+            let addr = self.cfg.endpoints[idx].clone();
+            let outcome = Client::connect_with_timeout(&addr, self.cfg.probe_timeout)
+                .and_then(|mut c| c.stats());
+            match outcome {
+                Ok(stats) => {
+                    {
+                        let mut states = self.states.lock().expect("cluster states");
+                        let s = &mut states[idx];
+                        s.generation = stats.generation;
+                        s.stale = stats.replication.map(|r| r.stale).unwrap_or(false);
+                    }
+                    self.note_ok(idx);
+                }
+                Err(_) => self.note_failure(idx),
+            }
+        }
+    }
+
+    fn hedge_delay(&self) -> Duration {
+        let p99 = self
+            .latencies
+            .lock()
+            .expect("latency ring")
+            .p99_micros()
+            .map(Duration::from_micros)
+            .unwrap_or(Duration::from_millis(100));
+        p99.clamp(self.cfg.hedge_min, self.cfg.hedge_max)
+    }
+
+    fn query_endpoint(
+        &self,
+        idx: usize,
+        name: &str,
+        cells: &[String],
+        k: u32,
+    ) -> Result<QueryReply, ClientError> {
+        let addr = &self.cfg.endpoints[idx];
+        let mut client = Client::connect_with_timeout(addr, self.cfg.read_timeout)?;
+        client.query(name, cells, k)
+    }
+
+    fn note_hedge_fired(&self) {
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+        if let Some(rep) = self.replication.lock().expect("replication sink").as_ref() {
+            rep.note_hedge_fired();
+        }
+    }
+
+    fn note_hedge_won(&self) {
+        self.hedges_won.fetch_add(1, Ordering::Relaxed);
+        if let Some(rep) = self.replication.lock().expect("replication sink").as_ref() {
+            rep.note_hedge_won();
+        }
+    }
+}
+
+/// The answer to a routed query: the reply plus where it came from.
+#[derive(Debug, Clone)]
+pub struct RoutedReply {
+    /// The server's answer.
+    pub reply: QueryReply,
+    /// The endpoint that answered.
+    pub endpoint: String,
+    /// True when this answer came from a hedge (the second endpoint
+    /// answered before the first).
+    pub hedged: bool,
+}
+
+/// A failure-aware client over a set of replicated `dj serve` endpoints.
+///
+/// Owns a background probe thread for its whole lifetime (stopped and
+/// joined on drop).
+pub struct MultiClient {
+    inner: Arc<ClusterInner>,
+    stop: Arc<AtomicBool>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl MultiClient {
+    /// Build a client over `cfg.endpoints` (at least one) and run one
+    /// synchronous probe round so the first query routes on real health
+    /// data, then start the background prober.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, String> {
+        if cfg.endpoints.is_empty() {
+            return Err("MultiClient needs at least one endpoint".to_string());
+        }
+        let states = (0..cfg.endpoints.len()).map(|_| EndpointState::new()).collect();
+        let inner = Arc::new(ClusterInner {
+            cfg,
+            states: Mutex::new(states),
+            latencies: Mutex::new(LatencyRing::new()),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            replication: Mutex::new(None),
+        });
+        inner.probe_round();
+        let stop = Arc::new(AtomicBool::new(false));
+        let prober = {
+            let inner = inner.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut remaining = inner.cfg.probe_interval;
+                    while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
+                        let slice = remaining.min(Duration::from_millis(50));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    inner.probe_round();
+                }
+            })
+        };
+        Ok(MultiClient {
+            inner,
+            stop,
+            prober: Some(prober),
+        })
+    }
+
+    /// Mirror hedge counters into a server's [`ReplicationState`] so they
+    /// surface through that server's `stats`.
+    pub fn wire_replication_state(&self, state: Arc<ReplicationState>) {
+        *self.inner.replication.lock().expect("replication sink") = Some(state);
+    }
+
+    /// `(hedges fired, hedges won)` since this client was built.
+    pub fn hedge_counters(&self) -> (u64, u64) {
+        (
+            self.inner.hedges_fired.load(Ordering::Relaxed),
+            self.inner.hedges_won.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The configured endpoints.
+    pub fn endpoints(&self) -> &[String] {
+        &self.inner.cfg.endpoints
+    }
+
+    /// Route one query: ranked endpoints, hedging (when enabled and a
+    /// second endpoint exists), failover on transport failure, and the
+    /// retry policy's backoff around the whole routed attempt.
+    pub fn query(
+        &self,
+        name: &str,
+        cells: &[String],
+        k: u32,
+    ) -> Result<RoutedReply, ClientError> {
+        let policy = self.inner.cfg.retry.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<ClientError> = None;
+        for retry in 0..attempts {
+            if retry > 0 {
+                std::thread::sleep(policy.delay(retry - 1));
+            }
+            match self.routed_attempt(name, cells, k) {
+                Ok(routed) => return Ok(routed),
+                // Overloaded sheds and transport failures clear on their
+                // own (backlog drains, endpoint restarts, probe marks a
+                // peer healthy again) — those retry. Anything structured
+                // (bad request, protocol violation) does not.
+                Err(e) if retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Latest stats from the freshest healthy endpoint.
+    pub fn stats(&self) -> Result<(StatsReply, String), ClientError> {
+        let mut last: Option<ClientError> = None;
+        for idx in self.inner.ranked() {
+            let addr = self.inner.cfg.endpoints[idx].clone();
+            match Client::connect_with_timeout(&addr, self.inner.cfg.probe_timeout)
+                .and_then(|mut c| c.stats())
+            {
+                Ok(s) => {
+                    self.inner.note_ok(idx);
+                    return Ok((s, addr));
+                }
+                Err(e) => {
+                    self.inner.note_failure(idx);
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Protocol("no endpoints configured".to_string())
+        }))
+    }
+
+    /// One pass over the ranked endpoints: hedged attempt on the top two,
+    /// then sequential failover over the rest.
+    fn routed_attempt(
+        &self,
+        name: &str,
+        cells: &[String],
+        k: u32,
+    ) -> Result<RoutedReply, ClientError> {
+        let ranked = self.inner.ranked();
+        let mut last: Option<ClientError> = None;
+        let mut first = true;
+        let mut rest = ranked.iter();
+        while let Some(&idx) = rest.next() {
+            if first && self.inner.cfg.hedge && ranked.len() > 1 {
+                first = false;
+                let hedge_idx = ranked[1];
+                match self.hedged_pair(idx, hedge_idx, name, cells, k) {
+                    Ok(routed) => return Ok(routed),
+                    Err(e) => {
+                        last = Some(e);
+                        // Both hedge legs failed; skip the hedge endpoint
+                        // in the sequential sweep (it was already tried).
+                        rest.next();
+                        continue;
+                    }
+                }
+            }
+            first = false;
+            let started = Instant::now();
+            match self.inner.query_endpoint(idx, name, cells, k) {
+                Ok(reply) => {
+                    self.inner.note_ok(idx);
+                    self.inner
+                        .latencies
+                        .lock()
+                        .expect("latency ring")
+                        .push(started.elapsed().as_micros() as u64);
+                    return Ok(RoutedReply {
+                        reply,
+                        endpoint: self.inner.cfg.endpoints[idx].clone(),
+                        hedged: false,
+                    });
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        self.inner.note_failure(idx);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Protocol("no endpoints configured".to_string())
+        }))
+    }
+
+    /// Issue the query to `primary_idx`; if no answer lands within the
+    /// adaptive hedge delay, issue it to `hedge_idx` too and take the
+    /// first answer.
+    fn hedged_pair(
+        &self,
+        primary_idx: usize,
+        hedge_idx: usize,
+        name: &str,
+        cells: &[String],
+        k: u32,
+    ) -> Result<RoutedReply, ClientError> {
+        let (tx, rx) = mpsc::channel::<(usize, Result<QueryReply, ClientError>, Duration)>();
+        let spawn_leg = |idx: usize, tx: mpsc::Sender<_>| {
+            let inner = self.inner.clone();
+            let name = name.to_string();
+            let cells = cells.to_vec();
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let result = inner.query_endpoint(idx, &name, &cells, k);
+                let _ = tx.send((idx, result, started.elapsed()));
+            })
+        };
+        spawn_leg(primary_idx, tx.clone());
+        let delay = self.inner.hedge_delay();
+
+        let mut fired = false;
+        let mut outcomes = 0usize;
+        let expected; // how many legs will eventually answer
+        let first = match rx.recv_timeout(delay) {
+            Ok(outcome) => {
+                expected = 1;
+                Some(outcome)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Primary leg is slow: fire the hedge.
+                self.inner.note_hedge_fired();
+                fired = true;
+                spawn_leg(hedge_idx, tx.clone());
+                expected = 2;
+                None
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ClientError::Protocol("hedge leg vanished".to_string()));
+            }
+        };
+        drop(tx);
+
+        let mut last: Option<ClientError> = None;
+        let mut pending = first;
+        loop {
+            let (idx, result, took) = match pending.take() {
+                Some(o) => o,
+                None => match rx.recv() {
+                    Ok(o) => o,
+                    Err(_) => {
+                        return Err(last.unwrap_or_else(|| {
+                            ClientError::Protocol("hedge legs vanished".to_string())
+                        }))
+                    }
+                },
+            };
+            outcomes += 1;
+            match result {
+                Ok(reply) => {
+                    self.inner.note_ok(idx);
+                    self.inner
+                        .latencies
+                        .lock()
+                        .expect("latency ring")
+                        .push(took.as_micros() as u64);
+                    let hedged = fired && idx == hedge_idx;
+                    if hedged {
+                        self.inner.note_hedge_won();
+                    }
+                    return Ok(RoutedReply {
+                        reply,
+                        endpoint: self.inner.cfg.endpoints[idx].clone(),
+                        hedged,
+                    });
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        self.inner.note_failure(idx);
+                    }
+                    last = Some(e);
+                    if outcomes >= expected {
+                        return Err(last.expect("at least one outcome"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MultiClient {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.prober.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Failures expected to clear on their own: `Overloaded` sheds and
+/// transport-level errors (the server died mid-frame, the connection was
+/// refused while it restarts, ...).
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Server(e) => e.code == ErrorCode::Overloaded,
+        ClientError::Io(_) => true,
+        ClientError::Protocol(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_prefers_fresh_then_generation_then_order() {
+        let inner = ClusterInner {
+            cfg: ClusterConfig {
+                endpoints: vec!["a".into(), "b".into(), "c".into()],
+                ..ClusterConfig::default()
+            },
+            states: Mutex::new(vec![
+                EndpointState {
+                    generation: 5,
+                    stale: true,
+                    ..EndpointState::new()
+                },
+                EndpointState {
+                    generation: 3,
+                    stale: false,
+                    ..EndpointState::new()
+                },
+                EndpointState {
+                    generation: 4,
+                    stale: false,
+                    ..EndpointState::new()
+                },
+            ]),
+            latencies: Mutex::new(LatencyRing::new()),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            replication: Mutex::new(None),
+        };
+        // Non-stale first (c beats b on generation), stale endpoint last
+        // even with the highest generation.
+        assert_eq!(inner.ranked(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn open_breakers_are_skipped_until_cooloff_but_never_strand_the_client() {
+        let inner = ClusterInner {
+            cfg: ClusterConfig {
+                endpoints: vec!["a".into(), "b".into()],
+                breaker_threshold: 2,
+                breaker_cooloff: Duration::from_millis(40),
+                ..ClusterConfig::default()
+            },
+            states: Mutex::new(vec![EndpointState::new(), EndpointState::new()]),
+            latencies: Mutex::new(LatencyRing::new()),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            replication: Mutex::new(None),
+        };
+        inner.note_failure(0);
+        assert_eq!(inner.ranked(), vec![0, 1], "below threshold: still routable");
+        inner.note_failure(0);
+        assert_eq!(inner.ranked(), vec![1], "breaker open: endpoint 0 skipped");
+        inner.note_failure(1);
+        inner.note_failure(1);
+        // Every breaker open: fall back to all endpoints, never refuse.
+        assert_eq!(inner.ranked(), vec![0, 1]);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(inner.ranked(), vec![0, 1], "cool-off over: both routable again");
+        inner.note_ok(0);
+        let states = inner.states.lock().unwrap();
+        assert_eq!(states[0].consecutive_failures, 0);
+        assert!(states[0].open_until.is_none());
+    }
+
+    #[test]
+    fn hedge_delay_adapts_to_observed_latency_within_bounds() {
+        let inner = ClusterInner {
+            cfg: ClusterConfig {
+                endpoints: vec!["a".into()],
+                hedge_min: Duration::from_millis(10),
+                hedge_max: Duration::from_millis(200),
+                ..ClusterConfig::default()
+            },
+            states: Mutex::new(vec![EndpointState::new()]),
+            latencies: Mutex::new(LatencyRing::new()),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            replication: Mutex::new(None),
+        };
+        // No samples yet: the 100 ms default, clamped.
+        assert_eq!(inner.hedge_delay(), Duration::from_millis(100));
+        // Fast cluster: delay floors at hedge_min.
+        for _ in 0..50 {
+            inner.latencies.lock().unwrap().push(500); // 0.5 ms
+        }
+        assert_eq!(inner.hedge_delay(), Duration::from_millis(10));
+        // One pathological outlier dominates p99 and is capped by
+        // hedge_max.
+        for _ in 0..64 {
+            inner.latencies.lock().unwrap().push(5_000_000); // 5 s
+        }
+        assert_eq!(inner.hedge_delay(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn latency_ring_p99_tracks_the_tail() {
+        let mut ring = LatencyRing::new();
+        assert_eq!(ring.p99_micros(), None);
+        for i in 1..=64u64 {
+            ring.push(i * 100);
+        }
+        let p99 = ring.p99_micros().unwrap();
+        assert!(p99 >= 6_000, "p99 {p99} should sit near the top of the window");
+    }
+}

@@ -26,12 +26,21 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod protocol;
+pub mod replica;
 pub mod server;
+pub mod sync;
 
 pub use client::{Client, ClientError, RetryPolicy};
-pub use protocol::{ErrorCode, QueryReply, Request, Response, StatsReply, WireError, WireHit};
+pub use cluster::{ClusterConfig, MultiClient, RoutedReply};
+pub use protocol::{
+    ErrorCode, QueryReply, ReplicationStats, Request, Response, StatsReply, SyncItem, WireError,
+    WireHit, ROLE_PRIMARY, ROLE_REPLICA,
+};
+pub use replica::{bootstrap, run_sync_loop, ReplicaConfig, ReplicationState, TcpSyncSource};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use sync::{SyncExport, SyncReport, SyncSource, Syncer};
 
 use deepjoin_ann::Budget;
 

@@ -29,6 +29,8 @@ const REQ_SHUTDOWN: u8 = 4;
 const REQ_STATS: u8 = 5;
 const REQ_ADD_TABLE: u8 = 6;
 const REQ_DROP_TABLE: u8 = 7;
+const REQ_SYNC_POLL: u8 = 8;
+const REQ_SYNC_FETCH: u8 = 9;
 
 /// Response tags.
 const RESP_PONG: u8 = 1;
@@ -38,6 +40,13 @@ const RESP_SHUTTING_DOWN: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_MUTATED: u8 = 7;
+const RESP_SYNC_STATE: u8 = 8;
+const RESP_SYNC_CHUNK: u8 = 9;
+
+/// [`ReplicationStats::role`] value for a primary (sync-exporting) server.
+pub const ROLE_PRIMARY: u8 = 0;
+/// [`ReplicationStats::role`] value for a replica (sync-pulling) server.
+pub const ROLE_REPLICA: u8 = 1;
 
 /// Structured error codes. Stable across releases; clients switch on these,
 /// not on message text.
@@ -127,6 +136,64 @@ pub enum Request {
         /// Table title.
         title: String,
     },
+    /// Replication: ask a sync-exporting primary which generation it
+    /// serves and what files make it up.
+    SyncPoll,
+    /// Replication: fetch one chunk of a named sync item.
+    SyncFetch {
+        /// Item name, as listed by the last [`Response::SyncState`].
+        item: String,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Maximum bytes wanted (the server may clamp it further to keep
+        /// the response under its frame cap).
+        len: u32,
+    },
+}
+
+/// One file of a primary's exported generation, as listed by
+/// [`Response::SyncState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncItem {
+    /// Logical name: `"model"` for the base artifact, `"live/<file>"` for
+    /// live-lake manifest and sealed segments. Never a filesystem path.
+    pub name: String,
+    /// Total byte length.
+    pub len: u64,
+    /// CRC-32 of the whole file — the replica's install gate.
+    pub crc: u32,
+}
+
+/// Replication gauges, the third versioned optional tail of
+/// [`StatsReply`] (see [`StatsReply::live`] for the compatibility story).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicationStats {
+    /// [`ROLE_PRIMARY`] or [`ROLE_REPLICA`].
+    pub role: u8,
+    /// Last generation observed on the primary (the primary reports its
+    /// own serving generation here).
+    pub primary_generation: u32,
+    /// Generation fully installed and serving locally.
+    pub synced_generation: u32,
+    /// `primary_generation - synced_generation` (0 on a primary).
+    pub lag_generations: u32,
+    /// Seconds since the replica last confirmed being in sync with a
+    /// reachable primary (0 on a primary).
+    pub lag_seconds: u32,
+    /// Wall-clock microseconds the last completed sync took.
+    pub last_sync_micros: u64,
+    /// Bytes transferred by the last completed sync.
+    pub last_sync_bytes: u64,
+    /// Completed syncs since process start.
+    pub syncs: u64,
+    /// Hedged requests fired by an in-process multi-endpoint client wired
+    /// to this server's replication state (0 otherwise).
+    pub hedges_fired: u64,
+    /// Hedged requests whose second attempt answered first.
+    pub hedges_won: u64,
+    /// True once the primary has been unreachable past the staleness
+    /// threshold: answers may lag committed mutations.
+    pub stale: bool,
 }
 
 /// One hit on the wire.
@@ -199,6 +266,10 @@ pub struct StatsReply {
     /// O(ms), a heap reload is O(artifact size). Second optional tail
     /// after `live` — same compatibility story.
     pub last_reload_micros: Option<u64>,
+    /// Replication gauges, present on servers that participate in
+    /// replication (primary with sync export, or replica). Third optional
+    /// tail — same compatibility story.
+    pub replication: Option<ReplicationStats>,
 }
 
 /// Server → client messages.
@@ -227,6 +298,30 @@ pub enum Response {
         seq: u64,
         /// Columns added, or ids tombstoned.
         applied: u64,
+    },
+    /// Replication: the primary's current exported generation.
+    SyncState {
+        /// Serving generation on the primary (bumps on every reload).
+        generation: u32,
+        /// Fingerprint of the whole exported file set — changes whenever
+        /// any item changes, so a replica can detect a generation swap
+        /// mid-transfer and restart its poll.
+        fingerprint: u64,
+        /// The files making up the generation.
+        items: Vec<SyncItem>,
+    },
+    /// Replication: one chunk of a sync item.
+    SyncChunk {
+        /// Byte offset of this chunk within the item.
+        offset: u64,
+        /// The item's total length *right now* — a replica aborts the
+        /// transfer early when this no longer matches its poll.
+        total_len: u64,
+        /// CRC-32 of `data` alone (the whole-file CRC from the poll gates
+        /// the final install; this one catches a torn chunk immediately).
+        crc: u32,
+        /// The chunk bytes.
+        data: Vec<u8>,
     },
 }
 
@@ -273,6 +368,13 @@ impl Request {
             Request::DropTable { title } => {
                 w.put_u8(REQ_DROP_TABLE);
                 w.put_str(title);
+            }
+            Request::SyncPoll => w.put_u8(REQ_SYNC_POLL),
+            Request::SyncFetch { item, offset, len } => {
+                w.put_u8(REQ_SYNC_FETCH);
+                w.put_str(item);
+                w.put_u64_le(*offset);
+                w.put_u32_le(*len);
             }
         }
         w.into_vec()
@@ -326,6 +428,12 @@ impl Request {
             }
             REQ_DROP_TABLE => Request::DropTable {
                 title: r.str_prefixed()?,
+            },
+            REQ_SYNC_POLL => Request::SyncPoll,
+            REQ_SYNC_FETCH => Request::SyncFetch {
+                item: r.str_prefixed()?,
+                offset: r.u64_le()?,
+                len: r.u32_le()?,
             },
             other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
         };
@@ -404,6 +512,24 @@ impl Response {
                         w.put_u64_le(us);
                     }
                 }
+                // Third optional tail: replication gauges.
+                match &s.replication {
+                    None => w.put_u8(0),
+                    Some(rep) => {
+                        w.put_u8(1);
+                        w.put_u8(rep.role);
+                        w.put_u32_le(rep.primary_generation);
+                        w.put_u32_le(rep.synced_generation);
+                        w.put_u32_le(rep.lag_generations);
+                        w.put_u32_le(rep.lag_seconds);
+                        w.put_u64_le(rep.last_sync_micros);
+                        w.put_u64_le(rep.last_sync_bytes);
+                        w.put_u64_le(rep.syncs);
+                        w.put_u64_le(rep.hedges_fired);
+                        w.put_u64_le(rep.hedges_won);
+                        w.put_u8(rep.stale as u8);
+                    }
+                }
             }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
@@ -414,6 +540,34 @@ impl Response {
                 w.put_u8(RESP_MUTATED);
                 w.put_u64_le(*seq);
                 w.put_u64_le(*applied);
+            }
+            Response::SyncState {
+                generation,
+                fingerprint,
+                items,
+            } => {
+                w.put_u8(RESP_SYNC_STATE);
+                w.put_u32_le(*generation);
+                w.put_u64_le(*fingerprint);
+                w.put_u32_le(items.len() as u32);
+                for item in items {
+                    w.put_str(&item.name);
+                    w.put_u64_le(item.len);
+                    w.put_u32_le(item.crc);
+                }
+            }
+            Response::SyncChunk {
+                offset,
+                total_len,
+                crc,
+                data,
+            } => {
+                w.put_u8(RESP_SYNC_CHUNK);
+                w.put_u64_le(*offset);
+                w.put_u64_le(*total_len);
+                w.put_u32_le(*crc);
+                w.put_u32_le(data.len() as u32);
+                w.put_slice(data);
             }
         }
         w.into_vec()
@@ -484,6 +638,7 @@ impl Response {
                     cache_misses: r.u64_le()?,
                     live: None,
                     last_reload_micros: None,
+                    replication: None,
                 };
                 // Versioned optional tails: a server predating live ingest
                 // ends the message after `cache_misses`, one predating
@@ -503,6 +658,21 @@ impl Response {
                 if !r.is_empty() && r.u8()? != 0 {
                     s.last_reload_micros = Some(r.u64_le()?);
                 }
+                if !r.is_empty() && r.u8()? != 0 {
+                    s.replication = Some(ReplicationStats {
+                        role: r.u8()?,
+                        primary_generation: r.u32_le()?,
+                        synced_generation: r.u32_le()?,
+                        lag_generations: r.u32_le()?,
+                        lag_seconds: r.u32_le()?,
+                        last_sync_micros: r.u64_le()?,
+                        last_sync_bytes: r.u64_le()?,
+                        syncs: r.u64_le()?,
+                        hedges_fired: r.u64_le()?,
+                        hedges_won: r.u64_le()?,
+                        stale: r.u8()? != 0,
+                    });
+                }
                 return Ok(Response::Stats(s));
             }
             RESP_ERROR => {
@@ -518,6 +688,40 @@ impl Response {
                 seq: r.u64_le()?,
                 applied: r.u64_le()?,
             },
+            RESP_SYNC_STATE => {
+                let generation = r.u32_le()?;
+                let fingerprint = r.u64_le()?;
+                // An item is at least name-length + len + crc = 16 bytes.
+                let n = r.count_u32(16)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(SyncItem {
+                        name: r.str_prefixed()?,
+                        len: r.u64_le()?,
+                        crc: r.u32_le()?,
+                    });
+                }
+                Response::SyncState {
+                    generation,
+                    fingerprint,
+                    items,
+                }
+            }
+            RESP_SYNC_CHUNK => {
+                let offset = r.u64_le()?;
+                let total_len = r.u64_le()?;
+                let crc = r.u32_le()?;
+                // The count is validated against the bytes actually present
+                // before the allocation happens.
+                let n = r.count_u32(1)?;
+                let data = r.bytes(n)?.to_vec();
+                Response::SyncChunk {
+                    offset,
+                    total_len,
+                    crc,
+                    data,
+                }
+            }
             other => return Err(r.error(DecodeErrorKind::BadDiscriminant(other))),
         };
         if !r.is_empty() {
@@ -637,6 +841,12 @@ mod tests {
         roundtrip_request(Request::DropTable {
             title: "orders".into(),
         });
+        roundtrip_request(Request::SyncPoll);
+        roundtrip_request(Request::SyncFetch {
+            item: "live/seg-000003.djar".into(),
+            offset: 262_144,
+            len: 65_536,
+        });
     }
 
     #[test]
@@ -682,6 +892,7 @@ mod tests {
             cache_misses: 5,
             live: None,
             last_reload_micros: None,
+            replication: None,
         }));
         roundtrip_response(Response::Stats(StatsReply {
             generation: 1,
@@ -701,6 +912,7 @@ mod tests {
                 live_rows: 99,
             }),
             last_reload_micros: Some(2_500),
+            replication: None,
         }));
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Overloaded,
@@ -710,6 +922,84 @@ mod tests {
             seq: 12,
             applied: 4,
         });
+        roundtrip_response(Response::SyncState {
+            generation: 9,
+            fingerprint: 0xDEAD_BEEF_F00D_CAFE,
+            items: vec![
+                SyncItem {
+                    name: "model".into(),
+                    len: 1_048_576,
+                    crc: 0x1234_5678,
+                },
+                SyncItem {
+                    name: "live/manifest.djar".into(),
+                    len: 256,
+                    crc: 42,
+                },
+            ],
+        });
+        roundtrip_response(Response::SyncState {
+            generation: 1,
+            fingerprint: 0,
+            items: vec![],
+        });
+        roundtrip_response(Response::SyncChunk {
+            offset: 131_072,
+            total_len: 1_048_576,
+            crc: 0xCAFE_BABE,
+            data: vec![7u8; 512],
+        });
+    }
+
+    #[test]
+    fn stats_with_replication_gauges_roundtrips_and_tolerates_future_tails() {
+        let reply = StatsReply {
+            generation: 4,
+            indexed: 100,
+            health_label: "hnsw".into(),
+            accepted: 1,
+            shed: 0,
+            expired: 0,
+            degraded_answers: 0,
+            queue_capacity: 32,
+            cache_hits: 0,
+            cache_misses: 0,
+            live: None,
+            last_reload_micros: Some(777),
+            replication: Some(ReplicationStats {
+                role: ROLE_REPLICA,
+                primary_generation: 6,
+                synced_generation: 4,
+                lag_generations: 2,
+                lag_seconds: 31,
+                last_sync_micros: 12_000,
+                last_sync_bytes: 4_096,
+                syncs: 5,
+                hedges_fired: 3,
+                hedges_won: 1,
+                stale: true,
+            }),
+        };
+        roundtrip_response(Response::Stats(reply.clone()));
+        // A yet-newer server appends a fourth tail: ignored, not rejected.
+        let mut enc = Response::Stats(reply.clone()).encode();
+        enc.extend_from_slice(&[1, 9, 9, 9]);
+        match Response::decode(&enc).unwrap() {
+            Response::Stats(s) => assert_eq!(s.replication, reply.replication),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_sync_chunk_length_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        w.put_u8(RESP_SYNC_CHUNK);
+        w.put_u64_le(0);
+        w.put_u64_le(1 << 40);
+        w.put_u32_le(0);
+        w.put_u32_le(u32::MAX); // hostile data length, no data bytes
+        assert!(Response::decode(&w.into_vec()).is_err());
     }
 
     #[test]
@@ -729,18 +1019,28 @@ mod tests {
             cache_misses: 5,
             live: None,
             last_reload_micros: None,
+            replication: None,
         })
         .encode();
         // Strip the presence flags this encoder appends: the old wire image.
-        let old_wire = &full[..full.len() - 2];
+        let old_wire = &full[..full.len() - 3];
         match Response::decode(old_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.live, None),
             other => panic!("expected Stats, got {other:?}"),
         }
         // A middle-generation server: live gauges but no reload timing.
-        let mid_wire = &full[..full.len() - 1];
+        let mid_wire = &full[..full.len() - 2];
         match Response::decode(mid_wire).unwrap() {
-            Response::Stats(s) => assert_eq!(s.last_reload_micros, None),
+            Response::Stats(s) => {
+                assert_eq!(s.last_reload_micros, None);
+                assert_eq!(s.replication, None);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // A pre-replication server: both earlier tails, no replication.
+        let pre_replication_wire = &full[..full.len() - 1];
+        match Response::decode(pre_replication_wire).unwrap() {
+            Response::Stats(s) => assert_eq!(s.replication, None),
             other => panic!("expected Stats, got {other:?}"),
         }
     }
@@ -762,6 +1062,7 @@ mod tests {
             cache_misses: 5,
             live: Some(crate::LiveStats::default()),
             last_reload_micros: Some(900),
+            replication: Some(ReplicationStats::default()),
         })
         .encode();
         enc.extend_from_slice(&[1, 2, 3, 4]);

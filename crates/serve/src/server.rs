@@ -29,6 +29,8 @@ use deepjoin_par::{Bounded, TryPushError};
 use crate::protocol::{
     self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, WireHit,
 };
+use crate::replica::ReplicationState;
+use crate::sync::SyncExport;
 use crate::{Loader, MutateOp, ServeModel};
 
 /// Tuning for one server instance.
@@ -55,6 +57,19 @@ pub struct ServerConfig {
     /// handlers. Off by default so embedded/test servers don't touch
     /// process state.
     pub install_signal_handlers: bool,
+    /// When set, this server answers `SyncPoll`/`SyncFetch` from the
+    /// given export (i.e. it acts as a replication primary). `None`
+    /// (the default) refuses sync requests with `Unavailable`.
+    pub sync_export: Option<Arc<SyncExport>>,
+    /// Replication gauges surfaced through `stats` and consulted for
+    /// stale-marking of answers. `None` (the default) reports no
+    /// replication tail at all — the standalone server of earlier
+    /// releases.
+    pub replication: Option<Arc<ReplicationState>>,
+    /// Testing hook: sleep this long inside every query before answering.
+    /// Lets the chaos suite fake a slow replica without touching the
+    /// model. Never set in production.
+    pub debug_stall: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +83,9 @@ impl Default for ServerConfig {
             max_frame: protocol::MAX_FRAME,
             max_conns: 64,
             install_signal_handlers: false,
+            sync_export: None,
+            replication: None,
+            debug_stall: None,
         }
     }
 }
@@ -111,6 +129,10 @@ struct Shared {
     /// Microseconds the most recent (re)load took (0 until the first
     /// reload after startup completes).
     last_reload_micros: AtomicU64,
+    /// Present when this server exports sync state (replication primary).
+    sync_export: Option<Arc<SyncExport>>,
+    /// Present when this server participates in replication (either role).
+    replication: Option<Arc<ReplicationState>>,
     config: ConfigBits,
 }
 
@@ -120,6 +142,7 @@ struct ConfigBits {
     read_timeout: Duration,
     max_frame: usize,
     max_conns: usize,
+    debug_stall: Option<Duration>,
 }
 
 impl Shared {
@@ -146,6 +169,15 @@ impl Shared {
         *self.current.lock().expect("snapshot lock") = snap;
         self.last_reload_micros
             .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        // The artifact under an explicit path switch (or an in-place
+        // retrain) may differ from what replicas last fetched: drop the
+        // export's cached CRC so the next SyncPoll re-sweeps it.
+        if let Some(export) = &self.sync_export {
+            if let Some(p) = path {
+                export.set_model_path(std::path::PathBuf::from(p));
+            }
+            export.invalidate();
+        }
         Ok((generation, loaded.warnings))
     }
 
@@ -165,6 +197,10 @@ impl Shared {
             cache_misses,
             live: snap.model.live_stats(),
             last_reload_micros: Some(self.last_reload_micros.load(Ordering::Relaxed)),
+            replication: self
+                .replication
+                .as_ref()
+                .map(|r| r.snapshot(snap.generation)),
         }
     }
 }
@@ -191,6 +227,14 @@ impl ServerHandle {
     /// Current server counters.
     pub fn stats(&self) -> StatsReply {
         self.shared.stats()
+    }
+
+    /// Reload the snapshot in place (the in-process equivalent of SIGHUP
+    /// or a `Reload` frame). `None` re-reads the original artifact. This
+    /// is how a replica's sync loop publishes a freshly installed
+    /// generation. On error the previous snapshot keeps serving.
+    pub fn reload(&self, path: Option<&str>) -> Result<(u32, Vec<String>), String> {
+        self.shared.reload(path)
     }
 }
 
@@ -226,11 +270,14 @@ impl Server {
             counters: Counters::default(),
             reload_lock: Mutex::new(()),
             last_reload_micros: AtomicU64::new(0),
+            sync_export: config.sync_export,
+            replication: config.replication,
             config: ConfigBits {
                 deadline: config.deadline,
                 read_timeout: config.read_timeout,
                 max_frame: config.max_frame,
                 max_conns: config.max_conns,
+                debug_stall: config.debug_stall,
             },
         });
         Ok(Server {
@@ -356,6 +403,9 @@ fn process_job(shared: &Shared, job: &Job) -> Response {
             });
         }
     }
+    if let Some(stall) = shared.config.debug_stall {
+        std::thread::sleep(stall);
+    }
     let snap = shared.snapshot();
     let indexed = snap.model.indexed_len();
     // Clamp k to the index size: asking for more neighbors than columns is
@@ -370,7 +420,21 @@ fn process_job(shared: &Shared, job: &Job) -> Response {
         }
     };
     let health = snap.model.health();
-    let degraded = !outcome.complete || outcome.via_fallback || health.is_degraded();
+    // A replica cut off from its primary past the staleness threshold
+    // keeps answering (availability over consistency) but every answer
+    // says so: the label grows a " (stale)" suffix and the reply is
+    // marked degraded. QueryReply's strict decoder can't grow a field,
+    // so staleness rides the existing degradation channel.
+    let stale = shared
+        .replication
+        .as_ref()
+        .map(|r| r.is_stale())
+        .unwrap_or(false);
+    let mut health_label = health.label();
+    if stale {
+        health_label.push_str(" (stale)");
+    }
+    let degraded = !outcome.complete || outcome.via_fallback || health.is_degraded() || stale;
     if degraded {
         shared
             .counters
@@ -379,7 +443,7 @@ fn process_job(shared: &Shared, job: &Job) -> Response {
     }
     Response::Query(QueryReply {
         health_code: health.code(),
-        health_label: health.label(),
+        health_label,
         degraded,
         complete: outcome.complete,
         via_fallback: outcome.via_fallback,
@@ -487,6 +551,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
                 dispatch_mutation(shared, MutateOp::AddTable { title, columns })
             }
             Request::DropTable { title } => dispatch_mutation(shared, MutateOp::DropTable { title }),
+            Request::SyncPoll => answer_sync_poll(shared),
+            Request::SyncFetch { item, offset, len } => {
+                answer_sync_fetch(shared, &item, offset, len)
+            }
             Request::Query { k: 0, .. } => Response::Error(WireError {
                 code: ErrorCode::BadRequest,
                 message: "k must be >= 1".to_string(),
@@ -513,6 +581,54 @@ fn dispatch_mutation(shared: &Shared, op: MutateOp) -> Response {
             message: msg,
         }),
         Err(_) => internal_error("mutation failed; the server recovered"),
+    }
+}
+
+/// Answer a `SyncPoll` on the connection thread: the current generation,
+/// the fingerprint over the syncable file set, and its item list. Servers
+/// without a sync export (replicas, standalone servers) refuse — a
+/// replica must never be mistaken for a primary by another replica.
+fn answer_sync_poll(shared: &Shared) -> Response {
+    let Some(export) = &shared.sync_export else {
+        return Response::Error(WireError {
+            code: ErrorCode::Unavailable,
+            message: "not a sync-exporting primary".to_string(),
+        });
+    };
+    let generation = shared.generation.load(Ordering::SeqCst);
+    match export.state(generation) {
+        Ok((fingerprint, items)) => Response::SyncState {
+            generation,
+            fingerprint,
+            items,
+        },
+        Err(e) => Response::Error(WireError {
+            code: ErrorCode::Unavailable,
+            message: format!("sync state unavailable: {e}"),
+        }),
+    }
+}
+
+/// Answer a `SyncFetch` on the connection thread (disk read + CRC, no
+/// model work, so it does not go through the admission queue).
+fn answer_sync_fetch(shared: &Shared, item: &str, offset: u64, len: u32) -> Response {
+    let Some(export) = &shared.sync_export else {
+        return Response::Error(WireError {
+            code: ErrorCode::Unavailable,
+            message: "not a sync-exporting primary".to_string(),
+        });
+    };
+    match export.chunk(item, offset, len) {
+        Ok((total_len, crc, data)) => Response::SyncChunk {
+            offset,
+            total_len,
+            crc,
+            data,
+        },
+        Err(e) => Response::Error(WireError {
+            code: ErrorCode::BadRequest,
+            message: format!("sync fetch failed: {e}"),
+        }),
     }
 }
 

@@ -1,0 +1,696 @@
+//! Generation-pull snapshot sync (DESIGN.md §15): the primary-side file
+//! export behind `SyncPoll`/`SyncFetch`, and the replica-side chunked,
+//! CRC-gated, resumable install engine.
+//!
+//! The protocol is pull-only and stateless on the primary: a replica polls
+//! for the primary's current generation and file list (name, length,
+//! whole-file CRC-32), diffs that against what it has installed locally,
+//! and fetches only the missing files in bounded chunks. Every chunk
+//! carries its own CRC; every completed file is CRC-swept against the
+//! polled whole-file CRC *before* it is installed with the store's
+//! temp/fsync/rename discipline — so a torn or bit-flipped transfer can
+//! never become a served artifact, and a replica that dies mid-transfer
+//! resumes from its partial file instead of starting over.
+//!
+//! Exported items:
+//!
+//! * `"model"` — the base artifact (`dj train` output).
+//! * `"live/manifest.djar"`, `"live/seg-NNNNNN.djar"` — the live lake's
+//!   sealed state. The WAL is deliberately *not* shipped: replicas track
+//!   mutations through flushed segments + manifest without re-embedding.
+//!
+//! Install ordering makes interrupted syncs safe: segments land before the
+//! manifest that references them, and the manifest is the last file of a
+//! batch — a crash in between leaves the old manifest serving the old
+//! (consistent) live state, with the new segments sitting as orphans the
+//! loader already knows how to sweep.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use deepjoin_store::crc32;
+use deepjoin_store::SharedIo;
+
+use crate::protocol::SyncItem;
+
+/// Default transfer chunk length (256 KiB — comfortably under the 1 MiB
+/// frame cap with headroom for frame overhead).
+pub const DEFAULT_CHUNK_LEN: u32 = 256 * 1024;
+
+/// Hard ceiling on a chunk, leaving room for the frame header and chunk
+/// metadata under [`crate::protocol::MAX_FRAME`].
+pub const MAX_CHUNK_LEN: u32 = (crate::protocol::MAX_FRAME - 256) as u32;
+
+/// The live-lake files a primary exports (and a replica installs): the
+/// manifest and sealed segments — never the WAL, never partials.
+pub fn is_live_sync_file(name: &str) -> bool {
+    name == "manifest.djar" || (name.starts_with("seg-") && name.ends_with(".djar"))
+}
+
+/// Validate a wire item name and resolve it against local paths. Item
+/// names are logical (`"model"`, `"live/<file>"`), never filesystem
+/// paths — anything else (absolute paths, `..`, unknown live files) is
+/// rejected, which is what keeps `SyncFetch` from becoming a file server.
+pub fn resolve_item_path(
+    name: &str,
+    model_path: &Path,
+    live_dir: Option<&Path>,
+) -> Result<PathBuf, String> {
+    if name == "model" {
+        return Ok(model_path.to_path_buf());
+    }
+    if let Some(base) = name.strip_prefix("live/") {
+        if !base.contains(['/', '\\']) && is_live_sync_file(base) {
+            if let Some(dir) = live_dir {
+                return Ok(dir.join(base));
+            }
+            return Err(format!("no live directory configured for item {name:?}"));
+        }
+    }
+    Err(format!("unknown sync item {name:?}"))
+}
+
+/// Fingerprint of a whole exported file set (FNV-1a over generation and
+/// every item's name/len/crc). Changes whenever any file changes, so a
+/// replica can detect a generation swap mid-transfer.
+pub fn state_fingerprint(generation: u32, items: &[SyncItem]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&generation.to_le_bytes());
+    for item in items {
+        eat(item.name.as_bytes());
+        eat(&[0]);
+        eat(&item.len.to_le_bytes());
+        eat(&item.crc.to_le_bytes());
+    }
+    h
+}
+
+#[derive(Clone, Copy)]
+struct CrcEntry {
+    len: u64,
+    crc: u32,
+}
+
+/// The primary side: answers `SyncPoll` with the current file set and
+/// `SyncFetch` with bounded chunks.
+///
+/// Whole-file CRCs are cached so polls stay cheap: the model artifact's
+/// CRC is invalidated on reload (and whenever its length changes), sealed
+/// segments are immutable (cached by name + length; segment numbers are
+/// never reused), and the manifest — small and rewritten on every flush —
+/// is re-swept on every poll.
+pub struct SyncExport {
+    io: SharedIo,
+    model_path: Mutex<PathBuf>,
+    live_dir: Option<PathBuf>,
+    cache: Mutex<HashMap<String, CrcEntry>>,
+}
+
+impl SyncExport {
+    /// Export the artifact at `model_path` (plus, when `live_dir` is set,
+    /// the live lake's manifest and sealed segments).
+    pub fn new(io: SharedIo, model_path: PathBuf, live_dir: Option<PathBuf>) -> Self {
+        SyncExport {
+            io,
+            model_path: Mutex::new(model_path),
+            live_dir,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Point the export at a new artifact (after a reload with an explicit
+    /// path) and drop the cached model CRC.
+    pub fn set_model_path(&self, path: PathBuf) {
+        *self.model_path.lock().expect("sync model path") = path;
+        self.invalidate();
+    }
+
+    /// Drop the cached model CRC (call after any reload: the artifact may
+    /// have been replaced in place).
+    pub fn invalidate(&self) {
+        self.cache.lock().expect("sync crc cache").remove("model");
+    }
+
+    fn item(&self, name: &str, path: &Path, cache_immutable: bool) -> Result<SyncItem, String> {
+        let len = self
+            .io
+            .file_len(path)
+            .map_err(|e| format!("stat {}: {e}", path.display()))?;
+        {
+            let cache = self.cache.lock().expect("sync crc cache");
+            if let Some(entry) = cache.get(name) {
+                if cache_immutable && entry.len == len {
+                    return Ok(SyncItem {
+                        name: name.to_string(),
+                        len,
+                        crc: entry.crc,
+                    });
+                }
+            }
+        }
+        let bytes = self
+            .io
+            .read(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let crc = crc32(&bytes);
+        let len = bytes.len() as u64;
+        self.cache
+            .lock()
+            .expect("sync crc cache")
+            .insert(name.to_string(), CrcEntry { len, crc });
+        Ok(SyncItem {
+            name: name.to_string(),
+            len,
+            crc,
+        })
+    }
+
+    /// The current exported file set and its fingerprint.
+    pub fn state(&self, generation: u32) -> Result<(u64, Vec<SyncItem>), String> {
+        let model_path = self.model_path.lock().expect("sync model path").clone();
+        let mut items = vec![self.item("model", &model_path, false)?];
+        if let Some(dir) = &self.live_dir {
+            let names = self
+                .io
+                .list(dir)
+                .map_err(|e| format!("list {}: {e}", dir.display()))?;
+            for base in names {
+                if !is_live_sync_file(&base) {
+                    continue;
+                }
+                let cache_immutable = base != "manifest.djar";
+                let name = format!("live/{base}");
+                items.push(self.item(&name, &dir.join(&base), cache_immutable)?);
+            }
+        }
+        Ok((state_fingerprint(generation, &items), items))
+    }
+
+    /// One chunk of an exported item. `want` is clamped to
+    /// [`MAX_CHUNK_LEN`]; reading at or past end-of-file returns an empty
+    /// chunk (the replica treats that as "length changed, restart").
+    pub fn chunk(
+        &self,
+        name: &str,
+        offset: u64,
+        want: u32,
+    ) -> Result<(u64, u32, Vec<u8>), String> {
+        let model_path = self.model_path.lock().expect("sync model path").clone();
+        let path = resolve_item_path(name, &model_path, self.live_dir.as_deref())?;
+        let total_len = self
+            .io
+            .file_len(&path)
+            .map_err(|e| format!("stat {}: {e}", path.display()))?;
+        let want = want.clamp(1, MAX_CHUNK_LEN) as usize;
+        let data = self
+            .io
+            .read_range(&path, offset, want)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let crc = crc32(&data);
+        Ok((total_len, crc, data))
+    }
+}
+
+/// One fetched chunk, as the install engine consumes it.
+#[derive(Debug, Clone)]
+pub struct FetchedChunk {
+    /// Byte offset the chunk starts at.
+    pub offset: u64,
+    /// The item's total length as of this fetch.
+    pub total_len: u64,
+    /// CRC-32 of `data`.
+    pub crc: u32,
+    /// The chunk bytes.
+    pub data: Vec<u8>,
+}
+
+/// Where the install engine pulls generations from. The real
+/// implementation speaks the wire protocol to a primary
+/// ([`crate::replica::TcpSyncSource`]); chaos tests substitute in-process
+/// sources that tear chunks, die mid-transfer, or serve garbage.
+pub trait SyncSource {
+    /// The primary's current generation, state fingerprint, and file set.
+    fn poll(&mut self) -> Result<(u32, u64, Vec<SyncItem>), String>;
+
+    /// Fetch one chunk of `item` starting at `offset`.
+    fn fetch(&mut self, item: &str, offset: u64, len: u32) -> Result<FetchedChunk, String>;
+}
+
+/// A [`SyncSource`] reading straight from a [`SyncExport`] — the loopback
+/// used by tests (no sockets, works against fault-injecting
+/// [`deepjoin_store::FaultyIo`] backends).
+pub struct LocalSyncSource<'a> {
+    /// The export to read from.
+    pub export: &'a SyncExport,
+    /// The generation to report.
+    pub generation: u32,
+}
+
+impl SyncSource for LocalSyncSource<'_> {
+    fn poll(&mut self) -> Result<(u32, u64, Vec<SyncItem>), String> {
+        let (fingerprint, items) = self.export.state(self.generation)?;
+        Ok((self.generation, fingerprint, items))
+    }
+
+    fn fetch(&mut self, item: &str, offset: u64, len: u32) -> Result<FetchedChunk, String> {
+        let (total_len, crc, data) = self.export.chunk(item, offset, len)?;
+        Ok(FetchedChunk {
+            offset,
+            total_len,
+            crc,
+            data,
+        })
+    }
+}
+
+/// Outcome of one [`Syncer::sync_once`] round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// The primary generation this file set belongs to.
+    pub generation: u32,
+    /// Bytes fetched over the wire (0 when already in sync).
+    pub bytes_transferred: u64,
+    /// Files installed (fetched, CRC-gated, renamed into place).
+    pub installed: usize,
+    /// Files already current (local CRC matched the poll).
+    pub skipped: usize,
+    /// Stale local live files removed (segments compacted away upstream).
+    pub removed: usize,
+}
+
+impl SyncReport {
+    /// True when anything on disk changed (a reload is warranted).
+    pub fn changed(&self) -> bool {
+        self.installed > 0 || self.removed > 0
+    }
+}
+
+/// Magic for the partial-transfer sidecar (`*.sync.meta`).
+const PARTIAL_META_MAGIC: &[u8; 4] = b"DJSY";
+
+/// The replica-side install engine. Owns a cache of local whole-file CRCs
+/// so steady-state polls cost one `poll` round-trip and zero local reads.
+pub struct Syncer {
+    io: SharedIo,
+    model_path: PathBuf,
+    live_dir: Option<PathBuf>,
+    chunk_len: u32,
+    /// Verified local state: item name → (len, crc) of the installed file.
+    local: HashMap<String, CrcEntry>,
+}
+
+impl Syncer {
+    /// An engine installing into `model_path` / `live_dir`. `chunk_len` is
+    /// the per-fetch size (clamped to [`MAX_CHUNK_LEN`]).
+    pub fn new(
+        io: SharedIo,
+        model_path: PathBuf,
+        live_dir: Option<PathBuf>,
+        chunk_len: u32,
+    ) -> Self {
+        Syncer {
+            io,
+            model_path,
+            live_dir,
+            chunk_len: chunk_len.clamp(1, MAX_CHUNK_LEN),
+            local: HashMap::new(),
+        }
+    }
+
+    /// Whether the local file for `item` already matches (len + CRC). The
+    /// first check per item hashes the file once; afterwards the cached
+    /// verdict is keyed by length so unchanged files stay free.
+    fn local_matches(&mut self, item: &SyncItem, path: &Path) -> bool {
+        if !self.io.exists(path) {
+            self.local.remove(&item.name);
+            return false;
+        }
+        let Ok(len) = self.io.file_len(path) else {
+            return false;
+        };
+        if len != item.len {
+            self.local.remove(&item.name);
+            return false;
+        }
+        if let Some(entry) = self.local.get(&item.name) {
+            if entry.len == len {
+                return entry.crc == item.crc;
+            }
+        }
+        let Ok(bytes) = self.io.read(path) else {
+            return false;
+        };
+        let crc = crc32(&bytes);
+        self.local.insert(
+            item.name.clone(),
+            CrcEntry {
+                len: bytes.len() as u64,
+                crc,
+            },
+        );
+        crc == item.crc && bytes.len() as u64 == item.len
+    }
+
+    fn partial_paths(path: &Path) -> (PathBuf, PathBuf) {
+        let mut partial = path.as_os_str().to_os_string();
+        partial.push(".sync");
+        let mut meta = path.as_os_str().to_os_string();
+        meta.push(".sync.meta");
+        (PathBuf::from(partial), PathBuf::from(meta))
+    }
+
+    /// Read the partial-transfer sidecar: `Some((len, crc))` of the
+    /// transfer it belongs to, `None` when absent or unreadable.
+    fn read_meta(&self, meta: &Path) -> Option<(u64, u32)> {
+        let bytes = self.io.read(meta).ok()?;
+        if bytes.len() != 16 || &bytes[..4] != PARTIAL_META_MAGIC {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
+        Some((len, crc))
+    }
+
+    fn write_meta(&self, meta: &Path, len: u64, crc: u32) -> Result<(), String> {
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(PARTIAL_META_MAGIC);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        self.io
+            .write_atomic(meta, &bytes)
+            .map_err(|e| format!("write {}: {e}", meta.display()))
+    }
+
+    /// Fetch `item` chunk by chunk into a partial file (resuming any
+    /// compatible partial left by a previous attempt), gate the result on
+    /// the whole-file CRC, and rename it into place. Returns bytes fetched
+    /// over the wire.
+    fn fetch_and_install(
+        &mut self,
+        source: &mut dyn SyncSource,
+        item: &SyncItem,
+        path: &Path,
+    ) -> Result<u64, String> {
+        let (partial, meta) = Self::partial_paths(path);
+        // Resume only a partial that provably belongs to this exact
+        // transfer target (same length and whole-file CRC); anything else
+        // is discarded.
+        let mut offset = 0u64;
+        if self.read_meta(&meta) == Some((item.len, item.crc)) {
+            if let Ok(have) = self.io.file_len(&partial) {
+                if have <= item.len {
+                    offset = have;
+                }
+            }
+        }
+        if offset == 0 {
+            let _ = self.io.remove(&partial);
+            self.write_meta(&meta, item.len, item.crc)?;
+        }
+
+        let mut fetched = 0u64;
+        while offset < item.len {
+            let chunk = source.fetch(&item.name, offset, self.chunk_len)?;
+            if chunk.total_len != item.len {
+                return Err(format!(
+                    "{}: length changed mid-transfer ({} -> {}); restarting sync",
+                    item.name, item.len, chunk.total_len
+                ));
+            }
+            if chunk.offset != offset {
+                return Err(format!(
+                    "{}: chunk at offset {} answered {}; restarting sync",
+                    item.name, offset, chunk.offset
+                ));
+            }
+            if chunk.data.is_empty() {
+                return Err(format!(
+                    "{}: empty chunk at offset {offset} of {}; restarting sync",
+                    item.name, item.len
+                ));
+            }
+            if crc32(&chunk.data) != chunk.crc {
+                return Err(format!(
+                    "{}: torn chunk at offset {offset} (crc mismatch); restarting sync",
+                    item.name
+                ));
+            }
+            self.io
+                .append(&partial, &chunk.data)
+                .map_err(|e| format!("append {}: {e}", partial.display()))?;
+            offset += chunk.data.len() as u64;
+            fetched += chunk.data.len() as u64;
+        }
+
+        // The install gate: the assembled file must hash to the CRC the
+        // poll promised. A mismatch (bit rot in flight, a partial from a
+        // hostile write, a primary swap we failed to notice) deletes the
+        // partial so the next round starts clean — it never reaches the
+        // served path.
+        let bytes = self
+            .io
+            .read(&partial)
+            .map_err(|e| format!("read {}: {e}", partial.display()))?;
+        if bytes.len() as u64 != item.len || crc32(&bytes) != item.crc {
+            let _ = self.io.remove(&partial);
+            let _ = self.io.remove(&meta);
+            return Err(format!(
+                "{}: assembled file failed its CRC gate; transfer discarded",
+                item.name
+            ));
+        }
+        // temp/fsync/rename install: the served path flips atomically from
+        // the old artifact to the verified new one. The rename gives the
+        // file a new inode, which is exactly what voids a stale `.stamp`
+        // sidecar from the artifact it replaced.
+        self.io
+            .write_atomic(path, &bytes)
+            .map_err(|e| format!("install {}: {e}", path.display()))?;
+        let _ = self.io.remove(&partial);
+        let _ = self.io.remove(&meta);
+        self.local.insert(
+            item.name.clone(),
+            CrcEntry {
+                len: item.len,
+                crc: item.crc,
+            },
+        );
+        Ok(fetched)
+    }
+
+    /// Remove local live files (and orphaned partials) for items the
+    /// primary no longer exports — segments compacted away upstream.
+    fn remove_stale(&mut self, items: &[SyncItem]) -> usize {
+        let Some(dir) = self.live_dir.clone() else {
+            return 0;
+        };
+        let Ok(names) = self.io.list(&dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for base in names {
+            if !is_live_sync_file(&base) {
+                continue;
+            }
+            let name = format!("live/{base}");
+            if items.iter().any(|i| i.name == name) {
+                continue;
+            }
+            let path = dir.join(&base);
+            let (partial, meta) = Self::partial_paths(&path);
+            let _ = self.io.remove(&partial);
+            let _ = self.io.remove(&meta);
+            if self.io.remove(&path).is_ok() {
+                removed += 1;
+                self.local.remove(&name);
+            }
+        }
+        removed
+    }
+
+    /// One full sync round: poll, diff, fetch what differs (segments
+    /// before the manifest), verify, install, sweep. Re-polls afterwards
+    /// and repeats (bounded) if the primary's file set moved underneath
+    /// the transfer, so the returned report always describes a *quiescent,
+    /// internally consistent* installed set.
+    pub fn sync_once(&mut self, source: &mut dyn SyncSource) -> Result<SyncReport, String> {
+        let (mut generation, mut fingerprint, mut items) = source.poll()?;
+        let mut report = SyncReport {
+            generation,
+            bytes_transferred: 0,
+            installed: 0,
+            skipped: 0,
+            removed: 0,
+        };
+        // A moving primary (reload or flush racing the transfer) forces
+        // another round; five moves in a row means something is churning
+        // faster than we can copy, and the caller should back off.
+        for _ in 0..5 {
+            report.generation = generation;
+            // Manifest last: every segment it references must already be
+            // installed when it lands, so a crash between files leaves the
+            // old manifest serving a consistent (if older) live state.
+            let mut plan: Vec<&SyncItem> = items.iter().collect();
+            plan.sort_by_key(|i| i.name == "live/manifest.djar");
+            for item in plan {
+                let model_path = self.model_path.clone();
+                let live_dir = self.live_dir.clone();
+                let path = resolve_item_path(&item.name, &model_path, live_dir.as_deref())?;
+                if self.local_matches(item, &path) {
+                    // A crash after a finished install but before its
+                    // cleanup leaves an orphaned partial; sweep it here so
+                    // it cannot linger forever on an in-sync replica.
+                    let (partial, meta) = Self::partial_paths(&path);
+                    let _ = self.io.remove(&partial);
+                    let _ = self.io.remove(&meta);
+                    report.skipped += 1;
+                    continue;
+                }
+                report.bytes_transferred += self.fetch_and_install(source, item, &path)?;
+                report.installed += 1;
+            }
+            report.removed += self.remove_stale(&items);
+
+            let (next_generation, next_fingerprint, next_items) = source.poll()?;
+            if next_fingerprint == fingerprint {
+                return Ok(report);
+            }
+            generation = next_generation;
+            fingerprint = next_fingerprint;
+            items = next_items;
+        }
+        Err("primary kept changing during sync; backing off".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepjoin_store::MemIo;
+    use std::sync::Arc;
+
+    fn mem() -> SharedIo {
+        Arc::new(MemIo::new())
+    }
+
+    fn export_with(io: &SharedIo, model: &[u8], live: &[(&str, &[u8])]) -> SyncExport {
+        io.write_atomic(Path::new("p/model.djar"), model).unwrap();
+        for (name, bytes) in live {
+            io.write_atomic(&Path::new("p/live").join(name), bytes).unwrap();
+        }
+        SyncExport::new(
+            io.clone(),
+            PathBuf::from("p/model.djar"),
+            Some(PathBuf::from("p/live")),
+        )
+    }
+
+    #[test]
+    fn item_names_never_escape_the_export() {
+        let io = mem();
+        let export = export_with(&io, b"model-bytes", &[]);
+        for hostile in [
+            "../etc/passwd",
+            "/etc/passwd",
+            "live/../../secret",
+            "live/wal.djwl",
+            "live/nested/seg-000001.djar",
+            "wal.djwl",
+            "",
+        ] {
+            assert!(export.chunk(hostile, 0, 64).is_err(), "{hostile:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn state_lists_model_and_sealed_live_files_only() {
+        let io = mem();
+        io.write_atomic(Path::new("p/live/wal.djwl"), b"journal").unwrap();
+        io.write_atomic(Path::new("p/live/seg-000001.djar.sync"), b"partial").unwrap();
+        let export = export_with(
+            &io,
+            b"model-bytes",
+            &[("manifest.djar", b"mani"), ("seg-000001.djar", b"seg1")],
+        );
+        let (_, items) = export.state(3).unwrap();
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["model", "live/manifest.djar", "live/seg-000001.djar"]);
+        assert_eq!(items[0].len, 11);
+        assert_eq!(items[0].crc, crc32(b"model-bytes"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_generation() {
+        let io = mem();
+        let export = export_with(&io, b"v1", &[]);
+        let (fp1, _) = export.state(1).unwrap();
+        let (fp1b, _) = export.state(1).unwrap();
+        assert_eq!(fp1, fp1b);
+        assert_ne!(fp1, export.state(2).unwrap().0, "generation is part of the fingerprint");
+        io.write_atomic(Path::new("p/model.djar"), b"v2").unwrap();
+        export.invalidate();
+        assert_ne!(fp1, export.state(1).unwrap().0, "content is part of the fingerprint");
+    }
+
+    #[test]
+    fn sync_roundtrip_installs_byte_identical_files() {
+        let io = mem();
+        let model: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let export = export_with(
+            &io,
+            &model,
+            &[("manifest.djar", b"manifest-v1"), ("seg-000001.djar", b"segment-one")],
+        );
+        let mut source = LocalSyncSource { export: &export, generation: 7 };
+        let mut syncer = Syncer::new(
+            io.clone(),
+            PathBuf::from("r/model.djar"),
+            Some(PathBuf::from("r/live")),
+            1024,
+        );
+        let report = syncer.sync_once(&mut source).unwrap();
+        assert_eq!(report.generation, 7);
+        assert_eq!(report.installed, 3);
+        assert!(report.changed());
+        assert_eq!(io.read(Path::new("r/model.djar")).unwrap(), model);
+        assert_eq!(io.read(Path::new("r/live/manifest.djar")).unwrap(), b"manifest-v1");
+        assert_eq!(io.read(Path::new("r/live/seg-000001.djar")).unwrap(), b"segment-one");
+
+        // Second round: nothing to do, zero bytes moved.
+        let report = syncer.sync_once(&mut source).unwrap();
+        assert_eq!(report.bytes_transferred, 0);
+        assert_eq!(report.installed, 0);
+        assert!(!report.changed());
+    }
+
+    #[test]
+    fn compacted_away_segments_are_removed_on_the_replica() {
+        let io = mem();
+        let export = export_with(&io, b"m", &[("manifest.djar", b"v1"), ("seg-000001.djar", b"s1")]);
+        let mut source = LocalSyncSource { export: &export, generation: 1 };
+        let mut syncer = Syncer::new(
+            io.clone(),
+            PathBuf::from("r/model.djar"),
+            Some(PathBuf::from("r/live")),
+            64,
+        );
+        syncer.sync_once(&mut source).unwrap();
+        assert!(io.exists(Path::new("r/live/seg-000001.djar")));
+
+        // Upstream compaction: seg-1 replaced by seg-2, manifest rewritten.
+        io.remove(Path::new("p/live/seg-000001.djar")).unwrap();
+        io.write_atomic(Path::new("p/live/seg-000002.djar"), b"s2").unwrap();
+        io.write_atomic(Path::new("p/live/manifest.djar"), b"v2").unwrap();
+        let report = syncer.sync_once(&mut source).unwrap();
+        assert_eq!(report.removed, 1);
+        assert!(!io.exists(Path::new("r/live/seg-000001.djar")));
+        assert_eq!(io.read(Path::new("r/live/seg-000002.djar")).unwrap(), b"s2");
+    }
+}

@@ -1,0 +1,321 @@
+//! Chaos suite for generation-pull snapshot sync (DESIGN.md §15).
+//!
+//! The invariant under every injected failure — a source dying at any
+//! chunk boundary, torn or forged chunks, garbage frame metadata, a
+//! replica process killed at any local-write boundary: the replica's
+//! *served* files are always either the old complete artifact or the new
+//! complete artifact, never a torn hybrid, and a restarted sync always
+//! converges to byte-identical copies of the primary's files.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use deepjoin_serve::sync::{FetchedChunk, LocalSyncSource, SyncExport, SyncSource, Syncer};
+use deepjoin_serve::SyncItem;
+use deepjoin_store::{crc32, ArtifactIo, KillPointIo, MemIo, SharedIo};
+
+/// What a hostile or dying source does to one fetched chunk.
+#[derive(Clone, Copy, PartialEq)]
+enum Tamper {
+    /// Flip one data bit, leaving the chunk CRC stale (torn transfer).
+    FlipBit,
+    /// Answer for a different offset than was asked.
+    WrongOffset,
+    /// Claim a different total file length.
+    WrongTotalLen,
+    /// Send an empty chunk mid-file.
+    Empty,
+    /// Substitute different bytes with a *recomputed* (valid) chunk CRC —
+    /// only the whole-file gate can catch this one.
+    ForgedChunk,
+}
+
+/// A [`SyncSource`] that proxies a [`LocalSyncSource`] while injecting
+/// failure: dying after a set number of fetches, or tampering with the
+/// first chunk it serves.
+struct ChaosSource<'a> {
+    inner: LocalSyncSource<'a>,
+    /// Fetches remaining before the source "dies" (every later call errors).
+    die_after: Option<usize>,
+    /// Applied to the next chunk, once.
+    tamper: Option<Tamper>,
+    fetches: usize,
+    bytes_delivered: u64,
+}
+
+impl<'a> ChaosSource<'a> {
+    fn new(export: &'a SyncExport, generation: u32) -> Self {
+        ChaosSource {
+            inner: LocalSyncSource { export, generation },
+            die_after: None,
+            tamper: None,
+            fetches: 0,
+            bytes_delivered: 0,
+        }
+    }
+}
+
+impl SyncSource for ChaosSource<'_> {
+    fn poll(&mut self) -> Result<(u32, u64, Vec<SyncItem>), String> {
+        if self.die_after == Some(0) {
+            return Err("source died".to_string());
+        }
+        self.inner.poll()
+    }
+
+    fn fetch(&mut self, item: &str, offset: u64, len: u32) -> Result<FetchedChunk, String> {
+        if let Some(left) = self.die_after {
+            if self.fetches >= left {
+                return Err("source died mid-transfer".to_string());
+            }
+        }
+        self.fetches += 1;
+        let mut chunk = self.inner.fetch(item, offset, len)?;
+        match self.tamper.take() {
+            Some(Tamper::FlipBit) => chunk.data[0] ^= 0x40,
+            Some(Tamper::WrongOffset) => chunk.offset = chunk.offset.wrapping_add(7),
+            Some(Tamper::WrongTotalLen) => chunk.total_len += 1,
+            Some(Tamper::Empty) => chunk.data.clear(),
+            Some(Tamper::ForgedChunk) => {
+                chunk.data = vec![0x5A; chunk.data.len()];
+                chunk.crc = crc32(&chunk.data);
+            }
+            None => {}
+        }
+        self.bytes_delivered += chunk.data.len() as u64;
+        Ok(chunk)
+    }
+}
+
+const CHUNK: u32 = 512;
+
+fn model_bytes(version: u8) -> Vec<u8> {
+    (0..10_000u32)
+        .map(|i| ((i % 251) as u8).wrapping_add(version))
+        .collect()
+}
+
+/// A primary export over its own in-memory store: the model artifact plus
+/// a small live lake (one sealed segment + manifest).
+fn primary() -> (SharedIo, SyncExport) {
+    let io: SharedIo = Arc::new(MemIo::new());
+    io.write_atomic(Path::new("p/model.djar"), &model_bytes(1)).unwrap();
+    io.write_atomic(Path::new("p/live/seg-000001.djar"), b"segment-one-bytes").unwrap();
+    io.write_atomic(Path::new("p/live/manifest.djar"), b"manifest-v1").unwrap();
+    let export = SyncExport::new(
+        io.clone(),
+        PathBuf::from("p/model.djar"),
+        Some(PathBuf::from("p/live")),
+    );
+    (io, export)
+}
+
+fn replica_syncer(io: SharedIo) -> Syncer {
+    Syncer::new(
+        io,
+        PathBuf::from("r/model.djar"),
+        Some(PathBuf::from("r/live")),
+        CHUNK,
+    )
+}
+
+fn assert_converged(replica_io: &SharedIo, primary_io: &SharedIo) {
+    for (replica, primary) in [
+        ("r/model.djar", "p/model.djar"),
+        ("r/live/seg-000001.djar", "p/live/seg-000001.djar"),
+        ("r/live/manifest.djar", "p/live/manifest.djar"),
+    ] {
+        assert_eq!(
+            replica_io.read(Path::new(replica)).unwrap(),
+            primary_io.read(Path::new(primary)).unwrap(),
+            "{replica} must be byte-identical to {primary}"
+        );
+    }
+}
+
+#[test]
+fn source_death_at_every_chunk_boundary_resumes_without_refetching() {
+    let (primary_io, export) = primary();
+    // Clean run to learn the fetch count and total transfer size.
+    let (total_fetches, total_bytes) = {
+        let scratch: SharedIo = Arc::new(MemIo::new());
+        let mut source = ChaosSource::new(&export, 1);
+        replica_syncer(scratch).sync_once(&mut source).unwrap();
+        (source.fetches, source.bytes_delivered)
+    };
+    assert!(total_fetches > 5, "test wants several chunk boundaries, got {total_fetches}");
+
+    for die_after in 0..total_fetches {
+        let replica_io: SharedIo = Arc::new(MemIo::new());
+        // First attempt: the source dies after `die_after` fetches.
+        let mut dying = ChaosSource::new(&export, 1);
+        dying.die_after = Some(die_after);
+        let err = replica_syncer(replica_io.clone())
+            .sync_once(&mut dying)
+            .expect_err("a dead source must surface an error");
+        assert!(err.contains("died"), "boundary {die_after}: {err}");
+
+        // Restarted replica (fresh Syncer = fresh process, cold caches):
+        // it must converge, fetching only what the first attempt did not
+        // durably land — the partial-resume proof.
+        let mut healthy = ChaosSource::new(&export, 1);
+        let report = replica_syncer(replica_io.clone())
+            .sync_once(&mut healthy)
+            .unwrap_or_else(|e| panic!("boundary {die_after}: resume failed: {e}"));
+        assert_eq!(
+            report.bytes_transferred,
+            total_bytes - dying.bytes_delivered,
+            "boundary {die_after}: resume must not refetch delivered chunks"
+        );
+        assert_converged(&replica_io, &primary_io);
+    }
+}
+
+#[test]
+fn torn_and_garbage_chunks_never_touch_the_served_files() {
+    let (primary_io, export) = primary();
+    let replica_io: SharedIo = Arc::new(MemIo::new());
+    // Install v1 cleanly, then move the primary to v2.
+    replica_syncer(replica_io.clone())
+        .sync_once(&mut ChaosSource::new(&export, 1))
+        .unwrap();
+    let v1 = model_bytes(1);
+    primary_io.write_atomic(Path::new("p/model.djar"), &model_bytes(2)).unwrap();
+    export.invalidate();
+
+    for tamper in [
+        Tamper::FlipBit,
+        Tamper::WrongOffset,
+        Tamper::WrongTotalLen,
+        Tamper::Empty,
+        Tamper::ForgedChunk,
+    ] {
+        let mut hostile = ChaosSource::new(&export, 2);
+        hostile.tamper = Some(tamper);
+        let err = replica_syncer(replica_io.clone())
+            .sync_once(&mut hostile)
+            .expect_err("a tampered transfer must fail");
+        // The forged chunk passes its per-chunk CRC; only the whole-file
+        // gate stops it, and the gate must discard the poisoned partial.
+        if tamper == Tamper::ForgedChunk {
+            assert!(err.contains("CRC gate"), "forged chunk: {err}");
+            assert!(
+                !replica_io.exists(Path::new("r/model.djar.sync")),
+                "a partial that failed the gate must not survive to poison a resume"
+            );
+        }
+        assert_eq!(
+            replica_io.read(Path::new("r/model.djar")).unwrap(),
+            v1,
+            "served model must still be complete v1 after a tampered transfer"
+        );
+    }
+
+    // A clean source converges to v2 afterwards.
+    replica_syncer(replica_io.clone())
+        .sync_once(&mut ChaosSource::new(&export, 2))
+        .unwrap();
+    assert_converged(&replica_io, &primary_io);
+}
+
+#[test]
+fn a_stale_partial_from_a_different_generation_is_discarded_not_resumed() {
+    // Model-only export so bytes_transferred is exactly the model bytes.
+    let primary_io: SharedIo = Arc::new(MemIo::new());
+    primary_io.write_atomic(Path::new("p/model.djar"), &model_bytes(1)).unwrap();
+    let export = SyncExport::new(primary_io.clone(), PathBuf::from("p/model.djar"), None);
+    let replica_io: SharedIo = Arc::new(MemIo::new());
+    let syncer_for = |io: SharedIo| Syncer::new(io, PathBuf::from("r/model.djar"), None, CHUNK);
+    // Die mid-model-transfer of v1, leaving a genuine partial + sidecar.
+    let mut dying = ChaosSource::new(&export, 1);
+    dying.die_after = Some(3);
+    let _ = syncer_for(replica_io.clone()).sync_once(&mut dying);
+    assert!(replica_io.exists(Path::new("r/model.djar.sync")));
+
+    // The primary retrains while the replica is down: same name, new bytes.
+    primary_io.write_atomic(Path::new("p/model.djar"), &model_bytes(9)).unwrap();
+    export.invalidate();
+
+    // The restarted replica must notice the sidecar no longer matches the
+    // polled (len, crc) and start the model transfer from scratch —
+    // resuming v1 bytes into a v2 file would fail the gate every round.
+    let mut healthy = ChaosSource::new(&export, 2);
+    let report = syncer_for(replica_io.clone()).sync_once(&mut healthy).unwrap();
+    assert_eq!(
+        report.bytes_transferred,
+        model_bytes(9).len() as u64,
+        "the stale partial must be discarded, not resumed"
+    );
+    assert_eq!(
+        replica_io.read(Path::new("r/model.djar")).unwrap(),
+        model_bytes(9)
+    );
+}
+
+#[test]
+fn replica_killed_at_every_local_write_boundary_serves_old_or_new_never_torn() {
+    // Model-only export (the per-file invariant is what matters here).
+    let primary_io: SharedIo = Arc::new(MemIo::new());
+    let v1 = model_bytes(1);
+    let v2 = model_bytes(2);
+    primary_io.write_atomic(Path::new("p/model.djar"), &v2).unwrap();
+    let export = SyncExport::new(primary_io.clone(), PathBuf::from("p/model.djar"), None);
+
+    let seeded = |kill_at: Option<usize>| {
+        let inner = MemIo::new();
+        inner.write_atomic(Path::new("r/model.djar"), &v1).unwrap();
+        Arc::new(KillPointIo::new(inner, kill_at))
+    };
+    let sync_v2 = |io: SharedIo| {
+        Syncer::new(io, PathBuf::from("r/model.djar"), None, CHUNK)
+            .sync_once(&mut ChaosSource::new(&export, 2))
+    };
+
+    // Counting run: same seeded state, no kill.
+    let total = {
+        let kio = seeded(None);
+        sync_v2(kio.clone()).unwrap();
+        kio.points_used()
+    };
+    assert!(total > 10, "expected many kill points, got {total}");
+
+    for kill in 0..total {
+        let kio = seeded(Some(kill));
+        let res = sync_v2(kio.clone());
+        assert!(kio.crashed(), "kill point {kill} must fire");
+        // Kills landing in the best-effort cleanup (partial/meta removal
+        // after the install) legitimately report success — the new model
+        // is already durable; everything earlier must abort.
+        if res.is_ok() {
+            assert_eq!(
+                kio.inner().read(Path::new("r/model.djar")).unwrap(),
+                v2,
+                "kill point {kill}: a sync reporting success must have installed v2"
+            );
+        }
+
+        // The served path on the surviving "disk" is old or new, complete.
+        let served = kio.inner().read(Path::new("r/model.djar")).unwrap();
+        assert!(
+            served == v1 || served == v2,
+            "kill point {kill}: served model is a torn hybrid ({} bytes)",
+            served.len()
+        );
+
+        // Restart: copy the surviving disk into a fresh store and re-sync;
+        // it must converge to v2 regardless of where the crash landed.
+        let revived = MemIo::new();
+        for name in ["r/model.djar", "r/model.djar.sync", "r/model.djar.sync.meta"] {
+            if let Ok(bytes) = kio.inner().read(Path::new(name)) {
+                revived.write_atomic(Path::new(name), &bytes).unwrap();
+            }
+        }
+        let revived: SharedIo = Arc::new(revived);
+        sync_v2(revived.clone()).unwrap_or_else(|e| panic!("kill point {kill}: recovery failed: {e}"));
+        assert_eq!(revived.read(Path::new("r/model.djar")).unwrap(), v2);
+        assert!(
+            !revived.exists(Path::new("r/model.djar.sync")),
+            "kill point {kill}: partial must be cleaned up after install"
+        );
+    }
+}

@@ -46,6 +46,28 @@ pub trait ArtifactIo {
     /// File names (not full paths) of every artifact directly under `dir`.
     /// A missing directory lists as empty.
     fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Byte length of the artifact at `path`.
+    ///
+    /// The default implementation reads the whole artifact; real backends
+    /// override it with a `stat` so replication polls stay cheap.
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(self.read(path)?.len() as u64)
+    }
+
+    /// Read up to `len` bytes starting at byte `offset` of the artifact at
+    /// `path`. Returns fewer bytes when the range extends past end-of-file
+    /// (and an empty vec when `offset` is at or past it).
+    ///
+    /// The default implementation reads the whole artifact and slices;
+    /// [`StdIo`] overrides it with a positioned read so serving replication
+    /// chunks does not load entire snapshots per chunk.
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let bytes = self.read(path)?;
+        let start = usize::try_from(offset).unwrap_or(usize::MAX).min(bytes.len());
+        let end = start.saturating_add(len).min(bytes.len());
+        Ok(bytes[start..end].to_vec())
+    }
 }
 
 /// Real-filesystem implementation.
@@ -123,6 +145,20 @@ impl ArtifactIo for StdIo {
         }
     }
 
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+
+        let mut f = std::fs::File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut out = Vec::new();
+        f.take(len as u64).read_to_end(&mut out)?;
+        Ok(out)
+    }
+
     fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
         let entries = match std::fs::read_dir(dir) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -198,6 +234,20 @@ mod tests {
         assert!(!StdIo.exists(&path));
         assert!(StdIo.list(&dir).unwrap().is_empty());
         assert!(StdIo.list(&dir.join("missing")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_range_slices_and_clamps_to_eof() {
+        let dir = tmpdir("range");
+        let path = dir.join("a.bin");
+        StdIo.write_atomic(&path, b"0123456789").unwrap();
+        assert_eq!(StdIo.file_len(&path).unwrap(), 10);
+        assert_eq!(StdIo.read_range(&path, 0, 4).unwrap(), b"0123");
+        assert_eq!(StdIo.read_range(&path, 4, 4).unwrap(), b"4567");
+        assert_eq!(StdIo.read_range(&path, 8, 100).unwrap(), b"89");
+        assert!(StdIo.read_range(&path, 10, 4).unwrap().is_empty());
+        assert!(StdIo.read_range(&path, 999, 4).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

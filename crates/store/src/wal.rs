@@ -229,22 +229,56 @@ impl Wal {
         Ok(())
     }
 
+    /// Frame one record (`len | crc | seq | body`) into `buf`.
+    fn frame_into(buf: &mut Vec<u8>, seq: u64, body: &[u8]) {
+        let mut payload = Vec::with_capacity(8 + body.len());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(body);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+
     /// Append one mutation record; returns its sequence number. The record
     /// is durable when this returns — callers apply the mutation to memory
     /// only afterwards, so acknowledged state is always recoverable.
     pub fn append(&mut self, body: &[u8]) -> io::Result<u64> {
         let seq = self.next_seq;
-        let mut payload = Vec::with_capacity(8 + body.len());
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.extend_from_slice(body);
-        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let mut frame = Vec::with_capacity(FRAME_LEN + 8 + body.len());
+        Self::frame_into(&mut frame, seq, body);
         self.io.append(&self.path, &frame)?;
         self.next_seq = seq + 1;
         self.file_len += frame.len() as u64;
         Ok(seq)
+    }
+
+    /// Group commit: append a batch of mutation records with a *single*
+    /// durable write (one `fsync` for the whole group). Returns the
+    /// sequence number of the first record; the rest follow consecutively
+    /// in slice order.
+    ///
+    /// Acknowledgement is all-or-nothing: on error nothing in the batch is
+    /// acknowledged. A crash mid-append can still persist any prefix of the
+    /// batch's frames — replay framing treats that exactly like a torn
+    /// single append, so recovery remains a committed prefix (some
+    /// never-acknowledged records may survive, which group commit permits:
+    /// durability is only promised for acknowledged mutations).
+    ///
+    /// An empty batch performs no I/O and returns the next sequence number.
+    pub fn append_batch(&mut self, bodies: &[Vec<u8>]) -> io::Result<u64> {
+        let first_seq = self.next_seq;
+        if bodies.is_empty() {
+            return Ok(first_seq);
+        }
+        let total: usize = bodies.iter().map(|b| FRAME_LEN + 8 + b.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for (i, body) in bodies.iter().enumerate() {
+            Self::frame_into(&mut buf, first_seq + i as u64, body);
+        }
+        self.io.append(&self.path, &buf)?;
+        self.next_seq = first_seq + bodies.len() as u64;
+        self.file_len += buf.len() as u64;
+        Ok(first_seq)
     }
 
     /// Truncate the journal after its records have been made durable
@@ -375,6 +409,47 @@ mod tests {
         let reopened = Wal::open(io, wal_path(), 9).unwrap();
         assert_eq!(reopened.records, vec![WalRecord { seq: 3, body: b"c".to_vec() }]);
         assert_eq!(reopened.wal.next_seq(), 4);
+    }
+
+    #[test]
+    fn append_batch_commits_consecutively_and_replays_identically() {
+        let io = mem();
+        let mut open = Wal::open(io.clone(), wal_path(), 11).unwrap();
+        assert_eq!(open.wal.append(b"solo").unwrap(), 1);
+        let batch = vec![b"b1".to_vec(), b"b2".to_vec(), b"b3".to_vec()];
+        assert_eq!(open.wal.append_batch(&batch).unwrap(), 2);
+        // Empty batch: no I/O, sequence unchanged.
+        assert_eq!(open.wal.append_batch(&[]).unwrap(), 5);
+        assert_eq!(open.wal.append(b"after").unwrap(), 5);
+
+        let reopened = Wal::open(io, wal_path(), 11).unwrap();
+        assert!(reopened.warnings.is_empty());
+        let bodies: Vec<&[u8]> = reopened.records.iter().map(|r| r.body.as_slice()).collect();
+        assert_eq!(bodies, vec![b"solo".as_slice(), b"b1", b"b2", b"b3", b"after"]);
+        assert_eq!(reopened.wal.next_seq(), 6);
+    }
+
+    #[test]
+    fn torn_batch_append_recovers_a_committed_prefix() {
+        let io: Arc<FaultyIo<MemIo>> = Arc::new(FaultyIo::new(MemIo::new()));
+        let shared: SharedIo = io.clone();
+        let mut open = Wal::open(shared.clone(), wal_path(), 3).unwrap();
+        open.wal.append(b"acked").unwrap();
+        // The batch tears mid-write: the first record's frame (8 + 8 + 2
+        // bytes) survives intact, the second is cut mid-frame.
+        io.inject(Fault::TornWrite { keep: 18 + 10 });
+        let _ = open.wal.append_batch(&[b"g1".to_vec(), b"g2".to_vec()]);
+
+        let reopened = Wal::open(shared, wal_path(), 3).unwrap();
+        let bodies: Vec<&[u8]> = reopened.records.iter().map(|r| r.body.as_slice()).collect();
+        // "g1" may survive even though the batch was never acknowledged —
+        // group commit allows unacknowledged records to persist, never
+        // torn or reordered ones.
+        assert_eq!(bodies, vec![b"acked".as_slice(), b"g1"]);
+        assert!(!reopened.warnings.is_empty());
+        for pair in reopened.records.windows(2) {
+            assert_eq!(pair[1].seq, pair[0].seq + 1);
+        }
     }
 
     #[test]
