@@ -16,11 +16,62 @@ use std::time::{Duration, Instant};
 
 use crate::index::Neighbor;
 
+/// How much work a search is allowed to spend — the brownout ladder's
+/// per-query knob. Rung 0 is the normal full-effort search; each higher
+/// rung trades answer quality for latency under overload. The rung rides
+/// inside [`Budget`] so it reaches every search loop without new
+/// plumbing, and servers flag any rung > 0 reply as degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Effort {
+    /// Full-quality search (the default).
+    #[default]
+    Full,
+    /// Rung 1: HNSW beams shrink (ef_search / 4) — cheaper traversal,
+    /// mildly lower recall.
+    ReducedBeam,
+    /// Rung 2: additionally skip the exact f32 rescore over SQ8 planes —
+    /// distances come from the quantized surrogate.
+    Surrogate,
+    /// Rung 3: additionally truncate flat scans to a bounded row prefix —
+    /// bounded work no matter the corpus size.
+    Truncated,
+}
+
+impl Effort {
+    /// The rung as a small integer (0 = full … 3 = truncated) for wire
+    /// formats and stats counters.
+    pub fn rung(self) -> u8 {
+        match self {
+            Effort::Full => 0,
+            Effort::ReducedBeam => 1,
+            Effort::Surrogate => 2,
+            Effort::Truncated => 3,
+        }
+    }
+
+    /// Inverse of [`Effort::rung`]; values past the ladder clamp to the
+    /// deepest rung.
+    pub fn from_rung(rung: u8) -> Self {
+        match rung {
+            0 => Effort::Full,
+            1 => Effort::ReducedBeam,
+            2 => Effort::Surrogate,
+            _ => Effort::Truncated,
+        }
+    }
+}
+
+/// Flat scans under [`Effort::Truncated`] stop after this many rows: the
+/// deepest brownout rung answers from a bounded prefix so per-query cost
+/// stays constant no matter how large the corpus grows.
+pub const TRUNCATED_SCAN_ROWS: usize = 16 * 1024;
+
 /// Deadline + cancellation handle for one search.
 #[derive(Debug, Clone, Default)]
 pub struct Budget {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    effort: Effort,
 }
 
 impl Budget {
@@ -33,7 +84,7 @@ impl Budget {
     pub fn with_deadline(deadline: Instant) -> Self {
         Self {
             deadline: Some(deadline),
-            cancel: None,
+            ..Self::default()
         }
     }
 
@@ -48,6 +99,19 @@ impl Budget {
     pub fn cancelled_by(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Set the brownout effort rung for this search (default
+    /// [`Effort::Full`]). Search loops read it via [`Budget::effort`].
+    pub fn with_effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// The effort rung this search should spend.
+    #[inline]
+    pub fn effort(&self) -> Effort {
+        self.effort
     }
 
     /// The deadline, when one is set.
@@ -172,6 +236,23 @@ mod tests {
         assert!(!b.expired());
         flag.store(true, Ordering::Relaxed);
         assert!(b.expired());
+    }
+
+    #[test]
+    fn effort_defaults_to_full_and_round_trips_through_rungs() {
+        assert_eq!(Budget::unlimited().effort(), Effort::Full);
+        assert_eq!(
+            Budget::with_timeout(Duration::from_secs(1)).effort(),
+            Effort::Full
+        );
+        for rung in 0..=3u8 {
+            assert_eq!(Effort::from_rung(rung).rung(), rung);
+        }
+        // Past-the-ladder rungs clamp to the deepest degradation.
+        assert_eq!(Effort::from_rung(200), Effort::Truncated);
+        let b = Budget::unlimited().with_effort(Effort::Surrogate);
+        assert_eq!(b.effort(), Effort::Surrogate);
+        assert!(!b.is_limited(), "effort alone never expires a budget");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use deepjoin_par::Pool;
 use serde::{Deserialize, Serialize};
 
-use crate::budget::{Budget, BudgetedSearch};
+use crate::budget::{Budget, BudgetedSearch, Effort, TRUNCATED_SCAN_ROWS};
 use crate::distance::Metric;
 use crate::index::{Neighbor, TopK, VectorIndex};
 use crate::plane::PodVec;
@@ -39,12 +39,20 @@ pub(crate) fn scan_budgeted(
     deleted: Option<&TombSet>,
 ) -> BudgetedSearch {
     assert_eq!(query.len(), dim, "dimension mismatch");
-    let n = data.len() / dim;
+    let full_n = data.len() / dim;
+    // Brownout rung 3: answer from a bounded row prefix. The truncated
+    // result is honest about it (`complete == false`) and the server flags
+    // the reply with its rung.
+    let n = if budget.effort() >= Effort::Truncated {
+        full_n.min(TRUNCATED_SCAN_ROWS)
+    } else {
+        full_n
+    };
     let limited = budget.is_limited();
     let mut top = TopK::new(k);
     let mut scores = [0f32; SCAN_BLOCK];
     let mut base = 0usize;
-    let mut complete = true;
+    let mut complete = n == full_n;
     while base < n {
         if limited && budget.expired() {
             complete = false;
@@ -286,6 +294,44 @@ impl VectorIndex for FlatIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn truncated_effort_scans_a_bounded_prefix_and_reports_incomplete() {
+        let dim = 2;
+        let n = TRUNCATED_SCAN_ROWS + 512;
+        let mut data = vec![0f32; n * dim];
+        for (i, row) in data.chunks_mut(dim).enumerate() {
+            row[0] = i as f32;
+        }
+        // The true nearest neighbor to this query lives past the truncation
+        // horizon — a truncated scan must miss it and say so.
+        let query = vec![(n - 1) as f32, 0.0];
+        let full = scan_budgeted(
+            &data,
+            dim,
+            Metric::L2,
+            false,
+            &query,
+            1,
+            &Budget::unlimited(),
+            None,
+        );
+        assert!(full.complete);
+        assert_eq!(full.hits[0].id, (n - 1) as u32);
+        let cut = scan_budgeted(
+            &data,
+            dim,
+            Metric::L2,
+            false,
+            &query,
+            1,
+            &Budget::unlimited().with_effort(Effort::Truncated),
+            None,
+        );
+        assert!(!cut.complete, "truncated scans are honest about coverage");
+        assert_eq!(cut.visited, TRUNCATED_SCAN_ROWS);
+        assert_eq!(cut.hits[0].id, (TRUNCATED_SCAN_ROWS - 1) as u32);
+    }
 
     #[test]
     fn finds_exact_neighbors() {

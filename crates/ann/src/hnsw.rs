@@ -17,7 +17,7 @@ use std::collections::BinaryHeap;
 use deepjoin_par::Pool;
 use serde::{Deserialize, Serialize};
 
-use crate::budget::{Budget, BudgetedSearch, Ticker};
+use crate::budget::{Budget, BudgetedSearch, Effort, Ticker};
 use crate::distance::Metric;
 use crate::graph::{Graph, Node};
 use crate::index::{finalize_hits, Neighbor, VectorIndex};
@@ -777,7 +777,15 @@ impl HnswIndex {
                 }
             }
         }
-        let ef = self.config.ef_search.max(k);
+        // Brownout rung 1+ shrinks the beam: a quarter of the configured
+        // ef still navigates the graph but touches far fewer candidates;
+        // the deepest rung drops to the minimum viable beam (k).
+        let ef = match budget.effort() {
+            Effort::Full => self.config.ef_search,
+            Effort::ReducedBeam | Effort::Surrogate => (self.config.ef_search / 4).max(8),
+            Effort::Truncated => k,
+        }
+        .max(k);
         let found = with_scratch(|scratch| {
             self.search_layer(
                 &qd,
@@ -792,6 +800,10 @@ impl HnswIndex {
             )
         });
         let mut visited = ticker.visited;
+        // Rung 2+ serves the quantized surrogate directly: skipping the
+        // exact rescore saves one f32 row read per beam survivor at the
+        // cost of quantization error in the reported distances.
+        let rescore = budget.effort() < Effort::Surrogate;
         let mut hits: Vec<Neighbor> = found
             .into_iter()
             .map(|c| Neighbor {
@@ -799,12 +811,12 @@ impl HnswIndex {
                 distance: match qd {
                     // Exact rescore of the surviving beam: replace each
                     // quantized surrogate with the true f32 surrogate.
-                    QueryDist::Sq8 { .. } => self.dist(query, c.id),
-                    QueryDist::Exact(_) => c.dist,
+                    QueryDist::Sq8 { .. } if rescore => self.dist(query, c.id),
+                    _ => c.dist,
                 },
             })
             .collect();
-        if matches!(qd, QueryDist::Sq8 { .. }) {
+        if rescore && matches!(qd, QueryDist::Sq8 { .. }) {
             visited += hits.len();
         }
         hits = finalize_hits(hits, k);

@@ -24,7 +24,7 @@ pub mod segmented;
 pub mod sq8;
 pub mod tombstones;
 
-pub use budget::{Budget, BudgetedSearch};
+pub use budget::{Budget, BudgetedSearch, Effort, TRUNCATED_SCAN_ROWS};
 pub use distance::Metric;
 pub use flat::FlatIndex;
 pub use graph::Graph;

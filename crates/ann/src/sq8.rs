@@ -16,7 +16,7 @@
 //! `q₀ = Σ q_d·offset_d` and the folded query `t₂ = q ∘ s` reduce each row
 //! to one f32×u8 dot.
 
-use crate::budget::{Budget, BudgetedSearch};
+use crate::budget::{Budget, BudgetedSearch, Effort, TRUNCATED_SCAN_ROWS};
 use crate::distance::Metric;
 use crate::index::TopK;
 use crate::plane::PodVec;
@@ -340,14 +340,27 @@ pub(crate) fn scan_budgeted(
 ) -> BudgetedSearch {
     let dim = plane.dim;
     debug_assert_eq!(exact.len(), plane.codes.len());
-    let n = plane.len();
+    let full_n = plane.len();
+    // Brownout rung 3: bounded row prefix, same contract as the flat scan.
+    let n = if budget.effort() >= Effort::Truncated {
+        full_n.min(TRUNCATED_SCAN_ROWS)
+    } else {
+        full_n
+    };
     let limited = budget.is_limited();
     let prep = plane.prepare(query, metric, unit_norm);
-    let pool = k.saturating_mul(RESCORE_FACTOR).max(k);
+    // Brownout rung 2+ serves the quantized surrogate scores directly, so
+    // there is no rescore pool to over-collect into.
+    let rescore = budget.effort() < Effort::Surrogate;
+    let pool = if rescore {
+        k.saturating_mul(RESCORE_FACTOR).max(k)
+    } else {
+        k
+    };
     let mut top = TopK::new(pool);
     let mut scores = [0f32; SCAN_BLOCK];
     let mut base = 0usize;
-    let mut complete = true;
+    let mut complete = n == full_n;
     while base < n {
         if limited && budget.expired() {
             complete = false;
@@ -373,6 +386,20 @@ pub(crate) fn scan_budgeted(
             }
         }
         base += rows;
+    }
+    if !rescore {
+        // Surrogate-only: report the quantized scores as-is. Distances
+        // carry quantization error; the caller flags the reply degraded.
+        let mut hits = top.into_sorted();
+        hits.truncate(k);
+        for h in &mut hits {
+            h.distance = metric.distance_from_surrogate(h.distance, unit_norm);
+        }
+        return BudgetedSearch {
+            hits,
+            complete,
+            visited: base,
+        };
     }
     // Stage 2: exact rescore. Cheap (≤ RESCORE_FACTOR·k rows), so it runs
     // even on an expired budget — partial results stay exact.
@@ -529,6 +556,47 @@ mod tests {
                 "id {}: {} vs {want}",
                 h.id,
                 h.distance
+            );
+        }
+    }
+
+    #[test]
+    fn surrogate_effort_skips_the_rescore_but_stays_near_exact() {
+        let (n, dim) = (500, 16);
+        let data = matrix(n, dim, 17);
+        let plane = Sq8Plane::quantize(&data, dim);
+        let q = matrix(1, dim, 18);
+        let exact = scan_budgeted(
+            &plane,
+            &data,
+            Metric::L2,
+            false,
+            &q,
+            5,
+            &Budget::unlimited(),
+            None,
+        );
+        let cheap = scan_budgeted(
+            &plane,
+            &data,
+            Metric::L2,
+            false,
+            &q,
+            5,
+            &Budget::unlimited().with_effort(Effort::Surrogate),
+            None,
+        );
+        assert!(cheap.complete);
+        assert_eq!(cheap.hits.len(), 5);
+        // Surrogate mode skips the per-survivor f32 reads entirely.
+        assert!(cheap.visited < exact.visited);
+        // Quantized distances track the exact ones within SQ8 error.
+        for (a, b) in exact.hits.iter().zip(&cheap.hits) {
+            assert!(
+                (a.distance - b.distance).abs() <= 0.05 * a.distance.max(1.0),
+                "exact {} vs surrogate {}",
+                a.distance,
+                b.distance
             );
         }
     }

@@ -9,7 +9,8 @@
 //! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]
 //!             [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N]
 //!             [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B]
-//! dj query    <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K]
+//!             [--tenant-rate QPS] [--tenant-burst N] [--brownout-target-ms T] [--brownout-window-ms W]
+//! dj query    <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K] [--tenant NAME]
 //! dj ctl      <addr> ping|stats|reload [path]|shutdown
 //! dj ctl      <addr> add-table <title> --columns "name:a|b|c;name2:x|y"
 //! dj ctl      <addr> drop-table <title>
@@ -53,6 +54,16 @@
 //! `degraded` results), SIGHUP hot-reloads the model artifact, and
 //! SIGTERM/SIGINT drain gracefully. `dj query` / `dj ctl` are the matching
 //! client.
+//!
+//! `--tenant-rate QPS` adds per-tenant token buckets in front of the
+//! deficit-weighted fair admission queue (bucket size `--tenant-burst`,
+//! default 16); queries carry their tenant via `dj query --tenant NAME`.
+//! `--brownout-target-ms T` enables the CoDel-style brownout controller
+//! (DESIGN.md §16): queue sojourn over `T` sustained for
+//! `--brownout-window-ms` (default 4×T) sheds the heaviest tenant's newest
+//! job and steps the answer-effort ladder down one rung; answers produced
+//! below full effort carry a `(brownout-N)` label suffix and the
+//! `degraded` flag. Per-tenant and brownout gauges show in `dj ctl stats`.
 //!
 //! `--threads N` caps the worker pool used for column encoding and index
 //! construction (default: `available_parallelism`). Results are identical
@@ -112,7 +123,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N] [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B]\n  dj query <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N] [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B] [--tenant-rate QPS] [--tenant-burst N] [--brownout-target-ms T] [--brownout-window-ms W]\n  dj query <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K] [--tenant NAME]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -484,6 +495,31 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let sync_interval = parse_positive(args, "--sync-interval-ms", "500")?.unwrap_or(500);
     let stale_after = parse_positive(args, "--stale-after-ms", "10000")?.unwrap_or(10_000);
     let sync_chunk = parse_positive(args, "--sync-chunk-bytes", "262144")?;
+    // Overload controls (DESIGN.md §16). `parse_positive` rejects a
+    // zero-capacity bucket or zero-length brownout timings up front with
+    // an actionable message instead of a server that admits nothing.
+    let tenant_rate = parse_positive(args, "--tenant-rate", "no per-tenant rate limit")?;
+    let tenant_burst = parse_positive(args, "--tenant-burst", "16")?;
+    if tenant_burst.is_some() && tenant_rate.is_none() {
+        return Err(
+            "--tenant-burst sizes the per-tenant token bucket, which only exists with \
+             --tenant-rate; add --tenant-rate N (queries/second) or drop --tenant-burst"
+                .into(),
+        );
+    }
+    let brownout_target = parse_positive(args, "--brownout-target-ms", "brownout disabled")?;
+    let brownout_window = parse_positive(args, "--brownout-window-ms", "4x the target")?;
+    if brownout_window.is_some() && brownout_target.is_none() {
+        return Err(
+            "--brownout-window-ms tunes the brownout controller, which only exists with \
+             --brownout-target-ms; add --brownout-target-ms N or drop --brownout-window-ms"
+                .into(),
+        );
+    }
+    let brownout = brownout_target.map(|t| deepjoin_serve::BrownoutConfig {
+        target: std::time::Duration::from_millis(t as u64),
+        window: std::time::Duration::from_millis(brownout_window.unwrap_or(t * 4) as u64),
+    });
     // Test hook: pretend to be a slow replica by stalling every query this
     // many milliseconds (exercises hedged clients without a slow machine).
     let debug_stall = std::env::var("DEEPJOIN_DEBUG_STALL_MS")
@@ -545,6 +581,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 install_signal_handlers: true,
                 replication: Some(state.clone()),
                 debug_stall,
+                tenant_rate: tenant_rate.map(|r| r as f64),
+                tenant_burst: tenant_burst.unwrap_or(16) as f64,
+                brownout,
                 ..ServerConfig::default()
             },
             loader,
@@ -624,6 +663,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
             sync_export: Some(sync_export),
             replication: Some(deepjoin_serve::ReplicationState::primary()),
             debug_stall,
+            tenant_rate: tenant_rate.map(|r| r as f64),
+            tenant_burst: tenant_burst.unwrap_or(16) as f64,
+            brownout,
             ..ServerConfig::default()
         },
         loader,
@@ -690,6 +732,7 @@ fn cmd_query(args: &[String]) -> CliResult {
     let addr = args.first().ok_or("missing <addr> (e.g. 127.0.0.1:7878)")?;
     let name = flag(args, "--name").unwrap_or_else(|| "query".to_string());
     let k = parse_positive(args, "--k", "10")?.unwrap_or(10);
+    let tenant = flag(args, "--tenant");
     let cells = query_cells(args)?;
     // A comma-separated address list enables failover + hedging: health
     // probes rank the endpoints (non-stale first, then freshest
@@ -701,6 +744,9 @@ fn cmd_query(args: &[String]) -> CliResult {
             .filter(|a| !a.is_empty())
             .map(str::to_string)
             .collect();
+        if tenant.is_some() {
+            eprintln!("warning: --tenant is ignored on multi-endpoint queries");
+        }
         let client = deepjoin_serve::MultiClient::new(deepjoin_serve::ClusterConfig {
             endpoints,
             ..deepjoin_serve::ClusterConfig::default()
@@ -715,7 +761,9 @@ fn cmd_query(args: &[String]) -> CliResult {
         );
         routed.reply
     } else {
-        Client::connect(addr)?.query(&name, &cells, k as u32)?
+        let mut client = Client::connect(addr)?;
+        client.set_tenant(tenant.as_deref());
+        client.query(&name, &cells, k as u32)?
     };
     println!(
         "generation {} | health {} | {}{}",
@@ -786,6 +834,27 @@ fn cmd_ctl(args: &[String]) -> CliResult {
                 println!("hedges fired    : {}", r.hedges_fired);
                 println!("hedges won      : {}", r.hedges_won);
                 println!("stale           : {}", r.stale);
+            }
+            if let Some(o) = &s.overload {
+                println!("brownout rung   : {}", o.brownout_rung);
+                println!(
+                    "brownout steps  : {} down, {} up",
+                    o.brownout_steps_down, o.brownout_steps_up
+                );
+                println!("brownout answers: {}", o.brownout_answers);
+                println!("bucket shed     : {}", o.bucket_shed);
+                println!("displaced       : {}", o.displaced);
+                println!("codel shed      : {}", o.codel_shed);
+                for t in &o.tenants {
+                    println!(
+                        "tenant {:<16}: accepted {} shed {} p50 {:.3} ms p99 {:.3} ms",
+                        t.name,
+                        t.accepted,
+                        t.shed,
+                        t.p50_micros as f64 / 1000.0,
+                        t.p99_micros as f64 / 1000.0
+                    );
+                }
             }
         }
         "reload" => {

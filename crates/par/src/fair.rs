@@ -1,0 +1,493 @@
+//! A deficit-weighted fair admission queue for multi-tenant load shedding.
+//!
+//! [`crate::Bounded`] sheds blindly: one flooding producer fills the queue
+//! and everyone else's pushes bounce. [`FairQueue`] keeps one FIFO lane per
+//! tenant and serves lanes by deficit round-robin — each occupied lane gets
+//! `weight` pops per rotation — so a tenant sending 100× the traffic still
+//! only gets its fair share of worker time, and the shedding falls on the
+//! flooder:
+//!
+//! - While the queue has room, every push is admitted into its lane.
+//! - At capacity, the push displaces the **newest** item of the **heaviest**
+//!   lane (the tenant with the deepest backlog). The displaced item is
+//!   handed back so the caller can answer its originator with a structured
+//!   shed. If the pusher *is* the heaviest tenant, its own push is refused
+//!   instead — a flooder can never displace anyone else.
+//!
+//! Every item carries its enqueue [`Instant`]; `pop` returns it so
+//! consumers can measure queue sojourn (the signal a CoDel-style controller
+//! needs). The close/drain contract matches [`crate::Bounded`]: after
+//! [`FairQueue::close`] no new item is admitted, `pop` drains the backlog,
+//! and consumers see `None` only once the queue is closed **and** empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// How [`FairQueue::try_push`] admitted an item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FairPush<T> {
+    /// Admitted; the queue had room.
+    Admitted,
+    /// Admitted at capacity by displacing the newest item of the heaviest
+    /// tenant; the displaced item is returned so the caller can answer it.
+    Displaced(u64, T),
+}
+
+/// Why [`FairQueue::try_push`] rejected an item. The item is handed back so
+/// the caller can answer its originator.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FairPushError<T> {
+    /// The queue is at capacity and the pusher is the heaviest tenant —
+    /// it sheds at its own bucket rather than displacing anyone else.
+    Full(T),
+    /// The queue was closed (drain in progress); no new work is admitted.
+    Closed(T),
+}
+
+impl<T> FairPushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            FairPushError::Full(t) | FairPushError::Closed(t) => t,
+        }
+    }
+}
+
+struct Lane<T> {
+    tenant: u64,
+    weight: u32,
+    /// Pops this lane may still take in the current rotation. Refreshed to
+    /// `weight` when the rotation reaches an exhausted lane; reset when the
+    /// lane empties (standard DRR: idle lanes don't bank credit).
+    deficit: u32,
+    items: VecDeque<(T, Instant)>,
+}
+
+struct Inner<T> {
+    /// Occupied lanes only — a lane is created on first push and removed
+    /// the moment it drains, so rotation never scans dead tenants.
+    lanes: Vec<Lane<T>>,
+    cursor: usize,
+    total: usize,
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn lane_mut(&mut self, tenant: u64, weight: u32) -> &mut Lane<T> {
+        if let Some(i) = self.lanes.iter().position(|l| l.tenant == tenant) {
+            return &mut self.lanes[i];
+        }
+        self.lanes.push(Lane {
+            tenant,
+            weight: weight.max(1),
+            deficit: 0,
+            items: VecDeque::new(),
+        });
+        self.lanes.last_mut().expect("lane just pushed")
+    }
+
+    /// Index of the lane with the deepest backlog (first wins on ties).
+    fn heaviest(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, l)| (l.items.len(), usize::MAX - i))
+            .map(|(i, _)| i)
+    }
+
+    fn take(&mut self) -> (u64, T, Instant) {
+        debug_assert!(self.total > 0);
+        let n = self.lanes.len();
+        let mut idx = self.cursor % n;
+        loop {
+            if self.lanes[idx].items.is_empty() {
+                // Only transiently possible; occupied-lane invariant holds
+                // between calls.
+                idx = (idx + 1) % n;
+                continue;
+            }
+            let lane = &mut self.lanes[idx];
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight;
+            }
+            lane.deficit -= 1;
+            let (item, at) = lane.items.pop_front().expect("non-empty lane");
+            let tenant = lane.tenant;
+            self.total -= 1;
+            if lane.items.is_empty() {
+                self.lanes.remove(idx);
+                self.cursor = if self.lanes.is_empty() {
+                    0
+                } else {
+                    idx % self.lanes.len()
+                };
+            } else if lane.deficit == 0 {
+                self.cursor = (idx + 1) % n;
+            } else {
+                self.cursor = idx;
+            }
+            return (tenant, item, at);
+        }
+    }
+}
+
+/// A fixed-capacity MPMC queue with per-tenant fairness (see module docs).
+pub struct FairQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// Queue admitting at most `capacity` pending items across all tenants
+    /// (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                lanes: Vec::new(),
+                cursor: 0,
+                total: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending items right now (racy by nature; for telemetry only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").total
+    }
+
+    /// True when no items are pending (same caveat as [`FairQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit `item` for `tenant` with rotation weight 1.
+    pub fn try_push(&self, tenant: u64, item: T) -> Result<FairPush<T>, FairPushError<T>> {
+        self.try_push_weighted(tenant, 1, item)
+    }
+
+    /// Admit `item` for `tenant`, never blocking. `weight` sets the lane's
+    /// pops-per-rotation share (only the first push for a tenant sets it).
+    /// At capacity the newest item of the heaviest tenant is displaced and
+    /// returned ([`FairPush::Displaced`]) — unless the pusher is itself the
+    /// heaviest, in which case its push is refused ([`FairPushError::Full`]).
+    pub fn try_push_weighted(
+        &self,
+        tenant: u64,
+        weight: u32,
+        item: T,
+    ) -> Result<FairPush<T>, FairPushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(FairPushError::Closed(item));
+        }
+        let mut displaced = None;
+        if inner.total >= self.capacity {
+            let heavy = inner.heaviest().expect("full queue has a lane");
+            if inner.lanes[heavy].tenant == tenant {
+                return Err(FairPushError::Full(item));
+            }
+            let lane = &mut inner.lanes[heavy];
+            let victim_tenant = lane.tenant;
+            let (victim, _) = lane.items.pop_back().expect("heaviest lane non-empty");
+            inner.total -= 1;
+            if inner.lanes[heavy].items.is_empty() {
+                inner.lanes.remove(heavy);
+                inner.cursor = if inner.lanes.is_empty() {
+                    0
+                } else {
+                    inner.cursor % inner.lanes.len()
+                };
+            }
+            displaced = Some((victim_tenant, victim));
+        }
+        inner
+            .lane_mut(tenant, weight)
+            .items
+            .push_back((item, Instant::now()));
+        inner.total += 1;
+        drop(inner);
+        self.not_empty.notify_one();
+        match displaced {
+            Some((t, victim)) => Ok(FairPush::Displaced(t, victim)),
+            None => Ok(FairPush::Admitted),
+        }
+    }
+
+    /// Take the next item under deficit round-robin, blocking while the
+    /// queue is open and empty. Returns the owning tenant and the item's
+    /// enqueue time (for sojourn measurement). `None` only when the queue
+    /// is closed **and** fully drained — the consumer-exit signal.
+    pub fn pop(&self) -> Option<(u64, T, Instant)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.total > 0 {
+                return Some(inner.take());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Shed the newest item of the heaviest tenant right now, if any — the
+    /// CoDel-style controller's pressure-relief action. Returns the owning
+    /// tenant, the item (so the caller can answer it), and its enqueue time.
+    pub fn shed_newest_of_heaviest(&self) -> Option<(u64, T, Instant)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let heavy = inner.heaviest()?;
+        let lane = &mut inner.lanes[heavy];
+        let tenant = lane.tenant;
+        let (item, at) = lane.items.pop_back()?;
+        inner.total -= 1;
+        if inner.lanes[heavy].items.is_empty() {
+            inner.lanes.remove(heavy);
+            inner.cursor = if inner.lanes.is_empty() {
+                0
+            } else {
+                inner.cursor % inner.lanes.len()
+            };
+        }
+        Some((tenant, item, at))
+    }
+
+    /// Stop admitting new items. Already-admitted items remain poppable;
+    /// blocked consumers wake (and exit once the backlog drains).
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`FairQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Per-tenant backlog depths (racy; for telemetry and tests).
+    pub fn depths(&self) -> Vec<(u64, usize)> {
+        self.inner
+            .lock()
+            .expect("queue lock")
+            .lanes
+            .iter()
+            .map(|l| (l.tenant, l.items.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn drain_tenants(q: &FairQueue<u32>) -> Vec<u64> {
+        let mut order = Vec::new();
+        q.close();
+        while let Some((t, _, _)) = q.pop() {
+            order.push(t);
+        }
+        order
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let q = FairQueue::new(8);
+        for v in 0..4u32 {
+            assert_eq!(q.try_push(7, v).unwrap(), FairPush::Admitted);
+        }
+        let vals: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v, _)| v))
+            .take(4)
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_weights_interleave_tenants_round_robin() {
+        let q = FairQueue::new(16);
+        // Tenant 1 floods before tenant 2 gets a word in.
+        for v in 0..4u32 {
+            q.try_push(1, v).unwrap();
+        }
+        for v in 0..2u32 {
+            q.try_push(2, 100 + v).unwrap();
+        }
+        assert_eq!(drain_tenants(&q), vec![1, 2, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn weighted_lane_gets_its_share_per_rotation() {
+        let q = FairQueue::new(16);
+        for v in 0..4u32 {
+            q.try_push_weighted(1, 2, v).unwrap();
+        }
+        for v in 0..4u32 {
+            q.try_push_weighted(2, 1, 100 + v).unwrap();
+        }
+        // Weight 2 lane serves two items per visit, weight 1 lane one.
+        assert_eq!(drain_tenants(&q), vec![1, 1, 2, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn overflow_displaces_the_newest_item_of_the_heaviest_tenant() {
+        let q = FairQueue::new(4);
+        for v in 0..3u32 {
+            q.try_push(1, v).unwrap();
+        }
+        q.try_push(2, 100).unwrap();
+        // Queue full; tenant 2's push displaces tenant 1's newest (2).
+        match q.try_push(2, 101).unwrap() {
+            FairPush::Displaced(tenant, victim) => {
+                assert_eq!(tenant, 1);
+                assert_eq!(victim, 2);
+            }
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(q.len(), 4);
+        let mut remaining: Vec<u32> = Vec::new();
+        q.close();
+        while let Some((_, v, _)) = q.pop() {
+            remaining.push(v);
+        }
+        remaining.sort_unstable();
+        assert_eq!(remaining, vec![0, 1, 100, 101]);
+    }
+
+    #[test]
+    fn a_flooding_tenant_sheds_at_its_own_lane() {
+        let q = FairQueue::new(3);
+        for v in 0..3u32 {
+            q.try_push(1, v).unwrap();
+        }
+        match q.try_push(1, 3) {
+            Err(FairPushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Another tenant still gets in (displacing the flooder).
+        assert!(matches!(
+            q.try_push(2, 100).unwrap(),
+            FairPush::Displaced(1, 2)
+        ));
+    }
+
+    #[test]
+    fn shed_newest_of_heaviest_relieves_pressure() {
+        let q = FairQueue::new(8);
+        for v in 0..3u32 {
+            q.try_push(1, v).unwrap();
+        }
+        q.try_push(2, 100).unwrap();
+        let (tenant, victim, _) = q.shed_newest_of_heaviest().unwrap();
+        assert_eq!((tenant, victim), (1, 2));
+        assert_eq!(q.len(), 3);
+        let empty = FairQueue::<u32>::new(2);
+        assert!(empty.shed_newest_of_heaviest().is_none());
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains_backlog() {
+        let q = FairQueue::new(4);
+        q.try_push(1, 10).unwrap();
+        q.try_push(2, 20).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert!(matches!(
+            q.try_push(3, 30),
+            Err(FairPushError::Closed(30))
+        ));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays terminal");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(FairQueue::<u32>::new(1));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_reports_enqueue_time_for_sojourn_measurement() {
+        let q = FairQueue::new(4);
+        let before = Instant::now();
+        q.try_push(1, 1u32).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let (_, _, at) = q.pop().unwrap();
+        assert!(at >= before);
+        assert!(at.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_each_item_once() {
+        let q = Arc::new(FairQueue::new(8));
+        let produced = 4 * 100;
+        let sum = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            let sum = sum.clone();
+            consumers.push(std::thread::spawn(move || {
+                while let Some((_, v, _)) = q.pop() {
+                    sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                }
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = q.clone();
+            let sum = sum.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100usize {
+                    let v = p as usize * 100 + i + 1;
+                    let mut item = v;
+                    // Spin on Full — this test must not lose items; real
+                    // servers turn Full into a structured shed instead.
+                    loop {
+                        match q.try_push(p, item) {
+                            Ok(FairPush::Admitted) => break,
+                            Ok(FairPush::Displaced(_, back)) => {
+                                // Displaced someone else's item: re-inject it
+                                // under its producer's tenant is impossible
+                                // here, so count it as ours to keep the sum.
+                                sum.fetch_add(back, std::sync::atomic::Ordering::Relaxed);
+                                break;
+                            }
+                            Err(FairPushError::Full(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            Err(FairPushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let want: usize = (1..=produced).sum();
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::Relaxed),
+            want,
+            "every item is either consumed or returned as displaced, never lost"
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! Overload control: token buckets, a CoDel-style sojourn controller, and
+//! per-tenant serving stats.
+//!
+//! Three cooperating pieces keep an overloaded server predictable
+//! (DESIGN.md §16):
+//!
+//! - [`TokenBucket`] — per-tenant rate limiting at admission. A flooding
+//!   tenant drains its own bucket and sheds there, before it can touch the
+//!   shared queue.
+//! - [`BrownoutController`] — watches queue *sojourn* (how long an admitted
+//!   query waited before a worker picked it up). Sojourn is the one signal
+//!   that directly measures "are we keeping up": when it stays above a
+//!   target for a sustained window, the controller steps the server down
+//!   one degradation rung (see [`deepjoin_ann::Effort`]) and asks the
+//!   caller to shed the newest item of the heaviest tenant; when sojourn
+//!   stays comfortably below target, it hysteretically steps back up.
+//! - [`TenantTable`] — per-tenant accepted/shed counters and a latency
+//!   ring for the p50/p99 surfaced through `StatsReply` / `dj ctl stats`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The tenant name assumed for clients that don't send one (pre-PR-9
+/// clients and callers that never opted in).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Hard cap on distinct tenants tracked per server. A hostile client
+/// minting a fresh tenant name per request must not grow server memory
+/// without bound; past the cap, traffic folds into one shared overflow
+/// entry (which also means overflow tenants share one bucket — again the
+/// conservative choice against cardinality attacks).
+pub const MAX_TRACKED_TENANTS: usize = 64;
+const OVERFLOW_TENANT: &str = "(other)";
+
+/// Stable 64-bit FNV-1a over the tenant name: the fair queue's lane key.
+pub fn tenant_id(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A classic leaky token bucket: `rate` tokens/second refill up to `burst`
+/// capacity; each admitted query takes one token.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: f64,
+    burst: f64,
+    rate: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` tokens/second with `burst` capacity.
+    /// Both must be positive — the CLI rejects zero-capacity buckets
+    /// before one can be built.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        debug_assert!(rate > 0.0 && burst > 0.0, "zero-capacity bucket");
+        Self {
+            tokens: burst,
+            burst,
+            rate,
+            last: now,
+        }
+    }
+
+    /// Refill for the elapsed time and try to take one token.
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Sojourn-control parameters. `target` is the acceptable queue wait;
+/// `window` is how long sojourn must stay above target before the server
+/// reacts (and, doubled, how long it must stay calm before recovering).
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutConfig {
+    /// Acceptable admission-queue sojourn.
+    pub target: Duration,
+    /// Sustained-overload interval before stepping down a rung.
+    pub window: Duration,
+}
+
+/// What the caller should do after reporting a sojourn sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pressure {
+    /// Keep serving.
+    Steady,
+    /// Sustained overload was just confirmed: the controller stepped down
+    /// one rung and the caller should shed the newest item of the
+    /// heaviest tenant to relieve the queue now.
+    Shed,
+}
+
+struct ControlState {
+    above_since: Option<Instant>,
+    calm_since: Option<Instant>,
+}
+
+/// CoDel-style controller over admission-queue sojourn driving the
+/// brownout rung (0 = full effort … 3 = flat-truncated).
+pub struct BrownoutController {
+    cfg: BrownoutConfig,
+    rung: AtomicU8,
+    steps_down: AtomicU64,
+    steps_up: AtomicU64,
+    state: Mutex<ControlState>,
+}
+
+impl BrownoutController {
+    /// A controller starting at full effort (rung 0).
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        Self {
+            cfg,
+            rung: AtomicU8::new(0),
+            steps_down: AtomicU64::new(0),
+            steps_up: AtomicU64::new(0),
+            state: Mutex::new(ControlState {
+                above_since: None,
+                calm_since: None,
+            }),
+        }
+    }
+
+    /// The current degradation rung.
+    pub fn rung(&self) -> u8 {
+        self.rung.load(Ordering::Relaxed)
+    }
+
+    /// (rung step-downs, rung step-ups) so far.
+    pub fn steps(&self) -> (u64, u64) {
+        (
+            self.steps_down.load(Ordering::Relaxed),
+            self.steps_up.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Report one queue-sojourn sample (called by workers as they pick up
+    /// jobs). Returns [`Pressure::Shed`] exactly when a sustained-overload
+    /// window completes — the moment the rung steps down.
+    pub fn observe(&self, sojourn: Duration, now: Instant) -> Pressure {
+        let mut st = self.state.lock().expect("brownout lock");
+        if sojourn > self.cfg.target {
+            st.calm_since = None;
+            match st.above_since {
+                None => {
+                    st.above_since = Some(now);
+                    Pressure::Steady
+                }
+                Some(since) if now.saturating_duration_since(since) >= self.cfg.window => {
+                    // Sustained overload confirmed: one rung down, timer
+                    // restarts so the next step needs a fresh full window.
+                    st.above_since = Some(now);
+                    let r = self.rung.load(Ordering::Relaxed);
+                    if r < 3 {
+                        self.rung.store(r + 1, Ordering::Relaxed);
+                    }
+                    self.steps_down.fetch_add(1, Ordering::Relaxed);
+                    Pressure::Shed
+                }
+                Some(_) => Pressure::Steady,
+            }
+        } else {
+            st.above_since = None;
+            // Hysteresis: recovery needs sojourn *comfortably* below target
+            // (half) for twice the window — stepping up the instant load
+            // dips would oscillate.
+            if sojourn <= self.cfg.target / 2 && self.rung.load(Ordering::Relaxed) > 0 {
+                match st.calm_since {
+                    None => st.calm_since = Some(now),
+                    Some(since)
+                        if now.saturating_duration_since(since) >= self.cfg.window * 2 =>
+                    {
+                        st.calm_since = Some(now);
+                        let r = self.rung.load(Ordering::Relaxed);
+                        if r > 0 {
+                            self.rung.store(r - 1, Ordering::Relaxed);
+                            self.steps_up.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                st.calm_since = None;
+            }
+            Pressure::Steady
+        }
+    }
+}
+
+/// Fixed-size latency reservoir: enough samples for a stable p99 without
+/// unbounded memory.
+const LAT_RING: usize = 512;
+
+struct LatRing {
+    micros: Vec<u32>,
+    idx: usize,
+}
+
+impl LatRing {
+    fn new() -> Self {
+        Self {
+            micros: Vec::new(),
+            idx: 0,
+        }
+    }
+
+    fn push(&mut self, micros: u64) {
+        let v = micros.min(u64::from(u32::MAX)) as u32;
+        if self.micros.len() < LAT_RING {
+            self.micros.push(v);
+        } else {
+            self.micros[self.idx] = v;
+            self.idx = (self.idx + 1) % LAT_RING;
+        }
+    }
+
+    fn percentile(sorted: &[u32], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        u64::from(sorted[i.min(sorted.len() - 1)])
+    }
+}
+
+struct TenantEntry {
+    bucket: Option<TokenBucket>,
+    accepted: u64,
+    shed: u64,
+    lat: LatRing,
+}
+
+/// One tenant's counters as surfaced through `StatsReply`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant name (or `(other)` for folded overflow tenants).
+    pub name: String,
+    /// Queries admitted past bucket + fair queue.
+    pub accepted: u64,
+    /// Queries shed for this tenant (bucket, queue-full, displaced, CoDel).
+    pub shed: u64,
+    /// Median end-to-end latency over the recent window, microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile latency over the recent window, microseconds.
+    pub p99_micros: u64,
+}
+
+/// Per-tenant buckets + counters behind one lock. Lookup cost is one hash
+/// per query — negligible next to a search.
+pub struct TenantTable {
+    /// Bucket parameters; `None` disables rate limiting (every tenant
+    /// admitted straight to the fair queue).
+    bucket_cfg: Option<(f64, f64)>,
+    inner: Mutex<HashMap<String, TenantEntry>>,
+}
+
+impl TenantTable {
+    /// A table with per-tenant buckets of `rate` tokens/sec and `burst`
+    /// capacity, or no rate limiting when `bucket_cfg` is `None`.
+    pub fn new(bucket_cfg: Option<(f64, f64)>) -> Self {
+        Self {
+            bucket_cfg,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Canonical tracked name: the tenant itself while under the cap, the
+    /// shared overflow entry past it.
+    fn tracked<'a>(map: &HashMap<String, TenantEntry>, name: &'a str) -> &'a str {
+        if map.contains_key(name) || map.len() < MAX_TRACKED_TENANTS {
+            name
+        } else {
+            OVERFLOW_TENANT
+        }
+    }
+
+    fn entry<'m>(
+        &self,
+        map: &'m mut HashMap<String, TenantEntry>,
+        name: &str,
+        now: Instant,
+    ) -> &'m mut TenantEntry {
+        let key = Self::tracked(map, name).to_string();
+        let cfg = self.bucket_cfg;
+        map.entry(key).or_insert_with(|| TenantEntry {
+            bucket: cfg.map(|(rate, burst)| TokenBucket::new(rate, burst, now)),
+            accepted: 0,
+            shed: 0,
+            lat: LatRing::new(),
+        })
+    }
+
+    /// Admission check: refill the tenant's bucket and try to take a
+    /// token. `true` means proceed to the fair queue; `false` means shed
+    /// now (the shed is already counted).
+    pub fn admit(&self, name: &str, now: Instant) -> bool {
+        let mut map = self.inner.lock().expect("tenant lock");
+        let entry = self.entry(&mut map, name, now);
+        let ok = match &mut entry.bucket {
+            Some(b) => b.try_take(now),
+            None => true,
+        };
+        if !ok {
+            entry.shed += 1;
+        }
+        ok
+    }
+
+    /// Count a query accepted into the queue.
+    pub fn note_accepted(&self, name: &str) {
+        let now = Instant::now();
+        let mut map = self.inner.lock().expect("tenant lock");
+        self.entry(&mut map, name, now).accepted += 1;
+    }
+
+    /// Count a shed (queue-full, displacement, or CoDel) for `name`.
+    pub fn note_shed(&self, name: &str) {
+        let now = Instant::now();
+        let mut map = self.inner.lock().expect("tenant lock");
+        self.entry(&mut map, name, now).shed += 1;
+    }
+
+    /// Record one completed query's end-to-end latency.
+    pub fn note_latency(&self, name: &str, micros: u64) {
+        let now = Instant::now();
+        let mut map = self.inner.lock().expect("tenant lock");
+        self.entry(&mut map, name, now).lat.push(micros);
+    }
+
+    /// Current per-tenant counters, sorted by name for stable output.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let map = self.inner.lock().expect("tenant lock");
+        let mut out: Vec<TenantSnapshot> = map
+            .iter()
+            .map(|(name, e)| {
+                let mut sorted = e.lat.micros.clone();
+                sorted.sort_unstable();
+                TenantSnapshot {
+                    name: name.clone(),
+                    accepted: e.accepted,
+                    shed: e.shed,
+                    p50_micros: LatRing::percentile(&sorted, 0.50),
+                    p99_micros: LatRing::percentile(&sorted, 0.99),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_refills_at_rate_and_caps_at_burst() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(10.0, 2.0, t0);
+        // Burst capacity: two immediate takes, then dry.
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(!b.try_take(t0));
+        // 100 ms at 10/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(b.try_take(t1));
+        assert!(!b.try_take(t1));
+        // A long idle period refills to burst, not beyond.
+        let t2 = t1 + Duration::from_secs(60);
+        assert!(b.try_take(t2));
+        assert!(b.try_take(t2));
+        assert!(!b.try_take(t2));
+    }
+
+    #[test]
+    fn sustained_over_target_sojourn_steps_down_and_sheds() {
+        let c = BrownoutController::new(BrownoutConfig {
+            target: Duration::from_millis(10),
+            window: Duration::from_millis(100),
+        });
+        let t0 = Instant::now();
+        let high = Duration::from_millis(50);
+        assert_eq!(c.observe(high, t0), Pressure::Steady);
+        assert_eq!(c.rung(), 0, "one bad sample is noise, not overload");
+        // Still bad halfway through the window: no reaction yet.
+        assert_eq!(
+            c.observe(high, t0 + Duration::from_millis(50)),
+            Pressure::Steady
+        );
+        // Window completes: rung steps down and the caller sheds.
+        assert_eq!(
+            c.observe(high, t0 + Duration::from_millis(120)),
+            Pressure::Shed
+        );
+        assert_eq!(c.rung(), 1);
+        // The next step needs a fresh full window.
+        assert_eq!(
+            c.observe(high, t0 + Duration::from_millis(150)),
+            Pressure::Steady
+        );
+        assert_eq!(
+            c.observe(high, t0 + Duration::from_millis(230)),
+            Pressure::Shed
+        );
+        assert_eq!(c.rung(), 2);
+        assert_eq!(c.steps(), (2, 0));
+    }
+
+    #[test]
+    fn rung_never_steps_past_the_ladder_bottom() {
+        let c = BrownoutController::new(BrownoutConfig {
+            target: Duration::from_millis(1),
+            window: Duration::from_millis(10),
+        });
+        let t0 = Instant::now();
+        let high = Duration::from_millis(100);
+        for i in 0..20u64 {
+            c.observe(high, t0 + Duration::from_millis(11 * i));
+        }
+        assert_eq!(c.rung(), 3);
+    }
+
+    #[test]
+    fn recovery_is_hysteretic_calm_for_two_windows_steps_up() {
+        let c = BrownoutController::new(BrownoutConfig {
+            target: Duration::from_millis(10),
+            window: Duration::from_millis(100),
+        });
+        let t0 = Instant::now();
+        let high = Duration::from_millis(50);
+        c.observe(high, t0);
+        c.observe(high, t0 + Duration::from_millis(110));
+        assert_eq!(c.rung(), 1);
+        // Sojourn just under target is not calm enough to recover.
+        let meh = Duration::from_millis(8);
+        for i in 0..5u64 {
+            c.observe(meh, t0 + Duration::from_millis(200 + 100 * i));
+        }
+        assert_eq!(c.rung(), 1, "within hysteresis band: hold the rung");
+        // Comfortably calm (≤ target/2) for 2× window: step back up.
+        let calm = Duration::from_millis(2);
+        c.observe(calm, t0 + Duration::from_millis(800));
+        assert_eq!(c.rung(), 1);
+        c.observe(calm, t0 + Duration::from_millis(1_050));
+        assert_eq!(c.rung(), 0);
+        assert_eq!(c.steps(), (1, 1));
+        // A bad sample mid-calm restarts the recovery clock.
+        c.observe(high, t0 + Duration::from_millis(1_100));
+        assert_eq!(c.rung(), 0, "single spike doesn't re-enter brownout");
+    }
+
+    #[test]
+    fn tenant_table_counts_and_percentiles() {
+        let t = TenantTable::new(None);
+        assert!(t.admit("a", Instant::now()), "no buckets: always admitted");
+        t.note_accepted("a");
+        t.note_accepted("a");
+        t.note_shed("a");
+        for i in 1..=100u64 {
+            t.note_latency("a", i * 10);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        let a = &snap[0];
+        assert_eq!((a.accepted, a.shed), (2, 1));
+        assert!(a.p50_micros >= 400 && a.p50_micros <= 600, "{}", a.p50_micros);
+        assert!(a.p99_micros >= 950, "{}", a.p99_micros);
+        assert!(a.p50_micros <= a.p99_micros);
+    }
+
+    #[test]
+    fn buckets_shed_the_flooder_without_touching_others() {
+        let t = TenantTable::new(Some((1000.0, 2.0)));
+        let now = Instant::now();
+        // Flooder burns its burst...
+        assert!(t.admit("hot", now));
+        assert!(t.admit("hot", now));
+        assert!(!t.admit("hot", now));
+        // ...while another tenant's bucket is untouched.
+        assert!(t.admit("cold", now));
+        let snap = t.snapshot();
+        let hot = snap.iter().find(|s| s.name == "hot").unwrap();
+        assert_eq!(hot.shed, 1, "bucket shed is counted");
+    }
+
+    #[test]
+    fn tenant_cardinality_is_capped_by_folding_into_overflow() {
+        let t = TenantTable::new(None);
+        for i in 0..(MAX_TRACKED_TENANTS + 40) {
+            t.note_accepted(&format!("tenant-{i}"));
+        }
+        let snap = t.snapshot();
+        assert!(snap.len() <= MAX_TRACKED_TENANTS + 1);
+        let other = snap.iter().find(|s| s.name == OVERFLOW_TENANT).unwrap();
+        assert!(other.accepted >= 40, "overflow traffic folds together");
+    }
+
+    #[test]
+    fn tenant_id_is_stable_and_distinct_enough() {
+        assert_eq!(tenant_id("alpha"), tenant_id("alpha"));
+        assert_ne!(tenant_id("alpha"), tenant_id("beta"));
+        assert_ne!(tenant_id(""), tenant_id("a"));
+    }
+}

@@ -2,9 +2,9 @@
 //! `dj ctl` and by the integration tests (it doubles as the reference
 //! implementation for anyone writing a client in another language).
 
-use std::io;
+use std::io::{self, Read as _};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{
     self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, MAX_FRAME,
@@ -138,7 +138,18 @@ pub struct Client {
     /// server dies mid-response.
     peer: std::net::SocketAddr,
     read_timeout: Duration,
+    /// Tenant tag stamped onto every query this client sends. `None`
+    /// (the default) lets the server fold the query into its default
+    /// admission lane.
+    tenant: Option<String>,
 }
+
+/// Socket slice for client-side reads. The socket timeout is this short
+/// slice, looped up to the configured total `read_timeout` — so a server
+/// (or an attacker in its place) trickling one byte per slice cannot hold
+/// the caller past the total budget the way a per-read timeout, which
+/// resets on every byte, would.
+const READ_SLICE: Duration = Duration::from_millis(250);
 
 impl Client {
     /// Connect with a 30 s read timeout (covers slow queries without
@@ -147,26 +158,36 @@ impl Client {
         Self::connect_with_timeout(addr, Duration::from_secs(30))
     }
 
-    /// Connect with an explicit per-call read timeout.
+    /// Connect with an explicit *total* per-response read timeout.
     pub fn connect_with_timeout(
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
+        stream.set_read_timeout(Some(READ_SLICE.min(timeout).max(Duration::from_millis(1))))?;
         stream.set_nodelay(true).ok();
         let peer = stream.peer_addr()?;
         Ok(Client {
             stream,
             peer,
             read_timeout: timeout,
+            tenant: None,
         })
+    }
+
+    /// Tag every subsequent query from this client with `tenant` for the
+    /// server's per-tenant admission control. `None` reverts to the
+    /// server's default lane.
+    pub fn set_tenant(&mut self, tenant: Option<&str>) {
+        self.tenant = tenant.map(str::to_string);
     }
 
     /// Replace a dead connection with a fresh one to the same peer.
     fn reconnect(&mut self) -> Result<(), ClientError> {
         let stream = TcpStream::connect(self.peer)?;
-        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_read_timeout(Some(
+            READ_SLICE.min(self.read_timeout).max(Duration::from_millis(1)),
+        ))?;
         stream.set_nodelay(true).ok();
         self.stream = stream;
         Ok(())
@@ -197,15 +218,19 @@ impl Client {
         Err(last.expect("at least one attempt"))
     }
 
-    /// Send one request, read one response.
+    /// Send one request, read one response. The read enforces the total
+    /// `read_timeout` across slices (slow-loris defense on the client
+    /// side — this also covers the replica `SyncFetch` path, which calls
+    /// through here).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         protocol::write_frame(&mut self.stream, &request.encode())?;
-        let payload = protocol::read_frame(&mut self.stream, MAX_FRAME)?.ok_or_else(|| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection without answering",
-            ))
-        })?;
+        let payload = read_frame_sliced(&mut self.stream, MAX_FRAME, self.read_timeout)?
+            .ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection without answering",
+                ))
+            })?;
         Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
@@ -230,6 +255,7 @@ impl Client {
             name: name.to_string(),
             cells: cells.to_vec(),
             k,
+            tenant: self.tenant.clone(),
         };
         match self.call(&req)? {
             Response::Query(reply) => Ok(reply),
@@ -356,6 +382,78 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
 }
 
+/// Read one frame, accumulating short socket slices against a total
+/// deadline. Mirrors the server's sliced read: progress (bytes arriving)
+/// does not extend the budget, so a peer trickling bytes is cut off at
+/// `total` no matter how alive it looks.
+fn read_frame_sliced(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    total: Duration,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let start = Instant::now();
+    let mut header = [0u8; 4];
+    let mut have = 0usize;
+    while have < 4 {
+        check_deadline(start, total)?;
+        match stream.read(&mut header[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => have += n,
+            Err(e) if stall_kind(&e) => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            announced: len,
+            cap: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut have = 0usize;
+    while have < len {
+        check_deadline(start, total)?;
+        match stream.read(&mut payload[have..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                )))
+            }
+            Ok(n) => have += n,
+            Err(e) if stall_kind(&e) => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn check_deadline(start: Instant, total: Duration) -> Result<(), FrameError> {
+    if start.elapsed() >= total {
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "server stalled mid-response past the read timeout",
+        )));
+    }
+    Ok(())
+}
+
+/// Socket-timeout error kinds (platform-dependent: WouldBlock on unix,
+/// TimedOut on some platforms).
+fn stall_kind(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +571,40 @@ mod tests {
         let len = u32::from_le_bytes(header) as usize;
         let mut body = vec![0u8; len];
         s.read_exact(&mut body).unwrap();
+    }
+
+    #[test]
+    fn a_server_trickling_bytes_is_cut_off_at_the_total_read_timeout() {
+        use std::io::Write as _;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_frame(&mut s);
+            // Announce a 64-byte body, deliver one byte, then go silent
+            // while keeping the connection open: a per-read timeout that
+            // resets on every byte would wait forever for the rest.
+            s.write_all(&64u32.to_le_bytes()).unwrap();
+            s.write_all(&[0x01]).unwrap();
+            let _ = done_rx.recv_timeout(Duration::from_secs(30));
+        });
+
+        let mut client = Client::connect_with_timeout(addr, Duration::from_millis(600)).unwrap();
+        let start = Instant::now();
+        let err = client.ping().expect_err("a stalled response must time out");
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(&err, ClientError::Io(e) if e.kind() == io::ErrorKind::TimedOut),
+            "expected a total-timeout cutoff, got {err}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "cutoff took {elapsed:?}; the total budget is not being enforced"
+        );
+        done_tx.send(()).unwrap();
+        server.join().unwrap();
     }
 
     #[test]

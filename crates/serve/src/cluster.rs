@@ -207,7 +207,12 @@ impl ClusterInner {
                     }
                     self.note_ok(idx);
                 }
-                Err(_) => self.note_failure(idx),
+                // Only transport failures mean the endpoint is gone. A
+                // structured error (e.g. an `Overloaded` shed) came from a
+                // live server doing its job — counting it toward the
+                // breaker would amplify overload into false failover.
+                Err(ClientError::Io(_)) => self.note_failure(idx),
+                Err(_) => self.note_ok(idx),
             }
         }
     }
@@ -377,7 +382,13 @@ impl MultiClient {
                     return Ok((s, addr));
                 }
                 Err(e) => {
-                    self.inner.note_failure(idx);
+                    // Same rule as probes: only transport errors open the
+                    // breaker; a structured refusal proves liveness.
+                    if matches!(e, ClientError::Io(_)) {
+                        self.inner.note_failure(idx);
+                    } else {
+                        self.inner.note_ok(idx);
+                    }
                     last = Some(e);
                 }
             }
@@ -654,6 +665,81 @@ mod tests {
             inner.latencies.lock().unwrap().push(5_000_000); // 5 s
         }
         assert_eq!(inner.hedge_delay(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn overloaded_sheds_never_open_the_breaker_but_dead_transport_does() {
+        use crate::protocol::{self, Request, Response, WireError};
+        use std::io::Read as _;
+        use std::net::TcpListener;
+        use std::sync::atomic::AtomicBool;
+
+        // A live server that sheds everything: structurally Overloaded on
+        // every frame. Liveness, not failure.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = stop.clone();
+            listener.set_nonblocking(true).unwrap();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut s, _)) => {
+                            let mut header = [0u8; 4];
+                            if s.read_exact(&mut header).is_err() {
+                                continue;
+                            }
+                            let len = u32::from_le_bytes(header) as usize;
+                            let mut body = vec![0u8; len];
+                            if s.read_exact(&mut body).is_err() {
+                                continue;
+                            }
+                            let _ = Request::decode(&body);
+                            let resp = Response::Error(WireError {
+                                code: ErrorCode::Overloaded,
+                                message: "shedding".to_string(),
+                            });
+                            let _ = protocol::write_frame(&mut s, &resp.encode());
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+        };
+
+        let inner = ClusterInner {
+            cfg: ClusterConfig {
+                endpoints: vec![addr],
+                breaker_threshold: 1,
+                probe_timeout: Duration::from_secs(2),
+                ..ClusterConfig::default()
+            },
+            states: Mutex::new(vec![EndpointState::new()]),
+            latencies: Mutex::new(LatencyRing::new()),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            replication: Mutex::new(None),
+        };
+        // Repeated probe rounds against a shedding server: the breaker
+        // must stay closed and the endpoint must read as healthy.
+        for _ in 0..3 {
+            inner.probe_round();
+        }
+        {
+            let states = inner.states.lock().unwrap();
+            assert_eq!(states[0].consecutive_failures, 0, "sheds counted as failures");
+            assert!(states[0].open_until.is_none(), "shed opened the breaker");
+            assert!(states[0].healthy, "a shedding server is still alive");
+        }
+        stop.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+
+        // The port is dead now: transport failure must trip the breaker.
+        inner.probe_round();
+        let states = inner.states.lock().unwrap();
+        assert!(states[0].consecutive_failures >= 1);
+        assert!(states[0].open_until.is_some(), "dead transport must open the breaker");
     }
 
     #[test]

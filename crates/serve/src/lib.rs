@@ -8,10 +8,13 @@
 //!
 //! Robustness layers, outermost first:
 //!
-//! 1. **Admission control** — a bounded queue ([`deepjoin_par::Bounded`])
-//!    sits in front of the worker pool. A full queue sheds the request
-//!    immediately with a structured `Overloaded` error instead of queueing
-//!    without bound.
+//! 1. **Admission control** — per-tenant token buckets feed a bounded
+//!    deficit-weighted fair queue ([`deepjoin_par::FairQueue`]) in front
+//!    of the worker pool. A full queue sheds the newest request of the
+//!    heaviest tenant with a structured `Overloaded` error instead of
+//!    queueing without bound, and a CoDel-style brownout controller
+//!    ([`BrownoutController`]) steps a degradation ladder down when queue
+//!    sojourn stays over target.
 //! 2. **Deadlines** — every admitted query carries a
 //!    [`deepjoin_ann::Budget`]; the index search loops poll it and stop
 //!    mid-traversal when it expires, returning partial results marked
@@ -25,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod brownout;
 pub mod client;
 pub mod cluster;
 pub mod protocol;
@@ -32,11 +36,15 @@ pub mod replica;
 pub mod server;
 pub mod sync;
 
+pub use brownout::{
+    tenant_id, BrownoutConfig, BrownoutController, Pressure, TenantSnapshot, TenantTable,
+    TokenBucket, DEFAULT_TENANT,
+};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use cluster::{ClusterConfig, MultiClient, RoutedReply};
 pub use protocol::{
-    ErrorCode, QueryReply, ReplicationStats, Request, Response, StatsReply, SyncItem, WireError,
-    WireHit, ROLE_PRIMARY, ROLE_REPLICA,
+    ErrorCode, OverloadStats, QueryReply, ReplicationStats, Request, Response, StatsReply,
+    SyncItem, TenantStats, WireError, WireHit, ROLE_PRIMARY, ROLE_REPLICA,
 };
 pub use replica::{bootstrap, run_sync_loop, ReplicaConfig, ReplicationState, TcpSyncSource};
 pub use server::{Server, ServerConfig, ServerHandle};

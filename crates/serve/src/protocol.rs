@@ -112,6 +112,11 @@ pub enum Request {
         cells: Vec<String>,
         /// Neighbors requested (clamped server-side to the index size).
         k: u32,
+        /// Tenant this query bills to, for fair admission. Encoded as an
+        /// optional tail: `None` produces the exact pre-tenant wire image
+        /// (old servers keep accepting it), and new servers treat a
+        /// missing tail as the default tenant.
+        tenant: Option<String>,
     },
     /// Swap in a fresh snapshot; `None` re-reads the artifact the server
     /// was started with.
@@ -196,6 +201,45 @@ pub struct ReplicationStats {
     pub stale: bool,
 }
 
+/// One tenant's serving counters, carried inside [`OverloadStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Tenant name (`default` for untagged clients, `(other)` for folded
+    /// overflow tenants past the server's tracking cap).
+    pub name: String,
+    /// Queries admitted past the bucket and fair queue.
+    pub accepted: u64,
+    /// Queries shed for this tenant (bucket, queue-full, displacement, or
+    /// CoDel), all counted at the tenant that paid for them.
+    pub shed: u64,
+    /// Median end-to-end latency over the recent window, microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_micros: u64,
+}
+
+/// Overload-control gauges, the fourth versioned optional tail of
+/// [`StatsReply`] (see [`StatsReply::live`] for the compatibility story).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OverloadStats {
+    /// Current brownout rung (0 = full effort … 3 = flat-truncated).
+    pub brownout_rung: u8,
+    /// Rung step-downs since process start.
+    pub brownout_steps_down: u64,
+    /// Rung step-ups (recoveries) since process start.
+    pub brownout_steps_up: u64,
+    /// Answers served at a degraded rung (> 0).
+    pub brownout_answers: u64,
+    /// Queries shed at a tenant's token bucket.
+    pub bucket_shed: u64,
+    /// Queued queries displaced by another tenant's push at capacity.
+    pub displaced: u64,
+    /// Queued queries shed by the sojourn controller (CoDel action).
+    pub codel_shed: u64,
+    /// Per-tenant counters, sorted by name.
+    pub tenants: Vec<TenantStats>,
+}
+
 /// One hit on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireHit {
@@ -270,9 +314,16 @@ pub struct StatsReply {
     /// replication (primary with sync export, or replica). Third optional
     /// tail — same compatibility story.
     pub replication: Option<ReplicationStats>,
+    /// Overload-control gauges (brownout rung, shed breakdown, per-tenant
+    /// counters). Fourth optional tail — same compatibility story.
+    pub overload: Option<OverloadStats>,
 }
 
 /// Server → client messages.
+// Stats dominates the enum size, but it is a cold control-plane reply
+// built once per `ctl stats` call — boxing it would complicate every
+// compat test for no hot-path win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Liveness ack.
@@ -332,13 +383,26 @@ impl Request {
         w.put_u8(PROTOCOL_VERSION);
         match self {
             Request::Ping => w.put_u8(REQ_PING),
-            Request::Query { name, cells, k } => {
+            Request::Query {
+                name,
+                cells,
+                k,
+                tenant,
+            } => {
                 w.put_u8(REQ_QUERY);
                 w.put_str(name);
                 w.put_u32_le(*k);
                 w.put_u32_le(cells.len() as u32);
                 for c in cells {
                     w.put_str(c);
+                }
+                // Versioned optional tail: only written when a tenant was
+                // explicitly set, so the default wire image is identical
+                // to the pre-tenant protocol and old servers (which reject
+                // trailing bytes) keep accepting untagged queries.
+                if let Some(t) = tenant {
+                    w.put_u8(1);
+                    w.put_str(t);
                 }
             }
             Request::Reload { path } => {
@@ -397,7 +461,21 @@ impl Request {
                 for _ in 0..n {
                     cells.push(r.str_prefixed()?);
                 }
-                Request::Query { name, cells, k }
+                // Optional tenant tail. Like the Stats tails, bytes past
+                // the known tail are tolerated (a newer client may append
+                // more), so Query requests are forward-extensible and this
+                // early return intentionally skips the trailing-bytes
+                // check.
+                let mut tenant = None;
+                if !r.is_empty() && r.u8()? != 0 {
+                    tenant = Some(r.str_prefixed()?);
+                }
+                return Ok(Request::Query {
+                    name,
+                    cells,
+                    k,
+                    tenant,
+                });
             }
             REQ_RELOAD => {
                 let has_path = r.u8()?;
@@ -530,6 +608,28 @@ impl Response {
                         w.put_u8(rep.stale as u8);
                     }
                 }
+                // Fourth optional tail: overload-control gauges.
+                match &s.overload {
+                    None => w.put_u8(0),
+                    Some(ov) => {
+                        w.put_u8(1);
+                        w.put_u8(ov.brownout_rung);
+                        w.put_u64_le(ov.brownout_steps_down);
+                        w.put_u64_le(ov.brownout_steps_up);
+                        w.put_u64_le(ov.brownout_answers);
+                        w.put_u64_le(ov.bucket_shed);
+                        w.put_u64_le(ov.displaced);
+                        w.put_u64_le(ov.codel_shed);
+                        w.put_u32_le(ov.tenants.len() as u32);
+                        for t in &ov.tenants {
+                            w.put_str(&t.name);
+                            w.put_u64_le(t.accepted);
+                            w.put_u64_le(t.shed);
+                            w.put_u64_le(t.p50_micros);
+                            w.put_u64_le(t.p99_micros);
+                        }
+                    }
+                }
             }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
@@ -639,6 +739,7 @@ impl Response {
                     live: None,
                     last_reload_micros: None,
                     replication: None,
+                    overload: None,
                 };
                 // Versioned optional tails: a server predating live ingest
                 // ends the message after `cache_misses`, one predating
@@ -671,6 +772,37 @@ impl Response {
                         hedges_fired: r.u64_le()?,
                         hedges_won: r.u64_le()?,
                         stale: r.u8()? != 0,
+                    });
+                }
+                if !r.is_empty() && r.u8()? != 0 {
+                    let brownout_rung = r.u8()?;
+                    let brownout_steps_down = r.u64_le()?;
+                    let brownout_steps_up = r.u64_le()?;
+                    let brownout_answers = r.u64_le()?;
+                    let bucket_shed = r.u64_le()?;
+                    let displaced = r.u64_le()?;
+                    let codel_shed = r.u64_le()?;
+                    // A tenant entry is at least a name prefix + 4 × u64.
+                    let n = r.count_u32(36)?;
+                    let mut tenants = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        tenants.push(TenantStats {
+                            name: r.str_prefixed()?,
+                            accepted: r.u64_le()?,
+                            shed: r.u64_le()?,
+                            p50_micros: r.u64_le()?,
+                            p99_micros: r.u64_le()?,
+                        });
+                    }
+                    s.overload = Some(OverloadStats {
+                        brownout_rung,
+                        brownout_steps_down,
+                        brownout_steps_up,
+                        brownout_answers,
+                        bucket_shed,
+                        displaced,
+                        codel_shed,
+                        tenants,
                     });
                 }
                 return Ok(Response::Stats(s));
@@ -824,6 +956,13 @@ mod tests {
             name: "orders.customer_id".into(),
             cells: vec!["a".into(), "b".into(), String::new()],
             k: 25,
+            tenant: None,
+        });
+        roundtrip_request(Request::Query {
+            name: "orders.customer_id".into(),
+            cells: vec!["a".into()],
+            k: 5,
+            tenant: Some("analytics-team".into()),
         });
         roundtrip_request(Request::Reload { path: None });
         roundtrip_request(Request::Reload {
@@ -893,6 +1032,7 @@ mod tests {
             live: None,
             last_reload_micros: None,
             replication: None,
+            overload: None,
         }));
         roundtrip_response(Response::Stats(StatsReply {
             generation: 1,
@@ -913,6 +1053,7 @@ mod tests {
             }),
             last_reload_micros: Some(2_500),
             replication: None,
+            overload: None,
         }));
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Overloaded,
@@ -979,9 +1120,10 @@ mod tests {
                 hedges_won: 1,
                 stale: true,
             }),
+            overload: None,
         };
         roundtrip_response(Response::Stats(reply.clone()));
-        // A yet-newer server appends a fourth tail: ignored, not rejected.
+        // A yet-newer server appends a fifth tail: ignored, not rejected.
         let mut enc = Response::Stats(reply.clone()).encode();
         enc.extend_from_slice(&[1, 9, 9, 9]);
         match Response::decode(&enc).unwrap() {
@@ -1020,16 +1162,17 @@ mod tests {
             live: None,
             last_reload_micros: None,
             replication: None,
+            overload: None,
         })
         .encode();
         // Strip the presence flags this encoder appends: the old wire image.
-        let old_wire = &full[..full.len() - 3];
+        let old_wire = &full[..full.len() - 4];
         match Response::decode(old_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.live, None),
             other => panic!("expected Stats, got {other:?}"),
         }
         // A middle-generation server: live gauges but no reload timing.
-        let mid_wire = &full[..full.len() - 2];
+        let mid_wire = &full[..full.len() - 3];
         match Response::decode(mid_wire).unwrap() {
             Response::Stats(s) => {
                 assert_eq!(s.last_reload_micros, None);
@@ -1037,10 +1180,16 @@ mod tests {
             }
             other => panic!("expected Stats, got {other:?}"),
         }
-        // A pre-replication server: both earlier tails, no replication.
-        let pre_replication_wire = &full[..full.len() - 1];
+        // A pre-replication server: the two earlier tails, nothing after.
+        let pre_replication_wire = &full[..full.len() - 2];
         match Response::decode(pre_replication_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.replication, None),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // A pre-overload (PR 8) server: three tails, no overload gauges.
+        let pre_overload_wire = &full[..full.len() - 1];
+        match Response::decode(pre_overload_wire).unwrap() {
+            Response::Stats(s) => assert_eq!(s.overload, None),
             other => panic!("expected Stats, got {other:?}"),
         }
     }
@@ -1063,13 +1212,151 @@ mod tests {
             live: Some(crate::LiveStats::default()),
             last_reload_micros: Some(900),
             replication: Some(ReplicationStats::default()),
+            overload: Some(OverloadStats::default()),
         })
         .encode();
         enc.extend_from_slice(&[1, 2, 3, 4]);
         match Response::decode(&enc).unwrap() {
-            Response::Stats(s) => assert!(s.live.is_some()),
+            Response::Stats(s) => {
+                assert!(s.live.is_some());
+                assert!(s.overload.is_some());
+            }
             other => panic!("expected Stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_without_tenant_matches_the_pre_tenant_wire_image() {
+        // An old client's frame ends right after the cells. New servers
+        // must parse it (tenant: None → default tenant), and a new client
+        // that sets no tenant must emit byte-identical frames so old
+        // servers (which reject trailing bytes) keep accepting them.
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        w.put_u8(REQ_QUERY);
+        w.put_str("orders.id");
+        w.put_u32_le(7);
+        w.put_u32_le(2);
+        w.put_str("a");
+        w.put_str("b");
+        let old_wire = w.into_vec();
+        let new_wire = Request::Query {
+            name: "orders.id".into(),
+            cells: vec!["a".into(), "b".into()],
+            k: 7,
+            tenant: None,
+        }
+        .encode();
+        assert_eq!(old_wire, new_wire, "untagged queries keep the old image");
+        match Request::decode(&old_wire).unwrap() {
+            Request::Query { tenant, .. } => assert_eq!(tenant, None),
+            other => panic!("expected Query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_tenant_tail_roundtrips_and_tolerates_future_bytes() {
+        let req = Request::Query {
+            name: "q".into(),
+            cells: vec!["x".into()],
+            k: 3,
+            tenant: Some("team-a".into()),
+        };
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+        // A yet-newer client appends more tail bytes: ignored, not rejected.
+        let mut future = enc.clone();
+        future.extend_from_slice(&[1, 2, 3]);
+        match Request::decode(&future).unwrap() {
+            Request::Query { tenant, .. } => assert_eq!(tenant.as_deref(), Some("team-a")),
+            other => panic!("expected Query, got {other:?}"),
+        }
+        // Truncating inside the tenant string is an error, not a panic;
+        // truncating the whole tail back to the cells boundary parses as
+        // an untagged query.
+        let tail_len = 1 + 4 + "team-a".len();
+        let cells_end = enc.len() - tail_len;
+        for cut in cells_end + 1..enc.len() {
+            assert!(Request::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        match Request::decode(&enc[..cells_end]).unwrap() {
+            Request::Query { tenant, .. } => assert_eq!(tenant, None),
+            other => panic!("expected Query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_stats_tail_roundtrips_with_tenants() {
+        let reply = StatsReply {
+            generation: 2,
+            indexed: 10,
+            health_label: "hnsw".into(),
+            accepted: 100,
+            shed: 9,
+            expired: 0,
+            degraded_answers: 4,
+            queue_capacity: 32,
+            cache_hits: 1,
+            cache_misses: 2,
+            live: None,
+            last_reload_micros: None,
+            replication: None,
+            overload: Some(OverloadStats {
+                brownout_rung: 2,
+                brownout_steps_down: 5,
+                brownout_steps_up: 3,
+                brownout_answers: 40,
+                bucket_shed: 6,
+                displaced: 2,
+                codel_shed: 1,
+                tenants: vec![
+                    TenantStats {
+                        name: "default".into(),
+                        accepted: 60,
+                        shed: 1,
+                        p50_micros: 900,
+                        p99_micros: 4_000,
+                    },
+                    TenantStats {
+                        name: "hot".into(),
+                        accepted: 40,
+                        shed: 8,
+                        p50_micros: 1_200,
+                        p99_micros: 9_000,
+                    },
+                ],
+            }),
+        };
+        roundtrip_response(Response::Stats(reply));
+    }
+
+    #[test]
+    fn hostile_tenant_count_in_overload_tail_is_rejected_before_allocation() {
+        let mut enc = Response::Stats(StatsReply {
+            generation: 1,
+            indexed: 1,
+            health_label: "hnsw".into(),
+            accepted: 0,
+            shed: 0,
+            expired: 0,
+            degraded_answers: 0,
+            queue_capacity: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+            live: None,
+            last_reload_micros: None,
+            replication: None,
+            overload: None,
+        })
+        .encode();
+        // Replace the absent fourth tail with a hostile one: present, all
+        // counters zero, then a tenant count far beyond the bytes present.
+        enc.pop();
+        enc.push(1);
+        enc.push(0); // rung
+        enc.extend_from_slice(&[0u8; 48]); // six u64 counters
+        enc.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile count
+        assert!(Response::decode(&enc).is_err());
     }
 
     #[test]
@@ -1078,6 +1365,7 @@ mod tests {
             name: "n".into(),
             cells: vec!["x".into()],
             k: 3,
+            tenant: None,
         }
         .encode();
         for cut in 0..enc.len() {

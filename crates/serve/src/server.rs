@@ -7,9 +7,12 @@
 //!   can notice shutdown/reload signals between connections);
 //! * one scoped thread per connection reads frames and answers cheap
 //!   requests (ping/stats/reload/shutdown) inline;
-//! * query requests are `try_push`ed into a bounded queue and answered by a
-//!   fixed pool of scoped worker threads — a full queue sheds the request
-//!   immediately with `Overloaded`.
+//! * query requests pass their tenant's token bucket, then a
+//!   deficit-weighted fair queue ([`deepjoin_par::FairQueue`]), and are
+//!   answered by a fixed pool of scoped worker threads — at capacity the
+//!   newest job of the heaviest tenant is shed with `Overloaded`, and a
+//!   CoDel-style controller steps the answer-effort ladder down when
+//!   queue sojourn stays over target.
 //!
 //! Connections use sliced reads (a short socket timeout looped up to the
 //! configured per-frame budget) so a stalled client ties up its thread for
@@ -23,11 +26,15 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use deepjoin_ann::Budget;
-use deepjoin_par::{Bounded, TryPushError};
+use deepjoin_ann::{Budget, Effort};
+use deepjoin_par::{FairPush, FairPushError, FairQueue};
 
+use crate::brownout::{
+    tenant_id, BrownoutConfig, BrownoutController, Pressure, TenantTable, DEFAULT_TENANT,
+};
 use crate::protocol::{
-    self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, WireHit,
+    self, ErrorCode, FrameError, OverloadStats, QueryReply, Request, Response, StatsReply,
+    TenantStats, WireError, WireHit,
 };
 use crate::replica::ReplicationState;
 use crate::sync::SyncExport;
@@ -70,6 +77,16 @@ pub struct ServerConfig {
     /// Lets the chaos suite fake a slow replica without touching the
     /// model. Never set in production.
     pub debug_stall: Option<Duration>,
+    /// Per-tenant admission rate in queries/second. `None` (the default)
+    /// disables token buckets: every query goes straight to the fair
+    /// admission queue.
+    pub tenant_rate: Option<f64>,
+    /// Token-bucket burst capacity (tokens), used only with `tenant_rate`.
+    pub tenant_burst: f64,
+    /// CoDel-style brownout controller settings. `None` (the default)
+    /// disables adaptive shedding and the degradation ladder: the server
+    /// always answers at full effort.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +103,9 @@ impl Default for ServerConfig {
             sync_export: None,
             replication: None,
             debug_stall: None,
+            tenant_rate: None,
+            tenant_burst: 16.0,
+            brownout: None,
         }
     }
 }
@@ -104,6 +124,7 @@ struct Job {
     request: Request,
     budget: Budget,
     deadline: Option<Instant>,
+    tenant: Arc<str>,
     reply: mpsc::Sender<Response>,
 }
 
@@ -113,13 +134,22 @@ struct Counters {
     shed: AtomicU64,
     expired: AtomicU64,
     degraded_answers: AtomicU64,
+    /// Sheds from per-tenant token buckets (subset of `shed`).
+    bucket_shed: AtomicU64,
+    /// Sheds where a full queue displaced the newest job of the heaviest
+    /// tenant to admit a lighter one (subset of `shed`).
+    displaced: AtomicU64,
+    /// Sheds from the CoDel sojourn controller (subset of `shed`).
+    codel_shed: AtomicU64,
+    /// Answers produced at a brownout rung above `Full`.
+    brownout_answers: AtomicU64,
 }
 
 struct Shared {
     current: Mutex<Arc<Snapshot>>,
     generation: AtomicU32,
     loader: Loader,
-    queue: Bounded<Job>,
+    queue: FairQueue<Job>,
     shutdown: AtomicBool,
     conns: AtomicUsize,
     counters: Counters,
@@ -133,6 +163,10 @@ struct Shared {
     sync_export: Option<Arc<SyncExport>>,
     /// Present when this server participates in replication (either role).
     replication: Option<Arc<ReplicationState>>,
+    /// Per-tenant admission buckets and latency/shed accounting.
+    tenants: TenantTable,
+    /// CoDel-style sojourn controller; `None` disables brownout.
+    brownout: Option<BrownoutController>,
     config: ConfigBits,
 }
 
@@ -201,6 +235,36 @@ impl Shared {
                 .replication
                 .as_ref()
                 .map(|r| r.snapshot(snap.generation)),
+            overload: Some(self.overload_stats()),
+        }
+    }
+
+    fn overload_stats(&self) -> OverloadStats {
+        let (brownout_steps_down, brownout_steps_up) = self
+            .brownout
+            .as_ref()
+            .map(|c| c.steps())
+            .unwrap_or((0, 0));
+        OverloadStats {
+            brownout_rung: self.brownout.as_ref().map(|c| c.rung()).unwrap_or(0),
+            brownout_steps_down,
+            brownout_steps_up,
+            brownout_answers: self.counters.brownout_answers.load(Ordering::Relaxed),
+            bucket_shed: self.counters.bucket_shed.load(Ordering::Relaxed),
+            displaced: self.counters.displaced.load(Ordering::Relaxed),
+            codel_shed: self.counters.codel_shed.load(Ordering::Relaxed),
+            tenants: self
+                .tenants
+                .snapshot()
+                .into_iter()
+                .map(|t| TenantStats {
+                    name: t.name,
+                    accepted: t.accepted,
+                    shed: t.shed,
+                    p50_micros: t.p50_micros,
+                    p99_micros: t.p99_micros,
+                })
+                .collect(),
         }
     }
 }
@@ -264,7 +328,7 @@ impl Server {
             current: Mutex::new(snap),
             generation: AtomicU32::new(1),
             loader,
-            queue: Bounded::new(config.max_inflight),
+            queue: FairQueue::new(config.max_inflight),
             shutdown: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
             counters: Counters::default(),
@@ -272,6 +336,8 @@ impl Server {
             last_reload_micros: AtomicU64::new(0),
             sync_export: config.sync_export,
             replication: config.replication,
+            tenants: TenantTable::new(config.tenant_rate.map(|r| (r, config.tenant_burst))),
+            brownout: config.brownout.map(BrownoutController::new),
             config: ConfigBits {
                 deadline: config.deadline,
                 read_timeout: config.read_timeout,
@@ -380,8 +446,27 @@ fn turn_away(mut stream: TcpStream) {
 }
 
 /// Pull queries off the admission queue until it is closed and drained.
+/// Each pop reports the job's queue sojourn to the brownout controller
+/// (CoDel-style: sustained sojourn over target steps the effort rung down
+/// *and* sheds the newest job of the heaviest tenant, so the flooder pays
+/// for the standing queue it built).
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+    while let Some((_tenant, job, enqueued)) = shared.queue.pop() {
+        if let Some(ctl) = &shared.brownout {
+            let sojourn = enqueued.elapsed();
+            if ctl.observe(sojourn, Instant::now()) == Pressure::Shed {
+                if let Some((_vid, victim, _)) = shared.queue.shed_newest_of_heaviest() {
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.codel_shed.fetch_add(1, Ordering::Relaxed);
+                    shared.tenants.note_shed(&victim.tenant);
+                    let _ = victim.reply.send(Response::Error(WireError {
+                        code: ErrorCode::Overloaded,
+                        message: "queue delay over brownout target; shed to recover; retry with backoff"
+                            .to_string(),
+                    }));
+                }
+            }
+        }
         let response = process_job(shared, &job);
         // A dead client (dropped receiver) is not an error.
         let _ = job.reply.send(response);
@@ -389,7 +474,7 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn process_job(shared: &Shared, job: &Job) -> Response {
-    let Request::Query { name, cells, k } = &job.request else {
+    let Request::Query { name, cells, k, .. } = &job.request else {
         return internal_error("non-query job reached the worker pool");
     };
     // A query that sat in the queue past its whole deadline gets a
@@ -411,8 +496,13 @@ fn process_job(shared: &Shared, job: &Job) -> Response {
     // Clamp k to the index size: asking for more neighbors than columns is
     // well-defined, not an error.
     let k = (*k as usize).min(indexed.max(1));
+    // Brownout: stamp the current effort rung onto this query's budget so
+    // the search loops step down (reduced beam → surrogate-only scores →
+    // truncated scans) without any signature change below this point.
+    let rung = shared.brownout.as_ref().map(|c| c.rung()).unwrap_or(0);
+    let budget = job.budget.clone().with_effort(Effort::from_rung(rung));
     let outcome = match catch_unwind(AssertUnwindSafe(|| {
-        snap.model.query(cells, name, k, &job.budget)
+        snap.model.query(cells, name, k, &budget)
     })) {
         Ok(outcome) => outcome,
         Err(_) => {
@@ -434,7 +524,18 @@ fn process_job(shared: &Shared, job: &Job) -> Response {
     if stale {
         health_label.push_str(" (stale)");
     }
-    let degraded = !outcome.complete || outcome.via_fallback || health.is_degraded() || stale;
+    // Like staleness, the brownout rung rides the label + degraded flag:
+    // QueryReply's strict decoder cannot grow a field, and old clients
+    // must keep parsing replies from a browned-out server.
+    if rung > 0 {
+        health_label.push_str(&format!(" (brownout-{rung})"));
+        shared
+            .counters
+            .brownout_answers
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let degraded =
+        !outcome.complete || outcome.via_fallback || health.is_degraded() || stale || rung > 0;
     if degraded {
         shared
             .counters
@@ -632,10 +733,28 @@ fn answer_sync_fetch(shared: &Shared, item: &str, offset: u64, len: u32) -> Resp
     }
 }
 
-/// Admit a query to the worker queue, or shed it. Blocks the connection
-/// thread (not a worker) while waiting for the answer.
+/// Admit a query to the worker queue, or shed it. Admission is layered:
+/// the tenant's token bucket first (flooders shed before touching shared
+/// state), then the deficit-weighted fair queue (at capacity the newest
+/// job of the *heaviest* tenant is displaced, so a flooder's own backlog
+/// absorbs the overload). Blocks the connection thread (not a worker)
+/// while waiting for the answer.
 fn dispatch_query(shared: &Shared, request: Request) -> Response {
     let now = Instant::now();
+    let tenant: Arc<str> = match &request {
+        Request::Query {
+            tenant: Some(t), ..
+        } => Arc::from(t.as_str()),
+        _ => Arc::from(DEFAULT_TENANT),
+    };
+    if !shared.tenants.admit(&tenant, now) {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        shared.counters.bucket_shed.fetch_add(1, Ordering::Relaxed);
+        return Response::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: format!("tenant '{tenant}' over admission rate; retry with backoff"),
+        });
+    }
     let deadline = shared.config.deadline.map(|d| now + d);
     let budget = match deadline {
         Some(d) => Budget::with_deadline(d),
@@ -646,14 +765,28 @@ fn dispatch_query(shared: &Shared, request: Request) -> Response {
         request,
         budget,
         deadline,
+        tenant: tenant.clone(),
         reply: tx,
     };
-    match shared.queue.try_push(job) {
-        Ok(()) => {
+    match shared.queue.try_push(tenant_id(&tenant), job) {
+        Ok(FairPush::Admitted) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.tenants.note_accepted(&tenant);
         }
-        Err(TryPushError::Full(_)) => {
+        Ok(FairPush::Displaced(_vid, victim)) => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.tenants.note_accepted(&tenant);
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.displaced.fetch_add(1, Ordering::Relaxed);
+            shared.tenants.note_shed(&victim.tenant);
+            let _ = victim.reply.send(Response::Error(WireError {
+                code: ErrorCode::Overloaded,
+                message: "displaced by fair admission at capacity; retry with backoff".to_string(),
+            }));
+        }
+        Err(FairPushError::Full(_)) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            shared.tenants.note_shed(&tenant);
             return Response::Error(WireError {
                 code: ErrorCode::Overloaded,
                 message: format!(
@@ -662,7 +795,7 @@ fn dispatch_query(shared: &Shared, request: Request) -> Response {
                 ),
             });
         }
-        Err(TryPushError::Closed(_)) => {
+        Err(FairPushError::Closed(_)) => {
             return Response::Error(WireError {
                 code: ErrorCode::Unavailable,
                 message: "server is draining".to_string(),
@@ -671,10 +804,14 @@ fn dispatch_query(shared: &Shared, request: Request) -> Response {
     }
     // The worker sends exactly one response per admitted job; recv fails
     // only if the worker pool died, which is itself an internal error.
-    match rx.recv() {
+    let resp = match rx.recv() {
         Ok(resp) => resp,
         Err(_) => internal_error("worker pool unavailable"),
-    }
+    };
+    shared
+        .tenants
+        .note_latency(&tenant, now.elapsed().as_micros() as u64);
+    resp
 }
 
 /// Read one frame with the 250 ms socket slices accumulated against the

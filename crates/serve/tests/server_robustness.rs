@@ -13,8 +13,8 @@ use std::time::{Duration, Instant};
 
 use deepjoin_ann::Budget;
 use deepjoin_serve::{
-    Client, ClientError, ErrorCode, Health, Hit, LoadedSnapshot, QueryOutcome, Response,
-    ServeModel, Server, ServerConfig, ServerHandle,
+    BrownoutConfig, Client, ClientError, ErrorCode, Health, Hit, LoadedSnapshot, QueryOutcome,
+    Response, RetryPolicy, ServeModel, Server, ServerConfig, ServerHandle,
 };
 
 /// A model whose answers encode its own identity: hit ids start at
@@ -431,6 +431,176 @@ fn shutdown_request_drains_and_run_returns() {
     );
     join.join().expect("run() must return after drain");
     drop(handle);
+}
+
+// ---- overload layer: per-tenant admission, fair queueing, brownout.
+
+#[test]
+fn token_bucket_sheds_a_flooding_tenant_but_not_a_fresh_one() {
+    let (addr, handle, join) = spawn_server(
+        ServerConfig {
+            tenant_rate: Some(1.0), // 1 query/s refill
+            tenant_burst: 2.0,      // 2 queries of burst headroom
+            ..ServerConfig::default()
+        },
+        toy_loader(Duration::ZERO, 5),
+    );
+    let mut flood = Client::connect(&addr).unwrap();
+    flood.set_tenant(Some("flood"));
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for _ in 0..6 {
+        match flood.query("q", &cells(1), 2) {
+            Ok(_) => ok += 1,
+            Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {
+                assert!(
+                    e.message.contains("rate"),
+                    "bucket shed must name the cause, got: {}",
+                    e.message
+                );
+                shed += 1;
+            }
+            Err(other) => panic!("expected success or Overloaded, got {other}"),
+        }
+    }
+    assert_eq!(ok, 2, "burst capacity admits exactly two back-to-back queries");
+    assert_eq!(shed, 4, "everything past the burst is shed");
+    // A different tenant has its own bucket: not collateral damage.
+    let mut quiet = Client::connect(&addr).unwrap();
+    quiet.set_tenant(Some("quiet"));
+    quiet.query("q", &cells(1), 2).expect("fresh tenant must be admitted");
+    let stats = quiet.stats().unwrap();
+    let overload = stats.overload.expect("new server always reports the overload tail");
+    assert_eq!(overload.bucket_shed, 4);
+    let flood_row = overload
+        .tenants
+        .iter()
+        .find(|t| t.name == "flood")
+        .expect("flood tenant tracked");
+    assert_eq!(flood_row.accepted, 2);
+    assert_eq!(flood_row.shed, 4);
+    stop(&handle, join);
+}
+
+#[test]
+fn a_hot_tenant_cannot_starve_a_light_tenant_at_capacity() {
+    // One slow worker and a short queue: the hog keeps the queue full the
+    // whole time. Fair admission must still serve every one of the light
+    // tenant's (retried) queries, displacing the hog's own backlog instead.
+    let (addr, handle, join) = spawn_server(
+        ServerConfig {
+            workers: 1,
+            max_inflight: 4,
+            ..ServerConfig::default()
+        },
+        toy_loader(Duration::from_millis(25), 5),
+    );
+    let stop_flag = Arc::new(AtomicU32::new(0));
+    let mut hogs = Vec::new();
+    for _ in 0..6 {
+        let addr = addr.clone();
+        let stop_flag = stop_flag.clone();
+        hogs.push(thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.set_tenant(Some("hog"));
+            while stop_flag.load(Ordering::SeqCst) == 0 {
+                match c.query("q", &cells(1), 2) {
+                    Ok(_) => {}
+                    Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {}
+                    Err(ClientError::Server(e)) if e.code == ErrorCode::Unavailable => break,
+                    Err(other) => panic!("hog hit {other}"),
+                }
+            }
+        }));
+    }
+    thread::sleep(Duration::from_millis(50)); // let the hogs saturate
+    let mut quiet = Client::connect(&addr).unwrap();
+    quiet.set_tenant(Some("quiet"));
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(80),
+        jitter_seed: 11,
+    };
+    for i in 0..5 {
+        quiet
+            .query_with_retry("q", &cells(1), 2, &policy)
+            .unwrap_or_else(|e| panic!("light tenant starved on query {i}: {e}"));
+    }
+    stop_flag.store(1, Ordering::SeqCst);
+    for h in hogs {
+        h.join().unwrap();
+    }
+    let stats = quiet.stats().unwrap();
+    let overload = stats.overload.expect("overload tail");
+    let quiet_row = overload
+        .tenants
+        .iter()
+        .find(|t| t.name == "quiet")
+        .expect("quiet tenant tracked");
+    assert_eq!(quiet_row.accepted, 5, "every light-tenant query must land");
+    assert!(
+        quiet_row.p99_micros > 0,
+        "per-tenant latency must be recorded"
+    );
+    stop(&handle, join);
+}
+
+#[test]
+fn sustained_queue_delay_steps_brownout_down_and_flags_answers() {
+    let (addr, handle, join) = spawn_server(
+        ServerConfig {
+            workers: 1,
+            max_inflight: 16,
+            brownout: Some(BrownoutConfig {
+                target: Duration::from_millis(5),
+                window: Duration::from_millis(20),
+            }),
+            ..ServerConfig::default()
+        },
+        toy_loader(Duration::from_millis(30), 5),
+    );
+    // Sustained overload: enough concurrent clients that jobs always queue
+    // well past the 5 ms sojourn target.
+    let browned = Arc::new(AtomicU32::new(0));
+    let mut threads = Vec::new();
+    for _ in 0..6 {
+        let addr = addr.clone();
+        let browned = browned.clone();
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            for _ in 0..4 {
+                match c.query("q", &cells(1), 2) {
+                    Ok(reply) => {
+                        if reply.health_label.contains("(brownout-") {
+                            assert!(
+                                reply.degraded,
+                                "browned-out answers must be flagged degraded"
+                            );
+                            browned.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    Err(ClientError::Server(e)) if e.code == ErrorCode::Overloaded => {}
+                    Err(other) => panic!("expected answer or Overloaded, got {other}"),
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(
+        browned.load(Ordering::SeqCst) >= 1,
+        "sustained sojourn over target must step the effort ladder down"
+    );
+    let mut c = Client::connect(&addr).unwrap();
+    let overload = c.stats().unwrap().overload.expect("overload tail");
+    assert!(
+        overload.brownout_steps_down >= 1,
+        "controller must record the step down"
+    );
+    assert!(overload.brownout_answers >= 1);
+    stop(&handle, join);
 }
 
 #[test]

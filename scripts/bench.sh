@@ -4,11 +4,12 @@
 # its schema.
 #
 # Usage:
-#   scripts/bench.sh [ann|quant|load] [--quick] [extra args...]
+#   scripts/bench.sh [ann|quant|load|serve] [--quick] [extra args...]
 #
 #   scripts/bench.sh                  # ann suite, full corpus -> BENCH_ann.json
 #   scripts/bench.sh quant            # SQ8 suite, full corpus -> BENCH_quant.json
 #   scripts/bench.sh load             # cold-start suite -> BENCH_load.json
+#   scripts/bench.sh serve            # overload suite -> BENCH_serve.json
 #   scripts/bench.sh --quick          # ann suite, tiny corpus (CI smoke)
 #   scripts/bench.sh quant --quick    # SQ8 suite, tiny corpus (CI smoke)
 #
@@ -20,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITE="ann"
-if [[ $# -gt 0 && ("$1" == "ann" || "$1" == "quant" || "$1" == "load") ]]; then
+if [[ $# -gt 0 && ("$1" == "ann" || "$1" == "quant" || "$1" == "load" || "$1" == "serve") ]]; then
     SUITE="$1"
     shift
 fi
@@ -29,6 +30,7 @@ case "$SUITE" in
     ann) BIN="bench_ann"; OUT="BENCH_ann.json" ;;
     quant) BIN="bench_quant"; OUT="BENCH_quant.json" ;;
     load) BIN="bench_load"; OUT="BENCH_load.json" ;;
+    serve) BIN="bench_serve"; OUT="BENCH_serve.json" ;;
 esac
 
 args=("$@")
@@ -58,6 +60,12 @@ if suite == "ann":
         "hnsw_build_s_before": (int, float), "hnsw_build_s_after": (int, float),
         "hnsw_build_speedup": (int, float),
         "recall_at_k_before": (int, float), "recall_at_k_after": (int, float),
+    }
+elif suite == "serve":
+    required = {
+        "schema": str, "mode": str, "corpus": dict, "threads": int,
+        "capacity_qps": (int, float), "scenarios": list, "skew": dict,
+        "server": dict, "unstructured_responses": int,
     }
 elif suite == "load":
     required = {
@@ -94,6 +102,37 @@ if suite == "ann":
           f"build {report['hnsw_build_speedup']:.2f}x, "
           f"recall {report['recall_at_k_before']:.4f} -> "
           f"{report['recall_at_k_after']:.4f})")
+elif suite == "serve":
+    # Every response under overload must be structured: a shed is a typed
+    # Overloaded error, never a dropped connection or a garbled frame.
+    assert report["unstructured_responses"] == 0, report["unstructured_responses"]
+    assert report["capacity_qps"] > 0.0
+    names = [s["name"] for s in report["scenarios"]]
+    assert names == ["open_1x", "open_3x", "open_10x"], names
+    for s in report["scenarios"]:
+        for key in ("offered_qps", "goodput_qps", "shed", "p50_ms", "p99_ms"):
+            assert key in s, f"scenario {s['name']} missing {key}"
+        assert s["unstructured"] == 0, s
+    skew = report["skew"]
+    for key in ("cold_goodput_1x_qps", "cold_goodput_10x_qps", "cold_retention",
+                "hot_shed"):
+        assert key in skew, f"skew missing {key}"
+    srv = report["server"]
+    for key in ("accepted", "shed", "bucket_shed", "displaced", "codel_shed",
+                "brownout_steps_down", "brownout_steps_up", "brownout_answers"):
+        assert key in srv, f"server missing {key}"
+    # Headline fairness criterion, meaningful only at full scale: cold
+    # tenants keep >= 80% of their uncontended goodput under a 10x flood
+    # with an 8:1 hot-tenant skew. The quick corpus still checks the
+    # schema and structured-response invariant.
+    if report["mode"] == "full":
+        assert skew["cold_retention"] >= 0.8, skew["cold_retention"]
+        assert report["scenarios"][2]["shed"] > 0, "10x overload never shed"
+    print(f"{path}: schema OK "
+          f"(capacity {report['capacity_qps']:.0f} qps, "
+          f"10x goodput {report['scenarios'][2]['goodput_qps']:.0f} qps, "
+          f"cold retention {skew['cold_retention']:.2f}, "
+          f"{report['unstructured_responses']} unstructured)")
 elif suite == "load":
     for key in ("cold_s_v1_heap", "cold_s_v2_heap", "cold_s_v2_mmap"):
         assert report[key] > 0.0, f"{key} must be positive"
