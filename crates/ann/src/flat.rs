@@ -89,6 +89,86 @@ pub(crate) fn scan_budgeted(
     }
 }
 
+/// Batched [`scan_budgeted`]: every query in the wave rides one pass over
+/// the store. The loop is rows-outer, queries-inner — each `SCAN_BLOCK` of
+/// vectors is pulled through the cache once and scored against all `nq`
+/// queries while hot, instead of once per query — which is where a wave's
+/// memory-bandwidth amortization comes from. Per `(query, block)` the exact
+/// same kernel call and selector pushes run as in the single-query scan, so
+/// with an unexpired budget results are bit-identical to `nq` sequential
+/// scans. One budget governs the whole wave (the caller passes the min of
+/// its members' deadlines); expiry stops all queries at the same block
+/// boundary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_budgeted_batch(
+    data: &[f32],
+    dim: usize,
+    metric: Metric,
+    unit_norm: bool,
+    queries: &[f32],
+    k: usize,
+    budget: &Budget,
+    deleted: Option<&TombSet>,
+) -> Vec<BudgetedSearch> {
+    assert_eq!(queries.len() % dim, 0, "row-major shape mismatch");
+    let nq = queries.len() / dim;
+    if nq == 0 {
+        return Vec::new();
+    }
+    let full_n = data.len() / dim;
+    let n = if budget.effort() >= Effort::Truncated {
+        full_n.min(TRUNCATED_SCAN_ROWS)
+    } else {
+        full_n
+    };
+    let limited = budget.is_limited();
+    let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+    let mut scores = [0f32; SCAN_BLOCK];
+    let mut base = 0usize;
+    let mut complete = n == full_n;
+    while base < n {
+        if limited && budget.expired() {
+            complete = false;
+            break;
+        }
+        let rows = SCAN_BLOCK.min(n - base);
+        let block = &data[base * dim..(base + rows) * dim];
+        for (qi, top) in tops.iter_mut().enumerate() {
+            let query = &queries[qi * dim..(qi + 1) * dim];
+            metric.surrogate_block(query, block, unit_norm, &mut scores[..rows]);
+            match deleted {
+                Some(tombs) if !tombs.is_empty() => {
+                    for (i, &s) in scores[..rows].iter().enumerate() {
+                        let id = (base + i) as u32;
+                        if !tombs.contains(id) {
+                            top.push(id, s);
+                        }
+                    }
+                }
+                _ => {
+                    for (i, &s) in scores[..rows].iter().enumerate() {
+                        top.push((base + i) as u32, s);
+                    }
+                }
+            }
+        }
+        base += rows;
+    }
+    tops.into_iter()
+        .map(|top| {
+            let mut hits = top.into_sorted();
+            for h in &mut hits {
+                h.distance = metric.distance_from_surrogate(h.distance, unit_norm);
+            }
+            BudgetedSearch {
+                hits,
+                complete,
+                visited: base,
+            }
+        })
+        .collect()
+}
+
 /// Linear-scan exact kNN.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlatIndex {
@@ -234,6 +314,39 @@ impl FlatIndex {
             self.metric,
             self.unit_norm,
             query,
+            k,
+            budget,
+            deleted,
+        )
+    }
+
+    /// Batched [`Self::search_budgeted_filtered`]: the whole wave of
+    /// row-major queries answered in one pass over the store (see
+    /// [`scan_budgeted_batch`]). Results per query are bit-identical to the
+    /// single-query path under the same (unexpired) budget. With an SQ8
+    /// plane attached the candidate pass already runs over 1-byte codes, so
+    /// the wave loops the existing two-stage scan per query — still one
+    /// call site, identical answers.
+    pub fn search_budgeted_batch_filtered(
+        &self,
+        queries: &[f32],
+        k: usize,
+        budget: &Budget,
+        deleted: Option<&TombSet>,
+    ) -> Vec<BudgetedSearch> {
+        assert_eq!(queries.len() % self.dim, 0, "row-major shape mismatch");
+        if self.sq8.is_some() {
+            return queries
+                .chunks_exact(self.dim)
+                .map(|q| self.search_budgeted_filtered(q, k, budget, deleted))
+                .collect();
+        }
+        scan_budgeted_batch(
+            &self.data,
+            self.dim,
+            self.metric,
+            self.unit_norm,
+            queries,
             k,
             budget,
             deleted,
@@ -533,6 +646,57 @@ mod tests {
             Some(&TombSet::new()),
         );
         assert_eq!(none.hits, empty.hits);
+    }
+
+    #[test]
+    fn budgeted_batch_scan_is_bit_identical_to_sequential_scans() {
+        let mut idx = FlatIndex::new(4, Metric::L2);
+        let data: Vec<f32> = (0..(SCAN_BLOCK * 2 + 19) * 4)
+            .map(|i| (i as f32 * 0.13).sin())
+            .collect();
+        idx.add_batch(&data);
+        let queries: Vec<f32> = (0..6 * 4).map(|i| (i as f32 * 0.29).cos()).collect();
+        let tombs: TombSet = [3u32, 77, 512].into_iter().collect();
+        for deleted in [None, Some(&tombs)] {
+            let seq: Vec<BudgetedSearch> = queries
+                .chunks_exact(4)
+                .map(|q| idx.search_budgeted_filtered(q, 5, &Budget::unlimited(), deleted))
+                .collect();
+            let wave =
+                idx.search_budgeted_batch_filtered(&queries, 5, &Budget::unlimited(), deleted);
+            assert_eq!(seq, wave);
+        }
+        // SQ8 two-stage path keeps the same contract.
+        idx.quantize_sq8();
+        let seq: Vec<BudgetedSearch> = queries
+            .chunks_exact(4)
+            .map(|q| idx.search_budgeted_filtered(q, 5, &Budget::unlimited(), None))
+            .collect();
+        let wave = idx.search_budgeted_batch_filtered(&queries, 5, &Budget::unlimited(), None);
+        assert_eq!(seq, wave);
+        // Empty wave: no queries, no results.
+        assert!(idx
+            .search_budgeted_batch_filtered(&[], 5, &Budget::unlimited(), None)
+            .is_empty());
+    }
+
+    #[test]
+    fn budgeted_batch_scan_expiry_stops_every_member_at_one_boundary() {
+        let mut idx = FlatIndex::new(2, Metric::L2);
+        for i in 0..SCAN_BLOCK * 4 {
+            idx.add(&[i as f32, 0.0]);
+        }
+        let queries = vec![0.0f32, 0.0, 1.0, 0.0, 2.0, 0.0];
+        let expired = Budget::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let wave = idx.search_budgeted_batch_filtered(&queries, 5, &expired, None);
+        assert_eq!(wave.len(), 3);
+        let visited = wave[0].visited;
+        for r in &wave {
+            assert!(!r.complete, "expired wave must report partial scans");
+            assert_eq!(r.visited, visited, "one block boundary for the wave");
+        }
     }
 
     #[test]

@@ -64,6 +64,74 @@ where
     }
 }
 
+/// Batched [`search_segments`]: a whole wave of `nq` queries answered with
+/// one visit to each segment. `f` returns one [`BudgetedSearch`] per query
+/// (global ids, same ordering contract as the single-query variant) — so a
+/// segment's rows are pulled through the cache once per wave instead of
+/// once per query (see `flat::scan_budgeted_batch`). Per-query merges run
+/// through the same bounded [`TopK`] in segment order, so each query's
+/// result is bit-identical to calling [`search_segments`] for it alone.
+pub fn search_segments_batch<S, F>(
+    pool: &Pool,
+    segments: &[S],
+    nq: usize,
+    k: usize,
+    f: F,
+) -> Vec<BudgetedSearch>
+where
+    S: Sync,
+    F: Fn(&S) -> Vec<BudgetedSearch> + Sync,
+{
+    // One per-query partial per chunk of segments, in chunk order.
+    let partials: Vec<Vec<BudgetedSearch>> = pool.map(segments.len(), 1, |range| {
+        let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+        let mut complete = vec![true; nq];
+        let mut visited = vec![0usize; nq];
+        for seg in &segments[range] {
+            let per_query = f(seg);
+            assert_eq!(per_query.len(), nq, "segment answered a different wave size");
+            for (qi, r) in per_query.into_iter().enumerate() {
+                complete[qi] &= r.complete;
+                visited[qi] += r.visited;
+                for n in r.hits {
+                    tops[qi].push(n.id, n.distance);
+                }
+            }
+        }
+        tops.into_iter()
+            .zip(complete)
+            .zip(visited)
+            .map(|((top, complete), visited)| BudgetedSearch {
+                hits: top.into_sorted(),
+                complete,
+                visited,
+            })
+            .collect()
+    });
+
+    let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+    let mut complete = vec![true; nq];
+    let mut visited = vec![0usize; nq];
+    for chunk in partials {
+        for (qi, p) in chunk.into_iter().enumerate() {
+            complete[qi] &= p.complete;
+            visited[qi] += p.visited;
+            for n in p.hits {
+                tops[qi].push(n.id, n.distance);
+            }
+        }
+    }
+    tops.into_iter()
+        .zip(complete)
+        .zip(visited)
+        .map(|((top, complete), visited)| BudgetedSearch {
+            hits: top.into_sorted(),
+            complete,
+            visited,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +207,34 @@ mod tests {
         assert!(r.hits.is_empty());
         assert!(r.complete);
         assert_eq!(r.visited, 0);
+    }
+
+    #[test]
+    fn batched_scatter_gather_matches_per_query_single_searches() {
+        let (segs, _) = build_segments(7, 50, 6);
+        let budget = Budget::unlimited();
+        let queries: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..6).map(|d| ((i * 6 + d) as f32 * 0.31).sin()).collect())
+            .collect();
+        let flat: Vec<f32> = queries.iter().flatten().copied().collect();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let wave = search_segments_batch(&pool, &segs, queries.len(), 10, |seg| {
+                let mut rs = seg.index.search_budgeted_batch_filtered(&flat, 10, &budget, None);
+                for r in &mut rs {
+                    for n in &mut r.hits {
+                        n.id += seg.base;
+                    }
+                }
+                rs
+            });
+            for (q, got) in queries.iter().zip(&wave) {
+                let single = search_all(&pool, &segs, q, 10);
+                assert_eq!(&single, got, "threads={threads}");
+            }
+        }
+        // An empty wave over real segments yields no results.
+        assert!(search_segments_batch(&Pool::global(), &segs, 0, 10, |_| Vec::new()).is_empty());
     }
 
     #[test]

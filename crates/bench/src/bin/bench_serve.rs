@@ -13,9 +13,16 @@
 //! * **hot-tenant skew (8:1)** — one hot tenant offers 8 parts of the
 //!   load, four cold tenants one part each, at 1x and again at 10x. The
 //!   fairness criterion: cold-tenant goodput at 10x retains >= 80% of its
-//!   1x value (the hot tenant's own backlog absorbs the overload).
+//!   1x value (the hot tenant's own backlog absorbs the overload);
+//! * **pipelined depth sweep (DESIGN.md §17)** — closed-loop clients send
+//!   windows of tagged queries with D in {1, 4, 16, 64} in flight over a
+//!   flat-index server, so the worker packs concurrent queries into waves
+//!   and the batched scan pulls each row block through the cache once per
+//!   wave. Depth 1 is the single-query baseline; the report records
+//!   goodput and the wave-size p50 per depth, and the sweep verifies the
+//!   pipelined answers are bit-identical to single-query answers first.
 //!
-//! Emits a JSON report (schema `bench_serve/v1`, default
+//! Emits a JSON report (schema `bench_serve/v2`, default
 //! `BENCH_serve.json`). Run via `scripts/bench.sh serve`.
 //!
 //! ```text
@@ -28,10 +35,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use deepjoin::model::DeepJoin;
-use deepjoin_ann::Budget;
+use deepjoin_ann::{Budget, FlatIndex, Metric, VectorIndex};
 use deepjoin_serve::{
     BrownoutConfig, Client, ClientError, ErrorCode, Health, Hit, LoadedSnapshot, QueryOutcome,
-    ServeModel, Server, ServerConfig, ServerHandle,
+    QuerySpec, ServeModel, Server, ServerConfig, ServerHandle, WaveQuery,
 };
 
 struct Scenario {
@@ -43,6 +50,11 @@ struct Scenario {
     probe_conns: usize,
     probe_secs: f64,
     run_secs: f64,
+    /// Flat-index corpus for the pipelined sweep: big enough that a
+    /// single-query scan is memory-bound (the plane exceeds last-level
+    /// cache), so pulling each row block once per *wave* instead of once
+    /// per query is a real win, not a cache-resident no-op.
+    flat_n: usize,
 }
 
 impl Scenario {
@@ -62,6 +74,7 @@ impl Scenario {
                 probe_conns: 4,
                 probe_secs: 1.0,
                 run_secs: 2.0,
+                flat_n: 120_000,
             }
         } else {
             Self {
@@ -73,6 +86,7 @@ impl Scenario {
                 probe_conns: 4,
                 probe_secs: 3.0,
                 run_secs: 5.0,
+                flat_n: 240_000,
             }
         }
     }
@@ -352,6 +366,213 @@ fn spawn_server(sc: &Scenario, model: Arc<DeepJoin>) -> (String, ServerHandle, s
     (addr, handle, join)
 }
 
+/// A [`ServeModel`] over a raw flat index, for the pipelined sweep: the
+/// single-query path runs one budgeted scan per query, and the wave path
+/// runs ONE rows-outer batched scan for the whole wave — each vector
+/// block is pulled through the cache once per wave instead of once per
+/// query, which is exactly the amortization the sweep measures. The ann
+/// crate pins that both paths return bit-identical hits.
+struct FlatBenchModel {
+    index: FlatIndex,
+    dim: usize,
+}
+
+impl ServeModel for FlatBenchModel {
+    fn indexed_len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn health(&self) -> Health {
+        Health::Hnsw
+    }
+
+    fn query(&self, _cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome {
+        let q = query_vector(name, self.dim);
+        let r = self.index.search_budgeted(&q, k, budget);
+        QueryOutcome {
+            hits: r
+                .hits
+                .into_iter()
+                .map(|n| Hit {
+                    id: n.id,
+                    score: n.distance,
+                    label: format!("col#{}", n.id),
+                })
+                .collect(),
+            complete: r.complete,
+            visited: r.visited,
+            via_fallback: false,
+        }
+    }
+
+    fn query_batch(&self, wave: &[WaveQuery<'_>], budget: &Budget) -> Vec<QueryOutcome> {
+        // Mixed-k waves fall back to the per-query loop; the sweep always
+        // sends a uniform k so the batched scan is what gets measured.
+        let Some(k) = wave.first().map(|w| w.k) else {
+            return Vec::new();
+        };
+        if wave.iter().any(|w| w.k != k) {
+            return wave
+                .iter()
+                .map(|w| self.query(w.cells, w.name, w.k, budget))
+                .collect();
+        }
+        let mut flat = Vec::with_capacity(wave.len() * self.dim);
+        for w in wave {
+            flat.extend_from_slice(&query_vector(w.name, self.dim));
+        }
+        self.index
+            .search_budgeted_batch_filtered(&flat, k, budget, None)
+            .into_iter()
+            .map(|r| QueryOutcome {
+                hits: r
+                    .hits
+                    .into_iter()
+                    .map(|n| Hit {
+                        id: n.id,
+                        score: n.distance,
+                        label: format!("col#{}", n.id),
+                    })
+                    .collect(),
+                complete: r.complete,
+                visited: r.visited,
+                via_fallback: false,
+            })
+            .collect()
+    }
+}
+
+fn flat_loader(n: usize, dim: usize, seed: u64) -> deepjoin_serve::Loader {
+    Box::new(move |_path| {
+        let mut index = FlatIndex::new(dim, Metric::L2);
+        let mut state = seed | 1;
+        let mut row = vec![0.0f32; dim];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *v = ((state % 2000) as f32) / 1000.0 - 1.0;
+            }
+            index.add(&row);
+        }
+        Ok(LoadedSnapshot {
+            model: Box::new(FlatBenchModel { index, dim }),
+            warnings: vec![],
+        })
+    })
+}
+
+/// Pin that pipelined answers are bit-identical to single-query answers
+/// on the sweep server before any throughput is measured.
+fn verify_pipelined_bit_identity(addr: &str, k: usize) -> bool {
+    let cells = [String::new()];
+    let names: Vec<String> = (0..32).map(|i| format!("verify-{i}")).collect();
+    let mut c = Client::connect(addr).expect("verify connect");
+    let singles: Vec<_> = names
+        .iter()
+        .map(|n| c.query(n, &cells, k as u32).expect("verify single"))
+        .collect();
+    let specs: Vec<QuerySpec<'_>> = names
+        .iter()
+        .map(|n| QuerySpec {
+            name: n,
+            cells: &cells,
+            k: k as u32,
+        })
+        .collect();
+    let piped = c.query_pipelined(&specs, 16).expect("verify pipelined");
+    piped.iter().zip(&singles).all(|(p, s)| {
+        p.as_ref().map(|r| r.hits == s.hits).unwrap_or(false)
+    })
+}
+
+struct PipelinedPoint {
+    depth: usize,
+    goodput_qps: f64,
+    wave_size_p50: usize,
+    shed: u64,
+}
+
+/// Closed loop at one pipeline depth: `conns` connections each keep a
+/// window of `depth` tagged queries in flight. Depth 1 degenerates to
+/// the single-query baseline over the same connections and server.
+fn pipelined_point(
+    addr: &str,
+    handle: &ServerHandle,
+    depth: usize,
+    conns: usize,
+    secs: f64,
+    k: usize,
+) -> PipelinedPoint {
+    let before = handle.wave_size_histogram();
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    std::thread::scope(|s| {
+        for t in 0..conns {
+            let ok = &ok;
+            let shed = &shed;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("pipelined connect");
+                let cells = [String::new()];
+                let mut i = 0u64;
+                while Instant::now() < deadline {
+                    // Unique names per window: no accidental dedup, every
+                    // member is real encoder + search work.
+                    let names: Vec<String> =
+                        (0..depth).map(|j| format!("p{t}-{i}-{j}")).collect();
+                    i += 1;
+                    let specs: Vec<QuerySpec<'_>> = names
+                        .iter()
+                        .map(|n| QuerySpec {
+                            name: n,
+                            cells: &cells,
+                            k: k as u32,
+                        })
+                        .collect();
+                    match c.query_pipelined(&specs, depth) {
+                        Ok(results) => {
+                            for r in &results {
+                                if r.is_ok() {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+    });
+    let after = handle.wave_size_histogram();
+    // p50 wave size over the waves formed during THIS point (histogram
+    // delta): slot i counts waves of i+1 members.
+    let delta: Vec<u64> = after
+        .iter()
+        .zip(before.iter().chain(std::iter::repeat(&0)))
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect();
+    let total: u64 = delta.iter().sum();
+    let mut wave_size_p50 = 1;
+    let mut cum = 0u64;
+    for (i, count) in delta.iter().enumerate() {
+        cum += count;
+        if cum * 2 >= total.max(1) {
+            wave_size_p50 = i + 1;
+            break;
+        }
+    }
+    PipelinedPoint {
+        depth,
+        goodput_qps: ok.load(Ordering::Relaxed) as f64 / secs,
+        wave_size_p50,
+        shed: shed.load(Ordering::Relaxed),
+    }
+}
+
 fn scenario_json(name: &str, offered: f64, secs: f64, r: &RunResult) -> String {
     format!(
         concat!(
@@ -449,17 +670,96 @@ fn main() {
     // Unblock the accept loop promptly (it polls every 25 ms).
     join.join().expect("server join");
 
+    // Pipelined depth sweep over fresh flat-index servers: waves form
+    // from concurrent tagged queries and the batched scan amortizes row
+    // blocks across the wave. The baseline is the SAME corpus behind a
+    // wave_width=1 server — the pre-wave one-pop-one-search loop — so the
+    // speedup isolates what wave formation + the batched scan buy.
+    let spawn_flat = |wave_width: usize| {
+        let server = Server::start(
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: sc.workers,
+                max_inflight: 1024,
+                wave_width,
+                ..ServerConfig::default()
+            },
+            flat_loader(sc.flat_n, sc.dim, 0x5E12),
+        )
+        .expect("flat server start");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("flat server run"));
+        (addr, handle, join)
+    };
+
+    let (base_addr, base_handle, base_join) = spawn_flat(1);
+    let single_goodput = {
+        let p = pipelined_point(&base_addr, &base_handle, 1, 8, sc.run_secs, sc.k);
+        eprintln!(
+            "single-query baseline (wave_width 1): goodput {:.0} qps",
+            p.goodput_qps
+        );
+        p.goodput_qps.max(1.0)
+    };
+    base_handle.shutdown();
+    base_join.join().expect("baseline server join");
+
+    let (flat_addr, flat_handle, flat_join) = spawn_flat(64);
+    let bit_identical = verify_pipelined_bit_identity(&flat_addr, sc.k);
+    assert!(
+        bit_identical,
+        "pipelined answers must be bit-identical to single-query answers"
+    );
+    let depths = [1usize, 4, 16, 64];
+    let mut points = Vec::new();
+    for &depth in &depths {
+        let p = pipelined_point(&flat_addr, &flat_handle, depth, 8, sc.run_secs, sc.k);
+        eprintln!(
+            "pipelined depth {depth}: goodput {:.0} qps, wave p50 {}, {} shed",
+            p.goodput_qps, p.wave_size_p50, p.shed
+        );
+        points.push(p);
+    }
+    flat_handle.shutdown();
+    flat_join.join().expect("flat server join");
+    let batched = points.last().expect("sweep points");
+    let batched_goodput = batched.goodput_qps;
+    let wave_size_p50 = batched.wave_size_p50;
+    eprintln!(
+        "pipelined speedup at depth {}: {:.2}x over the single-query baseline",
+        batched.depth,
+        batched_goodput / single_goodput
+    );
+
+    let point_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"depth\": {}, \"goodput_qps\": {:.1}, \"wave_size_p50\": {}, \"shed\": {} }}",
+                p.depth, p.goodput_qps, p.wave_size_p50, p.shed
+            )
+        })
+        .collect();
     let mut json = String::new();
     let _ = write!(
         json,
         concat!(
             "{{\n",
-            "  \"schema\": \"bench_serve/v1\",\n",
+            "  \"schema\": \"bench_serve/v2\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"corpus\": {{ \"n\": {n}, \"dim\": {dim}, \"nq\": {nq}, \"k\": {k} }},\n",
             "  \"threads\": {workers},\n",
             "  \"capacity_qps\": {cap:.1},\n",
             "  \"scenarios\": [\n    {s0},\n    {s1},\n    {s2}\n  ],\n",
+            "  \"pipelined\": {{\n",
+            "    \"points\": [\n      {p0},\n      {p1},\n      {p2},\n      {p3}\n    ],\n",
+            "    \"single_goodput_qps\": {sgp:.1},\n",
+            "    \"batched_goodput\": {bgp:.1},\n",
+            "    \"batched_speedup\": {bsp:.3},\n",
+            "    \"wave_size_p50\": {wp50},\n",
+            "    \"bit_identical\": {bitid}\n",
+            "  }},\n",
             "  \"skew\": {{\n",
             "    \"hot_tenants\": 1, \"cold_tenants\": 4, \"ratio\": 8,\n",
             "    \"cold_goodput_1x_qps\": {c1:.1},\n",
@@ -486,6 +786,15 @@ fn main() {
         s0 = scenarios[0],
         s1 = scenarios[1],
         s2 = scenarios[2],
+        p0 = point_json[0],
+        p1 = point_json[1],
+        p2 = point_json[2],
+        p3 = point_json[3],
+        sgp = single_goodput,
+        bgp = batched_goodput,
+        bsp = batched_goodput / single_goodput,
+        wp50 = wave_size_p50,
+        bitid = bit_identical,
         c1 = cold_1x,
         c10 = cold_10x,
         ret = retention,

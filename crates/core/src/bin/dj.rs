@@ -9,8 +9,8 @@
 //! dj serve    <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N]
 //!             [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N]
 //!             [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B]
-//!             [--tenant-rate QPS] [--tenant-burst N] [--brownout-target-ms T] [--brownout-window-ms W]
-//! dj query    <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K] [--tenant NAME]
+//!             [--tenant-rate QPS] [--tenant-burst N] [--brownout-target-ms T] [--brownout-window-ms W] [--wave-width N]
+//! dj query    <addr>[,<addr>...] --cells a,b,c [--cells ...] [--file F] [--depth D] [--name NAME] [--k K] [--tenant NAME]
 //! dj ctl      <addr> ping|stats|reload [path]|shutdown
 //! dj ctl      <addr> add-table <title> --columns "name:a|b|c;name2:x|y"
 //! dj ctl      <addr> drop-table <title>
@@ -47,6 +47,16 @@
 //! `dj serve --query-cache N` keeps an LRU of the last N query embeddings
 //! so repeated probes skip the encoder forward pass (hit/miss counters in
 //! `dj ctl stats`).
+//!
+//! `dj query` accepts multiple queries — repeat `--cells`, or pass
+//! `--file F` with one comma-separated query per line — and pipelines
+//! them over ONE connection with up to `--depth` requests in flight
+//! (DESIGN.md §17). The server packs concurrent queries into SIMD waves
+//! and may answer out of order; the client re-correlates by request id,
+//! so results always print in input order. Identical queries in one wave
+//! are answered once (`wave dedup hits` in `dj ctl stats`). On the
+//! server, `--wave-width N` caps how many admitted queries one worker
+//! drains into a single batched wave (default 16).
 //!
 //! `dj serve` runs the TCP query server (DESIGN.md §11): admission control
 //! sheds bursts past `--max-inflight` with structured `Overloaded` errors,
@@ -123,7 +133,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N] [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B] [--tenant-rate QPS] [--tenant-burst N] [--brownout-target-ms T] [--brownout-window-ms W]\n  dj query <addr>[,<addr>...] --cells a,b,c [--name NAME] [--k K] [--tenant NAME]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
+        "usage:\n  dj generate <out.lake> [--tables N] [--profile webtable|wikitable] [--seed S]\n  dj train <in.lake> <out.model> [--join equi|semantic] [--tau T] [--variant mp|distil] [--epochs E] [--threads N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]\n  dj search <in.lake> <in.model> [--k K] [--query-index I]\n  dj build <in.model> <out.model> --quantize sq8\n  dj serve <in.lake> <in.model> [--addr HOST:PORT] [--threads N] [--max-inflight M] [--deadline-ms D] [--query-cache N] [--live DIR] [--flush-rows N] [--compact-secs S] [--compact-min-segs N] [--replica-of HOST:PORT] [--sync-interval-ms MS] [--stale-after-ms MS] [--sync-chunk-bytes B] [--tenant-rate QPS] [--tenant-burst N] [--brownout-target-ms T] [--brownout-window-ms W] [--wave-width N]\n  dj query <addr>[,<addr>...] --cells a,b,c [--cells ...] [--file F] [--depth D] [--name NAME] [--k K] [--tenant NAME]\n  dj ctl <addr> ping|stats|reload [path]|shutdown\n  dj ctl <addr> add-table <title> --columns \"name:a|b|c;name2:x|y\"\n  dj ctl <addr> drop-table <title>\n  dj train-csv <csv-dir> <out.model> [--join equi|semantic] [--epochs E] [--threads N]\n  dj search-csv <csv-dir> <in.model> --query <file.csv> [--column NAME] [--k K]\n  dj info <in.model>"
     );
     ExitCode::from(2)
 }
@@ -500,6 +510,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     // an actionable message instead of a server that admits nothing.
     let tenant_rate = parse_positive(args, "--tenant-rate", "no per-tenant rate limit")?;
     let tenant_burst = parse_positive(args, "--tenant-burst", "16")?;
+    let wave_width = parse_positive(args, "--wave-width", "16")?.unwrap_or(16);
     if tenant_burst.is_some() && tenant_rate.is_none() {
         return Err(
             "--tenant-burst sizes the per-tenant token bucket, which only exists with \
@@ -583,6 +594,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 debug_stall,
                 tenant_rate: tenant_rate.map(|r| r as f64),
                 tenant_burst: tenant_burst.unwrap_or(16) as f64,
+                wave_width,
                 brownout,
                 ..ServerConfig::default()
             },
@@ -665,6 +677,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
             debug_stall,
             tenant_rate: tenant_rate.map(|r| r as f64),
             tenant_burst: tenant_burst.unwrap_or(16) as f64,
+            wave_width,
             brownout,
             ..ServerConfig::default()
         },
@@ -712,33 +725,98 @@ fn parse_ctl_columns(spec: &str) -> Result<Vec<(String, Vec<String>)>, String> {
     Ok(columns)
 }
 
-/// Split `--cells a,b,c`; a missing flag reads newline-separated cells
-/// from stdin so scripts can pipe a column in.
-fn query_cells(args: &[String]) -> Result<Vec<String>, Box<dyn std::error::Error>> {
-    if let Some(joined) = flag(args, "--cells") {
-        return Ok(joined.split(',').map(str::to_string).collect());
+/// Collect the queries for `dj query`, one cell list each. Sources, in
+/// priority order: every repeated `--cells a,b,c` occurrence is one query;
+/// `--file F` adds one query per non-empty line (cells comma-separated);
+/// with neither, stdin supplies a single query of one cell per line.
+fn query_cell_sets(args: &[String]) -> Result<Vec<Vec<String>>, Box<dyn std::error::Error>> {
+    let mut sets: Vec<Vec<String>> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--cells" {
+            let joined = args
+                .get(i + 1)
+                .ok_or("--cells expects a comma-separated cell list")?;
+            sets.push(joined.split(',').map(str::to_string).collect());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(path) = flag(args, "--file") {
+        let body = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read --file {path}: {e}"))?;
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            sets.push(line.split(',').map(str::to_string).collect());
+        }
+        if sets.is_empty() {
+            return Err(format!("--file {path} holds no queries (one per line)").into());
+        }
+    }
+    if !sets.is_empty() {
+        return Ok(sets);
     }
     use std::io::Read as _;
     let mut buf = String::new();
     std::io::stdin().read_to_string(&mut buf)?;
     let cells: Vec<String> = buf.lines().map(str::to_string).collect();
     if cells.is_empty() {
-        return Err("no query cells: pass --cells a,b,c or pipe one cell per line".into());
+        return Err(
+            "no query cells: pass --cells a,b,c (repeatable), --file F, or pipe one cell per line"
+                .into(),
+        );
     }
-    Ok(cells)
+    Ok(vec![cells])
+}
+
+fn print_reply(reply: &deepjoin_serve::QueryReply) {
+    println!(
+        "generation {} | health {} | {}{}",
+        reply.generation,
+        reply.health_label,
+        if reply.degraded { "DEGRADED" } else { "ok" },
+        if reply.complete { "" } else { " (partial: deadline hit)" },
+    );
+    for (rank, hit) in reply.hits.iter().enumerate() {
+        println!("#{rank:<3} col#{:<6} {:<30} dist {:.4}", hit.id, hit.label, hit.score);
+    }
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
     let addr = args.first().ok_or("missing <addr> (e.g. 127.0.0.1:7878)")?;
     let name = flag(args, "--name").unwrap_or_else(|| "query".to_string());
     let k = parse_positive(args, "--k", "10")?.unwrap_or(10);
+    let depth = parse_positive(args, "--depth", "16 requests in flight")?.unwrap_or(16);
     let tenant = flag(args, "--tenant");
-    let cells = query_cells(args)?;
+    let cell_sets = query_cell_sets(args)?;
+    let multi = cell_sets.len() > 1;
+    // Multiple queries ride ONE pipelined connection with up to --depth
+    // requests in flight; responses may return out of order and are
+    // re-correlated, so results always print in input order.
+    let names: Vec<String> = if multi {
+        (0..cell_sets.len()).map(|i| format!("{name}[{i}]")).collect()
+    } else {
+        vec![name.clone()]
+    };
+    let specs: Vec<deepjoin_serve::QuerySpec<'_>> = cell_sets
+        .iter()
+        .zip(&names)
+        .map(|(cells, name)| deepjoin_serve::QuerySpec {
+            name,
+            cells,
+            k: k as u32,
+        })
+        .collect();
     // A comma-separated address list enables failover + hedging: health
     // probes rank the endpoints (non-stale first, then freshest
     // generation), breakers skip dead ones, and a hedge fires a second
-    // attempt when the first runs past the observed p99.
-    let reply = if addr.contains(',') {
+    // attempt when the first runs past the observed p99. Pipelined sets
+    // skip hedging but keep ranked failover.
+    let results: Vec<deepjoin_serve::QueryResult> = if addr.contains(',') {
         let endpoints: Vec<String> = addr
             .split(',')
             .filter(|a| !a.is_empty())
@@ -751,29 +829,49 @@ fn cmd_query(args: &[String]) -> CliResult {
             endpoints,
             ..deepjoin_serve::ClusterConfig::default()
         })?;
-        let routed = client.query(&name, &cells, k as u32)?;
-        let (fired, won) = client.hedge_counters();
-        eprintln!(
-            "answered by {}{}{}",
-            routed.endpoint,
-            if routed.hedged { " (hedged)" } else { "" },
-            if fired > 0 { format!(" | hedges fired {fired}, won {won}") } else { String::new() },
-        );
-        routed.reply
+        if multi {
+            let (results, endpoint) = client.query_many(&specs, depth)?;
+            eprintln!("answered by {endpoint} (pipelined, depth {depth})");
+            results
+        } else {
+            let routed = client.query(&names[0], &cell_sets[0], k as u32)?;
+            let (fired, won) = client.hedge_counters();
+            eprintln!(
+                "answered by {}{}{}",
+                routed.endpoint,
+                if routed.hedged { " (hedged)" } else { "" },
+                if fired > 0 {
+                    format!(" | hedges fired {fired}, won {won}")
+                } else {
+                    String::new()
+                },
+            );
+            vec![Ok(routed.reply)]
+        }
     } else {
         let mut client = Client::connect(addr)?;
         client.set_tenant(tenant.as_deref());
-        client.query(&name, &cells, k as u32)?
+        if multi {
+            client.query_pipelined(&specs, depth)?
+        } else {
+            vec![Ok(client.query(&names[0], &cell_sets[0], k as u32)?)]
+        }
     };
-    println!(
-        "generation {} | health {} | {}{}",
-        reply.generation,
-        reply.health_label,
-        if reply.degraded { "DEGRADED" } else { "ok" },
-        if reply.complete { "" } else { " (partial: deadline hit)" },
-    );
-    for (rank, hit) in reply.hits.iter().enumerate() {
-        println!("#{rank:<3} col#{:<6} {:<30} dist {:.4}", hit.id, hit.label, hit.score);
+    let mut failed = 0usize;
+    for (i, result) in results.iter().enumerate() {
+        if multi {
+            println!("== query {i} ({}) ==", names[i]);
+        }
+        match result {
+            Ok(reply) => print_reply(reply),
+            Err(e) => {
+                failed += 1;
+                println!("ERROR {:?}: {}", e.code, e.message);
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} queries failed", results.len()).into());
     }
     Ok(())
 }
@@ -801,6 +899,9 @@ fn cmd_ctl(args: &[String]) -> CliResult {
             println!("queue capacity  : {}", s.queue_capacity);
             println!("cache hits      : {}", s.cache_hits);
             println!("cache misses    : {}", s.cache_misses);
+            if let Some(dedup) = s.dedup_hits {
+                println!("wave dedup hits : {dedup}");
+            }
             if let Some(us) = s.last_reload_micros {
                 if us > 0 {
                     println!("last reload     : {:.3} ms", us as f64 / 1000.0);

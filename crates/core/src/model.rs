@@ -543,6 +543,53 @@ impl DeepJoin {
         }
     }
 
+    /// Batched [`Self::search_embedded_budgeted_filtered`]: a whole wave of
+    /// query embeddings answered together under one budget (the caller
+    /// passes the min of the wave members' deadlines). On the degraded-flat
+    /// rung the wave runs one rows-outer batched scan — each vector block
+    /// is pulled through the cache once per wave instead of once per query
+    /// (`deepjoin_ann::flat::scan_budgeted_batch`). On a healthy graph each
+    /// member runs its own traversal (graph walks don't share row blocks),
+    /// with the same per-query panic-rescue ladder. Either way, every
+    /// member's result is bit-identical to the single-query path.
+    pub fn search_embedded_batch_budgeted_filtered(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        budget: &Budget,
+        deleted: Option<&TombSet>,
+    ) -> Vec<LadderSearch> {
+        if let IndexState::DegradedFlat { index, .. } = &self.index {
+            let dim = index.dim();
+            let mut flat_queries = Vec::with_capacity(queries.len() * dim);
+            for q in queries {
+                assert_eq!(q.len(), dim, "dimension mismatch");
+                flat_queries.extend_from_slice(q);
+            }
+            return index
+                .search_budgeted_batch_filtered(&flat_queries, k, budget, deleted)
+                .into_iter()
+                .map(|result| LadderSearch {
+                    hits: result
+                        .hits
+                        .into_iter()
+                        .map(|Neighbor { id, distance }| ScoredColumn {
+                            id: ColumnId(id),
+                            score: -distance as f64,
+                        })
+                        .collect(),
+                    complete: result.complete,
+                    visited: result.visited,
+                    via_fallback: false,
+                })
+                .collect();
+        }
+        queries
+            .iter()
+            .map(|q| self.search_embedded_budgeted_filtered(q, k, budget, deleted))
+            .collect()
+    }
+
     /// [`DeepJoin::search`] under a budget: encode, then run the ladder.
     pub fn search_budgeted(&self, query: &Column, k: usize, budget: &Budget) -> LadderSearch {
         let v = self.embed_column(query);

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use deepjoin_store::SharedIo;
@@ -15,11 +16,12 @@ use deepjoin_ann::Budget;
 use deepjoin_lake::column::{Column, ColumnMeta};
 use deepjoin_lake::repository::Repository;
 use deepjoin_serve::{
-    Health, Hit, LiveStats, LoadedSnapshot, Loader, MutateOp, MutateReply, QueryOutcome, ServeModel,
+    Health, Hit, LiveStats, LoadedSnapshot, Loader, MutateOp, MutateReply, QueryOutcome,
+    ServeModel, WaveQuery,
 };
 
-use crate::live::{model_fingerprint, LiveLake};
-use crate::model::{DeepJoin, IndexHealth};
+use crate::live::{model_fingerprint, LiveLake, LiveView};
+use crate::model::{DeepJoin, IndexHealth, LadderSearch};
 use crate::persist::load_model_path;
 
 /// FNV-1a over the query identity: the column name and the exact cell
@@ -118,6 +120,9 @@ pub struct ServedModel {
     /// the live merge) work, mutations are refused and must go to the
     /// primary (DESIGN.md §15).
     read_only: bool,
+    /// Wave members answered by sharing another member's embedding and
+    /// search (wave-level dedup, see [`ServeModel::query_batch`]).
+    dedup_hits: AtomicU64,
 }
 
 impl ServedModel {
@@ -137,6 +142,7 @@ impl ServedModel {
             cache: (cache_capacity > 0).then(|| Mutex::new(QueryCache::new(cache_capacity))),
             live: None,
             read_only: false,
+            dedup_hits: AtomicU64::new(0),
         }
     }
 
@@ -179,63 +185,40 @@ impl ServedModel {
             .insert(key, v.clone());
         v
     }
-}
 
-impl ServeModel for ServedModel {
-    fn indexed_len(&self) -> usize {
-        match &self.live {
-            Some(live) => self.model.indexed_len() + live.view().live_rows(),
-            None => self.model.indexed_len(),
+    /// Package a base-index-only ladder result as a wire outcome.
+    fn base_outcome(&self, ladder: LadderSearch) -> QueryOutcome {
+        QueryOutcome {
+            hits: ladder
+                .hits
+                .into_iter()
+                .map(|sc| Hit {
+                    id: sc.id.0,
+                    // The wire carries the raw distance; ScoredColumn
+                    // holds the negated score.
+                    score: -sc.score as f32,
+                    label: self.label(sc.id.0),
+                })
+                .collect(),
+            complete: ladder.complete,
+            visited: ladder.visited,
+            via_fallback: ladder.via_fallback,
         }
     }
 
-    fn health(&self) -> Health {
-        match self.model.index_health() {
-            IndexHealth::Hnsw => Health::Hnsw,
-            IndexHealth::DegradedFlat { reason } => Health::DegradedFlat { reason },
-            IndexHealth::Missing => Health::Missing,
-        }
-    }
-
-    fn query(&self, cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome {
-        let column = Column::new(
-            cells.to_vec(),
-            ColumnMeta {
-                column_name: name.to_string(),
-                ..ColumnMeta::default()
-            },
-        );
-        let embedding = self.embed_cached(&column, cells, name);
-        let Some(live) = &self.live else {
-            let ladder = self.model.search_embedded_budgeted(&embedding, k, budget);
-            return QueryOutcome {
-                hits: ladder
-                    .hits
-                    .into_iter()
-                    .map(|sc| Hit {
-                        id: sc.id.0,
-                        // The wire carries the raw distance; ScoredColumn
-                        // holds the negated score.
-                        score: -sc.score as f32,
-                        label: self.label(sc.id.0),
-                    })
-                    .collect(),
-                complete: ladder.complete,
-                visited: ladder.visited,
-                via_fallback: ladder.via_fallback,
-            };
-        };
-        // Live path: one view snapshot answers the whole request. The base
-        // index is filtered through the view's tombstones (dropped base
-        // columns vanish on the very next query), the live slabs are
-        // scanned exactly, and the two candidate streams merge through the
-        // same bounded top-k selector the indexes use — deterministic
-        // regardless of which side a hit came from.
-        let view = live.view();
-        let base =
-            self.model
-                .search_embedded_budgeted_filtered(&embedding, k, budget, Some(view.tombs()));
-        let live_hits = view.search(&embedding, k, budget);
+    /// Finish one live-path answer: scan the live slabs for this query and
+    /// merge the base hits with them through the same bounded top-k
+    /// selector the indexes use — deterministic regardless of which side a
+    /// hit came from.
+    fn merged_outcome(
+        &self,
+        view: &LiveView,
+        base: LadderSearch,
+        embedding: &[f32],
+        k: usize,
+        budget: &Budget,
+    ) -> QueryOutcome {
+        let live_hits = view.search(embedding, k, budget);
         let mut top = TopK::new(k);
         for sc in &base.hits {
             top.push(sc.id.0, (-sc.score) as f32);
@@ -267,6 +250,185 @@ impl ServeModel for ServedModel {
             visited: base.visited + live_hits.visited,
             via_fallback: base.via_fallback,
         }
+    }
+}
+
+impl ServeModel for ServedModel {
+    fn indexed_len(&self) -> usize {
+        match &self.live {
+            Some(live) => self.model.indexed_len() + live.view().live_rows(),
+            None => self.model.indexed_len(),
+        }
+    }
+
+    fn health(&self) -> Health {
+        match self.model.index_health() {
+            IndexHealth::Hnsw => Health::Hnsw,
+            IndexHealth::DegradedFlat { reason } => Health::DegradedFlat { reason },
+            IndexHealth::Missing => Health::Missing,
+        }
+    }
+
+    fn query(&self, cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome {
+        let column = Column::new(
+            cells.to_vec(),
+            ColumnMeta {
+                column_name: name.to_string(),
+                ..ColumnMeta::default()
+            },
+        );
+        let embedding = self.embed_cached(&column, cells, name);
+        let Some(live) = &self.live else {
+            return self.base_outcome(self.model.search_embedded_budgeted(&embedding, k, budget));
+        };
+        // Live path: one view snapshot answers the whole request. The base
+        // index is filtered through the view's tombstones (dropped base
+        // columns vanish on the very next query), then the live slabs merge
+        // in (see `merged_outcome`).
+        let view = live.view();
+        let base =
+            self.model
+                .search_embedded_budgeted_filtered(&embedding, k, budget, Some(view.tombs()));
+        self.merged_outcome(&view, base, &embedding, k, budget)
+    }
+
+    fn query_batch(&self, wave: &[WaveQuery<'_>], budget: &Budget) -> Vec<QueryOutcome> {
+        use std::collections::hash_map::Entry;
+        // Wave-level dedup: members with identical (query, k) share one
+        // embedding and one search, and the answer fans out to every
+        // requester. k is part of the identity because truncating a larger
+        // top-k is not guaranteed identical on the graph path.
+        let mut slot_of = Vec::with_capacity(wave.len());
+        let mut uniques: Vec<usize> = Vec::new();
+        let mut seen: HashMap<(u64, usize), usize> = HashMap::new();
+        for (i, q) in wave.iter().enumerate() {
+            match seen.entry((query_key(q.cells, q.name), q.k)) {
+                Entry::Occupied(e) => {
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    slot_of.push(*e.get());
+                }
+                Entry::Vacant(e) => {
+                    e.insert(uniques.len());
+                    slot_of.push(uniques.len());
+                    uniques.push(i);
+                }
+            }
+        }
+        // Embedding identity is the query text alone (two members asking
+        // different k still share one forward pass): the LRU sees exactly
+        // one hit or miss per distinct query, then one batched encoder
+        // pass covers all the misses.
+        let mut embed_slot_of: Vec<usize> = Vec::with_capacity(uniques.len());
+        let mut embed_uniques: Vec<usize> = Vec::new();
+        let mut seen_keys: HashMap<u64, usize> = HashMap::new();
+        for &i in &uniques {
+            match seen_keys.entry(query_key(wave[i].cells, wave[i].name)) {
+                Entry::Occupied(e) => embed_slot_of.push(*e.get()),
+                Entry::Vacant(e) => {
+                    e.insert(embed_uniques.len());
+                    embed_slot_of.push(embed_uniques.len());
+                    embed_uniques.push(i);
+                }
+            }
+        }
+        let mut embeddings: Vec<Option<Vec<f32>>> = embed_uniques
+            .iter()
+            .map(|&i| {
+                let q = &wave[i];
+                self.cache.as_ref().and_then(|c| {
+                    c.lock()
+                        .expect("query cache lock")
+                        .get(query_key(q.cells, q.name))
+                })
+            })
+            .collect();
+        let miss_slots: Vec<usize> = embeddings
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_none())
+            .map(|(s, _)| s)
+            .collect();
+        if !miss_slots.is_empty() {
+            let columns: Vec<Column> = miss_slots
+                .iter()
+                .map(|&s| {
+                    let q = &wave[embed_uniques[s]];
+                    Column::new(
+                        q.cells.to_vec(),
+                        ColumnMeta {
+                            column_name: q.name.to_string(),
+                            ..ColumnMeta::default()
+                        },
+                    )
+                })
+                .collect();
+            let encoded = crate::batch::encode_queries_parallel(
+                &self.model,
+                &columns,
+                deepjoin_par::Pool::global().threads(),
+            );
+            for (&s, v) in miss_slots.iter().zip(encoded) {
+                if let Some(cache) = &self.cache {
+                    let q = &wave[embed_uniques[s]];
+                    cache
+                        .lock()
+                        .expect("query cache lock")
+                        .insert(query_key(q.cells, q.name), v.clone());
+                }
+                embeddings[s] = Some(v);
+            }
+        }
+        // One batched ladder search per distinct k (real waves are almost
+        // always homogeneous, so this is one call), then fan the unique
+        // answers back out to the wave.
+        let mut by_k: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (s, &i) in uniques.iter().enumerate() {
+            let k = wave[i].k;
+            match by_k.iter_mut().find(|(kk, _)| *kk == k) {
+                Some((_, slots)) => slots.push(s),
+                None => by_k.push((k, vec![s])),
+            }
+        }
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; uniques.len()];
+        for (k, slots) in by_k {
+            let refs: Vec<&[f32]> = slots
+                .iter()
+                .map(|&s| embeddings[embed_slot_of[s]].as_deref().expect("embedded above"))
+                .collect();
+            match &self.live {
+                None => {
+                    let ladders = self
+                        .model
+                        .search_embedded_batch_budgeted_filtered(&refs, k, budget, None);
+                    for (&s, ladder) in slots.iter().zip(ladders) {
+                        outcomes[s] = Some(self.base_outcome(ladder));
+                    }
+                }
+                Some(live) => {
+                    let view = live.view();
+                    let ladders = self.model.search_embedded_batch_budgeted_filtered(
+                        &refs,
+                        k,
+                        budget,
+                        Some(view.tombs()),
+                    );
+                    for (&s, ladder) in slots.iter().zip(ladders) {
+                        let embedding =
+                            embeddings[embed_slot_of[s]].as_deref().expect("embedded above");
+                        outcomes[s] =
+                            Some(self.merged_outcome(&view, ladder, embedding, k, budget));
+                    }
+                }
+            }
+        }
+        slot_of
+            .into_iter()
+            .map(|s| outcomes[s].clone().expect("every unique slot answered"))
+            .collect()
+    }
+
+    fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
     }
 
     fn mutate(&self, op: MutateOp) -> Result<MutateReply, String> {
@@ -519,6 +681,56 @@ mod tests {
         assert!(cache.get(2).is_none(), "2 was least recently used");
         assert!(cache.get(3).is_some());
         assert_eq!(cache.map.len(), 2);
+    }
+
+    #[test]
+    fn wave_answers_are_bit_identical_to_single_queries() {
+        let (served, query) = tiny_served();
+        let other: Vec<String> = query.cells.iter().rev().cloned().collect();
+        let singles: Vec<QueryOutcome> = [
+            (&query.cells, "probe", 3usize),
+            (&other, "other", 4),
+            (&query.cells, "probe", 3),
+        ]
+        .iter()
+        .map(|(cells, name, k)| served.query(cells, name, *k, &Budget::unlimited()))
+        .collect();
+        let wave = vec![
+            WaveQuery { cells: &query.cells, name: "probe", k: 3 },
+            WaveQuery { cells: &other, name: "other", k: 4 },
+            WaveQuery { cells: &query.cells, name: "probe", k: 3 },
+        ];
+        let batch = served.query_batch(&wave, &Budget::unlimited());
+        assert_eq!(batch, singles, "waves must not change answers");
+        // The third member shared the first member's embedding and search.
+        assert_eq!(served.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn wave_dedup_keeps_lru_accounting_correct() {
+        let (served, query) = tiny_served();
+        let cached = ServedModel::with_cache(served.model, served.repo, 8);
+        let other: Vec<String> = query.cells.iter().rev().cloned().collect();
+        let wave = vec![
+            WaveQuery { cells: &query.cells, name: "probe", k: 3 },
+            WaveQuery { cells: &other, name: "other", k: 3 },
+            // Duplicate of member 0: a dedup hit, never an LRU touch.
+            WaveQuery { cells: &query.cells, name: "probe", k: 3 },
+            // Same query at a different k: shares the embedding (no second
+            // LRU miss, no second forward pass) but searches separately.
+            WaveQuery { cells: &query.cells, name: "probe", k: 2 },
+        ];
+        let batch = cached.query_batch(&wave, &Budget::unlimited());
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0], batch[2], "deduped members get the shared answer");
+        assert_eq!(batch[3].hits.len(), 2);
+        assert_eq!(cached.dedup_hits(), 1);
+        // Two distinct query texts in the wave: two misses, no hits.
+        assert_eq!(cached.cache_stats(), (0, 2));
+        // The next wave finds both embeddings cached.
+        let again = cached.query_batch(&wave[..2], &Budget::unlimited());
+        assert_eq!(again, batch[..2].to_vec());
+        assert_eq!(cached.cache_stats(), (2, 2), "repeat wave must hit");
     }
 
     #[test]

@@ -240,6 +240,21 @@ impl<T> FairQueue<T> {
         }
     }
 
+    /// Take the next item if one is pending, never blocking — the wave-
+    /// formation drain: a worker pops one job with [`FairQueue::pop`], then
+    /// fills the rest of its wave with `try_pop` until the queue is
+    /// momentarily empty or the wave is full. Uses the same deficit
+    /// round-robin cursor as `pop`, so a drained wave sees items in exactly
+    /// the order back-to-back `pop` calls would have.
+    pub fn try_pop(&self) -> Option<(u64, T, Instant)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.total > 0 {
+            Some(inner.take())
+        } else {
+            None
+        }
+    }
+
     /// Shed the newest item of the heaviest tenant right now, if any — the
     /// CoDel-style controller's pressure-relief action. Returns the owning
     /// tenant, the item (so the caller can answer it), and its enqueue time.
@@ -391,6 +406,32 @@ mod tests {
         assert_eq!(q.len(), 3);
         let empty = FairQueue::<u32>::new(2);
         assert!(empty.shed_newest_of_heaviest().is_none());
+    }
+
+    #[test]
+    fn try_pop_matches_pop_order_and_never_blocks() {
+        let q = FairQueue::new(16);
+        for v in 0..4u32 {
+            q.try_push(1, v).unwrap();
+        }
+        for v in 0..2u32 {
+            q.try_push(2, 100 + v).unwrap();
+        }
+        // Same DRR interleaving the blocking drain test pins.
+        let mut order = Vec::new();
+        while let Some((t, _, _)) = q.try_pop() {
+            order.push(t);
+        }
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 1]);
+        // Empty and still open: returns immediately instead of blocking.
+        assert_eq!(q.try_pop(), None);
+        // Mixing pop and try_pop keeps one shared cursor.
+        q.try_push(1, 0).unwrap();
+        q.try_push(1, 1).unwrap();
+        q.try_push(2, 100).unwrap();
+        assert_eq!(q.pop().map(|(t, _, _)| t), Some(1));
+        assert_eq!(q.try_pop().map(|(t, _, _)| t), Some(2));
+        assert_eq!(q.try_pop().map(|(t, _, _)| t), Some(1));
     }
 
     #[test]

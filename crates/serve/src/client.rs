@@ -7,8 +7,117 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    self, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError, MAX_FRAME,
+    self, BatchQuery, ErrorCode, FrameError, QueryReply, Request, Response, StatsReply, WireError,
+    MAX_FRAME,
 };
+
+/// One query in a pipelined or batched call — the borrowed form of the
+/// [`Request::Query`] fields.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec<'a> {
+    /// Query column name (`table.column` or free text).
+    pub name: &'a str,
+    /// Query column cell values.
+    pub cells: &'a [String],
+    /// Neighbors requested.
+    pub k: u32,
+}
+
+/// Per-query outcome of a pipelined or batched call: the reply, or the
+/// structured error that shed this one query (the rest of the window is
+/// unaffected).
+pub type QueryResult = Result<QueryReply, WireError>;
+
+/// Client-side correlation state for pipelined windows: which request ids
+/// are in flight (in send order, for the in-order fallback) and where each
+/// answer lands. Rejects duplicate ids and surfaces orphan ids as
+/// structured protocol errors instead of mis-filing answers.
+struct Correlator {
+    results: Vec<Option<QueryResult>>,
+    /// Ids awaiting an answer, in send order.
+    inflight: Vec<u64>,
+    /// Whether a plain (uncorrelated) `Query`/`Error` response may be
+    /// matched to the oldest in-flight id. True for pipelined tagged
+    /// queries — an old server ignores the id tail and answers in order —
+    /// and false for batch frames, which old servers reject whole.
+    inorder_fallback: bool,
+}
+
+impl Correlator {
+    fn new(n: usize, inorder_fallback: bool) -> Self {
+        Correlator {
+            results: (0..n).map(|_| None).collect(),
+            inflight: Vec::new(),
+            inorder_fallback,
+        }
+    }
+
+    fn note_sent(&mut self, id: u64) {
+        self.inflight.push(id);
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// File one response. A correlated answer may arrive in any order; a
+    /// plain answer (old server) must arrive in send order.
+    fn absorb(&mut self, resp: Response) -> Result<(), ClientError> {
+        match resp {
+            Response::QueryFor { request_id, reply } => {
+                match self.inflight.iter().position(|&id| id == request_id) {
+                    Some(pos) => {
+                        self.inflight.remove(pos);
+                        self.results[request_id as usize] = Some(reply);
+                        Ok(())
+                    }
+                    None => {
+                        let slot = request_id as usize;
+                        let msg = if slot < self.results.len() && self.results[slot].is_some() {
+                            format!("duplicate response for request id {request_id}")
+                        } else {
+                            format!("response for unknown request id {request_id}")
+                        };
+                        Err(ClientError::Protocol(msg))
+                    }
+                }
+            }
+            Response::Query(reply) if self.inorder_fallback => {
+                // An old server ignored the id tails and answers untagged,
+                // strictly in order: file against the oldest in flight.
+                if self.inflight.is_empty() {
+                    return Err(ClientError::Protocol(
+                        "unsolicited query response".to_string(),
+                    ));
+                }
+                let id = self.inflight.remove(0);
+                self.results[id as usize] = Some(Ok(reply));
+                Ok(())
+            }
+            Response::Error(e) if self.inorder_fallback && !self.inflight.is_empty() => {
+                // Old servers shed individual queries with a plain error,
+                // still in order.
+                let id = self.inflight.remove(0);
+                self.results[id as usize] = Some(Err(e));
+                Ok(())
+            }
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("QueryFor", &other)),
+        }
+    }
+
+    fn finish(self) -> Result<Vec<QueryResult>, ClientError> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| {
+                    ClientError::Protocol(format!("request id {i} was never answered"))
+                })
+            })
+            .collect()
+    }
+}
 
 /// Bounded exponential backoff with deterministic jitter, used by
 /// [`Client::connect_with_retry`] (transient connect failures) and
@@ -224,14 +333,7 @@ impl Client {
     /// through here).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         protocol::write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame_sliced(&mut self.stream, MAX_FRAME, self.read_timeout)?
-            .ok_or_else(|| {
-                ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection without answering",
-                ))
-            })?;
-        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+        self.read_response()
     }
 
     /// Liveness check.
@@ -256,12 +358,99 @@ impl Client {
             cells: cells.to_vec(),
             k,
             tenant: self.tenant.clone(),
+            request_id: None,
         };
         match self.call(&req)? {
             Response::Query(reply) => Ok(reply),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(unexpected("Query", &other)),
         }
+    }
+
+    /// Send `queries` pipelined on this connection, keeping up to `depth`
+    /// requests in flight, and return one result per query in input
+    /// order. Each request carries a correlation id, so a new server may
+    /// answer out of order (a whole worker wave lands in one coalesced
+    /// burst); an old server ignores the id tails and answers in order,
+    /// which the correlation logic accepts transparently — pipelining
+    /// degrades to a send window, never to a wrong answer. Duplicate and
+    /// orphan ids from a confused server surface as
+    /// [`ClientError::Protocol`].
+    pub fn query_pipelined(
+        &mut self,
+        queries: &[QuerySpec<'_>],
+        depth: usize,
+    ) -> Result<Vec<QueryResult>, ClientError> {
+        let depth = depth.max(1);
+        let mut corr = Correlator::new(queries.len(), true);
+        let mut next = 0usize;
+        while next < queries.len() || corr.outstanding() > 0 {
+            // Fill the window.
+            while next < queries.len() && corr.outstanding() < depth {
+                let q = &queries[next];
+                let req = Request::Query {
+                    name: q.name.to_string(),
+                    cells: q.cells.to_vec(),
+                    k: q.k,
+                    tenant: self.tenant.clone(),
+                    request_id: Some(next as u64),
+                };
+                protocol::write_frame(&mut self.stream, &req.encode())?;
+                corr.note_sent(next as u64);
+                next += 1;
+            }
+            // Drain one answer (whichever request it belongs to).
+            corr.absorb(self.read_response()?)?;
+        }
+        corr.finish()
+    }
+
+    /// Send `queries` as one [`Request::QueryBatch`] frame and collect the
+    /// correlated answers, returned in input order. Old servers reject the
+    /// unknown frame tag with `BadRequest` (surfaced as
+    /// [`ClientError::Server`]) — use [`Client::query_pipelined`] when the
+    /// peer version is unknown, or fall back to it on that error.
+    pub fn query_batch(
+        &mut self,
+        queries: &[QuerySpec<'_>],
+    ) -> Result<Vec<QueryResult>, ClientError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let req = Request::QueryBatch {
+            queries: queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| BatchQuery {
+                    request_id: i as u64,
+                    name: q.name.to_string(),
+                    cells: q.cells.to_vec(),
+                    k: q.k,
+                    tenant: self.tenant.clone(),
+                })
+                .collect(),
+        };
+        protocol::write_frame(&mut self.stream, &req.encode())?;
+        let mut corr = Correlator::new(queries.len(), false);
+        for i in 0..queries.len() {
+            corr.note_sent(i as u64);
+        }
+        while corr.outstanding() > 0 {
+            corr.absorb(self.read_response()?)?;
+        }
+        corr.finish()
+    }
+
+    /// Read and decode one response frame.
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame_sliced(&mut self.stream, MAX_FRAME, self.read_timeout)?
+            .ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection without answering",
+                ))
+            })?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// [`Client::query`] with bounded backoff on failures that are

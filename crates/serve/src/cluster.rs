@@ -30,7 +30,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::client::{Client, ClientError, RetryPolicy};
+use crate::client::{Client, ClientError, QueryResult, QuerySpec, RetryPolicy};
 use crate::protocol::{ErrorCode, QueryReply, StatsReply};
 use crate::replica::ReplicationState;
 
@@ -367,6 +367,81 @@ impl MultiClient {
             }
         }
         Err(last.expect("at least one attempt"))
+    }
+
+    /// Route a whole set of queries down **one pipelined connection** to
+    /// the best-ranked endpoint, with up to `depth` requests in flight
+    /// (DESIGN.md §17). Results come back in input order. A transport
+    /// failure mid-pipeline fails over to the next ranked endpoint and
+    /// replays the whole set (queries are idempotent reads), wrapped in
+    /// the retry policy's backoff like [`MultiClient::query`].
+    ///
+    /// Hedging is deliberately skipped here: a pipelined set amortizes
+    /// connection cost across many queries, and duplicating the whole set
+    /// on a second endpoint would double cluster load for tail latency on
+    /// one member.
+    pub fn query_many(
+        &self,
+        queries: &[QuerySpec<'_>],
+        depth: usize,
+    ) -> Result<(Vec<QueryResult>, String), ClientError> {
+        if queries.is_empty() {
+            return Ok((Vec::new(), String::new()));
+        }
+        let policy = self.inner.cfg.retry.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<ClientError> = None;
+        for retry in 0..attempts {
+            if retry > 0 {
+                std::thread::sleep(policy.delay(retry - 1));
+            }
+            match self.routed_many(queries, depth) {
+                Ok(out) => return Ok(out),
+                Err(e) if retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// One pass over the ranked endpoints for a pipelined set: sequential
+    /// failover, no hedging (see [`MultiClient::query_many`]).
+    fn routed_many(
+        &self,
+        queries: &[QuerySpec<'_>],
+        depth: usize,
+    ) -> Result<(Vec<QueryResult>, String), ClientError> {
+        let mut last: Option<ClientError> = None;
+        for idx in self.inner.ranked() {
+            let addr = self.inner.cfg.endpoints[idx].clone();
+            let started = Instant::now();
+            let outcome = Client::connect_with_timeout(&addr, self.inner.cfg.read_timeout)
+                .and_then(|mut c| c.query_pipelined(queries, depth));
+            match outcome {
+                Ok(results) => {
+                    self.inner.note_ok(idx);
+                    // One latency sample per answered query, so the hedge
+                    // delay for single queries keeps tracking per-query
+                    // cost rather than whole-set cost.
+                    let per_query =
+                        started.elapsed().as_micros() as u64 / queries.len().max(1) as u64;
+                    let mut ring = self.inner.latencies.lock().expect("latency ring");
+                    for _ in 0..queries.len().min(8) {
+                        ring.push(per_query);
+                    }
+                    return Ok((results, addr));
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        self.inner.note_failure(idx);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Protocol("no endpoints configured".to_string())
+        }))
     }
 
     /// Latest stats from the freshest healthy endpoint.

@@ -40,11 +40,11 @@ pub use brownout::{
     tenant_id, BrownoutConfig, BrownoutController, Pressure, TenantSnapshot, TenantTable,
     TokenBucket, DEFAULT_TENANT,
 };
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, QueryResult, QuerySpec, RetryPolicy};
 pub use cluster::{ClusterConfig, MultiClient, RoutedReply};
 pub use protocol::{
-    ErrorCode, OverloadStats, QueryReply, ReplicationStats, Request, Response, StatsReply,
-    SyncItem, TenantStats, WireError, WireHit, ROLE_PRIMARY, ROLE_REPLICA,
+    BatchQuery, ErrorCode, OverloadStats, QueryReply, ReplicationStats, Request, Response,
+    StatsReply, SyncItem, TenantStats, WireError, WireHit, ROLE_PRIMARY, ROLE_REPLICA,
 };
 pub use replica::{bootstrap, run_sync_loop, ReplicaConfig, ReplicationState, TcpSyncSource};
 pub use server::{Server, ServerConfig, ServerHandle};
@@ -120,6 +120,19 @@ pub struct QueryOutcome {
     pub via_fallback: bool,
 }
 
+/// One member of a batched query wave (see [`ServeModel::query_batch`]):
+/// the same inputs [`ServeModel::query`] takes, borrowed from the admitted
+/// jobs so wave formation never copies query payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveQuery<'a> {
+    /// Query column cells.
+    pub cells: &'a [String],
+    /// Query column name.
+    pub name: &'a str,
+    /// Neighbors requested (already clamped by the server).
+    pub k: usize,
+}
+
 /// A mutation request against a live (writable) snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MutateOp {
@@ -173,10 +186,29 @@ pub trait ServeModel: Send + Sync {
     /// nearest indexed columns under `budget`.
     fn query(&self, cells: &[String], name: &str, k: usize, budget: &Budget) -> QueryOutcome;
 
+    /// Answer a whole wave of queries under one `budget` (the min of the
+    /// members' remaining deadlines), returning one outcome per member in
+    /// wave order. The default implementation just loops
+    /// [`ServeModel::query`]; real models override it to dedup identical
+    /// members, batch the encoder forward passes, and run one batched
+    /// search so SIMD row blocks amortize across the wave. Overrides must
+    /// keep every member's answer bit-identical to the single-query path.
+    fn query_batch(&self, wave: &[WaveQuery<'_>], budget: &Budget) -> Vec<QueryOutcome> {
+        wave.iter()
+            .map(|q| self.query(q.cells, q.name, q.k, budget))
+            .collect()
+    }
+
     /// `(hits, misses)` of the model's query-embedding cache. Models that
     /// serve without a cache report `(0, 0)`.
     fn cache_stats(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Wave members answered by sharing another member's embedding and
+    /// search (wave-level dedup). Models without dedup report 0.
+    fn dedup_hits(&self) -> u64 {
+        0
     }
 
     /// Apply a mutation. Read-only snapshots (the default) refuse.

@@ -31,6 +31,7 @@ const REQ_ADD_TABLE: u8 = 6;
 const REQ_DROP_TABLE: u8 = 7;
 const REQ_SYNC_POLL: u8 = 8;
 const REQ_SYNC_FETCH: u8 = 9;
+const REQ_QUERY_BATCH: u8 = 10;
 
 /// Response tags.
 const RESP_PONG: u8 = 1;
@@ -42,6 +43,7 @@ const RESP_ERROR: u8 = 6;
 const RESP_MUTATED: u8 = 7;
 const RESP_SYNC_STATE: u8 = 8;
 const RESP_SYNC_CHUNK: u8 = 9;
+const RESP_QUERY_FOR: u8 = 10;
 
 /// [`ReplicationStats::role`] value for a primary (sync-exporting) server.
 pub const ROLE_PRIMARY: u8 = 0;
@@ -117,6 +119,24 @@ pub enum Request {
         /// (old servers keep accepting it), and new servers treat a
         /// missing tail as the default tenant.
         tenant: Option<String>,
+        /// Client-assigned correlation id for pipelined requests. Encoded
+        /// as a second optional tail after `tenant` (forcing an explicit
+        /// `tenant` presence byte when set): old servers skip it, answer
+        /// in order, and the client falls back to in-order correlation.
+        /// New servers answer a tagged request with
+        /// [`Response::QueryFor`] carrying the same id; `None` keeps the
+        /// single-query wire image — and the reply tag — byte-identical
+        /// to the pre-pipelining protocol.
+        request_id: Option<u64>,
+    },
+    /// A batch of queries in one frame. Answered with one
+    /// [`Response::QueryFor`] per member, correlated by `request_id` —
+    /// possibly interleaved with replies to other pipelined frames on the
+    /// same connection, in any order. Old servers reject the unknown tag
+    /// with `BadRequest`.
+    QueryBatch {
+        /// The member queries, admission-controlled individually.
+        queries: Vec<BatchQuery>,
     },
     /// Swap in a fresh snapshot; `None` re-reads the artifact the server
     /// was started with.
@@ -154,6 +174,24 @@ pub enum Request {
         /// the response under its frame cap).
         len: u32,
     },
+}
+
+/// One member of a [`Request::QueryBatch`] frame: the same fields as
+/// [`Request::Query`] plus a mandatory correlation id (batched members are
+/// always answered out-of-band, so the id is not optional here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQuery {
+    /// Client-assigned correlation id, unique among this connection's
+    /// in-flight requests.
+    pub request_id: u64,
+    /// Query column name (`table.column` or free text).
+    pub name: String,
+    /// Query column cell values.
+    pub cells: Vec<String>,
+    /// Neighbors requested (clamped server-side to the index size).
+    pub k: u32,
+    /// Tenant this member bills to, for fair admission.
+    pub tenant: Option<String>,
 }
 
 /// One file of a primary's exported generation, as listed by
@@ -317,6 +355,10 @@ pub struct StatsReply {
     /// Overload-control gauges (brownout rung, shed breakdown, per-tenant
     /// counters). Fourth optional tail — same compatibility story.
     pub overload: Option<OverloadStats>,
+    /// Wave members answered by sharing another member's embedding and
+    /// search (batched-wave dedup), present on servers that form waves.
+    /// Fifth optional tail — same compatibility story.
+    pub dedup_hits: Option<u64>,
 }
 
 /// Server → client messages.
@@ -361,6 +403,17 @@ pub enum Response {
         /// The files making up the generation.
         items: Vec<SyncItem>,
     },
+    /// A correlated query answer for a pipelined or batched request:
+    /// either the reply or a structured per-request failure, tagged with
+    /// the id the client assigned. Only sent for requests that carried a
+    /// `request_id`, so untagged single-query traffic never sees this tag.
+    QueryFor {
+        /// The client-assigned id being answered.
+        request_id: u64,
+        /// The answer, or why this one request failed (other requests on
+        /// the connection are unaffected).
+        reply: Result<QueryReply, WireError>,
+    },
     /// Replication: one chunk of a sync item.
     SyncChunk {
         /// Byte offset of this chunk within the item.
@@ -388,6 +441,7 @@ impl Request {
                 cells,
                 k,
                 tenant,
+                request_id,
             } => {
                 w.put_u8(REQ_QUERY);
                 w.put_str(name);
@@ -396,13 +450,51 @@ impl Request {
                 for c in cells {
                     w.put_str(c);
                 }
-                // Versioned optional tail: only written when a tenant was
-                // explicitly set, so the default wire image is identical
-                // to the pre-tenant protocol and old servers (which reject
-                // trailing bytes) keep accepting untagged queries.
-                if let Some(t) = tenant {
-                    w.put_u8(1);
-                    w.put_str(t);
+                // Versioned optional tails: only written when set, so the
+                // default wire image is identical to the pre-tenant
+                // protocol and old servers (which reject trailing bytes)
+                // keep accepting untagged queries. A request id rides as a
+                // second tail, which forces an explicit tenant presence
+                // byte in front of it.
+                match (tenant, request_id) {
+                    (None, None) => {}
+                    (Some(t), None) => {
+                        w.put_u8(1);
+                        w.put_str(t);
+                    }
+                    (tenant, Some(id)) => {
+                        match tenant {
+                            Some(t) => {
+                                w.put_u8(1);
+                                w.put_str(t);
+                            }
+                            None => w.put_u8(0),
+                        }
+                        w.put_u8(1);
+                        w.put_u64_le(*id);
+                    }
+                }
+            }
+            Request::QueryBatch { queries } => {
+                w.put_u8(REQ_QUERY_BATCH);
+                w.put_u32_le(queries.len() as u32);
+                for q in queries {
+                    w.put_u64_le(q.request_id);
+                    w.put_str(&q.name);
+                    w.put_u32_le(q.k);
+                    w.put_u32_le(q.cells.len() as u32);
+                    for c in &q.cells {
+                        w.put_str(c);
+                    }
+                    // The batch frame is new, so the tenant needs no
+                    // optional-tail dance: an explicit presence byte.
+                    match &q.tenant {
+                        Some(t) => {
+                            w.put_u8(1);
+                            w.put_str(t);
+                        }
+                        None => w.put_u8(0),
+                    }
                 }
             }
             Request::Reload { path } => {
@@ -461,21 +553,57 @@ impl Request {
                 for _ in 0..n {
                     cells.push(r.str_prefixed()?);
                 }
-                // Optional tenant tail. Like the Stats tails, bytes past
-                // the known tail are tolerated (a newer client may append
-                // more), so Query requests are forward-extensible and this
-                // early return intentionally skips the trailing-bytes
-                // check.
+                // Optional tenant and request-id tails. Like the Stats
+                // tails, bytes past the known tails are tolerated (a newer
+                // client may append more), so Query requests are
+                // forward-extensible and this early return intentionally
+                // skips the trailing-bytes check.
                 let mut tenant = None;
-                if !r.is_empty() && r.u8()? != 0 {
-                    tenant = Some(r.str_prefixed()?);
+                let mut request_id = None;
+                if !r.is_empty() {
+                    if r.u8()? != 0 {
+                        tenant = Some(r.str_prefixed()?);
+                    }
+                    if !r.is_empty() && r.u8()? != 0 {
+                        request_id = Some(r.u64_le()?);
+                    }
                 }
                 return Ok(Request::Query {
                     name,
                     cells,
                     k,
                     tenant,
+                    request_id,
                 });
+            }
+            REQ_QUERY_BATCH => {
+                // A member costs at least id + name prefix + k + cell
+                // count + tenant presence = 21 bytes.
+                let n = r.count_u32(21)?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let request_id = r.u64_le()?;
+                    let name = r.str_prefixed()?;
+                    let k = r.u32_le()?;
+                    let cells_n = r.count_u32(4)?;
+                    let mut cells = Vec::with_capacity(cells_n);
+                    for _ in 0..cells_n {
+                        cells.push(r.str_prefixed()?);
+                    }
+                    let tenant = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.str_prefixed()?),
+                        _ => return Err(r.error(DecodeErrorKind::BadMagic)),
+                    };
+                    queries.push(BatchQuery {
+                        request_id,
+                        name,
+                        cells,
+                        k,
+                        tenant,
+                    });
+                }
+                Request::QueryBatch { queries }
             }
             REQ_RELOAD => {
                 let has_path = r.u8()?;
@@ -522,6 +650,58 @@ impl Request {
     }
 }
 
+/// Encode a [`QueryReply`] body (shared by `Query` and `QueryFor`, so a
+/// correlated reply carries the exact same fields as a plain one).
+fn put_query_reply(w: &mut Writer, q: &QueryReply) {
+    w.put_u8(q.health_code);
+    w.put_str(&q.health_label);
+    w.put_u8(q.degraded as u8);
+    w.put_u8(q.complete as u8);
+    w.put_u8(q.via_fallback as u8);
+    w.put_u32_le(q.generation);
+    w.put_u64_le(q.indexed);
+    w.put_u64_le(q.visited);
+    w.put_u32_le(q.hits.len() as u32);
+    for h in &q.hits {
+        w.put_u32_le(h.id);
+        w.put_f32_le(h.score);
+        w.put_str(&h.label);
+    }
+}
+
+/// Decode a [`QueryReply`] body (counterpart of [`put_query_reply`]).
+fn read_query_reply(r: &mut Reader<'_>) -> Result<QueryReply, DecodeError> {
+    let health_code = r.u8()?;
+    let health_label = r.str_prefixed()?;
+    let degraded = r.u8()? != 0;
+    let complete = r.u8()? != 0;
+    let via_fallback = r.u8()? != 0;
+    let generation = r.u32_le()?;
+    let indexed = r.u64_le()?;
+    let visited = r.u64_le()?;
+    // A hit is at least id + score + label-length = 12 bytes.
+    let n = r.count_u32(12)?;
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        hits.push(WireHit {
+            id: r.u32_le()?,
+            score: r.f32_le()?,
+            label: r.str_prefixed()?,
+        });
+    }
+    Ok(QueryReply {
+        health_code,
+        health_label,
+        degraded,
+        complete,
+        via_fallback,
+        generation,
+        indexed,
+        visited,
+        hits,
+    })
+}
+
 impl Response {
     /// Encode to a frame payload (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -531,19 +711,21 @@ impl Response {
             Response::Pong => w.put_u8(RESP_PONG),
             Response::Query(q) => {
                 w.put_u8(RESP_QUERY);
-                w.put_u8(q.health_code);
-                w.put_str(&q.health_label);
-                w.put_u8(q.degraded as u8);
-                w.put_u8(q.complete as u8);
-                w.put_u8(q.via_fallback as u8);
-                w.put_u32_le(q.generation);
-                w.put_u64_le(q.indexed);
-                w.put_u64_le(q.visited);
-                w.put_u32_le(q.hits.len() as u32);
-                for h in &q.hits {
-                    w.put_u32_le(h.id);
-                    w.put_f32_le(h.score);
-                    w.put_str(&h.label);
+                put_query_reply(&mut w, q);
+            }
+            Response::QueryFor { request_id, reply } => {
+                w.put_u8(RESP_QUERY_FOR);
+                w.put_u64_le(*request_id);
+                match reply {
+                    Ok(q) => {
+                        w.put_u8(1);
+                        put_query_reply(&mut w, q);
+                    }
+                    Err(e) => {
+                        w.put_u8(0);
+                        w.put_u8(e.code as u8);
+                        w.put_str(&e.message);
+                    }
                 }
             }
             Response::Reloaded {
@@ -630,6 +812,14 @@ impl Response {
                         }
                     }
                 }
+                // Fifth optional tail: batched-wave dedup hits.
+                match s.dedup_hits {
+                    None => w.put_u8(0),
+                    Some(d) => {
+                        w.put_u8(1);
+                        w.put_u64_le(d);
+                    }
+                }
             }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
@@ -680,36 +870,24 @@ impl Response {
         let tag = r.u8()?;
         let resp = match tag {
             RESP_PONG => Response::Pong,
-            RESP_QUERY => {
-                let health_code = r.u8()?;
-                let health_label = r.str_prefixed()?;
-                let degraded = r.u8()? != 0;
-                let complete = r.u8()? != 0;
-                let via_fallback = r.u8()? != 0;
-                let generation = r.u32_le()?;
-                let indexed = r.u64_le()?;
-                let visited = r.u64_le()?;
-                // A hit is at least id + score + label-length = 12 bytes.
-                let n = r.count_u32(12)?;
-                let mut hits = Vec::with_capacity(n);
-                for _ in 0..n {
-                    hits.push(WireHit {
-                        id: r.u32_le()?,
-                        score: r.f32_le()?,
-                        label: r.str_prefixed()?,
-                    });
-                }
-                Response::Query(QueryReply {
-                    health_code,
-                    health_label,
-                    degraded,
-                    complete,
-                    via_fallback,
-                    generation,
-                    indexed,
-                    visited,
-                    hits,
-                })
+            RESP_QUERY => Response::Query(read_query_reply(&mut r)?),
+            RESP_QUERY_FOR => {
+                let request_id = r.u64_le()?;
+                let reply = match r.u8()? {
+                    1 => Ok(read_query_reply(&mut r)?),
+                    0 => {
+                        let code_byte = r.u8()?;
+                        let code = ErrorCode::from_code(code_byte).ok_or_else(|| {
+                            r.error(DecodeErrorKind::BadDiscriminant(code_byte))
+                        })?;
+                        Err(WireError {
+                            code,
+                            message: r.str_prefixed()?,
+                        })
+                    }
+                    _ => return Err(r.error(DecodeErrorKind::BadMagic)),
+                };
+                Response::QueryFor { request_id, reply }
             }
             RESP_RELOADED => {
                 let generation = r.u32_le()?;
@@ -740,6 +918,7 @@ impl Response {
                     last_reload_micros: None,
                     replication: None,
                     overload: None,
+                    dedup_hits: None,
                 };
                 // Versioned optional tails: a server predating live ingest
                 // ends the message after `cache_misses`, one predating
@@ -804,6 +983,9 @@ impl Response {
                         codel_shed,
                         tenants,
                     });
+                }
+                if !r.is_empty() && r.u8()? != 0 {
+                    s.dedup_hits = Some(r.u64_le()?);
                 }
                 return Ok(Response::Stats(s));
             }
@@ -957,12 +1139,47 @@ mod tests {
             cells: vec!["a".into(), "b".into(), String::new()],
             k: 25,
             tenant: None,
+            request_id: None,
         });
         roundtrip_request(Request::Query {
             name: "orders.customer_id".into(),
             cells: vec!["a".into()],
             k: 5,
             tenant: Some("analytics-team".into()),
+            request_id: None,
+        });
+        roundtrip_request(Request::Query {
+            name: "orders.customer_id".into(),
+            cells: vec!["a".into()],
+            k: 5,
+            tenant: None,
+            request_id: Some(77),
+        });
+        roundtrip_request(Request::Query {
+            name: "orders.customer_id".into(),
+            cells: vec!["a".into()],
+            k: 5,
+            tenant: Some("analytics-team".into()),
+            request_id: Some(u64::MAX),
+        });
+        roundtrip_request(Request::QueryBatch { queries: vec![] });
+        roundtrip_request(Request::QueryBatch {
+            queries: vec![
+                BatchQuery {
+                    request_id: 1,
+                    name: "orders.id".into(),
+                    cells: vec!["a".into(), "b".into()],
+                    k: 10,
+                    tenant: None,
+                },
+                BatchQuery {
+                    request_id: 2,
+                    name: "users.id".into(),
+                    cells: vec![],
+                    k: 3,
+                    tenant: Some("analytics-team".into()),
+                },
+            ],
         });
         roundtrip_request(Request::Reload { path: None });
         roundtrip_request(Request::Reload {
@@ -1033,6 +1250,7 @@ mod tests {
             last_reload_micros: None,
             replication: None,
             overload: None,
+            dedup_hits: None,
         }));
         roundtrip_response(Response::Stats(StatsReply {
             generation: 1,
@@ -1054,6 +1272,7 @@ mod tests {
             last_reload_micros: Some(2_500),
             replication: None,
             overload: None,
+            dedup_hits: None,
         }));
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Overloaded,
@@ -1121,9 +1340,10 @@ mod tests {
                 stale: true,
             }),
             overload: None,
+            dedup_hits: None,
         };
         roundtrip_response(Response::Stats(reply.clone()));
-        // A yet-newer server appends a fifth tail: ignored, not rejected.
+        // A yet-newer server appends a sixth tail: ignored, not rejected.
         let mut enc = Response::Stats(reply.clone()).encode();
         enc.extend_from_slice(&[1, 9, 9, 9]);
         match Response::decode(&enc).unwrap() {
@@ -1163,16 +1383,17 @@ mod tests {
             last_reload_micros: None,
             replication: None,
             overload: None,
+            dedup_hits: None,
         })
         .encode();
         // Strip the presence flags this encoder appends: the old wire image.
-        let old_wire = &full[..full.len() - 4];
+        let old_wire = &full[..full.len() - 5];
         match Response::decode(old_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.live, None),
             other => panic!("expected Stats, got {other:?}"),
         }
         // A middle-generation server: live gauges but no reload timing.
-        let mid_wire = &full[..full.len() - 3];
+        let mid_wire = &full[..full.len() - 4];
         match Response::decode(mid_wire).unwrap() {
             Response::Stats(s) => {
                 assert_eq!(s.last_reload_micros, None);
@@ -1181,15 +1402,21 @@ mod tests {
             other => panic!("expected Stats, got {other:?}"),
         }
         // A pre-replication server: the two earlier tails, nothing after.
-        let pre_replication_wire = &full[..full.len() - 2];
+        let pre_replication_wire = &full[..full.len() - 3];
         match Response::decode(pre_replication_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.replication, None),
             other => panic!("expected Stats, got {other:?}"),
         }
         // A pre-overload (PR 8) server: three tails, no overload gauges.
-        let pre_overload_wire = &full[..full.len() - 1];
+        let pre_overload_wire = &full[..full.len() - 2];
         match Response::decode(pre_overload_wire).unwrap() {
             Response::Stats(s) => assert_eq!(s.overload, None),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // A pre-pipelining (PR 9) server: four tails, no dedup counter.
+        let pre_dedup_wire = &full[..full.len() - 1];
+        match Response::decode(pre_dedup_wire).unwrap() {
+            Response::Stats(s) => assert_eq!(s.dedup_hits, None),
             other => panic!("expected Stats, got {other:?}"),
         }
     }
@@ -1213,6 +1440,7 @@ mod tests {
             last_reload_micros: Some(900),
             replication: Some(ReplicationStats::default()),
             overload: Some(OverloadStats::default()),
+            dedup_hits: Some(4),
         })
         .encode();
         enc.extend_from_slice(&[1, 2, 3, 4]);
@@ -1245,6 +1473,7 @@ mod tests {
             cells: vec!["a".into(), "b".into()],
             k: 7,
             tenant: None,
+            request_id: None,
         }
         .encode();
         assert_eq!(old_wire, new_wire, "untagged queries keep the old image");
@@ -1261,16 +1490,10 @@ mod tests {
             cells: vec!["x".into()],
             k: 3,
             tenant: Some("team-a".into()),
+            request_id: None,
         };
         let enc = req.encode();
         assert_eq!(Request::decode(&enc).unwrap(), req);
-        // A yet-newer client appends more tail bytes: ignored, not rejected.
-        let mut future = enc.clone();
-        future.extend_from_slice(&[1, 2, 3]);
-        match Request::decode(&future).unwrap() {
-            Request::Query { tenant, .. } => assert_eq!(tenant.as_deref(), Some("team-a")),
-            other => panic!("expected Query, got {other:?}"),
-        }
         // Truncating inside the tenant string is an error, not a panic;
         // truncating the whole tail back to the cells boundary parses as
         // an untagged query.
@@ -1283,6 +1506,133 @@ mod tests {
             Request::Query { tenant, .. } => assert_eq!(tenant, None),
             other => panic!("expected Query, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_request_id_tail_rides_behind_the_tenant_tail() {
+        // A yet-newer client appends bytes past the request-id tail:
+        // ignored, not rejected — exactly how a PR 9 server ignores the
+        // request-id tail itself today.
+        let req = Request::Query {
+            name: "q".into(),
+            cells: vec!["x".into()],
+            k: 3,
+            tenant: Some("team-a".into()),
+            request_id: Some(42),
+        };
+        let mut future = req.encode();
+        future.extend_from_slice(&[1, 2, 3]);
+        match Request::decode(&future).unwrap() {
+            Request::Query {
+                tenant, request_id, ..
+            } => {
+                assert_eq!(tenant.as_deref(), Some("team-a"));
+                assert_eq!(request_id, Some(42));
+            }
+            other => panic!("expected Query, got {other:?}"),
+        }
+        // With no tenant set, the id tail still forces an explicit absent
+        // tenant flag in front so old servers skip the right bytes. The
+        // frame is exactly the untagged image + [0, 1, id]: a PR 9 server
+        // (whose decode stops at the cells and tolerates trailing bytes)
+        // parses it as a plain untagged query.
+        let untagged = Request::Query {
+            name: "q".into(),
+            cells: vec!["x".into()],
+            k: 3,
+            tenant: None,
+            request_id: None,
+        }
+        .encode();
+        let tagged = Request::Query {
+            name: "q".into(),
+            cells: vec!["x".into()],
+            k: 3,
+            tenant: None,
+            request_id: Some(42),
+        }
+        .encode();
+        let mut expected = untagged.clone();
+        expected.push(0); // tenant absent
+        expected.push(1); // request id present
+        expected.extend_from_slice(&42u64.to_le_bytes());
+        assert_eq!(tagged, expected);
+        // Truncating inside the id tail is an error, not a panic. (A cut
+        // right after the tenant-absent byte is NOT in this range: that
+        // prefix is a legal tenant-less query on its own.)
+        for cut in untagged.len() + 2..tagged.len() {
+            assert!(Request::decode(&tagged[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_batch_member_count_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        w.put_u8(REQ_QUERY_BATCH);
+        w.put_u32_le(u32::MAX); // hostile member count, no members
+        assert!(Request::decode(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_batch_is_rejected() {
+        // Unlike Query (whose tail must stay open for future extensions),
+        // the batch frame is new and strict: no trailing bytes.
+        let mut enc = Request::QueryBatch {
+            queries: vec![BatchQuery {
+                request_id: 9,
+                name: "q".into(),
+                cells: vec!["x".into()],
+                k: 1,
+                tenant: None,
+            }],
+        }
+        .encode();
+        enc.push(0xAB);
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn query_for_roundtrips_both_kinds_and_rejects_a_bad_kind_byte() {
+        let reply = QueryReply {
+            health_code: 0,
+            health_label: "hnsw".into(),
+            degraded: false,
+            complete: true,
+            via_fallback: false,
+            generation: 2,
+            indexed: 50,
+            visited: 50,
+            hits: vec![WireHit {
+                id: 3,
+                score: 0.125,
+                label: "t.c".into(),
+            }],
+        };
+        roundtrip_response(Response::QueryFor {
+            request_id: 7,
+            reply: Ok(reply.clone()),
+        });
+        roundtrip_response(Response::QueryFor {
+            request_id: u64::MAX,
+            reply: Err(WireError {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            }),
+        });
+        // The correlated reply body is byte-identical to the plain Query
+        // reply body: only the tag, id, and kind byte differ in front.
+        let plain = Response::Query(reply.clone()).encode();
+        let tagged = Response::QueryFor {
+            request_id: 7,
+            reply: Ok(reply),
+        }
+        .encode();
+        assert_eq!(&tagged[2 + 8 + 1..], &plain[2..]);
+        // A kind byte other than 0/1 is a decode error, not a panic.
+        let mut bad = tagged.clone();
+        bad[2 + 8] = 9;
+        assert!(Response::decode(&bad).is_err());
     }
 
     #[test]
@@ -1301,6 +1651,7 @@ mod tests {
             live: None,
             last_reload_micros: None,
             replication: None,
+            dedup_hits: None,
             overload: Some(OverloadStats {
                 brownout_rung: 2,
                 brownout_steps_down: 5,
@@ -1347,10 +1698,13 @@ mod tests {
             last_reload_micros: None,
             replication: None,
             overload: None,
+            dedup_hits: None,
         })
         .encode();
         // Replace the absent fourth tail with a hostile one: present, all
-        // counters zero, then a tenant count far beyond the bytes present.
+        // counters zero, then a tenant count far beyond the bytes present
+        // (the absent fifth tail behind it goes too).
+        enc.pop();
         enc.pop();
         enc.push(1);
         enc.push(0); // rung
@@ -1366,6 +1720,7 @@ mod tests {
             cells: vec!["x".into()],
             k: 3,
             tenant: None,
+            request_id: None,
         }
         .encode();
         for cut in 0..enc.len() {

@@ -19,7 +19,7 @@
 //! at most `read_timeout`, and a drain is never blocked behind a slow
 //! reader.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -38,7 +38,7 @@ use crate::protocol::{
 };
 use crate::replica::ReplicationState;
 use crate::sync::SyncExport;
-use crate::{Loader, MutateOp, ServeModel};
+use crate::{Loader, MutateOp, ServeModel, WaveQuery};
 
 /// Tuning for one server instance.
 pub struct ServerConfig {
@@ -87,6 +87,11 @@ pub struct ServerConfig {
     /// disables adaptive shedding and the degradation ladder: the server
     /// always answers at full effort.
     pub brownout: Option<BrownoutConfig>,
+    /// Maximum queries a worker gathers into one batched wave: after
+    /// blocking for the first admitted job it drains up to this many more
+    /// without blocking, then answers the whole wave through one batched
+    /// model call. 1 restores the pre-wave one-pop-one-search loop.
+    pub wave_width: usize,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +111,7 @@ impl Default for ServerConfig {
             tenant_rate: None,
             tenant_burst: 16.0,
             brownout: None,
+            wave_width: 16,
         }
     }
 }
@@ -121,11 +127,72 @@ struct Snapshot {
 
 /// A query waiting for a worker.
 struct Job {
-    request: Request,
-    budget: Budget,
+    name: String,
+    cells: Vec<String>,
+    k: u32,
     deadline: Option<Instant>,
+    /// When the query was admitted (for per-tenant latency accounting).
+    started: Instant,
     tenant: Arc<str>,
-    reply: mpsc::Sender<Response>,
+    sink: JobSink,
+}
+
+/// Where a job's answer goes.
+enum JobSink {
+    /// Untagged single query: the connection thread blocks on this channel
+    /// and writes the plain `Query`/`Error` frame itself — the
+    /// pre-pipelining wire behavior, byte-identical for old clients.
+    Channel(mpsc::Sender<Response>),
+    /// Pipelined or batched member: the worker writes a correlated
+    /// `QueryFor` frame through the connection's shared writer, coalesced
+    /// with the rest of its wave.
+    Correlated {
+        request_id: u64,
+        writer: Arc<ConnWriter>,
+    },
+}
+
+/// Serializes all frame writes on one connection. The connection thread's
+/// inline replies (pong, stats, shed errors) and worker-written waves
+/// interleave at frame granularity; a wave's answers for one connection
+/// land in a single buffered write (see [`write_coalesced`]).
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream: Mutex::new(stream),
+        }
+    }
+
+    fn write_frame(&self, payload: &[u8]) -> io::Result<()> {
+        protocol::write_frame(&mut *self.stream.lock().expect("conn writer lock"), payload)
+    }
+
+    fn write_frames(&self, payloads: &[Vec<u8>]) -> io::Result<()> {
+        write_coalesced(&mut *self.stream.lock().expect("conn writer lock"), payloads)
+    }
+}
+
+/// Write `payloads` as length-prefixed frames in **one** buffered write
+/// (plus one flush): a wave answering D pipelined queries on a connection
+/// costs one syscall, not 2·D header/body writes.
+/// One connection's share of a wave: the writer identity (pointer keyed —
+/// `Arc::ptr_eq` semantics without nested loops), the live handle, and the
+/// encoded response payloads destined for it.
+type WaveShare = (*const ConnWriter, Arc<ConnWriter>, Vec<Vec<u8>>);
+
+fn write_coalesced(w: &mut impl Write, payloads: &[Vec<u8>]) -> io::Result<()> {
+    let total: usize = payloads.iter().map(|p| 4 + p.len()).sum();
+    let mut buf = Vec::with_capacity(total);
+    for p in payloads {
+        buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        buf.extend_from_slice(p);
+    }
+    w.write_all(&buf)?;
+    w.flush()
 }
 
 #[derive(Default)]
@@ -167,6 +234,9 @@ struct Shared {
     tenants: TenantTable,
     /// CoDel-style sojourn controller; `None` disables brownout.
     brownout: Option<BrownoutController>,
+    /// Histogram of formed wave sizes: slot `i` counts waves of `i + 1`
+    /// members (in-process observability for the pipelined bench).
+    wave_sizes: Box<[AtomicU64]>,
     config: ConfigBits,
 }
 
@@ -177,6 +247,7 @@ struct ConfigBits {
     max_frame: usize,
     max_conns: usize,
     debug_stall: Option<Duration>,
+    wave_width: usize,
 }
 
 impl Shared {
@@ -236,6 +307,7 @@ impl Shared {
                 .as_ref()
                 .map(|r| r.snapshot(snap.generation)),
             overload: Some(self.overload_stats()),
+            dedup_hits: Some(snap.model.dedup_hits()),
         }
     }
 
@@ -300,6 +372,18 @@ impl ServerHandle {
     pub fn reload(&self, path: Option<&str>) -> Result<(u32, Vec<String>), String> {
         self.shared.reload(path)
     }
+
+    /// Histogram of formed wave sizes: slot `i` counts waves of `i + 1`
+    /// members, up to the configured wave width. In-process only (the
+    /// pipelined bench reads its `wave_size_p50` from here); the wire
+    /// stats stay unchanged.
+    pub fn wave_size_histogram(&self) -> Vec<u64> {
+        self.shared
+            .wave_sizes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 /// A bound, loaded, ready-to-run server. Created by [`Server::start`];
@@ -338,12 +422,16 @@ impl Server {
             replication: config.replication,
             tenants: TenantTable::new(config.tenant_rate.map(|r| (r, config.tenant_burst))),
             brownout: config.brownout.map(BrownoutController::new),
+            wave_sizes: (0..config.wave_width.max(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             config: ConfigBits {
                 deadline: config.deadline,
                 read_timeout: config.read_timeout,
                 max_frame: config.max_frame,
                 max_conns: config.max_conns,
                 debug_stall: config.debug_stall,
+                wave_width: config.wave_width.max(1),
             },
         });
         Ok(Server {
@@ -445,68 +533,154 @@ fn turn_away(mut stream: TcpStream) {
     let _ = protocol::write_frame(&mut stream, &resp.encode());
 }
 
-/// Pull queries off the admission queue until it is closed and drained.
-/// Each pop reports the job's queue sojourn to the brownout controller
-/// (CoDel-style: sustained sojourn over target steps the effort rung down
-/// *and* sheds the newest job of the heaviest tenant, so the flooder pays
-/// for the standing queue it built).
-fn worker_loop(shared: &Shared) {
-    while let Some((_tenant, job, enqueued)) = shared.queue.pop() {
-        if let Some(ctl) = &shared.brownout {
-            let sojourn = enqueued.elapsed();
-            if ctl.observe(sojourn, Instant::now()) == Pressure::Shed {
-                if let Some((_vid, victim, _)) = shared.queue.shed_newest_of_heaviest() {
-                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    shared.counters.codel_shed.fetch_add(1, Ordering::Relaxed);
-                    shared.tenants.note_shed(&victim.tenant);
-                    let _ = victim.reply.send(Response::Error(WireError {
-                        code: ErrorCode::Overloaded,
-                        message: "queue delay over brownout target; shed to recover; retry with backoff"
-                            .to_string(),
-                    }));
-                }
-            }
+/// Route a structured failure to a job's sink: a plain `Error` for a
+/// channel job, a correlated `QueryFor` for a pipelined member (so one
+/// member's failure never poisons the rest of its connection's window).
+fn fail_job(job: &Job, code: ErrorCode, message: String) {
+    let err = WireError { code, message };
+    match &job.sink {
+        JobSink::Channel(tx) => {
+            let _ = tx.send(Response::Error(err));
         }
-        let response = process_job(shared, &job);
-        // A dead client (dropped receiver) is not an error.
-        let _ = job.reply.send(response);
+        JobSink::Correlated { request_id, writer } => {
+            let _ = writer.write_frame(
+                &Response::QueryFor {
+                    request_id: *request_id,
+                    reply: Err(err),
+                }
+                .encode(),
+            );
+        }
     }
 }
 
-fn process_job(shared: &Shared, job: &Job) -> Response {
-    let Request::Query { name, cells, k, .. } = &job.request else {
-        return internal_error("non-query job reached the worker pool");
-    };
-    // A query that sat in the queue past its whole deadline gets a
-    // structured error instead of a zero-work "partial result".
-    if let Some(d) = job.deadline {
-        if Instant::now() >= d {
-            shared.counters.expired.fetch_add(1, Ordering::Relaxed);
-            return Response::Error(WireError {
-                code: ErrorCode::DeadlineExceeded,
-                message: "deadline expired while queued; retry with backoff".to_string(),
-            });
+/// Report one popped job's queue sojourn to the brownout controller
+/// (CoDel-style: sustained sojourn over target steps the effort rung down
+/// *and* sheds the newest job of the heaviest tenant, so the flooder pays
+/// for the standing queue it built).
+fn observe_sojourn(shared: &Shared, enqueued: Instant) {
+    if let Some(ctl) = &shared.brownout {
+        let sojourn = enqueued.elapsed();
+        if ctl.observe(sojourn, Instant::now()) == Pressure::Shed {
+            if let Some((_vid, victim, _)) = shared.queue.shed_newest_of_heaviest() {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.codel_shed.fetch_add(1, Ordering::Relaxed);
+                shared.tenants.note_shed(&victim.tenant);
+                fail_job(
+                    &victim,
+                    ErrorCode::Overloaded,
+                    "queue delay over brownout target; shed to recover; retry with backoff"
+                        .to_string(),
+                );
+            }
         }
     }
+}
+
+/// Pull queries off the admission queue until it is closed and drained.
+/// Each blocking pop seeds a **wave**: the worker drains up to
+/// `wave_width - 1` more already-admitted jobs without blocking (the
+/// non-blocking drain walks the same deficit-round-robin cursor, so
+/// fairness order is exactly what back-to-back pops would have produced),
+/// then answers the whole wave through one batched model call — shared
+/// encoder forward passes, deduped identical members, and row blocks
+/// pulled through the cache once per wave instead of once per query.
+fn worker_loop(shared: &Shared) {
+    while let Some((_tenant, job, enqueued)) = shared.queue.pop() {
+        observe_sojourn(shared, enqueued);
+        let mut wave = vec![job];
+        while wave.len() < shared.config.wave_width {
+            match shared.queue.try_pop() {
+                Some((_tenant, job, enqueued)) => {
+                    observe_sojourn(shared, enqueued);
+                    wave.push(job);
+                }
+                None => break,
+            }
+        }
+        let slot = (wave.len() - 1).min(shared.wave_sizes.len() - 1);
+        shared.wave_sizes[slot].fetch_add(1, Ordering::Relaxed);
+        process_wave(shared, wave);
+    }
+}
+
+/// Answer one formed wave: expire members that overslept in the queue,
+/// run the rest through the model's batched entry point under the wave
+/// budget (the tightest member deadline — a tighter budget can only stop
+/// a member earlier, never change its complete answer), then deliver
+/// responses with one coalesced write per connection.
+fn process_wave(shared: &Shared, wave: Vec<Job>) {
+    let now = Instant::now();
+    // A member that sat in the queue past its whole deadline gets a
+    // structured error instead of a zero-work "partial result".
+    let mut live = Vec::with_capacity(wave.len());
+    for job in wave {
+        if let Some(d) = job.deadline {
+            if now >= d {
+                shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                fail_job(
+                    &job,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued; retry with backoff".to_string(),
+                );
+                continue;
+            }
+        }
+        live.push(job);
+    }
+    if live.is_empty() {
+        return;
+    }
     if let Some(stall) = shared.config.debug_stall {
-        std::thread::sleep(stall);
+        // The testing stall models per-query work: a wave pays it once
+        // per member, like the serial loop it replaces.
+        std::thread::sleep(stall * live.len() as u32);
     }
     let snap = shared.snapshot();
     let indexed = snap.model.indexed_len();
-    // Clamp k to the index size: asking for more neighbors than columns is
-    // well-defined, not an error.
-    let k = (*k as usize).min(indexed.max(1));
-    // Brownout: stamp the current effort rung onto this query's budget so
-    // the search loops step down (reduced beam → surrogate-only scores →
+    // Brownout: stamp the current effort rung onto the wave budget so the
+    // search loops step down (reduced beam → surrogate-only scores →
     // truncated scans) without any signature change below this point.
     let rung = shared.brownout.as_ref().map(|c| c.rung()).unwrap_or(0);
-    let budget = job.budget.clone().with_effort(Effort::from_rung(rung));
-    let outcome = match catch_unwind(AssertUnwindSafe(|| {
-        snap.model.query(cells, name, k, &budget)
+    let deadline = live.iter().filter_map(|j| j.deadline).min();
+    let budget = match deadline {
+        Some(d) => Budget::with_deadline(d),
+        None => Budget::unlimited(),
+    }
+    .with_effort(Effort::from_rung(rung));
+    // Clamp k to the index size: asking for more neighbors than columns
+    // is well-defined, not an error.
+    let queries: Vec<WaveQuery<'_>> = live
+        .iter()
+        .map(|j| WaveQuery {
+            cells: &j.cells,
+            name: &j.name,
+            k: (j.k as usize).min(indexed.max(1)),
+        })
+        .collect();
+    let outcomes = match catch_unwind(AssertUnwindSafe(|| {
+        snap.model.query_batch(&queries, &budget)
     })) {
-        Ok(outcome) => outcome,
+        Ok(outcomes) if outcomes.len() == live.len() => outcomes,
+        Ok(_) => {
+            for job in &live {
+                fail_job(
+                    job,
+                    ErrorCode::Internal,
+                    "model answered a different wave size".to_string(),
+                );
+            }
+            return;
+        }
         Err(_) => {
-            return internal_error("query processing failed; the worker recovered");
+            for job in &live {
+                fail_job(
+                    job,
+                    ErrorCode::Internal,
+                    "query processing failed; the worker recovered".to_string(),
+                );
+            }
+            return;
         }
     };
     let health = snap.model.health();
@@ -532,35 +706,66 @@ fn process_job(shared: &Shared, job: &Job) -> Response {
         shared
             .counters
             .brownout_answers
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
     }
-    let degraded =
-        !outcome.complete || outcome.via_fallback || health.is_degraded() || stale || rung > 0;
-    if degraded {
-        shared
-            .counters
-            .degraded_answers
-            .fetch_add(1, Ordering::Relaxed);
+    // Deliver: channel jobs wake their connection thread; correlated jobs
+    // are grouped by connection so each connection gets its whole share
+    // of the wave in one buffered write.
+    let mut coalesced: Vec<WaveShare> = Vec::new();
+    for (job, outcome) in live.iter().zip(outcomes) {
+        let degraded =
+            !outcome.complete || outcome.via_fallback || health.is_degraded() || stale || rung > 0;
+        if degraded {
+            shared
+                .counters
+                .degraded_answers
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let reply = QueryReply {
+            health_code: health.code(),
+            health_label: health_label.clone(),
+            degraded,
+            complete: outcome.complete,
+            via_fallback: outcome.via_fallback,
+            generation: snap.generation,
+            indexed: indexed as u64,
+            visited: outcome.visited as u64,
+            hits: outcome
+                .hits
+                .into_iter()
+                .map(|h| WireHit {
+                    id: h.id,
+                    score: h.score,
+                    label: h.label,
+                })
+                .collect(),
+        };
+        match &job.sink {
+            JobSink::Channel(tx) => {
+                // A dead client (dropped receiver) is not an error.
+                let _ = tx.send(Response::Query(reply));
+            }
+            JobSink::Correlated { request_id, writer } => {
+                let frame = Response::QueryFor {
+                    request_id: *request_id,
+                    reply: Ok(reply),
+                }
+                .encode();
+                let key = Arc::as_ptr(writer);
+                match coalesced.iter_mut().find(|(p, _, _)| *p == key) {
+                    Some((_, _, frames)) => frames.push(frame),
+                    None => coalesced.push((key, writer.clone(), vec![frame])),
+                }
+                shared
+                    .tenants
+                    .note_latency(&job.tenant, job.started.elapsed().as_micros() as u64);
+            }
+        }
     }
-    Response::Query(QueryReply {
-        health_code: health.code(),
-        health_label,
-        degraded,
-        complete: outcome.complete,
-        via_fallback: outcome.via_fallback,
-        generation: snap.generation,
-        indexed: indexed as u64,
-        visited: outcome.visited as u64,
-        hits: outcome
-            .hits
-            .into_iter()
-            .map(|h| WireHit {
-                id: h.id,
-                score: h.score,
-                label: h.label,
-            })
-            .collect(),
-    })
+    for (_, writer, frames) in coalesced {
+        // A dead client (closed socket) is not an error.
+        let _ = writer.write_frames(&frames);
+    }
 }
 
 fn internal_error(msg: &str) -> Response {
@@ -572,19 +777,28 @@ fn internal_error(msg: &str) -> Response {
 
 /// Read frames off one connection until EOF, a fatal protocol error, a
 /// stall, or server drain. Always answers with a structured error before
-/// closing on a protocol violation.
+/// closing on a protocol violation. Untagged queries block this thread
+/// until answered (the pre-pipelining behavior, byte-identical on the
+/// wire); queries carrying a `request_id` — and every `QueryBatch`
+/// member — return to the read loop immediately after admission, so the
+/// client can keep its pipeline window full while worker waves write the
+/// correlated answers back through the shared [`ConnWriter`].
 fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
     // Short slices let the loop observe drain and enforce the total
     // per-frame budget against slow-loris clients.
     stream.set_read_timeout(Some(Duration::from_millis(250)))?;
     stream.set_nodelay(true).ok();
+    // All frame writes go through one serialized writer: the read loop's
+    // inline replies and worker-written waves may otherwise interleave
+    // mid-frame.
+    let writer = Arc::new(ConnWriter::new(stream.try_clone()?));
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             let resp = Response::Error(WireError {
                 code: ErrorCode::Unavailable,
                 message: "server is draining".to_string(),
             });
-            let _ = protocol::write_frame(&mut stream, &resp.encode());
+            let _ = writer.write_frame(&resp.encode());
             return Ok(());
         }
         let payload = match read_frame_sliced(shared, &mut stream) {
@@ -595,7 +809,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
                     code: ErrorCode::FrameTooLarge,
                     message: format!("frame of {announced} bytes exceeds cap of {cap} bytes"),
                 });
-                let _ = protocol::write_frame(&mut stream, &resp.encode());
+                let _ = writer.write_frame(&resp.encode());
                 return Ok(());
             }
             Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
@@ -612,7 +826,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
                         message: "read timed out mid-frame".to_string(),
                     })
                 };
-                let _ = protocol::write_frame(&mut stream, &resp.encode());
+                let _ = writer.write_frame(&resp.encode());
                 return Ok(());
             }
             Err(FrameError::Io(e)) => return Err(e),
@@ -624,7 +838,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
                     code: ErrorCode::BadRequest,
                     message: format!("bad request frame: {e}"),
                 });
-                let _ = protocol::write_frame(&mut stream, &resp.encode());
+                let _ = writer.write_frame(&resp.encode());
                 // A peer speaking garbage gets one diagnosis, then the
                 // connection closes: framing can no longer be trusted.
                 return Ok(());
@@ -635,7 +849,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
             Request::Stats => Response::Stats(shared.stats()),
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                let _ = protocol::write_frame(&mut stream, &Response::ShuttingDown.encode());
+                let _ = writer.write_frame(&Response::ShuttingDown.encode());
                 return Ok(());
             }
             Request::Reload { ref path } => match shared.reload(path.as_deref()) {
@@ -656,13 +870,79 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
             Request::SyncFetch { item, offset, len } => {
                 answer_sync_fetch(shared, &item, offset, len)
             }
+            Request::Query {
+                name,
+                cells,
+                k,
+                tenant,
+                request_id: Some(request_id),
+            } => {
+                admit_pipelined(shared, &writer, request_id, name, cells, k, tenant)?;
+                continue;
+            }
+            Request::QueryBatch { queries } => {
+                for q in queries {
+                    admit_pipelined(
+                        shared,
+                        &writer,
+                        q.request_id,
+                        q.name,
+                        q.cells,
+                        q.k,
+                        q.tenant,
+                    )?;
+                }
+                continue;
+            }
             Request::Query { k: 0, .. } => Response::Error(WireError {
                 code: ErrorCode::BadRequest,
                 message: "k must be >= 1".to_string(),
             }),
-            query @ Request::Query { .. } => dispatch_query(shared, query),
+            Request::Query {
+                name,
+                cells,
+                k,
+                tenant,
+                request_id: None,
+            } => dispatch_query(shared, name, cells, k, tenant),
         };
-        protocol::write_frame(&mut stream, &response.encode())?;
+        writer.write_frame(&response.encode())?;
+    }
+}
+
+/// Admit one pipelined (tagged or batched) query. An admission failure is
+/// answered immediately with a correlated error frame; success returns to
+/// the read loop with the job queued for a worker wave.
+fn admit_pipelined(
+    shared: &Shared,
+    writer: &Arc<ConnWriter>,
+    request_id: u64,
+    name: String,
+    cells: Vec<String>,
+    k: u32,
+    tenant: Option<String>,
+) -> io::Result<()> {
+    let refused = if k == 0 {
+        Some(WireError {
+            code: ErrorCode::BadRequest,
+            message: "k must be >= 1".to_string(),
+        })
+    } else {
+        let sink = JobSink::Correlated {
+            request_id,
+            writer: writer.clone(),
+        };
+        admit_query(shared, name, cells, k, tenant_arc(tenant.as_deref()), sink).err()
+    };
+    match refused {
+        Some(err) => writer.write_frame(
+            &Response::QueryFor {
+                request_id,
+                reply: Err(err),
+            }
+            .encode(),
+        ),
+        None => Ok(()),
     }
 }
 
@@ -733,45 +1013,52 @@ fn answer_sync_fetch(shared: &Shared, item: &str, offset: u64, len: u32) -> Resp
     }
 }
 
-/// Admit a query to the worker queue, or shed it. Admission is layered:
-/// the tenant's token bucket first (flooders shed before touching shared
-/// state), then the deficit-weighted fair queue (at capacity the newest
-/// job of the *heaviest* tenant is displaced, so a flooder's own backlog
-/// absorbs the overload). Blocks the connection thread (not a worker)
-/// while waiting for the answer.
-fn dispatch_query(shared: &Shared, request: Request) -> Response {
+/// The tenant a query bills to: the explicit tag, or the shared default.
+fn tenant_arc(tenant: Option<&str>) -> Arc<str> {
+    match tenant {
+        Some(t) => Arc::from(t),
+        None => Arc::from(DEFAULT_TENANT),
+    }
+}
+
+/// Admit a query to the worker queue, or shed it with the returned error.
+/// Admission is layered: the tenant's token bucket first (flooders shed
+/// before touching shared state), then the deficit-weighted fair queue
+/// (at capacity the newest job of the *heaviest* tenant is displaced, so
+/// a flooder's own backlog absorbs the overload). A displaced victim is
+/// failed through its own sink, whichever kind it is.
+fn admit_query(
+    shared: &Shared,
+    name: String,
+    cells: Vec<String>,
+    k: u32,
+    tenant: Arc<str>,
+    sink: JobSink,
+) -> Result<(), WireError> {
     let now = Instant::now();
-    let tenant: Arc<str> = match &request {
-        Request::Query {
-            tenant: Some(t), ..
-        } => Arc::from(t.as_str()),
-        _ => Arc::from(DEFAULT_TENANT),
-    };
     if !shared.tenants.admit(&tenant, now) {
         shared.counters.shed.fetch_add(1, Ordering::Relaxed);
         shared.counters.bucket_shed.fetch_add(1, Ordering::Relaxed);
-        return Response::Error(WireError {
+        return Err(WireError {
             code: ErrorCode::Overloaded,
             message: format!("tenant '{tenant}' over admission rate; retry with backoff"),
         });
     }
     let deadline = shared.config.deadline.map(|d| now + d);
-    let budget = match deadline {
-        Some(d) => Budget::with_deadline(d),
-        None => Budget::unlimited(),
-    };
-    let (tx, rx) = mpsc::channel();
     let job = Job {
-        request,
-        budget,
+        name,
+        cells,
+        k,
         deadline,
+        started: now,
         tenant: tenant.clone(),
-        reply: tx,
+        sink,
     };
     match shared.queue.try_push(tenant_id(&tenant), job) {
         Ok(FairPush::Admitted) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
             shared.tenants.note_accepted(&tenant);
+            Ok(())
         }
         Ok(FairPush::Displaced(_vid, victim)) => {
             shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -779,28 +1066,53 @@ fn dispatch_query(shared: &Shared, request: Request) -> Response {
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
             shared.counters.displaced.fetch_add(1, Ordering::Relaxed);
             shared.tenants.note_shed(&victim.tenant);
-            let _ = victim.reply.send(Response::Error(WireError {
-                code: ErrorCode::Overloaded,
-                message: "displaced by fair admission at capacity; retry with backoff".to_string(),
-            }));
+            fail_job(
+                &victim,
+                ErrorCode::Overloaded,
+                "displaced by fair admission at capacity; retry with backoff".to_string(),
+            );
+            Ok(())
         }
         Err(FairPushError::Full(_)) => {
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
             shared.tenants.note_shed(&tenant);
-            return Response::Error(WireError {
+            Err(WireError {
                 code: ErrorCode::Overloaded,
                 message: format!(
                     "admission queue full ({} in flight); retry with backoff",
                     shared.queue.capacity()
                 ),
-            });
+            })
         }
-        Err(FairPushError::Closed(_)) => {
-            return Response::Error(WireError {
-                code: ErrorCode::Unavailable,
-                message: "server is draining".to_string(),
-            });
-        }
+        Err(FairPushError::Closed(_)) => Err(WireError {
+            code: ErrorCode::Unavailable,
+            message: "server is draining".to_string(),
+        }),
+    }
+}
+
+/// Admit an untagged single query and block the connection thread (not a
+/// worker) until its wave answers — the pre-pipelining request/response
+/// behavior old clients rely on.
+fn dispatch_query(
+    shared: &Shared,
+    name: String,
+    cells: Vec<String>,
+    k: u32,
+    tenant: Option<String>,
+) -> Response {
+    let started = Instant::now();
+    let tenant = tenant_arc(tenant.as_deref());
+    let (tx, rx) = mpsc::channel();
+    if let Err(err) = admit_query(
+        shared,
+        name,
+        cells,
+        k,
+        tenant.clone(),
+        JobSink::Channel(tx),
+    ) {
+        return Response::Error(err);
     }
     // The worker sends exactly one response per admitted job; recv fails
     // only if the worker pool died, which is itself an internal error.
@@ -810,7 +1122,7 @@ fn dispatch_query(shared: &Shared, request: Request) -> Response {
     };
     shared
         .tenants
-        .note_latency(&tenant, now.elapsed().as_micros() as u64);
+        .note_latency(&tenant, started.elapsed().as_micros() as u64);
     resp
 }
 
@@ -928,5 +1240,71 @@ mod signals {
 
     pub fn take_hup() -> bool {
         HUP.swap(false, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stream that counts how many OS-level `write` calls it absorbs.
+    #[derive(Default)]
+    struct CountingStream {
+        writes: usize,
+        flushes: usize,
+        bytes: Vec<u8>,
+    }
+
+    impl Write for CountingStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_waves_responses_for_one_connection_are_one_buffered_write() {
+        let payloads: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                Response::QueryFor {
+                    request_id: i,
+                    reply: Err(WireError {
+                        code: ErrorCode::Internal,
+                        message: format!("m{i}"),
+                    }),
+                }
+                .encode()
+            })
+            .collect();
+        let mut stream = CountingStream::default();
+        write_coalesced(&mut stream, &payloads).unwrap();
+        // The pin: one write call for the whole wave share (not one or two
+        // per frame), one flush.
+        assert_eq!(stream.writes, 1);
+        assert_eq!(stream.flushes, 1);
+        // The coalesced bytes are still valid back-to-back frames.
+        let mut cur = std::io::Cursor::new(stream.bytes);
+        for i in 0..4 {
+            let frame = protocol::read_frame(&mut cur, protocol::MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            match Response::decode(&frame).unwrap() {
+                Response::QueryFor { request_id, .. } => assert_eq!(request_id, i),
+                other => panic!("expected QueryFor, got {other:?}"),
+            }
+        }
+        assert!(protocol::read_frame(&mut cur, protocol::MAX_FRAME)
+            .unwrap()
+            .is_none());
+        // An empty share never touches the socket.
+        let mut empty = CountingStream::default();
+        write_coalesced(&mut empty, &[]).unwrap();
+        assert_eq!(empty.writes, 0);
     }
 }

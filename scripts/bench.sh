@@ -64,8 +64,8 @@ if suite == "ann":
 elif suite == "serve":
     required = {
         "schema": str, "mode": str, "corpus": dict, "threads": int,
-        "capacity_qps": (int, float), "scenarios": list, "skew": dict,
-        "server": dict, "unstructured_responses": int,
+        "capacity_qps": (int, float), "scenarios": list, "pipelined": dict,
+        "skew": dict, "server": dict, "unstructured_responses": int,
     }
 elif suite == "load":
     required = {
@@ -90,7 +90,8 @@ else:
 for key, ty in required.items():
     assert key in report, f"missing key: {key}"
     assert isinstance(report[key], ty), f"bad type for {key}: {report[key]!r}"
-assert report["schema"] == f"bench_{suite}/v1", report["schema"]
+expected_version = "v2" if suite == "serve" else "v1"
+assert report["schema"] == f"bench_{suite}/{expected_version}", report["schema"]
 for key in ("n", "dim", "nq", "k"):
     assert isinstance(report["corpus"].get(key), int), f"corpus.{key}"
 
@@ -121,6 +122,16 @@ elif suite == "serve":
     for key in ("accepted", "shed", "bucket_shed", "displaced", "codel_shed",
                 "brownout_steps_down", "brownout_steps_up", "brownout_answers"):
         assert key in srv, f"server missing {key}"
+    pipe = report["pipelined"]
+    for key in ("points", "single_goodput_qps", "batched_goodput",
+                "batched_speedup", "wave_size_p50", "bit_identical"):
+        assert key in pipe, f"pipelined missing {key}"
+    assert pipe["bit_identical"] is True, "pipelined answers diverged"
+    depths = [pt["depth"] for pt in pipe["points"]]
+    assert depths == [1, 4, 16, 64], depths
+    for pt in pipe["points"]:
+        for key in ("goodput_qps", "wave_size_p50", "shed"):
+            assert key in pt, f"pipelined point missing {key}"
     # Headline fairness criterion, meaningful only at full scale: cold
     # tenants keep >= 80% of their uncontended goodput under a 10x flood
     # with an 8:1 hot-tenant skew. The quick corpus still checks the
@@ -128,10 +139,13 @@ elif suite == "serve":
     if report["mode"] == "full":
         assert skew["cold_retention"] >= 0.8, skew["cold_retention"]
         assert report["scenarios"][2]["shed"] > 0, "10x overload never shed"
+        assert pipe["batched_speedup"] >= 1.4, pipe["batched_speedup"]
     print(f"{path}: schema OK "
           f"(capacity {report['capacity_qps']:.0f} qps, "
           f"10x goodput {report['scenarios'][2]['goodput_qps']:.0f} qps, "
           f"cold retention {skew['cold_retention']:.2f}, "
+          f"pipelined {pipe['batched_speedup']:.2f}x at wave p50 "
+          f"{pipe['wave_size_p50']}, "
           f"{report['unstructured_responses']} unstructured)")
 elif suite == "load":
     for key in ("cold_s_v1_heap", "cold_s_v2_heap", "cold_s_v2_mmap"):
